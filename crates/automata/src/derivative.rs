@@ -1,0 +1,121 @@
+//! Brzozowski-derivative matching: a third, structurally independent
+//! word-matching oracle.
+//!
+//! Derivatives are how Nolé & Sartiani evaluate RPQs (§2 of the paper); we
+//! use them purely as a test oracle: `w ∈ L(E)` iff the derivative of `E`
+//! by `w` is nullable. No automaton, no bit tricks — just AST rewriting —
+//! so a bug shared with the Glushkov or Thompson paths is very unlikely.
+
+use crate::ast::{Lit, Regex};
+use crate::Label;
+
+/// The Brzozowski derivative `c⁻¹ E`: the language of suffixes completing
+/// words of `L(E)` that start with `c`.
+pub fn derivative(e: &Regex, c: Label) -> Regex {
+    match e {
+        Regex::Epsilon => empty(),
+        Regex::Literal(l) => {
+            if l.matches(c) {
+                Regex::Epsilon
+            } else {
+                empty()
+            }
+        }
+        Regex::Concat(a, b) => {
+            let da_b = simplify_concat(derivative(a, c), (**b).clone());
+            if a.nullable() {
+                simplify_alt(da_b, derivative(b, c))
+            } else {
+                da_b
+            }
+        }
+        Regex::Alt(a, b) => simplify_alt(derivative(a, c), derivative(b, c)),
+        Regex::Star(a) => simplify_concat(derivative(a, c), Regex::Star(a.clone())),
+        Regex::Plus(a) => simplify_concat(derivative(a, c), Regex::Star(a.clone())),
+        Regex::Opt(a) => derivative(a, c),
+    }
+}
+
+/// Whether `word ∈ L(e)`, by repeated derivation.
+pub fn matches(e: &Regex, word: &[Label]) -> bool {
+    let mut cur = e.clone();
+    for &c in word {
+        cur = derivative(&cur, c);
+        if is_empty(&cur) {
+            return false;
+        }
+    }
+    cur.nullable()
+}
+
+/// The empty language, encoded as an unmatchable class.
+fn empty() -> Regex {
+    Regex::Literal(Lit::Class(Vec::new()))
+}
+
+fn is_empty(e: &Regex) -> bool {
+    matches!(e, Regex::Literal(Lit::Class(v)) if v.is_empty())
+}
+
+fn simplify_concat(a: Regex, b: Regex) -> Regex {
+    if is_empty(&a) || is_empty(&b) {
+        return empty();
+    }
+    if matches!(a, Regex::Epsilon) {
+        return b;
+    }
+    if matches!(b, Regex::Epsilon) {
+        return a;
+    }
+    Regex::concat(a, b)
+}
+
+fn simplify_alt(a: Regex, b: Regex) -> Regex {
+    if is_empty(&a) {
+        return b;
+    }
+    if is_empty(&b) {
+        return a;
+    }
+    Regex::alt(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, NumericResolver};
+
+    const R: NumericResolver = NumericResolver { n_base: 20 };
+
+    fn m(s: &str, w: &[Label]) -> bool {
+        matches(&parse(s, &R).unwrap(), w)
+    }
+
+    #[test]
+    fn basic_words() {
+        assert!(m("1/2*/2", &[1, 2]));
+        assert!(m("1/2*/2", &[1, 2, 2, 2]));
+        assert!(!m("1/2*/2", &[1]));
+        assert!(!m("1/2*/2", &[2, 2]));
+        assert!(m("1*", &[]));
+        assert!(!m("1+", &[]));
+        assert!(m("(1|2)+/3?", &[2, 1, 3]));
+        assert!(!m("(1|2)+/3?", &[3]));
+    }
+
+    #[test]
+    fn negated_class_words() {
+        assert!(m("!(1)/!(2)", &[5, 5]));
+        assert!(!m("!(1)/!(2)", &[1, 5]));
+        assert!(!m("!(1)/!(2)", &[5, 2]));
+    }
+
+    #[test]
+    fn derivative_of_star_unrolls() {
+        let e = parse("1*", &R).unwrap();
+        let d = derivative(&e, 1);
+        assert!(d.nullable());
+        assert!(matches(&d, &[1, 1]));
+        assert!(!matches(&d, &[2]));
+    }
+}

@@ -1,0 +1,171 @@
+//! A lazily-determinized DFA over the bit-parallel Glushkov tables.
+//!
+//! §3.3 notes that each configuration of the bit-parallel word `D`
+//! "corresponds to a state in the DFA according to the classic powerset
+//! construction" — this module materializes exactly that correspondence,
+//! caching one DFA state per distinct mask and one transition per
+//! (state, label) pair on first use. The classical space/time trade-off:
+//! `O(2^m σ)` worst-case space, amortized *O*(1) per input symbol once
+//! warm, versus the simulation's `O(m/d)` table lookups per symbol.
+//!
+//! The RPQ engine does not use this (Fact 1's regularity is what it
+//! exploits); the DFA serves the string-matching comparison and as yet
+//! another oracle in the property tests.
+
+use crate::bitparallel::BitParallel;
+use crate::glushkov::{StateMask, INITIAL};
+use crate::Label;
+use std::collections::HashMap;
+
+/// Dense DFA state id.
+pub type DfaState = u32;
+
+/// A lazily-built DFA equivalent to the Glushkov NFA.
+pub struct LazyDfa<'a> {
+    bp: &'a BitParallel,
+    /// Mask of each materialized state.
+    masks: Vec<StateMask>,
+    /// Mask → state id.
+    ids: HashMap<StateMask, DfaState>,
+    /// Cached transitions `(state, label) → state`.
+    trans: HashMap<(DfaState, Label), DfaState>,
+}
+
+impl<'a> LazyDfa<'a> {
+    /// Creates the DFA with only the initial state materialized.
+    pub fn new(bp: &'a BitParallel) -> Self {
+        let mut dfa = Self {
+            bp,
+            masks: Vec::new(),
+            ids: HashMap::new(),
+            trans: HashMap::new(),
+        };
+        dfa.intern(INITIAL);
+        dfa
+    }
+
+    fn intern(&mut self, mask: StateMask) -> DfaState {
+        if let Some(&id) = self.ids.get(&mask) {
+            return id;
+        }
+        let id = self.masks.len() as DfaState;
+        self.masks.push(mask);
+        self.ids.insert(mask, id);
+        id
+    }
+
+    /// The initial state.
+    pub fn start(&self) -> DfaState {
+        0
+    }
+
+    /// Number of DFA states materialized so far.
+    pub fn n_states(&self) -> usize {
+        self.masks.len()
+    }
+
+    /// Number of transitions cached so far.
+    pub fn n_cached_transitions(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Whether `state` is accepting.
+    pub fn is_accepting(&self, state: DfaState) -> bool {
+        self.masks[state as usize] & self.bp.accept_mask() != 0
+    }
+
+    /// Whether `state` is the dead state (no live NFA states).
+    pub fn is_dead(&self, state: DfaState) -> bool {
+        self.masks[state as usize] == 0
+    }
+
+    /// The NFA state mask behind a DFA state.
+    pub fn mask_of(&self, state: DfaState) -> StateMask {
+        self.masks[state as usize]
+    }
+
+    /// One DFA step, determinizing on demand.
+    pub fn step(&mut self, state: DfaState, label: Label) -> DfaState {
+        if let Some(&t) = self.trans.get(&(state, label)) {
+            return t;
+        }
+        let next_mask = self.bp.step_fwd(self.masks[state as usize], label);
+        let next = self.intern(next_mask);
+        self.trans.insert((state, label), next);
+        next
+    }
+
+    /// Whether the DFA accepts `word`.
+    pub fn matches(&mut self, word: &[Label]) -> bool {
+        let mut s = self.start();
+        for &c in word {
+            s = self.step(s, c);
+            if self.is_dead(s) {
+                return false;
+            }
+        }
+        self.is_accepting(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::glushkov::Glushkov;
+    use crate::parser::{parse, NumericResolver};
+
+    const R: NumericResolver = NumericResolver { n_base: 20 };
+
+    fn dfa_for(s: &str) -> (BitParallel, Vec<Vec<Label>>) {
+        let e = parse(s, &R).unwrap();
+        let bp = BitParallel::new(&Glushkov::new(&e).unwrap());
+        let words: Vec<Vec<Label>> = vec![
+            vec![],
+            vec![1],
+            vec![1, 2],
+            vec![1, 2, 2],
+            vec![2, 1],
+            vec![1, 2, 2, 2, 1],
+            vec![3],
+            vec![1, 3],
+        ];
+        (bp, words)
+    }
+
+    #[test]
+    fn dfa_agrees_with_simulation() {
+        for expr in ["1/2*/2", "(1|2)+", "1?/2/3*", "!(1)/2"] {
+            let (bp, words) = dfa_for(expr);
+            let mut dfa = LazyDfa::new(&bp);
+            for w in &words {
+                assert_eq!(dfa.matches(w), bp.matches(w), "expr {expr} word {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn determinization_is_lazy_and_cached() {
+        let (bp, _) = dfa_for("1/2*/2");
+        let mut dfa = LazyDfa::new(&bp);
+        assert_eq!(dfa.n_states(), 1);
+        assert!(dfa.matches(&[1, 2]));
+        let after_first = dfa.n_states();
+        assert!(after_first >= 3);
+        let cached = dfa.n_cached_transitions();
+        // Re-running the same word adds nothing.
+        assert!(dfa.matches(&[1, 2]));
+        assert_eq!(dfa.n_states(), after_first);
+        assert_eq!(dfa.n_cached_transitions(), cached);
+    }
+
+    #[test]
+    fn dead_state_is_sticky() {
+        let (bp, _) = dfa_for("1/2");
+        let mut dfa = LazyDfa::new(&bp);
+        let s = dfa.start();
+        let s = dfa.step(s, 9);
+        assert!(dfa.is_dead(s));
+        let s2 = dfa.step(s, 1);
+        assert!(dfa.is_dead(s2));
+    }
+}

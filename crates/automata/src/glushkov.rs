@@ -1,0 +1,321 @@
+//! Glushkov's position automaton \[22, 6\].
+//!
+//! The NFA has exactly `m + 1` states for a regular expression with `m`
+//! literal occurrences: one state per occurrence ("position") plus the
+//! initial state. Its defining regularity — every transition arriving at a
+//! position carries that position's literal — is Fact 1 of the paper and
+//! what makes the bit-parallel simulation (and the whole RPQ algorithm)
+//! work.
+//!
+//! States are bits of a `u64`: bit 0 is the initial state, bits `1..=m` the
+//! positions in left-to-right order of the expression.
+
+use crate::ast::{Lit, Regex};
+use crate::{AutomatonError, Label};
+
+/// A state set of the Glushkov NFA, as a bit mask.
+pub type StateMask = u64;
+
+/// The bit of the initial state.
+pub const INITIAL: StateMask = 1;
+
+/// The Glushkov automaton of a regular expression.
+#[derive(Clone, Debug)]
+pub struct Glushkov {
+    /// Number of positions (`m`).
+    m: usize,
+    /// Whether `ε ∈ L(E)`.
+    nullable: bool,
+    /// Positions that can start a match (`first(E)`).
+    first: StateMask,
+    /// Positions that can end a match (`last(E)`).
+    last: StateMask,
+    /// `follow[p - 1]`: positions that may follow position `p`.
+    follow: Vec<StateMask>,
+    /// `lits[p - 1]`: the literal of position `p` (the label test carried
+    /// by every transition arriving at `p`).
+    lits: Vec<Lit>,
+}
+
+impl Glushkov {
+    /// Builds the automaton for `expr`.
+    ///
+    /// # Errors
+    /// [`AutomatonError::TooManyPositions`] if `expr` has more than 63
+    /// literal occurrences; [`AutomatonError::EmptyClass`] on empty classes.
+    pub fn new(expr: &Regex) -> Result<Self, AutomatonError> {
+        let m = expr.literal_count();
+        if m > 63 {
+            return Err(AutomatonError::TooManyPositions(m));
+        }
+        let mut g = Glushkov {
+            m,
+            nullable: false,
+            first: 0,
+            last: 0,
+            follow: vec![0; m],
+            lits: Vec::with_capacity(m),
+        };
+        let mut next_pos = 1u32;
+        let info = g.visit(expr, &mut next_pos)?;
+        g.nullable = info.nullable;
+        g.first = info.first;
+        g.last = info.last;
+        Ok(g)
+    }
+
+    fn visit(&mut self, e: &Regex, next: &mut u32) -> Result<NodeInfo, AutomatonError> {
+        match e {
+            Regex::Epsilon => Ok(NodeInfo {
+                nullable: true,
+                first: 0,
+                last: 0,
+            }),
+            Regex::Literal(lit) => {
+                if lit.mentioned_labels().is_empty() && !matches!(lit, Lit::NegClass(_)) {
+                    return Err(AutomatonError::EmptyClass);
+                }
+                let bit = 1u64 << *next;
+                *next += 1;
+                self.lits.push(lit.clone());
+                Ok(NodeInfo {
+                    nullable: false,
+                    first: bit,
+                    last: bit,
+                })
+            }
+            Regex::Concat(a, b) => {
+                let ia = self.visit(a, next)?;
+                let ib = self.visit(b, next)?;
+                self.link(ia.last, ib.first);
+                Ok(NodeInfo {
+                    nullable: ia.nullable && ib.nullable,
+                    first: ia.first | if ia.nullable { ib.first } else { 0 },
+                    last: ib.last | if ib.nullable { ia.last } else { 0 },
+                })
+            }
+            Regex::Alt(a, b) => {
+                let ia = self.visit(a, next)?;
+                let ib = self.visit(b, next)?;
+                Ok(NodeInfo {
+                    nullable: ia.nullable || ib.nullable,
+                    first: ia.first | ib.first,
+                    last: ia.last | ib.last,
+                })
+            }
+            Regex::Star(a) => {
+                let ia = self.visit(a, next)?;
+                self.link(ia.last, ia.first);
+                Ok(NodeInfo {
+                    nullable: true,
+                    ..ia
+                })
+            }
+            Regex::Plus(a) => {
+                let ia = self.visit(a, next)?;
+                self.link(ia.last, ia.first);
+                Ok(ia)
+            }
+            Regex::Opt(a) => {
+                let ia = self.visit(a, next)?;
+                Ok(NodeInfo {
+                    nullable: true,
+                    ..ia
+                })
+            }
+        }
+    }
+
+    /// Adds `firsts` to the follow set of every position in `lasts`.
+    fn link(&mut self, lasts: StateMask, firsts: StateMask) {
+        let mut rest = lasts;
+        while rest != 0 {
+            let p = rest.trailing_zeros() as usize;
+            debug_assert!(p >= 1);
+            self.follow[p - 1] |= firsts;
+            rest &= rest - 1;
+        }
+    }
+
+    /// Number of positions `m` (the NFA has `m + 1` states).
+    #[inline]
+    pub fn positions(&self) -> usize {
+        self.m
+    }
+
+    /// Whether the automaton accepts the empty word.
+    #[inline]
+    pub fn nullable(&self) -> bool {
+        self.nullable
+    }
+
+    /// Mask of accepting states: `last(E)`, plus the initial state when the
+    /// expression is nullable.
+    #[inline]
+    pub fn accept_mask(&self) -> StateMask {
+        self.last | if self.nullable { INITIAL } else { 0 }
+    }
+
+    /// States reachable in one step from state `q` (by whatever label their
+    /// literals admit): `first(E)` for the initial state, `follow(q)`
+    /// otherwise.
+    #[inline]
+    pub fn trans(&self, q: usize) -> StateMask {
+        if q == 0 {
+            self.first
+        } else {
+            self.follow[q - 1]
+        }
+    }
+
+    /// The literal of position `p` (`1..=m`).
+    #[inline]
+    pub fn literal(&self, p: usize) -> &Lit {
+        &self.lits[p - 1]
+    }
+
+    /// All position literals, `lits()[p-1]` belonging to position `p`.
+    #[inline]
+    pub fn literals(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Mask of positions whose literal matches label `c` — the table `B[c]`
+    /// of the bit-parallel simulation, computed from scratch (the
+    /// [`crate::BitParallel`] wrapper caches these).
+    pub fn label_mask(&self, c: Label) -> StateMask {
+        let mut mask = 0;
+        for (i, lit) in self.lits.iter().enumerate() {
+            if lit.matches(c) {
+                mask |= 1u64 << (i + 1);
+            }
+        }
+        mask
+    }
+
+    /// Explicit transition list `(from, literal_position, to)` — used by the
+    /// classical baselines and by tests. Transition `(q, p)` exists iff
+    /// `p ∈ trans(q)`, and it is labeled by `literal(p)` (Fact 1).
+    pub fn transitions(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for q in 0..=self.m {
+            let mut rest = self.trans(q);
+            while rest != 0 {
+                let p = rest.trailing_zeros() as usize;
+                out.push((q, p));
+                rest &= rest - 1;
+            }
+        }
+        out
+    }
+}
+
+#[derive(Clone, Copy)]
+struct NodeInfo {
+    nullable: bool,
+    first: StateMask,
+    last: StateMask,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse, NumericResolver};
+
+    const R: NumericResolver = NumericResolver { n_base: 50 };
+
+    fn g(s: &str) -> Glushkov {
+        Glushkov::new(&parse(s, &R).unwrap()).unwrap()
+    }
+
+    /// The paper's Fig. 2: the Glushkov automaton of `a/b*/b` (a=1, b=2)
+    /// has 4 states; `B[a]` targets position 1, `B[b]` targets {2, 3},
+    /// `F` = {3}, and from {0} one step reaches {1}.
+    #[test]
+    fn fig2_automaton_of_a_bstar_b() {
+        let g = g("1/2*/2");
+        assert_eq!(g.positions(), 3);
+        assert!(!g.nullable());
+        assert_eq!(g.label_mask(1), 0b0010); // position 1
+        assert_eq!(g.label_mask(2), 0b1100); // positions 2, 3
+        assert_eq!(g.accept_mask(), 0b1000); // position 3
+        assert_eq!(g.trans(0), 0b0010); // initial -> {1}
+        assert_eq!(g.trans(1), 0b1100); // 1 -> {2,3}
+        assert_eq!(g.trans(2), 0b1100); // 2 -> {2,3}
+        assert_eq!(g.trans(3), 0b0000); // 3 -> {}
+    }
+
+    /// Fig. 5: `^bus/l5*/l5` with ^bus=5, l5=3 — same shape as Fig. 2.
+    #[test]
+    fn fig5_automaton() {
+        let g = g("5/3*/3");
+        assert_eq!(g.positions(), 3);
+        assert_eq!(g.label_mask(5), 0b0010);
+        assert_eq!(g.label_mask(3), 0b1100);
+        assert_eq!(g.label_mask(1), 0); // l1 reaches no state
+        assert_eq!(g.accept_mask(), 0b1000);
+    }
+
+    #[test]
+    fn nullable_adds_initial_to_accepting() {
+        let g = g("4*");
+        assert!(g.nullable());
+        assert_eq!(g.accept_mask(), 0b10 | INITIAL);
+    }
+
+    #[test]
+    fn class_literal_is_one_position() {
+        let e = parse("(1|2|3)+", &R).unwrap().fuse_classes();
+        let g = Glushkov::new(&e).unwrap();
+        assert_eq!(g.positions(), 1);
+        assert_eq!(g.label_mask(1), 0b10);
+        assert_eq!(g.label_mask(2), 0b10);
+        assert_eq!(g.label_mask(4), 0);
+        assert_eq!(g.trans(1), 0b10); // self-loop from +
+    }
+
+    #[test]
+    fn neg_class_matches_complement() {
+        let g = g("!(1|2)");
+        assert_eq!(g.label_mask(1), 0);
+        assert_eq!(g.label_mask(2), 0);
+        assert_eq!(g.label_mask(3), 0b10);
+        assert_eq!(g.label_mask(49), 0b10);
+    }
+
+    #[test]
+    fn too_many_positions_rejected() {
+        let mut s = String::from("1");
+        for _ in 0..63 {
+            s.push_str("/1");
+        }
+        let e = parse(&s, &R).unwrap();
+        assert_eq!(e.literal_count(), 64);
+        assert_eq!(
+            Glushkov::new(&e).unwrap_err(),
+            AutomatonError::TooManyPositions(64)
+        );
+    }
+
+    #[test]
+    fn transitions_listing_matches_trans() {
+        let g = g("1/(2|3)*");
+        let ts = g.transitions();
+        assert!(ts.contains(&(0, 1)));
+        assert!(ts.contains(&(1, 2)));
+        assert!(ts.contains(&(1, 3)));
+        assert!(ts.contains(&(2, 2)));
+        assert!(ts.contains(&(3, 2)));
+        assert!(!ts.contains(&(0, 2)));
+    }
+
+    #[test]
+    fn epsilon_expression() {
+        let g = Glushkov::new(&Regex::Epsilon).unwrap();
+        assert_eq!(g.positions(), 0);
+        assert!(g.nullable());
+        assert_eq!(g.accept_mask(), INITIAL);
+    }
+
+    use crate::ast::Regex;
+}

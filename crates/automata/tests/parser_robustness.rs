@@ -1,0 +1,44 @@
+//! The parser must never panic: any byte soup yields `Ok` or a positioned
+//! `ParseError`, and everything it accepts must re-parse from its own
+//! display form to the same language.
+
+use automata::parser::{parse, NumericResolver};
+use automata::{derivative, Label};
+use proptest::prelude::*;
+
+const R: NumericResolver = NumericResolver { n_base: 16 };
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn never_panics_on_arbitrary_input(s in "\\PC{0,40}") {
+        let _ = parse(&s, &R);
+    }
+
+    #[test]
+    fn never_panics_on_operator_soup(s in "[0-9/|*+?(){}!^<>, ]{0,30}") {
+        let _ = parse(&s, &R);
+    }
+
+    #[test]
+    fn display_reparse_preserves_language(
+        s in "[0-9]{1,2}(/[0-9]{1,2}|\\|[0-9]{1,2}|\\*|\\+|\\?){0,6}",
+        words in prop::collection::vec(prop::collection::vec(0u64..16, 0..5), 1..8),
+    ) {
+        if let Ok(e) = parse(&s, &R) {
+            let printed = format!("{e}");
+            let Ok(e2) = parse(&printed, &R) else {
+                return Err(TestCaseError::fail(format!("display form '{printed}' failed to re-parse")));
+            };
+            for w in &words {
+                let w: &[Label] = w;
+                prop_assert_eq!(
+                    derivative::matches(&e, w),
+                    derivative::matches(&e2, w),
+                    "language changed through display '{}'", printed
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! The classical uncompressed index the baselines query: the completed
+//! graph in two sorted orders — `(s, p, o)` for navigation and
+//! `(p, s, o)` for per-predicate relations — as flat arrays with offset
+//! directories (the B+-tree-free essence of what Jena/Virtuoso/Blazegraph
+//! keep per triple order).
+
+use ring::{Graph, Id};
+
+/// A two-order adjacency index over the completed graph `G↔`.
+#[derive(Clone, Debug)]
+pub struct AdjacencyIndex {
+    n_nodes: u64,
+    /// Completed predicate alphabet (2·base).
+    n_preds: u64,
+    n_preds_base: u64,
+    n_edges: usize,
+    /// Order `(s, p, o)`: `s_off[v]..s_off[v+1]` indexes `sp_pred`/`sp_obj`.
+    s_off: Vec<u64>,
+    sp_pred: Vec<u32>,
+    sp_obj: Vec<u32>,
+    /// Order `(p, s, o)`: `p_off[p]..p_off[p+1]` indexes `ps_subj`/`ps_obj`.
+    p_off: Vec<u64>,
+    ps_subj: Vec<u32>,
+    ps_obj: Vec<u32>,
+}
+
+impl AdjacencyIndex {
+    /// Builds the index from the **base** graph (completion with inverse
+    /// labels happens internally, matching `Ring::build`).
+    ///
+    /// # Panics
+    /// Panics if the graph has more than `u32::MAX` nodes or predicates.
+    pub fn from_graph(base: &Graph) -> Self {
+        let g = base.completed();
+        assert!(g.n_nodes() <= u32::MAX as u64 && g.n_preds() <= u32::MAX as u64);
+        let n_nodes = g.n_nodes();
+        let n_preds = g.n_preds();
+        let m = g.len();
+
+        // Graph keeps (s, p, o) order.
+        let mut s_off = vec![0u64; n_nodes as usize + 1];
+        let mut sp_pred = Vec::with_capacity(m);
+        let mut sp_obj = Vec::with_capacity(m);
+        for t in g.triples() {
+            s_off[t.s as usize + 1] += 1;
+            sp_pred.push(t.p as u32);
+            sp_obj.push(t.o as u32);
+        }
+        for i in 0..n_nodes as usize {
+            s_off[i + 1] += s_off[i];
+        }
+
+        let mut pso: Vec<_> = g.triples().to_vec();
+        pso.sort_unstable_by_key(|t| t.pos_key());
+        // pos_key sorts by (p, o, s); we want (p, s, o) for sorted-subject
+        // relations.
+        pso.sort_unstable_by_key(|t| (t.p, t.s, t.o));
+        let mut p_off = vec![0u64; n_preds as usize + 1];
+        let mut ps_subj = Vec::with_capacity(m);
+        let mut ps_obj = Vec::with_capacity(m);
+        for t in &pso {
+            p_off[t.p as usize + 1] += 1;
+            ps_subj.push(t.s as u32);
+            ps_obj.push(t.o as u32);
+        }
+        for i in 0..n_preds as usize {
+            p_off[i + 1] += p_off[i];
+        }
+
+        Self {
+            n_nodes,
+            n_preds,
+            n_preds_base: base.n_preds(),
+            n_edges: m,
+            s_off,
+            sp_pred,
+            sp_obj,
+            p_off,
+            ps_subj,
+            ps_obj,
+        }
+    }
+
+    /// Node universe size.
+    pub fn n_nodes(&self) -> u64 {
+        self.n_nodes
+    }
+
+    /// Completed predicate alphabet size.
+    pub fn n_preds(&self) -> u64 {
+        self.n_preds
+    }
+
+    /// Base predicate count.
+    pub fn n_preds_base(&self) -> u64 {
+        self.n_preds_base
+    }
+
+    /// Completed edge count.
+    pub fn n_edges(&self) -> usize {
+        self.n_edges
+    }
+
+    /// The inversion involution over the completed alphabet.
+    #[inline]
+    pub fn inverse_label(&self, p: Id) -> Id {
+        if p < self.n_preds_base {
+            p + self.n_preds_base
+        } else {
+            p - self.n_preds_base
+        }
+    }
+
+    /// Out-edges of `v` as parallel `(pred, obj)` slices, sorted by
+    /// `(pred, obj)`.
+    #[inline]
+    pub fn out_edges(&self, v: Id) -> (&[u32], &[u32]) {
+        let (b, e) = (self.s_off[v as usize] as usize, self.s_off[v as usize + 1] as usize);
+        (&self.sp_pred[b..e], &self.sp_obj[b..e])
+    }
+
+    /// Objects reachable from `v` by label `p` (sorted slice).
+    pub fn out_by(&self, v: Id, p: Id) -> &[u32] {
+        let (b, e) = (self.s_off[v as usize] as usize, self.s_off[v as usize + 1] as usize);
+        let preds = &self.sp_pred[b..e];
+        let lo = preds.partition_point(|&x| (x as u64) < p);
+        let hi = preds.partition_point(|&x| x as u64 <= p);
+        &self.sp_obj[b + lo..b + hi]
+    }
+
+    /// All edges labeled `p`, as parallel `(subject, object)` slices
+    /// sorted by `(s, o)`.
+    pub fn pred_edges(&self, p: Id) -> (&[u32], &[u32]) {
+        let (b, e) = (self.p_off[p as usize] as usize, self.p_off[p as usize + 1] as usize);
+        (&self.ps_subj[b..e], &self.ps_obj[b..e])
+    }
+
+    /// Number of edges labeled `p`.
+    #[inline]
+    pub fn pred_count(&self, p: Id) -> usize {
+        (self.p_off[p as usize + 1] - self.p_off[p as usize]) as usize
+    }
+
+    /// Whether `v` has any incident edge (in the completed graph every
+    /// connected node has an out-edge).
+    #[inline]
+    pub fn node_exists(&self, v: Id) -> bool {
+        v < self.n_nodes && self.s_off[v as usize + 1] > self.s_off[v as usize]
+    }
+
+    /// Heap bytes of the index.
+    pub fn size_bytes(&self) -> usize {
+        self.s_off.capacity() * 8
+            + self.p_off.capacity() * 8
+            + (self.sp_pred.capacity()
+                + self.sp_obj.capacity()
+                + self.ps_subj.capacity()
+                + self.ps_obj.capacity())
+                * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring::Triple;
+
+    fn g() -> Graph {
+        Graph::from_triples(vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 1, 2),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 0),
+        ])
+    }
+
+    #[test]
+    fn out_edges_include_inverses() {
+        let idx = AdjacencyIndex::from_graph(&g());
+        assert_eq!(idx.n_edges(), 8);
+        assert_eq!(idx.n_preds(), 4);
+        // Forward: 0 -0-> 1, 0 -1-> 2; inverse of (2,1,0): 0 -^1-> 2.
+        let (preds, objs) = idx.out_edges(0);
+        let edges: Vec<(u32, u32)> = preds.iter().copied().zip(objs.iter().copied()).collect();
+        assert_eq!(edges, vec![(0, 1), (1, 2), (3, 2)]);
+    }
+
+    #[test]
+    fn out_by_selects_label_block() {
+        let idx = AdjacencyIndex::from_graph(&g());
+        assert_eq!(idx.out_by(0, 0), &[1]);
+        assert_eq!(idx.out_by(0, 1), &[2]);
+        assert_eq!(idx.out_by(0, 3), &[2]);
+        assert!(idx.out_by(0, 2).is_empty());
+    }
+
+    #[test]
+    fn pred_edges_are_complete() {
+        let idx = AdjacencyIndex::from_graph(&g());
+        let (s, o) = idx.pred_edges(0);
+        assert_eq!(s, &[0, 1]);
+        assert_eq!(o, &[1, 2]);
+        assert_eq!(idx.pred_count(2), 2); // inverses of label 0
+        let (s, o) = idx.pred_edges(2);
+        assert_eq!(s, &[1, 2]);
+        assert_eq!(o, &[0, 1]);
+    }
+
+    #[test]
+    fn inverse_label_involution() {
+        let idx = AdjacencyIndex::from_graph(&g());
+        assert_eq!(idx.inverse_label(0), 2);
+        assert_eq!(idx.inverse_label(2), 0);
+        assert_eq!(idx.inverse_label(idx.inverse_label(1)), 1);
+    }
+
+    #[test]
+    fn node_existence() {
+        let idx = AdjacencyIndex::from_graph(&g());
+        for v in 0..3 {
+            assert!(idx.node_exists(v));
+        }
+        assert!(!idx.node_exists(99));
+    }
+}

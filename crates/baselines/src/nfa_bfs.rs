@@ -1,0 +1,266 @@
+//! The Jena-style baseline: navigational node-at-a-time BFS over the
+//! product of the graph and a Thompson NFA — the "ALP" (Arbitrary Length
+//! Paths) procedure of the SPARQL 1.1 specification (§5 of the paper:
+//! "Jena and Blazegraph implement a navigational BFS-style function called
+//! ALP").
+
+use automata::ast::Lit;
+use automata::{Nfa, Regex};
+use ring::Id;
+use rpq_core::{EngineOptions, QueryError, QueryOutput, RpqQuery, Term};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::{AdjacencyIndex, PathEngine};
+
+/// Product-graph BFS over [`AdjacencyIndex`] with an ε-free Thompson NFA.
+pub struct NfaBfsEngine {
+    idx: Arc<AdjacencyIndex>,
+    /// Visited stamps for `(node, state)` pairs; sized lazily to
+    /// `n_nodes · n_states` and reset by epoch.
+    stamps: Vec<u32>,
+    /// Reported-node stamps (a node may be reached in several accepting
+    /// states; set semantics reports it once per run).
+    reported: Vec<u32>,
+    epoch: u32,
+    states: usize,
+}
+
+impl NfaBfsEngine {
+    /// Creates the engine over a shared adjacency index.
+    pub fn new(idx: Arc<AdjacencyIndex>) -> Self {
+        Self {
+            reported: vec![0; idx.n_nodes() as usize],
+            idx,
+            stamps: Vec::new(),
+            epoch: 0,
+            states: 0,
+        }
+    }
+
+    fn prepare(&mut self, n_states: usize) {
+        let needed = self.idx.n_nodes() as usize * n_states;
+        if n_states != self.states || self.stamps.len() < needed {
+            self.stamps = vec![0; needed];
+            self.reported.fill(0);
+            self.epoch = 0;
+            self.states = n_states;
+        }
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.reported.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// BFS from `(start, initial)`; reports nodes reached in an accepting
+    /// state through `report` (return `false` to abort).
+    fn bfs(
+        &mut self,
+        nfa: &Nfa,
+        start: Id,
+        deadline: Option<Instant>,
+        out: &mut QueryOutput,
+        report: &mut impl FnMut(Id, &mut QueryOutput) -> bool,
+    ) -> bool {
+        let idx = Arc::clone(&self.idx);
+        if !idx.node_exists(start) {
+            return false;
+        }
+        let n_states = nfa.n_states;
+        let mut queue: VecDeque<(Id, usize)> = VecDeque::new();
+        let key = |v: Id, q: usize| v as usize * n_states + q;
+        self.stamps[key(start, nfa.initial)] = self.epoch;
+        queue.push_back((start, nfa.initial));
+        let mut pops: u64 = 0;
+        while let Some((v, q)) = queue.pop_front() {
+            pops += 1;
+            out.stats.bfs_steps += 1;
+            if let Some(dl) = deadline {
+                if pops.is_multiple_of(512) && Instant::now() >= dl {
+                    out.timed_out = true;
+                    return true;
+                }
+            }
+            if nfa.accepting[q] && self.reported[v as usize] != self.epoch {
+                self.reported[v as usize] = self.epoch;
+                if !report(v, out) {
+                    return true;
+                }
+            }
+            for (lit, q2) in &nfa.transitions[q] {
+                match lit {
+                    Lit::Label(p) => {
+                        for &w in idx.out_by(v, *p) {
+                            let w = w as Id;
+                            let k = key(w, *q2);
+                            if self.stamps[k] != self.epoch {
+                                self.stamps[k] = self.epoch;
+                                out.stats.product_nodes += 1;
+                                queue.push_back((w, *q2));
+                            }
+                        }
+                    }
+                    _ => {
+                        let (preds, objs) = idx.out_edges(v);
+                        for (i, &p) in preds.iter().enumerate() {
+                            if lit.matches(p as u64) {
+                                let w = objs[i] as Id;
+                                let k = key(w, *q2);
+                                if self.stamps[k] != self.epoch {
+                                    self.stamps[k] = self.epoch;
+                                    out.stats.product_nodes += 1;
+                                    queue.push_back((w, *q2));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    fn eval(&mut self, query: &RpqQuery, opts: &EngineOptions) -> Result<QueryOutput, QueryError> {
+        for t in [query.subject, query.object] {
+            if let Term::Const(c) = t {
+                if c >= self.idx.n_nodes() {
+                    return Err(QueryError::NodeOutOfRange(c));
+                }
+            }
+        }
+        let deadline = opts.timeout.map(|t| Instant::now() + t);
+        let limit = opts.limit;
+        let mut out = QueryOutput::default();
+        let inv = {
+            let idx = Arc::clone(&self.idx);
+            move |l: u64| idx.inverse_label(l)
+        };
+        match (query.subject, query.object) {
+            (Term::Const(s), Term::Var) => {
+                let nfa = Nfa::from_regex(&query.expr);
+                self.prepare(nfa.n_states);
+                self.bfs(&nfa, s, deadline, &mut out, &mut |r, out| {
+                    out.pairs.push((s, r));
+                    out.pairs.len() < limit || {
+                        out.truncated = true;
+                        false
+                    }
+                });
+            }
+            (Term::Var, Term::Const(o)) => {
+                let rev = query.expr.reversed(&inv);
+                let nfa = Nfa::from_regex(&rev);
+                self.prepare(nfa.n_states);
+                self.bfs(&nfa, o, deadline, &mut out, &mut |r, out| {
+                    out.pairs.push((r, o));
+                    out.pairs.len() < limit || {
+                        out.truncated = true;
+                        false
+                    }
+                });
+            }
+            (Term::Const(s), Term::Const(o)) => {
+                let nfa = Nfa::from_regex(&query.expr);
+                self.prepare(nfa.n_states);
+                self.bfs(&nfa, s, deadline, &mut out, &mut |r, out| {
+                    if r == o {
+                        out.pairs.push((s, o));
+                        return false;
+                    }
+                    true
+                });
+            }
+            (Term::Var, Term::Var) => {
+                // The ALP procedure: one BFS per candidate start node.
+                let nfa = Nfa::from_regex(&query.expr);
+                self.prepare(nfa.n_states);
+                for s in 0..self.idx.n_nodes() {
+                    if !self.idx.node_exists(s) {
+                        continue;
+                    }
+                    self.prepare(nfa.n_states);
+                    let aborted = self.bfs(&nfa, s, deadline, &mut out, &mut |r, out| {
+                        out.pairs.push((s, r));
+                        out.pairs.len() < limit || {
+                            out.truncated = true;
+                            false
+                        }
+                    });
+                    if aborted && (out.timed_out || out.truncated) {
+                        break;
+                    }
+                }
+            }
+        }
+        out.stats.reported = out.pairs.len() as u64;
+        Ok(out)
+    }
+}
+
+impl PathEngine for NfaBfsEngine {
+    fn name(&self) -> &'static str {
+        "nfa-bfs"
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.idx.size_bytes()
+    }
+
+    fn run(&mut self, query: &RpqQuery, opts: &EngineOptions) -> Result<QueryOutput, QueryError> {
+        self.eval(query, opts)
+    }
+}
+
+/// Reversal helper shared by the engines (kept private to the crate).
+pub(crate) fn reversed_for(idx: &AdjacencyIndex, expr: &Regex) -> Regex {
+    expr.reversed(&|l| idx.inverse_label(l))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring::{Graph, Triple};
+
+    fn idx() -> Arc<AdjacencyIndex> {
+        Arc::new(AdjacencyIndex::from_graph(&Graph::from_triples(vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 3),
+        ])))
+    }
+
+    #[test]
+    fn forward_star_concat() {
+        let mut e = NfaBfsEngine::new(idx());
+        let expr = Regex::concat(Regex::Star(Box::new(Regex::label(0))), Regex::label(1));
+        let q = RpqQuery::new(Term::Const(0), expr, Term::Var);
+        let out = e.run(&q, &EngineOptions::default()).unwrap();
+        assert_eq!(out.sorted_pairs(), vec![(0, 3)]);
+    }
+
+    #[test]
+    fn backward_const_object() {
+        let mut e = NfaBfsEngine::new(idx());
+        let expr = Regex::Plus(Box::new(Regex::label(0)));
+        let q = RpqQuery::new(Term::Var, expr, Term::Const(2));
+        let out = e.run(&q, &EngineOptions::default()).unwrap();
+        assert_eq!(out.sorted_pairs(), vec![(0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn var_var_with_limit() {
+        let mut e = NfaBfsEngine::new(idx());
+        let expr = Regex::Star(Box::new(Regex::label(0)));
+        let q = RpqQuery::new(Term::Var, expr.clone(), Term::Var);
+        let opts = EngineOptions {
+            limit: 2,
+            ..Default::default()
+        };
+        let out = e.run(&q, &opts).unwrap();
+        assert!(out.truncated);
+        assert_eq!(out.pairs.len(), 2);
+    }
+}

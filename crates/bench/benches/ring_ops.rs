@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the ring primitives: backward-search steps,
+//! LF-steps, triple decoding, and the leapfrog seek.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use ring::ring::RingOptions;
+use ring::Ring;
+use workload::{GraphGen, GraphGenConfig};
+
+fn lcg(seed: &mut u64) -> u64 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed >> 33
+}
+
+fn bench_ring(c: &mut Criterion) {
+    let graph = GraphGen::new(GraphGenConfig {
+        n_nodes: 1 << 15,
+        n_preds: 64,
+        n_edges: 1 << 18,
+        ..Default::default()
+    })
+    .generate();
+    let ring = Ring::build(&graph, RingOptions::default());
+    let n = ring.n_triples();
+    let n_nodes = ring.n_nodes();
+    let n_preds = ring.n_preds();
+
+    let mut q = 11u64;
+    c.bench_function("ring_lf_p", |b| {
+        b.iter(|| black_box(ring.lf_p((lcg(&mut q) as usize) % n)))
+    });
+    c.bench_function("ring_triple_decode", |b| {
+        b.iter(|| black_box(ring.triple_at_lp((lcg(&mut q) as usize) % n)))
+    });
+    c.bench_function("ring_backward_step_pred", |b| {
+        b.iter(|| {
+            let o = lcg(&mut q) % n_nodes;
+            let p = lcg(&mut q) % n_preds;
+            black_box(ring.backward_step_by_pred(ring.object_range(o), p))
+        })
+    });
+    c.bench_function("ring_object_range_distinct", |b| {
+        b.iter(|| {
+            let o = lcg(&mut q) % n_nodes;
+            let (lo, hi) = ring.object_range(o);
+            let mut preds = 0usize;
+            ring.l_p().range_distinct(lo, hi, &mut |_, _, _| preds += 1);
+            black_box(preds)
+        })
+    });
+    c.bench_function("ring_leapfrog_seek", |b| {
+        b.iter(|| {
+            let p = lcg(&mut q) % n_preds;
+            let (lo, hi) = ring.pred_range(p);
+            let x = lcg(&mut q) % n_nodes;
+            black_box(ring.l_s().range_next_value(lo, hi, x))
+        })
+    });
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

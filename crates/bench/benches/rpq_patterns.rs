@@ -1,0 +1,44 @@
+//! End-to-end RPQ evaluation per Table 1 pattern on the ring engine —
+//! the per-pattern microbench behind Fig. 8's ring boxes.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use ring::ring::RingOptions;
+use ring::Ring;
+use rpq_core::{EngineOptions, RpqEngine};
+use workload::{GraphGen, GraphGenConfig, QueryGen};
+
+fn bench_patterns(c: &mut Criterion) {
+    let graph = GraphGen::new(GraphGenConfig {
+        n_nodes: 1 << 13,
+        n_preds: 32,
+        n_edges: 1 << 16,
+        ..Default::default()
+    })
+    .generate();
+    let ring = Ring::build(&graph, RingOptions::default());
+    let mut engine = RpqEngine::new(&ring);
+    let opts = EngineOptions {
+        limit: 100_000,
+        ..EngineOptions::default()
+    };
+
+    let mut gen = QueryGen::new(&graph, 7);
+    for &(pattern, _) in workload::TABLE1_PATTERNS.iter() {
+        let gq = gen.instantiate(pattern);
+        let id = format!("rpq_{}", pattern.replace(' ', "_"));
+        c.bench_function(&id, |b| {
+            b.iter(|| black_box(engine.evaluate(&gq.query, &opts).unwrap().pairs.len()))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    targets = bench_patterns
+}
+criterion_main!(benches);

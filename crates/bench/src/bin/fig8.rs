@@ -1,0 +1,64 @@
+//! E3 — Fig. 8: per-pattern query-time distributions (boxplots) for the
+//! four systems over the 20 Table 1 patterns.
+//!
+//! Prints one five-number summary (min, q1, median, q3, max — the box and
+//! whiskers of the figure) per pattern per engine.
+
+use baselines::AdjacencyIndex;
+use rpq_bench::{build_ring, five_number, run_log, BenchConfig, EngineSet};
+use std::sync::Arc;
+use workload::patterns::TABLE1_PATTERNS;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    eprintln!("config: {cfg:?}");
+    let graph = cfg.graph();
+    let ring = build_ring(&graph);
+    let adj = Arc::new(AdjacencyIndex::from_graph(&graph));
+    let log = cfg.log(&graph);
+    let mut engines = EngineSet::new(&ring, &adj);
+    let names: Vec<&'static str> = engines.engines.iter().map(|(e, _)| e.name()).collect();
+    let measurements = run_log(&mut engines, &log, &cfg.engine_options());
+
+    println!("Fig. 8 — query-time distribution per pattern (seconds)");
+    println!("{:<16} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "pattern", "engine", "min", "q1", "median", "q3", "max");
+    let mut wins: Vec<(&str, &str)> = Vec::new();
+    for &(pattern, _) in TABLE1_PATTERNS.iter() {
+        let mut medians: Vec<(&str, f64)> = Vec::new();
+        for &name in &names {
+            let xs: Vec<f64> = measurements
+                .iter()
+                .filter(|m| m.pattern == pattern && m.engine == name)
+                .map(|m| m.seconds)
+                .collect();
+            if xs.is_empty() {
+                continue;
+            }
+            let (mn, q1, md, q3, mx) = five_number(&xs);
+            println!(
+                "{pattern:<16} {name:<16} {mn:>9.4} {q1:>9.4} {md:>9.4} {q3:>9.4} {mx:>9.4}"
+            );
+            medians.push((name, md));
+        }
+        if let Some(&(winner, _)) = medians
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        {
+            wins.push((pattern, winner));
+        }
+        println!();
+    }
+
+    println!("median winner per pattern:");
+    let mut ring_wins = 0;
+    for (pattern, winner) in &wins {
+        println!("  {pattern:<16} {winner}");
+        if *winner == "ring" {
+            ring_wins += 1;
+        }
+    }
+    println!(
+        "ring wins {ring_wins}/{} patterns (paper: best in 9/20, all containing * or +)",
+        wins.len()
+    );
+}

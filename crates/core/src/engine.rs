@@ -1,0 +1,655 @@
+//! The Ring-RPQ evaluation engine (§4 of the paper).
+
+use automata::glushkov::INITIAL;
+use automata::{BitParallel, Glushkov, Label, Regex};
+use ring::{Id, Ring};
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+use succinct::util::{EpochArray, FxHashSet};
+use succinct::wavelet_matrix::RangeGuide;
+use succinct::WaveletMatrix;
+
+use crate::fastpath::{self, Shape};
+use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
+use crate::QueryError;
+
+/// The RPQ engine: borrows a [`Ring`] and owns the per-query working
+/// memory (the `B[v]`, `D[v]` and `D[s]` mask tables with constant-time
+/// lazy reset, §4.1–4.2).
+///
+/// ```
+/// use automata::Regex;
+/// use ring::{Graph, Ring, Triple};
+/// use ring::ring::RingOptions;
+/// use rpq_core::{EngineOptions, RpqEngine, RpqQuery, Term};
+///
+/// // 0 --a--> 1 --a--> 2 --b--> 3
+/// let g = Graph::from_triples(vec![
+///     Triple::new(0, 0, 1),
+///     Triple::new(1, 0, 2),
+///     Triple::new(2, 1, 3),
+/// ]);
+/// let ring = Ring::build(&g, RingOptions::default());
+/// let mut engine = RpqEngine::new(&ring);
+///
+/// // (x, a*/b, 3): all nodes reaching 3 by a-steps then one b.
+/// let expr = Regex::concat(Regex::Star(Box::new(Regex::label(0))), Regex::label(1));
+/// let q = RpqQuery::new(Term::Var, expr, Term::Const(3));
+/// let out = engine.evaluate(&q, &EngineOptions::default()).unwrap();
+/// assert_eq!(out.sorted_pairs(), vec![(0, 3), (1, 3), (2, 3)]);
+/// ```
+pub struct RpqEngine<'r> {
+    ring: &'r Ring,
+    /// `B[v]` masks over the wavelet nodes of `L_p`, heap-ordered.
+    lp_masks: EpochArray,
+    /// `D[v]`/`D[s]` masks over the wavelet nodes of `L_s`; the leaf level
+    /// (`node_index(width, s)`) holds the per-graph-node visited sets, and
+    /// internal nodes hold the intersection of the visited sets below them
+    /// (subject-free subtrees counting as saturated).
+    ls_masks: EpochArray,
+    /// `occ[v]`: whether any subject below wavelet node `v` of `L_s`
+    /// occurs in the sequence (static per ring; drives the intersection
+    /// semantics of `ls_masks`).
+    ls_occupancy: Vec<bool>,
+}
+
+/// Where a backward traversal starts.
+enum Start {
+    /// From one object's `L_p` block (queries with a constant endpoint).
+    Object(Id),
+    /// From the full `L_p` range — all objects at once (§4.4).
+    Full,
+}
+
+impl<'r> RpqEngine<'r> {
+    /// Creates an engine over `ring`. Allocates the mask tables once
+    /// (`O(|P| + |V|)` words); queries reset them in *O*(1).
+    pub fn new(ring: &'r Ring) -> Self {
+        let ls = ring.l_s();
+        let width = ls.width();
+        let table_len = ls.node_table_len();
+        // Leaf occupancy from the predicate boundary of L_s: a node acts
+        // as a subject iff its subject block is non-empty; internal nodes
+        // OR their children, bottom-up.
+        let mut occ = vec![false; table_len];
+        for s in 0..ring.n_nodes() {
+            let (b, e) = ring.subject_range(s);
+            if e > b {
+                occ[WaveletMatrix::node_index(width, s)] = true;
+            }
+        }
+        for level in (0..width).rev() {
+            for prefix in 0..(1usize << level) {
+                let v = WaveletMatrix::node_index(level, prefix as u64);
+                let l = WaveletMatrix::node_index(level + 1, (prefix as u64) << 1);
+                occ[v] = occ[l] || occ[l + 1];
+            }
+        }
+        Self {
+            lp_masks: EpochArray::new(ring.l_p().node_table_len()),
+            ls_masks: EpochArray::new(table_len),
+            ls_occupancy: occ,
+            ring,
+        }
+    }
+
+    /// The underlying ring.
+    pub fn ring(&self) -> &Ring {
+        self.ring
+    }
+
+    /// Bytes of per-query working memory (the `D` and `B` tables of
+    /// Table 2's working-space accounting).
+    pub fn working_space_bytes(&self) -> usize {
+        self.lp_masks.size_bytes() + self.ls_masks.size_bytes()
+    }
+
+    /// Evaluates a 2RPQ under the given options.
+    pub fn evaluate(
+        &mut self,
+        query: &RpqQuery,
+        opts: &EngineOptions,
+    ) -> Result<QueryOutput, QueryError> {
+        if !self.ring.has_inverses() {
+            return Err(QueryError::InversesRequired);
+        }
+        for t in [query.subject, query.object] {
+            if let Term::Const(c) = t {
+                if c >= self.ring.n_nodes() {
+                    return Err(QueryError::NodeOutOfRange(c));
+                }
+            }
+        }
+        let deadline = opts.timeout.map(|t| Instant::now() + t);
+
+        if opts.fast_paths {
+            if let Shape::Single(_) | Shape::Disjunction(_) | Shape::Concat2(_, _) =
+                fastpath::shape_of(&query.expr)
+            {
+                return fastpath::evaluate(self.ring, query, opts, deadline);
+            }
+        }
+
+        // Expressions beyond the bit-parallel word width evaluate through
+        // the explicit-state fallback (§3.3's m > w regime).
+        if crate::fallback::needs_fallback(&query.expr) {
+            return crate::fallback::evaluate(self.ring, query, opts);
+        }
+
+        let expr = query.expr.fuse_classes();
+        match (query.subject, query.object) {
+            (Term::Var, Term::Const(o)) => {
+                let bp = self.compile(&expr, opts)?;
+                let mut out = QueryOutput::default();
+                self.eval_to_object(&bp, o, None, opts, deadline, &mut out, |s, o| (s, o));
+                Ok(out)
+            }
+            (Term::Const(s), Term::Var) => {
+                // (s, E, y) ≡ (y, Ê, s): traverse backwards from s with the
+                // reversed-and-inverted expression (§4.4).
+                let rev = expr.reversed(&|l| self.ring.inverse_label(l));
+                let bp = self.compile(&rev, opts)?;
+                let mut out = QueryOutput::default();
+                self.eval_to_object(&bp, s, None, opts, deadline, &mut out, |r, s| (s, r));
+                Ok(out)
+            }
+            (Term::Const(s), Term::Const(o)) => {
+                // Existence check: run backwards from whichever endpoint
+                // admits the cheaper first expansion (§5's smallest-
+                // cardinality heuristic applied to the anchored ranges).
+                let bp = self.compile(&expr, opts)?;
+                let rev = expr.reversed(&|l| self.ring.inverse_label(l));
+                let bp_rev = self.compile(&rev, opts)?;
+                let cost_from_o = self.anchored_expansion_cost(&bp, o);
+                let cost_from_s = self.anchored_expansion_cost(&bp_rev, s);
+                let mut out = QueryOutput::default();
+                if cost_from_o <= cost_from_s {
+                    self.eval_to_object(&bp, o, Some(s), opts, deadline, &mut out, |s, o| (s, o));
+                } else {
+                    self.eval_to_object(&bp_rev, s, Some(o), opts, deadline, &mut out, |o, s| {
+                        (s, o)
+                    });
+                }
+                Ok(out)
+            }
+            (Term::Var, Term::Var) => self.eval_var_var(&expr, opts, deadline),
+        }
+    }
+
+    fn compile(&self, expr: &Regex, opts: &EngineOptions) -> Result<BitParallel, QueryError> {
+        let g = Glushkov::new(expr)?;
+        Ok(BitParallel::with_split_width(&g, opts.split_width))
+    }
+
+    /// Evaluates the backward traversal anchored at object `anchor`,
+    /// reporting every node `r` where the initial state activates.
+    /// `pair_of(r, anchor)` shapes each reported pair; `target` turns the
+    /// run into an existence check for `(target, E, anchor)`.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_to_object(
+        &mut self,
+        bp: &BitParallel,
+        anchor: Id,
+        target: Option<Id>,
+        opts: &EngineOptions,
+        deadline: Option<Instant>,
+        out: &mut QueryOutput,
+        pair_of: impl Fn(Id, Id) -> (Id, Id),
+    ) {
+        let limit = opts.limit;
+        let mut stats = TraversalStats::default();
+        let mut truncated = false;
+        let mut done = false;
+        let mut trace = Vec::new();
+        let timed_out = self.backward_traverse(
+            bp,
+            Start::Object(anchor),
+            opts,
+            deadline,
+            &mut stats,
+            opts.collect_trace.then_some(&mut trace),
+            &mut |r| {
+                if let Some(t) = target {
+                    if r == t {
+                        out.pairs.push(pair_of(t, anchor));
+                        done = true;
+                        return false;
+                    }
+                    return true;
+                }
+                out.pairs.push(pair_of(r, anchor));
+                if out.pairs.len() >= limit {
+                    truncated = true;
+                    return false;
+                }
+                true
+            },
+        );
+        let _ = done;
+        out.trace.extend(trace);
+        out.truncated |= truncated;
+        out.timed_out |= timed_out;
+        out.stats.add(&stats);
+    }
+
+    /// The `(x, E, y)` strategy of §4.4: one full-range backward pass finds
+    /// the useful anchors, then one anchored query per anchor. The
+    /// direction (sources-first vs targets-first) follows the §5 heuristic:
+    /// start from the end whose predicates have the smallest cardinality.
+    fn eval_var_var(
+        &mut self,
+        expr: &Regex,
+        opts: &EngineOptions,
+        deadline: Option<Instant>,
+    ) -> Result<QueryOutput, QueryError> {
+        let rev = expr.reversed(&|l| self.ring.inverse_label(l));
+        let bp_e = self.compile(expr, opts)?;
+        let bp_rev = self.compile(&rev, opts)?;
+
+        // First-expansion cost of a backward pass with each expression.
+        let cost_sources_first = self.first_expansion_cost(&bp_e);
+        let cost_targets_first = self.first_expansion_cost(&bp_rev);
+        let sources_first = cost_sources_first <= cost_targets_first;
+
+        let mut out = QueryOutput::default();
+        let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
+
+        // Zero-length paths: every existing node pairs with itself.
+        if bp_e.is_nullable() {
+            for v in 0..self.ring.n_nodes() {
+                if self.node_exists(v) {
+                    pairs.insert((v, v));
+                    if pairs.len() >= opts.limit {
+                        out.truncated = true;
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Pass 1: collect the useful anchors from the full range.
+        let pass_bp = if sources_first { &bp_e } else { &bp_rev };
+        let mut anchors: Vec<Id> = Vec::new();
+        let mut stats = TraversalStats::default();
+        if !out.truncated {
+            let timed_out = self.backward_traverse(
+                pass_bp,
+                Start::Full,
+                opts,
+                deadline,
+                &mut stats,
+                opts.collect_trace.then_some(&mut out.trace),
+                &mut |r| {
+                    anchors.push(r);
+                    true
+                },
+            );
+            out.timed_out |= timed_out;
+        }
+        out.stats.add(&stats);
+
+        // Pass 2: one anchored query per useful node.
+        let per_bp = if sources_first { &bp_rev } else { &bp_e };
+        'outer: for &a in &anchors {
+            if out.timed_out || out.truncated {
+                break;
+            }
+            let mut stats = TraversalStats::default();
+            let mut hit_limit = false;
+            let mut trace = Vec::new();
+            let timed_out = self.backward_traverse(
+                per_bp,
+                Start::Object(a),
+                opts,
+                deadline,
+                &mut stats,
+                opts.collect_trace.then_some(&mut trace),
+                &mut |r| {
+                    // Sources-first: a is a source, r its reachable target.
+                    let pair = if sources_first { (a, r) } else { (r, a) };
+                    pairs.insert(pair);
+                    if pairs.len() >= opts.limit {
+                        hit_limit = true;
+                        return false;
+                    }
+                    true
+                },
+            );
+            out.trace.extend(trace);
+            out.stats.add(&stats);
+            out.timed_out |= timed_out;
+            if hit_limit {
+                out.truncated = true;
+                break 'outer;
+            }
+        }
+
+        out.pairs = pairs.into_iter().collect();
+        Ok(out)
+    }
+
+    /// Σ of cardinalities of the predicates that can fire on the first
+    /// backward expansion (labels whose `B[p]` intersects the accepting
+    /// set).
+    fn first_expansion_cost(&self, bp: &BitParallel) -> u64 {
+        let accept = bp.accept_mask();
+        let mut cost: u64 = 0;
+        for &(label, mask) in bp.positive_label_masks() {
+            if mask & accept != 0 {
+                cost += self.ring.pred_cardinality(label) as u64;
+            }
+        }
+        for (bit, _) in bp.negated_positions() {
+            if bit & accept != 0 {
+                cost += self.ring.n_triples() as u64;
+            }
+        }
+        cost
+    }
+
+    /// First-expansion cost anchored at node `anchor`: edges into the
+    /// anchor whose label can fire on the first backward step.
+    fn anchored_expansion_cost(&self, bp: &BitParallel, anchor: Id) -> u64 {
+        let accept = bp.accept_mask();
+        let range = self.ring.object_range(anchor);
+        let mut cost: u64 = 0;
+        for &(label, mask) in bp.positive_label_masks() {
+            if mask & accept != 0 {
+                let (b, e) = self.ring.backward_step_by_pred(range, label);
+                cost += (e - b) as u64;
+            }
+        }
+        for (bit, _) in bp.negated_positions() {
+            if bit & accept != 0 {
+                cost += (range.1 - range.0) as u64;
+            }
+        }
+        cost
+    }
+
+    fn node_exists(&self, v: Id) -> bool {
+        let (b, e) = self.ring.object_range(v);
+        if e > b {
+            return true;
+        }
+        let (b, e) = self.ring.subject_range(v);
+        e > b
+    }
+
+    /// The backward product-graph traversal (§4, parts one to three).
+    #[allow(clippy::too_many_arguments)]
+    /// Calls `report(r)` for every node where the initial NFA state newly
+    /// activates; a `false` return aborts the traversal. Returns whether
+    /// the deadline was hit.
+    fn backward_traverse(
+        &mut self,
+        bp: &BitParallel,
+        start: Start,
+        opts: &EngineOptions,
+        deadline: Option<Instant>,
+        stats: &mut TraversalStats,
+        mut trace: Option<&mut Vec<(Id, u64)>>,
+        report: &mut dyn FnMut(Id) -> bool,
+    ) -> bool {
+        let ring = self.ring;
+        let lp = ring.l_p();
+        let ls = ring.l_s();
+        let width_p = lp.width();
+        let width_s = ls.width();
+
+        self.lp_masks.reset();
+        self.ls_masks.reset();
+        // Seed B[v] for all wavelet-node ancestors of the query's labels
+        // (lazy initialization, O(m log |P|), §4.1).
+        for &(label, mask) in bp.positive_label_masks() {
+            for level in 0..=width_p {
+                let prefix = label >> (width_p - level);
+                self.lp_masks
+                    .or_with(WaveletMatrix::node_index(level, prefix), mask);
+            }
+        }
+        let neg = bp.negated_positions();
+
+        let mut queue: VecDeque<(usize, usize, u64)> = VecDeque::new();
+        let d0 = bp.accept_mask();
+        if d0 == 0 {
+            return false;
+        }
+        match start {
+            Start::Object(o) => {
+                // Mark F on the start node (§4.2) and report a zero-length
+                // match if the initial state is already accepting.
+                self.ls_masks
+                    .set(WaveletMatrix::node_index(width_s, o), d0);
+                if d0 & INITIAL != 0 && self.node_exists(o) {
+                    stats.reported += 1;
+                    if !report(o) {
+                        return false;
+                    }
+                }
+                let (b, e) = ring.object_range(o);
+                if e > b {
+                    queue.push_back((b, e, d0));
+                }
+            }
+            Start::Full => {
+                let (b, e) = ring.full_range();
+                if e > b {
+                    queue.push_back((b, e, d0));
+                }
+            }
+        }
+
+        let mut preds: Vec<(Label, usize, usize, u64)> = Vec::new();
+        let mut subjects: Vec<(Id, u64)> = Vec::new();
+
+        while let Some((b, e, d)) = queue.pop_front() {
+            stats.bfs_steps += 1;
+            if let Some(dl) = deadline {
+                if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
+                    return true;
+                }
+            }
+
+            // Part one: distinct relevant predicates reaching this range.
+            preds.clear();
+            {
+                let mut guide = PredGuide {
+                    d,
+                    masks: &self.lp_masks,
+                    neg,
+                    width: width_p,
+                    out: &mut preds,
+                    nodes_entered: &mut stats.wavelet_nodes,
+                    last_mask: 0,
+                };
+                lp.guided_traverse(b, e, &mut guide);
+            }
+
+            for &(p, rb, re, d_and_b) in preds.iter() {
+                stats.product_edges += 1;
+                // Eq. 2: the same new state set for every subject (Fact 1).
+                let d_new = bp.apply_bwd(d_and_b);
+                if d_new == 0 {
+                    continue;
+                }
+                let base = ring.pred_range(p).0;
+                let (sb, se) = (base + rb, base + re);
+
+                // Part two: distinct unvisited subjects in the range.
+                subjects.clear();
+                {
+                    let mut guide = SubjGuide {
+                        d_new,
+                        masks: &mut self.ls_masks,
+                        occ: &self.ls_occupancy,
+                        width: width_s,
+                        node_pruning: opts.node_pruning,
+                        out: &mut subjects,
+                        nodes_entered: &mut stats.wavelet_nodes,
+                        pending_fresh: 0,
+                    };
+                    ls.guided_traverse(sb, se, &mut guide);
+                }
+
+                for &(s, fresh) in subjects.iter() {
+                    stats.product_nodes += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push((s, fresh));
+                    }
+                    if fresh & INITIAL != 0 {
+                        stats.reported += 1;
+                        if !report(s) {
+                            return false;
+                        }
+                    }
+                    // Part three: the subject becomes an object again.
+                    let (ob, oe) = ring.object_range(s);
+                    if oe > ob {
+                        queue.push_back((ob, oe, fresh));
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// §4.1: prune `L_p` subtrees whose labels cannot reach an active state.
+struct PredGuide<'a> {
+    d: u64,
+    masks: &'a EpochArray,
+    neg: &'a [(u64, Vec<Label>)],
+    width: usize,
+    out: &'a mut Vec<(Label, usize, usize, u64)>,
+    nodes_entered: &'a mut u64,
+    /// `D & B[v]` of the most recently admitted node; when that node is a
+    /// leaf this is exactly `D & B[p]` for Eq. 2.
+    last_mask: u64,
+}
+
+impl RangeGuide for PredGuide<'_> {
+    fn enter(&mut self, level: usize, prefix: u64) -> bool {
+        *self.nodes_entered += 1;
+        let mut mask = self.masks.get(WaveletMatrix::node_index(level, prefix));
+        if !self.neg.is_empty() {
+            mask |= neg_range_mask(self.neg, level, prefix, self.width);
+        }
+        let active = mask & self.d;
+        if active == 0 {
+            return false;
+        }
+        self.last_mask = active;
+        true
+    }
+
+    fn leaf(&mut self, sym: u64, rank_b: usize, rank_e: usize) {
+        self.out.push((sym, rank_b, rank_e, self.last_mask));
+    }
+}
+
+/// Mask contributed by negated-class positions to the wavelet node
+/// `(level, prefix)` covering labels `[prefix·2^span, (prefix+1)·2^span)`:
+/// the position fires unless the whole interval is excluded.
+fn neg_range_mask(neg: &[(u64, Vec<Label>)], level: usize, prefix: u64, width: usize) -> u64 {
+    let span = width - level;
+    let lo = prefix << span;
+    let len = 1u64 << span;
+    let mut mask = 0;
+    for (bit, excluded) in neg {
+        let from = excluded.partition_point(|&l| l < lo);
+        let to = excluded.partition_point(|&l| l < lo + len);
+        if ((to - from) as u64) < len {
+            mask |= bit;
+        }
+    }
+    mask
+}
+
+/// §4.2: skip subjects (and subtrees) already visited with every active
+/// state. Internal nodes hold the **intersection** of the visited sets of
+/// the occupied leaves below them — the invariant the paper states for
+/// `D[v]` — maintained by upward propagation from each leaf update.
+struct SubjGuide<'a> {
+    d_new: u64,
+    masks: &'a mut EpochArray,
+    occ: &'a [bool],
+    width: usize,
+    node_pruning: bool,
+    out: &'a mut Vec<(Id, u64)>,
+    nodes_entered: &'a mut u64,
+    pending_fresh: u64,
+}
+
+impl RangeGuide for SubjGuide<'_> {
+    fn enter(&mut self, level: usize, prefix: u64) -> bool {
+        *self.nodes_entered += 1;
+        let idx = WaveletMatrix::node_index(level, prefix);
+        if level == self.width {
+            // Leaf: the per-node visited filter D[s] (always on; soundness
+            // and Theorem 4.1 depend on it).
+            let old = self.masks.get(idx);
+            let fresh = self.d_new & !old;
+            if fresh == 0 {
+                return false;
+            }
+            self.masks.set(idx, old | self.d_new);
+            self.pending_fresh = fresh;
+            true
+        } else if self.node_pruning {
+            // Prune when every occupied subject below already carries all
+            // of d_new. Sound because masks[idx] is an intersection lower
+            // bound (default 0 never over-prunes).
+            self.d_new & !self.masks.get(idx) != 0
+        } else {
+            true
+        }
+    }
+
+    fn leaf(&mut self, sym: u64, _rank_b: usize, _rank_e: usize) {
+        self.out.push((sym, self.pending_fresh));
+        if self.node_pruning {
+            // Re-establish the intersection invariant on the leaf-to-root
+            // path; stop as soon as an ancestor's value is unchanged.
+            let mut prefix = sym;
+            for level in (0..self.width).rev() {
+                prefix >>= 1;
+                let left = WaveletMatrix::node_index(level + 1, prefix << 1);
+                let dl = if self.occ[left] {
+                    self.masks.get(left)
+                } else {
+                    u64::MAX
+                };
+                let dr = if self.occ[left + 1] {
+                    self.masks.get(left + 1)
+                } else {
+                    u64::MAX
+                };
+                let v = WaveletMatrix::node_index(level, prefix);
+                let merged = dl & dr;
+                if self.masks.get(v) == merged {
+                    break;
+                }
+                self.masks.set(v, merged);
+            }
+        }
+    }
+}
+
+/// Convenience: evaluate one query with default options.
+pub fn evaluate_query(ring: &Ring, query: &RpqQuery) -> Result<QueryOutput, QueryError> {
+    RpqEngine::new(ring).evaluate(query, &EngineOptions::default())
+}
+
+/// Convenience: evaluate with a timeout.
+pub fn evaluate_with_timeout(
+    ring: &Ring,
+    query: &RpqQuery,
+    timeout: Duration,
+) -> Result<QueryOutput, QueryError> {
+    let opts = EngineOptions {
+        timeout: Some(timeout),
+        ..EngineOptions::default()
+    };
+    RpqEngine::new(ring).evaluate(query, &opts)
+}

@@ -1,0 +1,298 @@
+//! Query-plan introspection: what the engine *would* do for a query,
+//! without running it — the §5/§6 planning decisions (fast paths,
+//! traversal direction, cardinalities, split candidates) made visible.
+
+use automata::{BitParallel, Glushkov};
+use ring::{Id, Ring};
+
+use crate::fastpath::{shape_of, Shape};
+use crate::query::{RpqQuery, Term};
+use crate::split::{best_split, split_candidates};
+use crate::QueryError;
+
+/// The strategy the engine would choose.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// §5 fast path, bypassing the automaton.
+    FastPath(&'static str),
+    /// One backward traversal anchored at the object constant.
+    BackwardFromObject(Id),
+    /// One backward traversal of the reversed expression anchored at the
+    /// subject constant.
+    BackwardFromSubject(Id),
+    /// Constant-to-constant existence check, from the cheaper side.
+    Existence {
+        /// The anchor node the traversal starts from.
+        from: Id,
+        /// Whether the reversed expression is used (start = subject).
+        reversed: bool,
+    },
+    /// §4.4 two-pass strategy for variable-to-variable queries.
+    TwoPass {
+        /// Whether pass 1 collects sources (else targets).
+        sources_first: bool,
+    },
+}
+
+/// An explained query plan.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Table 1 pattern string of the query.
+    pub pattern: String,
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// Glushkov position count (`m`).
+    pub positions: usize,
+    /// Whether the expression accepts the empty word (adds the diagonal).
+    pub nullable: bool,
+    /// Labels the expression mentions, with their edge cardinalities.
+    pub label_cardinalities: Vec<(Id, usize)>,
+    /// Estimated first-expansion cost of the chosen direction.
+    pub first_expansion_cost: u64,
+    /// Rare-label split candidates `(label, cardinality)`, best first.
+    pub split_candidates: Vec<(Id, usize)>,
+}
+
+/// Explains `query` against `ring` (§5 planning heuristics, dry run).
+pub fn explain(ring: &Ring, query: &RpqQuery) -> Result<QueryPlan, QueryError> {
+    if !ring.has_inverses() {
+        return Err(QueryError::InversesRequired);
+    }
+    for t in [query.subject, query.object] {
+        if let Term::Const(c) = t {
+            if c >= ring.n_nodes() {
+                return Err(QueryError::NodeOutOfRange(c));
+            }
+        }
+    }
+    let expr = query.expr.fuse_classes();
+    let g = Glushkov::new(&expr)?;
+    let bp = BitParallel::new(&g);
+    let inv = |l: Id| ring.inverse_label(l);
+    let rev = expr.reversed(&inv);
+    let bp_rev = BitParallel::new(&Glushkov::new(&rev)?);
+
+    let full_cost = |b: &BitParallel| -> u64 {
+        b.positive_label_masks()
+            .iter()
+            .filter(|(_, m)| m & b.accept_mask() != 0)
+            .map(|&(l, _)| ring.pred_cardinality(l) as u64)
+            .sum()
+    };
+
+    let strategy = match (query.subject, query.object) {
+        _ if matches!(
+            shape_of(&query.expr),
+            Shape::Single(_) | Shape::Disjunction(_) | Shape::Concat2(_, _)
+        ) =>
+        {
+            Strategy::FastPath(match shape_of(&query.expr) {
+                Shape::Single(_) => "single-label backward search",
+                Shape::Disjunction(_) => "disjunction of backward searches",
+                Shape::Concat2(_, _) => "wavelet range intersection",
+                Shape::Other => unreachable!(),
+            })
+        }
+        (Term::Var, Term::Const(o)) => Strategy::BackwardFromObject(o),
+        (Term::Const(s), Term::Var) => Strategy::BackwardFromSubject(s),
+        (Term::Const(s), Term::Const(o)) => {
+            // Mirror the engine's anchored-cost comparison.
+            let anchored = |b: &BitParallel, anchor: Id| -> u64 {
+                let range = ring.object_range(anchor);
+                b.positive_label_masks()
+                    .iter()
+                    .filter(|(_, m)| m & b.accept_mask() != 0)
+                    .map(|&(l, _)| {
+                        let (lo, hi) = ring.backward_step_by_pred(range, l);
+                        (hi - lo) as u64
+                    })
+                    .sum()
+            };
+            if anchored(&bp, o) <= anchored(&bp_rev, s) {
+                Strategy::Existence {
+                    from: o,
+                    reversed: false,
+                }
+            } else {
+                Strategy::Existence {
+                    from: s,
+                    reversed: true,
+                }
+            }
+        }
+        (Term::Var, Term::Var) => Strategy::TwoPass {
+            sources_first: full_cost(&bp) <= full_cost(&bp_rev),
+        },
+    };
+
+    let mut label_cardinalities: Vec<(Id, usize)> = expr
+        .mentioned_labels()
+        .into_iter()
+        .filter(|&l| l < ring.n_preds())
+        .map(|l| (l, ring.pred_cardinality(l)))
+        .collect();
+    label_cardinalities.sort_by_key(|&(_, c)| c);
+
+    let mut splits: Vec<(Id, usize)> = split_candidates(&expr)
+        .into_iter()
+        .filter(|s| s.label < ring.n_preds())
+        .map(|s| (s.label, ring.pred_cardinality(s.label)))
+        .collect();
+    splits.sort_by_key(|&(_, c)| c);
+    debug_assert_eq!(
+        splits.first().map(|&(l, _)| l),
+        best_split(ring, &expr).map(|s| s.label)
+    );
+
+    let chosen_cost = match &strategy {
+        Strategy::TwoPass { sources_first } => {
+            if *sources_first {
+                full_cost(&bp)
+            } else {
+                full_cost(&bp_rev)
+            }
+        }
+        _ => full_cost(&bp),
+    };
+
+    Ok(QueryPlan {
+        pattern: pattern_of(query, ring.n_preds_base()),
+        strategy,
+        positions: g.positions(),
+        nullable: g.nullable(),
+        label_cardinalities,
+        first_expansion_cost: chosen_cost,
+        split_candidates: splits,
+    })
+}
+
+fn pattern_of(query: &RpqQuery, _n_base: Id) -> String {
+    let t = |term: Term| match term {
+        Term::Const(_) => "c",
+        Term::Var => "v",
+    };
+    format!("{} {} {}", t(query.subject), query.expr, t(query.object))
+}
+
+impl std::fmt::Display for QueryPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "query:    {}", self.pattern)?;
+        writeln!(
+            f,
+            "automaton: {} positions{}",
+            self.positions,
+            if self.nullable {
+                " (nullable: includes the diagonal)"
+            } else {
+                ""
+            }
+        )?;
+        write!(f, "strategy: ")?;
+        match &self.strategy {
+            Strategy::FastPath(k) => writeln!(f, "fast path — {k}")?,
+            Strategy::BackwardFromObject(o) => {
+                writeln!(f, "backward traversal from object {o}")?
+            }
+            Strategy::BackwardFromSubject(s) => writeln!(
+                f,
+                "backward traversal of the reversed expression from subject {s}"
+            )?,
+            Strategy::Existence { from, reversed } => writeln!(
+                f,
+                "existence check from node {from}{}",
+                if *reversed { " (reversed expression)" } else { "" }
+            )?,
+            Strategy::TwoPass { sources_first } => writeln!(
+                f,
+                "two-pass: full-range pass collects {}, then per-anchor queries",
+                if *sources_first { "sources" } else { "targets" }
+            )?,
+        }
+        writeln!(f, "first-expansion cost estimate: {} edges", self.first_expansion_cost)?;
+        if !self.label_cardinalities.is_empty() {
+            writeln!(f, "label cardinalities (rarest first):")?;
+            for (l, c) in &self.label_cardinalities {
+                writeln!(f, "  label {l}: {c} edges")?;
+            }
+        }
+        if !self.split_candidates.is_empty() {
+            writeln!(
+                f,
+                "rare-label split available at label {} ({} edges)",
+                self.split_candidates[0].0, self.split_candidates[0].1
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring::ring::RingOptions;
+    use ring::{Graph, Triple};
+
+    fn ring() -> Ring {
+        Ring::build(
+            &Graph::from_triples(vec![
+                Triple::new(0, 0, 1),
+                Triple::new(1, 0, 2),
+                Triple::new(2, 1, 3),
+                Triple::new(3, 2, 0),
+            ]),
+            RingOptions::default(),
+        )
+    }
+
+    use automata::Regex;
+
+    fn star(l: u64) -> Regex {
+        Regex::Star(Box::new(Regex::label(l)))
+    }
+
+    #[test]
+    fn fast_path_detected() {
+        let r = ring();
+        let q = RpqQuery::new(Term::Var, Regex::label(0), Term::Var);
+        let plan = explain(&r, &q).unwrap();
+        assert!(matches!(plan.strategy, Strategy::FastPath(_)));
+        assert_eq!(plan.positions, 1);
+        let text = plan.to_string();
+        assert!(text.contains("fast path"), "{text}");
+    }
+
+    #[test]
+    fn direction_choices() {
+        let r = ring();
+        let e = Regex::concat(star(0), Regex::label(1));
+        let plan = explain(&r, &RpqQuery::new(Term::Var, e.clone(), Term::Const(3))).unwrap();
+        assert_eq!(plan.strategy, Strategy::BackwardFromObject(3));
+        let plan = explain(&r, &RpqQuery::new(Term::Const(0), e.clone(), Term::Var)).unwrap();
+        assert_eq!(plan.strategy, Strategy::BackwardFromSubject(0));
+        let plan = explain(&r, &RpqQuery::new(Term::Var, e.clone(), Term::Var)).unwrap();
+        assert!(matches!(plan.strategy, Strategy::TwoPass { .. }));
+        let plan = explain(&r, &RpqQuery::new(Term::Const(0), e, Term::Const(3))).unwrap();
+        assert!(matches!(plan.strategy, Strategy::Existence { .. }));
+    }
+
+    #[test]
+    fn split_candidates_surface_rarest() {
+        let r = ring();
+        // a*/b/c*: b (label 1) is the only split point.
+        let e = Regex::concat(Regex::concat(star(0), Regex::label(1)), star(2));
+        let plan = explain(&r, &RpqQuery::new(Term::Var, e, Term::Var)).unwrap();
+        assert_eq!(plan.split_candidates, vec![(1, 1)]);
+        assert!(!plan.nullable);
+        assert!(plan.to_string().contains("rare-label split available at label 1"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let r = ring();
+        let q = RpqQuery::new(Term::Const(99), Regex::label(0), Term::Var);
+        assert!(matches!(
+            explain(&r, &q),
+            Err(QueryError::NodeOutOfRange(99))
+        ));
+    }
+}

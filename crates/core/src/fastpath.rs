@@ -1,0 +1,306 @@
+//! The §5 fast paths: query patterns `v p v`, `v ^p v`, `v p|q v`,
+//! `v p/q v` (and their anchored variants) evaluated with plain backward
+//! search and wavelet-tree range operations, bypassing the automaton.
+//!
+//! "Such paths can be solved as join queries, with more efficient
+//! algorithms" — the paper concedes these patterns to the competitors'
+//! join machinery; these handlers are the ring's equivalent.
+
+use automata::ast::{Lit, Regex};
+use automata::Label;
+use ring::{Id, Ring};
+use std::time::Instant;
+use succinct::util::FxHashSet;
+
+use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term};
+use crate::QueryError;
+
+/// Recognized specializable expression shapes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Shape {
+    /// A single label (possibly an inverse): `p` or `^p`.
+    Single(Label),
+    /// A union of labels: `p1|p2|…` (also label classes).
+    Disjunction(Vec<Label>),
+    /// A two-step concatenation of single labels: `p1/p2`.
+    Concat2(Label, Label),
+    /// Anything else goes through the general engine.
+    Other,
+}
+
+/// Classifies an expression.
+pub fn shape_of(expr: &Regex) -> Shape {
+    fn disj_labels(e: &Regex, out: &mut Vec<Label>) -> bool {
+        match e {
+            Regex::Literal(Lit::Label(l)) => {
+                out.push(*l);
+                true
+            }
+            Regex::Literal(Lit::Class(ls)) if !ls.is_empty() => {
+                out.extend_from_slice(ls);
+                true
+            }
+            Regex::Alt(a, b) => disj_labels(a, out) && disj_labels(b, out),
+            _ => false,
+        }
+    }
+    match expr {
+        Regex::Literal(Lit::Label(l)) => Shape::Single(*l),
+        Regex::Literal(Lit::Class(ls)) if ls.len() == 1 => Shape::Single(ls[0]),
+        Regex::Literal(Lit::Class(ls)) if !ls.is_empty() => Shape::Disjunction(ls.clone()),
+        Regex::Alt(_, _) => {
+            let mut v = Vec::new();
+            if disj_labels(expr, &mut v) {
+                v.sort_unstable();
+                v.dedup();
+                Shape::Disjunction(v)
+            } else {
+                Shape::Other
+            }
+        }
+        Regex::Concat(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Regex::Literal(Lit::Label(p1)), Regex::Literal(Lit::Label(p2))) => {
+                Shape::Concat2(*p1, *p2)
+            }
+            _ => Shape::Other,
+        },
+        _ => Shape::Other,
+    }
+}
+
+/// Evaluates a query whose expression has a specializable shape.
+pub fn evaluate(
+    ring: &Ring,
+    query: &RpqQuery,
+    opts: &EngineOptions,
+    deadline: Option<Instant>,
+) -> Result<QueryOutput, QueryError> {
+    let mut out = QueryOutput::default();
+    let mut sink = Sink {
+        pairs: FxHashSet::default(),
+        limit: opts.limit,
+        deadline,
+        truncated: false,
+        timed_out: false,
+    };
+    match shape_of(&query.expr) {
+        Shape::Single(p) => single(ring, p, query.subject, query.object, &mut sink),
+        Shape::Disjunction(ps) => {
+            for p in ps {
+                single(ring, p, query.subject, query.object, &mut sink);
+                if sink.full() {
+                    break;
+                }
+            }
+        }
+        Shape::Concat2(p1, p2) => concat2(ring, p1, p2, query.subject, query.object, &mut sink),
+        Shape::Other => unreachable!("fastpath::evaluate called on a general shape"),
+    }
+    out.stats.reported = sink.pairs.len() as u64;
+    out.stats.product_nodes = sink.pairs.len() as u64;
+    out.truncated = sink.truncated;
+    out.timed_out = sink.timed_out;
+    out.pairs = sink.pairs.into_iter().collect();
+    Ok(out)
+}
+
+struct Sink {
+    pairs: FxHashSet<(Id, Id)>,
+    limit: usize,
+    deadline: Option<Instant>,
+    truncated: bool,
+    timed_out: bool,
+}
+
+impl Sink {
+    fn push(&mut self, pair: (Id, Id)) {
+        if self.pairs.len() < self.limit {
+            self.pairs.insert(pair);
+        }
+        if self.pairs.len() >= self.limit {
+            self.truncated = true;
+        }
+    }
+
+    fn full(&mut self) -> bool {
+        if self.truncated {
+            return true;
+        }
+        if let Some(dl) = self.deadline {
+            if self.pairs.len() % 1024 == 1023 && Instant::now() >= dl {
+                self.timed_out = true;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+/// Distinct symbols of a wavelet range of `L_s`, pushed through `f`.
+fn distinct_ls(ring: &Ring, range: (usize, usize), f: &mut impl FnMut(Id)) {
+    ring.l_s().range_distinct(range.0, range.1, &mut |v, _, _| f(v));
+}
+
+/// `(x, p, y)` and its anchored forms, via backward search only (§5):
+/// subjects of `p` come from `L_s[C_p[p]..C_p[p+1])`; objects of a given
+/// subject `s` are the subjects of `p̂` into `s`.
+fn single(ring: &Ring, p: Label, subject: Term, object: Term, sink: &mut Sink) {
+    let pi = ring.inverse_label(p);
+    match (subject, object) {
+        (Term::Const(s), Term::Const(o)) => {
+            let r = ring.backward_step_by_pred(ring.object_range(o), p);
+            if ring.l_s().rank(s, r.1) > ring.l_s().rank(s, r.0) {
+                sink.push((s, o));
+            }
+        }
+        (Term::Var, Term::Const(o)) => {
+            let r = ring.backward_step_by_pred(ring.object_range(o), p);
+            distinct_ls(ring, r, &mut |s| sink.push((s, o)));
+        }
+        (Term::Const(s), Term::Var) => {
+            let r = ring.backward_step_by_pred(ring.object_range(s), pi);
+            distinct_ls(ring, r, &mut |o| sink.push((s, o)));
+        }
+        (Term::Var, Term::Var) => {
+            // All subjects of p, then the objects of each.
+            let mut subjects = Vec::new();
+            distinct_ls(ring, ring.pred_range(p), &mut |s| subjects.push(s));
+            for s in subjects {
+                if sink.full() {
+                    return;
+                }
+                let r = ring.backward_step_by_pred(ring.object_range(s), pi);
+                distinct_ls(ring, r, &mut |o| sink.push((s, o)));
+            }
+        }
+    }
+}
+
+/// `(x, p1/p2, y)` and anchored forms. The variable-to-variable case is
+/// the paper's intersection algorithm: midpoints `z` are the wavelet
+/// intersection of the subjects of `p̂1` (targets of `p1`) and the
+/// subjects of `p2` (sources of `p2`).
+fn concat2(ring: &Ring, p1: Label, p2: Label, subject: Term, object: Term, sink: &mut Sink) {
+    let p1i = ring.inverse_label(p1);
+    let p2i = ring.inverse_label(p2);
+    match (subject, object) {
+        (Term::Var, Term::Var) => {
+            let targets_of_p1 = ring.pred_range(p1i);
+            let sources_of_p2 = ring.pred_range(p2);
+            let mids = ring.l_s().range_intersect(targets_of_p1, sources_of_p2);
+            for (z, _, _) in mids {
+                if sink.full() {
+                    return;
+                }
+                let mut sources = Vec::new();
+                distinct_ls(
+                    ring,
+                    ring.backward_step_by_pred(ring.object_range(z), p1),
+                    &mut |s| sources.push(s),
+                );
+                let mut objects = Vec::new();
+                distinct_ls(
+                    ring,
+                    ring.backward_step_by_pred(ring.object_range(z), p2i),
+                    &mut |o| objects.push(o),
+                );
+                for &s in &sources {
+                    for &o in &objects {
+                        sink.push((s, o));
+                    }
+                }
+            }
+        }
+        (Term::Const(s), Term::Var) => {
+            let mut mids = Vec::new();
+            distinct_ls(
+                ring,
+                ring.backward_step_by_pred(ring.object_range(s), p1i),
+                &mut |z| mids.push(z),
+            );
+            for z in mids {
+                if sink.full() {
+                    return;
+                }
+                distinct_ls(
+                    ring,
+                    ring.backward_step_by_pred(ring.object_range(z), p2i),
+                    &mut |o| sink.push((s, o)),
+                );
+            }
+        }
+        (Term::Var, Term::Const(o)) => {
+            let mut mids = Vec::new();
+            distinct_ls(
+                ring,
+                ring.backward_step_by_pred(ring.object_range(o), p2),
+                &mut |z| mids.push(z),
+            );
+            for z in mids {
+                if sink.full() {
+                    return;
+                }
+                distinct_ls(
+                    ring,
+                    ring.backward_step_by_pred(ring.object_range(z), p1),
+                    &mut |s| sink.push((s, o)),
+                );
+            }
+        }
+        (Term::Const(s), Term::Const(o)) => {
+            let mut mids = Vec::new();
+            distinct_ls(
+                ring,
+                ring.backward_step_by_pred(ring.object_range(s), p1i),
+                &mut |z| mids.push(z),
+            );
+            for z in mids {
+                let r = ring.backward_step_by_pred(ring.object_range(o), p2);
+                if ring.l_s().rank(z, r.1) > ring.l_s().rank(z, r.0) {
+                    sink.push((s, o));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_recognized() {
+        assert_eq!(shape_of(&Regex::label(3)), Shape::Single(3));
+        assert_eq!(
+            shape_of(&Regex::alt(Regex::label(1), Regex::label(2))),
+            Shape::Disjunction(vec![1, 2])
+        );
+        assert_eq!(
+            shape_of(&Regex::concat(Regex::label(1), Regex::label(2))),
+            Shape::Concat2(1, 2)
+        );
+        assert_eq!(
+            shape_of(&Regex::Star(Box::new(Regex::label(1)))),
+            Shape::Other
+        );
+        assert_eq!(
+            shape_of(&Regex::Literal(Lit::Class(vec![4]))),
+            Shape::Single(4)
+        );
+        assert_eq!(
+            shape_of(&Regex::alt(
+                Regex::label(1),
+                Regex::Literal(Lit::NegClass(vec![2]))
+            )),
+            Shape::Other
+        );
+        assert_eq!(
+            shape_of(&Regex::concat(
+                Regex::label(1),
+                Regex::Star(Box::new(Regex::label(2)))
+            )),
+            Shape::Other
+        );
+    }
+}

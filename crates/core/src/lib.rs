@@ -1,0 +1,73 @@
+#![warn(missing_docs)]
+
+//! **Ring-RPQ**: regular path queries on the ring, the primary contribution
+//! of "Time- and Space-Efficient Regular Path Queries on Graphs"
+//! (Arroyuelo, Hogan, Navarro, Rojas-Ledesma; arXiv:2111.04556).
+//!
+//! The engine ([`RpqEngine`]) evaluates 2RPQs `(s, E, o)` directly on the
+//! succinct [`ring::Ring`] index by traversing, backwards, exactly the
+//! subgraph `G'_E` of the product graph that the query induces:
+//!
+//! 1. **Part one** (§4.1): from the `L_p` range of the current object(s),
+//!    a B-masked wavelet-matrix traversal finds every distinct predicate
+//!    that (a) reaches the object and (b) leads to an active NFA state —
+//!    `D & B[v] ≠ 0` prunes whole subtrees, so no time is spent on
+//!    irrelevant labels (Fact 1).
+//! 2. **Part two** (§4.2): each surviving predicate's backward-search range
+//!    of `L_s` is traversed with a visited-mask filter, yielding every
+//!    subject that contributes *new* NFA states; the bit-parallel reverse
+//!    step `D ← T'[D & B[p]]` (Eq. 2) applies to all of them at once.
+//! 3. **Part three** (§4.3): each fresh subject is re-interpreted as an
+//!    object via `C_o`, and the BFS continues; subjects whose state set
+//!    contains the initial state are reported as answers.
+//!
+//! All four query shapes of §4.4 are supported, with the §5 fast paths for
+//! short patterns and the smallest-cardinality planning heuristic.
+//!
+//! Modules: [`query`] (query types, options, outputs, statistics),
+//! [`engine`] (the traversal), [`fastpath`] (§5 specializations),
+//! [`oracle`] (a naive reference evaluator for differential testing).
+
+pub mod engine;
+pub mod explain;
+pub mod fallback;
+pub mod fastpath;
+pub mod oracle;
+pub mod parallel;
+pub mod query;
+pub mod split;
+pub mod stats;
+
+pub use engine::RpqEngine;
+pub use query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
+
+/// Errors from query evaluation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// The regular expression could not be compiled.
+    Automaton(automata::AutomatonError),
+    /// A constant term is outside the graph's node universe.
+    NodeOutOfRange(ring::Id),
+    /// The query needs inverse edges but the ring was built without them.
+    InversesRequired,
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Automaton(e) => write!(f, "automaton construction failed: {e}"),
+            QueryError::NodeOutOfRange(id) => write!(f, "node id {id} out of range"),
+            QueryError::InversesRequired => {
+                write!(f, "query requires a ring built with inverse edges")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<automata::AutomatonError> for QueryError {
+    fn from(e: automata::AutomatonError) -> Self {
+        QueryError::Automaton(e)
+    }
+}

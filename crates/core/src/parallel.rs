@@ -1,0 +1,147 @@
+//! Batch evaluation across threads.
+//!
+//! The ring is immutable after construction, so any number of engines can
+//! read it concurrently — each worker thread gets its own [`RpqEngine`]
+//! (the per-query mask tables are the only mutable state). This is the
+//! intra-machine counterpart of the parallel/distributed RPQ frameworks
+//! §2 surveys, and what a server embedding the ring would do per client.
+
+use ring::Ring;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::engine::RpqEngine;
+use crate::query::{EngineOptions, QueryOutput, RpqQuery};
+use crate::QueryError;
+
+/// Evaluates `queries` over `ring` using `n_threads` workers, returning
+/// one result per query in input order.
+///
+/// Work is distributed dynamically (an atomic cursor), so skewed query
+/// costs — the norm in RPQ logs — balance across workers.
+///
+/// # Panics
+/// Panics if `n_threads == 0`.
+pub fn evaluate_batch(
+    ring: &Ring,
+    queries: &[RpqQuery],
+    opts: &EngineOptions,
+    n_threads: usize,
+) -> Vec<Result<QueryOutput, QueryError>> {
+    assert!(n_threads > 0, "need at least one worker");
+    let n = queries.len();
+    let mut results: Vec<Result<QueryOutput, QueryError>> =
+        (0..n).map(|_| Ok(QueryOutput::default())).collect();
+    if n == 0 {
+        return results;
+    }
+    let cursor = AtomicUsize::new(0);
+    // Hand each worker a disjoint view of the results via raw chunking:
+    // collect (index, result) pairs per worker instead, then scatter.
+    let workers = n_threads.min(n);
+    let mut per_worker: Vec<Vec<(usize, Result<QueryOutput, QueryError>)>> =
+        (0..workers).map(|_| Vec::new()).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut engine = RpqEngine::new(ring);
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, engine.evaluate(&queries[i], opts)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        for (slot, h) in per_worker.iter_mut().zip(handles) {
+            *slot = h.join().expect("worker panicked");
+        }
+    });
+    for batch in per_worker {
+        for (i, r) in batch {
+            results[i] = r;
+        }
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Term;
+    use automata::Regex;
+    use ring::ring::RingOptions;
+    use ring::{Graph, Triple};
+
+    fn ring() -> Ring {
+        let triples = (0..200u64)
+            .map(|i| Triple::new(i % 40, i % 3, (i * 7 + 1) % 40))
+            .collect();
+        Ring::build(&Graph::from_triples(triples), RingOptions::default())
+    }
+
+    fn queries() -> Vec<RpqQuery> {
+        let mut qs = Vec::new();
+        for p in 0..3u64 {
+            for anchor in 0..10u64 {
+                qs.push(RpqQuery::new(
+                    Term::Const(anchor),
+                    Regex::Plus(Box::new(Regex::label(p))),
+                    Term::Var,
+                ));
+                qs.push(RpqQuery::new(
+                    Term::Var,
+                    Regex::concat(Regex::label(p), Regex::Star(Box::new(Regex::label(2 - p)))),
+                    Term::Const(anchor),
+                ));
+            }
+        }
+        qs
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let r = ring();
+        let qs = queries();
+        let opts = EngineOptions::default();
+        let mut engine = RpqEngine::new(&r);
+        let sequential: Vec<_> = qs
+            .iter()
+            .map(|q| engine.evaluate(q, &opts).unwrap().sorted_pairs())
+            .collect();
+        for threads in [1, 2, 4, 7] {
+            let parallel = evaluate_batch(&r, &qs, &opts, threads);
+            assert_eq!(parallel.len(), qs.len());
+            for (i, res) in parallel.into_iter().enumerate() {
+                assert_eq!(
+                    res.unwrap().sorted_pairs(),
+                    sequential[i],
+                    "query {i} with {threads} threads"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_errors_propagate() {
+        let r = ring();
+        let opts = EngineOptions::default();
+        assert!(evaluate_batch(&r, &[], &opts, 4).is_empty());
+        // Bad query keeps its slot.
+        let qs = vec![
+            RpqQuery::new(Term::Const(0), Regex::label(0), Term::Var),
+            RpqQuery::new(Term::Const(9999), Regex::label(0), Term::Var),
+        ];
+        let res = evaluate_batch(&r, &qs, &opts, 2);
+        assert!(res[0].is_ok());
+        assert!(matches!(
+            res[1],
+            Err(crate::QueryError::NodeOutOfRange(9999))
+        ));
+    }
+}

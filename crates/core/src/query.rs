@@ -1,0 +1,183 @@
+//! Query types, evaluation options, outputs and statistics.
+
+use automata::Regex;
+use ring::Id;
+use std::time::Duration;
+
+/// A query endpoint: a fixed node or a variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Term {
+    /// A constant node id.
+    Const(Id),
+    /// A variable (anonymous: RPQs have at most two, one per endpoint).
+    Var,
+}
+
+impl Term {
+    /// The constant, if any.
+    pub fn as_const(&self) -> Option<Id> {
+        match self {
+            Term::Const(c) => Some(*c),
+            Term::Var => None,
+        }
+    }
+}
+
+/// A 2RPQ `(s, E, o)` (§3.1): find pairs of nodes connected by a path whose
+/// label word matches `E` over the completed alphabet `Σ↔`.
+#[derive(Clone, Debug)]
+pub struct RpqQuery {
+    /// Subject endpoint.
+    pub subject: Term,
+    /// The path expression.
+    pub expr: Regex,
+    /// Object endpoint.
+    pub object: Term,
+}
+
+impl RpqQuery {
+    /// Convenience constructor.
+    pub fn new(subject: Term, expr: Regex, object: Term) -> Self {
+        Self {
+            subject,
+            expr,
+            object,
+        }
+    }
+
+    /// The paper's pattern taxonomy key (§5, Table 1): `c`/`v` for each
+    /// endpoint, e.g. `(Const, p+, Var)` is a "c-to-v" query.
+    pub fn is_const_to_var(&self) -> bool {
+        matches!(
+            (self.subject, self.object),
+            (Term::Const(_), Term::Var) | (Term::Var, Term::Const(_))
+        )
+    }
+
+    /// Whether both endpoints are variables ("v-to-v", 15.3% of the
+    /// paper's log).
+    pub fn is_var_to_var(&self) -> bool {
+        matches!((self.subject, self.object), (Term::Var, Term::Var))
+    }
+}
+
+/// Evaluation options (defaults follow §5: set semantics, 1 M result
+/// limit, 60 s timeout — scaled down by the bench harness).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOptions {
+    /// Stop after this many result pairs (the paper uses 10^6).
+    pub limit: usize,
+    /// Give up after this much wall-clock time (the paper uses 60 s).
+    pub timeout: Option<Duration>,
+    /// Use the §5 fast paths for single-predicate, disjunction and
+    /// two-step concatenation patterns.
+    pub fast_paths: bool,
+    /// Apply the §4.2 pruning masks `D[v]` at *internal* wavelet nodes of
+    /// `L_s`, maintained as the **intersection** of the visited sets below
+    /// each node (the invariant the paper states). The update rule printed
+    /// in the paper (`D[v] ← D | D[v]`) would violate that invariant and
+    /// over-prunes — our differential tests demonstrate lost answers on the
+    /// paper's own Fig. 6 trace — so we propagate leaf updates upward
+    /// instead, treating subject-free subtrees as saturated. The leaf-level
+    /// filter `D[s]`, which termination and Theorem 4.1 rely on, is always
+    /// on. See DESIGN.md "Deviations".
+    pub node_pruning: bool,
+    /// Vertical split width `d` of the bit-parallel transition tables.
+    pub split_width: usize,
+    /// Record every product-graph visit `(node, fresh state mask)` into
+    /// [`QueryOutput::trace`] — the information Fig. 6 tabulates. Costs
+    /// one push per visit; off by default.
+    pub collect_trace: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            limit: 1_000_000,
+            timeout: None,
+            fast_paths: true,
+            node_pruning: true,
+            split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
+            collect_trace: false,
+        }
+    }
+}
+
+/// Traversal statistics: the quantities Theorem 4.1 charges costs to.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Product-graph node visits `(s, D_fresh)` — each adds at least one
+    /// new NFA state to a graph node.
+    pub product_nodes: u64,
+    /// Product-graph edge batches: (object-range, predicate) expansions.
+    pub product_edges: u64,
+    /// Wavelet-matrix nodes entered across all guided traversals.
+    pub wavelet_nodes: u64,
+    /// BFS steps (queue pops).
+    pub bfs_steps: u64,
+    /// Answers reported before deduplication.
+    pub reported: u64,
+}
+
+impl TraversalStats {
+    pub(crate) fn add(&mut self, other: &TraversalStats) {
+        self.product_nodes += other.product_nodes;
+        self.product_edges += other.product_edges;
+        self.wavelet_nodes += other.wavelet_nodes;
+        self.bfs_steps += other.bfs_steps;
+        self.reported += other.reported;
+    }
+}
+
+/// The result of evaluating a query.
+#[derive(Clone, Debug, Default)]
+pub struct QueryOutput {
+    /// Distinct `(subject, object)` pairs (set semantics). For fully
+    /// constant queries a single empty-domain match is encoded as the one
+    /// pair of the two constants.
+    pub pairs: Vec<(Id, Id)>,
+    /// The result limit was hit.
+    pub truncated: bool,
+    /// The timeout was hit.
+    pub timed_out: bool,
+    /// Traversal statistics.
+    pub stats: TraversalStats,
+    /// Product-graph visits `(node, fresh states)` in BFS order, when
+    /// [`EngineOptions::collect_trace`] is on.
+    pub trace: Vec<(Id, u64)>,
+}
+
+impl QueryOutput {
+    /// Sorted copy of the pairs (for stable comparisons in tests).
+    pub fn sorted_pairs(&self) -> Vec<(Id, Id)> {
+        let mut v = self.pairs.clone();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_classification() {
+        let e = Regex::label(0);
+        let q = RpqQuery::new(Term::Const(1), e.clone(), Term::Var);
+        assert!(q.is_const_to_var());
+        assert!(!q.is_var_to_var());
+        let q = RpqQuery::new(Term::Var, e.clone(), Term::Var);
+        assert!(q.is_var_to_var());
+        let q = RpqQuery::new(Term::Const(0), e, Term::Const(1));
+        assert!(!q.is_const_to_var());
+        assert!(!q.is_var_to_var());
+    }
+
+    #[test]
+    fn default_options_match_paper() {
+        let o = EngineOptions::default();
+        assert_eq!(o.limit, 1_000_000);
+        assert!(o.fast_paths);
+        assert!(o.node_pruning);
+    }
+}

@@ -1,0 +1,242 @@
+//! Rare-label splitting: evaluate `E1/p/E2` from the `p`-edges outward.
+//!
+//! §2 describes the strategy (Koschmieder & Leser \[30\]): when a
+//! concatenation contains a label `p` with few edges, every matching path
+//! must cross one of them, so enumerate the `p`-edges `(u, p, v)` and
+//! complete each side — sources matching `E1` into `u` (a backward run)
+//! and targets matching `E2` out of `v` (a backward run of `Ê2`). §6
+//! notes the ring "permit[s] running the NFA forwards or backwards from
+//! those labels"; this module is that future-work exploration.
+
+use automata::Regex;
+use ring::{Id, Ring};
+use std::time::Instant;
+use succinct::util::{FxHashMap, FxHashSet};
+
+use crate::engine::RpqEngine;
+use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term};
+use crate::QueryError;
+
+/// A split of a top-level concatenation `E = prefix / label / suffix`
+/// (either side may be `ε`).
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// The part before the split label.
+    pub prefix: Regex,
+    /// The split label (a plain literal).
+    pub label: Id,
+    /// The part after the split label.
+    pub suffix: Regex,
+}
+
+/// All ways to split `expr` at a top-level plain-label factor.
+pub fn split_candidates(expr: &Regex) -> Vec<Split> {
+    fn flatten<'e>(e: &'e Regex, out: &mut Vec<&'e Regex>) {
+        match e {
+            Regex::Concat(a, b) => {
+                flatten(a, out);
+                flatten(b, out);
+            }
+            _ => out.push(e),
+        }
+    }
+    fn reassemble(parts: &[&Regex]) -> Regex {
+        parts
+            .iter()
+            .cloned()
+            .cloned()
+            .reduce(Regex::concat)
+            .unwrap_or(Regex::Epsilon)
+    }
+    let mut factors = Vec::new();
+    flatten(expr, &mut factors);
+    let mut out = Vec::new();
+    for (i, f) in factors.iter().enumerate() {
+        if let Regex::Literal(automata::ast::Lit::Label(p)) = f {
+            out.push(Split {
+                prefix: reassemble(&factors[..i]),
+                label: *p,
+                suffix: reassemble(&factors[i + 1..]),
+            });
+        }
+    }
+    out
+}
+
+/// Picks the candidate whose label has the smallest cardinality.
+pub fn best_split(ring: &Ring, expr: &Regex) -> Option<Split> {
+    split_candidates(expr)
+        .into_iter()
+        .filter(|s| s.label < ring.n_preds())
+        .min_by_key(|s| ring.pred_cardinality(s.label))
+}
+
+/// Evaluates the variable-to-variable query `(x, prefix/label/suffix, y)`
+/// by enumerating the label's edges and completing both sides, caching
+/// per-endpoint sub-results.
+///
+/// Produces exactly the default engine's answer set when neither run hits
+/// the result limit; under truncation the two strategies keep different
+/// (equally valid) prefixes of the answer set.
+pub fn evaluate_split(
+    ring: &Ring,
+    split: &Split,
+    opts: &EngineOptions,
+) -> Result<QueryOutput, QueryError> {
+    let mut engine = RpqEngine::new(ring);
+    let deadline = opts.timeout.map(|t| Instant::now() + t);
+    let mut out = QueryOutput::default();
+    let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
+    let mut sources_cache: FxHashMap<Id, Vec<Id>> = FxHashMap::default();
+    let mut targets_cache: FxHashMap<Id, Vec<Id>> = FxHashMap::default();
+    let prefix_is_eps = matches!(split.prefix, Regex::Epsilon);
+    let suffix_is_eps = matches!(split.suffix, Regex::Epsilon);
+
+    // Enumerate the split label's edges (u, p, v).
+    let (b, e) = ring.pred_range(split.label);
+    let mut subjects: Vec<Id> = Vec::new();
+    ring.l_s().range_distinct(b, e, &mut |u, _, _| subjects.push(u));
+
+    'outer: for u in subjects {
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                out.timed_out = true;
+                break;
+            }
+        }
+        // Sources reaching u through the prefix.
+        if let std::collections::hash_map::Entry::Vacant(e) = sources_cache.entry(u) {
+            let srcs = if prefix_is_eps {
+                vec![u]
+            } else {
+                let q = RpqQuery::new(Term::Var, split.prefix.clone(), Term::Const(u));
+                let sub = engine.evaluate(&q, opts)?;
+                out.stats.add(&sub.stats);
+                out.timed_out |= sub.timed_out;
+                sub.pairs.into_iter().map(|(s, _)| s).collect()
+            };
+            e.insert(srcs);
+        }
+        if sources_cache[&u].is_empty() {
+            continue;
+        }
+
+        // Objects v of (u, p, v): narrow the label's L_s block to u's
+        // occurrences; the backward step lands on their objects in L_o.
+        let vr = ring.backward_step_by_subject(ring.pred_range(split.label), u);
+        let mut objects: Vec<Id> = Vec::new();
+        ring.l_o().range_distinct(vr.0, vr.1, &mut |v, _, _| objects.push(v));
+
+        for v in objects {
+            if let std::collections::hash_map::Entry::Vacant(e) = targets_cache.entry(v) {
+                let tgts = if suffix_is_eps {
+                    vec![v]
+                } else {
+                    let q = RpqQuery::new(Term::Const(v), split.suffix.clone(), Term::Var);
+                    let sub = engine.evaluate(&q, opts)?;
+                    out.stats.add(&sub.stats);
+                    out.timed_out |= sub.timed_out;
+                    sub.pairs.into_iter().map(|(_, o)| o).collect()
+                };
+                e.insert(tgts);
+            }
+            for &s in &sources_cache[&u] {
+                for &o in &targets_cache[&v] {
+                    pairs.insert((s, o));
+                    if pairs.len() >= opts.limit {
+                        out.truncated = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    out.pairs = pairs.into_iter().collect();
+    out.stats.reported = out.pairs.len() as u64;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::evaluate_naive;
+    use ring::ring::RingOptions;
+    use ring::{Graph, Triple};
+
+    fn graph() -> Graph {
+        Graph::from_triples(vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 3), // the rare b edge
+            Triple::new(3, 2, 4),
+            Triple::new(4, 2, 5),
+            Triple::new(5, 2, 3),
+            Triple::new(0, 0, 0),
+        ])
+    }
+
+    fn star(l: u64) -> Regex {
+        Regex::Star(Box::new(Regex::label(l)))
+    }
+
+    #[test]
+    fn candidates_enumerate_plain_factors() {
+        // a*/b/c* has exactly one plain-label factor: b.
+        let e = Regex::concat(Regex::concat(star(0), Regex::label(1)), star(2));
+        let cands = split_candidates(&e);
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].label, 1);
+        assert_eq!(cands[0].prefix, star(0));
+        assert_eq!(cands[0].suffix, star(2));
+        // b alone splits into (ε, b, ε).
+        let cands = split_candidates(&Regex::label(1));
+        assert_eq!(cands.len(), 1);
+        assert!(matches!(cands[0].prefix, Regex::Epsilon));
+        assert!(matches!(cands[0].suffix, Regex::Epsilon));
+        // A pure star has no split point.
+        assert!(split_candidates(&star(0)).is_empty());
+    }
+
+    #[test]
+    fn best_split_picks_rarest() {
+        let ring = Ring::build(&graph(), RingOptions::default());
+        // a/b/c: b has 1 edge, a has 3, c has 3.
+        let e = Regex::concat(
+            Regex::concat(Regex::label(0), Regex::label(1)),
+            Regex::label(2),
+        );
+        let best = best_split(&ring, &e).unwrap();
+        assert_eq!(best.label, 1);
+    }
+
+    #[test]
+    fn split_evaluation_matches_engine() {
+        let g = graph();
+        let ring = Ring::build(&g, RingOptions::default());
+        let opts = EngineOptions::default();
+        // a*/b/c* — the canonical rare-label query from §2.
+        let e = Regex::concat(Regex::concat(star(0), Regex::label(1)), star(2));
+        let split = best_split(&ring, &e).unwrap();
+        let got = evaluate_split(&ring, &split, &opts).unwrap();
+        let expected = evaluate_naive(&g, &RpqQuery::new(Term::Var, e, Term::Var));
+        assert_eq!(got.sorted_pairs(), expected);
+        assert!(!expected.is_empty());
+    }
+
+    #[test]
+    fn split_with_inverse_sides_matches() {
+        let g = graph();
+        let ring = Ring::build(&g, RingOptions::default());
+        let opts = EngineOptions::default();
+        // ^a*/b/(c|^c)* exercises inverse labels on both sides.
+        let e = Regex::concat(
+            Regex::concat(star(3), Regex::label(1)),
+            Regex::Star(Box::new(Regex::alt(Regex::label(2), Regex::label(5)))),
+        );
+        let split = best_split(&ring, &e).unwrap();
+        assert_eq!(split.label, 1);
+        let got = evaluate_split(&ring, &split, &opts).unwrap();
+        let expected = evaluate_naive(&g, &RpqQuery::new(Term::Var, e, Term::Var));
+        assert_eq!(got.sorted_pairs(), expected);
+    }
+}

@@ -1,0 +1,146 @@
+//! On-the-fly selectivity statistics from the ring's wavelet matrices —
+//! the §6 observation that "the wavelet tree offers powerful operations
+//! that provide on-the-fly selectivity statistics, which can be used for
+//! even more sophisticated query planning".
+
+use automata::Regex;
+use ring::{Id, Ring};
+
+/// Statistics provider over a ring.
+pub struct RingStatistics<'r> {
+    ring: &'r Ring,
+}
+
+impl<'r> RingStatistics<'r> {
+    /// Creates the provider.
+    pub fn new(ring: &'r Ring) -> Self {
+        Self { ring }
+    }
+
+    /// Number of edges labeled `p`.
+    pub fn pred_cardinality(&self, p: Id) -> usize {
+        self.ring.pred_cardinality(p)
+    }
+
+    /// In-degree of `o` (edges of any label arriving at `o`).
+    pub fn in_degree(&self, o: Id) -> usize {
+        let (b, e) = self.ring.object_range(o);
+        e - b
+    }
+
+    /// Out-degree of `s`.
+    pub fn out_degree(&self, s: Id) -> usize {
+        let (b, e) = self.ring.subject_range(s);
+        e - b
+    }
+
+    /// Number of **distinct** labels on edges arriving at `o`, in
+    /// *O*(log |P|) per distinct label (§6's first example statistic).
+    pub fn distinct_preds_into(&self, o: Id) -> usize {
+        let (b, e) = self.ring.object_range(o);
+        self.ring.l_p().count_distinct(b, e)
+    }
+
+    /// Number of **distinct** source nodes of edges labeled `p` (§6's
+    /// second example statistic).
+    pub fn distinct_subjects_of(&self, p: Id) -> usize {
+        let (b, e) = self.ring.pred_range(p);
+        self.ring.l_s().count_distinct(b, e)
+    }
+
+    /// Number of edges labeled `p` arriving at `o` without enumerating
+    /// them (a backward-search step is just two ranks).
+    pub fn edges_into(&self, p: Id, o: Id) -> usize {
+        let (b, e) = self.ring.backward_step_by_pred(self.ring.object_range(o), p);
+        e - b
+    }
+
+    /// Number of edges whose subject lies in the id interval
+    /// `[s_lo, s_hi)` among edges labeled `p` — a 2-D count via
+    /// [`succinct::WaveletMatrix::range_count_within`].
+    pub fn edges_of_pred_from_subject_range(&self, p: Id, s_lo: Id, s_hi: Id) -> usize {
+        let (b, e) = self.ring.pred_range(p);
+        self.ring.l_s().range_count_within(b, e, s_lo, s_hi)
+    }
+
+    /// The rarest plain label mentioned by `expr`, with its cardinality —
+    /// the split point the rare-label strategy wants (§2, \[30\]).
+    pub fn rarest_label(&self, expr: &Regex) -> Option<(Id, usize)> {
+        expr.mentioned_labels()
+            .into_iter()
+            .filter(|&l| l < self.ring.n_preds())
+            .map(|l| (l, self.pred_cardinality(l)))
+            .min_by_key(|&(_, c)| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring::ring::RingOptions;
+    use ring::{Graph, Triple};
+
+    fn ring() -> Ring {
+        // 0 -a-> 1, 0 -a-> 2, 1 -b-> 2, 2 -b-> 2, 3 -c-> 2
+        let g = Graph::from_triples(vec![
+            Triple::new(0, 0, 1),
+            Triple::new(0, 0, 2),
+            Triple::new(1, 1, 2),
+            Triple::new(2, 1, 2),
+            Triple::new(3, 2, 2),
+        ]);
+        Ring::build(&g, RingOptions::default())
+    }
+
+    #[test]
+    fn cardinalities_and_degrees() {
+        let r = ring();
+        let s = RingStatistics::new(&r);
+        assert_eq!(s.pred_cardinality(0), 2);
+        assert_eq!(s.pred_cardinality(1), 2);
+        assert_eq!(s.pred_cardinality(2), 1);
+        // Node 2: incoming a, b, b, c plus inverse edges of its out-edge
+        // (2 -b-> 2 contributes ^b into 2 as well).
+        assert_eq!(s.out_degree(0), 2);
+        assert_eq!(s.in_degree(1), 1 + 1); // a from 0, ^b from 2? no: 1 -b-> 2 gives ^b into 1.
+    }
+
+    #[test]
+    fn distinct_statistics() {
+        let r = ring();
+        let s = RingStatistics::new(&r);
+        // Labels into node 2: a, b (twice), c, and ^b (from 2 -b-> 2).
+        assert_eq!(s.distinct_preds_into(2), 4);
+        // Distinct subjects of b: nodes 1 and 2.
+        assert_eq!(s.distinct_subjects_of(1), 2);
+        assert_eq!(s.edges_into(1, 2), 2);
+        assert_eq!(s.edges_into(0, 1), 1);
+        assert_eq!(s.edges_into(2, 1), 0);
+    }
+
+    #[test]
+    fn subject_range_counts() {
+        let r = ring();
+        let s = RingStatistics::new(&r);
+        // Edges labeled a with subject in [0, 1): both a-edges start at 0.
+        assert_eq!(s.edges_of_pred_from_subject_range(0, 0, 1), 2);
+        assert_eq!(s.edges_of_pred_from_subject_range(0, 1, 4), 0);
+        assert_eq!(s.edges_of_pred_from_subject_range(1, 0, 4), 2);
+    }
+
+    #[test]
+    fn rarest_label_detection() {
+        let r = ring();
+        let s = RingStatistics::new(&r);
+        // a*/c/b*: c is rarest (1 edge).
+        let e = Regex::concat(
+            Regex::concat(
+                Regex::Star(Box::new(Regex::label(0))),
+                Regex::label(2),
+            ),
+            Regex::Star(Box::new(Regex::label(1))),
+        );
+        assert_eq!(s.rarest_label(&e), Some((2, 1)));
+        assert_eq!(s.rarest_label(&Regex::Epsilon), None);
+    }
+}

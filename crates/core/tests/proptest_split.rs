@@ -1,0 +1,81 @@
+//! The rare-label split strategy must compute exactly the same answer set
+//! as the default engine on arbitrary `E1/p/E2` expressions.
+
+use automata::Regex;
+use proptest::prelude::*;
+use ring::ring::RingOptions;
+use ring::{Graph, Ring, Triple};
+use rpq_core::split::{best_split, evaluate_split, split_candidates};
+use rpq_core::{EngineOptions, RpqEngine, RpqQuery, Term};
+
+const N_NODES: u64 = 8;
+const N_PREDS: u64 = 3;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    prop::collection::vec((0..N_NODES, 0..N_PREDS, 0..N_NODES), 1..40).prop_map(|raw| {
+        Graph::new(
+            raw.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect(),
+            N_NODES,
+            N_PREDS,
+        )
+    })
+}
+
+/// Side expressions: closures/alternations over the completed alphabet.
+fn arb_side() -> impl Strategy<Value = Regex> {
+    let leaf = (0u64..2 * N_PREDS).prop_map(Regex::label);
+    leaf.prop_recursive(2, 6, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::alt(a, b)),
+            inner.clone().prop_map(|a| Regex::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Regex::Plus(Box::new(a))),
+            inner.prop_map(|a| Regex::Opt(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn split_equals_engine(
+        g in arb_graph(),
+        prefix in arb_side(),
+        label in 0..N_PREDS,
+        suffix in arb_side(),
+        use_eps_prefix in any::<bool>(),
+        use_eps_suffix in any::<bool>(),
+    ) {
+        let prefix = if use_eps_prefix { Regex::Epsilon } else { prefix };
+        let suffix = if use_eps_suffix { Regex::Epsilon } else { suffix };
+        let full = Regex::concat(Regex::concat(prefix.clone(), Regex::label(label)), suffix.clone());
+        let ring = Ring::build(&g, RingOptions::default());
+        let opts = EngineOptions::default();
+
+        let split = best_split(&ring, &full).expect("a concat with a literal must split");
+        let via_split = evaluate_split(&ring, &split, &opts).unwrap();
+        let direct = RpqEngine::new(&ring)
+            .evaluate(&RpqQuery::new(Term::Var, full.clone(), Term::Var), &opts)
+            .unwrap();
+        prop_assert_eq!(
+            via_split.sorted_pairs(),
+            direct.sorted_pairs(),
+            "split {:?} on {}", split.label, full
+        );
+    }
+
+    #[test]
+    fn candidates_cover_every_literal_factor(
+        parts in prop::collection::vec(
+            prop_oneof![
+                (0u64..N_PREDS).prop_map(Regex::label),
+                (0u64..N_PREDS).prop_map(|l| Regex::Star(Box::new(Regex::label(l)))),
+            ],
+            1..6,
+        )
+    ) {
+        let expr = parts.clone().into_iter().reduce(Regex::concat).unwrap();
+        let expected = parts.iter().filter(|p| matches!(p, Regex::Literal(_))).count();
+        prop_assert_eq!(split_candidates(&expr).len(), expected);
+    }
+}

@@ -1,0 +1,183 @@
+//! The boundary arrays `C_x` of the ring.
+//!
+//! `C[c]` counts the triples whose relevant component is strictly smaller
+//! than `c`; `[C[c], C[c+1])` is then the block of symbol `c` in the
+//! corresponding column. Two representations, as in §5 of the paper: a
+//! dense word array (used for the small predicate alphabet; "C_p is
+//! represented as a simple array") and a succinct unary-coded bit vector
+//! with select (used for the large node alphabet; "C_o is represented
+//! using a plain bitvector").
+
+use succinct::{BitVec, EliasFano, RankSelect, SpaceUsage};
+
+use crate::Id;
+
+/// A monotone boundary sequence over symbols `0..=universe`.
+#[derive(Clone, Debug)]
+pub enum Boundaries {
+    /// `counts[c] = C[c]`, with `counts.len() = universe + 1`.
+    Dense(Vec<u64>),
+    /// Unary encoding: for each symbol, a `1` followed by one `0` per
+    /// occurrence; `C[c] = select1(c) - c`.
+    Sparse {
+        /// The unary bit vector of length `n + universe`.
+        bits: RankSelect,
+        /// Number of symbols (blocks).
+        universe: u64,
+        /// Total number of occurrences.
+        n: usize,
+    },
+    /// Elias–Fano encoding of the cumulative counts — the most compact
+    /// option for large, duplicate-heavy boundary arrays.
+    EliasFano(EliasFano),
+}
+
+impl Boundaries {
+    /// Builds the dense representation from per-symbol occurrence counts.
+    pub fn dense_from_counts(counts_per_symbol: &[u64]) -> Self {
+        let mut acc = 0u64;
+        let mut c = Vec::with_capacity(counts_per_symbol.len() + 1);
+        c.push(0);
+        for &k in counts_per_symbol {
+            acc += k;
+            c.push(acc);
+        }
+        Boundaries::Dense(c)
+    }
+
+    /// Builds the Elias–Fano representation from per-symbol occurrence
+    /// counts.
+    pub fn elias_fano_from_counts(counts_per_symbol: &[u64]) -> Self {
+        let mut acc = 0u64;
+        let mut cum = Vec::with_capacity(counts_per_symbol.len() + 1);
+        cum.push(0);
+        for &k in counts_per_symbol {
+            acc += k;
+            cum.push(acc);
+        }
+        Boundaries::EliasFano(EliasFano::new(&cum, acc + 1))
+    }
+
+    /// Builds the succinct representation from per-symbol occurrence counts.
+    pub fn sparse_from_counts(counts_per_symbol: &[u64]) -> Self {
+        let n: u64 = counts_per_symbol.iter().sum();
+        let mut bits = BitVec::with_capacity(n as usize + counts_per_symbol.len());
+        for &k in counts_per_symbol {
+            bits.push(true);
+            for _ in 0..k {
+                bits.push(false);
+            }
+        }
+        Boundaries::Sparse {
+            bits: RankSelect::new(bits),
+            universe: counts_per_symbol.len() as u64,
+            n: n as usize,
+        }
+    }
+
+    /// `C[c]`: number of occurrences of symbols `< c`. Defined for
+    /// `0 <= c <= universe`.
+    #[inline]
+    pub fn get(&self, c: Id) -> usize {
+        match self {
+            Boundaries::Dense(v) => v[c as usize] as usize,
+            Boundaries::Sparse { bits, universe, n } => {
+                if c == *universe {
+                    *n
+                } else {
+                    bits.select1(c as usize).expect("symbol in universe") - c as usize
+                }
+            }
+            Boundaries::EliasFano(ef) => ef.get(c as usize) as usize,
+        }
+    }
+
+    /// The block `[C[c], C[c+1])` of symbol `c`.
+    #[inline]
+    pub fn block(&self, c: Id) -> (usize, usize) {
+        (self.get(c), self.get(c + 1))
+    }
+
+    /// The symbol whose block contains position `pos` (`pos < n`).
+    pub fn owner(&self, pos: usize) -> Id {
+        match self {
+            Boundaries::Dense(v) => (v.partition_point(|&c| c as usize <= pos) - 1) as Id,
+            Boundaries::Sparse { bits, .. } => {
+                let zero_pos = bits.select0(pos).expect("position within occurrences");
+                (bits.rank1(zero_pos) - 1) as Id
+            }
+            Boundaries::EliasFano(ef) => (ef.rank_leq(pos as u64) - 1) as Id,
+        }
+    }
+
+    /// Number of symbols in the universe.
+    pub fn universe(&self) -> u64 {
+        match self {
+            Boundaries::Dense(v) => (v.len() - 1) as u64,
+            Boundaries::Sparse { universe, .. } => *universe,
+            Boundaries::EliasFano(ef) => (ef.len() - 1) as u64,
+        }
+    }
+
+    /// Heap bytes.
+    pub fn size_bytes(&self) -> usize {
+        match self {
+            Boundaries::Dense(v) => v.size_bytes(),
+            Boundaries::Sparse { bits, .. } => bits.size_bytes(),
+            Boundaries::EliasFano(ef) => ef.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(b: &Boundaries, counts: &[u64]) {
+        let mut acc = 0;
+        for (c, &k) in counts.iter().enumerate() {
+            assert_eq!(b.get(c as Id), acc, "C[{c}]");
+            let (lo, hi) = b.block(c as Id);
+            assert_eq!((lo, hi), (acc, acc + k as usize), "block {c}");
+            for pos in lo..hi {
+                assert_eq!(b.owner(pos), c as Id, "owner of {pos}");
+            }
+            acc += k as usize;
+        }
+        assert_eq!(b.get(counts.len() as Id), acc);
+        assert_eq!(b.universe(), counts.len() as u64);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree() {
+        let counts = [4u64, 4, 2, 4, 2];
+        check(&Boundaries::dense_from_counts(&counts), &counts);
+        check(&Boundaries::sparse_from_counts(&counts), &counts);
+        check(&Boundaries::elias_fano_from_counts(&counts), &counts);
+    }
+
+    #[test]
+    fn empty_blocks() {
+        let counts = [0u64, 3, 0, 0, 2, 0];
+        check(&Boundaries::dense_from_counts(&counts), &counts);
+        check(&Boundaries::sparse_from_counts(&counts), &counts);
+        check(&Boundaries::elias_fano_from_counts(&counts), &counts);
+        let b = Boundaries::sparse_from_counts(&counts);
+        assert_eq!(b.block(0), (0, 0));
+        assert_eq!(b.block(2), (3, 3));
+        assert_eq!(b.owner(0), 1);
+        assert_eq!(b.owner(3), 4);
+    }
+
+    #[test]
+    fn paper_c_o_example() {
+        // Fig. 3 (0-based): objects SA, UCh, LH, BA, Baq have 4, 4, 2, 4, 2
+        // incoming triples; C_o = [0, 4, 8, 10, 14, 16].
+        let b = Boundaries::sparse_from_counts(&[4, 4, 2, 4, 2]);
+        for (c, expected) in [0, 4, 8, 10, 14, 16].into_iter().enumerate() {
+            assert_eq!(b.get(c as Id), expected);
+        }
+        // The triple at (1-based) L_p[16] = position 15 belongs to Baq (id 4).
+        assert_eq!(b.owner(15), 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! Dictionary encoding between external names (IRIs, strings) and the
+//! dense integer ids the ring operates on.
+//!
+//! The paper works on "a dictionary-encoded version of the graph" (§5);
+//! string-to-id translation is orthogonal to the index (they report ~3
+//! extra bytes/triple and ~3 ms/query for it). This is a straightforward
+//! two-way map.
+
+use crate::Id;
+use succinct::util::FxHashMap;
+
+/// A two-way map between names and dense ids `0..len`.
+#[derive(Clone, Debug, Default)]
+pub struct Dict {
+    names: Vec<String>,
+    index: FxHashMap<String, Id>,
+}
+
+impl Dict {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the id of `name`, interning it if new.
+    pub fn intern(&mut self, name: &str) -> Id {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = self.names.len() as Id;
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), id);
+        id
+    }
+
+    /// The id of `name`, if interned.
+    pub fn get(&self, name: &str) -> Option<Id> {
+        self.index.get(name).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was never interned.
+    pub fn name(&self, id: Id) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the dictionary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (Id, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (i as Id, n.as_str()))
+    }
+
+    /// Heap bytes (strings + map).
+    pub fn size_bytes(&self) -> usize {
+        self.names
+            .iter()
+            .map(|n| n.capacity() + std::mem::size_of::<String>())
+            .sum::<usize>()
+            + self.index.capacity()
+                * (std::mem::size_of::<String>() + std::mem::size_of::<Id>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dict::new();
+        let a = d.intern("alpha");
+        let b = d.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(d.intern("alpha"), a);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.name(a), "alpha");
+        assert_eq!(d.get("beta"), Some(b));
+        assert_eq!(d.get("gamma"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut d = Dict::new();
+        for (i, n) in ["x", "y", "z"].iter().enumerate() {
+            assert_eq!(d.intern(n), i as Id);
+        }
+        let pairs: Vec<(Id, String)> = d.iter().map(|(i, n)| (i, n.to_string())).collect();
+        assert_eq!(
+            pairs,
+            vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]
+        );
+    }
+}

@@ -1,0 +1,199 @@
+//! An in-memory labeled graph: a deduplicated set of triples plus alphabet
+//! sizes, with the completion `G↔ = G ∪ Ĝ` of §3.1 and a simple text
+//! format for examples and fixtures.
+
+use crate::{Dict, Id, Triple};
+
+/// A directed edge-labeled graph over dense ids.
+///
+/// Nodes are `0..n_nodes`, predicates `0..n_preds`. The triple list is kept
+/// sorted by `(s, p, o)` and deduplicated (RPQ evaluation is under set
+/// semantics, §5).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    triples: Vec<Triple>,
+    n_nodes: Id,
+    n_preds: Id,
+}
+
+impl Graph {
+    /// Builds a graph from `triples`; node and predicate universes are
+    /// `0..n_nodes` and `0..n_preds`.
+    ///
+    /// # Panics
+    /// Panics if a triple mentions an out-of-range id.
+    pub fn new(mut triples: Vec<Triple>, n_nodes: Id, n_preds: Id) -> Self {
+        for t in &triples {
+            assert!(
+                t.s < n_nodes && t.o < n_nodes,
+                "triple {t} mentions a node >= {n_nodes}"
+            );
+            assert!(t.p < n_preds, "triple {t} mentions a predicate >= {n_preds}");
+        }
+        triples.sort_unstable();
+        triples.dedup();
+        Self {
+            triples,
+            n_nodes,
+            n_preds,
+        }
+    }
+
+    /// Builds a graph sizing the universes from the data.
+    pub fn from_triples(triples: Vec<Triple>) -> Self {
+        let n_nodes = triples
+            .iter()
+            .map(|t| t.s.max(t.o) + 1)
+            .max()
+            .unwrap_or(0);
+        let n_preds = triples.iter().map(|t| t.p + 1).max().unwrap_or(0);
+        Self::new(triples, n_nodes, n_preds)
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.triples.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.triples.is_empty()
+    }
+
+    /// Node universe size.
+    pub fn n_nodes(&self) -> Id {
+        self.n_nodes
+    }
+
+    /// Predicate universe size.
+    pub fn n_preds(&self) -> Id {
+        self.n_preds
+    }
+
+    /// The sorted, deduplicated triples.
+    pub fn triples(&self) -> &[Triple] {
+        &self.triples
+    }
+
+    /// Whether `(s, p, o)` is an edge (binary search).
+    pub fn contains(&self, s: Id, p: Id, o: Id) -> bool {
+        self.triples.binary_search(&Triple::new(s, p, o)).is_ok()
+    }
+
+    /// The completion `G↔`: for every `(s, p, o)` adds `(o, p̂, s)` with
+    /// `p̂ = p + n_preds`, doubling the predicate alphabet (§5: "if an edge
+    /// is labeled with predicate p, its reverse edge has predicate
+    /// p̂ = p + |P|").
+    pub fn completed(&self) -> Graph {
+        let np = self.n_preds;
+        let mut all = Vec::with_capacity(self.triples.len() * 2);
+        all.extend_from_slice(&self.triples);
+        all.extend(
+            self.triples
+                .iter()
+                .map(|t| Triple::new(t.o, t.p + np, t.s)),
+        );
+        Graph::new(all, self.n_nodes, np * 2)
+    }
+
+    /// Parses the whitespace text format: one `subject predicate object`
+    /// line per edge; `#` starts a comment. Returns the graph plus the node
+    /// and predicate dictionaries (ids in first-appearance order).
+    pub fn parse_text(text: &str) -> Result<(Graph, Dict, Dict), String> {
+        let mut nodes = Dict::new();
+        let mut preds = Dict::new();
+        let mut triples = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (Some(s), Some(p), Some(o), None) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(format!(
+                    "line {}: expected 'subject predicate object'",
+                    lineno + 1
+                ));
+            };
+            triples.push(Triple::new(
+                nodes.intern(s),
+                preds.intern(p),
+                nodes.intern(o),
+            ));
+        }
+        let g = Graph::new(triples, nodes.len() as Id, preds.len() as Id);
+        Ok((g, nodes, preds))
+    }
+
+    /// Serializes to the text format using the given dictionaries.
+    pub fn to_text(&self, nodes: &Dict, preds: &Dict) -> String {
+        let mut out = String::new();
+        for t in &self.triples {
+            out.push_str(nodes.name(t.s));
+            out.push(' ');
+            out.push_str(preds.name(t.p));
+            out.push(' ');
+            out.push_str(nodes.name(t.o));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_sort() {
+        let g = Graph::from_triples(vec![
+            Triple::new(1, 0, 2),
+            Triple::new(0, 1, 1),
+            Triple::new(1, 0, 2),
+        ]);
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.triples()[0], Triple::new(0, 1, 1));
+        assert!(g.contains(1, 0, 2));
+        assert!(!g.contains(2, 0, 1));
+        assert_eq!(g.n_nodes(), 3);
+        assert_eq!(g.n_preds(), 2);
+    }
+
+    #[test]
+    fn completion_adds_inverses() {
+        let g = Graph::from_triples(vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)]);
+        let c = g.completed();
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.n_preds(), 4);
+        assert!(c.contains(1, 2, 0)); // inverse of (0,0,1): p̂ = 0 + 2
+        assert!(c.contains(2, 3, 1)); // inverse of (1,1,2): p̂ = 1 + 2
+        // Completing is idempotent on the edge relation it encodes:
+        assert_eq!(c.completed().len(), 8);
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let text = "a knows b\nb knows c # comment\n\n# full comment\nc likes a\n";
+        let (g, nodes, preds) = Graph::parse_text(text).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(nodes.len(), 3);
+        assert_eq!(preds.len(), 2);
+        assert!(g.contains(
+            nodes.get("a").unwrap(),
+            preds.get("knows").unwrap(),
+            nodes.get("b").unwrap()
+        ));
+        let text2 = g.to_text(&nodes, &preds);
+        let (g2, _, _) = Graph::parse_text(&text2).unwrap();
+        assert_eq!(g.triples(), g2.triples());
+    }
+
+    #[test]
+    fn malformed_text_is_rejected() {
+        assert!(Graph::parse_text("a b").is_err());
+        assert!(Graph::parse_text("a b c d").is_err());
+        assert!(Graph::parse_text("").unwrap().0.is_empty());
+    }
+}

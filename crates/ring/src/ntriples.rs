@@ -1,0 +1,340 @@
+//! A pragmatic N-Triples reader/writer, so RDF dumps (the paper's input
+//! format: Wikidata truthy dumps) load directly.
+//!
+//! Supported per line: `<subject-iri> <predicate-iri> <object> .` where
+//! the object is an IRI, a blank node (`_:label`), or a literal
+//! (`"lexical"`, `"lexical"@lang`, `"lexical"^^<datatype>`), with the
+//! standard `\" \\ \n \t \r` escapes inside literals. Comments (`#`) and
+//! blank lines are skipped. This is the fragment Wikidata truthy dumps
+//! use; full W3C conformance (UCHAR escapes et al.) is out of scope and
+//! rejected with a clear error rather than mis-parsed.
+
+use crate::{Dict, Graph, Id, Triple};
+
+/// A parse failure with its line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NtError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for NtError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "N-Triples error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for NtError {}
+
+/// One parsed RDF term, still as text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NtTerm {
+    /// `<iri>` (stored without the brackets).
+    Iri(String),
+    /// `_:label`.
+    Blank(String),
+    /// A literal with optional language tag or datatype IRI.
+    Literal {
+        /// The unescaped lexical form.
+        lexical: String,
+        /// `@lang`, if present.
+        lang: Option<String>,
+        /// `^^<datatype>`, if present.
+        datatype: Option<String>,
+    },
+}
+
+impl NtTerm {
+    /// A canonical dictionary key for the term (IRIs keep brackets so they
+    /// cannot collide with literals or blanks).
+    pub fn dict_key(&self) -> String {
+        match self {
+            NtTerm::Iri(i) => format!("<{i}>"),
+            NtTerm::Blank(b) => format!("_:{b}"),
+            NtTerm::Literal {
+                lexical,
+                lang,
+                datatype,
+            } => {
+                let mut s = format!("\"{lexical}\"");
+                if let Some(l) = lang {
+                    s.push('@');
+                    s.push_str(l);
+                } else if let Some(d) = datatype {
+                    s.push_str("^^<");
+                    s.push_str(d);
+                    s.push('>');
+                }
+                s
+            }
+        }
+    }
+}
+
+/// Parses an N-Triples document into a graph plus node and predicate
+/// dictionaries (keys per [`NtTerm::dict_key`]).
+pub fn parse_ntriples(text: &str) -> Result<(Graph, Dict, Dict), NtError> {
+    let mut nodes = Dict::new();
+    let mut preds = Dict::new();
+    let mut triples = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut p = Cursor {
+            rest: line,
+            lineno,
+        };
+        let s = p.term()?;
+        let pr = p.term()?;
+        let o = p.term()?;
+        p.skip_ws();
+        if !p.rest.starts_with('.') {
+            return Err(p.err("expected terminating '.'"));
+        }
+        p.rest = &p.rest[1..];
+        p.skip_ws();
+        if !p.rest.is_empty() {
+            return Err(p.err("trailing content after '.'"));
+        }
+        if matches!(s, NtTerm::Literal { .. }) {
+            return Err(p.err("literal in subject position"));
+        }
+        let NtTerm::Iri(_) = pr else {
+            return Err(p.err("predicate must be an IRI"));
+        };
+        triples.push(Triple::new(
+            nodes.intern(&s.dict_key()),
+            preds.intern(&pr.dict_key()),
+            nodes.intern(&o.dict_key()),
+        ));
+    }
+    let g = Graph::new(triples, nodes.len() as Id, preds.len() as Id);
+    Ok((g, nodes, preds))
+}
+
+/// Serializes a graph back to N-Triples using the dictionaries
+/// (dictionary keys are already in N-Triples syntax).
+pub fn to_ntriples(graph: &Graph, nodes: &Dict, preds: &Dict) -> String {
+    let mut out = String::new();
+    for t in graph.triples() {
+        out.push_str(nodes.name(t.s));
+        out.push(' ');
+        out.push_str(preds.name(t.p));
+        out.push(' ');
+        out.push_str(nodes.name(t.o));
+        out.push_str(" .\n");
+    }
+    out
+}
+
+struct Cursor<'a> {
+    rest: &'a str,
+    lineno: usize,
+}
+
+impl Cursor<'_> {
+    fn err(&self, msg: impl Into<String>) -> NtError {
+        NtError {
+            line: self.lineno,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        self.rest = self.rest.trim_start();
+    }
+
+    fn term(&mut self) -> Result<NtTerm, NtError> {
+        self.skip_ws();
+        let mut chars = self.rest.chars();
+        match chars.next() {
+            Some('<') => {
+                let end = self
+                    .rest
+                    .find('>')
+                    .ok_or_else(|| self.err("unterminated IRI"))?;
+                let iri = self.rest[1..end].to_string();
+                if iri.contains(' ') {
+                    return Err(self.err("IRI contains whitespace"));
+                }
+                self.rest = &self.rest[end + 1..];
+                Ok(NtTerm::Iri(iri))
+            }
+            Some('_') => {
+                if !self.rest.starts_with("_:") {
+                    return Err(self.err("blank node must start with '_:'"));
+                }
+                let body = &self.rest[2..];
+                let end = body
+                    .find(|c: char| c.is_whitespace())
+                    .unwrap_or(body.len());
+                if end == 0 {
+                    return Err(self.err("empty blank node label"));
+                }
+                let label = body[..end].to_string();
+                self.rest = &body[end..];
+                Ok(NtTerm::Blank(label))
+            }
+            Some('"') => {
+                let (lexical, consumed) = self.unescape_literal()?;
+                self.rest = &self.rest[consumed..];
+                // Optional @lang or ^^<datatype>.
+                if let Some(stripped) = self.rest.strip_prefix('@') {
+                    let end = stripped
+                        .find(|c: char| c.is_whitespace())
+                        .unwrap_or(stripped.len());
+                    if end == 0 {
+                        return Err(self.err("empty language tag"));
+                    }
+                    let lang = stripped[..end].to_string();
+                    self.rest = &stripped[end..];
+                    Ok(NtTerm::Literal {
+                        lexical,
+                        lang: Some(lang),
+                        datatype: None,
+                    })
+                } else if let Some(stripped) = self.rest.strip_prefix("^^<") {
+                    let end = stripped
+                        .find('>')
+                        .ok_or_else(|| self.err("unterminated datatype IRI"))?;
+                    let dt = stripped[..end].to_string();
+                    self.rest = &stripped[end + 1..];
+                    Ok(NtTerm::Literal {
+                        lexical,
+                        lang: None,
+                        datatype: Some(dt),
+                    })
+                } else {
+                    Ok(NtTerm::Literal {
+                        lexical,
+                        lang: None,
+                        datatype: None,
+                    })
+                }
+            }
+            Some(c) => Err(self.err(format!("unexpected character '{c}'"))),
+            None => Err(self.err("unexpected end of line")),
+        }
+    }
+
+    /// Unescapes the quoted literal at the start of `rest` (which begins
+    /// with `"`); returns the lexical form and bytes consumed.
+    fn unescape_literal(&self) -> Result<(String, usize), NtError> {
+        let bytes = self.rest.as_bytes();
+        debug_assert_eq!(bytes[0], b'"');
+        let mut out = String::new();
+        let mut i = 1;
+        let chars: Vec<char> = self.rest.chars().collect();
+        let mut byte_pos = 1;
+        while i < chars.len() {
+            let c = chars[i];
+            match c {
+                '"' => return Ok((out, byte_pos + 1)),
+                '\\' => {
+                    let esc = chars
+                        .get(i + 1)
+                        .ok_or_else(|| self.err("dangling escape"))?;
+                    let decoded = match esc {
+                        '"' => '"',
+                        '\\' => '\\',
+                        'n' => '\n',
+                        't' => '\t',
+                        'r' => '\r',
+                        other => {
+                            return Err(
+                                self.err(format!("unsupported escape '\\{other}'"))
+                            )
+                        }
+                    };
+                    out.push(decoded);
+                    byte_pos += c.len_utf8() + esc.len_utf8();
+                    i += 2;
+                }
+                _ => {
+                    out.push(c);
+                    byte_pos += c.len_utf8();
+                    i += 1;
+                }
+            }
+        }
+        Err(self.err("unterminated literal"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_wikidata_like_lines() {
+        let text = r#"
+# a comment
+<http://wd/Q42> <http://wd/P31> <http://wd/Q5> .
+<http://wd/Q42> <http://wd/label> "Douglas Adams"@en .
+<http://wd/Q42> <http://wd/P569> "1952-03-11"^^<http://www.w3.org/2001/XMLSchema#date> .
+_:b0 <http://wd/P31> <http://wd/Q5> .
+"#;
+        let (g, nodes, preds) = parse_ntriples(text).unwrap();
+        assert_eq!(g.len(), 4);
+        assert_eq!(preds.len(), 3);
+        assert!(nodes.get("<http://wd/Q42>").is_some());
+        assert!(nodes.get("\"Douglas Adams\"@en").is_some());
+        assert!(nodes.get("_:b0").is_some());
+        assert!(nodes
+            .get("\"1952-03-11\"^^<http://www.w3.org/2001/XMLSchema#date>")
+            .is_some());
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let text = r#"<a> <p> "line\nbreak \"quoted\" tab\t" ."#;
+        let (g, nodes, _) = parse_ntriples(text).unwrap();
+        assert_eq!(g.len(), 1);
+        let key = nodes.name(g.triples()[0].o);
+        assert!(key.contains('\n'), "{key:?}");
+        assert!(key.contains("\"quoted\""), "{key:?}");
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let text = "<a> <p> <b> .\n<b> <q> \"x\"@fr .\n";
+        let (g, nodes, preds) = parse_ntriples(text).unwrap();
+        let out = to_ntriples(&g, &nodes, &preds);
+        let (g2, _, _) = parse_ntriples(&out).unwrap();
+        assert_eq!(g.len(), g2.len());
+    }
+
+    #[test]
+    fn malformed_lines_rejected_with_position() {
+        for (line, text) in [
+            (1, "<a> <p> <b>"),                    // missing dot
+            (1, "<a> <p> ."),                      // missing object
+            (1, "\"lit\" <p> <b> ."),              // literal subject
+            (1, "<a> _:b <c> ."),                  // blank predicate
+            (1, "<a> <p> \"unterminated ."),       // bad literal
+            (1, "<a> <p> \"bad\\x\" ."),           // bad escape
+            (2, "<a> <p> <b> .\n<a> <p <b> ."),    // unterminated IRI
+        ] {
+            let err = parse_ntriples(text).unwrap_err();
+            assert_eq!(err.line, line, "for {text:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn queryable_end_to_end() {
+        use crate::ring::RingOptions;
+        let text = "<a> <p> <b> .\n<b> <p> <c> .\n";
+        let (g, nodes, preds) = parse_ntriples(text).unwrap();
+        let ring = crate::Ring::build(&g, RingOptions::default());
+        let p = preds.get("<p>").unwrap();
+        let a = nodes.get("<a>").unwrap();
+        let mut objs = Vec::new();
+        ring.objects_for(a, p, &mut |o| objs.push(o));
+        assert_eq!(objs, vec![nodes.get("<b>").unwrap()]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Persistence round-trips on random inputs: every boundary
+//! representation, graphs, dictionaries, and full rings must survive a
+//! write/read cycle bit-exactly in behaviour.
+
+use proptest::prelude::*;
+use ring::ring::{BoundaryKind, RingOptions};
+use ring::{Boundaries, Dict, Graph, Ring, Triple};
+use succinct::io::Persist;
+
+fn roundtrip<T: Persist>(x: &T) -> T {
+    let mut buf = Vec::new();
+    x.write_to(&mut buf).unwrap();
+    T::read_from(&mut buf.as_slice()).unwrap()
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1u64..10, 1u64..4, prop::collection::vec((0u64..10, 0u64..4, 0u64..10), 0..50)).prop_map(
+        |(n_nodes, n_preds, raw)| {
+            Graph::new(
+                raw.into_iter()
+                    .map(|(s, p, o)| Triple::new(s % n_nodes, p % n_preds, o % n_nodes))
+                    .collect(),
+                n_nodes,
+                n_preds,
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn boundaries_roundtrip_all_kinds(counts in prop::collection::vec(0u64..20, 1..30)) {
+        for b in [
+            Boundaries::dense_from_counts(&counts),
+            Boundaries::sparse_from_counts(&counts),
+            Boundaries::elias_fano_from_counts(&counts),
+        ] {
+            let back = roundtrip(&b);
+            for c in 0..=counts.len() as u64 {
+                prop_assert_eq!(b.get(c), back.get(c), "C[{}]", c);
+            }
+            let n = b.get(counts.len() as u64);
+            for pos in 0..n {
+                prop_assert_eq!(b.owner(pos), back.owner(pos));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_roundtrip_all_kinds(g in arb_graph()) {
+        for kind in [BoundaryKind::Dense, BoundaryKind::Sparse, BoundaryKind::EliasFano] {
+            let ring = Ring::build(&g, RingOptions { with_inverses: true, node_boundaries: kind });
+            let back = roundtrip(&ring);
+            prop_assert_eq!(back.n_triples(), ring.n_triples());
+            prop_assert_eq!(back.n_preds_base(), ring.n_preds_base());
+            let a: Vec<Triple> = ring.iter_triples().collect();
+            let b: Vec<Triple> = back.iter_triples().collect();
+            prop_assert_eq!(a, b, "{:?}", kind);
+        }
+    }
+
+    #[test]
+    fn graph_and_dict_roundtrip(g in arb_graph(), names in prop::collection::vec("[a-z]{1,8}", 0..20)) {
+        let back = roundtrip(&g);
+        prop_assert_eq!(g.triples(), back.triples());
+
+        let mut d = Dict::new();
+        for n in &names {
+            d.intern(n);
+        }
+        let back = roundtrip(&d);
+        prop_assert_eq!(back.len(), d.len());
+        for (id, name) in d.iter() {
+            prop_assert_eq!(back.get(name), Some(id));
+        }
+    }
+
+    #[test]
+    fn truncated_payloads_never_panic(
+        g in arb_graph(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let ring = Ring::build(&g, RingOptions::default());
+        let mut buf = Vec::new();
+        ring.write_to(&mut buf).unwrap();
+        let cut = ((buf.len() as f64) * cut_frac) as usize;
+        // Every truncation must produce Err, never a panic or a bogus Ok.
+        if cut < buf.len() {
+            prop_assert!(Ring::read_from(&mut &buf[..cut]).is_err());
+        }
+    }
+}

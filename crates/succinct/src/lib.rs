@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+
+//! Succinct data structures underlying the ring index.
+//!
+//! This crate re-implements, natively in Rust, the subset of succinct data
+//! structures that the Ring-RPQ system (Arroyuelo, Hogan, Navarro,
+//! Rojas-Ledesma; arXiv:2111.04556) takes from `sdsl-lite`:
+//!
+//! * [`BitVec`]: a plain, growable bit vector.
+//! * [`RankSelect`]: an immutable bit vector with *O*(1) `rank` and
+//!   fast `select`, the primitive everything else is built from (§3.5 of the
+//!   paper, \[10, 39\]).
+//! * [`IntVec`]: a fixed-width packed integer vector (the "plain
+//!   representation" the paper compares index sizes against).
+//! * [`WaveletTree`]: the classical pointer-based wavelet tree of
+//!   Grossi, Gupta and Vitter \[23\], used here as a readable reference
+//!   implementation and for cross-validation.
+//! * [`WaveletMatrix`]: the wavelet matrix of Claude, Navarro and
+//!   Ordóñez \[11\], the representation the paper's implementation uses for
+//!   the large-alphabet sequences `L_s` and `L_p` (§5). It exposes the
+//!   *guided traversal* API ([`wavelet_matrix::RangeGuide`]) that the RPQ
+//!   engine uses to realize the B-masked and D-masked range searches of
+//!   §4.1–§4.2.
+//!
+//! All structures report their heap footprint through [`SpaceUsage`], which
+//! the benchmark harness uses to regenerate the space column of Table 2.
+
+pub mod bitvec;
+pub mod elias_fano;
+pub mod int_vec;
+pub mod io;
+pub mod rank_select;
+pub mod util;
+pub mod wavelet_matrix;
+pub mod wavelet_tree;
+
+pub use bitvec::BitVec;
+pub use elias_fano::EliasFano;
+pub use int_vec::IntVec;
+pub use rank_select::RankSelect;
+pub use wavelet_matrix::WaveletMatrix;
+pub use wavelet_tree::WaveletTree;
+
+/// Heap space accounting, in bytes, for regenerating the paper's Table 2
+/// (index space in bytes per edge).
+pub trait SpaceUsage {
+    /// Total heap bytes owned by this structure (excluding `size_of::<Self>()`
+    /// unless noted otherwise).
+    fn size_bytes(&self) -> usize;
+}
+
+impl<T: Copy> SpaceUsage for Vec<T> {
+    fn size_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}

@@ -1,0 +1,346 @@
+//! Immutable bit vector with constant-time `rank` and fast `select`.
+//!
+//! Layout (interleaved, sdsl `rank_support_v`-style): per 512-bit
+//! superblock, one `u64` absolute cumulative count plus one `u64` packing
+//! seven 9-bit sub-block counters (cumulative popcounts of the first
+//! 1..=7 words). `rank` is then two directory reads and a single masked
+//! popcount — true *O*(1), as in the structures of Clark \[10\] and Munro
+//! \[39\] the paper cites. Space overhead: 2 words per 8 words of bits
+//! (25 %). `select` binary-searches the directory and finishes with an
+//! in-word binary select.
+
+use crate::{BitVec, SpaceUsage};
+
+const WORDS_PER_SUPER: usize = 8; // 512-bit superblocks
+
+/// An immutable bit vector supporting `rank` and `select`.
+#[derive(Clone, Debug)]
+pub struct RankSelect {
+    words: Vec<u64>,
+    len: usize,
+    /// `abs[i]` = ones strictly before superblock `i`; final entry = total.
+    abs: Vec<u64>,
+    /// `subs[i]` packs, in 9-bit fields, the cumulative popcounts of the
+    /// first 1..=7 words of superblock `i`.
+    subs: Vec<u64>,
+}
+
+impl RankSelect {
+    /// Builds the rank/select directory for `bits`.
+    pub fn new(bits: BitVec) -> Self {
+        let (words, len) = bits.into_raw();
+        let n_super = words.len().div_ceil(WORDS_PER_SUPER);
+        let mut abs = Vec::with_capacity(n_super + 1);
+        let mut subs = Vec::with_capacity(n_super);
+        let mut acc = 0u64;
+        for chunk in words.chunks(WORDS_PER_SUPER) {
+            abs.push(acc);
+            let mut packed = 0u64;
+            let mut within = 0u64;
+            for (j, &w) in chunk.iter().enumerate() {
+                within += w.count_ones() as u64;
+                if j < 7 {
+                    packed |= within << (9 * j);
+                }
+            }
+            subs.push(packed);
+            acc += within;
+        }
+        abs.push(acc);
+        Self {
+            words,
+            len,
+            abs,
+            subs,
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total number of set bits.
+    #[inline]
+    pub fn count_ones(&self) -> usize {
+        *self.abs.last().unwrap() as usize
+    }
+
+    /// Total number of clear bits.
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.len - self.count_ones()
+    }
+
+    /// Returns the bit at `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of ones in `[0, i)`. `i` may equal `len`. *O*(1): two
+    /// directory loads and one masked popcount.
+    #[inline]
+    pub fn rank1(&self, i: usize) -> usize {
+        debug_assert!(i <= self.len, "rank index {i} > len {}", self.len);
+        if i == self.len {
+            return self.count_ones();
+        }
+        let word = i / 64;
+        let sup = word / WORDS_PER_SUPER;
+        let j = word % WORDS_PER_SUPER;
+        let mut r = self.abs[sup] as usize;
+        if j > 0 {
+            r += ((self.subs[sup] >> (9 * (j - 1))) & 0x1FF) as usize;
+        }
+        let rem = i % 64;
+        if rem != 0 {
+            r += (self.words[word] & ((1u64 << rem) - 1)).count_ones() as usize;
+        }
+        r
+    }
+
+    /// Number of zeros in `[0, i)`.
+    #[inline]
+    pub fn rank0(&self, i: usize) -> usize {
+        i - self.rank1(i)
+    }
+
+    /// Position of the `k`-th one (0-based): the returned position `p`
+    /// satisfies `rank1(p) == k` and `get(p) == true`. Returns `None` if
+    /// fewer than `k + 1` ones exist.
+    pub fn select1(&self, k: usize) -> Option<usize> {
+        if k >= self.count_ones() {
+            return None;
+        }
+        let k64 = k as u64;
+        // Superblock containing the (k+1)-th one.
+        let sup = self.abs.partition_point(|&r| r <= k64) - 1;
+        let mut remaining = k - self.abs[sup] as usize;
+        // Sub-block via the packed counters.
+        let packed = self.subs[sup];
+        let mut j = 0;
+        while j < 7 {
+            let c = ((packed >> (9 * j)) & 0x1FF) as usize;
+            if remaining < c {
+                break;
+            }
+            j += 1;
+        }
+        if j > 0 {
+            remaining -= ((packed >> (9 * (j - 1))) & 0x1FF) as usize;
+        }
+        let word = sup * WORDS_PER_SUPER + j;
+        Some(word * 64 + select_in_word(self.words[word], remaining as u32) as usize)
+    }
+
+    /// Position of the `k`-th zero (0-based). Returns `None` if fewer than
+    /// `k + 1` zeros exist.
+    pub fn select0(&self, k: usize) -> Option<usize> {
+        if k >= self.count_zeros() {
+            return None;
+        }
+        let k64 = k as u64;
+        let sup = self.zeros_directory_partition(k64);
+        let mut remaining = k - (sup * WORDS_PER_SUPER * 64 - self.abs[sup] as usize);
+        // Sub-block: zeros before word j of the superblock = 64*j - ones.
+        let packed = self.subs[sup];
+        let mut j = 0;
+        while j < 7 {
+            let ones = ((packed >> (9 * j)) & 0x1FF) as usize;
+            let word_index = sup * WORDS_PER_SUPER + j + 1;
+            if word_index > self.words.len() {
+                break;
+            }
+            let zeros = 64 * (j + 1) - ones;
+            if remaining < zeros {
+                break;
+            }
+            j += 1;
+        }
+        if j > 0 {
+            let ones = ((packed >> (9 * (j - 1))) & 0x1FF) as usize;
+            remaining -= 64 * j - ones;
+        }
+        let word = sup * WORDS_PER_SUPER + j;
+        let pos = word * 64 + select_in_word(!self.words[word], remaining as u32) as usize;
+        debug_assert!(pos < self.len);
+        Some(pos)
+    }
+
+    fn zeros_directory_partition(&self, k: u64) -> usize {
+        // Largest superblock index whose preceding zero count is <= k.
+        let mut lo = 0usize;
+        let mut hi = self.abs.len() - 1;
+        while lo < hi {
+            let mid = (lo + hi).div_ceil(2);
+            let zeros_before = (mid * WORDS_PER_SUPER * 64) as u64 - self.abs[mid];
+            if zeros_before <= k {
+                lo = mid;
+            } else {
+                hi = mid - 1;
+            }
+        }
+        lo
+    }
+
+    /// The backing words.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+impl SpaceUsage for RankSelect {
+    fn size_bytes(&self) -> usize {
+        self.words.capacity() * 8 + self.abs.capacity() * 8 + self.subs.capacity() * 8
+    }
+}
+
+/// Position (0..64) of the `k`-th set bit of `w` (0-based). `w` must have
+/// more than `k` set bits.
+#[inline]
+pub fn select_in_word(w: u64, k: u32) -> u32 {
+    debug_assert!(w.count_ones() > k);
+    let mut w = w;
+    let mut k = k;
+    let mut pos = 0u32;
+    let mut width = 32u32;
+    while width > 0 {
+        let low = w & ((1u64 << width) - 1);
+        let c = low.count_ones();
+        if k >= c {
+            k -= c;
+            w >>= width;
+            pos += width;
+        } else {
+            w = low;
+        }
+        width /= 2;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_rank1(bits: &[bool], i: usize) -> usize {
+        bits[..i].iter().filter(|&&b| b).count()
+    }
+
+    fn make(pattern: impl Fn(usize) -> bool, n: usize) -> (Vec<bool>, RankSelect) {
+        let bits: Vec<bool> = (0..n).map(pattern).collect();
+        let rs = RankSelect::new(BitVec::from_bits(bits.iter().copied()));
+        (bits, rs)
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let (bits, rs) = make(|i| i % 3 == 0 || i % 11 == 5, 3000);
+        for i in 0..=3000 {
+            assert_eq!(rs.rank1(i), naive_rank1(&bits, i), "rank1({i})");
+            assert_eq!(rs.rank0(i), i - naive_rank1(&bits, i), "rank0({i})");
+        }
+        assert_eq!(rs.rank1(3000), rs.count_ones());
+    }
+
+    #[test]
+    fn rank_dense_and_sparse() {
+        let (bits, rs) = make(|_| true, 1333);
+        for i in (0..=1333).step_by(11) {
+            assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+        }
+        let (bits, rs) = make(|i| i == 512 || i == 1024, 1500);
+        for i in (0..=1500).step_by(7) {
+            assert_eq!(rs.rank1(i), naive_rank1(&bits, i));
+        }
+    }
+
+    #[test]
+    fn select1_inverts_rank1() {
+        let (bits, rs) = make(|i| i % 5 == 1, 2500);
+        let ones: Vec<usize> = (0..2500).filter(|&i| bits[i]).collect();
+        for (k, &pos) in ones.iter().enumerate() {
+            assert_eq!(rs.select1(k), Some(pos), "select1({k})");
+            assert_eq!(rs.rank1(pos), k);
+        }
+        assert_eq!(rs.select1(ones.len()), None);
+    }
+
+    #[test]
+    fn select0_inverts_rank0() {
+        let (bits, rs) = make(|i| i % 4 != 2, 2048);
+        let zeros: Vec<usize> = (0..2048).filter(|&i| !bits[i]).collect();
+        for (k, &pos) in zeros.iter().enumerate() {
+            assert_eq!(rs.select0(k), Some(pos), "select0({k})");
+        }
+        assert_eq!(rs.select0(zeros.len()), None);
+    }
+
+    #[test]
+    fn all_ones_and_all_zeros() {
+        let (_, ones) = make(|_| true, 700);
+        assert_eq!(ones.count_ones(), 700);
+        assert_eq!(ones.select1(699), Some(699));
+        assert_eq!(ones.select0(0), None);
+
+        let (_, zeros) = make(|_| false, 700);
+        assert_eq!(zeros.count_ones(), 0);
+        assert_eq!(zeros.select0(699), Some(699));
+        assert_eq!(zeros.select1(0), None);
+    }
+
+    #[test]
+    fn empty_vector() {
+        let rs = RankSelect::new(BitVec::new());
+        assert_eq!(rs.len(), 0);
+        assert_eq!(rs.rank1(0), 0);
+        assert_eq!(rs.select1(0), None);
+        assert_eq!(rs.select0(0), None);
+    }
+
+    #[test]
+    fn select_in_word_all_positions() {
+        let w = 0b1011_0100_1000_0001u64;
+        let positions: Vec<u32> = (0..64).filter(|&i| (w >> i) & 1 == 1).collect();
+        for (k, &p) in positions.iter().enumerate() {
+            assert_eq!(select_in_word(w, k as u32), p);
+        }
+        assert_eq!(select_in_word(u64::MAX, 63), 63);
+        assert_eq!(select_in_word(1 << 63, 0), 63);
+    }
+
+    #[test]
+    fn superblock_boundaries() {
+        // Ones exactly at superblock boundaries (multiples of 512).
+        let (bits, rs) = make(|i| i % 512 == 0, 512 * 5 + 3);
+        for i in 0..=(512 * 5 + 3) {
+            assert_eq!(rs.rank1(i), naive_rank1(&bits, i), "rank1({i})");
+        }
+        for k in 0..rs.count_ones() {
+            assert_eq!(rs.select1(k), Some(k * 512));
+        }
+    }
+
+    #[test]
+    fn partial_final_superblock() {
+        // Length not a multiple of 512 with ones in the tail words.
+        let (bits, rs) = make(|i| i % 2 == 0, 512 + 200);
+        for i in 0..=(512 + 200) {
+            assert_eq!(rs.rank1(i), naive_rank1(&bits, i), "rank1({i})");
+        }
+        let ones: Vec<usize> = (0..712).filter(|&i| bits[i]).collect();
+        for (k, &pos) in ones.iter().enumerate() {
+            assert_eq!(rs.select1(k), Some(pos));
+        }
+    }
+}

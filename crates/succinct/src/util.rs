@@ -1,0 +1,189 @@
+//! Small utilities shared across the workspace: a fast hasher for integer
+//! keys and an epoch-stamped array realizing constant-time lazy
+//! initialization.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The FxHash multiplication-based hasher (as used by rustc). The paper's
+/// duplicate-elimination sets (`std::unordered_set` in C++) are hot; the
+/// default SipHash is needlessly slow for `u64` keys.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+/// An array of `u64` cells with *O*(1) logical reset.
+///
+/// This realizes the compact constant-time lazy-initialization structure the
+/// paper cites (\[40, App. C\]) for the per-node visited masks `D[s]` and the
+/// per-wavelet-node masks `B[v]`/`D[v]`: memory is allocated once and a
+/// 32-bit epoch stamp decides whether a cell's stored value is current.
+#[derive(Clone, Debug)]
+pub struct EpochArray {
+    values: Vec<u64>,
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl EpochArray {
+    /// Creates an array of `len` cells, all logically zero.
+    pub fn new(len: usize) -> Self {
+        Self {
+            values: vec![0; len],
+            stamps: vec![0; len],
+            epoch: 1,
+        }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the array has no cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Logically zeroes every cell in *O*(1) (amortized: a real wipe happens
+    /// once every `u32::MAX` resets when the epoch wraps).
+    pub fn reset(&mut self) {
+        if self.epoch == u32::MAX {
+            self.stamps.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+    }
+
+    /// Reads cell `i` (zero if untouched since the last [`reset`](Self::reset)).
+    #[inline]
+    pub fn get(&self, i: usize) -> u64 {
+        if self.stamps[i] == self.epoch {
+            self.values[i]
+        } else {
+            0
+        }
+    }
+
+    /// Writes cell `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: u64) {
+        self.stamps[i] = self.epoch;
+        self.values[i] = value;
+    }
+
+    /// ORs `mask` into cell `i`, returning the new value.
+    #[inline]
+    pub fn or_with(&mut self, i: usize, mask: u64) -> u64 {
+        let v = self.get(i) | mask;
+        self.set(i, v);
+        v
+    }
+
+    /// Heap bytes owned by the array.
+    pub fn size_bytes(&self) -> usize {
+        self.values.capacity() * 8 + self.stamps.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fxhash_distributes_u64_keys() {
+        let mut set = FxHashSet::default();
+        for i in 0..10_000u64 {
+            set.insert(i * 64);
+        }
+        assert_eq!(set.len(), 10_000);
+        assert!(set.contains(&6400));
+        assert!(!set.contains(&6401));
+    }
+
+    #[test]
+    fn fxhash_map_basic() {
+        let mut m: FxHashMap<(u64, u64), u64> = FxHashMap::default();
+        m.insert((1, 2), 3);
+        m.insert((2, 1), 4);
+        assert_eq!(m.get(&(1, 2)), Some(&3));
+        assert_eq!(m.get(&(2, 1)), Some(&4));
+    }
+
+    #[test]
+    fn epoch_array_reset_is_logical_zero() {
+        let mut a = EpochArray::new(8);
+        a.set(3, 42);
+        a.or_with(4, 0b101);
+        assert_eq!(a.get(3), 42);
+        assert_eq!(a.get(4), 0b101);
+        assert_eq!(a.get(0), 0);
+        a.reset();
+        for i in 0..8 {
+            assert_eq!(a.get(i), 0, "cell {i} after reset");
+        }
+        assert_eq!(a.or_with(3, 0b10), 0b10);
+    }
+
+    #[test]
+    fn epoch_array_many_resets() {
+        let mut a = EpochArray::new(2);
+        for round in 0..1000u64 {
+            a.reset();
+            assert_eq!(a.get(0), 0);
+            a.set(0, round);
+            assert_eq!(a.get(0), round);
+        }
+    }
+}

@@ -1,0 +1,625 @@
+//! The wavelet matrix (Claude, Navarro, Ordóñez \[11\]): a wavelet tree
+//! layout for large alphabets, used by the paper's implementation for the
+//! ring sequences `L_s` and `L_p` (§5).
+//!
+//! One bit vector per bit level (most-significant bit first); at each level
+//! all zero-bit elements are stably moved before all one-bit elements. A
+//! conceptual tree node at `(level, prefix)` — `prefix` being the `level`
+//! high bits of the symbols below it — occupies a contiguous interval of the
+//! level's array, so the node-local rank arithmetic of a pointer wavelet
+//! tree carries over with an extra "node start" offset.
+//!
+//! The [`RangeGuide`] trait exposes the traversal hook that the RPQ engine
+//! uses to implement the B-masked predicate discovery of §4.1 and the
+//! D-masked subject discovery of §4.2: `enter` is consulted before
+//! descending into a node (where the engine tests `D & B[v] != 0` or prunes
+//! already-visited subtrees), and `leaf` receives each surviving symbol with
+//! the rank offsets that complete a backward-search step (Eqs. 4–5).
+
+use crate::int_vec::bits_for;
+use crate::{BitVec, RankSelect, SpaceUsage};
+
+/// Visitor guiding a pruned wavelet-matrix range traversal.
+pub trait RangeGuide {
+    /// Whether to enter the node at `(level, prefix)`. The root is
+    /// `(0, 0)`; the children of `(l, v)` are `(l+1, 2v)` and `(l+1, 2v+1)`.
+    /// Nodes whose interval restricted to the query range is empty are
+    /// skipped without consulting the guide.
+    fn enter(&mut self, level: usize, prefix: u64) -> bool;
+
+    /// Called once per surviving symbol `sym` in the range, with
+    /// `rank_b = rank(sym, b)` and `rank_e = rank(sym, e)`.
+    fn leaf(&mut self, sym: u64, rank_b: usize, rank_e: usize);
+}
+
+/// Per-symbol intersection record: `(sym, (rank_b1, rank_e1), (rank_b2, rank_e2))`.
+pub type IntersectionHit = (u64, (usize, usize), (usize, usize));
+
+/// A wavelet matrix over a sequence of symbols in `[0, sigma)`.
+///
+/// ```
+/// use succinct::WaveletMatrix;
+///
+/// let wm = WaveletMatrix::new(&[3, 1, 4, 1, 5, 1, 2], 8);
+/// assert_eq!(wm.access(2), 4);
+/// assert_eq!(wm.rank(1, 6), 3);           // three 1s before position 6
+/// assert_eq!(wm.select(1, 1), Some(3));   // second 1 sits at position 3
+/// let mut distinct = Vec::new();
+/// wm.range_distinct(0, 4, &mut |sym, _, _| distinct.push(sym));
+/// assert_eq!(distinct, vec![1, 3, 4]);
+/// assert_eq!(wm.range_quantile(0, 7, 3), 2); // 4th smallest overall
+/// ```
+#[derive(Clone, Debug)]
+pub struct WaveletMatrix {
+    levels: Vec<RankSelect>,
+    zeros: Vec<usize>,
+    len: usize,
+    width: usize,
+    sigma: u64,
+}
+
+impl WaveletMatrix {
+    /// Builds a wavelet matrix for `symbols`, all of which must be `< sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma == 0` or any symbol is out of range.
+    pub fn new(symbols: &[u64], sigma: u64) -> Self {
+        assert!(sigma > 0, "alphabet must be non-empty");
+        for &s in symbols {
+            assert!(s < sigma, "symbol {s} out of alphabet range [0, {sigma})");
+        }
+        let width = bits_for(sigma.saturating_sub(1)).max(1);
+        let mut levels = Vec::with_capacity(width);
+        let mut zeros = Vec::with_capacity(width);
+        let mut cur: Vec<u64> = symbols.to_vec();
+        let mut next: Vec<u64> = Vec::with_capacity(cur.len());
+        for l in 0..width {
+            let shift = width - 1 - l;
+            let bits = BitVec::from_bits(cur.iter().map(|&s| (s >> shift) & 1 == 1));
+            next.clear();
+            next.extend(cur.iter().copied().filter(|&s| (s >> shift) & 1 == 0));
+            let z = next.len();
+            next.extend(cur.iter().copied().filter(|&s| (s >> shift) & 1 == 1));
+            zeros.push(z);
+            levels.push(RankSelect::new(bits));
+            std::mem::swap(&mut cur, &mut next);
+        }
+        Self {
+            levels,
+            zeros,
+            len: symbols.len(),
+            width,
+            sigma,
+        }
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alphabet size.
+    #[inline]
+    pub fn sigma(&self) -> u64 {
+        self.sigma
+    }
+
+    /// Number of bit levels (`⌈log₂ σ⌉`, at least 1).
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The symbol at position `i`, in *O*(log σ).
+    pub fn access(&self, i: usize) -> u64 {
+        assert!(i < self.len, "position {i} out of bounds (len {})", self.len);
+        let mut sym = 0u64;
+        let mut i = i;
+        for l in 0..self.width {
+            let lvl = &self.levels[l];
+            if lvl.get(i) {
+                sym = (sym << 1) | 1;
+                i = self.zeros[l] + lvl.rank1(i);
+            } else {
+                sym <<= 1;
+                i = lvl.rank0(i);
+            }
+        }
+        sym
+    }
+
+    /// Number of occurrences of `sym` in `[0, i)`, in *O*(log σ).
+    pub fn rank(&self, sym: u64, i: usize) -> usize {
+        assert!(i <= self.len);
+        assert!(sym < self.sigma);
+        let (mut b, mut start) = (i, 0usize);
+        for l in 0..self.width {
+            let lvl = &self.levels[l];
+            if (sym >> (self.width - 1 - l)) & 1 == 1 {
+                b = self.zeros[l] + lvl.rank1(b);
+                start = self.zeros[l] + lvl.rank1(start);
+            } else {
+                b = lvl.rank0(b);
+                start = lvl.rank0(start);
+            }
+        }
+        b - start
+    }
+
+    /// Position of the `k`-th occurrence of `sym` (0-based), or `None`.
+    pub fn select(&self, sym: u64, k: usize) -> Option<usize> {
+        assert!(sym < self.sigma);
+        if k >= self.rank(sym, self.len) {
+            return None;
+        }
+        // Descend to find the leaf-level start of sym's block.
+        let mut start = 0usize;
+        for l in 0..self.width {
+            let lvl = &self.levels[l];
+            if (sym >> (self.width - 1 - l)) & 1 == 1 {
+                start = self.zeros[l] + lvl.rank1(start);
+            } else {
+                start = lvl.rank0(start);
+            }
+        }
+        // Ascend, inverting each level's stable partition.
+        let mut pos = start + k;
+        for l in (0..self.width).rev() {
+            let lvl = &self.levels[l];
+            pos = if (sym >> (self.width - 1 - l)) & 1 == 1 {
+                lvl.select1(pos - self.zeros[l])?
+            } else {
+                lvl.select0(pos)?
+            };
+        }
+        Some(pos)
+    }
+
+    /// Runs a guided traversal of the range `[b, e)` (see [`RangeGuide`]).
+    ///
+    /// Only nodes with a non-empty restriction of the range are visited, and
+    /// only if the guide admits them, so the cost is *O*(log σ) per admitted
+    /// leaf — the property Theorem 4.1 charges traversal costs with.
+    pub fn guided_traverse<G: RangeGuide>(&self, b: usize, e: usize, guide: &mut G) {
+        assert!(b <= e && e <= self.len);
+        if b == e || !guide.enter(0, 0) {
+            return;
+        }
+        self.traverse_rec(0, 0, 0, b, e, guide);
+    }
+
+    fn traverse_rec<G: RangeGuide>(
+        &self,
+        level: usize,
+        prefix: u64,
+        start: usize,
+        b: usize,
+        e: usize,
+        guide: &mut G,
+    ) {
+        if level == self.width {
+            guide.leaf(prefix, b - start, e - start);
+            return;
+        }
+        let lvl = &self.levels[level];
+        let (s0, b0, e0) = (lvl.rank0(start), lvl.rank0(b), lvl.rank0(e));
+        if e0 > b0 && guide.enter(level + 1, prefix << 1) {
+            self.traverse_rec(level + 1, prefix << 1, s0, b0, e0, guide);
+        }
+        let z = self.zeros[level];
+        let (s1, b1, e1) = (z + (start - s0), z + (b - b0), z + (e - e0));
+        if e1 > b1 && guide.enter(level + 1, (prefix << 1) | 1) {
+            self.traverse_rec(level + 1, (prefix << 1) | 1, s1, b1, e1, guide);
+        }
+    }
+
+    /// Calls `f(sym, rank_b, rank_e)` for every distinct symbol in `[b, e)`,
+    /// in increasing symbol order.
+    pub fn range_distinct<F: FnMut(u64, usize, usize)>(&self, b: usize, e: usize, f: &mut F) {
+        struct All<'a, F>(&'a mut F);
+        impl<F: FnMut(u64, usize, usize)> RangeGuide for All<'_, F> {
+            fn enter(&mut self, _: usize, _: u64) -> bool {
+                true
+            }
+            fn leaf(&mut self, sym: u64, rb: usize, re: usize) {
+                (self.0)(sym, rb, re)
+            }
+        }
+        self.guided_traverse(b, e, &mut All(f));
+    }
+
+    /// Number of distinct symbols in `[b, e)`.
+    pub fn count_distinct(&self, b: usize, e: usize) -> usize {
+        let mut n = 0;
+        self.range_distinct(b, e, &mut |_, _, _| n += 1);
+        n
+    }
+
+    /// Symbols occurring in **both** ranges, with rank offsets in each
+    /// (cf. [`crate::WaveletTree::range_intersect`]).
+    pub fn range_intersect(
+        &self,
+        r1: (usize, usize),
+        r2: (usize, usize),
+    ) -> Vec<IntersectionHit> {
+        assert!(r1.0 <= r1.1 && r1.1 <= self.len);
+        assert!(r2.0 <= r2.1 && r2.1 <= self.len);
+        let mut out = Vec::new();
+        if r1.0 < r1.1 && r2.0 < r2.1 {
+            self.intersect_rec(0, 0, (0, r1.0, r1.1), (0, r2.0, r2.1), &mut out);
+        }
+        out
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn intersect_rec(
+        &self,
+        level: usize,
+        prefix: u64,
+        t1: (usize, usize, usize),
+        t2: (usize, usize, usize),
+        out: &mut Vec<IntersectionHit>,
+    ) {
+        if level == self.width {
+            out.push((
+                prefix,
+                (t1.1 - t1.0, t1.2 - t1.0),
+                (t2.1 - t2.0, t2.2 - t2.0),
+            ));
+            return;
+        }
+        let lvl = &self.levels[level];
+        let z = self.zeros[level];
+        let map0 = |t: (usize, usize, usize)| (lvl.rank0(t.0), lvl.rank0(t.1), lvl.rank0(t.2));
+        let l1 = map0(t1);
+        let l2 = map0(t2);
+        if l1.2 > l1.1 && l2.2 > l2.1 {
+            self.intersect_rec(level + 1, prefix << 1, l1, l2, out);
+        }
+        let map1 = |t: (usize, usize, usize), l: (usize, usize, usize)| {
+            (z + (t.0 - l.0), z + (t.1 - l.1), z + (t.2 - l.2))
+        };
+        let h1 = map1(t1, l1);
+        let h2 = map1(t2, l2);
+        if h1.2 > h1.1 && h2.2 > h2.1 {
+            self.intersect_rec(level + 1, (prefix << 1) | 1, h1, h2, out);
+        }
+    }
+
+    /// The smallest symbol `>= x` in `[b, e)`, with rank offsets, or `None`.
+    pub fn range_next_value(&self, b: usize, e: usize, x: u64) -> Option<(u64, usize, usize)> {
+        assert!(b <= e && e <= self.len);
+        if b == e {
+            return None;
+        }
+        self.next_value_rec(0, 0, 0, b, e, x)
+    }
+
+    fn next_value_rec(
+        &self,
+        level: usize,
+        prefix: u64,
+        start: usize,
+        b: usize,
+        e: usize,
+        x: u64,
+    ) -> Option<(u64, usize, usize)> {
+        // Symbol interval covered by this node: [lo, hi).
+        let span = self.width - level;
+        let lo = if span >= 64 { 0 } else { prefix << span };
+        if span < 64 && lo.checked_add(1 << span).is_some_and(|hi| hi <= x) {
+            return None;
+        }
+        if level == self.width {
+            return Some((prefix, b - start, e - start));
+        }
+        let lvl = &self.levels[level];
+        let (s0, b0, e0) = (lvl.rank0(start), lvl.rank0(b), lvl.rank0(e));
+        if e0 > b0 {
+            if let Some(hit) = self.next_value_rec(level + 1, prefix << 1, s0, b0, e0, x) {
+                return Some(hit);
+            }
+        }
+        let z = self.zeros[level];
+        let (s1, b1, e1) = (z + (start - s0), z + (b - b0), z + (e - e0));
+        if e1 > b1 {
+            return self.next_value_rec(level + 1, (prefix << 1) | 1, s1, b1, e1, x);
+        }
+        None
+    }
+
+    /// Number of occurrences of symbols in `[lo, hi)` within positions
+    /// `[b, e)` — a two-dimensional count in *O*(log σ), one of the
+    /// "powerful operations providing on-the-fly selectivity statistics"
+    /// §6 proposes for query planning.
+    pub fn range_count_within(&self, b: usize, e: usize, lo: u64, hi: u64) -> usize {
+        assert!(b <= e && e <= self.len);
+        if b == e || lo >= hi {
+            return 0;
+        }
+        self.count_within_rec(0, 0, b, e, lo, hi.min(1u64 << self.width.min(63)))
+    }
+
+    fn count_within_rec(
+        &self,
+        level: usize,
+        prefix: u64,
+        b: usize,
+        e: usize,
+        lo: u64,
+        hi: u64,
+    ) -> usize {
+        if b == e {
+            return 0;
+        }
+        let span = self.width - level;
+        let node_lo = if span >= 64 { 0 } else { prefix << span };
+        let node_hi = if span >= 63 {
+            u64::MAX
+        } else {
+            node_lo + (1u64 << span)
+        };
+        if node_hi <= lo || node_lo >= hi {
+            return 0;
+        }
+        if lo <= node_lo && node_hi <= hi {
+            return e - b;
+        }
+        let lvl = &self.levels[level];
+        let (b0, e0) = (lvl.rank0(b), lvl.rank0(e));
+        let z = self.zeros[level];
+        self.count_within_rec(level + 1, prefix << 1, b0, e0, lo, hi)
+            + self.count_within_rec(
+                level + 1,
+                (prefix << 1) | 1,
+                z + (b - b0),
+                z + (e - e0),
+                lo,
+                hi,
+            )
+    }
+
+    /// The `k`-th smallest symbol (0-based, counting multiplicity) in
+    /// `[b, e)`, in *O*(log σ) — the classic wavelet-tree quantile
+    /// \[21\].
+    ///
+    /// # Panics
+    /// Panics if `k >= e - b` or the range is invalid.
+    pub fn range_quantile(&self, b: usize, e: usize, k: usize) -> u64 {
+        assert!(b <= e && e <= self.len);
+        assert!(k < e - b, "quantile index {k} out of range of size {}", e - b);
+        let (mut b, mut e, mut k) = (b, e, k);
+        let mut sym = 0u64;
+        for l in 0..self.width {
+            let lvl = &self.levels[l];
+            let (b0, e0) = (lvl.rank0(b), lvl.rank0(e));
+            let zeros_here = e0 - b0;
+            if k < zeros_here {
+                sym <<= 1;
+                b = b0;
+                e = e0;
+            } else {
+                k -= zeros_here;
+                sym = (sym << 1) | 1;
+                let z = self.zeros[l];
+                b = z + (b - b0);
+                e = z + (e - e0);
+            }
+        }
+        sym
+    }
+
+    /// Total number of conceptual tree nodes (`2^(width+1) - 1`), for sizing
+    /// per-node mask tables in heap order.
+    pub fn node_table_len(&self) -> usize {
+        (1usize << (self.width + 1)) - 1
+    }
+
+    /// Heap index of the node `(level, prefix)`:
+    /// `2^level - 1 + prefix`, compatible with [`Self::node_table_len`].
+    #[inline]
+    pub fn node_index(level: usize, prefix: u64) -> usize {
+        (1usize << level) - 1 + prefix as usize
+    }
+}
+
+impl SpaceUsage for WaveletMatrix {
+    fn size_bytes(&self) -> usize {
+        self.levels.iter().map(|l| l.size_bytes()).sum::<usize>()
+            + self.zeros.capacity() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::WaveletTree;
+
+    fn sample(n: usize, sigma: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(0x9E3779B97F4A7C15) >> 17) % sigma)
+            .collect()
+    }
+
+    #[test]
+    fn access_matches_input() {
+        let syms = sample(700, 100);
+        let wm = WaveletMatrix::new(&syms, 100);
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(wm.access(i), s, "position {i}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_wavelet_tree() {
+        let syms = sample(500, 43);
+        let wm = WaveletMatrix::new(&syms, 43);
+        let wt = WaveletTree::new(&syms, 43);
+        for sym in 0..43 {
+            for i in (0..=500).step_by(13) {
+                assert_eq!(wm.rank(sym, i), wt.rank(sym, i), "rank({sym}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn select_inverts_rank() {
+        let syms = sample(400, 17);
+        let wm = WaveletMatrix::new(&syms, 17);
+        for sym in 0..17 {
+            let occ: Vec<usize> = (0..400).filter(|&i| syms[i] == sym).collect();
+            for (k, &pos) in occ.iter().enumerate() {
+                assert_eq!(wm.select(sym, k), Some(pos), "select({sym}, {k})");
+            }
+            assert_eq!(wm.select(sym, occ.len()), None);
+        }
+    }
+
+    #[test]
+    fn range_distinct_matches_wavelet_tree() {
+        let syms = sample(350, 29);
+        let wm = WaveletMatrix::new(&syms, 29);
+        let wt = WaveletTree::new(&syms, 29);
+        for (b, e) in [(0, 350), (17, 18), (40, 200), (349, 350), (60, 60)] {
+            let mut got = Vec::new();
+            wm.range_distinct(b, e, &mut |s, rb, re| got.push((s, rb, re)));
+            let mut expected = Vec::new();
+            wt.range_distinct(b, e, &mut |s, rb, re| expected.push((s, rb, re)));
+            assert_eq!(got, expected, "range [{b}, {e})");
+        }
+    }
+
+    #[test]
+    fn guided_traversal_prunes_subtrees() {
+        // Admit only symbols < 8 by pruning any node whose prefix, once
+        // extended with zeros, already exceeds 7.
+        let syms = sample(300, 32);
+        let wm = WaveletMatrix::new(&syms, 32);
+        struct Below8 {
+            width: usize,
+            seen: Vec<u64>,
+            entered: usize,
+        }
+        impl RangeGuide for Below8 {
+            fn enter(&mut self, level: usize, prefix: u64) -> bool {
+                self.entered += 1;
+                let span = self.width - level;
+                (prefix << span) < 8
+            }
+            fn leaf(&mut self, sym: u64, _: usize, _: usize) {
+                self.seen.push(sym);
+            }
+        }
+        let mut guide = Below8 {
+            width: wm.width(),
+            seen: Vec::new(),
+            entered: 0,
+        };
+        wm.guided_traverse(0, 300, &mut guide);
+        let mut expected: Vec<u64> = syms.iter().copied().filter(|&s| s < 8).collect();
+        expected.sort_unstable();
+        expected.dedup();
+        assert_eq!(guide.seen, expected);
+        // Pruning must keep us away from the full 2*sigma node count.
+        assert!(guide.entered < 2 * 32);
+    }
+
+    #[test]
+    fn intersect_matches_wavelet_tree() {
+        let syms = sample(280, 23);
+        let wm = WaveletMatrix::new(&syms, 23);
+        let wt = WaveletTree::new(&syms, 23);
+        for (r1, r2) in [((0, 140), (70, 280)), ((5, 10), (200, 230)), ((0, 0), (0, 280))] {
+            assert_eq!(
+                wm.range_intersect(r1, r2),
+                wt.range_intersect(r1, r2),
+                "ranges {r1:?} {r2:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_value_matches_wavelet_tree() {
+        let syms = sample(260, 31);
+        let wm = WaveletMatrix::new(&syms, 31);
+        let wt = WaveletTree::new(&syms, 31);
+        for x in 0..32 {
+            for (b, e) in [(0usize, 260usize), (25, 80), (100, 103)] {
+                assert_eq!(
+                    wm.range_next_value(b, e, x),
+                    wt.range_next_value(b, e, x),
+                    "x={x} range [{b},{e})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sigma_one_and_empty() {
+        let wm = WaveletMatrix::new(&[0, 0, 0], 1);
+        assert_eq!(wm.access(2), 0);
+        assert_eq!(wm.rank(0, 3), 3);
+        assert_eq!(wm.select(0, 2), Some(2));
+
+        let wm = WaveletMatrix::new(&[], 5);
+        assert!(wm.is_empty());
+        assert_eq!(wm.rank(4, 0), 0);
+        assert_eq!(wm.count_distinct(0, 0), 0);
+    }
+
+    #[test]
+    fn node_index_heap_order() {
+        assert_eq!(WaveletMatrix::node_index(0, 0), 0);
+        assert_eq!(WaveletMatrix::node_index(1, 0), 1);
+        assert_eq!(WaveletMatrix::node_index(1, 1), 2);
+        assert_eq!(WaveletMatrix::node_index(2, 3), 6);
+        let wm = WaveletMatrix::new(&[0, 1, 2, 3], 4);
+        assert_eq!(wm.node_table_len(), 7);
+    }
+
+    #[test]
+    fn range_count_within_matches_naive() {
+        let syms = sample(300, 40);
+        let wm = WaveletMatrix::new(&syms, 40);
+        for (b, e) in [(0usize, 300usize), (25, 120), (100, 101), (50, 50)] {
+            for (lo, hi) in [(0u64, 40u64), (5, 12), (39, 40), (10, 10), (0, 1)] {
+                let naive = syms[b..e].iter().filter(|&&s| s >= lo && s < hi).count();
+                assert_eq!(
+                    wm.range_count_within(b, e, lo, hi),
+                    naive,
+                    "range [{b},{e}) values [{lo},{hi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_quantile_matches_sorted() {
+        let syms = sample(200, 25);
+        let wm = WaveletMatrix::new(&syms, 25);
+        for (b, e) in [(0usize, 200usize), (30, 90), (150, 153)] {
+            let mut sorted: Vec<u64> = syms[b..e].to_vec();
+            sorted.sort_unstable();
+            for (k, &expected) in sorted.iter().enumerate() {
+                assert_eq!(wm.range_quantile(b, e, k), expected, "k={k} in [{b},{e})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_of_absent_symbol_is_zero() {
+        let syms = vec![1u64, 3, 5, 7];
+        let wm = WaveletMatrix::new(&syms, 8);
+        for sym in [0u64, 2, 4, 6] {
+            assert_eq!(wm.rank(sym, 4), 0);
+            assert_eq!(wm.select(sym, 0), None);
+        }
+    }
+}

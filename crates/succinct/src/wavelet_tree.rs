@@ -1,0 +1,475 @@
+//! The classical pointer-based wavelet tree (Grossi, Gupta, Vitter \[23\]).
+//!
+//! A balanced binary tree over the alphabet `[0, σ)`; each internal node
+//! stores one bit per element of the subsequence it represents (§3.5 of the
+//! paper). This implementation favours clarity: it is the reference the
+//! [`crate::WaveletMatrix`] is cross-validated against, and the subject of
+//! the wavelet-tree-vs-wavelet-matrix ablation (DESIGN.md A2).
+
+use crate::{BitVec, RankSelect, SpaceUsage};
+
+/// A wavelet tree over a sequence of symbols in `[0, sigma)`.
+#[derive(Clone, Debug)]
+pub struct WaveletTree {
+    root: Option<Box<Node>>,
+    len: usize,
+    sigma: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    /// `bits[i] == true` iff the i-th element of this node's subsequence
+    /// belongs to the upper half of the node's symbol range.
+    bits: RankSelect,
+    left: Option<Box<Node>>,
+    right: Option<Box<Node>>,
+}
+
+impl WaveletTree {
+    /// Builds a wavelet tree for `symbols`, all of which must be `< sigma`.
+    ///
+    /// # Panics
+    /// Panics if `sigma == 0` or any symbol is out of range.
+    pub fn new(symbols: &[u64], sigma: u64) -> Self {
+        assert!(sigma > 0, "alphabet must be non-empty");
+        for &s in symbols {
+            assert!(s < sigma, "symbol {s} out of alphabet range [0, {sigma})");
+        }
+        let root = build(symbols, 0, sigma);
+        Self {
+            root,
+            len: symbols.len(),
+            sigma,
+        }
+    }
+
+    /// Sequence length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Alphabet size.
+    #[inline]
+    pub fn sigma(&self) -> u64 {
+        self.sigma
+    }
+
+    /// The symbol at position `i`, in *O*(log σ).
+    pub fn access(&self, i: usize) -> u64 {
+        assert!(i < self.len, "position {i} out of bounds (len {})", self.len);
+        let (mut lo, mut hi) = (0u64, self.sigma);
+        let mut node = self.root.as_deref();
+        let mut i = i;
+        while hi - lo > 1 {
+            let n = node.expect("non-empty range must have a node");
+            let mid = lo + (hi - lo) / 2;
+            if n.bits.get(i) {
+                i = n.bits.rank1(i);
+                lo = mid;
+                node = n.right.as_deref();
+            } else {
+                i = n.bits.rank0(i);
+                hi = mid;
+                node = n.left.as_deref();
+            }
+        }
+        lo
+    }
+
+    /// Number of occurrences of `sym` in `[0, i)`, in *O*(log σ).
+    pub fn rank(&self, sym: u64, i: usize) -> usize {
+        assert!(i <= self.len);
+        assert!(sym < self.sigma);
+        let (mut lo, mut hi) = (0u64, self.sigma);
+        let mut node = self.root.as_deref();
+        let mut i = i;
+        while hi - lo > 1 {
+            let Some(n) = node else { return 0 };
+            let mid = lo + (hi - lo) / 2;
+            if sym >= mid {
+                i = n.bits.rank1(i);
+                lo = mid;
+                node = n.right.as_deref();
+            } else {
+                i = n.bits.rank0(i);
+                hi = mid;
+                node = n.left.as_deref();
+            }
+        }
+        i
+    }
+
+    /// Position of the `k`-th occurrence of `sym` (0-based), or `None`.
+    pub fn select(&self, sym: u64, k: usize) -> Option<usize> {
+        assert!(sym < self.sigma);
+        select_rec(self.root.as_deref(), 0, self.sigma, sym, k)
+    }
+
+    /// Calls `f(sym, rank_b, rank_e)` once per distinct symbol in
+    /// `[b, e)`, in increasing symbol order, where `rank_b = rank(sym, b)`
+    /// and `rank_e = rank(sym, e)`. Runs in *O*(log σ) per reported symbol
+    /// (the warm-up algorithm at the end of §3.5).
+    pub fn range_distinct<F: FnMut(u64, usize, usize)>(&self, b: usize, e: usize, f: &mut F) {
+        assert!(b <= e && e <= self.len);
+        distinct_rec(self.root.as_deref(), 0, self.sigma, b, e, f);
+    }
+
+    /// Number of distinct symbols in `[b, e)`.
+    pub fn count_distinct(&self, b: usize, e: usize) -> usize {
+        let mut n = 0;
+        self.range_distinct(b, e, &mut |_, _, _| n += 1);
+        n
+    }
+
+    /// Symbols occurring in **both** ranges, with their rank offsets in each:
+    /// `(sym, (rank_b1, rank_e1), (rank_b2, rank_e2))`. This is the wavelet
+    /// tree intersection of \[21\] used by the paper's `v /v` fast path (§5).
+    pub fn range_intersect(
+        &self,
+        r1: (usize, usize),
+        r2: (usize, usize),
+    ) -> Vec<crate::wavelet_matrix::IntersectionHit> {
+        assert!(r1.0 <= r1.1 && r1.1 <= self.len);
+        assert!(r2.0 <= r2.1 && r2.1 <= self.len);
+        let mut out = Vec::new();
+        intersect_rec(self.root.as_deref(), 0, self.sigma, r1, r2, &mut out);
+        out
+    }
+
+    /// The smallest symbol `>= x` occurring in `[b, e)`, with its rank
+    /// offsets, or `None`. The primitive behind leapfrog seeks.
+    pub fn range_next_value(
+        &self,
+        b: usize,
+        e: usize,
+        x: u64,
+    ) -> Option<(u64, usize, usize)> {
+        assert!(b <= e && e <= self.len);
+        next_value_rec(self.root.as_deref(), 0, self.sigma, b, e, x)
+    }
+
+    /// Number of occurrences of symbols in `[lo, hi)` within positions
+    /// `[b, e)` (cf. [`crate::WaveletMatrix::range_count_within`]).
+    pub fn range_count_within(&self, b: usize, e: usize, lo: u64, hi: u64) -> usize {
+        assert!(b <= e && e <= self.len);
+        count_within_rec(self.root.as_deref(), 0, self.sigma, b, e, lo, hi.min(self.sigma))
+    }
+
+    /// The `k`-th smallest symbol (0-based, with multiplicity) in `[b, e)`.
+    ///
+    /// # Panics
+    /// Panics if `k >= e - b`.
+    pub fn range_quantile(&self, b: usize, e: usize, k: usize) -> u64 {
+        assert!(b <= e && e <= self.len);
+        assert!(k < e - b, "quantile index {k} out of range of size {}", e - b);
+        let (mut lo, mut hi) = (0u64, self.sigma);
+        let mut node = self.root.as_deref();
+        let (mut b, mut e, mut k) = (b, e, k);
+        while hi - lo > 1 {
+            let n = node.expect("non-empty range requires a node");
+            let mid = lo + (hi - lo) / 2;
+            let (b0, e0) = (n.bits.rank0(b), n.bits.rank0(e));
+            let zeros_here = e0 - b0;
+            if k < zeros_here {
+                hi = mid;
+                b = b0;
+                e = e0;
+                node = n.left.as_deref();
+            } else {
+                k -= zeros_here;
+                b -= b0;
+                e -= e0;
+                lo = mid;
+                node = n.right.as_deref();
+            }
+        }
+        lo
+    }
+}
+
+fn count_within_rec(
+    node: Option<&Node>,
+    node_lo: u64,
+    node_hi: u64,
+    b: usize,
+    e: usize,
+    lo: u64,
+    hi: u64,
+) -> usize {
+    if b >= e || node_hi <= lo || node_lo >= hi {
+        return 0;
+    }
+    if lo <= node_lo && node_hi <= hi {
+        return e - b;
+    }
+    let n = node.expect("partially covered non-empty range requires a node");
+    let mid = node_lo + (node_hi - node_lo) / 2;
+    let (b0, e0) = (n.bits.rank0(b), n.bits.rank0(e));
+    count_within_rec(n.left.as_deref(), node_lo, mid, b0, e0, lo, hi)
+        + count_within_rec(n.right.as_deref(), mid, node_hi, b - b0, e - e0, lo, hi)
+}
+
+fn build(symbols: &[u64], lo: u64, hi: u64) -> Option<Box<Node>> {
+    if symbols.is_empty() || hi - lo <= 1 {
+        return None;
+    }
+    let mid = lo + (hi - lo) / 2;
+    let bits = BitVec::from_bits(symbols.iter().map(|&s| s >= mid));
+    let left_syms: Vec<u64> = symbols.iter().copied().filter(|&s| s < mid).collect();
+    let right_syms: Vec<u64> = symbols.iter().copied().filter(|&s| s >= mid).collect();
+    Some(Box::new(Node {
+        bits: RankSelect::new(bits),
+        left: build(&left_syms, lo, mid),
+        right: build(&right_syms, mid, hi),
+    }))
+}
+
+fn select_rec(node: Option<&Node>, lo: u64, hi: u64, sym: u64, k: usize) -> Option<usize> {
+    if hi - lo <= 1 {
+        // Conceptual leaf: position within the leaf is k itself; validity is
+        // checked by the parent's select.
+        return Some(k);
+    }
+    let n = node?;
+    let mid = lo + (hi - lo) / 2;
+    if sym < mid {
+        let k2 = select_rec(n.left.as_deref(), lo, mid, sym, k)?;
+        n.bits.select0(k2)
+    } else {
+        let k2 = select_rec(n.right.as_deref(), mid, hi, sym, k)?;
+        n.bits.select1(k2)
+    }
+}
+
+fn distinct_rec<F: FnMut(u64, usize, usize)>(
+    node: Option<&Node>,
+    lo: u64,
+    hi: u64,
+    b: usize,
+    e: usize,
+    f: &mut F,
+) {
+    if b >= e {
+        return;
+    }
+    if hi - lo <= 1 {
+        f(lo, b, e);
+        return;
+    }
+    let n = node.expect("non-empty interval requires a node");
+    let (b0, e0) = (n.bits.rank0(b), n.bits.rank0(e));
+    let mid = lo + (hi - lo) / 2;
+    distinct_rec(n.left.as_deref(), lo, mid, b0, e0, f);
+    distinct_rec(n.right.as_deref(), mid, hi, b - b0, e - e0, f);
+}
+
+type Intersection = (u64, (usize, usize), (usize, usize));
+
+fn intersect_rec(
+    node: Option<&Node>,
+    lo: u64,
+    hi: u64,
+    r1: (usize, usize),
+    r2: (usize, usize),
+    out: &mut Vec<Intersection>,
+) {
+    if r1.0 >= r1.1 || r2.0 >= r2.1 {
+        return;
+    }
+    if hi - lo <= 1 {
+        out.push((lo, r1, r2));
+        return;
+    }
+    let n = node.expect("non-empty interval requires a node");
+    let mid = lo + (hi - lo) / 2;
+    let l1 = (n.bits.rank0(r1.0), n.bits.rank0(r1.1));
+    let l2 = (n.bits.rank0(r2.0), n.bits.rank0(r2.1));
+    intersect_rec(n.left.as_deref(), lo, mid, l1, l2, out);
+    let h1 = (r1.0 - l1.0, r1.1 - l1.1);
+    let h2 = (r2.0 - l2.0, r2.1 - l2.1);
+    intersect_rec(n.right.as_deref(), mid, hi, h1, h2, out);
+}
+
+fn next_value_rec(
+    node: Option<&Node>,
+    lo: u64,
+    hi: u64,
+    b: usize,
+    e: usize,
+    x: u64,
+) -> Option<(u64, usize, usize)> {
+    if b >= e || hi <= x {
+        return None;
+    }
+    if hi - lo <= 1 {
+        return Some((lo, b, e));
+    }
+    let n = node?;
+    let mid = lo + (hi - lo) / 2;
+    let (b0, e0) = (n.bits.rank0(b), n.bits.rank0(e));
+    if x < mid {
+        if let Some(hit) = next_value_rec(n.left.as_deref(), lo, mid, b0, e0, x) {
+            return Some(hit);
+        }
+    }
+    next_value_rec(n.right.as_deref(), mid, hi, b - b0, e - e0, x)
+}
+
+impl SpaceUsage for WaveletTree {
+    fn size_bytes(&self) -> usize {
+        fn rec(node: Option<&Node>) -> usize {
+            match node {
+                None => 0,
+                Some(n) => {
+                    std::mem::size_of::<Node>()
+                        + n.bits.size_bytes()
+                        + rec(n.left.as_deref())
+                        + rec(n.right.as_deref())
+                }
+            }
+        }
+        rec(self.root.as_deref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize, sigma: u64) -> Vec<u64> {
+        (0..n)
+            .map(|i| ((i as u64).wrapping_mul(2654435761) ^ (i as u64) << 3) % sigma)
+            .collect()
+    }
+
+    #[test]
+    fn access_matches_input() {
+        let syms = sample(600, 37);
+        let wt = WaveletTree::new(&syms, 37);
+        for (i, &s) in syms.iter().enumerate() {
+            assert_eq!(wt.access(i), s, "position {i}");
+        }
+    }
+
+    #[test]
+    fn rank_matches_naive() {
+        let syms = sample(400, 13);
+        let wt = WaveletTree::new(&syms, 13);
+        for sym in 0..13 {
+            for i in (0..=400).step_by(17) {
+                let naive = syms[..i].iter().filter(|&&s| s == sym).count();
+                assert_eq!(wt.rank(sym, i), naive, "rank({sym}, {i})");
+            }
+        }
+    }
+
+    #[test]
+    fn select_inverts_rank() {
+        let syms = sample(500, 9);
+        let wt = WaveletTree::new(&syms, 9);
+        for sym in 0..9 {
+            let occ: Vec<usize> = (0..500).filter(|&i| syms[i] == sym).collect();
+            for (k, &pos) in occ.iter().enumerate() {
+                assert_eq!(wt.select(sym, k), Some(pos), "select({sym}, {k})");
+            }
+            assert_eq!(wt.select(sym, occ.len()), None);
+        }
+    }
+
+    #[test]
+    fn range_distinct_matches_naive() {
+        let syms = sample(300, 21);
+        let wt = WaveletTree::new(&syms, 21);
+        for (b, e) in [(0, 300), (10, 11), (50, 150), (299, 300), (100, 100)] {
+            let mut got = Vec::new();
+            wt.range_distinct(b, e, &mut |sym, rb, re| got.push((sym, rb, re)));
+            let mut expected: Vec<(u64, usize, usize)> = (0..21)
+                .filter_map(|sym| {
+                    let rb = syms[..b].iter().filter(|&&s| s == sym).count();
+                    let re = syms[..e].iter().filter(|&&s| s == sym).count();
+                    (re > rb).then_some((sym, rb, re))
+                })
+                .collect();
+            expected.sort();
+            assert_eq!(got, expected, "range [{b}, {e})");
+        }
+    }
+
+    #[test]
+    fn intersect_matches_naive() {
+        let syms = sample(256, 11);
+        let wt = WaveletTree::new(&syms, 11);
+        let (r1, r2) = ((5usize, 100usize), (80usize, 200usize));
+        let got = wt.range_intersect(r1, r2);
+        let mut expected = Vec::new();
+        for sym in 0..11u64 {
+            let c = |b: usize, e: usize| syms[b..e].iter().filter(|&&s| s == sym).count();
+            if c(r1.0, r1.1) > 0 && c(r2.0, r2.1) > 0 {
+                expected.push(sym);
+            }
+        }
+        assert_eq!(got.iter().map(|t| t.0).collect::<Vec<_>>(), expected);
+        for (sym, (rb1, re1), (rb2, re2)) in got {
+            assert_eq!(rb1, wt.rank(sym, r1.0));
+            assert_eq!(re1, wt.rank(sym, r1.1));
+            assert_eq!(rb2, wt.rank(sym, r2.0));
+            assert_eq!(re2, wt.rank(sym, r2.1));
+        }
+    }
+
+    #[test]
+    fn next_value_matches_naive() {
+        let syms = sample(222, 19);
+        let wt = WaveletTree::new(&syms, 19);
+        for x in 0..20 {
+            for (b, e) in [(0usize, 222usize), (30, 60), (100, 101)] {
+                let expected = syms[b..e].iter().copied().filter(|&s| s >= x).min();
+                let got = wt.range_next_value(b, e, x).map(|t| t.0);
+                assert_eq!(got, expected, "next_value x={x} range [{b},{e})");
+            }
+        }
+    }
+
+    #[test]
+    fn count_within_and_quantile_match_naive() {
+        let syms = sample(240, 17);
+        let wt = WaveletTree::new(&syms, 17);
+        for (b, e) in [(0usize, 240usize), (40, 130), (200, 203)] {
+            for (lo, hi) in [(0u64, 17u64), (3, 9), (16, 17), (8, 8)] {
+                let naive = syms[b..e].iter().filter(|&&s| s >= lo && s < hi).count();
+                assert_eq!(wt.range_count_within(b, e, lo, hi), naive);
+            }
+            let mut sorted: Vec<u64> = syms[b..e].to_vec();
+            sorted.sort_unstable();
+            for (k, &expected) in sorted.iter().enumerate() {
+                assert_eq!(wt.range_quantile(b, e, k), expected, "k={k} [{b},{e})");
+            }
+        }
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let syms = vec![0u64; 50];
+        let wt = WaveletTree::new(&syms, 1);
+        assert_eq!(wt.access(10), 0);
+        assert_eq!(wt.rank(0, 50), 50);
+        assert_eq!(wt.select(0, 49), Some(49));
+        assert_eq!(wt.count_distinct(0, 50), 1);
+    }
+
+    #[test]
+    fn empty_sequence() {
+        let wt = WaveletTree::new(&[], 8);
+        assert!(wt.is_empty());
+        assert_eq!(wt.rank(3, 0), 0);
+        assert_eq!(wt.select(3, 0), None);
+        assert_eq!(wt.count_distinct(0, 0), 0);
+    }
+}

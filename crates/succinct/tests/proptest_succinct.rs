@@ -1,0 +1,132 @@
+//! Property-based cross-validation of the succinct structures: the wavelet
+//! matrix, pointer wavelet tree, and a naive vector-backed reference must
+//! agree on every operation for arbitrary inputs.
+
+use proptest::prelude::*;
+use succinct::{BitVec, IntVec, RankSelect, WaveletMatrix, WaveletTree};
+
+fn naive_rank(syms: &[u64], sym: u64, i: usize) -> usize {
+    syms[..i].iter().filter(|&&s| s == sym).count()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rank_select_agree_with_naive(bits in prop::collection::vec(any::<bool>(), 0..2000)) {
+        let rs = RankSelect::new(BitVec::from_bits(bits.iter().copied()));
+        let mut ones = 0usize;
+        for (i, &bit) in bits.iter().enumerate() {
+            prop_assert_eq!(rs.rank1(i), ones);
+            prop_assert_eq!(rs.rank0(i), i - ones);
+            if bit {
+                prop_assert_eq!(rs.select1(ones), Some(i));
+                ones += 1;
+            }
+        }
+        prop_assert_eq!(rs.rank1(bits.len()), ones);
+        prop_assert_eq!(rs.select1(ones), None);
+    }
+
+    #[test]
+    fn select0_is_inverse_of_rank0(bits in prop::collection::vec(any::<bool>(), 0..1500)) {
+        let rs = RankSelect::new(BitVec::from_bits(bits.iter().copied()));
+        let mut zeros = 0usize;
+        for (i, &bit) in bits.iter().enumerate() {
+            if !bit {
+                prop_assert_eq!(rs.select0(zeros), Some(i));
+                zeros += 1;
+            }
+        }
+        prop_assert_eq!(rs.select0(zeros), None);
+    }
+
+    #[test]
+    fn int_vec_roundtrip(values in prop::collection::vec(0u64..(1 << 37), 0..300)) {
+        let v = IntVec::from_slice(&values);
+        prop_assert_eq!(v.len(), values.len());
+        for (i, &x) in values.iter().enumerate() {
+            prop_assert_eq!(v.get(i), x);
+        }
+        prop_assert_eq!(v.iter().collect::<Vec<_>>(), values);
+    }
+
+    #[test]
+    fn wavelet_structures_agree(
+        syms in prop::collection::vec(0u64..50, 0..400),
+        queries in prop::collection::vec((0u64..50, 0usize..400), 1..20),
+    ) {
+        let sigma = 50;
+        let wt = WaveletTree::new(&syms, sigma);
+        let wm = WaveletMatrix::new(&syms, sigma);
+        for &(sym, raw_i) in &queries {
+            let i = raw_i.min(syms.len());
+            let expected = naive_rank(&syms, sym, i);
+            prop_assert_eq!(wt.rank(sym, i), expected);
+            prop_assert_eq!(wm.rank(sym, i), expected);
+        }
+        for (i, &s) in syms.iter().enumerate() {
+            prop_assert_eq!(wt.access(i), s);
+            prop_assert_eq!(wm.access(i), s);
+        }
+    }
+
+    #[test]
+    fn wavelet_select_agrees(syms in prop::collection::vec(0u64..12, 0..300)) {
+        let wt = WaveletTree::new(&syms, 12);
+        let wm = WaveletMatrix::new(&syms, 12);
+        for sym in 0..12u64 {
+            let total = naive_rank(&syms, sym, syms.len());
+            for k in 0..total {
+                let expected = syms.iter().enumerate()
+                    .filter(|(_, &s)| s == sym)
+                    .map(|(i, _)| i)
+                    .nth(k);
+                prop_assert_eq!(wt.select(sym, k), expected);
+                prop_assert_eq!(wm.select(sym, k), expected);
+            }
+            prop_assert_eq!(wt.select(sym, total), None);
+            prop_assert_eq!(wm.select(sym, total), None);
+        }
+    }
+
+    #[test]
+    fn range_distinct_agrees(
+        syms in prop::collection::vec(0u64..30, 1..300),
+        b_frac in 0.0f64..1.0,
+        e_frac in 0.0f64..1.0,
+    ) {
+        let n = syms.len();
+        let (mut b, mut e) = (
+            (b_frac * n as f64) as usize,
+            (e_frac * n as f64) as usize,
+        );
+        if b > e { std::mem::swap(&mut b, &mut e); }
+        let wt = WaveletTree::new(&syms, 30);
+        let wm = WaveletMatrix::new(&syms, 30);
+        let mut from_wt = Vec::new();
+        wt.range_distinct(b, e, &mut |s, rb, re| from_wt.push((s, rb, re)));
+        let mut from_wm = Vec::new();
+        wm.range_distinct(b, e, &mut |s, rb, re| from_wm.push((s, rb, re)));
+        prop_assert_eq!(&from_wt, &from_wm);
+        // Rank offsets must reconstruct per-symbol occurrence counts.
+        for &(s, rb, re) in &from_wt {
+            prop_assert_eq!(re - rb, syms[b..e].iter().filter(|&&x| x == s).count());
+            prop_assert_eq!(rb, naive_rank(&syms, s, b));
+        }
+    }
+
+    #[test]
+    fn range_next_value_agrees(
+        syms in prop::collection::vec(0u64..40, 1..250),
+        x in 0u64..45,
+    ) {
+        let wt = WaveletTree::new(&syms, 40);
+        let wm = WaveletMatrix::new(&syms, 40);
+        let b = syms.len() / 4;
+        let e = syms.len();
+        let expected = syms[b..e].iter().copied().filter(|&s| s >= x).min();
+        prop_assert_eq!(wt.range_next_value(b, e, x).map(|t| t.0), expected);
+        prop_assert_eq!(wm.range_next_value(b, e, x).map(|t| t.0), expected);
+    }
+}

@@ -1,0 +1,178 @@
+//! Synthetic Wikidata-like graph generation.
+//!
+//! The benchmark graph mimics the statistics the paper reports for
+//! Wikidata (§5): a predicate alphabet orders of magnitude smaller than
+//! the node set, Zipf-distributed predicate frequencies (a handful of
+//! labels cover most edges — like `instance-of` and external-id
+//! properties — with a long tail of rare ones), and heavy-tailed node
+//! degrees.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ring::{Graph, Id, Triple};
+
+/// Configuration for [`GraphGen`].
+#[derive(Clone, Copy, Debug)]
+pub struct GraphGenConfig {
+    /// Node universe size.
+    pub n_nodes: u64,
+    /// Predicate alphabet size (base, before inverse completion).
+    pub n_preds: u64,
+    /// Number of edge samples (the deduplicated graph may be slightly
+    /// smaller).
+    pub n_edges: usize,
+    /// Zipf exponent for predicate frequencies (≈1 for Wikidata-like).
+    pub pred_zipf: f64,
+    /// Degree-skew exponent: endpoints are drawn as `⌊n·u^γ⌋`; `γ = 1` is
+    /// uniform, larger values concentrate edges on low-id hub nodes.
+    pub node_skew: f64,
+    /// RNG seed (all generation is deterministic).
+    pub seed: u64,
+}
+
+impl Default for GraphGenConfig {
+    fn default() -> Self {
+        Self {
+            n_nodes: 1 << 16,
+            n_preds: 128,
+            n_edges: 1 << 18,
+            pred_zipf: 1.0,
+            node_skew: 2.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic synthetic graph generator.
+pub struct GraphGen {
+    config: GraphGenConfig,
+    /// Cumulative Zipf weights over predicates.
+    pred_cdf: Vec<f64>,
+}
+
+impl GraphGen {
+    /// Creates a generator for `config`.
+    pub fn new(config: GraphGenConfig) -> Self {
+        assert!(config.n_nodes > 0 && config.n_preds > 0);
+        let mut weights: Vec<f64> = (1..=config.n_preds)
+            .map(|r| 1.0 / (r as f64).powf(config.pred_zipf))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        for w in &mut weights {
+            acc += *w / total;
+            *w = acc;
+        }
+        Self {
+            config,
+            pred_cdf: weights,
+        }
+    }
+
+    /// Generates the graph.
+    pub fn generate(&self) -> Graph {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut triples = Vec::with_capacity(self.config.n_edges);
+        for _ in 0..self.config.n_edges {
+            let p = self.sample_pred(&mut rng);
+            let s = self.sample_node(&mut rng);
+            let o = self.sample_node(&mut rng);
+            triples.push(Triple::new(s, p, o));
+        }
+        Graph::new(triples, self.config.n_nodes, self.config.n_preds)
+    }
+
+    /// Zipf-distributed predicate.
+    pub fn sample_pred(&self, rng: &mut StdRng) -> Id {
+        let u: f64 = rng.random();
+        self.pred_cdf.partition_point(|&c| c < u) as Id
+    }
+
+    /// Heavy-tail-degree node.
+    pub fn sample_node(&self, rng: &mut StdRng) -> Id {
+        let u: f64 = rng.random();
+        let v = (self.config.n_nodes as f64 * u.powf(self.config.node_skew)) as u64;
+        v.min(self.config.n_nodes - 1)
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GraphGenConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let cfg = GraphGenConfig {
+            n_nodes: 500,
+            n_preds: 16,
+            n_edges: 2000,
+            ..Default::default()
+        };
+        let a = GraphGen::new(cfg).generate();
+        let b = GraphGen::new(cfg).generate();
+        assert_eq!(a.triples(), b.triples());
+        let c = GraphGen::new(GraphGenConfig { seed: 7, ..cfg }).generate();
+        assert_ne!(a.triples(), c.triples());
+    }
+
+    #[test]
+    fn predicate_distribution_is_skewed() {
+        let cfg = GraphGenConfig {
+            n_nodes: 1000,
+            n_preds: 64,
+            n_edges: 20_000,
+            ..Default::default()
+        };
+        let g = GraphGen::new(cfg).generate();
+        let mut counts = vec![0usize; 64];
+        for t in g.triples() {
+            counts[t.p as usize] += 1;
+        }
+        // Zipf: predicate 0 must dominate the tail by a wide margin.
+        assert!(counts[0] > 10 * counts[50].max(1), "{counts:?}");
+        // ... but the tail must not be empty.
+        assert!(counts[32..].iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn degrees_are_heavy_tailed() {
+        let cfg = GraphGenConfig {
+            n_nodes: 1000,
+            n_preds: 8,
+            n_edges: 30_000,
+            ..Default::default()
+        };
+        let g = GraphGen::new(cfg).generate();
+        let mut deg = vec![0usize; 1000];
+        for t in g.triples() {
+            deg[t.s as usize] += 1;
+            deg[t.o as usize] += 1;
+        }
+        deg.sort_unstable_by(|a, b| b.cmp(a));
+        let top_decile: usize = deg[..100].iter().sum();
+        let total: usize = deg.iter().sum();
+        // The top 10% of nodes carry far more than their uniform share
+        // (10%), and hubs dwarf the median node.
+        assert!(top_decile * 4 > total, "top decile {top_decile} of {total}");
+        assert!(deg[0] > 8 * deg[500].max(1), "max {} median {}", deg[0], deg[500]);
+    }
+
+    #[test]
+    fn ids_within_universe() {
+        let cfg = GraphGenConfig {
+            n_nodes: 77,
+            n_preds: 5,
+            n_edges: 500,
+            ..Default::default()
+        };
+        let g = GraphGen::new(cfg).generate();
+        for t in g.triples() {
+            assert!(t.s < 77 && t.o < 77 && t.p < 5);
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! The paper's running example: the Santiago metro graph of Fig. 1.
+
+use ring::{Dict, Graph, Id, Triple};
+
+/// Node ids of the metro graph.
+pub mod nodes {
+    use ring::Id;
+    /// Santa Ana.
+    pub const SA: Id = 0;
+    /// Universidad de Chile.
+    pub const UCH: Id = 1;
+    /// Los Héroes.
+    pub const LH: Id = 2;
+    /// Bellas Artes.
+    pub const BA: Id = 3;
+    /// Baquedano.
+    pub const BAQ: Id = 4;
+}
+
+/// Predicate ids of the metro graph (base alphabet; inverses are `+4`).
+pub mod preds {
+    use ring::Id;
+    /// Metro line 1.
+    pub const L1: Id = 0;
+    /// Metro line 2.
+    pub const L2: Id = 1;
+    /// Metro line 5.
+    pub const L5: Id = 2;
+    /// Bus connection.
+    pub const BUS: Id = 3;
+}
+
+/// The base metro graph: bidirectional metro lines (as explicit edge
+/// pairs) and three one-way bus hops.
+pub fn metro() -> Graph {
+    use nodes::*;
+    use preds::*;
+    let t = |s, p, o| Triple::new(s, p, o);
+    Graph::from_triples(vec![
+        // l1: Baquedano <-> U. de Chile <-> Los Héroes
+        t(BAQ, L1, UCH),
+        t(UCH, L1, BAQ),
+        t(UCH, L1, LH),
+        t(LH, L1, UCH),
+        // l2: Los Héroes <-> Santa Ana
+        t(LH, L2, SA),
+        t(SA, L2, LH),
+        // l5: Santa Ana <-> Bellas Artes <-> Baquedano
+        t(SA, L5, BA),
+        t(BA, L5, SA),
+        t(BA, L5, BAQ),
+        t(BAQ, L5, BA),
+        // bus: Santa Ana -> U. de Chile -> Bellas Artes -> Santa Ana
+        t(SA, BUS, UCH),
+        t(UCH, BUS, BA),
+        t(BA, BUS, SA),
+    ])
+}
+
+/// Dictionaries naming the metro graph's nodes and predicates.
+pub fn metro_dicts() -> (Dict, Dict) {
+    let mut nodes = Dict::new();
+    for n in ["SantaAna", "UdeChile", "LosHeroes", "BellasArtes", "Baquedano"] {
+        nodes.intern(n);
+    }
+    let mut preds = Dict::new();
+    for p in ["l1", "l2", "l5", "bus"] {
+        preds.intern(p);
+    }
+    (nodes, preds)
+}
+
+/// Node name lookup (for example output).
+pub fn node_name(id: Id) -> &'static str {
+    ["SantaAna", "UdeChile", "LosHeroes", "BellasArtes", "Baquedano"][id as usize]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_shape() {
+        let g = metro();
+        assert_eq!(g.len(), 13);
+        assert_eq!(g.n_nodes(), 5);
+        assert_eq!(g.n_preds(), 4);
+        // Completion doubles everything (Fig. 3 pre-completes the metro
+        // lines; our base graph stores them explicitly, so the completed
+        // graph has 26 edges).
+        assert_eq!(g.completed().len(), 26);
+    }
+
+    #[test]
+    fn dict_names_align() {
+        let (nodes, preds) = metro_dicts();
+        assert_eq!(nodes.get("Baquedano"), Some(nodes::BAQ));
+        assert_eq!(preds.get("l5"), Some(preds::L5));
+        assert_eq!(node_name(nodes::BA), "BellasArtes");
+    }
+}

@@ -1,0 +1,148 @@
+//! The Table 1 pattern taxonomy: the 20 most popular RPQ patterns in the
+//! Wikidata query log, and the classifier mapping a query to its pattern
+//! string ("mapping nodes to constant/variable types and erasing their
+//! predicates, keeping only RPQ operators", §5).
+
+use automata::ast::{Lit, Regex};
+use ring::Id;
+use rpq_core::{RpqQuery, Term};
+
+/// The 20 most popular RPQ patterns and their counts, verbatim from
+/// Table 1 of the paper (1 661 queries; the full log has 1 952, the rest
+/// spread over rarer patterns).
+pub const TABLE1_PATTERNS: [(&str, usize); 20] = [
+    ("v /* c", 537),
+    ("v * c", 433),
+    ("v + c", 109),
+    ("c * v", 99),
+    ("c /* v", 95),
+    ("v / c", 54),
+    ("v */* c", 44),
+    ("v / v", 41),
+    ("v |* c", 36),
+    ("v | v", 31),
+    ("v */*/*/*/* c", 28),
+    ("v ^ v", 26),
+    ("v /* v", 25),
+    ("v * v", 25),
+    ("v /? c", 22),
+    ("v + v", 17),
+    ("v /+ c", 12),
+    ("v || v", 10),
+    ("v | c", 10),
+    ("v /^ v", 7),
+];
+
+/// Renders the operator skeleton of an expression: predicates are erased
+/// (inverse literals leave a `^`), operators are kept.
+pub fn skeleton(expr: &Regex, n_base_preds: Id) -> String {
+    match expr {
+        Regex::Epsilon => "ε".to_string(),
+        Regex::Literal(Lit::Label(l)) => {
+            if *l >= n_base_preds {
+                "^".to_string()
+            } else {
+                String::new()
+            }
+        }
+        Regex::Literal(Lit::Class(ls)) => {
+            let parts: Vec<String> = ls
+                .iter()
+                .map(|&l| {
+                    if l >= n_base_preds {
+                        "^".to_string()
+                    } else {
+                        String::new()
+                    }
+                })
+                .collect();
+            parts.join("|")
+        }
+        Regex::Literal(Lit::NegClass(_)) => "!".to_string(),
+        Regex::Concat(a, b) => format!("{}/{}", skeleton(a, n_base_preds), skeleton(b, n_base_preds)),
+        Regex::Alt(a, b) => format!("{}|{}", skeleton(a, n_base_preds), skeleton(b, n_base_preds)),
+        Regex::Star(a) => format!("{}*", skeleton(a, n_base_preds)),
+        Regex::Plus(a) => format!("{}+", skeleton(a, n_base_preds)),
+        Regex::Opt(a) => format!("{}?", skeleton(a, n_base_preds)),
+    }
+}
+
+/// Classifies a query into its Table 1 pattern string, e.g. `"v /* c"`.
+pub fn classify(query: &RpqQuery, n_base_preds: Id) -> String {
+    let t = |term: Term| match term {
+        Term::Const(_) => "c",
+        Term::Var => "v",
+    };
+    format!(
+        "{} {} {}",
+        t(query.subject),
+        skeleton(&query.expr, n_base_preds),
+        t(query.object)
+    )
+}
+
+/// Whether a pattern string is "c-to-v" (exactly one constant endpoint) —
+/// the 84.7%-of-the-log class of Table 2.
+pub fn is_c_to_v(pattern: &str) -> bool {
+    let first_const = pattern.starts_with('c');
+    let last_const = pattern.ends_with('c');
+    first_const != last_const
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals() {
+        let total: usize = TABLE1_PATTERNS.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, 1661);
+        assert_eq!(TABLE1_PATTERNS[0], ("v /* c", 537));
+        assert_eq!(TABLE1_PATTERNS.len(), 20);
+    }
+
+    #[test]
+    fn skeletons_match_paper_notation() {
+        let n = 10;
+        // a/b* → "/*"
+        let e = Regex::concat(Regex::label(0), Regex::Star(Box::new(Regex::label(1))));
+        assert_eq!(skeleton(&e, n), "/*");
+        // a* → "*"
+        assert_eq!(skeleton(&Regex::Star(Box::new(Regex::label(0))), n), "*");
+        // (a|b)* → "|*"
+        let e = Regex::Star(Box::new(Regex::alt(Regex::label(0), Regex::label(1))));
+        assert_eq!(skeleton(&e, n), "|*");
+        // a|b|c → "||"
+        let e = Regex::alt(Regex::alt(Regex::label(0), Regex::label(1)), Regex::label(2));
+        assert_eq!(skeleton(&e, n), "||");
+        // ^a → "^"
+        assert_eq!(skeleton(&Regex::label(12), n), "^");
+        // a/^b → "/^"
+        let e = Regex::concat(Regex::label(0), Regex::label(11));
+        assert_eq!(skeleton(&e, n), "/^");
+        // a*/b*/c*/d*/e* → "*/*/*/*/*"
+        let star = |l| Regex::Star(Box::new(Regex::label(l)));
+        let e = Regex::concat(
+            Regex::concat(Regex::concat(Regex::concat(star(0), star(1)), star(2)), star(3)),
+            star(4),
+        );
+        assert_eq!(skeleton(&e, n), "*/*/*/*/*");
+    }
+
+    #[test]
+    fn classify_includes_endpoint_types() {
+        let e = Regex::concat(Regex::label(0), Regex::Star(Box::new(Regex::label(1))));
+        let q = RpqQuery::new(Term::Var, e.clone(), Term::Const(3));
+        assert_eq!(classify(&q, 10), "v /* c");
+        let q = RpqQuery::new(Term::Const(3), e, Term::Var);
+        assert_eq!(classify(&q, 10), "c /* v");
+    }
+
+    #[test]
+    fn c_to_v_detection() {
+        assert!(is_c_to_v("v /* c"));
+        assert!(is_c_to_v("c * v"));
+        assert!(!is_c_to_v("v / v"));
+        assert!(!is_c_to_v("c * c"));
+    }
+}

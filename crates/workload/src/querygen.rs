@@ -1,0 +1,238 @@
+//! Query-log generation following Table 1.
+//!
+//! Each of the paper's 20 patterns is a template over predicate slots;
+//! instantiation draws predicates with a 50/50 mix of frequency-weighted
+//! (sample a random edge and keep its label — popular labels, as real
+//! logs over-represent them) and uniform (rare labels) choices, and
+//! anchors constant endpoints on nodes that actually carry a matching
+//! edge, as timeout-inducing log queries do.
+
+use automata::Regex;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+use ring::{Graph, Id};
+use rpq_core::{RpqQuery, Term};
+
+use crate::patterns::{classify, TABLE1_PATTERNS};
+
+/// A generated log entry.
+#[derive(Clone, Debug)]
+pub struct GeneratedQuery {
+    /// The Table 1 pattern this query instantiates, e.g. `"v /* c"`.
+    pub pattern: &'static str,
+    /// The query itself (expression over the completed alphabet).
+    pub query: RpqQuery,
+}
+
+/// Deterministic query-log generator over a base graph.
+pub struct QueryGen<'g> {
+    graph: &'g Graph,
+    n_base: Id,
+    /// Triple indices grouped by predicate: `by_pred[p]` lists positions
+    /// into `graph.triples()`.
+    by_pred: Vec<Vec<u32>>,
+    rng: StdRng,
+}
+
+impl<'g> QueryGen<'g> {
+    /// Creates a generator for `graph` with a deterministic seed.
+    pub fn new(graph: &'g Graph, seed: u64) -> Self {
+        let n_base = graph.n_preds();
+        let mut by_pred = vec![Vec::new(); n_base as usize];
+        for (i, t) in graph.triples().iter().enumerate() {
+            by_pred[t.p as usize].push(i as u32);
+        }
+        Self {
+            graph,
+            n_base,
+            by_pred,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Generates the full Table 1 log (1 661 queries in the paper's mix).
+    pub fn table1_log(&mut self) -> Vec<GeneratedQuery> {
+        self.scaled_log(1.0)
+    }
+
+    /// Generates a log with per-pattern counts scaled by `scale`
+    /// (at least one query per pattern).
+    pub fn scaled_log(&mut self, scale: f64) -> Vec<GeneratedQuery> {
+        let mut log = Vec::new();
+        for &(pattern, count) in TABLE1_PATTERNS.iter() {
+            let n = ((count as f64 * scale).round() as usize).max(1);
+            for _ in 0..n {
+                log.push(self.instantiate(pattern));
+            }
+        }
+        log
+    }
+
+    /// Instantiates one query for a Table 1 pattern string.
+    ///
+    /// # Panics
+    /// Panics on a pattern string outside the Table 1 set.
+    pub fn instantiate(&mut self, pattern: &'static str) -> GeneratedQuery {
+        let expr = self.template(pattern);
+        let subject = if pattern.starts_with('c') {
+            Term::Const(self.anchor(&expr, true))
+        } else {
+            Term::Var
+        };
+        let object = if pattern.ends_with('c') {
+            Term::Const(self.anchor(&expr, false))
+        } else {
+            Term::Var
+        };
+        let query = RpqQuery::new(subject, expr, object);
+        debug_assert_eq!(classify(&query, self.n_base), pattern);
+        GeneratedQuery { pattern, query }
+    }
+
+    /// Builds the expression for a pattern, drawing fresh predicates.
+    fn template(&mut self, pattern: &'static str) -> Regex {
+        let p = |s: &mut Self| Regex::label(s.sample_pred());
+        let pinv = |s: &mut Self| Regex::label(s.sample_pred() + s.n_base);
+        let star = |e: Regex| Regex::Star(Box::new(e));
+        let plus = |e: Regex| Regex::Plus(Box::new(e));
+        let opt = |e: Regex| Regex::Opt(Box::new(e));
+        match pattern.split_whitespace().nth(1).unwrap() {
+            "/*" => Regex::concat(p(self), star(p(self))),
+            "*" => star(p(self)),
+            "+" => plus(p(self)),
+            "/" => Regex::concat(p(self), p(self)),
+            "*/*" => Regex::concat(star(p(self)), star(p(self))),
+            "|*" => star(Regex::alt(p(self), p(self))),
+            "|" => Regex::alt(p(self), p(self)),
+            "*/*/*/*/*" => {
+                let mut e = star(p(self));
+                for _ in 0..4 {
+                    e = Regex::concat(e, star(p(self)));
+                }
+                e
+            }
+            "^" => pinv(self),
+            "/?" => Regex::concat(p(self), opt(p(self))),
+            "/+" => Regex::concat(p(self), plus(p(self))),
+            "||" => Regex::alt(Regex::alt(p(self), p(self)), p(self)),
+            "/^" => Regex::concat(p(self), pinv(self)),
+            other => panic!("unknown Table 1 operator skeleton '{other}'"),
+        }
+    }
+
+    /// 50/50 frequency-weighted / uniform predicate choice.
+    fn sample_pred(&mut self) -> Id {
+        if self.graph.is_empty() || self.rng.random::<bool>() {
+            self.rng.random_range(0..self.n_base)
+        } else {
+            let i = self.rng.random_range(0..self.graph.len());
+            self.graph.triples()[i].p
+        }
+    }
+
+    /// A constant endpoint that carries at least one edge matching one of
+    /// the expression's labels (subject side if `start`, object side
+    /// otherwise). Falls back to a random node for label-free graphs.
+    fn anchor(&mut self, expr: &Regex, start: bool) -> Id {
+        let mut labels = expr.mentioned_labels();
+        labels.shuffle(&mut self.rng);
+        for l in labels {
+            let (base, inverted) = if l < self.n_base {
+                (l, false)
+            } else {
+                (l - self.n_base, true)
+            };
+            let edges = &self.by_pred[base as usize];
+            if edges.is_empty() {
+                continue;
+            }
+            let t = self.graph.triples()[edges[self.rng.random_range(0..edges.len())] as usize];
+            // For the object anchor we want a node with an incoming
+            // expression edge; inverse labels flip the direction.
+            return match (start, inverted) {
+                (true, false) => t.s,
+                (true, true) => t.o,
+                (false, false) => t.o,
+                (false, true) => t.s,
+            };
+        }
+        self.rng.random_range(0..self.graph.n_nodes().max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graphgen::{GraphGen, GraphGenConfig};
+    use crate::patterns::is_c_to_v;
+
+    fn graph() -> Graph {
+        GraphGen::new(GraphGenConfig {
+            n_nodes: 300,
+            n_preds: 12,
+            n_edges: 3000,
+            ..Default::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn full_log_matches_table1_counts() {
+        let g = graph();
+        let mut gen = QueryGen::new(&g, 1);
+        let log = gen.table1_log();
+        assert_eq!(log.len(), 1661);
+        for &(pattern, count) in TABLE1_PATTERNS.iter() {
+            let got = log.iter().filter(|q| q.pattern == pattern).count();
+            assert_eq!(got, count, "pattern {pattern}");
+        }
+    }
+
+    #[test]
+    fn queries_classify_back_to_their_pattern() {
+        let g = graph();
+        let mut gen = QueryGen::new(&g, 2);
+        for q in gen.scaled_log(0.02) {
+            assert_eq!(classify(&q.query, g.n_preds()), q.pattern);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = graph();
+        let a: Vec<String> = QueryGen::new(&g, 3)
+            .scaled_log(0.01)
+            .iter()
+            .map(|q| format!("{:?}", q.query))
+            .collect();
+        let b: Vec<String> = QueryGen::new(&g, 3)
+            .scaled_log(0.01)
+            .iter()
+            .map(|q| format!("{:?}", q.query))
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anchors_are_in_range_and_shares_match_paper() {
+        let g = graph();
+        let mut gen = QueryGen::new(&g, 4);
+        let log = gen.table1_log();
+        let mut c_to_v = 0usize;
+        for q in &log {
+            for t in [q.query.subject, q.query.object] {
+                if let Term::Const(c) = t {
+                    assert!(c < g.n_nodes());
+                }
+            }
+            if is_c_to_v(q.pattern) {
+                c_to_v += 1;
+            }
+        }
+        // Table 2: 84.7% of the log is c-to-v (within the top-20 subset
+        // the share is slightly higher).
+        let share = c_to_v as f64 / log.len() as f64;
+        assert!((0.80..=0.92).contains(&share), "c-to-v share {share}");
+    }
+}

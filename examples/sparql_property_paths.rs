@@ -1,0 +1,67 @@
+//! SPARQL-style property paths over an RDF-flavoured graph: bracketed
+//! IRIs, inverse paths, negated property sets, and the four query shapes
+//! (`c→v`, `v→c`, `c→c`, `v→v`).
+//!
+//! Run with: `cargo run --release --example sparql_property_paths`
+
+use ring_rpq::RpqDatabase;
+
+fn main() {
+    // A small FOAF-ish graph with IRIs as names.
+    let db = RpqDatabase::from_text(
+        "
+        <alice>  <knows>    <bob>
+        <bob>    <knows>    <carol>
+        <carol>  <knows>    <dave>
+        <dave>   <knows>    <alice>
+        <alice>  <worksAt>  <acme>
+        <bob>    <worksAt>  <acme>
+        <carol>  <worksAt>  <initech>
+        <dave>   <mentors>  <bob>
+        <eve>    <knows>    <alice>
+        ",
+    )
+    .unwrap();
+
+    // c → v: transitive closure.  SPARQL: <alice> <knows>+ ?y
+    let friends = db.query("<alice>", "<knows>+", "?y").unwrap();
+    println!("<alice> <knows>+ ?y:");
+    for (_, y) in &friends {
+        println!("  {y}");
+    }
+
+    // v → v with an inverse step: colleagues share an employer.
+    // SPARQL: ?x <worksAt>/^<worksAt> ?y
+    let colleagues = db.query("?x", "<worksAt>/^<worksAt>", "?y").unwrap();
+    println!("\n?x <worksAt>/^<worksAt> ?y ({} pairs):", colleagues.len());
+    for (x, y) in &colleagues {
+        println!("  {x} ~ {y}");
+    }
+    assert!(colleagues.contains(&("<alice>".into(), "<bob>".into())));
+
+    // Negated property set: any single edge except <knows>, either way.
+    // SPARQL: <dave> !(<knows>|^<knows>) ?y
+    let non_knows = db.query("<dave>", "!(<knows>|^<knows>)", "?y").unwrap();
+    println!("\n<dave> !(<knows>|^<knows>) ?y:");
+    for (_, y) in &non_knows {
+        println!("  {y}");
+    }
+    assert_eq!(non_knows.len(), 1); // only the <mentors> edge
+
+    // c → c: an existence check along a mixed path.
+    // SPARQL ASK: <eve> <knows>/<knows>*/<worksAt> <initech>
+    let hit = db
+        .query("<eve>", "<knows>/<knows>*/<worksAt>", "<initech>")
+        .unwrap();
+    println!("\n<eve> reaches <initech> through the social graph: {}", !hit.is_empty());
+    assert!(!hit.is_empty());
+
+    // v → c with an optional step.
+    // SPARQL: ?x <mentors>?/<worksAt> <acme>
+    let at_acme = db.query("?x", "<mentors>?/<worksAt>", "<acme>").unwrap();
+    println!("\n?x <mentors>?/<worksAt> <acme>:");
+    for (x, _) in &at_acme {
+        println!("  {x}");
+    }
+    assert!(at_acme.contains(&("<dave>".into(), "<acme>".into())));
+}

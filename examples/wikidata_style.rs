@@ -1,0 +1,83 @@
+//! A Wikidata-scale-in-miniature benchmark: build a synthetic knowledge
+//! graph with Zipf-skewed labels, index it four ways, and race the paper's
+//! Table 1 query mix across all engines.
+//!
+//! Run with: `cargo run --release --example wikidata_style`
+
+use baselines::{
+    AdjacencyIndex, BitParallelAdjEngine, NfaBfsEngine, PathEngine, RingEngine, SemiNaiveEngine,
+};
+use ring::ring::RingOptions;
+use ring::Ring;
+use rpq_core::EngineOptions;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use workload::{GraphGen, GraphGenConfig, QueryGen};
+
+fn main() {
+    let cfg = GraphGenConfig {
+        n_nodes: 1 << 15,
+        n_preds: 96,
+        n_edges: 1 << 18,
+        seed: 2024,
+        ..Default::default()
+    };
+    println!("generating graph: {cfg:?}");
+    let graph = GraphGen::new(cfg).generate();
+
+    let t = Instant::now();
+    let ring = Ring::build(&graph, RingOptions::default());
+    println!(
+        "ring built in {:.2}s — {:.2} bytes/edge ({} edges indexed)",
+        t.elapsed().as_secs_f64(),
+        ring.size_bytes() as f64 / graph.len() as f64,
+        ring.n_triples(),
+    );
+    let adj = Arc::new(AdjacencyIndex::from_graph(&graph));
+    println!(
+        "adjacency index — {:.2} bytes/edge",
+        adj.size_bytes() as f64 / graph.len() as f64
+    );
+
+    let mut log_gen = QueryGen::new(&graph, 7);
+    let log = log_gen.scaled_log(0.02);
+    println!("query log: {} queries in the Table 1 mix\n", log.len());
+
+    let opts = EngineOptions {
+        limit: 100_000,
+        timeout: Some(Duration::from_millis(1500)),
+        ..EngineOptions::default()
+    };
+
+    let mut engines: Vec<Box<dyn PathEngine>> = vec![
+        Box::new(RingEngine::new(&ring)),
+        Box::new(NfaBfsEngine::new(Arc::clone(&adj))),
+        Box::new(SemiNaiveEngine::new(Arc::clone(&adj))),
+        Box::new(BitParallelAdjEngine::new(Arc::clone(&adj))),
+    ];
+
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10}",
+        "engine", "total (s)", "avg (ms)", "timeouts", "results"
+    );
+    for engine in engines.iter_mut() {
+        let mut total = 0.0;
+        let mut timeouts = 0usize;
+        let mut results = 0usize;
+        for gq in &log {
+            let t = Instant::now();
+            let out = engine.run(&gq.query, &opts).expect("query runs");
+            total += t.elapsed().as_secs_f64();
+            timeouts += out.timed_out as usize;
+            results += out.pairs.len();
+        }
+        println!(
+            "{:<18} {:>12.3} {:>12.3} {:>10} {:>10}",
+            engine.name(),
+            total,
+            total * 1000.0 / log.len() as f64,
+            timeouts,
+            results
+        );
+    }
+}

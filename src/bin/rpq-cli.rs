@@ -1,0 +1,200 @@
+//! `rpq-cli` — build, persist and query ring-rpq databases from the shell.
+//!
+//! ```text
+//! rpq-cli build <graph.txt> <index.db>         index a triple text file
+//! rpq-cli query <index.db> <s> <expr> <o>      run one 2RPQ (use ?vars)
+//! rpq-cli stats <index.db>                     index statistics
+//! rpq-cli bench <index.db> <s> <expr> <o> [n]  time a query n times
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! rpq-cli build metro.txt metro.db
+//! rpq-cli query metro.db baquedano 'l5+/bus' '?y'
+//! rpq-cli query metro.db '?x' '(l1|l2|l5)+' santa_ana
+//! ```
+
+use ring_rpq::RpqDatabase;
+use rpq_core::EngineOptions;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("build") => cmd_build(&args[1..]),
+        Some("query") => cmd_query(&args[1..]),
+        Some("explain") => cmd_explain(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
+        Some("--help" | "-h" | "help") | None => {
+            eprint!("{}", USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  rpq-cli build <graph.txt> <index.db>           index a triple text file
+  rpq-cli query <index.db> <s> <expr> <o>        run one 2RPQ (use ?vars)
+  rpq-cli explain <index.db> <s> <expr> <o>      show the evaluation plan
+  rpq-cli stats <index.db>                       index statistics
+  rpq-cli bench <index.db> <s> <expr> <o> [n]    time a query n times
+";
+
+fn cmd_build(args: &[String]) -> Result<(), String> {
+    let [input, output] = args else {
+        return Err(format!("build needs <graph.txt> <index.db>\n{USAGE}"));
+    };
+    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
+    let t = Instant::now();
+    let db = RpqDatabase::from_text(&text).map_err(|e| e.to_string())?;
+    let build_secs = t.elapsed().as_secs_f64();
+    db.save(Path::new(output))
+        .map_err(|e| format!("writing {output}: {e}"))?;
+    println!(
+        "indexed {} edges, {} nodes, {} predicates in {:.2}s",
+        db.graph().len(),
+        db.graph().n_nodes(),
+        db.graph().n_preds(),
+        build_secs
+    );
+    println!(
+        "ring: {} bytes ({:.2} bytes/edge) -> {}",
+        db.ring().size_bytes(),
+        db.ring().size_bytes() as f64 / db.graph().len().max(1) as f64,
+        output
+    );
+    Ok(())
+}
+
+fn load(path: &str) -> Result<RpqDatabase, String> {
+    RpqDatabase::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let [index, s, expr, o] = args else {
+        return Err(format!("query needs <index.db> <s> <expr> <o>\n{USAGE}"));
+    };
+    let db = load(index)?;
+    let opts = EngineOptions {
+        timeout: Some(Duration::from_secs(60)),
+        ..EngineOptions::default()
+    };
+    let t = Instant::now();
+    let out = db
+        .query_with(s, expr, o, &opts)
+        .map_err(|e| e.to_string())?;
+    let secs = t.elapsed().as_secs_f64();
+    let mut named: Vec<(String, String)> = out
+        .pairs
+        .iter()
+        .map(|&(a, b)| {
+            (
+                db.nodes().name(a).to_string(),
+                db.nodes().name(b).to_string(),
+            )
+        })
+        .collect();
+    named.sort();
+    for (a, b) in &named {
+        println!("{a}\t{b}");
+    }
+    eprintln!(
+        "{} pairs in {:.4}s{}{}",
+        named.len(),
+        secs,
+        if out.truncated { " (limit hit)" } else { "" },
+        if out.timed_out { " (timed out)" } else { "" },
+    );
+    Ok(())
+}
+
+fn cmd_explain(args: &[String]) -> Result<(), String> {
+    let [index, s, expr, o] = args else {
+        return Err(format!("explain needs <index.db> <s> <expr> <o>\n{USAGE}"));
+    };
+    let db = load(index)?;
+    let q = db.parse_query(s, expr, o).map_err(|e| e.to_string())?;
+    let plan = rpq_core::explain::explain(db.ring(), &q).map_err(|e| e.to_string())?;
+    print!("{plan}");
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let [index] = args else {
+        return Err(format!("stats needs <index.db>\n{USAGE}"));
+    };
+    let db = load(index)?;
+    let g = db.graph();
+    let r = db.ring();
+    println!("edges (base):        {}", g.len());
+    println!("edges (indexed G^):  {}", r.n_triples());
+    println!("nodes:               {}", g.n_nodes());
+    println!("predicates (base):   {}", g.n_preds());
+    println!("ring bytes:          {}", r.size_bytes());
+    println!(
+        "ring bytes/edge:     {:.2}",
+        r.size_bytes() as f64 / g.len().max(1) as f64
+    );
+    println!(
+        "rpq-only bytes/edge: {:.2}",
+        r.size_bytes_rpq_only() as f64 / g.len().max(1) as f64
+    );
+    // Top predicates by cardinality — the selectivity the planner uses.
+    let mut cards: Vec<(u64, usize)> = (0..g.n_preds())
+        .map(|p| (p, r.pred_cardinality(p)))
+        .collect();
+    cards.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
+    println!("top predicates:");
+    for &(p, c) in cards.iter().take(5) {
+        println!("  {:<24} {c} edges", db.preds().name(p));
+    }
+    Ok(())
+}
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (core, n) = match args.len() {
+        4 => (&args[..4], 10usize),
+        5 => (
+            &args[..4],
+            args[4].parse().map_err(|_| "bad repeat count")?,
+        ),
+        _ => return Err(format!("bench needs <index.db> <s> <expr> <o> [n]\n{USAGE}")),
+    };
+    let [index, s, expr, o] = core else {
+        unreachable!()
+    };
+    let db = load(index)?;
+    let opts = EngineOptions::default();
+    let mut times = Vec::with_capacity(n);
+    let mut pairs = 0usize;
+    for _ in 0..n {
+        let t = Instant::now();
+        let out = db
+            .query_with(s, expr, o, &opts)
+            .map_err(|e| e.to_string())?;
+        times.push(t.elapsed().as_secs_f64());
+        pairs = out.pairs.len();
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    println!(
+        "{} pairs; {} runs: min {:.6}s median {:.6}s max {:.6}s",
+        pairs,
+        n,
+        times[0],
+        times[times.len() / 2],
+        times[times.len() - 1]
+    );
+    Ok(())
+}

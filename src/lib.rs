@@ -1,0 +1,305 @@
+#![warn(missing_docs)]
+
+//! # ring-rpq — time- and space-efficient regular path queries on graphs
+//!
+//! A Rust implementation of *"Time- and Space-Efficient Regular Path
+//! Queries on Graphs"* (Arroyuelo, Hogan, Navarro, Rojas-Ledesma;
+//! arXiv:2111.04556): 2RPQ evaluation directly on the **ring**, a
+//! BWT-based succinct graph index, by combining backward search, wavelet-
+//! matrix range operations and the bit-parallel simulation of Glushkov
+//! automata.
+//!
+//! This crate is the façade: it re-exports the workspace crates and offers
+//! [`RpqDatabase`], a name-level convenience API. For id-level control use
+//! the re-exported building blocks:
+//!
+//! * [`succinct`] — bit vectors, rank/select, wavelet trees and matrices;
+//! * [`automata`] — path expressions, parsing, Glushkov bit-parallelism;
+//! * [`ring`] — the succinct graph index (and a Leapfrog-TrieJoin);
+//! * [`rpq_core`] — the RPQ engine itself;
+//! * [`baselines`] — classical competitor engines;
+//! * [`workload`] — synthetic Wikidata-like benchmarks.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ring_rpq::RpqDatabase;
+//!
+//! // One `subject predicate object` triple per line.
+//! let db = RpqDatabase::from_text(
+//!     "baquedano l5 bellas_artes
+//!      bellas_artes l5 santa_ana
+//!      santa_ana bus u_de_chile",
+//! ).unwrap();
+//!
+//! // Stations reachable from Baquedano by l5+ then one bus hop:
+//! let pairs = db.query("baquedano", "l5+/bus", "?y").unwrap();
+//! assert_eq!(pairs, vec![("baquedano".to_string(), "u_de_chile".to_string())]);
+//!
+//! // Two-way expressions work too (^ inverts a step):
+//! let back = db.query("?x", "^l5", "baquedano").unwrap();
+//! assert_eq!(back, vec![("bellas_artes".to_string(), "baquedano".to_string())]);
+//! ```
+
+pub use automata;
+pub use baselines;
+pub use ring;
+pub use rpq_core;
+pub use succinct;
+pub use workload;
+
+use automata::parser::{self, LabelResolver};
+use ring::ring::RingOptions;
+use ring::{Dict, Graph, Id, Ring};
+use rpq_core::{EngineOptions, QueryOutput, RpqEngine, RpqQuery, Term};
+
+/// Errors from the name-level API.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DbError {
+    /// The graph text was malformed.
+    Graph(String),
+    /// The path expression failed to parse.
+    Parse(parser::ParseError),
+    /// An endpoint names an unknown node.
+    UnknownNode(String),
+    /// Query evaluation failed.
+    Query(rpq_core::QueryError),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Graph(m) => write!(f, "graph error: {m}"),
+            DbError::Parse(e) => write!(f, "expression error: {e}"),
+            DbError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            DbError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// A ready-to-query RPQ database: a ring index plus the dictionaries
+/// mapping names to ids.
+///
+/// Endpoints are node names or variables (any token starting with `?`).
+/// Path expressions use the SPARQL-property-path-flavoured syntax of
+/// [`automata::parser`]: `/` concatenation, `|` alternation, `*`/`+`/`?`
+/// closures, `^p` inverse steps, `!(p|q)` negated label sets.
+pub struct RpqDatabase {
+    graph: Graph,
+    ring: Ring,
+    nodes: Dict,
+    preds: Dict,
+}
+
+struct DictResolver<'a> {
+    preds: &'a Dict,
+    ring: &'a Ring,
+}
+
+impl LabelResolver for DictResolver<'_> {
+    fn resolve(&self, name: &str) -> Option<Id> {
+        self.preds.get(name)
+    }
+
+    fn inverse(&self, label: Id) -> Id {
+        self.ring.inverse_label(label)
+    }
+}
+
+impl RpqDatabase {
+    /// Builds a database from whitespace triple text (see
+    /// [`ring::Graph::parse_text`]).
+    pub fn from_text(text: &str) -> Result<Self, DbError> {
+        let (graph, nodes, preds) = Graph::parse_text(text).map_err(DbError::Graph)?;
+        Ok(Self::from_parts(graph, nodes, preds))
+    }
+
+    /// Builds a database from pre-encoded parts.
+    pub fn from_parts(graph: Graph, nodes: Dict, preds: Dict) -> Self {
+        let ring = Ring::build(&graph, RingOptions::default());
+        Self {
+            graph,
+            ring,
+            nodes,
+            preds,
+        }
+    }
+
+    /// The underlying ring index.
+    pub fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The node dictionary.
+    pub fn nodes(&self) -> &Dict {
+        &self.nodes
+    }
+
+    /// The predicate dictionary.
+    pub fn preds(&self) -> &Dict {
+        &self.preds
+    }
+
+    /// Parses endpoints and expression into an id-level [`RpqQuery`].
+    pub fn parse_query(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<RpqQuery, DbError> {
+        let resolver = DictResolver {
+            preds: &self.preds,
+            ring: &self.ring,
+        };
+        let e = parser::parse(expr, &resolver).map_err(DbError::Parse)?;
+        let term = |name: &str| -> Result<Term, DbError> {
+            if name.starts_with('?') {
+                Ok(Term::Var)
+            } else {
+                self.nodes
+                    .get(name)
+                    .map(Term::Const)
+                    .ok_or_else(|| DbError::UnknownNode(name.to_string()))
+            }
+        };
+        Ok(RpqQuery::new(term(subject)?, e, term(object)?))
+    }
+
+    /// Evaluates a query, returning name pairs sorted lexicographically.
+    pub fn query(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<Vec<(String, String)>, DbError> {
+        let out = self.query_with(subject, expr, object, &EngineOptions::default())?;
+        let mut named: Vec<(String, String)> = out
+            .pairs
+            .iter()
+            .map(|&(s, o)| {
+                (
+                    self.nodes.name(s).to_string(),
+                    self.nodes.name(o).to_string(),
+                )
+            })
+            .collect();
+        named.sort();
+        Ok(named)
+    }
+
+    /// Evaluates with explicit options, returning the raw id-level output.
+    pub fn query_with(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+        opts: &EngineOptions,
+    ) -> Result<QueryOutput, DbError> {
+        let q = self.parse_query(subject, expr, object)?;
+        RpqEngine::new(&self.ring)
+            .evaluate(&q, opts)
+            .map_err(DbError::Query)
+    }
+
+    /// Explains the evaluation plan for a query (strategy, direction,
+    /// cardinalities, split opportunities) without running it.
+    pub fn explain(&self, subject: &str, expr: &str, object: &str) -> Result<String, DbError> {
+        let q = self.parse_query(subject, expr, object)?;
+        rpq_core::explain::explain(&self.ring, &q)
+            .map(|plan| plan.to_string())
+            .map_err(DbError::Query)
+    }
+
+    /// Evaluates many queries concurrently (`n_threads` workers, dynamic
+    /// load balancing); results come back in input order.
+    pub fn query_batch(
+        &self,
+        queries: &[rpq_core::RpqQuery],
+        opts: &EngineOptions,
+        n_threads: usize,
+    ) -> Vec<Result<QueryOutput, rpq_core::QueryError>> {
+        rpq_core::parallel::evaluate_batch(&self.ring, queries, opts, n_threads)
+    }
+
+    /// Persists the database (graph, dictionaries and the prebuilt ring)
+    /// to a file; [`Self::load`] restores it without re-indexing.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        use succinct::io::Persist;
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        std::io::Write::write_all(&mut f, b"RRPQDB01")?;
+        self.graph.write_to(&mut f)?;
+        self.nodes.write_to(&mut f)?;
+        self.preds.write_to(&mut f)?;
+        self.ring.write_to(&mut f)?;
+        std::io::Write::flush(&mut f)
+    }
+
+    /// Loads a database persisted with [`Self::save`].
+    pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
+        use succinct::io::{bad_data, Persist};
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        std::io::Read::read_exact(&mut f, &mut magic)?;
+        if &magic != b"RRPQDB01" {
+            return Err(bad_data("not a ring-rpq database file"));
+        }
+        let graph = Graph::read_from(&mut f)?;
+        let nodes = Dict::read_from(&mut f)?;
+        let preds = Dict::read_from(&mut f)?;
+        let ring = Ring::read_from(&mut f)?;
+        if nodes.len() as Id != graph.n_nodes() || preds.len() as Id != graph.n_preds() {
+            return Err(bad_data("dictionary sizes do not match the graph"));
+        }
+        if ring.n_preds_base() != graph.n_preds() {
+            return Err(bad_data("ring alphabet does not match the graph"));
+        }
+        Ok(Self {
+            graph,
+            ring,
+            nodes,
+            preds,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_roundtrip() {
+        let db = RpqDatabase::from_text("a p b\nb p c\nc q a\n").unwrap();
+        let got = db.query("a", "p+", "?y").unwrap();
+        assert_eq!(
+            got,
+            vec![
+                ("a".to_string(), "b".to_string()),
+                ("a".to_string(), "c".to_string())
+            ]
+        );
+        let got = db.query("?x", "p/q", "?y").unwrap();
+        assert_eq!(got, vec![("b".to_string(), "a".to_string())]);
+    }
+
+    #[test]
+    fn facade_errors() {
+        let db = RpqDatabase::from_text("a p b\n").unwrap();
+        assert!(matches!(
+            db.query("zzz", "p", "?y"),
+            Err(DbError::UnknownNode(_))
+        ));
+        assert!(matches!(db.query("a", "p/(", "?y"), Err(DbError::Parse(_))));
+        assert!(matches!(
+            db.query("a", "nosuchpred", "?y"),
+            Err(DbError::Parse(_))
+        ));
+        assert!(RpqDatabase::from_text("a b").is_err());
+    }
+}

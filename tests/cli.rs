@@ -1,0 +1,142 @@
+//! End-to-end tests of the `rpq-cli` binary: build → persist → load →
+//! query, plus failure modes.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rpq-cli"))
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rpq_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn build_query_roundtrip() {
+    let dir = tmpdir("roundtrip");
+    let graph = dir.join("metro.txt");
+    std::fs::write(
+        &graph,
+        "baquedano l5 bellas_artes
+         bellas_artes l5 santa_ana
+         santa_ana l5 bellas_artes
+         bellas_artes l5 baquedano
+         santa_ana bus u_de_chile
+         bellas_artes bus santa_ana
+        ",
+    )
+    .unwrap();
+    let index = dir.join("metro.db");
+
+    let out = cli()
+        .args(["build", graph.to_str().unwrap(), index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("indexed 6 edges"));
+    assert!(index.exists());
+
+    let out = cli()
+        .args([
+            "query",
+            index.to_str().unwrap(),
+            "baquedano",
+            "l5+/bus",
+            "?y",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("baquedano\tsanta_ana"), "{stdout}");
+    assert!(stdout.contains("baquedano\tu_de_chile"), "{stdout}");
+
+    let out = cli()
+        .args(["stats", index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edges (base):        6"), "{stdout}");
+    assert!(stdout.contains("ring bytes"), "{stdout}");
+
+    let out = cli()
+        .args([
+            "bench",
+            index.to_str().unwrap(),
+            "?x",
+            "l5*",
+            "?y",
+            "3",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("3 runs"));
+
+    let out = cli()
+        .args([
+            "explain",
+            index.to_str().unwrap(),
+            "baquedano",
+            "l5+/bus",
+            "?y",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("strategy:"), "{text}");
+    assert!(text.contains("backward traversal"), "{text}");
+}
+
+#[test]
+fn cli_failure_modes() {
+    let dir = tmpdir("failures");
+
+    // Unknown command.
+    let out = cli().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+
+    // Missing input file.
+    let out = cli()
+        .args(["build", "/nonexistent/g.txt", dir.join("x.db").to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Corrupt index file.
+    let bad = dir.join("bad.db");
+    std::fs::write(&bad, b"not a database").unwrap();
+    let out = cli()
+        .args(["query", bad.to_str().unwrap(), "?x", "p", "?y"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
+
+    // Malformed expression on a valid index.
+    let graph = dir.join("g.txt");
+    std::fs::write(&graph, "a p b\n").unwrap();
+    let index = dir.join("g.db");
+    assert!(cli()
+        .args(["build", graph.to_str().unwrap(), index.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let out = cli()
+        .args(["query", index.to_str().unwrap(), "a", "p/(", "?y"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Help exits cleanly.
+    let out = cli().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

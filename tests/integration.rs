@@ -1,0 +1,193 @@
+//! Workspace-level integration tests: the name-level façade, the four
+//! engines, the LTJ evaluator and the workload generator working together
+//! on shared data.
+
+use baselines::{
+    AdjacencyIndex, BitParallelAdjEngine, NfaBfsEngine, PathEngine, RingEngine, SemiNaiveEngine,
+};
+use ring_rpq::RpqDatabase;
+use rpq_core::oracle::evaluate_naive;
+use rpq_core::EngineOptions;
+use std::sync::Arc;
+use workload::{metro, GraphGen, GraphGenConfig, QueryGen};
+
+#[test]
+fn facade_reproduces_paper_example() {
+    let g = metro::metro();
+    let (nodes, preds) = metro::metro_dicts();
+    let db = RpqDatabase::from_parts(g, nodes, preds);
+    let got = db.query("Baquedano", "l5+/bus", "?y").unwrap();
+    assert_eq!(
+        got,
+        vec![
+            ("Baquedano".to_string(), "SantaAna".to_string()),
+            ("Baquedano".to_string(), "UdeChile".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn all_engines_agree_on_generated_workload() {
+    let graph = GraphGen::new(GraphGenConfig {
+        n_nodes: 400,
+        n_preds: 10,
+        n_edges: 2500,
+        seed: 99,
+        ..Default::default()
+    })
+    .generate();
+    let log = QueryGen::new(&graph, 5).scaled_log(0.01);
+    assert!(log.len() >= 20);
+
+    let ring = ring::Ring::build(&graph, ring::ring::RingOptions::default());
+    let adj = Arc::new(AdjacencyIndex::from_graph(&graph));
+    let opts = EngineOptions::default();
+
+    let mut ring_engine = RingEngine::new(&ring);
+    let mut engines: Vec<Box<dyn PathEngine>> = vec![
+        Box::new(NfaBfsEngine::new(Arc::clone(&adj))),
+        Box::new(SemiNaiveEngine::new(Arc::clone(&adj))),
+        Box::new(BitParallelAdjEngine::new(Arc::clone(&adj))),
+    ];
+
+    for gq in &log {
+        let expected = ring_engine.run(&gq.query, &opts).unwrap().sorted_pairs();
+        // The ring itself must match the naive oracle.
+        assert_eq!(
+            expected,
+            evaluate_naive(&graph, &gq.query),
+            "ring vs oracle on {}",
+            gq.pattern
+        );
+        for engine in engines.iter_mut() {
+            assert_eq!(
+                engine.run(&gq.query, &opts).unwrap().sorted_pairs(),
+                expected,
+                "{} vs ring on {}",
+                engine.name(),
+                gq.pattern
+            );
+        }
+    }
+}
+
+#[test]
+fn ltj_and_rpq_compose_on_one_ring() {
+    use ring::ltj::{leapfrog_join, Term as JoinTerm, TriplePattern};
+
+    let db = RpqDatabase::from_text(
+        "a follows b\nb follows c\nc follows a\na likes x\nb likes x\nc likes y\n",
+    )
+    .unwrap();
+    let follows = db.preds().get("follows").unwrap();
+    let likes = db.preds().get("likes").unwrap();
+
+    // ?u follows ?v, ?u likes ?w, ?v likes ?w — mutual interests.
+    let pats = [
+        TriplePattern::new(JoinTerm::Var(0), follows, JoinTerm::Var(1)),
+        TriplePattern::new(JoinTerm::Var(0), likes, JoinTerm::Var(2)),
+        TriplePattern::new(JoinTerm::Var(1), likes, JoinTerm::Var(2)),
+    ];
+    let rows = leapfrog_join(db.ring(), &pats, &[0, 1, 2]);
+    let named: Vec<Vec<&str>> = rows
+        .iter()
+        .map(|r| r.iter().map(|&v| db.nodes().name(v)).collect())
+        .collect();
+    assert_eq!(named, vec![vec!["a", "b", "x"]]);
+
+    // And an RPQ on the same index.
+    let closure = db.query("a", "follows+", "?y").unwrap();
+    assert_eq!(closure.len(), 3); // a, b, c (cycle)
+}
+
+#[test]
+fn database_persistence_roundtrip() {
+    let g = metro::metro();
+    let (nodes, preds) = metro::metro_dicts();
+    let db = RpqDatabase::from_parts(g, nodes, preds);
+    let dir = std::env::temp_dir().join("ring_rpq_db_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("metro.db");
+    db.save(&path).unwrap();
+
+    let loaded = RpqDatabase::load(&path).unwrap();
+    // The loaded index answers identically without rebuilding.
+    for (expr, anchor) in [("l5+/bus", "Baquedano"), ("(l1|l2|l5)+", "SantaAna")] {
+        assert_eq!(
+            loaded.query(anchor, expr, "?y").unwrap(),
+            db.query(anchor, expr, "?y").unwrap(),
+            "query {expr} from {anchor}"
+        );
+    }
+    assert_eq!(loaded.ring().n_triples(), db.ring().n_triples());
+    std::fs::remove_file(&path).unwrap();
+
+    // Corrupt file is rejected.
+    let bad = dir.join("bad.db");
+    std::fs::write(&bad, b"RRPQDB01 garbage").unwrap();
+    assert!(RpqDatabase::load(&bad).is_err());
+}
+
+#[test]
+fn facade_explain_and_batch() {
+    let g = metro::metro();
+    let (nodes, preds) = metro::metro_dicts();
+    let db = RpqDatabase::from_parts(g, nodes, preds);
+
+    let plan = db.explain("Baquedano", "l5+/bus", "?y").unwrap();
+    assert!(plan.contains("strategy:"), "{plan}");
+    assert!(plan.contains("backward traversal"), "{plan}");
+
+    let queries: Vec<_> = ["l5+/bus", "(l1|l2|l5)+", "bus/bus"]
+        .iter()
+        .map(|e| db.parse_query("Baquedano", e, "?y").unwrap())
+        .collect();
+    let batch = db.query_batch(&queries, &EngineOptions::default(), 3);
+    assert_eq!(batch.len(), 3);
+    let mut engine = rpq_core::RpqEngine::new(db.ring());
+    for (q, r) in queries.iter().zip(&batch) {
+        let sequential = engine.evaluate(q, &EngineOptions::default()).unwrap();
+        assert_eq!(
+            r.as_ref().unwrap().sorted_pairs(),
+            sequential.sorted_pairs()
+        );
+    }
+}
+
+#[test]
+fn ntriples_to_queryable_database() {
+    let nt = r#"
+<http://ex/alice> <http://ex/knows> <http://ex/bob> .
+<http://ex/bob>   <http://ex/knows> <http://ex/carol> .
+<http://ex/carol> <http://ex/name>  "Carol"@en .
+"#;
+    let (graph, nodes, preds) = ring::ntriples::parse_ntriples(nt).unwrap();
+    let db = RpqDatabase::from_parts(graph, nodes, preds);
+    // Transitive friends of alice, via the bracketed-IRI expression syntax.
+    let got = db
+        .query("<http://ex/alice>", "<http://ex/knows>+", "?y")
+        .unwrap();
+    assert_eq!(
+        got.iter().map(|p| p.1.as_str()).collect::<Vec<_>>(),
+        vec!["<http://ex/bob>", "<http://ex/carol>"]
+    );
+    // Literals are first-class nodes: carol's name via knows+/name.
+    let got = db
+        .query(
+            "<http://ex/alice>",
+            "<http://ex/knows>+/<http://ex/name>",
+            "?y",
+        )
+        .unwrap();
+    assert_eq!(got[0].1, "\"Carol\"@en");
+}
+
+#[test]
+fn text_graphs_are_portable_across_apis() {
+    let text = "n0 e n1\nn1 e n2\nn2 f n0\n";
+    let db = RpqDatabase::from_text(text).unwrap();
+    let (graph, _, _) = ring::Graph::parse_text(text).unwrap();
+    assert_eq!(db.graph().triples(), graph.triples());
+    // Completion is consistent between the ring and the plain graph.
+    assert_eq!(db.ring().n_triples(), graph.completed().len());
+}
