@@ -286,7 +286,10 @@ mod tests {
 
     #[test]
     fn fuse_classes_merges_unions() {
-        let e = Regex::alt(Regex::label(1), Regex::alt(Regex::label(2), Regex::label(5)));
+        let e = Regex::alt(
+            Regex::label(1),
+            Regex::alt(Regex::label(2), Regex::label(5)),
+        );
         let fused = e.fuse_classes();
         assert_eq!(fused, Regex::Literal(Lit::Class(vec![1, 2, 5])));
         assert_eq!(fused.literal_count(), 1);

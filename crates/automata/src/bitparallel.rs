@@ -329,7 +329,7 @@ mod tests {
         // D = F = {3}; reading l5 backward: T'[F & B[3]] = predecessors of 3.
         let d = bp.step_bwd(bp.accept_mask(), 3);
         assert_eq!(d, 0b0110); // states 1 and 2
-        // Reading ^bus (=5) backward from {1}: predecessor is the initial state.
+                               // Reading ^bus (=5) backward from {1}: predecessor is the initial state.
         let d2 = bp.step_bwd(0b0010, 5);
         assert_eq!(d2, INITIAL);
     }

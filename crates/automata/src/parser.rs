@@ -379,7 +379,10 @@ mod tests {
         // (1|2)/3
         assert_eq!(
             p("(1|2)/3"),
-            Regex::concat(Regex::alt(Regex::label(1), Regex::label(2)), Regex::label(3))
+            Regex::concat(
+                Regex::alt(Regex::label(1), Regex::label(2)),
+                Regex::label(3)
+            )
         );
     }
 
@@ -396,10 +399,7 @@ mod tests {
 
     #[test]
     fn negated_class() {
-        assert_eq!(
-            p("!(3|^4)"),
-            Regex::Literal(Lit::NegClass(vec![3, 104]))
-        );
+        assert_eq!(p("!(3|^4)"), Regex::Literal(Lit::NegClass(vec![3, 104])));
         assert_eq!(p("!9"), Regex::Literal(Lit::NegClass(vec![9])));
     }
 

@@ -115,13 +115,19 @@ impl AdjacencyIndex {
     /// `(pred, obj)`.
     #[inline]
     pub fn out_edges(&self, v: Id) -> (&[u32], &[u32]) {
-        let (b, e) = (self.s_off[v as usize] as usize, self.s_off[v as usize + 1] as usize);
+        let (b, e) = (
+            self.s_off[v as usize] as usize,
+            self.s_off[v as usize + 1] as usize,
+        );
         (&self.sp_pred[b..e], &self.sp_obj[b..e])
     }
 
     /// Objects reachable from `v` by label `p` (sorted slice).
     pub fn out_by(&self, v: Id, p: Id) -> &[u32] {
-        let (b, e) = (self.s_off[v as usize] as usize, self.s_off[v as usize + 1] as usize);
+        let (b, e) = (
+            self.s_off[v as usize] as usize,
+            self.s_off[v as usize + 1] as usize,
+        );
         let preds = &self.sp_pred[b..e];
         let lo = preds.partition_point(|&x| (x as u64) < p);
         let hi = preds.partition_point(|&x| x as u64 <= p);
@@ -131,7 +137,10 @@ impl AdjacencyIndex {
     /// All edges labeled `p`, as parallel `(subject, object)` slices
     /// sorted by `(s, o)`.
     pub fn pred_edges(&self, p: Id) -> (&[u32], &[u32]) {
-        let (b, e) = (self.p_off[p as usize] as usize, self.p_off[p as usize + 1] as usize);
+        let (b, e) = (
+            self.p_off[p as usize] as usize,
+            self.p_off[p as usize + 1] as usize,
+        );
         (&self.ps_subj[b..e], &self.ps_obj[b..e])
     }
 

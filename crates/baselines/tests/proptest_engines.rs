@@ -20,7 +20,9 @@ const N_PREDS: u64 = 3;
 fn arb_graph() -> impl Strategy<Value = Graph> {
     prop::collection::vec((0..N_NODES, 0..N_PREDS, 0..N_NODES), 1..50).prop_map(|raw| {
         Graph::new(
-            raw.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect(),
+            raw.into_iter()
+                .map(|(s, p, o)| Triple::new(s, p, o))
+                .collect(),
             N_NODES,
             N_PREDS,
         )

@@ -9,15 +9,17 @@
 use automata::parser::{parse, NumericResolver};
 use automata::{BitParallel, Glushkov};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use ring::ring::RingOptions;
 use ring::Ring;
 use rpq_core::{EngineOptions, RpqEngine, RpqQuery, Term};
+use std::time::Duration;
 use succinct::{WaveletMatrix, WaveletTree};
 use workload::{GraphGen, GraphGenConfig};
 
 fn lcg(seed: &mut u64) -> u64 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *seed >> 33
 }
 

@@ -6,7 +6,9 @@ use automata::{BitParallel, Glushkov};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn lcg(seed: &mut u64) -> u64 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *seed >> 33
 }
 

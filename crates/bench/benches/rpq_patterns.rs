@@ -2,10 +2,10 @@
 //! the per-pattern microbench behind Fig. 8's ring boxes.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use ring::ring::RingOptions;
 use ring::Ring;
 use rpq_core::{EngineOptions, RpqEngine};
+use std::time::Duration;
 use workload::{GraphGen, GraphGenConfig, QueryGen};
 
 fn bench_patterns(c: &mut Criterion) {

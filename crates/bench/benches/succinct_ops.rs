@@ -5,7 +5,9 @@ use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use succinct::{BitVec, RankSelect, WaveletMatrix, WaveletTree};
 
 fn lcg(seed: &mut u64) -> u64 {
-    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    *seed = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     *seed >> 33
 }
 

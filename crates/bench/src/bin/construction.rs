@@ -15,7 +15,12 @@ fn main() {
         "{:>12} {:>12} {:>12} {:>14} {:>12} {:>14}",
         "edges", "ring (s)", "ring B/edge", "ring-RPQ B/e", "adj (s)", "adj B/edge"
     );
-    for shift in [cfg.n_edges / 8, cfg.n_edges / 4, cfg.n_edges / 2, cfg.n_edges] {
+    for shift in [
+        cfg.n_edges / 8,
+        cfg.n_edges / 4,
+        cfg.n_edges / 2,
+        cfg.n_edges,
+    ] {
         let graph = GraphGen::new(GraphGenConfig {
             n_nodes: cfg.n_nodes,
             n_preds: cfg.n_preds,

@@ -21,7 +21,10 @@ fn main() {
     let measurements = run_log(&mut engines, &log, &cfg.engine_options());
 
     println!("Fig. 8 — query-time distribution per pattern (seconds)");
-    println!("{:<16} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9}", "pattern", "engine", "min", "q1", "median", "q3", "max");
+    println!(
+        "{:<16} {:<16} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "pattern", "engine", "min", "q1", "median", "q3", "max"
+    );
     let mut wins: Vec<(&str, &str)> = Vec::new();
     for &(pattern, _) in TABLE1_PATTERNS.iter() {
         let mut medians: Vec<(&str, f64)> = Vec::new();
@@ -35,15 +38,10 @@ fn main() {
                 continue;
             }
             let (mn, q1, md, q3, mx) = five_number(&xs);
-            println!(
-                "{pattern:<16} {name:<16} {mn:>9.4} {q1:>9.4} {md:>9.4} {q3:>9.4} {mx:>9.4}"
-            );
+            println!("{pattern:<16} {name:<16} {mn:>9.4} {q1:>9.4} {md:>9.4} {q3:>9.4} {mx:>9.4}");
             medians.push((name, md));
         }
-        if let Some(&(winner, _)) = medians
-            .iter()
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-        {
+        if let Some(&(winner, _)) = medians.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()) {
             wins.push((pattern, winner));
         }
         println!();

@@ -126,7 +126,10 @@ fn main() {
     // E6: working-space accounting (paper: D = 3.09 B/triple, B ≈ 9e-5).
     let ring_engine = RingEngine::new(&ring);
     let ws = ring_engine.inner().working_space_bytes() as f64;
-    println!("\nWorking space (ring): {:.2} bytes/triple (paper: 3.09 for D + ~0 for B)", ws / n_edges);
+    println!(
+        "\nWorking space (ring): {:.2} bytes/triple (paper: 3.09 for D + ~0 for B)",
+        ws / n_edges
+    );
     println!(
         "Ring RPQ-only (no L_o): {:.2} bytes/edge",
         ring.size_bytes_rpq_only() as f64 / n_edges
@@ -135,10 +138,6 @@ fn main() {
     // Shape assertions the paper's conclusions rest on.
     let ring_space = sizes[0].1 as f64;
     for &(n, b) in &sizes[1..] {
-        println!(
-            "space ratio {}/ring = {:.2}x",
-            n,
-            b as f64 / ring_space
-        );
+        println!("space ratio {}/ring = {:.2}x", n, b as f64 / ring_space);
     }
 }

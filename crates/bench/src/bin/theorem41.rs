@@ -38,12 +38,18 @@ fn main() {
         rows.push((work * log2_g, out.stats.wavelet_nodes as f64, secs));
     }
 
-    println!("Theorem 4.1 validation over {} completed queries", rows.len());
+    println!(
+        "Theorem 4.1 validation over {} completed queries",
+        rows.len()
+    );
     println!("cost term x = (product_nodes + product_edges) * log2(|G|)\n");
 
     // Bucket by decade of the cost term: time per unit cost must stay flat
     // if the bound is tight (up to constants).
-    println!("{:>14} {:>8} {:>14} {:>16} {:>18}", "cost bucket", "queries", "avg time (s)", "ns per unit", "wavelet/unit");
+    println!(
+        "{:>14} {:>8} {:>14} {:>16} {:>18}",
+        "cost bucket", "queries", "avg time (s)", "ns per unit", "wavelet/unit"
+    );
     let mut bucket_lo = 1.0;
     while bucket_lo < 1e12 {
         let bucket_hi = bucket_lo * 100.0;
@@ -86,6 +92,9 @@ fn main() {
     let vx: f64 = rows.iter().map(|r| (r.0 - mean_x).powi(2)).sum();
     let vy: f64 = rows.iter().map(|r| (r.2 - mean_y).powi(2)).sum();
     let r = cov / (vx.sqrt() * vy.sqrt()).max(f64::MIN_POSITIVE);
-    println!("\nzero-intercept slope: {:.3} ns per cost unit", slope * 1e9);
+    println!(
+        "\nzero-intercept slope: {:.3} ns per cost unit",
+        slope * 1e9
+    );
     println!("Pearson r(time, cost term) = {r:.3} (the bound predicts a strong linear fit)");
 }

@@ -419,8 +419,7 @@ impl<'r> RpqEngine<'r> {
             Start::Object(o) => {
                 // Mark F on the start node (§4.2) and report a zero-length
                 // match if the initial state is already accepting.
-                self.ls_masks
-                    .set(WaveletMatrix::node_index(width_s, o), d0);
+                self.ls_masks.set(WaveletMatrix::node_index(width_s, o), d0);
                 if d0 & INITIAL != 0 && self.node_exists(o) {
                     stats.reported += 1;
                     if !report(o) {

@@ -190,9 +190,7 @@ impl std::fmt::Display for QueryPlan {
         write!(f, "strategy: ")?;
         match &self.strategy {
             Strategy::FastPath(k) => writeln!(f, "fast path — {k}")?,
-            Strategy::BackwardFromObject(o) => {
-                writeln!(f, "backward traversal from object {o}")?
-            }
+            Strategy::BackwardFromObject(o) => writeln!(f, "backward traversal from object {o}")?,
             Strategy::BackwardFromSubject(s) => writeln!(
                 f,
                 "backward traversal of the reversed expression from subject {s}"
@@ -200,7 +198,11 @@ impl std::fmt::Display for QueryPlan {
             Strategy::Existence { from, reversed } => writeln!(
                 f,
                 "existence check from node {from}{}",
-                if *reversed { " (reversed expression)" } else { "" }
+                if *reversed {
+                    " (reversed expression)"
+                } else {
+                    ""
+                }
             )?,
             Strategy::TwoPass { sources_first } => writeln!(
                 f,
@@ -208,7 +210,11 @@ impl std::fmt::Display for QueryPlan {
                 if *sources_first { "sources" } else { "targets" }
             )?,
         }
-        writeln!(f, "first-expansion cost estimate: {} edges", self.first_expansion_cost)?;
+        writeln!(
+            f,
+            "first-expansion cost estimate: {} edges",
+            self.first_expansion_cost
+        )?;
         if !self.label_cardinalities.is_empty() {
             writeln!(f, "label cardinalities (rarest first):")?;
             for (l, c) in &self.label_cardinalities {
@@ -283,7 +289,9 @@ mod tests {
         let plan = explain(&r, &RpqQuery::new(Term::Var, e, Term::Var)).unwrap();
         assert_eq!(plan.split_candidates, vec![(1, 1)]);
         assert!(!plan.nullable);
-        assert!(plan.to_string().contains("rare-label split available at label 1"));
+        assert!(plan
+            .to_string()
+            .contains("rare-label split available at label 1"));
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub fn evaluate(
         }
         (Term::Const(s), Term::Const(o)) => {
             let nfa = Nfa::from_regex(&query.expr);
-            forward_bfs(ring, &nfa, s, Some(o), opts, deadline, &mut out, |s, o| (s, o));
+            forward_bfs(ring, &nfa, s, Some(o), opts, deadline, &mut out, |s, o| {
+                (s, o)
+            });
         }
         (Term::Var, Term::Var) => {
             // Per-source runs over existing nodes, like the classical ALP.

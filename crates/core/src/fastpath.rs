@@ -138,7 +138,8 @@ impl Sink {
 
 /// Distinct symbols of a wavelet range of `L_s`, pushed through `f`.
 fn distinct_ls(ring: &Ring, range: (usize, usize), f: &mut impl FnMut(Id)) {
-    ring.l_s().range_distinct(range.0, range.1, &mut |v, _, _| f(v));
+    ring.l_s()
+        .range_distinct(range.0, range.1, &mut |v, _, _| f(v));
 }
 
 /// `(x, p, y)` and its anchored forms, via backward search only (§5):

@@ -137,7 +137,10 @@ mod tests {
     fn const_const() {
         let g = chain();
         let e = Regex::Plus(Box::new(Regex::label(0)));
-        let hit = evaluate_naive(&g, &RpqQuery::new(Term::Const(0), e.clone(), Term::Const(2)));
+        let hit = evaluate_naive(
+            &g,
+            &RpqQuery::new(Term::Const(0), e.clone(), Term::Const(2)),
+        );
         assert_eq!(hit, vec![(0, 2)]);
         let miss = evaluate_naive(&g, &RpqQuery::new(Term::Const(0), e, Term::Const(3)));
         assert!(miss.is_empty());

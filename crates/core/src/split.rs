@@ -95,7 +95,8 @@ pub fn evaluate_split(
     // Enumerate the split label's edges (u, p, v).
     let (b, e) = ring.pred_range(split.label);
     let mut subjects: Vec<Id> = Vec::new();
-    ring.l_s().range_distinct(b, e, &mut |u, _, _| subjects.push(u));
+    ring.l_s()
+        .range_distinct(b, e, &mut |u, _, _| subjects.push(u));
 
     'outer: for u in subjects {
         if let Some(dl) = deadline {
@@ -125,7 +126,8 @@ pub fn evaluate_split(
         // occurrences; the backward step lands on their objects in L_o.
         let vr = ring.backward_step_by_subject(ring.pred_range(split.label), u);
         let mut objects: Vec<Id> = Vec::new();
-        ring.l_o().range_distinct(vr.0, vr.1, &mut |v, _, _| objects.push(v));
+        ring.l_o()
+            .range_distinct(vr.0, vr.1, &mut |v, _, _| objects.push(v));
 
         for v in objects {
             if let std::collections::hash_map::Entry::Vacant(e) = targets_cache.entry(v) {

@@ -51,7 +51,9 @@ impl<'r> RingStatistics<'r> {
     /// Number of edges labeled `p` arriving at `o` without enumerating
     /// them (a backward-search step is just two ranks).
     pub fn edges_into(&self, p: Id, o: Id) -> usize {
-        let (b, e) = self.ring.backward_step_by_pred(self.ring.object_range(o), p);
+        let (b, e) = self
+            .ring
+            .backward_step_by_pred(self.ring.object_range(o), p);
         e - b
     }
 
@@ -134,10 +136,7 @@ mod tests {
         let s = RingStatistics::new(&r);
         // a*/c/b*: c is rarest (1 edge).
         let e = Regex::concat(
-            Regex::concat(
-                Regex::Star(Box::new(Regex::label(0))),
-                Regex::label(2),
-            ),
+            Regex::concat(Regex::Star(Box::new(Regex::label(0))), Regex::label(2)),
             Regex::Star(Box::new(Regex::label(1))),
         );
         assert_eq!(s.rarest_label(&e), Some((2, 1)));

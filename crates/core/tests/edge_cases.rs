@@ -56,7 +56,11 @@ fn epsilon_and_empty_class_expressions() {
     let (g, r) = ring_of(vec![Triple::new(0, 0, 1), Triple::new(1, 1, 2)]);
     // ε: only zero-length paths — the diagonal over existing nodes.
     check(&g, &r, &RpqQuery::new(Term::Var, Regex::Epsilon, Term::Var));
-    check(&g, &r, &RpqQuery::new(Term::Const(1), Regex::Epsilon, Term::Var));
+    check(
+        &g,
+        &r,
+        &RpqQuery::new(Term::Const(1), Regex::Epsilon, Term::Var),
+    );
     check(
         &g,
         &r,
@@ -145,11 +149,7 @@ fn limit_one_and_zero_timeout() {
         .collect();
     let (_, r2) = ring_of(big);
     let mut engine2 = RpqEngine::new(&r2);
-    let q = RpqQuery::new(
-        Term::Var,
-        Regex::Star(Box::new(Regex::label(0))),
-        Term::Var,
-    );
+    let q = RpqQuery::new(Term::Var, Regex::Star(Box::new(Regex::label(0))), Term::Var);
     let out = engine2
         .evaluate(
             &q,
@@ -191,7 +191,10 @@ fn parallel_edges_and_multigraph_labels() {
         Triple::new(0, 1, 1),
         Triple::new(0, 2, 1),
     ]);
-    let e = Regex::alt(Regex::alt(Regex::label(0), Regex::label(1)), Regex::label(2));
+    let e = Regex::alt(
+        Regex::alt(Regex::label(0), Regex::label(1)),
+        Regex::label(2),
+    );
     check(&g, &r, &RpqQuery::new(Term::Var, e.clone(), Term::Var));
     let got = RpqEngine::new(&r)
         .evaluate(

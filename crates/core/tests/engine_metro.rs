@@ -87,18 +87,15 @@ fn paper_example_baq_l5plus_bus() {
 fn intro_example_metro_closure() {
     let q = RpqQuery::new(Term::Const(BAQ), expr("(0|1|2)+"), Term::Var);
     let got = run(&q, &EngineOptions::default());
-    assert_eq!(
-        got,
-        vec![(BAQ, 0), (BAQ, 1), (BAQ, 2), (BAQ, 3), (BAQ, 4)]
-    );
+    assert_eq!(got, vec![(BAQ, 0), (BAQ, 1), (BAQ, 2), (BAQ, 3), (BAQ, 4)]);
     check_against_oracle(&q);
 }
 
 #[test]
 fn all_shapes_match_oracle() {
     let exprs = [
-        "0", "^3", "0|2", "2/3", "2+", "2*", "3/2*", "(0|1|2)+", "2?/3",
-        "^(2/3)", "1/^1", "!(0|1)", "(2|^3)+", "0*/1/2*", "3+", "2/2/2",
+        "0", "^3", "0|2", "2/3", "2+", "2*", "3/2*", "(0|1|2)+", "2?/3", "^(2/3)", "1/^1",
+        "!(0|1)", "(2|^3)+", "0*/1/2*", "3+", "2/2/2",
     ];
     let terms = [
         (Term::Var, Term::Var),
@@ -232,10 +229,7 @@ fn errors_are_typed() {
     );
 }
 
-fn engine2_or(
-    ring: &Ring,
-    q: &RpqQuery,
-) -> Result<rpq_core::QueryOutput, rpq_core::QueryError> {
+fn engine2_or(ring: &Ring, q: &RpqQuery) -> Result<rpq_core::QueryOutput, rpq_core::QueryError> {
     RpqEngine::new(ring).evaluate(q, &EngineOptions::default())
 }
 

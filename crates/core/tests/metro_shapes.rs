@@ -1,0 +1,293 @@
+//! Hand-checked coverage of the four §4.4 query shapes — `(s,E,o)`,
+//! `(s,E,?o)`, `(?s,E,o)`, `(?s,E,?o)` — on the paper's metro graph
+//! (`workload::metro`), including inverse-predicate (2RPQ) expressions.
+//!
+//! Every expected answer set below was derived by hand from Fig. 1:
+//!
+//! ```text
+//! l1 : Baquedano <-> UdeChile <-> LosHeroes          (bidirectional)
+//! l2 : LosHeroes <-> SantaAna                        (bidirectional)
+//! l5 : SantaAna <-> BellasArtes <-> Baquedano        (bidirectional)
+//! bus: SantaAna -> UdeChile -> BellasArtes -> SantaAna  (one-way cycle)
+//! ```
+//!
+//! The engine is also cross-checked against the oracle on every query,
+//! so a typo in the hand-derived sets cannot silently pass.
+
+use automata::parser::{parse, LabelResolver};
+use ring::ring::RingOptions;
+use ring::{Id, Ring};
+use rpq_core::oracle::evaluate_naive;
+use rpq_core::{EngineOptions, RpqEngine, RpqQuery, Term};
+use workload::metro::{metro, metro_dicts, nodes};
+
+/// Resolves `l1 l2 l5 bus` by name against the metro dictionaries, with
+/// the ring's completed-alphabet inverse layout (base 4, `p̂ = p + 4`).
+struct MetroResolver {
+    preds: ring::Dict,
+}
+
+impl LabelResolver for MetroResolver {
+    fn resolve(&self, name: &str) -> Option<u64> {
+        self.preds.get(name)
+    }
+
+    fn inverse(&self, label: u64) -> u64 {
+        let n_base = self.preds.len() as u64;
+        if label < n_base {
+            label + n_base
+        } else {
+            label - n_base
+        }
+    }
+}
+
+fn eval(expr: &str, s: Term, o: Term) -> Vec<(Id, Id)> {
+    let graph = metro();
+    let (_, preds) = metro_dicts();
+    let resolver = MetroResolver { preds };
+    let e = parse(expr, &resolver).unwrap_or_else(|err| panic!("parse '{expr}': {err}"));
+    let query = RpqQuery::new(s, e, o);
+
+    let ring = Ring::build(&graph, RingOptions::default());
+    let got = RpqEngine::new(&ring)
+        .evaluate(&query, &EngineOptions::default())
+        .unwrap_or_else(|err| panic!("evaluate '{expr}': {err}"))
+        .sorted_pairs();
+
+    // Guard the hand-derived expectations against authoring mistakes.
+    assert_eq!(
+        got,
+        evaluate_naive(&graph, &query),
+        "oracle disagrees on '{expr}'"
+    );
+    got
+}
+
+fn sorted(mut pairs: Vec<(Id, Id)>) -> Vec<(Id, Id)> {
+    pairs.sort_unstable();
+    pairs
+}
+
+use nodes::{BA, BAQ, LH, SA, UCH};
+
+// ---- shape (s, E, o): both endpoints constant (ASK-style) ----------------
+
+#[test]
+fn shape_const_const() {
+    // Baquedano --l5--> BellasArtes exists.
+    assert_eq!(
+        eval("l5", Term::Const(BAQ), Term::Const(BA)),
+        vec![(BAQ, BA)]
+    );
+    // No direct l5 edge Baquedano -> SantaAna (needs two hops).
+    assert_eq!(eval("l5", Term::Const(BAQ), Term::Const(SA)), vec![]);
+    // Two l5 hops reach it.
+    assert_eq!(
+        eval("l5/l5", Term::Const(BAQ), Term::Const(SA)),
+        vec![(BAQ, SA)]
+    );
+    // The paper's worked pattern: l5+ then one bus hop.
+    assert_eq!(
+        eval("l5+/bus", Term::Const(BAQ), Term::Const(UCH)),
+        vec![(BAQ, UCH)]
+    );
+    // The full bus cycle returns to its origin.
+    assert_eq!(
+        eval("bus/bus/bus", Term::Const(SA), Term::Const(SA)),
+        vec![(SA, SA)]
+    );
+}
+
+#[test]
+fn shape_const_const_with_inverses() {
+    // ^bus from UdeChile means a bus edge INTO UdeChile: SantaAna -> UdeChile.
+    assert_eq!(
+        eval("^bus", Term::Const(UCH), Term::Const(SA)),
+        vec![(UCH, SA)]
+    );
+    // Riding bus one way and back out against it: BAQ has no bus edges at all.
+    assert_eq!(eval("bus/^bus", Term::Const(BAQ), Term::Const(BAQ)), vec![]);
+    // SantaAna -bus-> UdeChile -^bus-> SantaAna round-trips.
+    assert_eq!(
+        eval("bus/^bus", Term::Const(SA), Term::Const(SA)),
+        vec![(SA, SA)]
+    );
+}
+
+// ---- shape (s, E, ?o): constant subject, variable object -----------------
+
+#[test]
+fn shape_const_var() {
+    // One l1 hop from Baquedano: only UdeChile.
+    assert_eq!(eval("l1", Term::Const(BAQ), Term::Var), vec![(BAQ, UCH)]);
+    // The metro closure from Baquedano reaches every station (l1 to UCH/LH,
+    // l2 on to SA, l5 to BA — and itself via l1 there-and-back).
+    assert_eq!(
+        eval("(l1|l2|l5)+", Term::Const(BAQ), Term::Var),
+        sorted(vec![
+            (BAQ, SA),
+            (BAQ, UCH),
+            (BAQ, LH),
+            (BAQ, BA),
+            (BAQ, BAQ)
+        ])
+    );
+    // Fig. 6's worked example: l5+ then exactly one bus hop from Baquedano.
+    // l5+ reaches {BA, SA, BAQ}; bus edges leave BA (->SA) and SA (->UCH).
+    assert_eq!(
+        eval("l5+/bus", Term::Const(BAQ), Term::Var),
+        sorted(vec![(BAQ, SA), (BAQ, UCH)])
+    );
+    // Optional step: l2 then optionally l5 from LosHeroes.
+    assert_eq!(
+        eval("l2/l5?", Term::Const(LH), Term::Var),
+        sorted(vec![(LH, SA), (LH, BA)])
+    );
+}
+
+#[test]
+fn shape_const_var_with_inverses() {
+    // Stations with a bus edge INTO BellasArtes: only UdeChile.
+    assert_eq!(eval("^bus", Term::Const(BA), Term::Var), vec![(BA, UCH)]);
+    // Going backwards around the whole bus cycle visits every bus stop.
+    assert_eq!(
+        eval("(^bus)+", Term::Const(SA), Term::Var),
+        sorted(vec![(SA, BA), (SA, UCH), (SA, SA)])
+    );
+    // A 2RPQ mixing directions: one bus hop forward or backward from UCH.
+    assert_eq!(
+        eval("bus|^bus", Term::Const(UCH), Term::Var),
+        sorted(vec![(UCH, BA), (UCH, SA)])
+    );
+    // Negated property set: any single step except a metro line, either
+    // direction, from SantaAna — exactly its bus neighbourhood.
+    assert_eq!(
+        eval("!(l1|^l1|l2|^l2|l5|^l5)", Term::Const(SA), Term::Var),
+        sorted(vec![(SA, UCH), (SA, BA)])
+    );
+}
+
+// ---- shape (?s, E, o): variable subject, constant object -----------------
+
+#[test]
+fn shape_var_const() {
+    // Who reaches SantaAna in one bus hop? Only BellasArtes.
+    assert_eq!(eval("bus", Term::Var, Term::Const(SA)), vec![(BA, SA)]);
+    // Everything that reaches UdeChile through the one-way bus cycle.
+    assert_eq!(
+        eval("bus+", Term::Var, Term::Const(UCH)),
+        sorted(vec![(SA, UCH), (BA, UCH), (UCH, UCH)])
+    );
+    // Two-step mixed-line path into BellasArtes.
+    assert_eq!(eval("l2/l5", Term::Var, Term::Const(BA)), vec![(LH, BA)]);
+}
+
+#[test]
+fn shape_var_const_with_inverses() {
+    // ?x ^l5 Baquedano: stations reachable FROM Baquedano by l5 — i.e. an
+    // l5 edge Baquedano -> x, read backwards. Only BellasArtes.
+    assert_eq!(eval("^l5", Term::Var, Term::Const(BAQ)), vec![(BA, BAQ)]);
+    // Mixed-direction concat into SantaAna: x -(l2|l5)-> m -^bus-> SA.
+    // The inverse step m -^bus-> SA holds iff SA -bus-> m, so m = UCH;
+    // but no l2/l5 edge enters UCH (it is only on l1 and bus). Empty.
+    assert_eq!(eval("(l2|l5)/^bus", Term::Var, Term::Const(SA)), vec![]);
+    // The satisfiable variant: x -l1-> m -^bus-> SA. Again m = UCH, and
+    // the l1 edges into UCH come from Baquedano and LosHeroes.
+    assert_eq!(
+        eval("l1/^bus", Term::Var, Term::Const(SA)),
+        sorted(vec![(BAQ, SA), (LH, SA)])
+    );
+}
+
+// ---- shape (?s, E, ?o): both endpoints variable --------------------------
+
+#[test]
+fn shape_var_var() {
+    // Every bus edge.
+    assert_eq!(
+        eval("bus", Term::Var, Term::Var),
+        sorted(vec![(SA, UCH), (UCH, BA), (BA, SA)])
+    );
+    // The l2 line, both directions listed as separate edges.
+    assert_eq!(
+        eval("l2", Term::Var, Term::Var),
+        sorted(vec![(LH, SA), (SA, LH)])
+    );
+    // bus∘bus: each stop two hops around the cycle.
+    assert_eq!(
+        eval("bus/bus", Term::Var, Term::Var),
+        sorted(vec![(SA, BA), (UCH, SA), (BA, UCH)])
+    );
+}
+
+#[test]
+fn shape_var_var_with_inverses() {
+    // ^bus is exactly the reversed bus relation.
+    assert_eq!(
+        eval("^bus", Term::Var, Term::Var),
+        sorted(vec![(UCH, SA), (BA, UCH), (SA, BA)])
+    );
+    // The symmetric closure of bus relates every pair of bus stops (the
+    // cycle is strongly connected and {SA, UCH, BA} are its nodes).
+    let mut all_bus_pairs = Vec::new();
+    for s in [SA, UCH, BA] {
+        for o in [SA, UCH, BA] {
+            all_bus_pairs.push((s, o));
+        }
+    }
+    assert_eq!(
+        eval("(bus|^bus)+", Term::Var, Term::Var),
+        sorted(all_bus_pairs)
+    );
+    // Colleague-style 2RPQ: x and y depart the same station by l5
+    // (x <-l5- m -l5-> y). l5 hubs: SA's l5-neighbour set {BA}, BA's
+    // {SA, BAQ}, BAQ's {BA}. Pairs via m=SA: (BA,BA); via m=BA: (SA,SA),
+    // (SA,BAQ), (BAQ,SA), (BAQ,BAQ); via m=BAQ: (BA,BA).
+    assert_eq!(
+        eval("^l5/l5", Term::Var, Term::Var),
+        sorted(vec![(BA, BA), (SA, SA), (SA, BAQ), (BAQ, SA), (BAQ, BAQ)])
+    );
+}
+
+// ---- the shapes are consistent with each other ---------------------------
+
+/// Projecting the `(?s, E, ?o)` answer set onto a constant endpoint must
+/// give exactly the `(s, E, ?o)` / `(?s, E, o)` answers, and membership
+/// must match `(s, E, o)` — the §4.4 shapes are one relation viewed four
+/// ways.
+#[test]
+fn shapes_are_projections_of_each_other() {
+    let all_nodes = [SA, UCH, LH, BA, BAQ];
+    for expr in [
+        "l5+/bus",
+        "(l1|l2|l5)+",
+        "bus|^bus",
+        "^l5/l5",
+        "(^bus)+",
+        "l1/^bus",
+    ] {
+        let var_var = eval(expr, Term::Var, Term::Var);
+        for &c in &all_nodes {
+            let const_var = eval(expr, Term::Const(c), Term::Var);
+            let expected: Vec<(Id, Id)> =
+                var_var.iter().copied().filter(|&(s, _)| s == c).collect();
+            assert_eq!(const_var, expected, "(c, {expr}, ?o) projection for c={c}");
+
+            let var_const = eval(expr, Term::Var, Term::Const(c));
+            let expected: Vec<(Id, Id)> =
+                var_var.iter().copied().filter(|&(_, o)| o == c).collect();
+            assert_eq!(var_const, expected, "(?s, {expr}, o) projection for o={c}");
+        }
+        for &s in &all_nodes {
+            for &o in &all_nodes {
+                let hit = !eval(expr, Term::Const(s), Term::Const(o)).is_empty();
+                assert_eq!(
+                    hit,
+                    var_var.contains(&(s, o)),
+                    "(s={s}, {expr}, o={o}) existence"
+                );
+            }
+        }
+    }
+}

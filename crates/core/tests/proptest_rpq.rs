@@ -15,7 +15,9 @@ const N_PREDS: u64 = 3; // completed alphabet: 0..6
 fn arb_graph() -> impl Strategy<Value = Graph> {
     prop::collection::vec((0..N_NODES, 0..N_PREDS, 0..N_NODES), 1..60).prop_map(|raw| {
         Graph::new(
-            raw.into_iter().map(|(s, p, o)| Triple::new(s, p, o)).collect(),
+            raw.into_iter()
+                .map(|(s, p, o)| Triple::new(s, p, o))
+                .collect(),
             N_NODES,
             N_PREDS,
         )

@@ -70,8 +70,7 @@ impl Dict {
             .iter()
             .map(|n| n.capacity() + std::mem::size_of::<String>())
             .sum::<usize>()
-            + self.index.capacity()
-                * (std::mem::size_of::<String>() + std::mem::size_of::<Id>())
+            + self.index.capacity() * (std::mem::size_of::<String>() + std::mem::size_of::<Id>())
     }
 }
 

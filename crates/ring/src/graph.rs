@@ -28,7 +28,10 @@ impl Graph {
                 t.s < n_nodes && t.o < n_nodes,
                 "triple {t} mentions a node >= {n_nodes}"
             );
-            assert!(t.p < n_preds, "triple {t} mentions a predicate >= {n_preds}");
+            assert!(
+                t.p < n_preds,
+                "triple {t} mentions a predicate >= {n_preds}"
+            );
         }
         triples.sort_unstable();
         triples.dedup();
@@ -41,11 +44,7 @@ impl Graph {
 
     /// Builds a graph sizing the universes from the data.
     pub fn from_triples(triples: Vec<Triple>) -> Self {
-        let n_nodes = triples
-            .iter()
-            .map(|t| t.s.max(t.o) + 1)
-            .max()
-            .unwrap_or(0);
+        let n_nodes = triples.iter().map(|t| t.s.max(t.o) + 1).max().unwrap_or(0);
         let n_preds = triples.iter().map(|t| t.p + 1).max().unwrap_or(0);
         Self::new(triples, n_nodes, n_preds)
     }
@@ -88,11 +87,7 @@ impl Graph {
         let np = self.n_preds;
         let mut all = Vec::with_capacity(self.triples.len() * 2);
         all.extend_from_slice(&self.triples);
-        all.extend(
-            self.triples
-                .iter()
-                .map(|t| Triple::new(t.o, t.p + np, t.s)),
-        );
+        all.extend(self.triples.iter().map(|t| Triple::new(t.o, t.p + np, t.s)));
         Graph::new(all, self.n_nodes, np * 2)
     }
 
@@ -169,7 +164,7 @@ mod tests {
         assert_eq!(c.n_preds(), 4);
         assert!(c.contains(1, 2, 0)); // inverse of (0,0,1): p̂ = 0 + 2
         assert!(c.contains(2, 3, 1)); // inverse of (1,1,2): p̂ = 1 + 2
-        // Completing is idempotent on the edge relation it encodes:
+                                      // Completing is idempotent on the edge relation it encodes:
         assert_eq!(c.completed().len(), 8);
     }
 

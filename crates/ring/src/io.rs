@@ -7,9 +7,7 @@
 
 use std::io::{self, Read, Write};
 
-use succinct::io::{
-    bad_data, read_len, read_u64, write_u64, Persist, FORMAT_VERSION,
-};
+use succinct::io::{bad_data, read_len, read_u64, write_u64, Persist, FORMAT_VERSION};
 use succinct::{RankSelect, WaveletMatrix};
 
 use crate::{Boundaries, Dict, Graph, Ring, Triple};
@@ -197,7 +195,15 @@ impl Persist for Ring {
             1 => true,
             _ => return Err(bad_data("invalid has_inverses flag")),
         };
-        if has_inverses && n_preds != 2 * n_preds_base {
+        // An empty ring's empty base alphabet is stored with the
+        // wavelet-matrix sigma clamped to 1; with any triples present a
+        // zero base alphabet is impossible, so keep the strict check.
+        let expected_preds = if n == 0 {
+            (2 * n_preds_base).max(1)
+        } else {
+            2 * n_preds_base
+        };
+        if has_inverses && n_preds != expected_preds {
             return Err(bad_data("inverse alphabet size mismatch"));
         }
         let l_o = WaveletMatrix::read_from(r)?;

@@ -77,7 +77,8 @@ pub fn leapfrog_join(ring: &Ring, patterns: &[TriplePattern], var_order: &[usize
             );
         }
     }
-    let mut bindings: Vec<Option<Id>> = vec![None; n_vars.max(var_order.iter().max().map_or(0, |m| m + 1))];
+    let mut bindings: Vec<Option<Id>> =
+        vec![None; n_vars.max(var_order.iter().max().map_or(0, |m| m + 1))];
     let mut results = Vec::new();
 
     // Constant-only patterns are a pre-filter.
@@ -296,13 +297,8 @@ mod tests {
         ];
         let mut got = leapfrog_join(&ring, &pats, &[0, 1, 2]);
         got.sort();
-        let triples: Vec<(Id, Id, Id)> = vec![
-            (0, 0, 1),
-            (1, 0, 2),
-            (2, 0, 3),
-            (0, 0, 2),
-            (3, 0, 0),
-        ];
+        let triples: Vec<(Id, Id, Id)> =
+            vec![(0, 0, 1), (1, 0, 2), (2, 0, 3), (0, 0, 2), (3, 0, 0)];
         let mut expected = naive_join(&triples, &pats, 3, 4);
         expected.sort();
         assert_eq!(got, expected);

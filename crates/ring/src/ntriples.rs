@@ -85,10 +85,7 @@ pub fn parse_ntriples(text: &str) -> Result<(Graph, Dict, Dict), NtError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let mut p = Cursor {
-            rest: line,
-            lineno,
-        };
+        let mut p = Cursor { rest: line, lineno };
         let s = p.term()?;
         let pr = p.term()?;
         let o = p.term()?;
@@ -170,9 +167,7 @@ impl Cursor<'_> {
                     return Err(self.err("blank node must start with '_:'"));
                 }
                 let body = &self.rest[2..];
-                let end = body
-                    .find(|c: char| c.is_whitespace())
-                    .unwrap_or(body.len());
+                let end = body.find(|c: char| c.is_whitespace()).unwrap_or(body.len());
                 if end == 0 {
                     return Err(self.err("empty blank node label"));
                 }
@@ -245,11 +240,7 @@ impl Cursor<'_> {
                         'n' => '\n',
                         't' => '\t',
                         'r' => '\r',
-                        other => {
-                            return Err(
-                                self.err(format!("unsupported escape '\\{other}'"))
-                            )
-                        }
+                        other => return Err(self.err(format!("unsupported escape '\\{other}'"))),
                     };
                     out.push(decoded);
                     byte_pos += c.len_utf8() + esc.len_utf8();
@@ -312,13 +303,13 @@ _:b0 <http://wd/P31> <http://wd/Q5> .
     #[test]
     fn malformed_lines_rejected_with_position() {
         for (line, text) in [
-            (1, "<a> <p> <b>"),                    // missing dot
-            (1, "<a> <p> ."),                      // missing object
-            (1, "\"lit\" <p> <b> ."),              // literal subject
-            (1, "<a> _:b <c> ."),                  // blank predicate
-            (1, "<a> <p> \"unterminated ."),       // bad literal
-            (1, "<a> <p> \"bad\\x\" ."),           // bad escape
-            (2, "<a> <p> <b> .\n<a> <p <b> ."),    // unterminated IRI
+            (1, "<a> <p> <b>"),                 // missing dot
+            (1, "<a> <p> ."),                   // missing object
+            (1, "\"lit\" <p> <b> ."),           // literal subject
+            (1, "<a> _:b <c> ."),               // blank predicate
+            (1, "<a> <p> \"unterminated ."),    // bad literal
+            (1, "<a> <p> \"bad\\x\" ."),        // bad escape
+            (2, "<a> <p> <b> .\n<a> <p <b> ."), // unterminated IRI
         ] {
             let err = parse_ntriples(text).unwrap_err();
             assert_eq!(err.line, line, "for {text:?}: {err}");

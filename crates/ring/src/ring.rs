@@ -503,7 +503,7 @@ mod tests {
         assert_eq!(l5_sources, (7, 9)); // 1-based [8..9]
         assert_eq!(r.l_s().access(7), 0); // SA
         assert_eq!(r.l_s().access(8), 4); // Baq
-        // And by ^bus we reach L_s[16..16] = ⟨SA⟩.
+                                          // And by ^bus we reach L_s[16..16] = ⟨SA⟩.
         let busi_sources = r.backward_step_by_pred(ba_range, 4);
         assert_eq!(busi_sources, (15, 16));
         assert_eq!(r.l_s().access(15), 0); // SA
@@ -605,7 +605,10 @@ mod tests {
                 assert_eq!(other.c_o_get(o), sparse.c_o_get(o), "{kind:?}");
             }
             for i in 0..16 {
-                assert_eq!(other.object_of_lp_position(i), sparse.object_of_lp_position(i));
+                assert_eq!(
+                    other.object_of_lp_position(i),
+                    sparse.object_of_lp_position(i)
+                );
                 assert_eq!(other.lf_p(i), sparse.lf_p(i));
             }
         }

@@ -64,11 +64,19 @@ mod tests {
 
     #[test]
     fn ordering_is_spo() {
-        let mut v = vec![Triple::new(2, 0, 0), Triple::new(1, 9, 9), Triple::new(1, 0, 5)];
+        let mut v = vec![
+            Triple::new(2, 0, 0),
+            Triple::new(1, 9, 9),
+            Triple::new(1, 0, 5),
+        ];
         v.sort();
         assert_eq!(
             v,
-            vec![Triple::new(1, 0, 5), Triple::new(1, 9, 9), Triple::new(2, 0, 0)]
+            vec![
+                Triple::new(1, 0, 5),
+                Triple::new(1, 9, 9),
+                Triple::new(2, 0, 0)
+            ]
         );
     }
 }

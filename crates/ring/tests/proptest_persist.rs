@@ -14,8 +14,12 @@ fn roundtrip<T: Persist>(x: &T) -> T {
 }
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1u64..10, 1u64..4, prop::collection::vec((0u64..10, 0u64..4, 0u64..10), 0..50)).prop_map(
-        |(n_nodes, n_preds, raw)| {
+    (
+        1u64..10,
+        1u64..4,
+        prop::collection::vec((0u64..10, 0u64..4, 0u64..10), 0..50),
+    )
+        .prop_map(|(n_nodes, n_preds, raw)| {
             Graph::new(
                 raw.into_iter()
                     .map(|(s, p, o)| Triple::new(s % n_nodes, p % n_preds, o % n_nodes))
@@ -23,8 +27,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                 n_nodes,
                 n_preds,
             )
-        },
-    )
+        })
 }
 
 proptest! {
@@ -90,5 +93,31 @@ proptest! {
         if cut < buf.len() {
             prop_assert!(Ring::read_from(&mut &buf[..cut]).is_err());
         }
+    }
+}
+
+/// Degenerate alphabet: an empty graph (zero predicates) stores its
+/// wavelet sigma clamped to 1; the load-time inverse-alphabet check
+/// must accept it (found by CLI probing: `build empty.nt` produced an
+/// index that then failed to load).
+#[test]
+fn empty_graph_ring_roundtrips() {
+    let g = Graph::new(vec![], 0, 0);
+    for kind in [
+        BoundaryKind::Dense,
+        BoundaryKind::Sparse,
+        BoundaryKind::EliasFano,
+    ] {
+        let ring = Ring::build(
+            &g,
+            RingOptions {
+                with_inverses: true,
+                node_boundaries: kind,
+            },
+        );
+        let back = roundtrip(&ring);
+        assert_eq!(back.n_triples(), 0);
+        assert_eq!(back.n_preds_base(), 0);
+        assert_eq!(back.iter_triples().count(), 0);
     }
 }

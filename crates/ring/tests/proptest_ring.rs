@@ -6,15 +6,18 @@ use ring::ring::{BoundaryKind, RingOptions};
 use ring::{Graph, Id, Ring, Triple};
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
-    (1u64..12, 1u64..5, prop::collection::vec((0u64..12, 0u64..5, 0u64..12), 0..80)).prop_map(
-        |(n_nodes, n_preds, raw)| {
+    (
+        1u64..12,
+        1u64..5,
+        prop::collection::vec((0u64..12, 0u64..5, 0u64..12), 0..80),
+    )
+        .prop_map(|(n_nodes, n_preds, raw)| {
             let triples = raw
                 .into_iter()
                 .map(|(s, p, o)| Triple::new(s % n_nodes, p % n_preds, o % n_nodes))
                 .collect();
             Graph::new(triples, n_nodes, n_preds)
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the slice of criterion's API that the `rpq_bench` benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros (both the simple
+//! and the `name = …; config = …; targets = …` forms).
+//!
+//! Measurement is honest but simple: each benchmark warms up for
+//! `warm_up_time`, then collects `sample_size` samples (each sample runs
+//! the closure enough times to fill `measurement_time / sample_size`) and
+//! reports min / median / mean per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: holds the sampling configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(500),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total time budget for the sampling phase.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its per-iteration timings.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: repeatedly run the routine until the budget is spent.
+        let warm_until = Instant::now() + self.warm_up_time;
+        let mut iters_per_pass = 1u64;
+        while Instant::now() < warm_until {
+            let mut b = Bencher {
+                iters: iters_per_pass,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            // Grow the batch until one pass takes ≥ ~1 ms, so that timer
+            // overhead is amortized for fast routines.
+            if b.elapsed < Duration::from_millis(1) && iters_per_pass < (1 << 20) {
+                iters_per_pass *= 2;
+            }
+        }
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let sample_until = Instant::now() + per_sample;
+            let mut iters = 0u64;
+            let mut spent = Duration::ZERO;
+            while Instant::now() < sample_until {
+                let mut b = Bencher {
+                    iters: iters_per_pass,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                iters += b.iters;
+                spent += b.elapsed;
+            }
+            if iters > 0 {
+                samples.push(spent.as_nanos() as f64 / iters as f64);
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let (min, median, mean) = if samples.is_empty() {
+            (0.0, 0.0, 0.0)
+        } else {
+            (
+                samples[0],
+                samples[samples.len() / 2],
+                samples.iter().sum::<f64>() / samples.len() as f64,
+            )
+        };
+        println!(
+            "{id:<48} min {:>12} median {:>12} mean {:>12}  ({} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            samples.len()
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Timing handle passed to the benchmarked closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it a driver-chosen number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group: a named function running its targets.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main()` for a bench binary: runs each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            ran = true;
+            b.iter(|| black_box(1 + 1))
+        });
+        assert!(ran);
+    }
+}

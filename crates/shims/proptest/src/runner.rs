@@ -1,0 +1,245 @@
+//! The case runner: deterministic seeds, regression-seed replay, and
+//! failure persistence.
+//!
+//! Every case is driven by a single `u64` seed. The seed sequence for a
+//! test is a pure function of its file and name (override the base with
+//! `PROPTEST_SEED`), so runs are reproducible across machines. Failures
+//! append a `cc <seed>` line to `proptest-regressions/<file>.txt` under
+//! the crate root — the same convention as upstream proptest — and those
+//! seeds are replayed before fresh cases on every run.
+
+use crate::{ProptestConfig, TestCaseError};
+use std::io::Write as _;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+
+/// The RNG handed to strategies.
+pub type TestRng = rand::rngs::StdRng;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn regression_path(manifest_dir: &str, source_file: &str) -> PathBuf {
+    let stem = Path::new(source_file)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "unknown".to_string());
+    Path::new(manifest_dir)
+        .join("proptest-regressions")
+        .join(format!("{stem}.txt"))
+}
+
+fn load_seeds(path: &Path) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let mut seeds = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("cc ") {
+            if let Ok(seed) = rest.split_whitespace().next().unwrap_or("").parse::<u64>() {
+                seeds.push(seed);
+            }
+        }
+    }
+    seeds
+}
+
+fn persist_failure(path: &Path, test_name: &str, seed: u64, message: &str) {
+    if std::env::var_os("PROPTEST_NO_PERSIST").is_some() {
+        return;
+    }
+    if load_seeds(path).contains(&seed) {
+        return;
+    }
+    let _ = std::fs::create_dir_all(path.parent().expect("regression path has a parent"));
+    let fresh = !path.exists();
+    let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    else {
+        return;
+    };
+    if fresh {
+        let _ = writeln!(
+            f,
+            "# Seeds for failure cases found by the vendored proptest runner.\n\
+             # Each `cc <seed>` line is replayed before fresh cases on every run.\n\
+             # This file is intended to be checked in."
+        );
+    }
+    let first_line = message.lines().next().unwrap_or("");
+    let _ = writeln!(f, "# {test_name}: {first_line}");
+    let _ = writeln!(f, "cc {seed}");
+}
+
+/// Runs `case` over persisted regression seeds, then `config.cases`
+/// fresh deterministic seeds. Panics (like `assert!`) on the first
+/// failing case, after persisting its seed.
+pub fn run<F>(
+    manifest_dir: &str,
+    source_file: &str,
+    test_name: &str,
+    config: &ProptestConfig,
+    mut case: F,
+) where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let reg_path = regression_path(manifest_dir, source_file);
+    let base = match std::env::var("PROPTEST_SEED") {
+        Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+        Err(_) => mix(fnv1a(source_file.as_bytes()), fnv1a(test_name.as_bytes())),
+    };
+    let cases = match std::env::var("PROPTEST_CASES") {
+        Ok(s) => s.parse::<u32>().ok().unwrap_or(config.cases),
+        Err(_) => config.cases,
+    };
+
+    let replay = load_seeds(&reg_path);
+    let fresh = (0..cases).map(|i| mix(base, i as u64));
+
+    for (kind, seed) in replay
+        .into_iter()
+        .map(|s| ("regression", s))
+        .chain(fresh.map(|s| ("fresh", s)))
+    {
+        let mut rng = <TestRng as rand::SeedableRng>::seed_from_u64(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case(&mut rng)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Reject(_))) => {}
+            Ok(Err(TestCaseError::Fail(msg))) => {
+                persist_failure(&reg_path, test_name, seed, &msg);
+                panic!(
+                    "proptest case failed: {test_name} ({kind} seed {seed})\n{msg}\n\
+                     re-run deterministically with PROPTEST_SEED; seed persisted to {}",
+                    reg_path.display()
+                );
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic>".to_string());
+                persist_failure(&reg_path, test_name, seed, &format!("panic: {msg}"));
+                eprintln!(
+                    "proptest case panicked: {test_name} ({kind} seed {seed}); \
+                     seed persisted to {}",
+                    reg_path.display()
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_are_deterministic() {
+        let a = mix(fnv1a(b"file.rs"), fnv1a(b"test_a"));
+        let b = mix(fnv1a(b"file.rs"), fnv1a(b"test_a"));
+        assert_eq!(a, b);
+        assert_ne!(a, mix(fnv1a(b"file.rs"), fnv1a(b"test_b")));
+    }
+
+    #[test]
+    fn regression_file_roundtrip() {
+        let dir = std::env::temp_dir().join("proptest_shim_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("case.txt");
+        persist_failure(&path, "t", 42, "boom\nsecond line");
+        persist_failure(&path, "t", 43, "boom");
+        persist_failure(&path, "t", 42, "duplicate is not re-added");
+        assert_eq!(load_seeds(&path), vec![42, 43]);
+    }
+
+    #[test]
+    fn failing_case_persists_its_seed_and_replays_first() {
+        let dir = std::env::temp_dir().join("proptest_shim_e2e");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let manifest = dir.to_str().unwrap();
+
+        // First run: the property fails on every case; run() must panic
+        // and persist the failing seed.
+        let failed = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(
+                manifest,
+                "e2e.rs",
+                "always_fails",
+                &ProptestConfig::with_cases(5),
+                |_rng| Err(TestCaseError::fail("intentional")),
+            );
+        }));
+        assert!(failed.is_err(), "failing property must panic the test");
+        let reg = regression_path(manifest, "e2e.rs");
+        let seeds = load_seeds(&reg);
+        assert_eq!(
+            seeds.len(),
+            1,
+            "exactly the first failing seed is persisted"
+        );
+
+        // Second run: the persisted seed must be replayed before any
+        // fresh case (we observe the replayed seed's RNG stream).
+        let mut first_draw = None;
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run(
+                manifest,
+                "e2e.rs",
+                "always_fails",
+                &ProptestConfig::with_cases(5),
+                |rng| {
+                    if first_draw.is_none() {
+                        first_draw = Some(rand::RngExt::random::<u64>(rng));
+                    }
+                    Err(TestCaseError::fail("intentional"))
+                },
+            );
+        }));
+        let mut expected_rng = <TestRng as rand::SeedableRng>::seed_from_u64(seeds[0]);
+        assert_eq!(
+            first_draw,
+            Some(rand::RngExt::random::<u64>(&mut expected_rng))
+        );
+    }
+
+    #[test]
+    fn runner_passes_and_counts() {
+        let mut n = 0u32;
+        run(
+            env!("CARGO_MANIFEST_DIR"),
+            "runner_selftest_pass.rs",
+            "counts",
+            &ProptestConfig::with_cases(17),
+            |_rng| {
+                n += 1;
+                Ok(())
+            },
+        );
+        // No regression file exists for this synthetic source file, so
+        // exactly the fresh cases run (unless PROPTEST_CASES overrides).
+        if std::env::var("PROPTEST_CASES").is_err() {
+            assert_eq!(n, 17);
+        }
+    }
+}

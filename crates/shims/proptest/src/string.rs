@@ -1,0 +1,283 @@
+//! Generation of strings matching a (small) regex pattern, backing the
+//! `"[a-z]{1,8}" `-style strategies in proptest files.
+//!
+//! Supported syntax — the subset the workspace's patterns use, plus a
+//! little slack: literals, `\x` escapes, `\PC` (any printable char),
+//! `.`, `[...]` classes with ranges, `(...)` groups, alternation `|`,
+//! and the postfix operators `*`, `+`, `?`, `{m}`, `{m,n}`.
+//! Unbounded repetitions are capped at 8.
+
+use crate::runner::TestRng;
+use rand::RngExt;
+
+const UNBOUNDED_CAP: u32 = 8;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Literal(char),
+    /// `\PC`: any printable character (mostly ASCII, some multibyte).
+    Printable,
+    /// `.`: any printable char except newline.
+    Dot,
+    Class(Vec<(char, char)>),
+    Group(Box<Node>),
+    Concat(Vec<Node>),
+    Alt(Vec<Node>),
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// Generates one string matching `pattern`; panics on syntax this subset
+/// does not support (a test-authoring error, not a runtime condition).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pos = 0usize;
+    let node = parse_alt(&chars, &mut pos);
+    assert!(
+        pos == chars.len(),
+        "unsupported regex pattern {pattern:?} (stopped at char {pos})"
+    );
+    let mut out = String::new();
+    emit(&node, rng, &mut out);
+    out
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut arms = vec![parse_concat(chars, pos)];
+    while *pos < chars.len() && chars[*pos] == '|' {
+        *pos += 1;
+        arms.push(parse_concat(chars, pos));
+    }
+    if arms.len() == 1 {
+        arms.pop().unwrap()
+    } else {
+        Node::Alt(arms)
+    }
+}
+
+fn parse_concat(chars: &[char], pos: &mut usize) -> Node {
+    let mut parts = Vec::new();
+    while *pos < chars.len() && chars[*pos] != '|' && chars[*pos] != ')' {
+        parts.push(parse_repeat(chars, pos));
+    }
+    if parts.len() == 1 {
+        parts.pop().unwrap()
+    } else {
+        Node::Concat(parts)
+    }
+}
+
+fn parse_repeat(chars: &[char], pos: &mut usize) -> Node {
+    let atom = parse_atom(chars, pos);
+    if *pos >= chars.len() {
+        return atom;
+    }
+    match chars[*pos] {
+        '*' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, UNBOUNDED_CAP)
+        }
+        '+' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, UNBOUNDED_CAP)
+        }
+        '?' => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        '{' => {
+            *pos += 1;
+            let lo = parse_number(chars, pos);
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                parse_number(chars, pos)
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "malformed {{m,n}} repetition");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+fn parse_number(chars: &[char], pos: &mut usize) -> u32 {
+    let start = *pos;
+    while *pos < chars.len() && chars[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    chars[start..*pos]
+        .iter()
+        .collect::<String>()
+        .parse()
+        .expect("number in {m,n}")
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos);
+            assert!(*pos < chars.len() && chars[*pos] == ')', "unclosed group");
+            *pos += 1;
+            Node::Group(Box::new(inner))
+        }
+        '[' => {
+            *pos += 1;
+            let mut ranges = Vec::new();
+            while chars[*pos] != ']' {
+                let mut c = chars[*pos];
+                if c == '\\' {
+                    *pos += 1;
+                    c = chars[*pos];
+                }
+                *pos += 1;
+                if chars[*pos] == '-' && chars[*pos + 1] != ']' {
+                    *pos += 1;
+                    let mut hi = chars[*pos];
+                    if hi == '\\' {
+                        *pos += 1;
+                        hi = chars[*pos];
+                    }
+                    *pos += 1;
+                    ranges.push((c, hi));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+            *pos += 1;
+            Node::Class(ranges)
+        }
+        '\\' => {
+            *pos += 1;
+            let c = chars[*pos];
+            *pos += 1;
+            match c {
+                'P' | 'p' => {
+                    // Unicode category escape; the workspace only uses
+                    // \PC ("not a control char") — treat every category
+                    // spelling as "printable".
+                    if *pos < chars.len() && chars[*pos] == '{' {
+                        while chars[*pos] != '}' {
+                            *pos += 1;
+                        }
+                        *pos += 1;
+                    } else {
+                        *pos += 1; // single-letter category, e.g. \PC
+                    }
+                    Node::Printable
+                }
+                'n' => Node::Literal('\n'),
+                't' => Node::Literal('\t'),
+                'r' => Node::Literal('\r'),
+                other => Node::Literal(other),
+            }
+        }
+        '.' => {
+            *pos += 1;
+            Node::Dot
+        }
+        c => {
+            *pos += 1;
+            Node::Literal(c)
+        }
+    }
+}
+
+/// A spread of printable characters: dense ASCII plus a few multibyte
+/// code points so byte-offset bugs surface.
+const EXOTIC: &[char] = &['é', 'λ', '中', '🦀', 'ß', '±', '€'];
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Literal(c) => out.push(*c),
+        Node::Printable => {
+            if rng.random_range(0..8u64) == 0 {
+                out.push(EXOTIC[rng.random_range(0..EXOTIC.len())]);
+            } else {
+                out.push((0x20 + rng.random_range(0..0x5f_u64) as u8) as char);
+            }
+        }
+        Node::Dot => {
+            let c = (0x20 + rng.random_range(0..0x5f_u64) as u8) as char;
+            out.push(c);
+        }
+        Node::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                .sum();
+            let mut pick = rng.random_range(0..total);
+            for (lo, hi) in ranges {
+                let span = (*hi as u64) - (*lo as u64) + 1;
+                if pick < span {
+                    out.push(char::from_u32(*lo as u32 + pick as u32).expect("class range"));
+                    return;
+                }
+                pick -= span;
+            }
+        }
+        Node::Group(inner) => emit(inner, rng, out),
+        Node::Concat(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Node::Alt(arms) => {
+            let i = rng.random_range(0..arms.len());
+            emit(&arms[i], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = if lo == hi {
+                *lo
+            } else {
+                rng.random_range(*lo..hi + 1)
+            };
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(99);
+        (0..100)
+            .map(|_| generate_matching(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_repetition() {
+        for s in gen100("[a-z]{1,8}") {
+            assert!((1..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_soup() {
+        for s in gen100("\\PC{0,40}") {
+            assert!(s.chars().count() <= 40);
+        }
+    }
+
+    #[test]
+    fn operator_class_includes_specials() {
+        let all: String = gen100("[0-9/|*+?(){}!^<>, ]{0,30}").concat();
+        assert!(all.contains('|') || all.contains('*') || all.contains('('));
+    }
+
+    #[test]
+    fn grouped_alternation() {
+        for s in gen100("[0-9]{1,2}(/[0-9]{1,2}|\\|[0-9]{1,2}|\\*|\\+|\\?){0,6}") {
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_ascii_digit(), "{s:?}");
+        }
+    }
+}

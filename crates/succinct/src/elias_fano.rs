@@ -34,7 +34,10 @@ impl EliasFano {
             assert!(w[0] <= w[1], "sequence must be non-decreasing");
         }
         if let Some(&last) = values.last() {
-            assert!(last < universe.max(1), "value {last} outside universe {universe}");
+            assert!(
+                last < universe.max(1),
+                "value {last} outside universe {universe}"
+            );
         }
         // l = floor(log2(u/n)) clamped to sensible bounds.
         let low_bits = if n == 0 {
@@ -49,9 +52,7 @@ impl EliasFano {
         }
         .max(1);
         let mut lows = IntVec::new(low_bits);
-        let max_high = values
-            .last()
-            .map_or(0, |&v| (v >> low_bits) as usize);
+        let max_high = values.last().map_or(0, |&v| (v >> low_bits) as usize);
         let mut highs = BitVec::with_capacity(n + max_high + 1);
         let mut prev_high = 0usize;
         for &v in values {

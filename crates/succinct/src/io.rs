@@ -295,7 +295,10 @@ mod tests {
     fn int_vec_roundtrip() {
         let v = IntVec::from_slice(&[0, 5, 1023, 7, 512]);
         let back = roundtrip(&v);
-        assert_eq!(v.iter().collect::<Vec<_>>(), back.iter().collect::<Vec<_>>());
+        assert_eq!(
+            v.iter().collect::<Vec<_>>(),
+            back.iter().collect::<Vec<_>>()
+        );
         assert_eq!(v.width(), back.width());
     }
 

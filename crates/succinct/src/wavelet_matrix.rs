@@ -119,7 +119,11 @@ impl WaveletMatrix {
 
     /// The symbol at position `i`, in *O*(log σ).
     pub fn access(&self, i: usize) -> u64 {
-        assert!(i < self.len, "position {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "position {i} out of bounds (len {})",
+            self.len
+        );
         let mut sym = 0u64;
         let mut i = i;
         for l in 0..self.width {
@@ -244,11 +248,7 @@ impl WaveletMatrix {
 
     /// Symbols occurring in **both** ranges, with rank offsets in each
     /// (cf. [`crate::WaveletTree::range_intersect`]).
-    pub fn range_intersect(
-        &self,
-        r1: (usize, usize),
-        r2: (usize, usize),
-    ) -> Vec<IntersectionHit> {
+    pub fn range_intersect(&self, r1: (usize, usize), r2: (usize, usize)) -> Vec<IntersectionHit> {
         assert!(r1.0 <= r1.1 && r1.1 <= self.len);
         assert!(r2.0 <= r2.1 && r2.1 <= self.len);
         let mut out = Vec::new();
@@ -394,7 +394,11 @@ impl WaveletMatrix {
     /// Panics if `k >= e - b` or the range is invalid.
     pub fn range_quantile(&self, b: usize, e: usize, k: usize) -> u64 {
         assert!(b <= e && e <= self.len);
-        assert!(k < e - b, "quantile index {k} out of range of size {}", e - b);
+        assert!(
+            k < e - b,
+            "quantile index {k} out of range of size {}",
+            e - b
+        );
         let (mut b, mut e, mut k) = (b, e, k);
         let mut sym = 0u64;
         for l in 0..self.width {
@@ -536,7 +540,11 @@ mod tests {
         let syms = sample(280, 23);
         let wm = WaveletMatrix::new(&syms, 23);
         let wt = WaveletTree::new(&syms, 23);
-        for (r1, r2) in [((0, 140), (70, 280)), ((5, 10), (200, 230)), ((0, 0), (0, 280))] {
+        for (r1, r2) in [
+            ((0, 140), (70, 280)),
+            ((5, 10), (200, 230)),
+            ((0, 0), (0, 280)),
+        ] {
             assert_eq!(
                 wm.range_intersect(r1, r2),
                 wt.range_intersect(r1, r2),

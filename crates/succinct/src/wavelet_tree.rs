@@ -63,7 +63,11 @@ impl WaveletTree {
 
     /// The symbol at position `i`, in *O*(log σ).
     pub fn access(&self, i: usize) -> u64 {
-        assert!(i < self.len, "position {i} out of bounds (len {})", self.len);
+        assert!(
+            i < self.len,
+            "position {i} out of bounds (len {})",
+            self.len
+        );
         let (mut lo, mut hi) = (0u64, self.sigma);
         let mut node = self.root.as_deref();
         let mut i = i;
@@ -145,12 +149,7 @@ impl WaveletTree {
 
     /// The smallest symbol `>= x` occurring in `[b, e)`, with its rank
     /// offsets, or `None`. The primitive behind leapfrog seeks.
-    pub fn range_next_value(
-        &self,
-        b: usize,
-        e: usize,
-        x: u64,
-    ) -> Option<(u64, usize, usize)> {
+    pub fn range_next_value(&self, b: usize, e: usize, x: u64) -> Option<(u64, usize, usize)> {
         assert!(b <= e && e <= self.len);
         next_value_rec(self.root.as_deref(), 0, self.sigma, b, e, x)
     }
@@ -159,7 +158,15 @@ impl WaveletTree {
     /// `[b, e)` (cf. [`crate::WaveletMatrix::range_count_within`]).
     pub fn range_count_within(&self, b: usize, e: usize, lo: u64, hi: u64) -> usize {
         assert!(b <= e && e <= self.len);
-        count_within_rec(self.root.as_deref(), 0, self.sigma, b, e, lo, hi.min(self.sigma))
+        count_within_rec(
+            self.root.as_deref(),
+            0,
+            self.sigma,
+            b,
+            e,
+            lo,
+            hi.min(self.sigma),
+        )
     }
 
     /// The `k`-th smallest symbol (0-based, with multiplicity) in `[b, e)`.
@@ -168,7 +175,11 @@ impl WaveletTree {
     /// Panics if `k >= e - b`.
     pub fn range_quantile(&self, b: usize, e: usize, k: usize) -> u64 {
         assert!(b <= e && e <= self.len);
-        assert!(k < e - b, "quantile index {k} out of range of size {}", e - b);
+        assert!(
+            k < e - b,
+            "quantile index {k} out of range of size {}",
+            e - b
+        );
         let (mut lo, mut hi) = (0u64, self.sigma);
         let mut node = self.root.as_deref();
         let (mut b, mut e, mut k) = (b, e, k);

@@ -159,7 +159,12 @@ mod tests {
         // The top 10% of nodes carry far more than their uniform share
         // (10%), and hubs dwarf the median node.
         assert!(top_decile * 4 > total, "top decile {top_decile} of {total}");
-        assert!(deg[0] > 8 * deg[500].max(1), "max {} median {}", deg[0], deg[500]);
+        assert!(
+            deg[0] > 8 * deg[500].max(1),
+            "max {} median {}",
+            deg[0],
+            deg[500]
+        );
     }
 
     #[test]

@@ -60,7 +60,13 @@ pub fn metro() -> Graph {
 /// Dictionaries naming the metro graph's nodes and predicates.
 pub fn metro_dicts() -> (Dict, Dict) {
     let mut nodes = Dict::new();
-    for n in ["SantaAna", "UdeChile", "LosHeroes", "BellasArtes", "Baquedano"] {
+    for n in [
+        "SantaAna",
+        "UdeChile",
+        "LosHeroes",
+        "BellasArtes",
+        "Baquedano",
+    ] {
         nodes.intern(n);
     }
     let mut preds = Dict::new();
@@ -72,7 +78,13 @@ pub fn metro_dicts() -> (Dict, Dict) {
 
 /// Node name lookup (for example output).
 pub fn node_name(id: Id) -> &'static str {
-    ["SantaAna", "UdeChile", "LosHeroes", "BellasArtes", "Baquedano"][id as usize]
+    [
+        "SantaAna",
+        "UdeChile",
+        "LosHeroes",
+        "BellasArtes",
+        "Baquedano",
+    ][id as usize]
 }
 
 #[cfg(test)]

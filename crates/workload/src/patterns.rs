@@ -59,8 +59,16 @@ pub fn skeleton(expr: &Regex, n_base_preds: Id) -> String {
             parts.join("|")
         }
         Regex::Literal(Lit::NegClass(_)) => "!".to_string(),
-        Regex::Concat(a, b) => format!("{}/{}", skeleton(a, n_base_preds), skeleton(b, n_base_preds)),
-        Regex::Alt(a, b) => format!("{}|{}", skeleton(a, n_base_preds), skeleton(b, n_base_preds)),
+        Regex::Concat(a, b) => format!(
+            "{}/{}",
+            skeleton(a, n_base_preds),
+            skeleton(b, n_base_preds)
+        ),
+        Regex::Alt(a, b) => format!(
+            "{}|{}",
+            skeleton(a, n_base_preds),
+            skeleton(b, n_base_preds)
+        ),
         Regex::Star(a) => format!("{}*", skeleton(a, n_base_preds)),
         Regex::Plus(a) => format!("{}+", skeleton(a, n_base_preds)),
         Regex::Opt(a) => format!("{}?", skeleton(a, n_base_preds)),
@@ -113,7 +121,10 @@ mod tests {
         let e = Regex::Star(Box::new(Regex::alt(Regex::label(0), Regex::label(1))));
         assert_eq!(skeleton(&e, n), "|*");
         // a|b|c → "||"
-        let e = Regex::alt(Regex::alt(Regex::label(0), Regex::label(1)), Regex::label(2));
+        let e = Regex::alt(
+            Regex::alt(Regex::label(0), Regex::label(1)),
+            Regex::label(2),
+        );
         assert_eq!(skeleton(&e, n), "||");
         // ^a → "^"
         assert_eq!(skeleton(&Regex::label(12), n), "^");
@@ -123,7 +134,10 @@ mod tests {
         // a*/b*/c*/d*/e* → "*/*/*/*/*"
         let star = |l| Regex::Star(Box::new(Regex::label(l)));
         let e = Regex::concat(
-            Regex::concat(Regex::concat(Regex::concat(star(0), star(1)), star(2)), star(3)),
+            Regex::concat(
+                Regex::concat(Regex::concat(star(0), star(1)), star(2)),
+                star(3),
+            ),
             star(4),
         );
         assert_eq!(skeleton(&e, n), "*/*/*/*/*");

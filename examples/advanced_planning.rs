@@ -90,8 +90,14 @@ fn main() {
     );
     let q = RpqQuery::new(Term::Const(hub), star(0), Term::Var);
     assert_eq!(
-        RpqEngine::new(&loaded).evaluate(&q, &opts).unwrap().sorted_pairs(),
-        RpqEngine::new(&ring).evaluate(&q, &opts).unwrap().sorted_pairs(),
+        RpqEngine::new(&loaded)
+            .evaluate(&q, &opts)
+            .unwrap()
+            .sorted_pairs(),
+        RpqEngine::new(&ring)
+            .evaluate(&q, &opts)
+            .unwrap()
+            .sorted_pairs(),
     );
     println!("loaded index answers queries identically — done.");
     let _ = std::fs::remove_file(&path);

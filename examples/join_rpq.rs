@@ -17,33 +17,23 @@
 use ring::ltj::{leapfrog_join, Term as JoinTerm, TriplePattern};
 use ring_rpq::RpqDatabase;
 use rpq_core::{EngineOptions, RpqEngine, RpqQuery, Term};
+use std::path::Path;
 use succinct::util::FxHashSet;
 
 fn main() {
-    let db = RpqDatabase::from_text(
-        "
-        ada    livesIn   santiago
-        bruno  livesIn   santiago
-        carla  livesIn   valparaiso
-        dana   livesIn   lima
-        santiago   locatedIn chile
-        valparaiso locatedIn chile
-        lima       locatedIn peru
-        ada    worksWith bruno
-        bruno  worksWith carla
-        dana   worksWith dana
-        ",
-    )
-    .unwrap();
+    // Residence/collaboration data ships as the bundled N-Triples
+    // fixture data/team.nt; IRIs keep their brackets as names.
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("data/team.nt");
+    let db = RpqDatabase::from_graph_file(&fixture).unwrap();
     let ring = db.ring();
     let nodes = db.nodes();
     let preds = db.preds();
 
     // Step 1: the conjunctive part with Leapfrog-TrieJoin.
     // Variables: 0 = ?person, 1 = ?city.
-    let lives_in = preds.get("livesIn").unwrap();
-    let located_in = preds.get("locatedIn").unwrap();
-    let chile = nodes.get("chile").unwrap();
+    let lives_in = preds.get("<livesIn>").unwrap();
+    let located_in = preds.get("<locatedIn>").unwrap();
+    let chile = nodes.get("<chile>").unwrap();
     let patterns = [
         TriplePattern::new(JoinTerm::Var(0), lives_in, JoinTerm::Var(1)),
         TriplePattern::new(JoinTerm::Var(1), located_in, JoinTerm::Const(chile)),
@@ -56,10 +46,10 @@ fn main() {
 
     // Step 2: the RPQ over the same ring: people connected to ada through
     // the undirected worksWith network.
-    let ada = nodes.get("ada").unwrap();
+    let ada = nodes.get("<ada>").unwrap();
     let rpq = RpqQuery::new(
         Term::Var,
-        db.parse_query("?x", "(worksWith|^worksWith)+", "?y")
+        db.parse_query("?x", "(<worksWith>|^<worksWith>)+", "?y")
             .unwrap()
             .expr,
         Term::Const(ada),
@@ -85,10 +75,7 @@ fn main() {
         println!("  {person} ({city})");
     }
     assert_eq!(
-        results
-            .iter()
-            .map(|(p, _)| p.as_str())
-            .collect::<Vec<_>>(),
-        vec!["ada", "bruno", "carla"]
+        results.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>(),
+        vec!["<ada>", "<bruno>", "<carla>"]
     );
 }

@@ -1,31 +1,18 @@
 //! Quickstart: the paper's running example on the Santiago metro graph
-//! (Fig. 1), evaluated through the name-level API.
+//! (Fig. 1), loaded from the bundled N-Triples fixture and evaluated
+//! through the name-level API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use ring_rpq::RpqDatabase;
+use std::path::Path;
 
 fn main() {
-    // The metro graph of Fig. 1: metro lines are bidirectional, the bus
-    // hops are one-way.
-    let db = RpqDatabase::from_text(
-        "
-        baquedano   l1  u_de_chile
-        u_de_chile  l1  baquedano
-        u_de_chile  l1  los_heroes
-        los_heroes  l1  u_de_chile
-        los_heroes  l2  santa_ana
-        santa_ana   l2  los_heroes
-        santa_ana   l5  bellas_artes
-        bellas_artes l5 santa_ana
-        bellas_artes l5 baquedano
-        baquedano   l5  bellas_artes
-        santa_ana   bus u_de_chile
-        u_de_chile  bus bellas_artes
-        bellas_artes bus santa_ana
-        ",
-    )
-    .expect("valid graph text");
+    // The metro graph of Fig. 1 ships as data/metro.nt: metro lines are
+    // bidirectional, the bus hops are one-way. N-Triples IRIs keep their
+    // brackets as names, so stations are "<baquedano>" etc.
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("data/metro.nt");
+    let db = RpqDatabase::from_graph_file(&fixture).expect("bundled fixture parses");
 
     println!(
         "metro graph: {} edges, {} stations, {} labels; ring index: {} bytes",
@@ -38,28 +25,34 @@ fn main() {
     // §4's worked example: where can we get from Baquedano by metro line 5
     // and then exactly one bus hop? The paper's Fig. 6 trace reports
     // Santa Ana and Universidad de Chile.
-    let reachable = db.query("baquedano", "l5+/bus", "?y").unwrap();
+    let reachable = db.query("<baquedano>", "<l5>+/<bus>", "?y").unwrap();
     println!("\n(baquedano, l5+/bus, ?y):");
     for (_, station) in &reachable {
         println!("  -> {station}");
     }
     assert_eq!(
         reachable.iter().map(|p| p.1.as_str()).collect::<Vec<_>>(),
-        vec!["santa_ana", "u_de_chile"]
+        vec!["<santa_ana>", "<u_de_chile>"]
     );
 
     // The introduction's example: everything reachable by metro.
-    let metro_pairs = db.query("baquedano", "(l1|l2|l5)+", "?y").unwrap();
-    println!("\n(baquedano, (l1|l2|l5)+, ?y): {} stations", metro_pairs.len());
+    let metro_pairs = db.query("<baquedano>", "(<l1>|<l2>|<l5>)+", "?y").unwrap();
+    println!(
+        "\n(baquedano, (l1|l2|l5)+, ?y): {} stations",
+        metro_pairs.len()
+    );
 
     // A two-way query: who reaches Santa Ana going *against* a bus edge?
-    let upstream = db.query("?x", "^bus", "santa_ana").unwrap();
+    let upstream = db.query("?x", "^<bus>", "<santa_ana>").unwrap();
     println!("\n(?x, ^bus, santa_ana):");
     for (station, _) in &upstream {
         println!("  {station} <-");
     }
 
     // A negated property set: one hop by anything except a bus.
-    let not_bus = db.query("baquedano", "!(bus|^bus)", "?y").unwrap();
-    println!("\n(baquedano, !(bus|^bus), ?y): {} neighbours", not_bus.len());
+    let not_bus = db.query("<baquedano>", "!(<bus>|^<bus>)", "?y").unwrap();
+    println!(
+        "\n(baquedano, !(bus|^bus), ?y): {} neighbours",
+        not_bus.len()
+    );
 }

@@ -5,23 +5,13 @@
 //! Run with: `cargo run --release --example sparql_property_paths`
 
 use ring_rpq::RpqDatabase;
+use std::path::Path;
 
 fn main() {
-    // A small FOAF-ish graph with IRIs as names.
-    let db = RpqDatabase::from_text(
-        "
-        <alice>  <knows>    <bob>
-        <bob>    <knows>    <carol>
-        <carol>  <knows>    <dave>
-        <dave>   <knows>    <alice>
-        <alice>  <worksAt>  <acme>
-        <bob>    <worksAt>  <acme>
-        <carol>  <worksAt>  <initech>
-        <dave>   <mentors>  <bob>
-        <eve>    <knows>    <alice>
-        ",
-    )
-    .unwrap();
+    // A small FOAF-ish graph, parsed from the bundled N-Triples fixture
+    // (which also carries RDF literals — they become ordinary nodes).
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("data/foaf.nt");
+    let db = RpqDatabase::from_graph_file(&fixture).unwrap();
 
     // c → v: transitive closure.  SPARQL: <alice> <knows>+ ?y
     let friends = db.query("<alice>", "<knows>+", "?y").unwrap();
@@ -53,7 +43,10 @@ fn main() {
     let hit = db
         .query("<eve>", "<knows>/<knows>*/<worksAt>", "<initech>")
         .unwrap();
-    println!("\n<eve> reaches <initech> through the social graph: {}", !hit.is_empty());
+    println!(
+        "\n<eve> reaches <initech> through the social graph: {}",
+        !hit.is_empty()
+    );
     assert!(!hit.is_empty());
 
     // v → c with an optional step.

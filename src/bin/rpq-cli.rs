@@ -1,7 +1,7 @@
 //! `rpq-cli` — build, persist and query ring-rpq databases from the shell.
 //!
 //! ```text
-//! rpq-cli build <graph.txt> <index.db>         index a triple text file
+//! rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
 //! rpq-cli query <index.db> <s> <expr> <o>      run one 2RPQ (use ?vars)
 //! rpq-cli stats <index.db>                     index statistics
 //! rpq-cli bench <index.db> <s> <expr> <o> [n]  time a query n times
@@ -45,7 +45,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  rpq-cli build <graph.txt> <index.db>           index a triple text file
+  rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
   rpq-cli query <index.db> <s> <expr> <o>        run one 2RPQ (use ?vars)
   rpq-cli explain <index.db> <s> <expr> <o>      show the evaluation plan
   rpq-cli stats <index.db>                       index statistics
@@ -54,11 +54,12 @@ const USAGE: &str = "usage:
 
 fn cmd_build(args: &[String]) -> Result<(), String> {
     let [input, output] = args else {
-        return Err(format!("build needs <graph.txt> <index.db>\n{USAGE}"));
+        return Err(format!(
+            "build needs <graph.txt|graph.nt> <index.db>\n{USAGE}"
+        ));
     };
-    let text = std::fs::read_to_string(input).map_err(|e| format!("reading {input}: {e}"))?;
     let t = Instant::now();
-    let db = RpqDatabase::from_text(&text).map_err(|e| e.to_string())?;
+    let db = RpqDatabase::from_graph_file(Path::new(input)).map_err(|e| e.to_string())?;
     let build_secs = t.elapsed().as_secs_f64();
     db.save(Path::new(output))
         .map_err(|e| format!("writing {output}: {e}"))?;
@@ -166,11 +167,12 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (core, n) = match args.len() {
         4 => (&args[..4], 10usize),
-        5 => (
-            &args[..4],
-            args[4].parse().map_err(|_| "bad repeat count")?,
-        ),
-        _ => return Err(format!("bench needs <index.db> <s> <expr> <o> [n]\n{USAGE}")),
+        5 => (&args[..4], args[4].parse().map_err(|_| "bad repeat count")?),
+        _ => {
+            return Err(format!(
+                "bench needs <index.db> <s> <expr> <o> [n]\n{USAGE}"
+            ))
+        }
     };
     let [index, s, expr, o] = core else {
         unreachable!()

@@ -116,6 +116,31 @@ impl RpqDatabase {
         Ok(Self::from_parts(graph, nodes, preds))
     }
 
+    /// Builds a database from N-Triples text (see [`ring::ntriples`]):
+    /// `<s> <p> <o> .` lines, RDF literals and blank nodes included.
+    /// Node names are the dictionary keys of the parsed terms, so IRIs
+    /// keep their brackets: query with `"<alice>"`, not `"alice"`.
+    pub fn from_ntriples(text: &str) -> Result<Self, DbError> {
+        let (graph, nodes, preds) =
+            ring::ntriples::parse_ntriples(text).map_err(|e| DbError::Graph(e.to_string()))?;
+        Ok(Self::from_parts(graph, nodes, preds))
+    }
+
+    /// Reads a graph file, picking the parser by extension: `.nt` is
+    /// N-Triples, everything else whitespace triple text.
+    pub fn from_graph_file(path: &std::path::Path) -> Result<Self, DbError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DbError::Graph(format!("reading {}: {e}", path.display())))?;
+        if path
+            .extension()
+            .is_some_and(|x| x.eq_ignore_ascii_case("nt"))
+        {
+            Self::from_ntriples(&text)
+        } else {
+            Self::from_text(&text)
+        }
+    }
+
     /// Builds a database from pre-encoded parts.
     pub fn from_parts(graph: Graph, nodes: Dict, preds: Dict) -> Self {
         let ring = Ring::build(&graph, RingOptions::default());

@@ -36,7 +36,11 @@ fn build_query_roundtrip() {
         .args(["build", graph.to_str().unwrap(), index.to_str().unwrap()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("indexed 6 edges"));
     assert!(index.exists());
 
@@ -65,14 +69,7 @@ fn build_query_roundtrip() {
     assert!(stdout.contains("ring bytes"), "{stdout}");
 
     let out = cli()
-        .args([
-            "bench",
-            index.to_str().unwrap(),
-            "?x",
-            "l5*",
-            "?y",
-            "3",
-        ])
+        .args(["bench", index.to_str().unwrap(), "?x", "l5*", "?y", "3"])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -104,7 +101,11 @@ fn cli_failure_modes() {
 
     // Missing input file.
     let out = cli()
-        .args(["build", "/nonexistent/g.txt", dir.join("x.db").to_str().unwrap()])
+        .args([
+            "build",
+            "/nonexistent/g.txt",
+            dir.join("x.db").to_str().unwrap(),
+        ])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -139,4 +140,86 @@ fn cli_failure_modes() {
     let out = cli().arg("--help").output().unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+/// The bundled N-Triples fixture round-trips through build → query →
+/// stats, exercising the `.nt` sniffing path of `cmd_build`.
+#[test]
+fn build_query_ntriples_fixture() {
+    let dir = tmpdir("ntriples");
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data/metro.nt");
+    let index = dir.join("metro_nt.db");
+
+    let out = cli()
+        .args(["build", fixture.to_str().unwrap(), index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("indexed 13 edges"));
+
+    // The paper's worked query, §4 / Fig. 6: l5+ then one bus hop.
+    let out = cli()
+        .args([
+            "query",
+            index.to_str().unwrap(),
+            "<baquedano>",
+            "<l5>+/<bus>",
+            "?y",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<baquedano>\t<santa_ana>"), "{stdout}");
+    assert!(stdout.contains("<baquedano>\t<u_de_chile>"), "{stdout}");
+
+    // An inverse-step (2RPQ) query through the CLI.
+    let out = cli()
+        .args([
+            "query",
+            index.to_str().unwrap(),
+            "?x",
+            "^<bus>",
+            "<santa_ana>",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("<u_de_chile>\t<santa_ana>"), "{stdout}");
+
+    let out = cli()
+        .args(["stats", index.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("edges (base):        13"));
+}
+
+/// A malformed N-Triples file is rejected with a positioned error, not
+/// silently mis-parsed as whitespace triples.
+#[test]
+fn malformed_ntriples_is_rejected() {
+    let dir = tmpdir("bad_ntriples");
+    let bad = dir.join("bad.nt");
+    std::fs::write(&bad, "<a> <p> <b> .\n<unterminated\n").unwrap();
+    let out = cli()
+        .args([
+            "build",
+            bad.to_str().unwrap(),
+            dir.join("x.db").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 2"), "{stderr}");
 }

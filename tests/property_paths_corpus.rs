@@ -24,48 +24,182 @@ frank  friendOf alice
 ";
 
 #[allow(clippy::type_complexity)]
-fn corpus() -> Vec<(&'static str, &'static str, &'static str, Vec<(&'static str, &'static str)>)> {
+fn corpus() -> Vec<(
+    &'static str,
+    &'static str,
+    &'static str,
+    Vec<(&'static str, &'static str)>,
+)> {
     vec![
         // Plain steps and concatenations.
-        ("alice", "parentOf", "?y", vec![("alice", "bob"), ("alice", "carol")]),
-        ("alice", "parentOf/parentOf", "?y", vec![("alice", "dave"), ("alice", "erin")]),
+        (
+            "alice",
+            "parentOf",
+            "?y",
+            vec![("alice", "bob"), ("alice", "carol")],
+        ),
+        (
+            "alice",
+            "parentOf/parentOf",
+            "?y",
+            vec![("alice", "dave"), ("alice", "erin")],
+        ),
         // Closures; * includes the zero-length path (the diagonal).
-        ("alice", "parentOf+", "?y", vec![("alice", "bob"), ("alice", "carol"), ("alice", "dave"), ("alice", "erin")]),
-        ("alice", "parentOf*", "?y", vec![("alice", "alice"), ("alice", "bob"), ("alice", "carol"), ("alice", "dave"), ("alice", "erin")]),
+        (
+            "alice",
+            "parentOf+",
+            "?y",
+            vec![
+                ("alice", "bob"),
+                ("alice", "carol"),
+                ("alice", "dave"),
+                ("alice", "erin"),
+            ],
+        ),
+        (
+            "alice",
+            "parentOf*",
+            "?y",
+            vec![
+                ("alice", "alice"),
+                ("alice", "bob"),
+                ("alice", "carol"),
+                ("alice", "dave"),
+                ("alice", "erin"),
+            ],
+        ),
         // Bounded repetition.
-        ("?x", "parentOf{2}", "?y", vec![("alice", "dave"), ("alice", "erin")]),
-        ("alice", "parentOf{1,2}", "?y", vec![("alice", "bob"), ("alice", "carol"), ("alice", "dave"), ("alice", "erin")]),
+        (
+            "?x",
+            "parentOf{2}",
+            "?y",
+            vec![("alice", "dave"), ("alice", "erin")],
+        ),
+        (
+            "alice",
+            "parentOf{1,2}",
+            "?y",
+            vec![
+                ("alice", "bob"),
+                ("alice", "carol"),
+                ("alice", "dave"),
+                ("alice", "erin"),
+            ],
+        ),
         // Inverse steps and inverse closures.
         ("dave", "^parentOf", "?y", vec![("dave", "bob")]),
         ("dave", "^parentOf/^parentOf", "?y", vec![("dave", "alice")]),
-        ("erin", "(^parentOf)+", "?y", vec![("erin", "alice"), ("erin", "carol")]),
+        (
+            "erin",
+            "(^parentOf)+",
+            "?y",
+            vec![("erin", "alice"), ("erin", "carol")],
+        ),
         // Joins through shared endpoints.
-        ("?x", "worksFor/ownedBy", "?y", vec![("bob", "holdco"), ("dave", "holdco"), ("frank", "holdco")]),
-        ("?x", "worksFor/ownedBy/^ownedBy", "?y", vec![("bob", "acme"), ("bob", "initech"), ("dave", "acme"), ("dave", "initech"), ("frank", "acme"), ("frank", "initech")]),
+        (
+            "?x",
+            "worksFor/ownedBy",
+            "?y",
+            vec![("bob", "holdco"), ("dave", "holdco"), ("frank", "holdco")],
+        ),
+        (
+            "?x",
+            "worksFor/ownedBy/^ownedBy",
+            "?y",
+            vec![
+                ("bob", "acme"),
+                ("bob", "initech"),
+                ("dave", "acme"),
+                ("dave", "initech"),
+                ("frank", "acme"),
+                ("frank", "initech"),
+            ],
+        ),
         // Alternation; anchored constants; empty results.
-        ("dave", "friendOf|worksFor", "?y", vec![("dave", "acme"), ("dave", "erin")]),
+        (
+            "dave",
+            "friendOf|worksFor",
+            "?y",
+            vec![("dave", "acme"), ("dave", "erin")],
+        ),
         ("?x", "friendOf", "holdco", vec![]),
-        ("?x", "worksFor", "acme", vec![("dave", "acme"), ("frank", "acme")]),
+        (
+            "?x",
+            "worksFor",
+            "acme",
+            vec![("dave", "acme"), ("frank", "acme")],
+        ),
         ("dave", "parentOf", "?y", vec![]),
         // Negated property set over Σ↔ (alice's only non-parentOf
         // incidence is the friendOf edge from frank, taken inversely).
-        ("alice", "!(parentOf|^parentOf)", "?y", vec![("alice", "frank")]),
+        (
+            "alice",
+            "!(parentOf|^parentOf)",
+            "?y",
+            vec![("alice", "frank")],
+        ),
         // Mixed direction compositions.
-        ("frank", "friendOf/parentOf", "?y", vec![("frank", "bob"), ("frank", "carol")]),
+        (
+            "frank",
+            "friendOf/parentOf",
+            "?y",
+            vec![("frank", "bob"), ("frank", "carol")],
+        ),
         ("erin", "^friendOf/worksFor", "?y", vec![("erin", "acme")]),
         // Undirected closure (friendship either way) reaches the cycle.
-        ("frank", "(friendOf|^friendOf)+", "?y", vec![("frank", "alice"), ("frank", "dave"), ("frank", "erin"), ("frank", "frank")]),
+        (
+            "frank",
+            "(friendOf|^friendOf)+",
+            "?y",
+            vec![
+                ("frank", "alice"),
+                ("frank", "dave"),
+                ("frank", "erin"),
+                ("frank", "frank"),
+            ],
+        ),
         // Optional step.
-        ("alice", "parentOf?/worksFor", "?y", vec![("alice", "initech")]),
+        (
+            "alice",
+            "parentOf?/worksFor",
+            "?y",
+            vec![("alice", "initech")],
+        ),
         // Constant-to-constant existence.
         ("bob", "worksFor/ownedBy", "holdco", vec![("bob", "holdco")]),
         // Full-variable single steps, both directions.
-        ("?x", "ownedBy", "?y", vec![("acme", "holdco"), ("initech", "holdco")]),
-        ("?x", "^ownedBy", "?y", vec![("holdco", "acme"), ("holdco", "initech")]),
+        (
+            "?x",
+            "ownedBy",
+            "?y",
+            vec![("acme", "holdco"), ("initech", "holdco")],
+        ),
+        (
+            "?x",
+            "^ownedBy",
+            "?y",
+            vec![("holdco", "acme"), ("holdco", "initech")],
+        ),
         // Group closure.
-        ("alice", "(parentOf/parentOf)+", "?y", vec![("alice", "dave"), ("alice", "erin")]),
+        (
+            "alice",
+            "(parentOf/parentOf)+",
+            "?y",
+            vec![("alice", "dave"), ("alice", "erin")],
+        ),
         // Colleagues: same employer, including oneself.
-        ("?x", "worksFor/^worksFor", "?y", vec![("bob", "bob"), ("dave", "dave"), ("dave", "frank"), ("frank", "dave"), ("frank", "frank")]),
+        (
+            "?x",
+            "worksFor/^worksFor",
+            "?y",
+            vec![
+                ("bob", "bob"),
+                ("dave", "dave"),
+                ("dave", "frank"),
+                ("frank", "dave"),
+                ("frank", "frank"),
+            ],
+        ),
     ]
 }
 
@@ -74,10 +208,7 @@ fn corpus_matches_expected_answers() {
     let db = RpqDatabase::from_text(DATA).unwrap();
     for (s, e, o, expected) in corpus() {
         let got = db.query(s, e, o).unwrap();
-        let got: Vec<(&str, &str)> = got
-            .iter()
-            .map(|(a, b)| (a.as_str(), b.as_str()))
-            .collect();
+        let got: Vec<(&str, &str)> = got.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
         assert_eq!(got, expected, "({s}, {e}, {o})");
     }
 }
@@ -104,10 +235,7 @@ fn corpus_is_stable_under_persistence() {
     let loaded = RpqDatabase::load(&path).unwrap();
     for (s, e, o, expected) in corpus() {
         let got = loaded.query(s, e, o).unwrap();
-        let got: Vec<(&str, &str)> = got
-            .iter()
-            .map(|(a, b)| (a.as_str(), b.as_str()))
-            .collect();
+        let got: Vec<(&str, &str)> = got.iter().map(|(a, b)| (a.as_str(), b.as_str())).collect();
         assert_eq!(got, expected, "after reload: ({s}, {e}, {o})");
     }
     let _ = std::fs::remove_file(&path);
