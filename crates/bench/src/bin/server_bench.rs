@@ -1,0 +1,148 @@
+//! E7: server throughput and latency under the Table 1 workload at
+//! 1 / 4 / 16 workers, written to `BENCH_server.json`.
+//!
+//! Measures the `rpq-server` worker pool end to end (admission →
+//! plan cache → engine), with the *result cache disabled* so the
+//! numbers reflect engine scaling, not repeat-hit shortcuts (the plan
+//! cache stays on: sharing compiled automata across workers is part of
+//! the design under test). The workload, graph and limits follow the
+//! shared `BenchConfig` (`RPQ_BENCH_*` env overrides); the output path
+//! honours `RPQ_BENCH_OUT` (default `BENCH_server.json`).
+
+use rpq_bench::{build_ring, BenchConfig};
+use rpq_core::RpqQuery;
+use rpq_server::{IndexSource, QueryBudget, QuerySource, RpqServer, ServerConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Run {
+    workers: usize,
+    wall_s: f64,
+    qps: f64,
+    completed: usize,
+    failed: usize,
+    timed_out: usize,
+    pairs: usize,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let graph = cfg.graph();
+    eprintln!(
+        "server bench: building ring over {} edges / {} nodes ...",
+        graph.len(),
+        graph.n_nodes()
+    );
+    let ring = build_ring(&graph);
+    let queries: Vec<RpqQuery> = cfg.log(&graph).into_iter().map(|gq| gq.query).collect();
+    eprintln!(
+        "server bench: {} queries from the Table 1 mix",
+        queries.len()
+    );
+    let source: Arc<dyn QuerySource> = Arc::new(IndexSource::id_only(ring));
+    let budget = QueryBudget {
+        max_results: cfg.limit,
+        timeout: Some(cfg.timeout),
+        node_budget: None,
+    };
+
+    let worker_counts = [1usize, 4, 16];
+    let mut runs: Vec<Run> = Vec::new();
+    for &workers in &worker_counts {
+        let server = RpqServer::start(
+            Arc::clone(&source),
+            ServerConfig {
+                workers,
+                max_pending: queries.len() + 1,
+                result_cache_bytes: 0,
+                ..ServerConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let tickets: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                server
+                    .submit_parsed(q.clone(), budget)
+                    .expect("queue sized for the whole log")
+            })
+            .collect();
+        let (mut completed, mut failed, mut timed_out, mut pairs) =
+            (0usize, 0usize, 0usize, 0usize);
+        for ticket in &tickets {
+            match server.wait(ticket) {
+                Ok(answer) => {
+                    completed += 1;
+                    timed_out += answer.timed_out as usize;
+                    pairs += answer.pairs.len();
+                }
+                Err(_) => failed += 1,
+            }
+        }
+        let wall_s = t0.elapsed().as_secs_f64();
+        let m = server.metrics();
+        let run = Run {
+            workers,
+            wall_s,
+            qps: queries.len() as f64 / wall_s.max(1e-9),
+            completed,
+            failed,
+            timed_out,
+            pairs,
+            p50_us: m.latency_all.quantile_us(0.50),
+            p99_us: m.latency_all.quantile_us(0.99),
+        };
+        eprintln!(
+            "  {:>2} workers: {:.3}s wall, {:.0} q/s, p50 {} us, p99 {} us ({} timed out, {} failed)",
+            run.workers, run.wall_s, run.qps, run.p50_us, run.p99_us, run.timed_out, run.failed
+        );
+        runs.push(run);
+        server.shutdown();
+    }
+
+    let base_qps = runs[0].qps;
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"experiment\": \"server_throughput\",\n  \"host_threads\": {},\n",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    ));
+    json.push_str(&format!(
+        "  \"config\": {{\"nodes\": {}, \"preds\": {}, \"edges\": {}, \"seed\": {}, \
+         \"log_scale\": {}, \"timeout_ms\": {}, \"limit\": {}, \"queries\": {}}},\n",
+        cfg.n_nodes,
+        cfg.n_preds,
+        cfg.n_edges,
+        cfg.seed,
+        cfg.log_scale,
+        cfg.timeout.as_millis(),
+        cfg.limit,
+        queries.len()
+    ));
+    json.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"workers\": {}, \"wall_s\": {:.6}, \"qps\": {:.2}, \"speedup_vs_1\": {:.3}, \
+             \"completed\": {}, \"failed\": {}, \"timed_out\": {}, \"pairs\": {}, \
+             \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            r.workers,
+            r.wall_s,
+            r.qps,
+            r.qps / base_qps.max(1e-9),
+            r.completed,
+            r.failed,
+            r.timed_out,
+            r.pairs,
+            r.p50_us,
+            r.p99_us,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("RPQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_server.json".into());
+    std::fs::write(&out, &json).expect("writing the bench report");
+    println!("{json}");
+    eprintln!("wrote {out}");
+}

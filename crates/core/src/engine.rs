@@ -1,7 +1,7 @@
 //! The Ring-RPQ evaluation engine (§4 of the paper).
 
 use automata::glushkov::INITIAL;
-use automata::{BitParallel, Glushkov, Label, Regex};
+use automata::{BitParallel, Label};
 use ring::{Id, Ring};
 use std::collections::VecDeque;
 use std::time::{Duration, Instant};
@@ -10,6 +10,7 @@ use succinct::wavelet_matrix::RangeGuide;
 use succinct::WaveletMatrix;
 
 use crate::fastpath::{self, Shape};
+use crate::plan::PreparedQuery;
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
 use crate::QueryError;
 
@@ -61,6 +62,17 @@ enum Start {
     Full,
 }
 
+/// Why a backward traversal stopped early (if it did).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    /// Ran to completion (or the report callback asked to stop).
+    Completed,
+    /// The wall-clock deadline passed.
+    TimedOut,
+    /// The product-node budget ran out.
+    Budget,
+}
+
 impl<'r> RpqEngine<'r> {
     /// Creates an engine over `ring`. Allocates the mask tables once
     /// (`O(|P| + |V|)` words); queries reset them in *O*(1).
@@ -104,16 +116,45 @@ impl<'r> RpqEngine<'r> {
         self.lp_masks.size_bytes() + self.ls_masks.size_bytes()
     }
 
-    /// Evaluates a 2RPQ under the given options.
+    /// Evaluates a 2RPQ under the given options: compiles a one-shot
+    /// [`PreparedQuery`] and runs [`Self::evaluate_prepared`]. Callers
+    /// that re-run the same pattern (a server's plan cache) should
+    /// compile once and call `evaluate_prepared` directly.
     pub fn evaluate(
         &mut self,
         query: &RpqQuery,
         opts: &EngineOptions,
     ) -> Result<QueryOutput, QueryError> {
+        // Checked again by evaluate_prepared, but compilation itself
+        // reverses the expression through `inverse_label`, which needs the
+        // completed alphabet.
         if !self.ring.has_inverses() {
             return Err(QueryError::InversesRequired);
         }
-        for t in [query.subject, query.object] {
+        let plan = PreparedQuery::compile(
+            &query.expr,
+            &|l| self.ring.inverse_label(l),
+            opts.split_width,
+        )?;
+        self.evaluate_prepared(&plan, query.subject, query.object, opts)
+    }
+
+    /// Evaluates a precompiled plan anchored at the given endpoints. The
+    /// plan's prebuilt transition tables are used as-is (the
+    /// `opts.split_width` of this call is ignored); everything else in
+    /// `opts` — limits, timeout, node budget, fast paths, pruning —
+    /// applies per call.
+    pub fn evaluate_prepared(
+        &mut self,
+        plan: &PreparedQuery,
+        subject: Term,
+        object: Term,
+        opts: &EngineOptions,
+    ) -> Result<QueryOutput, QueryError> {
+        if !self.ring.has_inverses() {
+            return Err(QueryError::InversesRequired);
+        }
+        for t in [subject, object] {
             if let Term::Const(c) = t {
                 if c >= self.ring.n_nodes() {
                     return Err(QueryError::NodeOutOfRange(c));
@@ -123,62 +164,56 @@ impl<'r> RpqEngine<'r> {
         let deadline = opts.timeout.map(|t| Instant::now() + t);
 
         if opts.fast_paths {
-            if let Shape::Single(_) | Shape::Disjunction(_) | Shape::Concat2(_, _) =
-                fastpath::shape_of(&query.expr)
-            {
-                return fastpath::evaluate(self.ring, query, opts, deadline);
+            if let Shape::Single(_) | Shape::Disjunction(_) | Shape::Concat2(_, _) = plan.shape() {
+                return fastpath::evaluate(
+                    self.ring,
+                    plan.shape(),
+                    subject,
+                    object,
+                    opts,
+                    deadline,
+                );
             }
         }
 
         // Expressions beyond the bit-parallel word width evaluate through
         // the explicit-state fallback (§3.3's m > w regime).
-        if crate::fallback::needs_fallback(&query.expr) {
-            return crate::fallback::evaluate(self.ring, query, opts);
-        }
+        let Some((bp, bp_rev)) = plan.tables() else {
+            let query = RpqQuery::new(subject, plan.expr().clone(), object);
+            return crate::fallback::evaluate(self.ring, &query, opts);
+        };
 
-        let expr = query.expr.fuse_classes();
-        match (query.subject, query.object) {
+        match (subject, object) {
             (Term::Var, Term::Const(o)) => {
-                let bp = self.compile(&expr, opts)?;
                 let mut out = QueryOutput::default();
-                self.eval_to_object(&bp, o, None, opts, deadline, &mut out, |s, o| (s, o));
+                self.eval_to_object(bp, o, None, opts, deadline, &mut out, |s, o| (s, o));
                 Ok(out)
             }
             (Term::Const(s), Term::Var) => {
                 // (s, E, y) ≡ (y, Ê, s): traverse backwards from s with the
                 // reversed-and-inverted expression (§4.4).
-                let rev = expr.reversed(&|l| self.ring.inverse_label(l));
-                let bp = self.compile(&rev, opts)?;
                 let mut out = QueryOutput::default();
-                self.eval_to_object(&bp, s, None, opts, deadline, &mut out, |r, s| (s, r));
+                self.eval_to_object(bp_rev, s, None, opts, deadline, &mut out, |r, s| (s, r));
                 Ok(out)
             }
             (Term::Const(s), Term::Const(o)) => {
                 // Existence check: run backwards from whichever endpoint
                 // admits the cheaper first expansion (§5's smallest-
                 // cardinality heuristic applied to the anchored ranges).
-                let bp = self.compile(&expr, opts)?;
-                let rev = expr.reversed(&|l| self.ring.inverse_label(l));
-                let bp_rev = self.compile(&rev, opts)?;
-                let cost_from_o = self.anchored_expansion_cost(&bp, o);
-                let cost_from_s = self.anchored_expansion_cost(&bp_rev, s);
+                let cost_from_o = self.anchored_expansion_cost(bp, o);
+                let cost_from_s = self.anchored_expansion_cost(bp_rev, s);
                 let mut out = QueryOutput::default();
                 if cost_from_o <= cost_from_s {
-                    self.eval_to_object(&bp, o, Some(s), opts, deadline, &mut out, |s, o| (s, o));
+                    self.eval_to_object(bp, o, Some(s), opts, deadline, &mut out, |s, o| (s, o));
                 } else {
-                    self.eval_to_object(&bp_rev, s, Some(o), opts, deadline, &mut out, |o, s| {
+                    self.eval_to_object(bp_rev, s, Some(o), opts, deadline, &mut out, |o, s| {
                         (s, o)
                     });
                 }
                 Ok(out)
             }
-            (Term::Var, Term::Var) => self.eval_var_var(&expr, opts, deadline),
+            (Term::Var, Term::Var) => self.eval_var_var(bp, bp_rev, opts, deadline),
         }
-    }
-
-    fn compile(&self, expr: &Regex, opts: &EngineOptions) -> Result<BitParallel, QueryError> {
-        let g = Glushkov::new(expr)?;
-        Ok(BitParallel::with_split_width(&g, opts.split_width))
     }
 
     /// Evaluates the backward traversal anchored at object `anchor`,
@@ -197,15 +232,19 @@ impl<'r> RpqEngine<'r> {
         pair_of: impl Fn(Id, Id) -> (Id, Id),
     ) {
         let limit = opts.limit;
+        let budget = opts
+            .node_budget
+            .map(|nb| nb.saturating_sub(out.stats.product_nodes));
         let mut stats = TraversalStats::default();
         let mut truncated = false;
         let mut done = false;
         let mut trace = Vec::new();
-        let timed_out = self.backward_traverse(
+        let stop = self.backward_traverse(
             bp,
             Start::Object(anchor),
             opts,
             deadline,
+            budget,
             &mut stats,
             opts.collect_trace.then_some(&mut trace),
             &mut |r| {
@@ -228,7 +267,8 @@ impl<'r> RpqEngine<'r> {
         let _ = done;
         out.trace.extend(trace);
         out.truncated |= truncated;
-        out.timed_out |= timed_out;
+        out.timed_out |= stop == Stop::TimedOut;
+        out.budget_exhausted |= stop == Stop::Budget;
         out.stats.add(&stats);
     }
 
@@ -238,17 +278,14 @@ impl<'r> RpqEngine<'r> {
     /// start from the end whose predicates have the smallest cardinality.
     fn eval_var_var(
         &mut self,
-        expr: &Regex,
+        bp_e: &BitParallel,
+        bp_rev: &BitParallel,
         opts: &EngineOptions,
         deadline: Option<Instant>,
     ) -> Result<QueryOutput, QueryError> {
-        let rev = expr.reversed(&|l| self.ring.inverse_label(l));
-        let bp_e = self.compile(expr, opts)?;
-        let bp_rev = self.compile(&rev, opts)?;
-
         // First-expansion cost of a backward pass with each expression.
-        let cost_sources_first = self.first_expansion_cost(&bp_e);
-        let cost_targets_first = self.first_expansion_cost(&bp_rev);
+        let cost_sources_first = self.first_expansion_cost(bp_e);
+        let cost_targets_first = self.first_expansion_cost(bp_rev);
         let sources_first = cost_sources_first <= cost_targets_first;
 
         let mut out = QueryOutput::default();
@@ -268,15 +305,16 @@ impl<'r> RpqEngine<'r> {
         }
 
         // Pass 1: collect the useful anchors from the full range.
-        let pass_bp = if sources_first { &bp_e } else { &bp_rev };
+        let pass_bp = if sources_first { bp_e } else { bp_rev };
         let mut anchors: Vec<Id> = Vec::new();
         let mut stats = TraversalStats::default();
         if !out.truncated {
-            let timed_out = self.backward_traverse(
+            let stop = self.backward_traverse(
                 pass_bp,
                 Start::Full,
                 opts,
                 deadline,
+                opts.node_budget,
                 &mut stats,
                 opts.collect_trace.then_some(&mut out.trace),
                 &mut |r| {
@@ -284,24 +322,31 @@ impl<'r> RpqEngine<'r> {
                     true
                 },
             );
-            out.timed_out |= timed_out;
+            out.timed_out |= stop == Stop::TimedOut;
+            out.budget_exhausted |= stop == Stop::Budget;
         }
         out.stats.add(&stats);
 
-        // Pass 2: one anchored query per useful node.
-        let per_bp = if sources_first { &bp_rev } else { &bp_e };
+        // Pass 2: one anchored query per useful node. The node budget is
+        // cumulative across the whole query: each anchored run gets what
+        // the previous passes left over.
+        let per_bp = if sources_first { bp_rev } else { bp_e };
         'outer: for &a in &anchors {
-            if out.timed_out || out.truncated {
+            if out.timed_out || out.truncated || out.budget_exhausted {
                 break;
             }
+            let budget = opts
+                .node_budget
+                .map(|nb| nb.saturating_sub(out.stats.product_nodes));
             let mut stats = TraversalStats::default();
             let mut hit_limit = false;
             let mut trace = Vec::new();
-            let timed_out = self.backward_traverse(
+            let stop = self.backward_traverse(
                 per_bp,
                 Start::Object(a),
                 opts,
                 deadline,
+                budget,
                 &mut stats,
                 opts.collect_trace.then_some(&mut trace),
                 &mut |r| {
@@ -317,7 +362,8 @@ impl<'r> RpqEngine<'r> {
             );
             out.trace.extend(trace);
             out.stats.add(&stats);
-            out.timed_out |= timed_out;
+            out.timed_out |= stop == Stop::TimedOut;
+            out.budget_exhausted |= stop == Stop::Budget;
             if hit_limit {
                 out.truncated = true;
                 break 'outer;
@@ -379,18 +425,20 @@ impl<'r> RpqEngine<'r> {
     /// The backward product-graph traversal (§4, parts one to three).
     #[allow(clippy::too_many_arguments)]
     /// Calls `report(r)` for every node where the initial NFA state newly
-    /// activates; a `false` return aborts the traversal. Returns whether
-    /// the deadline was hit.
+    /// activates; a `false` return aborts the traversal. `budget` caps
+    /// the product-graph nodes visited by *this* run. Returns why the
+    /// traversal stopped.
     fn backward_traverse(
         &mut self,
         bp: &BitParallel,
         start: Start,
         opts: &EngineOptions,
         deadline: Option<Instant>,
+        budget: Option<u64>,
         stats: &mut TraversalStats,
         mut trace: Option<&mut Vec<(Id, u64)>>,
         report: &mut dyn FnMut(Id) -> bool,
-    ) -> bool {
+    ) -> Stop {
         let ring = self.ring;
         let lp = ring.l_p();
         let ls = ring.l_s();
@@ -413,7 +461,7 @@ impl<'r> RpqEngine<'r> {
         let mut queue: VecDeque<(usize, usize, u64)> = VecDeque::new();
         let d0 = bp.accept_mask();
         if d0 == 0 {
-            return false;
+            return Stop::Completed;
         }
         match start {
             Start::Object(o) => {
@@ -423,7 +471,7 @@ impl<'r> RpqEngine<'r> {
                 if d0 & INITIAL != 0 && self.node_exists(o) {
                     stats.reported += 1;
                     if !report(o) {
-                        return false;
+                        return Stop::Completed;
                     }
                 }
                 let (b, e) = ring.object_range(o);
@@ -446,7 +494,7 @@ impl<'r> RpqEngine<'r> {
             stats.bfs_steps += 1;
             if let Some(dl) = deadline {
                 if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
-                    return true;
+                    return Stop::TimedOut;
                 }
             }
 
@@ -492,6 +540,11 @@ impl<'r> RpqEngine<'r> {
                 }
 
                 for &(s, fresh) in subjects.iter() {
+                    if let Some(nb) = budget {
+                        if stats.product_nodes >= nb {
+                            return Stop::Budget;
+                        }
+                    }
                     stats.product_nodes += 1;
                     if let Some(t) = trace.as_deref_mut() {
                         t.push((s, fresh));
@@ -499,7 +552,7 @@ impl<'r> RpqEngine<'r> {
                     if fresh & INITIAL != 0 {
                         stats.reported += 1;
                         if !report(s) {
-                            return false;
+                            return Stop::Completed;
                         }
                     }
                     // Part three: the subject becomes an object again.
@@ -510,7 +563,7 @@ impl<'r> RpqEngine<'r> {
                 }
             }
         }
-        false
+        Stop::Completed
     }
 }
 

@@ -43,10 +43,12 @@ pub fn evaluate(
         }
         (Term::Var, Term::Var) => {
             // Per-source runs over existing nodes, like the classical ALP.
+            // The node budget is cumulative: each per-source run gets what
+            // the previous ones left over.
             let nfa = Nfa::from_regex(&query.expr);
             let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
             for s in 0..ring.n_nodes() {
-                if out.timed_out || out.truncated {
+                if out.timed_out || out.truncated || out.budget_exhausted {
                     break;
                 }
                 let (b, e) = ring.subject_range(s);
@@ -54,10 +56,26 @@ pub fn evaluate(
                 if e == b && e2 == b2 {
                     continue;
                 }
+                let sub_opts = EngineOptions {
+                    node_budget: opts
+                        .node_budget
+                        .map(|nb| nb.saturating_sub(out.stats.product_nodes)),
+                    ..*opts
+                };
                 let mut sub = QueryOutput::default();
-                forward_bfs(ring, &nfa, s, None, opts, deadline, &mut sub, |s, r| (s, r));
+                forward_bfs(
+                    ring,
+                    &nfa,
+                    s,
+                    None,
+                    &sub_opts,
+                    deadline,
+                    &mut sub,
+                    |s, r| (s, r),
+                );
                 pairs.extend(sub.pairs);
                 out.timed_out |= sub.timed_out;
+                out.budget_exhausted |= sub.budget_exhausted;
                 out.stats.add(&sub.stats);
                 if pairs.len() >= opts.limit {
                     out.truncated = true;
@@ -110,6 +128,12 @@ fn forward_bfs(
         if let Some(dl) = deadline {
             if pops.is_multiple_of(256) && Instant::now() >= dl {
                 out.timed_out = true;
+                return;
+            }
+        }
+        if let Some(nb) = opts.node_budget {
+            if out.stats.product_nodes >= nb {
+                out.budget_exhausted = true;
                 return;
             }
         }
@@ -167,7 +191,14 @@ fn forward_bfs(
 /// Whether an expression needs the fallback (more positions than the
 /// bit-parallel word holds).
 pub fn needs_fallback(expr: &Regex) -> bool {
-    expr.fuse_classes().literal_count() > 63
+    needs_fallback_fused(&expr.fuse_classes())
+}
+
+/// The same test on an already class-fused expression — the single
+/// definition of the word-width regime boundary (`PreparedQuery` reuses
+/// it on the fused form it builds anyway).
+pub fn needs_fallback_fused(fused: &Regex) -> bool {
+    fused.literal_count() > 63
 }
 
 #[cfg(test)]

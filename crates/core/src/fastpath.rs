@@ -12,7 +12,7 @@ use ring::{Id, Ring};
 use std::time::Instant;
 use succinct::util::FxHashSet;
 
-use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term};
+use crate::query::{EngineOptions, QueryOutput, Term};
 use crate::QueryError;
 
 /// Recognized specializable expression shapes.
@@ -68,10 +68,12 @@ pub fn shape_of(expr: &Regex) -> Shape {
     }
 }
 
-/// Evaluates a query whose expression has a specializable shape.
+/// Evaluates a specializable shape anchored at the given endpoints.
 pub fn evaluate(
     ring: &Ring,
-    query: &RpqQuery,
+    shape: &Shape,
+    subject: Term,
+    object: Term,
     opts: &EngineOptions,
     deadline: Option<Instant>,
 ) -> Result<QueryOutput, QueryError> {
@@ -79,27 +81,32 @@ pub fn evaluate(
     let mut sink = Sink {
         pairs: FxHashSet::default(),
         limit: opts.limit,
+        // The fast paths touch one product node per reported pair, so the
+        // node budget degenerates to a pair cap here.
+        node_budget: opts.node_budget.map_or(usize::MAX, |nb| nb as usize),
         deadline,
         truncated: false,
         timed_out: false,
+        budget_exhausted: false,
     };
-    match shape_of(&query.expr) {
-        Shape::Single(p) => single(ring, p, query.subject, query.object, &mut sink),
+    match shape {
+        Shape::Single(p) => single(ring, *p, subject, object, &mut sink),
         Shape::Disjunction(ps) => {
-            for p in ps {
-                single(ring, p, query.subject, query.object, &mut sink);
+            for &p in ps {
+                single(ring, p, subject, object, &mut sink);
                 if sink.full() {
                     break;
                 }
             }
         }
-        Shape::Concat2(p1, p2) => concat2(ring, p1, p2, query.subject, query.object, &mut sink),
+        Shape::Concat2(p1, p2) => concat2(ring, *p1, *p2, subject, object, &mut sink),
         Shape::Other => unreachable!("fastpath::evaluate called on a general shape"),
     }
     out.stats.reported = sink.pairs.len() as u64;
     out.stats.product_nodes = sink.pairs.len() as u64;
     out.truncated = sink.truncated;
     out.timed_out = sink.timed_out;
+    out.budget_exhausted = sink.budget_exhausted;
     out.pairs = sink.pairs.into_iter().collect();
     Ok(out)
 }
@@ -107,13 +114,23 @@ pub fn evaluate(
 struct Sink {
     pairs: FxHashSet<(Id, Id)>,
     limit: usize,
+    node_budget: usize,
     deadline: Option<Instant>,
     truncated: bool,
     timed_out: bool,
+    budget_exhausted: bool,
 }
 
 impl Sink {
     fn push(&mut self, pair: (Id, Id)) {
+        if self.pairs.len() >= self.node_budget {
+            // Only a pair that would *grow* the set exhausts the budget;
+            // re-finding an already-counted pair is free.
+            if !self.pairs.contains(&pair) {
+                self.budget_exhausted = true;
+            }
+            return;
+        }
         if self.pairs.len() < self.limit {
             self.pairs.insert(pair);
         }
@@ -123,7 +140,7 @@ impl Sink {
     }
 
     fn full(&mut self) -> bool {
-        if self.truncated {
+        if self.truncated || self.budget_exhausted {
             return true;
         }
         if let Some(dl) = self.deadline {

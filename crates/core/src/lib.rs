@@ -34,11 +34,13 @@ pub mod fallback;
 pub mod fastpath;
 pub mod oracle;
 pub mod parallel;
+pub mod plan;
 pub mod query;
 pub mod split;
 pub mod stats;
 
 pub use engine::RpqEngine;
+pub use plan::{EvalRoute, PreparedQuery};
 pub use query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
 
 /// Errors from query evaluation.
@@ -69,5 +71,28 @@ impl std::error::Error for QueryError {}
 impl From<automata::AutomatonError> for QueryError {
     fn from(e: automata::AutomatonError) -> Self {
         QueryError::Automaton(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `Send + Sync` audit: everything a serving layer shares between
+    /// worker threads — queries, plans, options, outputs — must be free
+    /// of interior mutability. (The engine itself is deliberately *not*
+    /// shared: each worker owns one, for its mask tables.)
+    #[test]
+    fn shared_query_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RpqQuery>();
+        assert_send_sync::<PreparedQuery>();
+        assert_send_sync::<EngineOptions>();
+        assert_send_sync::<QueryOutput>();
+        assert_send_sync::<TraversalStats>();
+        assert_send_sync::<QueryError>();
+        // Engines are Send (movable into a worker thread), one per worker.
+        fn assert_send<T: Send>() {}
+        assert_send::<RpqEngine<'static>>();
     }
 }

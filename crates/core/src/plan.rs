@@ -1,0 +1,214 @@
+//! Prepared queries: compile the automaton machinery of a path expression
+//! once, evaluate it many times.
+//!
+//! Compiling a 2RPQ means fusing label classes, building the Glushkov
+//! position automaton for the expression *and* for its reversal `Ê`
+//! (§4.4 needs both directions), and materializing the split bit-parallel
+//! transition tables (§3.3). None of that depends on the query's
+//! endpoints, so a serving layer can key compiled plans by the
+//! *normalized pattern* — [`PreparedQuery::cache_key`] — and share one
+//! [`PreparedQuery`] across any number of concurrent workers: the type is
+//! immutable after construction (`Send + Sync`), and
+//! [`RpqEngine::evaluate_prepared`](crate::RpqEngine::evaluate_prepared)
+//! only reads it.
+
+use automata::{BitParallel, Glushkov, Label, Regex};
+
+use crate::fastpath::{self, Shape};
+use crate::QueryError;
+
+/// Which evaluation route a plan takes — the label a serving layer uses
+/// for per-engine latency accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvalRoute {
+    /// A §5 fast-path shape (single label, disjunction, two-step
+    /// concatenation) evaluated with plain backward search.
+    FastPath,
+    /// The general §4 bit-parallel product-graph traversal.
+    BitParallel,
+    /// The explicit-state fallback for expressions beyond the word width.
+    Fallback,
+}
+
+impl EvalRoute {
+    /// Stable lowercase name (used as a metrics key).
+    pub fn name(self) -> &'static str {
+        match self {
+            EvalRoute::FastPath => "fastpath",
+            EvalRoute::BitParallel => "bitparallel",
+            EvalRoute::Fallback => "fallback",
+        }
+    }
+}
+
+/// A compiled path expression: everything `evaluate` derives from the
+/// regex alone, ready to be shared (it is immutable) and re-anchored at
+/// arbitrary endpoints.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    /// The original expression (the fallback route and [`Self::cache_key`]
+    /// work on this form).
+    expr: Regex,
+    /// The §5 fast-path classification of `expr`.
+    shape: Shape,
+    /// Whether the expression exceeds the bit-parallel word width.
+    fallback: bool,
+    /// Bit-parallel tables for the fused expression (absent on fallback).
+    bp: Option<BitParallel>,
+    /// Bit-parallel tables for the reversed-and-inverted expression.
+    bp_rev: Option<BitParallel>,
+    /// The split width the tables were built with.
+    split_width: usize,
+}
+
+impl PreparedQuery {
+    /// Compiles `expr`. `inv` is the ring's label involution `p ↔ p̂`
+    /// (used to reverse the two-way expression), `split_width` the
+    /// vertical split `d` of the transition tables.
+    pub fn compile(
+        expr: &Regex,
+        inv: &impl Fn(Label) -> Label,
+        split_width: usize,
+    ) -> Result<Self, QueryError> {
+        let shape = fastpath::shape_of(expr);
+        // Both traversal directions are compiled eagerly: a plan is
+        // shared and re-anchored at arbitrary endpoints, so it cannot
+        // know which direction later calls need (one-shot anchored
+        // queries pay one unused table build — a few microseconds
+        // against the traversal they precede).
+        let fused = expr.fuse_classes();
+        let fallback = crate::fallback::needs_fallback_fused(&fused);
+        let (bp, bp_rev) = if fallback {
+            (None, None)
+        } else {
+            let rev = fused.reversed(inv);
+            let g = Glushkov::new(&fused)?;
+            let g_rev = Glushkov::new(&rev)?;
+            (
+                Some(BitParallel::with_split_width(&g, split_width)),
+                Some(BitParallel::with_split_width(&g_rev, split_width)),
+            )
+        };
+        Ok(Self {
+            expr: expr.clone(),
+            shape,
+            fallback,
+            bp,
+            bp_rev,
+            split_width,
+        })
+    }
+
+    /// The normalized pattern key: the canonical fully-parenthesized
+    /// rendering of an id-level expression. Two surface strings that parse
+    /// to the same expression (whitespace, redundant parentheses, IRI
+    /// prefixes resolved to the same predicate ids) share one key, hence
+    /// one cached plan.
+    pub fn cache_key(expr: &Regex) -> String {
+        expr.to_string()
+    }
+
+    /// This plan's own normalized key.
+    pub fn key(&self) -> String {
+        Self::cache_key(&self.expr)
+    }
+
+    /// The original expression.
+    pub fn expr(&self) -> &Regex {
+        &self.expr
+    }
+
+    /// The fast-path classification.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Whether evaluation goes through the explicit-state fallback.
+    pub fn uses_fallback(&self) -> bool {
+        self.fallback
+    }
+
+    /// The split width the tables were built with (evaluation uses the
+    /// prebuilt tables, not the per-call option).
+    pub fn split_width(&self) -> usize {
+        self.split_width
+    }
+
+    /// Forward tables (absent on the fallback route).
+    pub(crate) fn tables(&self) -> Option<(&BitParallel, &BitParallel)> {
+        Some((self.bp.as_ref()?, self.bp_rev.as_ref()?))
+    }
+
+    /// The route `evaluate` takes under `fast_paths`-enabled options —
+    /// the per-engine label for latency histograms.
+    pub fn route(&self, fast_paths: bool) -> EvalRoute {
+        if fast_paths && !matches!(self.shape, Shape::Other) {
+            EvalRoute::FastPath
+        } else if self.fallback {
+            EvalRoute::Fallback
+        } else {
+            EvalRoute::BitParallel
+        }
+    }
+
+    /// Approximate heap footprint, for cache byte accounting.
+    pub fn size_bytes(&self) -> usize {
+        let tables = self.bp.as_ref().map_or(0, BitParallel::size_bytes)
+            + self.bp_rev.as_ref().map_or(0, BitParallel::size_bytes);
+        // The AST is pointer-heavy; charge a flat word-count estimate per
+        // literal occurrence plus the enum spine.
+        let ast = 64 + 48 * self.expr.literal_count().max(1);
+        std::mem::size_of::<Self>() + tables + ast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv(l: Label) -> Label {
+        if l < 8 {
+            l + 8
+        } else {
+            l - 8
+        }
+    }
+
+    #[test]
+    fn routes_and_keys() {
+        let single = Regex::label(1);
+        let p = PreparedQuery::compile(&single, &inv, 8).unwrap();
+        assert_eq!(p.route(true), EvalRoute::FastPath);
+        assert_eq!(p.route(false), EvalRoute::BitParallel);
+        assert!(!p.uses_fallback());
+        assert_eq!(p.key(), "1");
+
+        let star = Regex::Star(Box::new(Regex::label(1)));
+        let p = PreparedQuery::compile(&star, &inv, 8).unwrap();
+        assert_eq!(p.route(true), EvalRoute::BitParallel);
+        assert!(p.tables().is_some());
+        assert!(p.size_bytes() > 0);
+    }
+
+    #[test]
+    fn key_normalizes_structure() {
+        // a/(b) and (a)/b parse to the same AST; the key is the canonical
+        // rendering of that AST, independent of surface parentheses.
+        let e1 = Regex::concat(Regex::label(0), Regex::label(1));
+        let e2 = Regex::concat(Regex::label(0), Regex::label(1));
+        assert_eq!(PreparedQuery::cache_key(&e1), PreparedQuery::cache_key(&e2));
+        assert_eq!(PreparedQuery::cache_key(&e1), "(0/1)");
+    }
+
+    #[test]
+    fn fallback_plans_skip_tables() {
+        let mut e = Regex::label(0);
+        for _ in 1..70 {
+            e = Regex::concat(e, Regex::label(0));
+        }
+        let p = PreparedQuery::compile(&e, &inv, 8).unwrap();
+        assert!(p.uses_fallback());
+        assert!(p.tables().is_none());
+        assert_eq!(p.route(true), EvalRoute::Fallback);
+    }
+}

@@ -5,7 +5,7 @@ use ring::Id;
 use std::time::Duration;
 
 /// A query endpoint: a fixed node or a variable.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Term {
     /// A constant node id.
     Const(Id),
@@ -88,6 +88,19 @@ pub struct EngineOptions {
     /// [`QueryOutput::trace`] — the information Fig. 6 tabulates. Costs
     /// one push per visit; off by default.
     pub collect_trace: bool,
+    /// Abort after this many *distinct* product-graph node discoveries
+    /// (the quantity `stats.product_nodes` counts). Unlike
+    /// `limit`/`timeout` (which return partial answers with a flag), an
+    /// exhausted node budget sets [`QueryOutput::budget_exhausted`], the
+    /// signal a serving layer turns into a hard `BudgetExceeded` rejection
+    /// — the output-sensitive cost cap the related work on RPQ evaluation
+    /// budgets motivates. Granularity is per discovery on every route: on
+    /// the §5 fast paths each distinct result pair is one discovery, so
+    /// there the budget degenerates to a pair cap; scan work *between*
+    /// discoveries (wavelet traversal, duplicate re-finds) is not
+    /// budgeted on any route — `timeout` is the route-independent bound
+    /// on raw work. `None` (the default) is unbounded.
+    pub node_budget: Option<u64>,
 }
 
 impl Default for EngineOptions {
@@ -99,6 +112,7 @@ impl Default for EngineOptions {
             node_pruning: true,
             split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
             collect_trace: false,
+            node_budget: None,
         }
     }
 }
@@ -140,6 +154,9 @@ pub struct QueryOutput {
     pub truncated: bool,
     /// The timeout was hit.
     pub timed_out: bool,
+    /// The [`EngineOptions::node_budget`] was exhausted; the pairs
+    /// collected so far are sound but possibly incomplete.
+    pub budget_exhausted: bool,
     /// Traversal statistics.
     pub stats: TraversalStats,
     /// Product-graph visits `(node, fresh states)` in BFS order, when

@@ -189,6 +189,68 @@ fn all_engines_agree_on_degenerate_graphs() {
     }
 }
 
+/// Concurrent reads: N threads hammer one shared [`Ring`] with the full
+/// mixed query-shape log, each with its own engine (the ring itself is
+/// immutable and `Sync`; the per-query mask tables are thread-local).
+/// Every thread must reproduce the sequential oracle exactly — the
+/// correctness contract the `rpq-server` worker pool relies on.
+#[test]
+fn concurrent_readers_match_sequential_oracle() {
+    const THREADS: usize = 8;
+    let graph = GraphGen::new(GraphGenConfig {
+        n_nodes: 40,
+        n_preds: 5,
+        n_edges: 200,
+        pred_zipf: 1.1,
+        node_skew: 0.9,
+        seed: 0xC0C0,
+    })
+    .generate();
+    let ring = Ring::build(&graph, RingOptions::default());
+    // Three instantiations of each Table 1 pattern: 60 mixed queries.
+    let queries: Vec<RpqQuery> = [7u64, 8, 9]
+        .into_iter()
+        .flat_map(|seed| {
+            QueryGen::new(&graph, seed)
+                .scaled_log(0.0)
+                .into_iter()
+                .map(|gq| gq.query)
+        })
+        .collect();
+    assert_eq!(queries.len(), 60);
+
+    let expected: Vec<Vec<(u64, u64)>> =
+        queries.iter().map(|q| evaluate_naive(&graph, q)).collect();
+
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let (ring, queries, expected) = (&ring, &queries, &expected);
+            scope.spawn(move || {
+                let mut engine = RpqEngine::new(ring);
+                // Each thread stresses a different option combination.
+                let opts = EngineOptions {
+                    fast_paths: t % 2 == 0,
+                    node_pruning: (t / 2) % 2 == 0,
+                    ..Default::default()
+                };
+                // Offset the starting point so threads touch the ring in
+                // different orders at any instant.
+                for i in 0..queries.len() {
+                    let i = (i + t * 7) % queries.len();
+                    let out = engine
+                        .evaluate(&queries[i], &opts)
+                        .unwrap_or_else(|e| panic!("thread {t}, query #{i}: {e}"));
+                    assert_eq!(
+                        out.sorted_pairs(),
+                        expected[i],
+                        "thread {t} disagrees with the sequential oracle on query #{i}"
+                    );
+                }
+            });
+        }
+    });
+}
+
 /// The paper's own metro graph under the Table 1 mix, several seeds
 /// deep — the worked example the figures trace must stay differential-
 /// clean as the engine evolves.

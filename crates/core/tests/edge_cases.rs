@@ -243,3 +243,53 @@ fn bipartite_alternating_labels() {
         .unwrap();
     assert_eq!(out.sorted_pairs(), vec![(0, 2), (0, 4)]);
 }
+
+#[test]
+fn node_budget_boundaries() {
+    // Parallel labels into the same target: (a, p|q, ?y) has exactly ONE
+    // distinct answer pair reachable through two edges. A budget of 1 is
+    // enough — re-finding the same pair must not exhaust it.
+    let (_, r) = ring_of(vec![Triple::new(0, 0, 1), Triple::new(0, 1, 1)]);
+    let disj = Regex::alt(Regex::label(0), Regex::label(1));
+    let q = RpqQuery::new(Term::Const(0), disj.clone(), Term::Var);
+    let budget1 = EngineOptions {
+        node_budget: Some(1),
+        ..Default::default()
+    };
+    let out = RpqEngine::new(&r).evaluate(&q, &budget1).unwrap();
+    assert!(!out.budget_exhausted, "duplicate pair must not count twice");
+    assert_eq!(out.sorted_pairs(), vec![(0, 1)]);
+
+    // The same shape through the general engine (fast paths off).
+    let out = RpqEngine::new(&r)
+        .evaluate(
+            &q,
+            &EngineOptions {
+                fast_paths: false,
+                node_budget: Some(8),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(!out.budget_exhausted);
+    assert_eq!(out.sorted_pairs(), vec![(0, 1)]);
+
+    // A chain the budget genuinely cannot cover is flagged, and the
+    // pairs that were found stay sound (a subset of the oracle's).
+    let (g, r) = ring_of((0..30).map(|i| Triple::new(i, 0, i + 1)).collect());
+    let q = RpqQuery::new(Term::Var, Regex::Plus(Box::new(Regex::label(0))), Term::Var);
+    let out = RpqEngine::new(&r)
+        .evaluate(
+            &q,
+            &EngineOptions {
+                node_budget: Some(3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    assert!(out.budget_exhausted);
+    let full = evaluate_naive(&g, &q);
+    for pair in out.sorted_pairs() {
+        assert!(full.contains(&pair), "budget-aborted answers must be sound");
+    }
+}

@@ -1,0 +1,137 @@
+#![warn(missing_docs)]
+
+//! **rpq-server** — a concurrent query service over the ring index.
+//!
+//! The ring (Arroyuelo et al., ICDE 2022) is a read-optimized, immutable
+//! structure: once built, any number of threads can evaluate 2RPQs
+//! against one shared copy. This crate turns that property into a
+//! service layer:
+//!
+//! * [`RpqServer`] — a std-thread worker pool owning an
+//!   `Arc<dyn QuerySource>` (the façade's `RpqDatabase` implements the
+//!   trait), with a session API (`submit`, `submit_batch`, `poll`,
+//!   `cancel`, `wait`) and a blocking convenience (`query_blocking`);
+//! * [`plan_cache`] — compiled-query sharing: normalized pattern →
+//!   Glushkov product automaton + bit-parallel tables, one `Arc` for all
+//!   workers;
+//! * [`result_cache`] — an LRU over complete answer sets with byte-size
+//!   accounting and an invalidation hook;
+//! * admission control — a bounded queue ([`RpqError::Overloaded`]) and
+//!   per-query [`QueryBudget`]s (result/time partials,
+//!   [`RpqError::BudgetExceeded`] hard aborts);
+//! * [`metrics`] — per-engine latency histograms, cache hit rates and
+//!   queue gauges, exported as JSON.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ring::ring::RingOptions;
+//! use ring::{Graph, Ring, Triple};
+//! use rpq_server::{IndexSource, RpqServer, ServerConfig};
+//!
+//! let g = Graph::from_triples(vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)]);
+//! let ring = Ring::build(&g, RingOptions::default());
+//! let server = RpqServer::start(
+//!     Arc::new(IndexSource::id_only(ring)),
+//!     ServerConfig { workers: 2, ..ServerConfig::default() },
+//! );
+//! let answer = server.query_blocking("0", "0+", "?y").unwrap();
+//! assert_eq!(answer.pairs, vec![(0, 1), (0, 2)]);
+//! server.shutdown();
+//! ```
+
+pub mod lru;
+pub mod metrics;
+pub mod plan_cache;
+pub mod result_cache;
+pub mod server;
+pub mod source;
+
+pub use plan_cache::PlanCache;
+pub use result_cache::{ResultCache, ResultKey};
+pub use server::{QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig};
+pub use source::{IndexSource, QuerySource};
+
+/// Errors of the serving layer. `Parse` and `UnknownNode` are
+/// synchronous (reported at submit); the rest surface through
+/// `poll`/`wait`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RpqError {
+    /// The path expression failed to parse or mentions an unknown
+    /// predicate.
+    Parse(String),
+    /// An endpoint names a node absent from the dictionary.
+    UnknownNode(String),
+    /// Admission control rejected the query: the pending queue is full.
+    Overloaded {
+        /// Jobs pending when the submission was rejected.
+        pending: usize,
+        /// The configured queue capacity.
+        capacity: usize,
+    },
+    /// The query's product-node budget ran out mid-evaluation.
+    BudgetExceeded {
+        /// Product-graph nodes visited before the abort.
+        visited: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The engine rejected the query.
+    Query(rpq_core::QueryError),
+    /// The query was cancelled before producing an answer.
+    Cancelled,
+    /// The server is shutting down.
+    ShuttingDown,
+    /// The ticket does not name a live job.
+    UnknownTicket,
+    /// Evaluation panicked; the worker recovered and kept serving.
+    Internal(String),
+}
+
+impl std::fmt::Display for RpqError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RpqError::Parse(m) => write!(f, "parse error: {m}"),
+            RpqError::UnknownNode(n) => write!(f, "unknown node '{n}'"),
+            RpqError::Overloaded { pending, capacity } => {
+                write!(f, "server overloaded: {pending}/{capacity} queries pending")
+            }
+            RpqError::BudgetExceeded { visited, budget } => {
+                write!(
+                    f,
+                    "node budget exceeded: {visited} product nodes visited (budget {budget})"
+                )
+            }
+            RpqError::Query(e) => write!(f, "query error: {e}"),
+            RpqError::Cancelled => write!(f, "query cancelled"),
+            RpqError::ShuttingDown => write!(f, "server shutting down"),
+            RpqError::UnknownTicket => write!(f, "unknown ticket"),
+            RpqError::Internal(m) => write!(f, "internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RpqError {}
+
+impl From<rpq_core::QueryError> for RpqError {
+    fn from(e: rpq_core::QueryError) -> Self {
+        RpqError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole service layer must be shareable across threads.
+    #[test]
+    fn server_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RpqServer>();
+        assert_send_sync::<PlanCache>();
+        assert_send_sync::<ResultCache>();
+        assert_send_sync::<metrics::Metrics>();
+        assert_send_sync::<QueryAnswer>();
+        assert_send_sync::<RpqError>();
+        assert_send_sync::<IndexSource>();
+    }
+}

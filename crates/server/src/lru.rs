@@ -1,0 +1,257 @@
+//! A cost-aware LRU map: every entry carries an explicit cost (bytes,
+//! entry counts — the unit is the caller's) and the map evicts from the
+//! cold end whenever the total cost exceeds its budget.
+//!
+//! Implemented as a hash map into a slab of doubly-linked entries, so
+//! `get`/`insert`/eviction are all O(1); no external crates. The caches
+//! of this crate wrap it in a `Mutex` — the map itself is single-threaded
+//! on purpose (lock-holding sections are a few pointer swaps).
+
+use std::hash::Hash;
+use succinct::util::FxHashMap;
+
+struct Entry<K, V> {
+    key: K,
+    value: V,
+    cost: usize,
+    prev: Option<usize>,
+    next: Option<usize>,
+}
+
+/// A bounded map with least-recently-used eviction and per-entry costs.
+pub struct Lru<K, V> {
+    map: FxHashMap<K, usize>,
+    /// Slot storage; `None` marks slots on the free list.
+    slab: Vec<Option<Entry<K, V>>>,
+    free: Vec<usize>,
+    /// Most recently used.
+    head: Option<usize>,
+    /// Least recently used.
+    tail: Option<usize>,
+    budget: usize,
+    used: usize,
+    evictions: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> Lru<K, V> {
+    /// An LRU holding at most `budget` total cost.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            map: FxHashMap::default(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: None,
+            tail: None,
+            budget,
+            used: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total cost of the live entries.
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// The cost budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Entries evicted to make room since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Looks up `key`, marking the entry most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.map.get(key)?;
+        self.move_to_front(idx);
+        Some(&self.slab[idx].as_ref().expect("live slot").value)
+    }
+
+    /// Inserts (or replaces) `key` with the given cost, evicting cold
+    /// entries as needed. An entry whose cost alone exceeds the budget is
+    /// not cached at all (any previous value under the key is still
+    /// removed, keeping the map consistent with the new value's absence).
+    pub fn insert(&mut self, key: K, value: V, cost: usize) {
+        self.remove(&key);
+        if cost > self.budget {
+            return;
+        }
+        while self.used + cost > self.budget {
+            let Some(tail) = self.tail else { break };
+            self.detach(tail);
+            self.evictions += 1;
+        }
+        let entry = Entry {
+            key: key.clone(),
+            value,
+            cost,
+            prev: None,
+            next: self.head,
+        };
+        let idx = if let Some(free) = self.free.pop() {
+            self.slab[free] = Some(entry);
+            free
+        } else {
+            self.slab.push(Some(entry));
+            self.slab.len() - 1
+        };
+        if let Some(h) = self.head {
+            self.slab[h].as_mut().expect("live slot").prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+        self.map.insert(key, idx);
+        self.used += cost;
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn remove(&mut self, key: &K) -> Option<V> {
+        let idx = *self.map.get(key)?;
+        Some(self.detach(idx))
+    }
+
+    /// Drops every entry (the eviction counter is preserved).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = None;
+        self.tail = None;
+        self.used = 0;
+    }
+
+    /// Unlinks and frees slot `idx`, returning its value.
+    fn detach(&mut self, idx: usize) -> V {
+        self.unlink(idx);
+        let entry = self.slab[idx].take().expect("live slot");
+        self.map.remove(&entry.key);
+        self.used -= entry.cost;
+        self.free.push(idx);
+        entry.value
+    }
+
+    /// Detaches `idx` from the recency list.
+    fn unlink(&mut self, idx: usize) {
+        let slot = self.slab[idx].as_ref().expect("live slot");
+        let (prev, next) = (slot.prev, slot.next);
+        match prev {
+            Some(p) => self.slab[p].as_mut().expect("live slot").next = next,
+            None => self.head = next,
+        }
+        match next {
+            Some(n) => self.slab[n].as_mut().expect("live slot").prev = prev,
+            None => self.tail = prev,
+        }
+        let slot = self.slab[idx].as_mut().expect("live slot");
+        slot.prev = None;
+        slot.next = None;
+    }
+
+    fn move_to_front(&mut self, idx: usize) {
+        if self.head == Some(idx) {
+            return;
+        }
+        self.unlink(idx);
+        self.slab[idx].as_mut().expect("live slot").next = self.head;
+        if let Some(h) = self.head {
+            self.slab[h].as_mut().expect("live slot").prev = Some(idx);
+        }
+        self.head = Some(idx);
+        if self.tail.is_none() {
+            self.tail = Some(idx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_evict_in_recency_order() {
+        let mut lru: Lru<u32, &str> = Lru::new(3);
+        lru.insert(1, "a", 1);
+        lru.insert(2, "b", 1);
+        lru.insert(3, "c", 1);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.used(), 3);
+        // Touch 1 so 2 becomes the coldest.
+        assert_eq!(lru.get(&1), Some(&"a"));
+        lru.insert(4, "d", 1);
+        assert_eq!(lru.get(&2), None, "coldest entry evicted");
+        assert_eq!(lru.get(&1), Some(&"a"));
+        assert_eq!(lru.get(&3), Some(&"c"));
+        assert_eq!(lru.get(&4), Some(&"d"));
+        assert_eq!(lru.evictions(), 1);
+    }
+
+    #[test]
+    fn costs_drive_eviction() {
+        let mut lru: Lru<u32, Vec<u8>> = Lru::new(100);
+        lru.insert(1, vec![0; 40], 40);
+        lru.insert(2, vec![0; 40], 40);
+        // 90 bytes doesn't fit next to either: both evicted.
+        lru.insert(3, vec![0; 90], 90);
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.used(), 90);
+        assert_eq!(lru.evictions(), 2);
+        // Oversized entries are refused outright.
+        lru.insert(4, vec![0; 200], 200);
+        assert_eq!(lru.get(&4), None);
+        assert_eq!(lru.get(&3), Some(&vec![0u8; 90]));
+    }
+
+    #[test]
+    fn replace_updates_cost() {
+        let mut lru: Lru<&str, u64> = Lru::new(10);
+        lru.insert("k", 1, 8);
+        lru.insert("k", 2, 3);
+        assert_eq!(lru.used(), 3);
+        assert_eq!(lru.get(&"k"), Some(&2));
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_clear() {
+        let mut lru: Lru<u32, u32> = Lru::new(10);
+        for i in 0..5 {
+            lru.insert(i, i * 10, 1);
+        }
+        assert_eq!(lru.remove(&3), Some(30));
+        assert_eq!(lru.remove(&3), None);
+        assert_eq!(lru.len(), 4);
+        assert_eq!(lru.used(), 4);
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.used(), 0);
+        // Reusable after clear.
+        lru.insert(9, 9, 1);
+        assert_eq!(lru.get(&9), Some(&9));
+    }
+
+    #[test]
+    fn single_entry_list_invariants() {
+        let mut lru: Lru<u32, u32> = Lru::new(1);
+        lru.insert(1, 1, 1);
+        lru.insert(2, 2, 1);
+        assert_eq!(lru.get(&1), None);
+        assert_eq!(lru.get(&2), Some(&2));
+        assert_eq!(lru.remove(&2), Some(2));
+        assert!(lru.is_empty());
+    }
+}

@@ -1,0 +1,265 @@
+//! The server's metrics registry: lock-free counters, queue-depth
+//! gauges, and per-engine latency histograms, exported as JSON.
+//!
+//! Histogram buckets are powers of two in microseconds (bucket `i` holds
+//! latencies in `[2^(i-1), 2^i)` µs, bucket 0 holds sub-microsecond
+//! observations), which spans 1 µs – ~1 h in 32 buckets and makes
+//! quantile estimation a single scan. Everything is atomics — recording
+//! a sample on the hot path is a handful of relaxed adds.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use rpq_core::EvalRoute;
+
+const BUCKETS: usize = 32;
+
+/// A log₂-bucketed latency histogram (microseconds).
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of samples, microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Approximate `q`-quantile in microseconds (upper bound of the
+    /// bucket the quantile falls in). Returns 0 with no samples.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    fn non_empty(&self) -> bool {
+        self.count() > 0
+    }
+
+    fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        let mut last_non_zero = 0;
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        for (i, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                last_non_zero = i;
+            }
+        }
+        for (i, &c) in counts.iter().take(last_non_zero + 1).enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&c.to_string());
+        }
+        buckets.push(']');
+        format!(
+            "{{\"count\":{},\"sum_us\":{},\"p50_us\":{},\"p99_us\":{},\"buckets_log2_us\":{}}}",
+            self.count(),
+            self.sum_us(),
+            self.quantile_us(0.50),
+            self.quantile_us(0.99),
+            buckets
+        )
+    }
+}
+
+/// The registry: query-lifecycle counters, admission gauges, and one
+/// latency histogram per evaluation route (plus cache hits and the
+/// all-routes aggregate).
+pub struct Metrics {
+    started: Instant,
+    /// Queries accepted into the queue.
+    pub submitted: AtomicU64,
+    /// Queries that produced an answer (including truncated/timed-out
+    /// partials and result-cache hits).
+    pub completed: AtomicU64,
+    /// Queries that failed evaluation.
+    pub failed: AtomicU64,
+    /// Queries cancelled before producing an answer.
+    pub cancelled: AtomicU64,
+    /// Submissions rejected because the queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Queries aborted because their node budget ran out.
+    pub budget_exceeded: AtomicU64,
+    /// Current queue depth.
+    pub queue_depth: AtomicUsize,
+    /// High-water mark of the queue depth.
+    pub queue_peak: AtomicUsize,
+    /// End-to-end latency, all completions.
+    pub latency_all: Histogram,
+    /// Latency of result-cache hits.
+    pub latency_cached: Histogram,
+    /// Latency per evaluation route: fastpath, bitparallel, fallback.
+    pub latency_by_route: [Histogram; 3],
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            budget_exceeded: AtomicU64::new(0),
+            queue_depth: AtomicUsize::new(0),
+            queue_peak: AtomicUsize::new(0),
+            latency_all: Histogram::default(),
+            latency_cached: Histogram::default(),
+            latency_by_route: Default::default(),
+        }
+    }
+
+    /// The histogram for one evaluation route.
+    pub fn route_histogram(&self, route: EvalRoute) -> &Histogram {
+        &self.latency_by_route[match route {
+            EvalRoute::FastPath => 0,
+            EvalRoute::BitParallel => 1,
+            EvalRoute::Fallback => 2,
+        }]
+    }
+
+    pub(crate) fn note_queue_depth(&self, depth: usize) {
+        self.queue_depth.store(depth, Ordering::Relaxed);
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Seconds since the registry (= the server) started.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Cache counters the server snapshots into the JSON export.
+pub(crate) struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub invalidations: u64,
+    pub entries: usize,
+    pub used: usize,
+    pub budget: usize,
+}
+
+impl CacheStats {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"invalidations\":{},\
+             \"entries\":{},\"used\":{},\"budget\":{}}}",
+            self.hits,
+            self.misses,
+            self.evictions,
+            self.invalidations,
+            self.entries,
+            self.used,
+            self.budget
+        )
+    }
+}
+
+/// Renders the full registry (plus cache snapshots and worker count) as
+/// one JSON object.
+pub(crate) fn registry_json(
+    m: &Metrics,
+    workers: usize,
+    queue_capacity: usize,
+    plan_cache: &CacheStats,
+    result_cache: &CacheStats,
+) -> String {
+    let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
+    let mut routes = String::new();
+    for (name, hist) in [
+        ("fastpath", &m.latency_by_route[0]),
+        ("bitparallel", &m.latency_by_route[1]),
+        ("fallback", &m.latency_by_route[2]),
+        ("cached", &m.latency_cached),
+    ] {
+        if hist.non_empty() {
+            routes.push_str(&format!(",\"{}\":{}", name, hist.to_json()));
+        }
+    }
+    format!(
+        "{{\"uptime_ms\":{},\"workers\":{},\
+         \"queries\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
+         \"rejected_overload\":{},\"budget_exceeded\":{}}},\
+         \"queue\":{{\"depth\":{},\"peak\":{},\"capacity\":{}}},\
+         \"plan_cache\":{},\"result_cache\":{},\
+         \"latency_us\":{{\"all\":{}{}}}}}",
+        m.uptime().as_millis(),
+        workers,
+        g(&m.submitted),
+        g(&m.completed),
+        g(&m.failed),
+        g(&m.cancelled),
+        g(&m.rejected_overload),
+        g(&m.budget_exceeded),
+        m.queue_depth.load(Ordering::Relaxed),
+        m.queue_peak.load(Ordering::Relaxed),
+        queue_capacity,
+        plan_cache.to_json(),
+        result_cache.to_json(),
+        m.latency_all.to_json(),
+        routes
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::default();
+        for us in [1u64, 2, 4, 100, 100, 100, 5000] {
+            h.record(Duration::from_micros(us));
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum_us(), 5307);
+        // p50 falls in the 100 µs cluster: bucket upper bound 128.
+        assert_eq!(h.quantile_us(0.5), 128);
+        // p99 is the 5 ms outlier's bucket: upper bound 8192.
+        assert_eq!(h.quantile_us(0.99), 8192);
+        assert_eq!(Histogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn zero_latency_goes_to_bucket_zero() {
+        let h = Histogram::default();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_us(1.0), 1);
+    }
+}

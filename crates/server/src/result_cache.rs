@@ -1,0 +1,190 @@
+//! The answer cache: `(normalized pattern, endpoints)` → shared, sorted
+//! answer set, bounded by bytes with LRU eviction.
+//!
+//! Only *complete* answers are cached — anything truncated, timed out or
+//! budget-aborted is request-specific and gets recomputed. A cached
+//! answer is therefore valid for any later request of the same key
+//! regardless of that request's limits (a full set subsumes every
+//! partial). The ring is immutable, so entries never go stale today;
+//! [`ResultCache::invalidate_all`] is the hook a future update path
+//! (reindex, delta overlay) must call, and bumps a generation counter so
+//! in-flight insertions from before the invalidation are dropped instead
+//! of resurrecting stale data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rpq_core::Term;
+
+use crate::lru::Lru;
+use crate::metrics::CacheStats;
+use crate::server::QueryAnswer;
+
+/// Cache key: the plan's normalized pattern plus the two endpoints.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Normalized pattern ([`rpq_core::PreparedQuery::cache_key`]).
+    pub pattern: String,
+    /// Subject endpoint.
+    pub subject: Term,
+    /// Object endpoint.
+    pub object: Term,
+}
+
+/// A bounded, shared cache of complete query answers.
+pub struct ResultCache {
+    inner: Mutex<Lru<ResultKey, (u64, Arc<QueryAnswer>)>>,
+    generation: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache holding at most `budget_bytes` of answer pairs. A budget
+    /// of 0 disables caching entirely.
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            inner: Mutex::new(Lru::new(budget_bytes)),
+            generation: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a cached answer.
+    pub fn get(&self, key: &ResultKey) -> Option<Arc<QueryAnswer>> {
+        let hit = {
+            let gen = self.generation.load(Ordering::Acquire);
+            let mut inner = self.inner.lock().unwrap();
+            match inner.get(key) {
+                Some((g, ans)) if *g == gen => Some(Arc::clone(ans)),
+                _ => None,
+            }
+        };
+        match hit {
+            Some(ans) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(ans)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Caches a complete answer (the caller guarantees completeness).
+    /// The entry's cost is the answer's pair bytes plus key overhead.
+    pub fn insert(&self, key: ResultKey, answer: Arc<QueryAnswer>) {
+        let cost = answer.size_bytes() + key.pattern.len() + 64;
+        let gen = self.generation.load(Ordering::Acquire);
+        self.inner.lock().unwrap().insert(key, (gen, answer), cost);
+    }
+
+    /// Invalidation hook: drops everything and bumps the generation so
+    /// racing insertions of pre-invalidation answers are ignored on read.
+    pub fn invalidate_all(&self) {
+        self.generation.fetch_add(1, Ordering::AcqRel);
+        self.invalidations.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock().unwrap().clear();
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently accounted to cached answers.
+    pub fn used_bytes(&self) -> usize {
+        self.inner.lock().unwrap().used()
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().unwrap();
+        CacheStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: inner.evictions(),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+            entries: inner.len(),
+            used: inner.used(),
+            budget: inner.budget(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(pairs: Vec<(u64, u64)>) -> Arc<QueryAnswer> {
+        Arc::new(QueryAnswer {
+            pairs,
+            truncated: false,
+            timed_out: false,
+            stats: Default::default(),
+        })
+    }
+
+    fn key(p: &str) -> ResultKey {
+        ResultKey {
+            pattern: p.to_string(),
+            subject: Term::Const(0),
+            object: Term::Var,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_counters() {
+        let cache = ResultCache::new(1 << 16);
+        assert!(cache.get(&key("0+")).is_none());
+        cache.insert(key("0+"), answer(vec![(0, 1), (0, 2)]));
+        let hit = cache.get(&key("0+")).unwrap();
+        assert_eq!(hit.pairs, vec![(0, 1), (0, 2)]);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        // Different endpoints are a different key.
+        let other = ResultKey {
+            subject: Term::Var,
+            ..key("0+")
+        };
+        assert!(cache.get(&other).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts() {
+        // Each entry costs ~ 16·pairs + pattern + 64; a tight budget only
+        // keeps one.
+        let cache = ResultCache::new(200);
+        cache.insert(key("a"), answer(vec![(0, 0); 5]));
+        cache.insert(key("b"), answer(vec![(1, 1); 5]));
+        assert!(cache.get(&key("a")).is_none());
+        assert!(cache.get(&key("b")).is_some());
+        assert!(cache.used_bytes() <= 200);
+    }
+
+    #[test]
+    fn zero_budget_disables() {
+        let cache = ResultCache::new(0);
+        cache.insert(key("a"), answer(vec![(0, 0)]));
+        assert!(cache.get(&key("a")).is_none());
+    }
+
+    #[test]
+    fn invalidation_empties_and_bumps_generation() {
+        let cache = ResultCache::new(1 << 16);
+        cache.insert(key("a"), answer(vec![(0, 0)]));
+        cache.invalidate_all();
+        assert!(cache.get(&key("a")).is_none());
+        // Fresh insertions after the bump are served again.
+        cache.insert(key("a"), answer(vec![(0, 0)]));
+        assert!(cache.get(&key("a")).is_some());
+    }
+}

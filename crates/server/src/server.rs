@@ -1,0 +1,618 @@
+//! The query service: a std-thread worker pool over one shared,
+//! immutable ring index, with admission control at the front and the
+//! plan/result caches behind it.
+//!
+//! Life of a query: [`RpqServer::submit`] parses and resolves the string
+//! query on the caller's thread (so parse errors are synchronous), then
+//! tries to enqueue it — a full queue is an [`RpqError::Overloaded`]
+//! rejection, *before* any evaluation work is spent (admission control).
+//! A worker pops the job, consults the result cache, then the plan
+//! cache (compiling the Glushkov product automaton on a miss), and runs
+//! the engine under the job's [`QueryBudget`]. Results come back through
+//! [`RpqServer::poll`] / [`RpqServer::wait`] as shared `Arc` answers;
+//! [`RpqServer::cancel`] removes queued jobs immediately and flags
+//! running ones (best effort — the engine's own timeout bounds how long
+//! a running query can linger).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ring::Id;
+use rpq_core::{EngineOptions, PreparedQuery, RpqEngine, RpqQuery, Term, TraversalStats};
+use succinct::util::FxHashMap;
+
+use crate::metrics::{registry_json, Metrics};
+use crate::plan_cache::PlanCache;
+use crate::result_cache::{ResultCache, ResultKey};
+use crate::source::{QuerySource, SourceResolver};
+use crate::RpqError;
+
+/// Per-query evaluation budgets. `max_results` and `timeout` return
+/// partial answers with the corresponding flag set; an exhausted
+/// `node_budget` is a hard [`RpqError::BudgetExceeded`] failure.
+#[derive(Clone, Copy, Debug)]
+pub struct QueryBudget {
+    /// Stop after this many result pairs (partial answer, `truncated`).
+    pub max_results: usize,
+    /// Give up after this much wall-clock time (partial answer,
+    /// `timed_out`).
+    pub timeout: Option<Duration>,
+    /// Abort after visiting this many product-graph nodes (hard error).
+    pub node_budget: Option<u64>,
+}
+
+impl Default for QueryBudget {
+    fn default() -> Self {
+        Self {
+            max_results: 1_000_000,
+            timeout: Some(Duration::from_secs(30)),
+            node_budget: None,
+        }
+    }
+}
+
+/// Server construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Worker threads. `0` is admission-only mode: submissions queue but
+    /// never run — useful for tests and drain scenarios.
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it are rejected
+    /// ([`RpqError::Overloaded`]).
+    pub max_pending: usize,
+    /// Byte budget of the compiled-plan cache.
+    pub plan_cache_bytes: usize,
+    /// Byte budget of the result cache (`0` disables it).
+    pub result_cache_bytes: usize,
+    /// Budget applied to queries submitted without an explicit one.
+    pub default_budget: QueryBudget,
+    /// Vertical split width of the bit-parallel tables.
+    pub split_width: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            max_pending: 1024,
+            plan_cache_bytes: 4 << 20,
+            result_cache_bytes: 16 << 20,
+            default_budget: QueryBudget::default(),
+            split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
+        }
+    }
+}
+
+/// A finished answer: distinct pairs in sorted order (deterministic
+/// across runs and thread counts), shared via `Arc` between the jobs
+/// map, the result cache and any number of clients.
+#[derive(Clone, Debug, Default)]
+pub struct QueryAnswer {
+    /// Distinct `(subject, object)` pairs, sorted ascending.
+    pub pairs: Vec<(Id, Id)>,
+    /// The result limit was hit (answer is a prefix of the full set).
+    pub truncated: bool,
+    /// The timeout was hit (answer is partial).
+    pub timed_out: bool,
+    /// Engine traversal statistics.
+    pub stats: TraversalStats,
+}
+
+impl QueryAnswer {
+    /// Whether this is the full answer set (cacheable).
+    pub fn is_complete(&self) -> bool {
+        !self.truncated && !self.timed_out
+    }
+
+    /// Heap bytes of the pair vector (result-cache accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.pairs.len() * std::mem::size_of::<(Id, Id)>()
+    }
+}
+
+/// Handle to a submitted query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryTicket {
+    id: u64,
+}
+
+impl QueryTicket {
+    /// The server-unique job id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+}
+
+/// Lifecycle of a submitted query.
+#[derive(Clone, Debug)]
+pub enum QueryStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is evaluating it.
+    Running,
+    /// Finished with an answer.
+    Done(Arc<QueryAnswer>),
+    /// Finished with an error.
+    Failed(RpqError),
+    /// Cancelled before producing an answer.
+    Cancelled,
+}
+
+struct Job {
+    query: RpqQuery,
+    key: ResultKey,
+    budget: QueryBudget,
+    status: Mutex<QueryStatus>,
+    done: Condvar,
+    cancel: AtomicBool,
+}
+
+impl Job {
+    fn finish(&self, status: QueryStatus) {
+        *self.status.lock().unwrap() = status;
+        self.done.notify_all();
+    }
+}
+
+struct Shared {
+    source: Arc<dyn QuerySource>,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    queue_cv: Condvar,
+    shutdown: AtomicBool,
+    jobs: Mutex<FxHashMap<u64, Arc<Job>>>,
+    next_id: AtomicU64,
+    plan_cache: PlanCache,
+    result_cache: ResultCache,
+    metrics: Metrics,
+}
+
+/// The concurrent query service. Dropping the server shuts it down
+/// (joining every worker); prefer [`RpqServer::shutdown`] for an
+/// explicit, observable stop.
+pub struct RpqServer {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl RpqServer {
+    /// Starts the worker pool over `source`.
+    pub fn start(source: Arc<dyn QuerySource>, config: ServerConfig) -> Self {
+        let shared = Arc::new(Shared {
+            source,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            jobs: Mutex::new(FxHashMap::default()),
+            next_id: AtomicU64::new(1),
+            plan_cache: PlanCache::new(config.plan_cache_bytes, config.split_width),
+            result_cache: ResultCache::new(config.result_cache_bytes),
+            metrics: Metrics::new(),
+        });
+        let handles = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("rpq-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawning worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// The source being served.
+    pub fn source(&self) -> &Arc<dyn QuerySource> {
+        &self.shared.source
+    }
+
+    /// The metrics registry (live counters).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// Parses a string query against the source's dictionaries without
+    /// submitting it.
+    pub fn parse(&self, subject: &str, expr: &str, object: &str) -> Result<RpqQuery, RpqError> {
+        let resolver = SourceResolver {
+            source: &*self.shared.source,
+        };
+        let e = automata::parser::parse(expr, &resolver)
+            .map_err(|err| RpqError::Parse(err.to_string()))?;
+        let term = |name: &str| -> Result<Term, RpqError> {
+            if name.starts_with('?') {
+                Ok(Term::Var)
+            } else {
+                self.shared
+                    .source
+                    .node_id(name)
+                    .map(Term::Const)
+                    .ok_or_else(|| RpqError::UnknownNode(name.to_string()))
+            }
+        };
+        Ok(RpqQuery::new(term(subject)?, e, term(object)?))
+    }
+
+    /// Submits a string query under the default budget.
+    pub fn submit(&self, subject: &str, expr: &str, object: &str) -> Result<QueryTicket, RpqError> {
+        self.submit_with(subject, expr, object, self.shared.config.default_budget)
+    }
+
+    /// Submits a string query under an explicit budget. Parse and
+    /// resolution errors are synchronous; admission rejections
+    /// ([`RpqError::Overloaded`]) happen before any evaluation work.
+    pub fn submit_with(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+        budget: QueryBudget,
+    ) -> Result<QueryTicket, RpqError> {
+        let query = self.parse(subject, expr, object)?;
+        self.submit_parsed(query, budget)
+    }
+
+    /// Submits an id-level query (the path benchmarks and embedders use;
+    /// no dictionary lookups).
+    pub fn submit_parsed(
+        &self,
+        query: RpqQuery,
+        budget: QueryBudget,
+    ) -> Result<QueryTicket, RpqError> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(RpqError::ShuttingDown);
+        }
+        let key = ResultKey {
+            pattern: PreparedQuery::cache_key(&query.expr),
+            subject: query.subject,
+            object: query.object,
+        };
+        let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = Arc::new(Job {
+            query,
+            key,
+            budget,
+            status: Mutex::new(QueryStatus::Queued),
+            done: Condvar::new(),
+            cancel: AtomicBool::new(false),
+        });
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            // Re-checked under the queue lock: shutdown() drains the queue
+            // after setting the flag, so a push racing past the earlier
+            // check would strand the job as Queued forever.
+            if self.shared.shutdown.load(Ordering::Acquire) {
+                return Err(RpqError::ShuttingDown);
+            }
+            if queue.len() >= self.shared.config.max_pending {
+                self.shared
+                    .metrics
+                    .rejected_overload
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RpqError::Overloaded {
+                    pending: queue.len(),
+                    capacity: self.shared.config.max_pending,
+                });
+            }
+            queue.push_back(Arc::clone(&job));
+            self.shared.metrics.note_queue_depth(queue.len());
+        }
+        self.shared.jobs.lock().unwrap().insert(id, job);
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared.queue_cv.notify_one();
+        Ok(QueryTicket { id })
+    }
+
+    /// Submits many string queries; each slot gets its own ticket or
+    /// synchronous error (one rejected query does not fail the batch).
+    pub fn submit_batch(
+        &self,
+        queries: &[(&str, &str, &str)],
+    ) -> Vec<Result<QueryTicket, RpqError>> {
+        queries
+            .iter()
+            .map(|&(s, e, o)| self.submit(s, e, o))
+            .collect()
+    }
+
+    /// Snapshot of a job's status; `None` for unknown (or forgotten)
+    /// tickets.
+    pub fn poll(&self, ticket: &QueryTicket) -> Option<QueryStatus> {
+        let job = self.shared.jobs.lock().unwrap().get(&ticket.id).cloned()?;
+        let status = job.status.lock().unwrap().clone();
+        Some(status)
+    }
+
+    /// Cancels a job. Queued jobs terminate immediately; running jobs
+    /// are flagged (best effort — their answer is discarded when the
+    /// worker finishes). Returns whether the job can still be affected.
+    pub fn cancel(&self, ticket: &QueryTicket) -> bool {
+        let Some(job) = self.shared.jobs.lock().unwrap().get(&ticket.id).cloned() else {
+            return false;
+        };
+        job.cancel.store(true, Ordering::Release);
+        let mut status = job.status.lock().unwrap();
+        match &*status {
+            QueryStatus::Queued => {
+                *status = QueryStatus::Cancelled;
+                drop(status);
+                job.done.notify_all();
+                self.shared
+                    .metrics
+                    .cancelled
+                    .fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            QueryStatus::Running => true,
+            _ => false,
+        }
+    }
+
+    /// Blocks until the job finishes, then removes it from the job
+    /// table and returns its outcome.
+    ///
+    /// With `workers == 0` nothing ever runs, so this would block
+    /// forever — poll instead in admission-only setups.
+    pub fn wait(&self, ticket: &QueryTicket) -> Result<Arc<QueryAnswer>, RpqError> {
+        let job = self
+            .shared
+            .jobs
+            .lock()
+            .unwrap()
+            .get(&ticket.id)
+            .cloned()
+            .ok_or(RpqError::UnknownTicket)?;
+        let outcome = {
+            let mut status = job.status.lock().unwrap();
+            loop {
+                match &*status {
+                    QueryStatus::Done(a) => break Ok(Arc::clone(a)),
+                    QueryStatus::Failed(e) => break Err(e.clone()),
+                    QueryStatus::Cancelled => break Err(RpqError::Cancelled),
+                    QueryStatus::Queued | QueryStatus::Running => {
+                        status = job.done.wait(status).unwrap();
+                    }
+                }
+            }
+        };
+        self.forget(ticket);
+        outcome
+    }
+
+    /// Drops a finished (or unwanted) job from the job table. Jobs whose
+    /// outcome was consumed through [`Self::wait`] are forgotten
+    /// automatically; pure [`Self::poll`] users call this when done.
+    pub fn forget(&self, ticket: &QueryTicket) {
+        self.shared.jobs.lock().unwrap().remove(&ticket.id);
+    }
+
+    /// Submit-and-wait convenience under the default budget.
+    pub fn query_blocking(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<Arc<QueryAnswer>, RpqError> {
+        let ticket = self.submit(subject, expr, object)?;
+        self.wait(&ticket)
+    }
+
+    /// Renders an answer's id pairs as name pairs (ids without a
+    /// dictionary entry print as decimal).
+    pub fn resolve_pairs(&self, answer: &QueryAnswer) -> Vec<(String, String)> {
+        let name = |id: Id| {
+            self.shared
+                .source
+                .node_name(id)
+                .unwrap_or_else(|| id.to_string())
+        };
+        answer
+            .pairs
+            .iter()
+            .map(|&(s, o)| (name(s), name(o)))
+            .collect()
+    }
+
+    /// Drops every cached plan and result (the invalidation hook an
+    /// index-update path must call).
+    pub fn invalidate_caches(&self) {
+        self.shared.plan_cache.invalidate_all();
+        self.shared.result_cache.invalidate_all();
+    }
+
+    /// Current queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().unwrap().len()
+    }
+
+    /// The full metrics registry as a JSON object.
+    pub fn metrics_json(&self) -> String {
+        registry_json(
+            &self.shared.metrics,
+            self.shared.config.workers,
+            self.shared.config.max_pending,
+            &self.shared.plan_cache.stats(),
+            &self.shared.result_cache.stats(),
+        )
+    }
+
+    /// Stops accepting work, joins every worker, and fails whatever was
+    /// still queued with [`RpqError::ShuttingDown`]. Idempotent; also
+    /// runs on drop. Tickets stay pollable afterwards.
+    pub fn shutdown(&self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+        let leftovers: Vec<Arc<Job>> = self.shared.queue.lock().unwrap().drain(..).collect();
+        for job in leftovers {
+            let mut status = job.status.lock().unwrap();
+            if matches!(*status, QueryStatus::Queued) {
+                *status = QueryStatus::Failed(RpqError::ShuttingDown);
+                drop(status);
+                job.done.notify_all();
+            }
+        }
+        self.shared.metrics.note_queue_depth(0);
+    }
+}
+
+impl Drop for RpqServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let source = Arc::clone(&shared.source);
+    let ring = source.ring();
+    let mut engine = RpqEngine::new(ring);
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    shared.metrics.note_queue_depth(queue.len());
+                    break job;
+                }
+                queue = shared.queue_cv.wait(queue).unwrap();
+            }
+        };
+        // Claim the job: skip it if a cancel won the race.
+        {
+            let mut status = job.status.lock().unwrap();
+            if !matches!(*status, QueryStatus::Queued) {
+                continue;
+            }
+            *status = QueryStatus::Running;
+        }
+        // A panicking evaluation must not strand the job as Running (a
+        // `wait` would block forever) nor shrink the worker pool: fail
+        // the job, rebuild the engine (its mask tables may be mid-
+        // update), and keep serving.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_job(shared, &mut engine, &job)
+        }));
+        if outcome.is_err() {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            job.finish(QueryStatus::Failed(RpqError::Internal(
+                "query evaluation panicked; see server logs".into(),
+            )));
+            engine = RpqEngine::new(ring);
+        }
+    }
+}
+
+fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
+    let metrics = &shared.metrics;
+    let t0 = Instant::now();
+
+    if let Some(answer) = shared.result_cache.get(&job.key) {
+        // A cached complete set subsumes any partial, but the requester's
+        // `max_results` still bounds the payload it receives: hand back a
+        // truncated prefix when the cached set is larger. (`node_budget`
+        // caps evaluation work; a cache hit does none, so it never fails
+        // a hit.)
+        let answer = if answer.pairs.len() > job.budget.max_results {
+            Arc::new(QueryAnswer {
+                pairs: answer.pairs[..job.budget.max_results].to_vec(),
+                truncated: true,
+                timed_out: false,
+                stats: answer.stats,
+            })
+        } else {
+            answer
+        };
+        let elapsed = t0.elapsed();
+        metrics.latency_cached.record(elapsed);
+        metrics.latency_all.record(elapsed);
+        metrics.completed.fetch_add(1, Ordering::Relaxed);
+        job.finish(QueryStatus::Done(answer));
+        return;
+    }
+
+    let ring = shared.source.ring();
+    let plan = match shared
+        .plan_cache
+        .get_or_compile(&job.query.expr, &|l| ring.inverse_label(l))
+    {
+        Ok(plan) => plan,
+        Err(e) => {
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            job.finish(QueryStatus::Failed(RpqError::Query(e)));
+            return;
+        }
+    };
+    let opts = EngineOptions {
+        limit: job.budget.max_results,
+        timeout: job.budget.timeout,
+        node_budget: job.budget.node_budget,
+        split_width: shared.config.split_width,
+        ..EngineOptions::default()
+    };
+    let result = engine.evaluate_prepared(&plan, job.query.subject, job.query.object, &opts);
+    let elapsed = t0.elapsed();
+
+    let out = match result {
+        Ok(out) => out,
+        Err(e) => {
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            job.finish(QueryStatus::Failed(RpqError::Query(e)));
+            return;
+        }
+    };
+    if out.budget_exhausted {
+        metrics.budget_exceeded.fetch_add(1, Ordering::Relaxed);
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        job.finish(QueryStatus::Failed(RpqError::BudgetExceeded {
+            visited: out.stats.product_nodes,
+            budget: job.budget.node_budget.unwrap_or(0),
+        }));
+        return;
+    }
+
+    let mut pairs = out.pairs;
+    pairs.sort_unstable();
+    pairs.dedup();
+    let answer = Arc::new(QueryAnswer {
+        pairs,
+        truncated: out.truncated,
+        timed_out: out.timed_out,
+        stats: out.stats,
+    });
+    if answer.is_complete() {
+        shared
+            .result_cache
+            .insert(job.key.clone(), Arc::clone(&answer));
+    }
+    metrics.latency_all.record(elapsed);
+    metrics
+        .route_histogram(plan.route(opts.fast_paths))
+        .record(elapsed);
+    if job.cancel.load(Ordering::Acquire) {
+        metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        job.finish(QueryStatus::Cancelled);
+    } else {
+        metrics.completed.fetch_add(1, Ordering::Relaxed);
+        job.finish(QueryStatus::Done(answer));
+    }
+}

@@ -1,0 +1,102 @@
+//! What a server serves: a shared, immutable ring index plus the name
+//! dictionaries needed to parse string-level queries.
+//!
+//! The façade crate's `RpqDatabase` implements [`QuerySource`]; id-level
+//! embedders (benchmarks, tests) can use [`IndexSource`] directly, with
+//! or without dictionaries.
+
+use automata::parser::LabelResolver;
+use ring::{Dict, Id, Ring};
+
+/// A queryable database: the ring plus name resolution. Implementations
+/// must be immutable once served — every worker reads them concurrently
+/// (hence the `Send + Sync` bound, which the whole `ring`/`succinct`/
+/// `automata` stack satisfies: no interior mutability anywhere).
+pub trait QuerySource: Send + Sync {
+    /// The shared ring index.
+    fn ring(&self) -> &Ring;
+    /// Resolves a node name to its id.
+    fn node_id(&self, name: &str) -> Option<Id>;
+    /// The name of a node id (for rendering answers).
+    fn node_name(&self, id: Id) -> Option<String>;
+    /// Resolves a predicate name to its id.
+    fn pred_id(&self, name: &str) -> Option<Id>;
+}
+
+/// A [`QuerySource`] over explicit parts. Without dictionaries, names are
+/// decimal ids — the form synthetic workloads use.
+pub struct IndexSource {
+    ring: Ring,
+    nodes: Option<Dict>,
+    preds: Option<Dict>,
+}
+
+impl IndexSource {
+    /// A source with name dictionaries.
+    pub fn new(ring: Ring, nodes: Dict, preds: Dict) -> Self {
+        Self {
+            ring,
+            nodes: Some(nodes),
+            preds: Some(preds),
+        }
+    }
+
+    /// A dictionary-less source: node and predicate names are decimal ids.
+    pub fn id_only(ring: Ring) -> Self {
+        Self {
+            ring,
+            nodes: None,
+            preds: None,
+        }
+    }
+}
+
+impl QuerySource for IndexSource {
+    fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    fn node_id(&self, name: &str) -> Option<Id> {
+        match &self.nodes {
+            Some(d) => d.get(name),
+            None => name
+                .parse::<Id>()
+                .ok()
+                .filter(|&id| id < self.ring.n_nodes()),
+        }
+    }
+
+    fn node_name(&self, id: Id) -> Option<String> {
+        match &self.nodes {
+            Some(d) => (id < d.len() as Id).then(|| d.name(id).to_string()),
+            None => (id < self.ring.n_nodes()).then(|| id.to_string()),
+        }
+    }
+
+    fn pred_id(&self, name: &str) -> Option<Id> {
+        match &self.preds {
+            Some(d) => d.get(name),
+            None => name
+                .parse::<Id>()
+                .ok()
+                .filter(|&id| id < self.ring.n_preds_base()),
+        }
+    }
+}
+
+/// The [`LabelResolver`] a server builds over its source to parse path
+/// expressions: predicate names through the source, inverses through the
+/// ring's completed alphabet.
+pub(crate) struct SourceResolver<'a> {
+    pub(crate) source: &'a dyn QuerySource,
+}
+
+impl LabelResolver for SourceResolver<'_> {
+    fn resolve(&self, name: &str) -> Option<Id> {
+        self.source.pred_id(name)
+    }
+
+    fn inverse(&self, label: Id) -> Id {
+        self.source.ring().inverse_label(label)
+    }
+}

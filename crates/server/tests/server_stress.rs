@@ -1,0 +1,385 @@
+//! Integration tests of the query service: concurrent differential
+//! correctness against the sequential oracle, admission control,
+//! budgets, cancellation, cache behavior and the metrics export.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use ring::ring::RingOptions;
+use ring::{Graph, Ring, Triple};
+use rpq_core::oracle::evaluate_naive;
+use rpq_core::{RpqQuery, Term};
+use rpq_server::{IndexSource, QueryBudget, QueryStatus, RpqError, RpqServer, ServerConfig};
+use workload::{GraphGen, GraphGenConfig, QueryGen};
+
+fn workload_graph(seed: u64) -> Graph {
+    GraphGen::new(GraphGenConfig {
+        n_nodes: 36,
+        n_preds: 4,
+        n_edges: 170,
+        pred_zipf: 1.2,
+        node_skew: 0.8,
+        seed,
+    })
+    .generate()
+}
+
+fn table1_queries(graph: &Graph, seeds: &[u64]) -> Vec<RpqQuery> {
+    seeds
+        .iter()
+        .flat_map(|&seed| {
+            QueryGen::new(graph, seed)
+                .scaled_log(0.0)
+                .into_iter()
+                .map(|gq| gq.query)
+        })
+        .collect()
+}
+
+/// The acceptance-criteria stress test: 8 client threads hammer a
+/// server with 8 workers using the full Table 1 query-shape mix, and
+/// every single answer must equal the sequential oracle's.
+#[test]
+fn concurrent_stress_matches_sequential_oracle() {
+    const CLIENTS: usize = 8;
+    let graph = workload_graph(0xBEEF);
+    let queries = table1_queries(&graph, &[11, 12, 13]);
+    assert_eq!(queries.len(), 60, "Table 1 has 20 patterns × 3 seeds");
+    let expected: Vec<Vec<(u64, u64)>> =
+        queries.iter().map(|q| evaluate_naive(&graph, q)).collect();
+
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 8,
+            max_pending: 4096,
+            ..ServerConfig::default()
+        },
+    );
+
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let (server, queries, expected) = (&server, &queries, &expected);
+            scope.spawn(move || {
+                for i in 0..queries.len() {
+                    let i = (i + c * 11) % queries.len();
+                    let ticket = server
+                        .submit_parsed(queries[i].clone(), QueryBudget::default())
+                        .unwrap_or_else(|e| panic!("client {c}, query #{i}: submit: {e}"));
+                    let answer = server
+                        .wait(&ticket)
+                        .unwrap_or_else(|e| panic!("client {c}, query #{i}: {e}"));
+                    assert!(answer.is_complete(), "client {c}, query #{i} was partial");
+                    assert_eq!(
+                        answer.pairs, expected[i],
+                        "client {c} disagrees with the sequential oracle on query #{i}"
+                    );
+                }
+            });
+        }
+    });
+
+    let m = server.metrics();
+    assert_eq!(
+        m.completed.load(Ordering::Relaxed) as usize,
+        CLIENTS * queries.len()
+    );
+    assert_eq!(m.failed.load(Ordering::Relaxed), 0);
+    // 8 clients submit the same 60 patterns/keys: both caches must have
+    // absorbed most of the repetition.
+    let json = server.metrics_json();
+    assert!(json.contains("\"plan_cache\""), "{json}");
+    server.shutdown();
+}
+
+/// Repeated submissions of one key are served from the result cache
+/// (identical answers, hits counted), and the invalidation hook drops
+/// everything without breaking later queries.
+#[test]
+fn result_and_plan_caches_hit_and_invalidate() {
+    let graph = workload_graph(0xCAFE);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    );
+
+    let a1 = server.query_blocking("0", "0+/1?", "?y").unwrap();
+    let a2 = server.query_blocking("0", "0+/1?", "?y").unwrap();
+    assert_eq!(a1.pairs, a2.pairs);
+    // Same pattern, different anchor: plan cache hit, result cache miss.
+    let _ = server.query_blocking("1", "0+/1?", "?y").unwrap();
+
+    let json = server.metrics_json();
+    assert!(json.contains("\"result_cache\":{\"hits\":1"), "{json}");
+    // Plan compiled once for three queries.
+    assert!(json.contains("\"plan_cache\":{\"hits\":1"), "{json}");
+
+    server.invalidate_caches();
+    let a3 = server.query_blocking("0", "0+/1?", "?y").unwrap();
+    assert_eq!(a1.pairs, a3.pairs);
+    let json = server.metrics_json();
+    assert!(json.contains("\"invalidations\":1"), "{json}");
+    server.shutdown();
+}
+
+/// A result-cache hit still honours the *requesting* job's
+/// `max_results`: a big cached answer comes back as a truncated prefix,
+/// not the full payload.
+#[test]
+fn cache_hits_respect_the_requesters_result_limit() {
+    let graph = Graph::from_triples((0..20).map(|i| Triple::new(0, 0, i + 1)).collect());
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let q = || RpqQuery::new(Term::Const(0), automata::Regex::label(0), Term::Var);
+    // Populate the cache with the full 20-pair answer.
+    let t = server.submit_parsed(q(), QueryBudget::default()).unwrap();
+    let full = server.wait(&t).unwrap();
+    assert_eq!(full.pairs.len(), 20);
+    assert!(full.is_complete());
+    // Same key, tiny limit: served from cache, truncated to the limit.
+    let t = server
+        .submit_parsed(
+            q(),
+            QueryBudget {
+                max_results: 3,
+                ..QueryBudget::default()
+            },
+        )
+        .unwrap();
+    let small = server.wait(&t).unwrap();
+    assert_eq!(small.pairs.len(), 3);
+    assert!(small.truncated);
+    assert_eq!(small.pairs[..], full.pairs[..3]);
+    let json = server.metrics_json();
+    assert!(json.contains("\"result_cache\":{\"hits\":1"), "{json}");
+    server.shutdown();
+}
+
+/// Admission control: a full queue rejects synchronously with
+/// `Overloaded`, queued jobs can be cancelled, and the metrics gauges
+/// track depth and rejections. (`workers: 0` keeps jobs queued forever,
+/// making the test deterministic.)
+#[test]
+fn admission_control_and_cancellation() {
+    let graph = Graph::from_triples(vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)]);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 0,
+            max_pending: 4,
+            ..ServerConfig::default()
+        },
+    );
+
+    let tickets: Vec<_> = (0..4)
+        .map(|_| server.submit("0", "0+", "?y").expect("queue has room"))
+        .collect();
+    assert_eq!(server.queue_depth(), 4);
+    match server.submit("0", "0+", "?y") {
+        Err(RpqError::Overloaded { pending, capacity }) => {
+            assert_eq!((pending, capacity), (4, 4));
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert!(matches!(
+        server.poll(&tickets[0]),
+        Some(QueryStatus::Queued)
+    ));
+
+    // Cancel a queued job: immediate, observable, idempotent.
+    assert!(server.cancel(&tickets[1]));
+    assert!(matches!(
+        server.poll(&tickets[1]),
+        Some(QueryStatus::Cancelled)
+    ));
+    assert!(!server.cancel(&tickets[1]), "already terminal");
+    assert_eq!(server.wait(&tickets[1]).unwrap_err(), RpqError::Cancelled);
+
+    // Unknown tickets are typed errors, not panics.
+    assert!(server.poll(&tickets[1]).is_none(), "wait() forgets the job");
+    assert_eq!(
+        server.wait(&tickets[1]).unwrap_err(),
+        RpqError::UnknownTicket
+    );
+
+    let m = server.metrics();
+    assert_eq!(m.rejected_overload.load(Ordering::Relaxed), 1);
+    assert_eq!(m.cancelled.load(Ordering::Relaxed), 1);
+    assert_eq!(m.queue_peak.load(Ordering::Relaxed), 4);
+    server.shutdown();
+}
+
+/// Node budgets abort evaluation with a hard, typed `BudgetExceeded` on
+/// both the general engine route and the fast paths.
+#[test]
+fn node_budget_exceeded_is_a_hard_error() {
+    let graph = Graph::from_triples((0..50).map(|i| Triple::new(i, 0, i + 1)).collect());
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let tiny = QueryBudget {
+        node_budget: Some(2),
+        ..QueryBudget::default()
+    };
+
+    // General route: a transitive closure visits far more than 2 nodes.
+    let q = RpqQuery::new(
+        Term::Var,
+        automata::Regex::Plus(Box::new(automata::Regex::label(0))),
+        Term::Var,
+    );
+    let ticket = server.submit_parsed(q, tiny).unwrap();
+    match server.wait(&ticket) {
+        Err(RpqError::BudgetExceeded { budget: 2, .. }) => {}
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+
+    // Fast-path route: a single-label v-to-v scan trips the same cap.
+    let q = RpqQuery::new(Term::Var, automata::Regex::label(0), Term::Var);
+    let ticket = server.submit_parsed(q, tiny).unwrap();
+    assert!(matches!(
+        server.wait(&ticket),
+        Err(RpqError::BudgetExceeded { .. })
+    ));
+
+    // A generous budget on the same queries succeeds.
+    let q = RpqQuery::new(Term::Var, automata::Regex::label(0), Term::Var);
+    let ticket = server
+        .submit_parsed(
+            q,
+            QueryBudget {
+                node_budget: Some(1_000_000),
+                ..QueryBudget::default()
+            },
+        )
+        .unwrap();
+    assert_eq!(server.wait(&ticket).unwrap().pairs.len(), 50);
+
+    assert_eq!(server.metrics().budget_exceeded.load(Ordering::Relaxed), 2);
+    server.shutdown();
+}
+
+/// Parse and resolution errors are synchronous at submit; one bad entry
+/// does not poison a batch.
+#[test]
+fn submit_batch_isolates_bad_entries() {
+    let graph = Graph::from_triples(vec![Triple::new(0, 0, 1)]);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        },
+    );
+    let results = server.submit_batch(&[
+        ("0", "0", "?y"),
+        ("0", "0/(", "?y"), // parse error
+        ("zzz", "0", "?y"), // unknown node
+        ("?x", "0", "1"),
+    ]);
+    assert!(results[0].is_ok());
+    assert!(matches!(results[1], Err(RpqError::Parse(_))));
+    assert!(matches!(results[2], Err(RpqError::UnknownNode(_))));
+    let good = results[3].as_ref().unwrap();
+    assert_eq!(server.wait(good).unwrap().pairs, vec![(0, 1)]);
+    server.shutdown();
+}
+
+/// The metrics export is one structurally valid JSON object.
+#[test]
+fn metrics_json_is_balanced_and_complete() {
+    let graph = workload_graph(0xD00D);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 2,
+            default_budget: QueryBudget {
+                timeout: Some(Duration::from_secs(5)),
+                ..QueryBudget::default()
+            },
+            ..ServerConfig::default()
+        },
+    );
+    for (s, e, o) in [("0", "0", "?y"), ("?x", "(0|1)+", "3"), ("0", "0/1", "?y")] {
+        let _ = server.query_blocking(s, e, o);
+    }
+    let json = server.metrics_json();
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    let (mut braces, mut brackets, mut in_string) = (0i64, 0i64, false);
+    for c in json.chars() {
+        match c {
+            '"' => in_string = !in_string,
+            '{' if !in_string => braces += 1,
+            '}' if !in_string => braces -= 1,
+            '[' if !in_string => brackets += 1,
+            ']' if !in_string => brackets -= 1,
+            _ => {}
+        }
+        assert!(braces >= 0 && brackets >= 0, "unbalanced: {json}");
+    }
+    assert_eq!((braces, brackets, in_string), (0, 0, false), "{json}");
+    for key in [
+        "\"uptime_ms\"",
+        "\"workers\":2",
+        "\"queries\"",
+        "\"queue\"",
+        "\"plan_cache\"",
+        "\"result_cache\"",
+        "\"latency_us\"",
+        "\"p99_us\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in {json}");
+    }
+    server.shutdown();
+}
+
+/// Shutting down fails whatever was still queued and refuses new work;
+/// the call is idempotent.
+#[test]
+fn shutdown_drains_and_rejects() {
+    let graph = Graph::from_triples(vec![Triple::new(0, 0, 1)]);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        },
+    );
+    let ticket = server.submit("0", "0", "?y").unwrap();
+    server.shutdown();
+    assert!(matches!(
+        server.poll(&ticket),
+        Some(QueryStatus::Failed(RpqError::ShuttingDown))
+    ));
+    assert_eq!(
+        server.wait(&ticket).unwrap_err(),
+        RpqError::ShuttingDown,
+        "queued work is failed, not lost"
+    );
+    assert!(matches!(
+        server.submit("0", "0", "?y"),
+        Err(RpqError::ShuttingDown)
+    ));
+    server.shutdown();
+}

@@ -1,8 +1,10 @@
-//! `rpq-cli` — build, persist and query ring-rpq databases from the shell.
+//! `rpq-cli` — build, persist, query and *serve* ring-rpq databases.
 //!
 //! ```text
 //! rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
 //! rpq-cli query <index.db> <s> <expr> <o>      run one 2RPQ (use ?vars)
+//! rpq-cli serve <index.db> [opts]              query service on stdin
+//! rpq-cli batch <index.db> <queries> [opts]    run a query file via the service
 //! rpq-cli stats <index.db>                     index statistics
 //! rpq-cli bench <index.db> <s> <expr> <o> [n]  time a query n times
 //! ```
@@ -12,11 +14,18 @@
 //! ```text
 //! rpq-cli build metro.txt metro.db
 //! rpq-cli query metro.db baquedano 'l5+/bus' '?y'
-//! rpq-cli query metro.db '?x' '(l1|l2|l5)+' santa_ana
+//! echo 'baquedano l5+/bus ?y' | rpq-cli serve metro.db --workers 4
+//! rpq-cli batch metro.db queries.txt --metrics metrics.json
 //! ```
+//!
+//! Exit codes: 0 success, 1 operational error, 2 malformed query
+//! (pattern parse error or unknown node) — typed, no backtrace.
 
-use ring_rpq::RpqDatabase;
+use ring_rpq::rpq_server::{RpqError, RpqServer, ServerConfig};
+use ring_rpq::{DbError, RpqDatabase};
 use rpq_core::EngineOptions;
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
 use std::path::Path;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
@@ -27,17 +36,25 @@ fn main() -> ExitCode {
         Some("build") => cmd_build(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{}", USAGE);
             return ExitCode::SUCCESS;
         }
-        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        Some(other) => Err(CliError::Other(format!(
+            "unknown command '{other}'\n{USAGE}"
+        ))),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Parse(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Other(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
@@ -48,15 +65,40 @@ const USAGE: &str = "usage:
   rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
   rpq-cli query <index.db> <s> <expr> <o>        run one 2RPQ (use ?vars)
   rpq-cli explain <index.db> <s> <expr> <o>      show the evaluation plan
+  rpq-cli serve <index.db> [opts]                query service: one 's expr o' per stdin line
+  rpq-cli batch <index.db> <queries.txt> [opts]  run a query file through the service
   rpq-cli stats <index.db>                       index statistics
   rpq-cli bench <index.db> <s> <expr> <o> [n]    time a query n times
+serve/batch options:
+  --workers <n>    worker threads (default: available parallelism)
+  --metrics <file> write the metrics registry JSON there ('-' = stderr)
 ";
 
-fn cmd_build(args: &[String]) -> Result<(), String> {
+/// CLI failures, split by exit code: malformed queries (pattern parse
+/// errors, unknown nodes) exit 2; everything else exits 1.
+enum CliError {
+    Parse(String),
+    Other(String),
+}
+
+impl From<DbError> for CliError {
+    fn from(e: DbError) -> Self {
+        match e {
+            DbError::Parse(_) | DbError::UnknownNode(_) => CliError::Parse(e.to_string()),
+            other => CliError::Other(other.to_string()),
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(m: String) -> Self {
+        CliError::Other(m)
+    }
+}
+
+fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let [input, output] = args else {
-        return Err(format!(
-            "build needs <graph.txt|graph.nt> <index.db>\n{USAGE}"
-        ));
+        return Err(format!("build needs <graph.txt|graph.nt> <index.db>\n{USAGE}").into());
     };
     let t = Instant::now();
     let db = RpqDatabase::from_graph_file(Path::new(input)).map_err(|e| e.to_string())?;
@@ -79,13 +121,13 @@ fn cmd_build(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn load(path: &str) -> Result<RpqDatabase, String> {
-    RpqDatabase::load(Path::new(path)).map_err(|e| format!("loading {path}: {e}"))
+fn load(path: &str) -> Result<RpqDatabase, CliError> {
+    RpqDatabase::load(Path::new(path)).map_err(|e| CliError::Other(format!("loading {path}: {e}")))
 }
 
-fn cmd_query(args: &[String]) -> Result<(), String> {
+fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let [index, s, expr, o] = args else {
-        return Err(format!("query needs <index.db> <s> <expr> <o>\n{USAGE}"));
+        return Err(format!("query needs <index.db> <s> <expr> <o>\n{USAGE}").into());
     };
     let db = load(index)?;
     let opts = EngineOptions {
@@ -93,9 +135,7 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
         ..EngineOptions::default()
     };
     let t = Instant::now();
-    let out = db
-        .query_with(s, expr, o, &opts)
-        .map_err(|e| e.to_string())?;
+    let out = db.query_with(s, expr, o, &opts)?;
     let secs = t.elapsed().as_secs_f64();
     let mut named: Vec<(String, String)> = out
         .pairs
@@ -107,7 +147,10 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
             )
         })
         .collect();
+    // Deterministic output: sorted, distinct rows (stable across engines
+    // and thread counts, so cross-engine diffs are byte-identical).
     named.sort();
+    named.dedup();
     for (a, b) in &named {
         println!("{a}\t{b}");
     }
@@ -121,20 +164,225 @@ fn cmd_query(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_explain(args: &[String]) -> Result<(), String> {
+fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     let [index, s, expr, o] = args else {
-        return Err(format!("explain needs <index.db> <s> <expr> <o>\n{USAGE}"));
+        return Err(format!("explain needs <index.db> <s> <expr> <o>\n{USAGE}").into());
     };
     let db = load(index)?;
-    let q = db.parse_query(s, expr, o).map_err(|e| e.to_string())?;
+    let q = db.parse_query(s, expr, o)?;
     let plan = rpq_core::explain::explain(db.ring(), &q).map_err(|e| e.to_string())?;
     print!("{plan}");
     Ok(())
 }
 
-fn cmd_stats(args: &[String]) -> Result<(), String> {
+/// Options shared by `serve` and `batch`.
+struct ServeOpts {
+    positional: Vec<String>,
+    workers: Option<usize>,
+    metrics: Option<String>,
+}
+
+fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
+    let mut opts = ServeOpts {
+        positional: Vec::new(),
+        workers: None,
+        metrics: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--workers" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--workers needs a value".to_string())?;
+                opts.workers = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --workers value '{v}'"))?,
+                );
+            }
+            "--metrics" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--metrics needs a value".to_string())?;
+                opts.metrics = Some(v.clone());
+            }
+            _ => opts.positional.push(a.clone()),
+        }
+    }
+    Ok(opts)
+}
+
+fn start_server(index: &str, workers: Option<usize>) -> Result<RpqServer, CliError> {
+    let db = load(index)?;
+    let mut config = ServerConfig::default();
+    if let Some(w) = workers {
+        config.workers = w.max(1);
+    }
+    Ok(db.into_server(config))
+}
+
+/// Drives one server session: submits every query line (backpressure by
+/// draining the oldest pending result when the queue is full). *Answer*
+/// blocks print in submission order — sorted, distinct rows per query —
+/// but a line that fails synchronously (malformed fields, parse error,
+/// unknown node) prints its `# error` block immediately, possibly ahead
+/// of earlier queries still in flight; every block is labelled
+/// `# query N`, so association is unambiguous either way.
+fn run_session(
+    server: &RpqServer,
+    input: impl BufRead,
+    out: &mut impl Write,
+) -> Result<(usize, usize), CliError> {
+    let mut pending: VecDeque<(usize, String, ring_rpq::rpq_server::QueryTicket)> = VecDeque::new();
+    let mut submitted = 0usize;
+    let mut errors = 0usize;
+    let echo = |e: &std::io::Error| CliError::Other(format!("writing output: {e}"));
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("reading queries: {e}"))?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        submitted += 1;
+        let n = submitted;
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let [s, expr, o] = tokens[..] else {
+            writeln!(out, "# query {n}: {text}").map_err(|e| echo(&e))?;
+            writeln!(
+                out,
+                "# error: expected 3 fields 's expr o', got {}",
+                tokens.len()
+            )
+            .map_err(|e| echo(&e))?;
+            errors += 1;
+            continue;
+        };
+        loop {
+            match server.submit(s, expr, o) {
+                Ok(ticket) => {
+                    pending.push_back((n, text.to_string(), ticket));
+                    break;
+                }
+                Err(RpqError::Overloaded { .. }) => {
+                    // Backpressure: finish the oldest in-flight query
+                    // before retrying.
+                    match pending.pop_front() {
+                        Some(entry) => errors += flush_one(server, entry, out)?,
+                        None => std::thread::sleep(Duration::from_millis(1)),
+                    }
+                }
+                Err(e) => {
+                    writeln!(out, "# query {n}: {text}").map_err(|err| echo(&err))?;
+                    writeln!(out, "# error: {e}").map_err(|err| echo(&err))?;
+                    errors += 1;
+                    break;
+                }
+            }
+        }
+    }
+    while let Some(entry) = pending.pop_front() {
+        errors += flush_one(server, entry, out)?;
+    }
+    Ok((submitted, errors))
+}
+
+/// Waits for one pending query and prints its block; returns 1 if it
+/// failed, 0 otherwise.
+fn flush_one(
+    server: &RpqServer,
+    (n, text, ticket): (usize, String, ring_rpq::rpq_server::QueryTicket),
+    out: &mut impl Write,
+) -> Result<usize, CliError> {
+    let echo = |e: std::io::Error| CliError::Other(format!("writing output: {e}"));
+    writeln!(out, "# query {n}: {text}").map_err(echo)?;
+    match server.wait(&ticket) {
+        Ok(answer) => {
+            // Deterministic rows: answers come id-sorted and distinct;
+            // re-sort by name so output matches `rpq-cli query`.
+            let mut named = server.resolve_pairs(&answer);
+            named.sort();
+            named.dedup();
+            for (s, o) in named {
+                writeln!(out, "{s}\t{o}").map_err(echo)?;
+            }
+            writeln!(
+                out,
+                "# {} pairs{}{}",
+                answer.pairs.len(),
+                if answer.truncated { " (limit hit)" } else { "" },
+                if answer.timed_out { " (timed out)" } else { "" },
+            )
+            .map_err(echo)?;
+            Ok(0)
+        }
+        Err(e) => {
+            writeln!(out, "# error: {e}").map_err(echo)?;
+            Ok(1)
+        }
+    }
+}
+
+fn emit_metrics(server: &RpqServer, target: Option<&str>) -> Result<(), CliError> {
+    let json = server.metrics_json();
+    match target {
+        None => {}
+        Some("-") => eprintln!("{json}"),
+        Some(path) => std::fs::write(path, json + "\n")
+            .map_err(|e| CliError::Other(format!("writing {path}: {e}")))?,
+    }
+    Ok(())
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_serve_opts(args)?;
+    let [index] = &opts.positional[..] else {
+        return Err(
+            format!("serve needs <index.db> [--workers n] [--metrics file]\n{USAGE}").into(),
+        );
+    };
+    let server = start_server(index, opts.workers)?;
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout().lock();
+    let (submitted, errors) = run_session(&server, stdin.lock(), &mut stdout)?;
+    stdout.flush().ok();
+    eprintln!(
+        "served {submitted} queries ({} ok, {errors} failed)",
+        submitted - errors
+    );
+    emit_metrics(&server, opts.metrics.as_deref())?;
+    server.shutdown();
+    Ok(())
+}
+
+fn cmd_batch(args: &[String]) -> Result<(), CliError> {
+    let opts = parse_serve_opts(args)?;
+    let [index, queries] = &opts.positional[..] else {
+        return Err(format!(
+            "batch needs <index.db> <queries.txt> [--workers n] [--metrics file]\n{USAGE}"
+        )
+        .into());
+    };
+    let file = std::fs::File::open(queries)
+        .map_err(|e| CliError::Other(format!("opening {queries}: {e}")))?;
+    let server = start_server(index, opts.workers)?;
+    let t = Instant::now();
+    let mut stdout = std::io::stdout().lock();
+    let (submitted, errors) = run_session(&server, std::io::BufReader::new(file), &mut stdout)?;
+    stdout.flush().ok();
+    let secs = t.elapsed().as_secs_f64();
+    eprintln!(
+        "batch: {submitted} queries ({} ok, {errors} failed) in {secs:.3}s ({:.0} q/s)",
+        submitted - errors,
+        submitted as f64 / secs.max(1e-9)
+    );
+    emit_metrics(&server, opts.metrics.as_deref())?;
+    server.shutdown();
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), CliError> {
     let [index] = args else {
-        return Err(format!("stats needs <index.db>\n{USAGE}"));
+        return Err(format!("stats needs <index.db>\n{USAGE}").into());
     };
     let db = load(index)?;
     let g = db.graph();
@@ -164,15 +412,16 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &[String]) -> Result<(), String> {
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let (core, n) = match args.len() {
         4 => (&args[..4], 10usize),
-        5 => (&args[..4], args[4].parse().map_err(|_| "bad repeat count")?),
-        _ => {
-            return Err(format!(
-                "bench needs <index.db> <s> <expr> <o> [n]\n{USAGE}"
-            ))
-        }
+        5 => (
+            &args[..4],
+            args[4]
+                .parse()
+                .map_err(|_| CliError::Other("bad repeat count".into()))?,
+        ),
+        _ => return Err(format!("bench needs <index.db> <s> <expr> <o> [n]\n{USAGE}").into()),
     };
     let [index, s, expr, o] = core else {
         unreachable!()
@@ -183,9 +432,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     let mut pairs = 0usize;
     for _ in 0..n {
         let t = Instant::now();
-        let out = db
-            .query_with(s, expr, o, &opts)
-            .map_err(|e| e.to_string())?;
+        let out = db.query_with(s, expr, o, &opts)?;
         times.push(t.elapsed().as_secs_f64());
         pairs = out.pairs.len();
     }

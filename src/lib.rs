@@ -45,6 +45,7 @@ pub use automata;
 pub use baselines;
 pub use ring;
 pub use rpq_core;
+pub use rpq_server;
 pub use succinct;
 pub use workload;
 
@@ -266,6 +267,27 @@ impl RpqDatabase {
         std::io::Write::flush(&mut f)
     }
 
+    /// Starts a concurrent query server over this database (see
+    /// [`rpq_server::RpqServer`]): a worker pool sharing the ring, with
+    /// plan/result caches, admission control and metrics.
+    ///
+    /// ```
+    /// use ring_rpq::RpqDatabase;
+    /// use ring_rpq::rpq_server::ServerConfig;
+    ///
+    /// let db = RpqDatabase::from_text("a p b\nb p c\n").unwrap();
+    /// let server = db.into_server(ServerConfig { workers: 2, ..ServerConfig::default() });
+    /// let answer = server.query_blocking("a", "p+", "?y").unwrap();
+    /// assert_eq!(server.resolve_pairs(&answer), vec![
+    ///     ("a".to_string(), "b".to_string()),
+    ///     ("a".to_string(), "c".to_string()),
+    /// ]);
+    /// server.shutdown();
+    /// ```
+    pub fn into_server(self, config: rpq_server::ServerConfig) -> rpq_server::RpqServer {
+        rpq_server::RpqServer::start(std::sync::Arc::new(self), config)
+    }
+
     /// Loads a database persisted with [`Self::save`].
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
         use succinct::io::{bad_data, Persist};
@@ -294,6 +316,27 @@ impl RpqDatabase {
     }
 }
 
+/// An [`RpqDatabase`] is exactly what a server serves: the shared ring
+/// plus the name dictionaries. All of it is immutable after
+/// construction, so one instance backs any number of workers.
+impl rpq_server::QuerySource for RpqDatabase {
+    fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    fn node_id(&self, name: &str) -> Option<Id> {
+        self.nodes.get(name)
+    }
+
+    fn node_name(&self, id: Id) -> Option<String> {
+        (id < self.nodes.len() as Id).then(|| self.nodes.name(id).to_string())
+    }
+
+    fn pred_id(&self, name: &str) -> Option<Id> {
+        self.preds.get(name)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -311,6 +354,38 @@ mod tests {
         );
         let got = db.query("?x", "p/q", "?y").unwrap();
         assert_eq!(got, vec![("b".to_string(), "a".to_string())]);
+    }
+
+    /// The server owns an `Arc<RpqDatabase>`; the whole database must be
+    /// shareable across worker threads.
+    #[test]
+    fn database_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RpqDatabase>();
+    }
+
+    #[test]
+    fn serves_queries_through_the_server_layer() {
+        use rpq_server::ServerConfig;
+        let db = RpqDatabase::from_text("a p b\nb p c\nc q a\n").unwrap();
+        let server = db.into_server(ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        });
+        let answer = server.query_blocking("a", "p+", "?y").unwrap();
+        assert_eq!(
+            server.resolve_pairs(&answer),
+            vec![
+                ("a".to_string(), "b".to_string()),
+                ("a".to_string(), "c".to_string())
+            ]
+        );
+        // Parse errors surface as the typed server error.
+        assert!(matches!(
+            server.query_blocking("a", "p/(", "?y"),
+            Err(rpq_server::RpqError::Parse(_))
+        ));
+        server.shutdown();
     }
 
     #[test]

@@ -120,7 +120,8 @@ fn cli_failure_modes() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("error"));
 
-    // Malformed expression on a valid index.
+    // Malformed expression on a valid index: typed parse diagnostic,
+    // exit code 2, no backtrace.
     let graph = dir.join("g.txt");
     std::fs::write(&graph, "a p b\n").unwrap();
     let index = dir.join("g.db");
@@ -134,7 +135,25 @@ fn cli_failure_modes() {
         .args(["query", index.to_str().unwrap(), "a", "p/(", "?y"])
         .output()
         .unwrap();
-    assert!(!out.status.success());
+    assert_eq!(out.status.code(), Some(2), "parse errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error: expression error"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    assert!(!stderr.contains("backtrace"), "{stderr}");
+
+    // Unknown node: same typed treatment.
+    let out = cli()
+        .args(["query", index.to_str().unwrap(), "nosuch", "p", "?y"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    // Operational errors keep exit code 1.
+    let out = cli()
+        .args(["query", "/nonexistent.db", "a", "p", "?y"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
 
     // Help exits cleanly.
     let out = cli().arg("--help").output().unwrap();
@@ -202,6 +221,128 @@ fn build_query_ntriples_fixture() {
         .unwrap();
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("edges (base):        13"));
+}
+
+/// The `serve` subcommand: a query-per-line session over stdin, with
+/// per-query sorted/deduplicated blocks, per-line error isolation, and
+/// the metrics registry JSON on demand.
+#[test]
+fn serve_session_over_stdin() {
+    use std::io::Write;
+    let dir = tmpdir("serve");
+    let graph = dir.join("g.txt");
+    std::fs::write(
+        &graph,
+        "baquedano l5 bellas_artes
+         bellas_artes l5 santa_ana
+         santa_ana bus u_de_chile
+        ",
+    )
+    .unwrap();
+    let index = dir.join("g.db");
+    assert!(cli()
+        .args(["build", graph.to_str().unwrap(), index.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+
+    let mut child = cli()
+        .args([
+            "serve",
+            index.to_str().unwrap(),
+            "--workers",
+            "2",
+            "--metrics",
+            "-",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"baquedano l5+/bus ?y\n\
+              # a comment line\n\
+              ?x l5 santa_ana\n\
+              baquedano l5+/( ?y\n",
+        )
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("# query 1: baquedano l5+/bus ?y"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("baquedano\tu_de_chile"), "{stdout}");
+    assert!(stdout.contains("bellas_artes\tsanta_ana"), "{stdout}");
+    assert!(stdout.contains("# 1 pairs"), "{stdout}");
+    // The malformed third query fails in isolation.
+    assert!(stdout.contains("# error: parse error"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("served 3 queries (2 ok, 1 failed)"),
+        "{stderr}"
+    );
+    // Metrics JSON lands on stderr with the expected sections.
+    assert!(stderr.contains("\"plan_cache\""), "{stderr}");
+    assert!(stderr.contains("\"latency_us\""), "{stderr}");
+}
+
+/// The `batch` subcommand runs a query file through the service and
+/// produces byte-deterministic output across thread counts.
+#[test]
+fn batch_is_deterministic_across_worker_counts() {
+    let dir = tmpdir("batch");
+    let graph = dir.join("g.txt");
+    // A diamond with parallel labels: multi-row answers to sort.
+    std::fs::write(&graph, "a p b\na p c\nb p d\nc p d\nd q a\nb q c\n").unwrap();
+    let index = dir.join("g.db");
+    assert!(cli()
+        .args(["build", graph.to_str().unwrap(), index.to_str().unwrap()])
+        .output()
+        .unwrap()
+        .status
+        .success());
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "?x p+ ?y\na p/p ?y\n?x (p|q)+ a\n?x ^p d\n").unwrap();
+
+    let run = |workers: &str| {
+        let metrics = dir.join(format!("metrics_{workers}.json"));
+        let out = cli()
+            .args([
+                "batch",
+                index.to_str().unwrap(),
+                queries.to_str().unwrap(),
+                "--workers",
+                workers,
+                "--metrics",
+                metrics.to_str().unwrap(),
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let json = std::fs::read_to_string(&metrics).unwrap();
+        assert!(json.contains("\"result_cache\""), "{json}");
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let one = run("1");
+    let four = run("4");
+    assert_eq!(one, four, "output must not depend on worker count");
+    assert!(one.contains("a\td"), "{one}");
 }
 
 /// A malformed N-Triples file is rejected with a positioned error, not
