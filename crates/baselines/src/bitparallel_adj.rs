@@ -129,7 +129,7 @@ impl BitParallelAdjEngine {
         };
         match (query.subject, query.object) {
             (Term::Const(s), Term::Var) => {
-                let bp = compile(&query.expr, opts.split_width)?;
+                let bp = compile(&query.expr, opts.bp_split_width)?;
                 self.forward(&bp, s, deadline, &mut out, &mut |r, out| {
                     out.pairs.push((s, r));
                     out.pairs.len() < limit || {
@@ -139,7 +139,7 @@ impl BitParallelAdjEngine {
                 });
             }
             (Term::Var, Term::Const(o)) => {
-                let bp = compile(&reversed_for(&self.idx, &query.expr), opts.split_width)?;
+                let bp = compile(&reversed_for(&self.idx, &query.expr), opts.bp_split_width)?;
                 self.forward(&bp, o, deadline, &mut out, &mut |r, out| {
                     out.pairs.push((r, o));
                     out.pairs.len() < limit || {
@@ -149,7 +149,7 @@ impl BitParallelAdjEngine {
                 });
             }
             (Term::Const(s), Term::Const(o)) => {
-                let bp = compile(&query.expr, opts.split_width)?;
+                let bp = compile(&query.expr, opts.bp_split_width)?;
                 self.forward(&bp, s, deadline, &mut out, &mut |r, out| {
                     if r == o {
                         out.pairs.push((s, o));
@@ -159,7 +159,7 @@ impl BitParallelAdjEngine {
                 });
             }
             (Term::Var, Term::Var) => {
-                let bp = compile(&query.expr, opts.split_width)?;
+                let bp = compile(&query.expr, opts.bp_split_width)?;
                 for s in 0..self.idx.n_nodes() {
                     if !self.idx.node_exists(s) {
                         continue;

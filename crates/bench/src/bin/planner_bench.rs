@@ -1,0 +1,220 @@
+//! E8: planner-chosen vs. forced-route latencies on the bundled metro
+//! fixture, written to `BENCH_planner.json`.
+//!
+//! For each query of a route-diverse corpus, the bench times the
+//! planner's natural choice and then every forced [`EvalRoute`]
+//! (fastpath / bitparallel / split / fallback; infeasible forcings fall
+//! back naturally and are reported as such), asserting along the way
+//! that all routes return the same answer count. The artifact answers
+//! the question every cost-model change must face: *does the planner
+//! pick the route that actually wins?*
+//!
+//! Inputs: `data/metro.nt` by default (`RPQ_BENCH_FIXTURE` overrides; a
+//! missing fixture falls back to a small synthetic graph so the bench
+//! runs anywhere). Output path honours `RPQ_BENCH_OUT`
+//! (default `BENCH_planner.json`).
+
+use automata::Regex;
+use ring::ring::RingOptions;
+use ring::{Graph, Ring};
+use rpq_bench::median;
+use rpq_core::{EngineOptions, EvalRoute, RpqEngine, RpqQuery, Term};
+use std::time::Instant;
+
+/// Timed repetitions per (query, route) cell.
+const REPS: usize = 30;
+
+struct Case {
+    name: &'static str,
+    query: RpqQuery,
+}
+
+fn star(l: u64) -> Regex {
+    Regex::Star(Box::new(Regex::label(l)))
+}
+
+/// Loads the metro fixture, or synthesizes a stand-in with the same
+/// label diversity when the file is absent.
+fn load_graph() -> (String, Graph) {
+    let path = std::env::var("RPQ_BENCH_FIXTURE").unwrap_or_else(|_| "data/metro.nt".to_string());
+    match std::fs::read_to_string(&path) {
+        Ok(text) => {
+            let (graph, _nodes, _preds) =
+                ring::ntriples::parse_ntriples(&text).expect("fixture parses");
+            (path, graph)
+        }
+        Err(_) => {
+            eprintln!("planner bench: {path} not found, using a synthetic stand-in");
+            let mut triples = vec![ring::Triple::new(6, 1, 9)];
+            for i in 0..14 {
+                triples.push(ring::Triple::new(i, 0, (i + 1) % 16));
+                triples.push(ring::Triple::new((i + 2) % 16, 2, (i + 5) % 16));
+            }
+            ("synthetic".to_string(), Graph::from_triples(triples))
+        }
+    }
+}
+
+/// A corpus covering every route and endpoint shape the metro graph
+/// supports. Labels are picked by cardinality rank so the corpus stays
+/// meaningful on any fixture: `rare` is the rarest predicate, `common`
+/// the most frequent.
+fn corpus(graph: &Graph, ring: &Ring) -> Vec<Case> {
+    let mut by_card: Vec<(u64, usize)> = (0..graph.n_preds())
+        .map(|p| (p, ring.pred_cardinality(p)))
+        .collect();
+    by_card.sort_by_key(|&(p, c)| (c, p));
+    let rare = by_card.first().map_or(0, |&(p, _)| p);
+    let common = by_card.last().map_or(0, |&(p, _)| p);
+    let mid = by_card.get(by_card.len() / 2).map_or(0, |&(p, _)| p);
+    let anchor = graph
+        .triples()
+        .iter()
+        .find(|t| t.p == rare)
+        .map_or(0, |t| t.s);
+
+    let mut long_prefix = Regex::Opt(Box::new(Regex::label(common)));
+    for _ in 1..70 {
+        long_prefix = Regex::concat(long_prefix, Regex::Opt(Box::new(Regex::label(common))));
+    }
+    vec![
+        Case {
+            name: "single_label_vv",
+            query: RpqQuery::new(Term::Var, Regex::label(common), Term::Var),
+        },
+        Case {
+            name: "disjunction_vv",
+            query: RpqQuery::new(
+                Term::Var,
+                Regex::alt(Regex::label(common), Regex::label(mid)),
+                Term::Var,
+            ),
+        },
+        Case {
+            name: "concat2_vv",
+            query: RpqQuery::new(
+                Term::Var,
+                Regex::concat(Regex::label(common), Regex::label(mid)),
+                Term::Var,
+            ),
+        },
+        Case {
+            name: "closure_cv",
+            query: RpqQuery::new(Term::Const(anchor), star(common), Term::Var),
+        },
+        Case {
+            name: "rare_split_vv",
+            query: RpqQuery::new(
+                Term::Var,
+                Regex::concat(Regex::concat(star(common), Regex::label(rare)), star(mid)),
+                Term::Var,
+            ),
+        },
+        Case {
+            name: "oversized_fallback_vv",
+            query: RpqQuery::new(
+                Term::Var,
+                Regex::concat(long_prefix, Regex::label(rare)),
+                Term::Var,
+            ),
+        },
+    ]
+}
+
+/// Median evaluation latency in microseconds under `opts`, plus the
+/// route the planner actually executed and the answer count.
+fn time_route(
+    engine: &mut RpqEngine<'_>,
+    query: &RpqQuery,
+    opts: &EngineOptions,
+) -> (f64, EvalRoute, usize) {
+    let mut times = Vec::with_capacity(REPS);
+    let mut route = EvalRoute::BitParallel;
+    let mut pairs = 0usize;
+    for _ in 0..REPS {
+        let t = Instant::now();
+        let out = engine
+            .evaluate(query, opts)
+            .expect("bench queries evaluate");
+        times.push(t.elapsed().as_secs_f64() * 1e6);
+        route = out.plan.as_ref().expect("engine outputs carry plans").route;
+        pairs = out.pairs.len();
+    }
+    (median(&times), route, pairs)
+}
+
+fn main() {
+    let (fixture, graph) = load_graph();
+    let ring = Ring::build(&graph, RingOptions::default());
+    eprintln!(
+        "planner bench: {fixture} — {} edges, {} nodes, {} predicates",
+        graph.len(),
+        graph.n_nodes(),
+        graph.n_preds()
+    );
+    let mut engine = RpqEngine::new(&ring);
+    let mut rows = Vec::new();
+    let mut planner_total = 0.0f64;
+    let mut oracle_total = 0.0f64;
+    for case in corpus(&graph, &ring) {
+        let natural = EngineOptions::default();
+        let (nat_us, nat_route, nat_pairs) = time_route(&mut engine, &case.query, &natural);
+        let mut forced_cells = Vec::new();
+        let mut best_us = nat_us;
+        for forced in EvalRoute::ALL {
+            let opts = EngineOptions {
+                forced_route: Some(forced),
+                ..EngineOptions::default()
+            };
+            let (us, executed, pairs) = time_route(&mut engine, &case.query, &opts);
+            assert_eq!(
+                pairs, nat_pairs,
+                "{}: route {forced:?} changed the answer count",
+                case.name
+            );
+            if executed == forced {
+                best_us = best_us.min(us);
+            }
+            forced_cells.push(format!(
+                "{{\"forced\":\"{}\",\"executed\":\"{}\",\"median_us\":{us:.1}}}",
+                forced.name(),
+                executed.name()
+            ));
+        }
+        planner_total += nat_us;
+        oracle_total += best_us;
+        eprintln!(
+            "  {:<24} planner={:<12} {:>9.1} us (best feasible {:>9.1} us, {} pairs)",
+            case.name,
+            nat_route.name(),
+            nat_us,
+            best_us,
+            nat_pairs
+        );
+        rows.push(format!(
+            "{{\"query\":\"{}\",\"planner_route\":\"{}\",\"planner_us\":{nat_us:.1},\
+             \"best_feasible_us\":{best_us:.1},\"pairs\":{nat_pairs},\"forced\":[{}]}}",
+            case.name,
+            nat_route.name(),
+            forced_cells.join(",")
+        ));
+    }
+    // How close the planner is to always picking the winning route
+    // (1.0 = optimal; the artifact tracks this across PRs).
+    let efficiency = if planner_total > 0.0 {
+        oracle_total / planner_total
+    } else {
+        1.0
+    };
+    let json = format!(
+        "{{\"fixture\":{fixture:?},\"edges\":{},\"reps\":{REPS},\
+         \"planner_total_us\":{planner_total:.1},\"best_feasible_total_us\":{oracle_total:.1},\
+         \"route_choice_efficiency\":{efficiency:.4},\"queries\":[{}]}}",
+        graph.len(),
+        rows.join(",")
+    );
+    let out = std::env::var("RPQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_planner.json".to_string());
+    std::fs::write(&out, json.clone() + "\n").expect("writing the bench artifact");
+    eprintln!("planner bench: route-choice efficiency {efficiency:.3} -> {out}");
+    println!("{json}");
+}

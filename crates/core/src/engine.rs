@@ -9,10 +9,11 @@ use succinct::util::{EpochArray, FxHashSet};
 use succinct::wavelet_matrix::RangeGuide;
 use succinct::WaveletMatrix;
 
-use crate::fastpath::{self, Shape};
-use crate::plan::PreparedQuery;
+use crate::plan::{EvalRoute, PreparedQuery};
+use crate::planner::{self, Direction};
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
-use crate::QueryError;
+use crate::stats::RingStatistics;
+use crate::{fastpath, QueryError};
 
 /// The RPQ engine: borrows a [`Ring`] and owns the per-query working
 /// memory (the `B[v]`, `D[v]` and `D[s]` mask tables with constant-time
@@ -105,8 +106,9 @@ impl<'r> RpqEngine<'r> {
         }
     }
 
-    /// The underlying ring.
-    pub fn ring(&self) -> &Ring {
+    /// The underlying ring (borrowed for the engine's full lifetime, so
+    /// the reference outlives any `&mut self` evaluation borrow).
+    pub fn ring(&self) -> &'r Ring {
         self.ring
     }
 
@@ -134,19 +136,25 @@ impl<'r> RpqEngine<'r> {
         let plan = PreparedQuery::compile(
             &query.expr,
             &|l| self.ring.inverse_label(l),
-            opts.split_width,
+            opts.bp_split_width,
         )?;
         self.evaluate_prepared(&plan, query.subject, query.object, opts)
     }
 
-    /// Evaluates a precompiled plan anchored at the given endpoints. The
-    /// plan's prebuilt transition tables are used as-is (the
-    /// `opts.split_width` of this call is ignored); everything else in
-    /// `opts` — limits, timeout, node budget, fast paths, pruning —
-    /// applies per call.
+    /// Evaluates a precompiled query anchored at the given endpoints.
+    ///
+    /// The route, traversal direction and (possible) rare-label split
+    /// come from the shared cost-based planner
+    /// ([`crate::planner::plan`]); the decision actually executed is
+    /// recorded in [`QueryOutput::plan`], so callers — `explain`, a
+    /// server's metrics — observe exactly what ran. The prepared
+    /// query's transition tables are used as-is (the
+    /// `opts.bp_split_width` of this call is ignored); everything else
+    /// in `opts` — limits, timeout, node budget, fast paths, pruning,
+    /// route forcing — applies per call.
     pub fn evaluate_prepared(
         &mut self,
-        plan: &PreparedQuery,
+        prepared: &PreparedQuery,
         subject: Term,
         object: Term,
         opts: &EngineOptions,
@@ -161,59 +169,85 @@ impl<'r> RpqEngine<'r> {
                 }
             }
         }
+        let plan = planner::plan(
+            &RingStatistics::new(self.ring),
+            prepared,
+            subject,
+            object,
+            opts,
+        );
         let deadline = opts.timeout.map(|t| Instant::now() + t);
 
-        if opts.fast_paths {
-            if let Shape::Single(_) | Shape::Disjunction(_) | Shape::Concat2(_, _) = plan.shape() {
-                return fastpath::evaluate(
-                    self.ring,
-                    plan.shape(),
-                    subject,
-                    object,
-                    opts,
-                    deadline,
-                );
+        let mut out = match plan.route {
+            EvalRoute::FastPath => {
+                fastpath::evaluate(self.ring, prepared.shape(), subject, object, opts, deadline)?
             }
-        }
-
-        // Expressions beyond the bit-parallel word width evaluate through
-        // the explicit-state fallback (§3.3's m > w regime).
-        let Some((bp, bp_rev)) = plan.tables() else {
-            let query = RpqQuery::new(subject, plan.expr().clone(), object);
-            return crate::fallback::evaluate(self.ring, &query, opts);
-        };
-
-        match (subject, object) {
-            (Term::Var, Term::Const(o)) => {
-                let mut out = QueryOutput::default();
-                self.eval_to_object(bp, o, None, opts, deadline, &mut out, |s, o| (s, o));
-                Ok(out)
+            // Expressions beyond the bit-parallel word width evaluate
+            // through the explicit-state fallback (§3.3's m > w regime).
+            EvalRoute::Fallback => {
+                let query = RpqQuery::new(subject, prepared.expr().clone(), object);
+                crate::fallback::evaluate(self.ring, &query, opts)?
             }
-            (Term::Const(s), Term::Var) => {
-                // (s, E, y) ≡ (y, Ê, s): traverse backwards from s with the
-                // reversed-and-inverted expression (§4.4).
-                let mut out = QueryOutput::default();
-                self.eval_to_object(bp_rev, s, None, opts, deadline, &mut out, |r, s| (s, r));
-                Ok(out)
+            EvalRoute::Split => {
+                let split = plan.split.clone().expect("a split plan carries its split");
+                crate::split::evaluate_split_in(self, &split, opts, deadline)?
             }
-            (Term::Const(s), Term::Const(o)) => {
-                // Existence check: run backwards from whichever endpoint
-                // admits the cheaper first expansion (§5's smallest-
-                // cardinality heuristic applied to the anchored ranges).
-                let cost_from_o = self.anchored_expansion_cost(bp, o);
-                let cost_from_s = self.anchored_expansion_cost(bp_rev, s);
+            EvalRoute::BitParallel => {
+                let (bp, bp_rev) = prepared
+                    .tables()
+                    .expect("the planner only picks bit-parallel when tables exist");
                 let mut out = QueryOutput::default();
-                if cost_from_o <= cost_from_s {
-                    self.eval_to_object(bp, o, Some(s), opts, deadline, &mut out, |s, o| (s, o));
-                } else {
-                    self.eval_to_object(bp_rev, s, Some(o), opts, deadline, &mut out, |o, s| {
-                        (s, o)
-                    });
+                match (subject, object) {
+                    (Term::Var, Term::Const(o)) => {
+                        self.eval_to_object(bp, o, None, opts, deadline, &mut out, |s, o| (s, o));
+                    }
+                    (Term::Const(s), Term::Var) => {
+                        // (s, E, y) ≡ (y, Ê, s): traverse backwards from s
+                        // with the reversed-and-inverted expression (§4.4).
+                        self.eval_to_object(bp_rev, s, None, opts, deadline, &mut out, |r, s| {
+                            (s, r)
+                        });
+                    }
+                    (Term::Const(s), Term::Const(o)) => {
+                        // Existence check from the endpoint the planner
+                        // found cheaper (§4.3 anchored range estimates).
+                        if plan.direction == Some(Direction::FromObject) {
+                            self.eval_to_object(
+                                bp,
+                                o,
+                                Some(s),
+                                opts,
+                                deadline,
+                                &mut out,
+                                |s, o| (s, o),
+                            );
+                        } else {
+                            self.eval_to_object(
+                                bp_rev,
+                                s,
+                                Some(o),
+                                opts,
+                                deadline,
+                                &mut out,
+                                |o, s| (s, o),
+                            );
+                        }
+                    }
+                    (Term::Var, Term::Var) => {
+                        out = self.eval_var_var(
+                            bp,
+                            bp_rev,
+                            plan.direction == Some(Direction::FromSubject),
+                            opts,
+                            deadline,
+                        )?;
+                    }
                 }
-                Ok(out)
+                out
             }
-            (Term::Var, Term::Var) => self.eval_var_var(bp, bp_rev, opts, deadline),
-        }
+        };
+        out.plan = Some(plan);
+        Ok(out)
     }
 
     /// Evaluates the backward traversal anchored at object `anchor`,
@@ -274,20 +308,19 @@ impl<'r> RpqEngine<'r> {
 
     /// The `(x, E, y)` strategy of §4.4: one full-range backward pass finds
     /// the useful anchors, then one anchored query per anchor. The
-    /// direction (sources-first vs targets-first) follows the §5 heuristic:
-    /// start from the end whose predicates have the smallest cardinality.
+    /// direction (`sources_first` vs targets-first) is the planner's §5
+    /// smallest-first-expansion choice, passed down from the [`Plan`]
+    /// being executed.
+    ///
+    /// [`Plan`]: crate::planner::Plan
     fn eval_var_var(
         &mut self,
         bp_e: &BitParallel,
         bp_rev: &BitParallel,
+        sources_first: bool,
         opts: &EngineOptions,
         deadline: Option<Instant>,
     ) -> Result<QueryOutput, QueryError> {
-        // First-expansion cost of a backward pass with each expression.
-        let cost_sources_first = self.first_expansion_cost(bp_e);
-        let cost_targets_first = self.first_expansion_cost(bp_rev);
-        let sources_first = cost_sources_first <= cost_targets_first;
-
         let mut out = QueryOutput::default();
         let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
 
@@ -372,45 +405,6 @@ impl<'r> RpqEngine<'r> {
 
         out.pairs = pairs.into_iter().collect();
         Ok(out)
-    }
-
-    /// Σ of cardinalities of the predicates that can fire on the first
-    /// backward expansion (labels whose `B[p]` intersects the accepting
-    /// set).
-    fn first_expansion_cost(&self, bp: &BitParallel) -> u64 {
-        let accept = bp.accept_mask();
-        let mut cost: u64 = 0;
-        for &(label, mask) in bp.positive_label_masks() {
-            if mask & accept != 0 {
-                cost += self.ring.pred_cardinality(label) as u64;
-            }
-        }
-        for (bit, _) in bp.negated_positions() {
-            if bit & accept != 0 {
-                cost += self.ring.n_triples() as u64;
-            }
-        }
-        cost
-    }
-
-    /// First-expansion cost anchored at node `anchor`: edges into the
-    /// anchor whose label can fire on the first backward step.
-    fn anchored_expansion_cost(&self, bp: &BitParallel, anchor: Id) -> u64 {
-        let accept = bp.accept_mask();
-        let range = self.ring.object_range(anchor);
-        let mut cost: u64 = 0;
-        for &(label, mask) in bp.positive_label_masks() {
-            if mask & accept != 0 {
-                let (b, e) = self.ring.backward_step_by_pred(range, label);
-                cost += (e - b) as u64;
-            }
-        }
-        for (bit, _) in bp.negated_positions() {
-            if bit & accept != 0 {
-                cost += (range.1 - range.0) as u64;
-            }
-        }
-        cost
     }
 
     fn node_exists(&self, v: Id) -> bool {

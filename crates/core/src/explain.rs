@@ -1,60 +1,65 @@
-//! Query-plan introspection: what the engine *would* do for a query,
-//! without running it — the §5/§6 planning decisions (fast paths,
-//! traversal direction, cardinalities, split candidates) made visible.
+//! Query-plan introspection: the planner's decision for a query,
+//! rendered without running it.
+//!
+//! `explain` is a *thin renderer* over [`crate::planner::plan`] — the
+//! exact function [`RpqEngine::evaluate_prepared`] dispatches through —
+//! so the explained route, direction and split can never diverge from
+//! what execution does. (They once could: this module used to re-derive
+//! a parallel `Strategy` with its own cost code, and the engine ignored
+//! it.) The rendered plan is enriched with the §6 selectivity context a
+//! human wants next to the decision: label cardinalities and the full
+//! rare-label split candidate list.
+//!
+//! [`RpqEngine::evaluate_prepared`]: crate::RpqEngine::evaluate_prepared
 
-use automata::{BitParallel, Glushkov};
 use ring::{Id, Ring};
 
-use crate::fastpath::{shape_of, Shape};
-use crate::query::{RpqQuery, Term};
-use crate::split::{best_split, split_candidates};
+use crate::plan::{EvalRoute, PreparedQuery};
+use crate::planner::{self, Direction, Plan};
+use crate::query::{EngineOptions, RpqQuery, Term};
+use crate::split::split_candidates;
+use crate::stats::RingStatistics;
 use crate::QueryError;
 
-/// The strategy the engine would choose.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub enum Strategy {
-    /// §5 fast path, bypassing the automaton.
-    FastPath(&'static str),
-    /// One backward traversal anchored at the object constant.
-    BackwardFromObject(Id),
-    /// One backward traversal of the reversed expression anchored at the
-    /// subject constant.
-    BackwardFromSubject(Id),
-    /// Constant-to-constant existence check, from the cheaper side.
-    Existence {
-        /// The anchor node the traversal starts from.
-        from: Id,
-        /// Whether the reversed expression is used (start = subject).
-        reversed: bool,
-    },
-    /// §4.4 two-pass strategy for variable-to-variable queries.
-    TwoPass {
-        /// Whether pass 1 collects sources (else targets).
-        sources_first: bool,
-    },
-}
-
-/// An explained query plan.
+/// An explained query plan: the planner's [`Plan`] plus the automaton
+/// and selectivity context that motivates it.
 #[derive(Clone, Debug)]
 pub struct QueryPlan {
-    /// Table 1 pattern string of the query.
+    /// Table 1 pattern string of the query (`c`/`v` endpoints around the
+    /// expression).
     pub pattern: String,
-    /// The chosen strategy.
-    pub strategy: Strategy,
-    /// Glushkov position count (`m`).
+    /// The subject endpoint.
+    pub subject: Term,
+    /// The object endpoint.
+    pub object: Term,
+    /// The planner's decision — byte-for-byte what the engine executes.
+    pub plan: Plan,
+    /// Glushkov position count (`m`) of the class-fused expression.
     pub positions: usize,
     /// Whether the expression accepts the empty word (adds the diagonal).
     pub nullable: bool,
-    /// Labels the expression mentions, with their edge cardinalities.
+    /// Labels the expression mentions, with their edge cardinalities,
+    /// rarest first.
     pub label_cardinalities: Vec<(Id, usize)>,
-    /// Estimated first-expansion cost of the chosen direction.
-    pub first_expansion_cost: u64,
-    /// Rare-label split candidates `(label, cardinality)`, best first.
+    /// Rare-label split candidates `(label, cardinality)`, best first
+    /// (present even when the planner picked another route).
     pub split_candidates: Vec<(Id, usize)>,
 }
 
-/// Explains `query` against `ring` (§5 planning heuristics, dry run).
+/// Explains `query` against `ring` under default options (dry run; no
+/// traversal happens).
 pub fn explain(ring: &Ring, query: &RpqQuery) -> Result<QueryPlan, QueryError> {
+    explain_with(ring, query, &EngineOptions::default())
+}
+
+/// Explains `query` under explicit options — the same options a later
+/// [`RpqEngine::evaluate`](crate::RpqEngine::evaluate) call would use,
+/// so toggles like `fast_paths` and `forced_route` show their effect.
+pub fn explain_with(
+    ring: &Ring,
+    query: &RpqQuery,
+    opts: &EngineOptions,
+) -> Result<QueryPlan, QueryError> {
     if !ring.has_inverses() {
         return Err(QueryError::InversesRequired);
     }
@@ -65,113 +70,111 @@ pub fn explain(ring: &Ring, query: &RpqQuery) -> Result<QueryPlan, QueryError> {
             }
         }
     }
-    let expr = query.expr.fuse_classes();
-    let g = Glushkov::new(&expr)?;
-    let bp = BitParallel::new(&g);
-    let inv = |l: Id| ring.inverse_label(l);
-    let rev = expr.reversed(&inv);
-    let bp_rev = BitParallel::new(&Glushkov::new(&rev)?);
+    let prepared =
+        PreparedQuery::compile(&query.expr, &|l| ring.inverse_label(l), opts.bp_split_width)?;
+    Ok(explain_prepared(
+        ring,
+        &prepared,
+        query.subject,
+        query.object,
+        opts,
+    ))
+}
 
-    let full_cost = |b: &BitParallel| -> u64 {
-        b.positive_label_masks()
-            .iter()
-            .filter(|(_, m)| m & b.accept_mask() != 0)
-            .map(|&(l, _)| ring.pred_cardinality(l) as u64)
-            .sum()
+/// Explains an already-compiled query (what a serving layer holds in its
+/// plan cache) anchored at the given endpoints. Endpoint validity is the
+/// caller's responsibility here; the string entry points check it.
+pub fn explain_prepared(
+    ring: &Ring,
+    prepared: &PreparedQuery,
+    subject: Term,
+    object: Term,
+    opts: &EngineOptions,
+) -> QueryPlan {
+    let stats = RingStatistics::new(ring);
+    let plan = planner::plan(&stats, prepared, subject, object, opts);
+
+    let fused = prepared.expr().fuse_classes();
+    let positions = fused.literal_count();
+    let nullable = match prepared.tables() {
+        Some((bp, _)) => bp.is_nullable(),
+        None => {
+            let nfa = automata::Nfa::from_regex(prepared.expr());
+            nfa.accepting[nfa.initial]
+        }
     };
 
-    let strategy = match (query.subject, query.object) {
-        _ if matches!(
-            shape_of(&query.expr),
-            Shape::Single(_) | Shape::Disjunction(_) | Shape::Concat2(_, _)
-        ) =>
-        {
-            Strategy::FastPath(match shape_of(&query.expr) {
-                Shape::Single(_) => "single-label backward search",
-                Shape::Disjunction(_) => "disjunction of backward searches",
-                Shape::Concat2(_, _) => "wavelet range intersection",
-                Shape::Other => unreachable!(),
-            })
-        }
-        (Term::Var, Term::Const(o)) => Strategy::BackwardFromObject(o),
-        (Term::Const(s), Term::Var) => Strategy::BackwardFromSubject(s),
-        (Term::Const(s), Term::Const(o)) => {
-            // Mirror the engine's anchored-cost comparison.
-            let anchored = |b: &BitParallel, anchor: Id| -> u64 {
-                let range = ring.object_range(anchor);
-                b.positive_label_masks()
-                    .iter()
-                    .filter(|(_, m)| m & b.accept_mask() != 0)
-                    .map(|&(l, _)| {
-                        let (lo, hi) = ring.backward_step_by_pred(range, l);
-                        (hi - lo) as u64
-                    })
-                    .sum()
-            };
-            if anchored(&bp, o) <= anchored(&bp_rev, s) {
-                Strategy::Existence {
-                    from: o,
-                    reversed: false,
-                }
-            } else {
-                Strategy::Existence {
-                    from: s,
-                    reversed: true,
-                }
-            }
-        }
-        (Term::Var, Term::Var) => Strategy::TwoPass {
-            sources_first: full_cost(&bp) <= full_cost(&bp_rev),
-        },
-    };
-
-    let mut label_cardinalities: Vec<(Id, usize)> = expr
+    let mut label_cardinalities: Vec<(Id, usize)> = prepared
+        .expr()
         .mentioned_labels()
         .into_iter()
         .filter(|&l| l < ring.n_preds())
         .map(|l| (l, ring.pred_cardinality(l)))
         .collect();
-    label_cardinalities.sort_by_key(|&(_, c)| c);
+    label_cardinalities.sort_by_key(|&(l, c)| (c, l));
 
-    let mut splits: Vec<(Id, usize)> = split_candidates(&expr)
+    let mut splits: Vec<(Id, usize)> = split_candidates(prepared.expr())
         .into_iter()
         .filter(|s| s.label < ring.n_preds())
         .map(|s| (s.label, ring.pred_cardinality(s.label)))
         .collect();
-    splits.sort_by_key(|&(_, c)| c);
-    debug_assert_eq!(
-        splits.first().map(|&(l, _)| l),
-        best_split(ring, &expr).map(|s| s.label)
-    );
+    splits.sort_by_key(|&(l, c)| (c, l));
+    splits.dedup();
 
-    let chosen_cost = match &strategy {
-        Strategy::TwoPass { sources_first } => {
-            if *sources_first {
-                full_cost(&bp)
-            } else {
-                full_cost(&bp_rev)
-            }
-        }
-        _ => full_cost(&bp),
-    };
-
-    Ok(QueryPlan {
-        pattern: pattern_of(query, ring.n_preds_base()),
-        strategy,
-        positions: g.positions(),
-        nullable: g.nullable(),
+    QueryPlan {
+        pattern: pattern_of(prepared, subject, object),
+        subject,
+        object,
+        plan,
+        positions,
+        nullable,
         label_cardinalities,
-        first_expansion_cost: chosen_cost,
         split_candidates: splits,
-    })
+    }
 }
 
-fn pattern_of(query: &RpqQuery, _n_base: Id) -> String {
+fn pattern_of(prepared: &PreparedQuery, subject: Term, object: Term) -> String {
     let t = |term: Term| match term {
         Term::Const(_) => "c",
         Term::Var => "v",
     };
-    format!("{} {} {}", t(query.subject), query.expr, t(query.object))
+    format!("{} {} {}", t(subject), prepared.expr(), t(object))
+}
+
+impl QueryPlan {
+    /// Renders the plan as one stable JSON object (fixed key order, no
+    /// whitespace) — the machine-readable `--explain` output scripts can
+    /// diff across runs and versions.
+    pub fn to_json(&self) -> String {
+        let direction = match self.plan.direction {
+            Some(d) => format!("\"{}\"", d.name()),
+            None => "null".to_string(),
+        };
+        let (split_label, split_card) = match self.plan.split_label() {
+            Some(l) => {
+                let card = self
+                    .split_candidates
+                    .iter()
+                    .find(|&&(c, _)| c == l)
+                    .map_or(0, |&(_, c)| c);
+                (l.to_string(), card.to_string())
+            }
+            None => ("null".to_string(), "null".to_string()),
+        };
+        format!(
+            "{{\"pattern\":{:?},\"route\":\"{}\",\"direction\":{},\
+             \"split_label\":{},\"split_label_edges\":{},\
+             \"estimated_cost\":{},\"positions\":{},\"nullable\":{}}}",
+            self.pattern,
+            self.plan.route.name(),
+            direction,
+            split_label,
+            split_card,
+            self.plan.estimated_cost,
+            self.positions,
+            self.nullable
+        )
+    }
 }
 
 impl std::fmt::Display for QueryPlan {
@@ -187,33 +190,49 @@ impl std::fmt::Display for QueryPlan {
                 ""
             }
         )?;
-        write!(f, "strategy: ")?;
-        match &self.strategy {
-            Strategy::FastPath(k) => writeln!(f, "fast path — {k}")?,
-            Strategy::BackwardFromObject(o) => writeln!(f, "backward traversal from object {o}")?,
-            Strategy::BackwardFromSubject(s) => writeln!(
+        write!(f, "route:    {}\nstrategy: ", self.plan.route.name())?;
+        match (self.plan.route, self.subject, self.object) {
+            (EvalRoute::FastPath, ..) => writeln!(f, "fast path — §5 join specialization")?,
+            (EvalRoute::Split, ..) => writeln!(
+                f,
+                "rare-label split at label {} — enumerate its edges, complete both sides",
+                self.plan.split_label().unwrap_or(0)
+            )?,
+            (EvalRoute::Fallback, ..) => writeln!(
+                f,
+                "explicit-state fallback (expression beyond the word width), {}",
+                match self.plan.direction {
+                    Some(Direction::FromObject) => "backward traversal from the object",
+                    _ => "forward walk from the subject side",
+                }
+            )?,
+            (EvalRoute::BitParallel, Term::Var, Term::Const(o)) => {
+                writeln!(f, "backward traversal from object {o}")?
+            }
+            (EvalRoute::BitParallel, Term::Const(s), Term::Var) => writeln!(
                 f,
                 "backward traversal of the reversed expression from subject {s}"
             )?,
-            Strategy::Existence { from, reversed } => writeln!(
-                f,
-                "existence check from node {from}{}",
-                if *reversed {
-                    " (reversed expression)"
-                } else {
-                    ""
-                }
-            )?,
-            Strategy::TwoPass { sources_first } => writeln!(
+            (EvalRoute::BitParallel, Term::Const(s), Term::Const(o)) => {
+                let (from, rev) = match self.plan.direction {
+                    Some(Direction::FromSubject) => (s, " (reversed expression)"),
+                    _ => (o, ""),
+                };
+                writeln!(f, "existence check from node {from}{rev}")?
+            }
+            (EvalRoute::BitParallel, Term::Var, Term::Var) => writeln!(
                 f,
                 "two-pass: full-range pass collects {}, then per-anchor queries",
-                if *sources_first { "sources" } else { "targets" }
+                match self.plan.direction {
+                    Some(Direction::FromObject) => "targets",
+                    _ => "sources",
+                }
             )?,
         }
         writeln!(
             f,
             "first-expansion cost estimate: {} edges",
-            self.first_expansion_cost
+            self.plan.estimated_cost
         )?;
         if !self.label_cardinalities.is_empty() {
             writeln!(f, "label cardinalities (rarest first):")?;
@@ -261,10 +280,11 @@ mod tests {
         let r = ring();
         let q = RpqQuery::new(Term::Var, Regex::label(0), Term::Var);
         let plan = explain(&r, &q).unwrap();
-        assert!(matches!(plan.strategy, Strategy::FastPath(_)));
+        assert_eq!(plan.plan.route, EvalRoute::FastPath);
         assert_eq!(plan.positions, 1);
         let text = plan.to_string();
         assert!(text.contains("fast path"), "{text}");
+        assert!(plan.to_json().contains("\"route\":\"fastpath\""));
     }
 
     #[test]
@@ -272,13 +292,20 @@ mod tests {
         let r = ring();
         let e = Regex::concat(star(0), Regex::label(1));
         let plan = explain(&r, &RpqQuery::new(Term::Var, e.clone(), Term::Const(3))).unwrap();
-        assert_eq!(plan.strategy, Strategy::BackwardFromObject(3));
+        assert_eq!(plan.plan.route, EvalRoute::BitParallel);
+        assert_eq!(plan.plan.direction, Some(Direction::FromObject));
+        assert!(plan
+            .to_string()
+            .contains("backward traversal from object 3"));
         let plan = explain(&r, &RpqQuery::new(Term::Const(0), e.clone(), Term::Var)).unwrap();
-        assert_eq!(plan.strategy, Strategy::BackwardFromSubject(0));
+        assert_eq!(plan.plan.direction, Some(Direction::FromSubject));
         let plan = explain(&r, &RpqQuery::new(Term::Var, e.clone(), Term::Var)).unwrap();
-        assert!(matches!(plan.strategy, Strategy::TwoPass { .. }));
+        assert!(matches!(
+            plan.plan.route,
+            EvalRoute::BitParallel | EvalRoute::Split
+        ));
         let plan = explain(&r, &RpqQuery::new(Term::Const(0), e, Term::Const(3))).unwrap();
-        assert!(matches!(plan.strategy, Strategy::Existence { .. }));
+        assert!(plan.to_string().contains("existence check"), "{plan}");
     }
 
     #[test]
@@ -292,6 +319,27 @@ mod tests {
         assert!(plan
             .to_string()
             .contains("rare-label split available at label 1"));
+    }
+
+    #[test]
+    fn json_is_stable_and_complete() {
+        let r = ring();
+        let e = Regex::concat(Regex::concat(star(0), Regex::label(1)), star(2));
+        let plan = explain(&r, &RpqQuery::new(Term::Var, e, Term::Var)).unwrap();
+        let json = plan.to_json();
+        // The textbook split query on this tiny ring: the planner's JSON
+        // names every decision field.
+        for key in [
+            "\"pattern\":",
+            "\"route\":",
+            "\"direction\":",
+            "\"split_label\":",
+            "\"estimated_cost\":",
+            "\"positions\":3",
+            "\"nullable\":false",
+        ] {
+            assert!(json.contains(key), "{json} missing {key}");
+        }
     }
 
     #[test]

@@ -21,11 +21,15 @@
 //!    object via `C_o`, and the BFS continues; subjects whose state set
 //!    contains the initial state are reported as answers.
 //!
-//! All four query shapes of §4.4 are supported, with the §5 fast paths for
-//! short patterns and the smallest-cardinality planning heuristic.
+//! All four query shapes of §4.4 are supported; route, traversal
+//! direction and rare-label splits are chosen by the shared cost-based
+//! [`planner`], which every layer — the engine, [`explain`], a serving
+//! layer's metrics — executes or renders (one decision, no divergence).
 //!
 //! Modules: [`query`] (query types, options, outputs, statistics),
-//! [`engine`] (the traversal), [`fastpath`] (§5 specializations),
+//! [`engine`] (the traversal), [`planner`] (the §4.3/§6 cost-based route
+//! and direction choice), [`fastpath`] (§5 specializations), [`split`]
+//! (§2 rare-label splitting), [`stats`] (§6 on-the-fly selectivity),
 //! [`oracle`] (a naive reference evaluator for differential testing).
 
 pub mod engine;
@@ -35,12 +39,14 @@ pub mod fastpath;
 pub mod oracle;
 pub mod parallel;
 pub mod plan;
+pub mod planner;
 pub mod query;
 pub mod split;
 pub mod stats;
 
 pub use engine::RpqEngine;
 pub use plan::{EvalRoute, PreparedQuery};
+pub use planner::{Direction, Plan};
 pub use query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
 
 /// Errors from query evaluation.

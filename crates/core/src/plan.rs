@@ -17,8 +17,10 @@ use automata::{BitParallel, Glushkov, Label, Regex};
 use crate::fastpath::{self, Shape};
 use crate::QueryError;
 
-/// Which evaluation route a plan takes — the label a serving layer uses
-/// for per-engine latency accounting.
+/// Which evaluation route the planner chose — the label a serving layer
+/// uses for per-route latency accounting. The choice itself is made by
+/// [`crate::planner::plan`] from the query, its endpoints and the
+/// ring's selectivity statistics.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum EvalRoute {
     /// A §5 fast-path shape (single label, disjunction, two-step
@@ -26,17 +28,40 @@ pub enum EvalRoute {
     FastPath,
     /// The general §4 bit-parallel product-graph traversal.
     BitParallel,
+    /// Rare-label splitting (§2/§6): enumerate the edges of a rare
+    /// mandatory label and complete the prefix/suffix from each edge's
+    /// endpoints. Variable-to-variable queries only.
+    Split,
     /// The explicit-state fallback for expressions beyond the word width.
     Fallback,
 }
 
 impl EvalRoute {
+    /// Every route, in metrics-index order (see [`Self::index`]).
+    pub const ALL: [EvalRoute; 4] = [
+        EvalRoute::FastPath,
+        EvalRoute::BitParallel,
+        EvalRoute::Split,
+        EvalRoute::Fallback,
+    ];
+
     /// Stable lowercase name (used as a metrics key).
     pub fn name(self) -> &'static str {
         match self {
             EvalRoute::FastPath => "fastpath",
             EvalRoute::BitParallel => "bitparallel",
+            EvalRoute::Split => "split",
             EvalRoute::Fallback => "fallback",
+        }
+    }
+
+    /// Dense index into per-route tables (`ALL[route.index()] == route`).
+    pub fn index(self) -> usize {
+        match self {
+            EvalRoute::FastPath => 0,
+            EvalRoute::BitParallel => 1,
+            EvalRoute::Split => 2,
+            EvalRoute::Fallback => 3,
         }
     }
 }
@@ -57,18 +82,19 @@ pub struct PreparedQuery {
     bp: Option<BitParallel>,
     /// Bit-parallel tables for the reversed-and-inverted expression.
     bp_rev: Option<BitParallel>,
-    /// The split width the tables were built with.
-    split_width: usize,
+    /// The §3.3 vertical split width the tables were built with.
+    bp_split_width: usize,
 }
 
 impl PreparedQuery {
     /// Compiles `expr`. `inv` is the ring's label involution `p ↔ p̂`
-    /// (used to reverse the two-way expression), `split_width` the
-    /// vertical split `d` of the transition tables.
+    /// (used to reverse the two-way expression), `bp_split_width` the
+    /// §3.3 vertical split `d` of the bit-parallel transition tables
+    /// (unrelated to rare-label splitting).
     pub fn compile(
         expr: &Regex,
         inv: &impl Fn(Label) -> Label,
-        split_width: usize,
+        bp_split_width: usize,
     ) -> Result<Self, QueryError> {
         let shape = fastpath::shape_of(expr);
         // Both traversal directions are compiled eagerly: a plan is
@@ -85,8 +111,8 @@ impl PreparedQuery {
             let g = Glushkov::new(&fused)?;
             let g_rev = Glushkov::new(&rev)?;
             (
-                Some(BitParallel::with_split_width(&g, split_width)),
-                Some(BitParallel::with_split_width(&g_rev, split_width)),
+                Some(BitParallel::with_split_width(&g, bp_split_width)),
+                Some(BitParallel::with_split_width(&g_rev, bp_split_width)),
             )
         };
         Ok(Self {
@@ -95,7 +121,7 @@ impl PreparedQuery {
             fallback,
             bp,
             bp_rev,
-            split_width,
+            bp_split_width,
         })
     }
 
@@ -128,27 +154,17 @@ impl PreparedQuery {
         self.fallback
     }
 
-    /// The split width the tables were built with (evaluation uses the
-    /// prebuilt tables, not the per-call option).
-    pub fn split_width(&self) -> usize {
-        self.split_width
+    /// The §3.3 vertical split width the bit-parallel tables were built
+    /// with (evaluation uses the prebuilt tables, not the per-call
+    /// option). Unrelated to rare-label splitting.
+    pub fn bp_split_width(&self) -> usize {
+        self.bp_split_width
     }
 
-    /// Forward tables (absent on the fallback route).
+    /// Both directions' transition tables (absent on the fallback
+    /// route). The planner reads these for its cost estimates.
     pub(crate) fn tables(&self) -> Option<(&BitParallel, &BitParallel)> {
         Some((self.bp.as_ref()?, self.bp_rev.as_ref()?))
-    }
-
-    /// The route `evaluate` takes under `fast_paths`-enabled options —
-    /// the per-engine label for latency histograms.
-    pub fn route(&self, fast_paths: bool) -> EvalRoute {
-        if fast_paths && !matches!(self.shape, Shape::Other) {
-            EvalRoute::FastPath
-        } else if self.fallback {
-            EvalRoute::Fallback
-        } else {
-            EvalRoute::BitParallel
-        }
     }
 
     /// Approximate heap footprint, for cache byte accounting.
@@ -178,16 +194,23 @@ mod tests {
     fn routes_and_keys() {
         let single = Regex::label(1);
         let p = PreparedQuery::compile(&single, &inv, 8).unwrap();
-        assert_eq!(p.route(true), EvalRoute::FastPath);
-        assert_eq!(p.route(false), EvalRoute::BitParallel);
         assert!(!p.uses_fallback());
         assert_eq!(p.key(), "1");
+        assert!(!matches!(p.shape(), Shape::Other));
 
         let star = Regex::Star(Box::new(Regex::label(1)));
         let p = PreparedQuery::compile(&star, &inv, 8).unwrap();
-        assert_eq!(p.route(true), EvalRoute::BitParallel);
+        assert!(matches!(p.shape(), Shape::Other));
         assert!(p.tables().is_some());
         assert!(p.size_bytes() > 0);
+    }
+
+    #[test]
+    fn route_names_and_indices_are_dense() {
+        for (i, r) in EvalRoute::ALL.into_iter().enumerate() {
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(EvalRoute::Split.name(), "split");
     }
 
     #[test]
@@ -209,6 +232,5 @@ mod tests {
         let p = PreparedQuery::compile(&e, &inv, 8).unwrap();
         assert!(p.uses_fallback());
         assert!(p.tables().is_none());
-        assert_eq!(p.route(true), EvalRoute::Fallback);
     }
 }

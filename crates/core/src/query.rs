@@ -82,8 +82,22 @@ pub struct EngineOptions {
     /// filter `D[s]`, which termination and Theorem 4.1 rely on, is always
     /// on. See DESIGN.md "Deviations".
     pub node_pruning: bool,
-    /// Vertical split width `d` of the bit-parallel transition tables.
-    pub split_width: usize,
+    /// Vertical split width `d` of the §3.3 **bit-parallel transition
+    /// tables** (each table row is split into `⌈m/d⌉` chunks of `d`
+    /// bits, trading table size against lookups per step). This is a
+    /// *compilation* parameter of [`crate::PreparedQuery`] — it has
+    /// nothing to do with **rare-label splitting**, the §2/§6 evaluation
+    /// strategy the planner picks as [`crate::EvalRoute::Split`]. The
+    /// field was renamed from `split_width` so the two concepts cannot
+    /// be confused.
+    pub bp_split_width: usize,
+    /// Force the planner's evaluation route, bypassing its cost model
+    /// (the `fast_paths` toggle included). Infeasible forcings — a fast
+    /// path on a non-§5 shape, bit-parallel beyond the word width, a
+    /// split on an anchored or split-free query — fall back to the
+    /// natural choice. Differential tests use this to drive every route
+    /// over one corpus; `None` (the default) plans normally.
+    pub forced_route: Option<crate::plan::EvalRoute>,
     /// Record every product-graph visit `(node, fresh state mask)` into
     /// [`QueryOutput::trace`] — the information Fig. 6 tabulates. Costs
     /// one push per visit; off by default.
@@ -110,7 +124,8 @@ impl Default for EngineOptions {
             timeout: None,
             fast_paths: true,
             node_pruning: true,
-            split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
+            bp_split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
+            forced_route: None,
             collect_trace: false,
             node_budget: None,
         }
@@ -159,6 +174,12 @@ pub struct QueryOutput {
     pub budget_exhausted: bool,
     /// Traversal statistics.
     pub stats: TraversalStats,
+    /// The planner decision this output was produced under — the route
+    /// actually executed, its direction and split choice. Populated by
+    /// [`RpqEngine::evaluate_prepared`](crate::RpqEngine::evaluate_prepared)
+    /// (and everything built on it); `None` only for outputs assembled
+    /// outside the engine (the oracle, raw fast-path calls).
+    pub plan: Option<crate::planner::Plan>,
     /// Product-graph visits `(node, fresh states)` in BFS order, when
     /// [`EngineOptions::collect_trace`] is on.
     pub trace: Vec<(Id, u64)>,

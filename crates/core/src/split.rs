@@ -5,8 +5,17 @@
 //! must cross one of them, so enumerate the `p`-edges `(u, p, v)` and
 //! complete each side — sources matching `E1` into `u` (a backward run)
 //! and targets matching `E2` out of `v` (a backward run of `Ê2`). §6
-//! notes the ring "permit[s] running the NFA forwards or backwards from
-//! those labels"; this module is that future-work exploration.
+//! notes the ring permits "running the NFA forwards or backwards from
+//! those labels".
+//!
+//! The planner ([`crate::planner`]) picks this route —
+//! [`crate::EvalRoute::Split`] — for variable-to-variable queries whose
+//! rarest mandatory label undercuts the two-pass strategy's first
+//! expansion, and
+//! [`RpqEngine::evaluate_prepared`](crate::RpqEngine::evaluate_prepared)
+//! executes it through the crate-internal `evaluate_split_in`:
+//! sub-queries run on the *caller's* engine with the node budget and
+//! deadline shared cumulatively across every per-edge completion.
 
 use automata::Regex;
 use ring::{Id, Ring};
@@ -14,7 +23,8 @@ use std::time::Instant;
 use succinct::util::{FxHashMap, FxHashSet};
 
 use crate::engine::RpqEngine;
-use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term};
+use crate::plan::PreparedQuery;
+use crate::query::{EngineOptions, QueryOutput, Term};
 use crate::QueryError;
 
 /// A split of a top-level concatenation `E = prefix / label / suffix`
@@ -72,25 +82,65 @@ pub fn best_split(ring: &Ring, expr: &Regex) -> Option<Split> {
 }
 
 /// Evaluates the variable-to-variable query `(x, prefix/label/suffix, y)`
-/// by enumerating the label's edges and completing both sides, caching
-/// per-endpoint sub-results.
-///
-/// Produces exactly the default engine's answer set when neither run hits
-/// the result limit; under truncation the two strategies keep different
-/// (equally valid) prefixes of the answer set.
+/// on a fresh engine over `ring`. Convenience wrapper for standalone
+/// use (examples, property tests); the engine's own dispatch goes
+/// through the crate-internal `evaluate_split_in` so the split route
+/// shares the caller's mask tables, budget and deadline.
 pub fn evaluate_split(
     ring: &Ring,
     split: &Split,
     opts: &EngineOptions,
 ) -> Result<QueryOutput, QueryError> {
-    let mut engine = RpqEngine::new(ring);
     let deadline = opts.timeout.map(|t| Instant::now() + t);
+    evaluate_split_in(&mut RpqEngine::new(ring), split, opts, deadline)
+}
+
+/// Evaluates a split on the caller's engine, enumerating the label's
+/// edges and completing both sides with anchored sub-queries, caching
+/// per-endpoint sub-results.
+///
+/// Budgets are cumulative: each sub-query runs under the node budget the
+/// previous ones left over, and `deadline` (derived once from
+/// `opts.timeout` by the caller) bounds the whole split, not each
+/// completion. Sub-queries plan normally — any forced route in `opts`
+/// applies to the split decision already made, not to the (anchored,
+/// hence unsplittable) sides.
+///
+/// Produces exactly the default engine's answer set when no run hits a
+/// limit; under truncation the strategies keep different (equally valid)
+/// subsets of the answer set, with the same flags raised.
+pub(crate) fn evaluate_split_in(
+    engine: &mut RpqEngine<'_>,
+    split: &Split,
+    opts: &EngineOptions,
+    deadline: Option<Instant>,
+) -> Result<QueryOutput, QueryError> {
+    let ring = engine.ring();
+    let inv = |l: Id| ring.inverse_label(l);
+    // Compile each non-trivial side once; every per-edge completion
+    // re-anchors the same prepared query.
+    let prefix_plan = (!matches!(split.prefix, Regex::Epsilon))
+        .then(|| PreparedQuery::compile(&split.prefix, &inv, opts.bp_split_width))
+        .transpose()?;
+    let suffix_plan = (!matches!(split.suffix, Regex::Epsilon))
+        .then(|| PreparedQuery::compile(&split.suffix, &inv, opts.bp_split_width))
+        .transpose()?;
+
     let mut out = QueryOutput::default();
     let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
     let mut sources_cache: FxHashMap<Id, Vec<Id>> = FxHashMap::default();
     let mut targets_cache: FxHashMap<Id, Vec<Id>> = FxHashMap::default();
-    let prefix_is_eps = matches!(split.prefix, Regex::Epsilon);
-    let suffix_is_eps = matches!(split.suffix, Regex::Epsilon);
+
+    // Sub-queries inherit the caller's limits but plan on their own (the
+    // split decision is already made) and share the remaining budget.
+    let sub_opts = |out: &QueryOutput, deadline: Option<Instant>| EngineOptions {
+        forced_route: None,
+        node_budget: opts
+            .node_budget
+            .map(|nb| nb.saturating_sub(out.stats.product_nodes)),
+        timeout: deadline.map(|dl| dl.saturating_duration_since(Instant::now())),
+        ..*opts
+    };
 
     // Enumerate the split label's edges (u, p, v).
     let (b, e) = ring.pred_range(split.label);
@@ -105,18 +155,25 @@ pub fn evaluate_split(
                 break;
             }
         }
+        if out.budget_exhausted {
+            break;
+        }
         // Sources reaching u through the prefix.
-        if let std::collections::hash_map::Entry::Vacant(e) = sources_cache.entry(u) {
-            let srcs = if prefix_is_eps {
-                vec![u]
-            } else {
-                let q = RpqQuery::new(Term::Var, split.prefix.clone(), Term::Const(u));
-                let sub = engine.evaluate(&q, opts)?;
-                out.stats.add(&sub.stats);
-                out.timed_out |= sub.timed_out;
-                sub.pairs.into_iter().map(|(s, _)| s).collect()
+        if let std::collections::hash_map::Entry::Vacant(entry) = sources_cache.entry(u) {
+            let srcs = match &prefix_plan {
+                None => vec![u],
+                Some(plan) => {
+                    let sub = engine.evaluate_prepared(
+                        plan,
+                        Term::Var,
+                        Term::Const(u),
+                        &sub_opts(&out, deadline),
+                    )?;
+                    absorb(&mut out, &sub);
+                    sub.pairs.into_iter().map(|(s, _)| s).collect()
+                }
             };
-            e.insert(srcs);
+            entry.insert(srcs);
         }
         if sources_cache[&u].is_empty() {
             continue;
@@ -130,17 +187,24 @@ pub fn evaluate_split(
             .range_distinct(vr.0, vr.1, &mut |v, _, _| objects.push(v));
 
         for v in objects {
-            if let std::collections::hash_map::Entry::Vacant(e) = targets_cache.entry(v) {
-                let tgts = if suffix_is_eps {
-                    vec![v]
-                } else {
-                    let q = RpqQuery::new(Term::Const(v), split.suffix.clone(), Term::Var);
-                    let sub = engine.evaluate(&q, opts)?;
-                    out.stats.add(&sub.stats);
-                    out.timed_out |= sub.timed_out;
-                    sub.pairs.into_iter().map(|(_, o)| o).collect()
+            if out.budget_exhausted || out.timed_out {
+                break 'outer;
+            }
+            if let std::collections::hash_map::Entry::Vacant(entry) = targets_cache.entry(v) {
+                let tgts = match &suffix_plan {
+                    None => vec![v],
+                    Some(plan) => {
+                        let sub = engine.evaluate_prepared(
+                            plan,
+                            Term::Const(v),
+                            Term::Var,
+                            &sub_opts(&out, deadline),
+                        )?;
+                        absorb(&mut out, &sub);
+                        sub.pairs.into_iter().map(|(_, o)| o).collect()
+                    }
                 };
-                e.insert(tgts);
+                entry.insert(tgts);
             }
             for &s in &sources_cache[&u] {
                 for &o in &targets_cache[&v] {
@@ -158,10 +222,21 @@ pub fn evaluate_split(
     Ok(out)
 }
 
+/// Folds a sub-query's statistics and limit flags into the split's
+/// accumulated output (a truncated or budget-capped side means the
+/// overall answer set may be incomplete too).
+fn absorb(out: &mut QueryOutput, sub: &QueryOutput) {
+    out.stats.add(&sub.stats);
+    out.timed_out |= sub.timed_out;
+    out.truncated |= sub.truncated;
+    out.budget_exhausted |= sub.budget_exhausted;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::oracle::evaluate_naive;
+    use crate::query::RpqQuery;
     use ring::ring::RingOptions;
     use ring::{Graph, Triple};
 

@@ -17,6 +17,17 @@ impl<'r> RingStatistics<'r> {
         Self { ring }
     }
 
+    /// The underlying ring (statistics are cheap views over it).
+    pub fn ring(&self) -> &'r Ring {
+        self.ring
+    }
+
+    /// Total triples in the completed graph `G^` — the coarse upper
+    /// bound a negated-class position or a whole-graph scan charges.
+    pub fn n_triples(&self) -> usize {
+        self.ring.n_triples()
+    }
+
     /// Number of edges labeled `p`.
     pub fn pred_cardinality(&self, p: Id) -> usize {
         self.ring.pred_cardinality(p)

@@ -95,9 +95,12 @@ impl Histogram {
     }
 }
 
-/// The registry: query-lifecycle counters, admission gauges, and one
-/// latency histogram per evaluation route (plus cache hits and the
-/// all-routes aggregate).
+/// Number of evaluation routes ([`EvalRoute::ALL`]).
+const ROUTES: usize = EvalRoute::ALL.len();
+
+/// The registry: query-lifecycle counters, admission gauges, planner
+/// decision counts, and one latency histogram per evaluation route
+/// (plus cache hits and the all-routes aggregate).
 pub struct Metrics {
     started: Instant,
     /// Queries accepted into the queue.
@@ -121,8 +124,12 @@ pub struct Metrics {
     pub latency_all: Histogram,
     /// Latency of result-cache hits.
     pub latency_cached: Histogram,
-    /// Latency per evaluation route: fastpath, bitparallel, fallback.
-    pub latency_by_route: [Histogram; 3],
+    /// Latency per evaluation route, indexed by [`EvalRoute::index`]:
+    /// fastpath, bitparallel, split, fallback.
+    pub latency_by_route: [Histogram; ROUTES],
+    /// Planner decisions per route (every evaluated query counts once,
+    /// whether or not it completed; cache hits never reach the planner).
+    pub planner_decisions: [AtomicU64; ROUTES],
 }
 
 impl Metrics {
@@ -140,16 +147,18 @@ impl Metrics {
             latency_all: Histogram::default(),
             latency_cached: Histogram::default(),
             latency_by_route: Default::default(),
+            planner_decisions: Default::default(),
         }
     }
 
     /// The histogram for one evaluation route.
     pub fn route_histogram(&self, route: EvalRoute) -> &Histogram {
-        &self.latency_by_route[match route {
-            EvalRoute::FastPath => 0,
-            EvalRoute::BitParallel => 1,
-            EvalRoute::Fallback => 2,
-        }]
+        &self.latency_by_route[route.index()]
+    }
+
+    /// Counts one planner decision for `route`.
+    pub fn note_planner_decision(&self, route: EvalRoute) {
+        self.planner_decisions[route.index()].fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_queue_depth(&self, depth: usize) {
@@ -201,21 +210,32 @@ pub(crate) fn registry_json(
 ) -> String {
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let mut routes = String::new();
-    for (name, hist) in [
-        ("fastpath", &m.latency_by_route[0]),
-        ("bitparallel", &m.latency_by_route[1]),
-        ("fallback", &m.latency_by_route[2]),
-        ("cached", &m.latency_cached),
-    ] {
+    for r in EvalRoute::ALL {
+        let hist = m.route_histogram(r);
         if hist.non_empty() {
-            routes.push_str(&format!(",\"{}\":{}", name, hist.to_json()));
+            routes.push_str(&format!(",\"{}\":{}", r.name(), hist.to_json()));
         }
+    }
+    if m.latency_cached.non_empty() {
+        routes.push_str(&format!(",\"cached\":{}", m.latency_cached.to_json()));
+    }
+    let mut decisions = String::new();
+    for (i, r) in EvalRoute::ALL.into_iter().enumerate() {
+        if i > 0 {
+            decisions.push(',');
+        }
+        decisions.push_str(&format!(
+            "\"{}\":{}",
+            r.name(),
+            m.planner_decisions[r.index()].load(Ordering::Relaxed)
+        ));
     }
     format!(
         "{{\"uptime_ms\":{},\"workers\":{},\
          \"queries\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
          \"rejected_overload\":{},\"budget_exceeded\":{}}},\
          \"queue\":{{\"depth\":{},\"peak\":{},\"capacity\":{}}},\
+         \"planner\":{{\"decisions\":{{{}}}}},\
          \"plan_cache\":{},\"result_cache\":{},\
          \"latency_us\":{{\"all\":{}{}}}}}",
         m.uptime().as_millis(),
@@ -229,6 +249,7 @@ pub(crate) fn registry_json(
         m.queue_depth.load(Ordering::Relaxed),
         m.queue_peak.load(Ordering::Relaxed),
         queue_capacity,
+        decisions,
         plan_cache.to_json(),
         result_cache.to_json(),
         m.latency_all.to_json(),

@@ -129,6 +129,7 @@ mod tests {
             pairs,
             truncated: false,
             timed_out: false,
+            route: None,
             stats: Default::default(),
         })
     }

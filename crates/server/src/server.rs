@@ -21,7 +21,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use ring::Id;
-use rpq_core::{EngineOptions, PreparedQuery, RpqEngine, RpqQuery, Term, TraversalStats};
+use rpq_core::{
+    EngineOptions, EvalRoute, PreparedQuery, RpqEngine, RpqQuery, Term, TraversalStats,
+};
 use succinct::util::FxHashMap;
 
 use crate::metrics::{registry_json, Metrics};
@@ -69,8 +71,11 @@ pub struct ServerConfig {
     pub result_cache_bytes: usize,
     /// Budget applied to queries submitted without an explicit one.
     pub default_budget: QueryBudget,
-    /// Vertical split width of the bit-parallel tables.
-    pub split_width: usize,
+    /// §3.3 vertical split width `d` of the bit-parallel transition
+    /// tables compiled into cached plans (a table-layout knob — not
+    /// rare-label splitting, which the planner chooses per query as
+    /// `EvalRoute::Split`).
+    pub bp_split_width: usize,
 }
 
 impl Default for ServerConfig {
@@ -81,7 +86,7 @@ impl Default for ServerConfig {
             plan_cache_bytes: 4 << 20,
             result_cache_bytes: 16 << 20,
             default_budget: QueryBudget::default(),
-            split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
+            bp_split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
         }
     }
 }
@@ -97,6 +102,10 @@ pub struct QueryAnswer {
     pub truncated: bool,
     /// The timeout was hit (answer is partial).
     pub timed_out: bool,
+    /// The evaluation route the planner chose and the worker executed
+    /// (`None` only for answers predating evaluation, which do not
+    /// occur in practice; cache hits keep the original run's route).
+    pub route: Option<EvalRoute>,
     /// Engine traversal statistics.
     pub stats: TraversalStats,
 }
@@ -189,7 +198,7 @@ impl RpqServer {
             shutdown: AtomicBool::new(false),
             jobs: Mutex::new(FxHashMap::default()),
             next_id: AtomicU64::new(1),
-            plan_cache: PlanCache::new(config.plan_cache_bytes, config.split_width),
+            plan_cache: PlanCache::new(config.plan_cache_bytes, config.bp_split_width),
             result_cache: ResultCache::new(config.result_cache_bytes),
             metrics: Metrics::new(),
         });
@@ -537,6 +546,7 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
                 pairs: answer.pairs[..job.budget.max_results].to_vec(),
                 truncated: true,
                 timed_out: false,
+                route: answer.route,
                 stats: answer.stats,
             })
         } else {
@@ -566,7 +576,7 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
         limit: job.budget.max_results,
         timeout: job.budget.timeout,
         node_budget: job.budget.node_budget,
-        split_width: shared.config.split_width,
+        bp_split_width: shared.config.bp_split_width,
         ..EngineOptions::default()
     };
     let result = engine.evaluate_prepared(&plan, job.query.subject, job.query.object, &opts);
@@ -580,6 +590,12 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
             return;
         }
     };
+    // The route the planner chose and the engine executed — recorded in
+    // the output itself, so metrics can never disagree with evaluation.
+    let route = out.plan.as_ref().map(|p| p.route);
+    if let Some(r) = route {
+        metrics.note_planner_decision(r);
+    }
     if out.budget_exhausted {
         metrics.budget_exceeded.fetch_add(1, Ordering::Relaxed);
         metrics.failed.fetch_add(1, Ordering::Relaxed);
@@ -597,6 +613,7 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
         pairs,
         truncated: out.truncated,
         timed_out: out.timed_out,
+        route,
         stats: out.stats,
     });
     if answer.is_complete() {
@@ -605,9 +622,9 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
             .insert(job.key.clone(), Arc::clone(&answer));
     }
     metrics.latency_all.record(elapsed);
-    metrics
-        .route_histogram(plan.route(opts.fast_paths))
-        .record(elapsed);
+    if let Some(r) = route {
+        metrics.route_histogram(r).record(elapsed);
+    }
     if job.cancel.load(Ordering::Acquire) {
         metrics.cancelled.fetch_add(1, Ordering::Relaxed);
         job.finish(QueryStatus::Cancelled);

@@ -64,11 +64,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
   rpq-cli query <index.db> <s> <expr> <o>        run one 2RPQ (use ?vars)
-  rpq-cli explain <index.db> <s> <expr> <o>      show the evaluation plan
+  rpq-cli explain <index.db> <s> <expr> <o>      show the evaluation plan (human-readable)
   rpq-cli serve <index.db> [opts]                query service: one 's expr o' per stdin line
   rpq-cli batch <index.db> <queries.txt> [opts]  run a query file through the service
   rpq-cli stats <index.db>                       index statistics
   rpq-cli bench <index.db> <s> <expr> <o> [n]    time a query n times
+query/batch options:
+  --explain        print the planner's chosen plan (route, direction,
+                   split label, cost estimate) as stable JSON, one object
+                   per query, without evaluating anything
 serve/batch options:
   --workers <n>    worker threads (default: available parallelism)
   --metrics <file> write the metrics registry JSON there ('-' = stderr)
@@ -126,10 +130,16 @@ fn load(path: &str) -> Result<RpqDatabase, CliError> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), CliError> {
-    let [index, s, expr, o] = args else {
-        return Err(format!("query needs <index.db> <s> <expr> <o>\n{USAGE}").into());
+    let (explain_only, rest): (bool, Vec<String>) = split_explain_flag(args);
+    let [index, s, expr, o] = &rest[..] else {
+        return Err(format!("query needs <index.db> <s> <expr> <o> [--explain]\n{USAGE}").into());
     };
     let db = load(index)?;
+    if explain_only {
+        let plan = db.explain_plan(s, expr, o)?;
+        println!("{}", plan.to_json());
+        return Ok(());
+    }
     let opts = EngineOptions {
         timeout: Some(Duration::from_secs(60)),
         ..EngineOptions::default()
@@ -175,11 +185,18 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Strips a `--explain` flag from an argument list.
+fn split_explain_flag(args: &[String]) -> (bool, Vec<String>) {
+    let rest: Vec<String> = args.iter().filter(|a| *a != "--explain").cloned().collect();
+    (rest.len() != args.len(), rest)
+}
+
 /// Options shared by `serve` and `batch`.
 struct ServeOpts {
     positional: Vec<String>,
     workers: Option<usize>,
     metrics: Option<String>,
+    explain: bool,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
@@ -187,10 +204,12 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
         positional: Vec::new(),
         workers: None,
         metrics: None,
+        explain: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--explain" => opts.explain = true,
             "--workers" => {
                 let v = it
                     .next()
@@ -358,12 +377,15 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let opts = parse_serve_opts(args)?;
     let [index, queries] = &opts.positional[..] else {
         return Err(format!(
-            "batch needs <index.db> <queries.txt> [--workers n] [--metrics file]\n{USAGE}"
+            "batch needs <index.db> <queries.txt> [--explain] [--workers n] [--metrics file]\n{USAGE}"
         )
         .into());
     };
     let file = std::fs::File::open(queries)
         .map_err(|e| CliError::Other(format!("opening {queries}: {e}")))?;
+    if opts.explain {
+        return batch_explain(index, std::io::BufReader::new(file));
+    }
     let server = start_server(index, opts.workers)?;
     let t = Instant::now();
     let mut stdout = std::io::stdout().lock();
@@ -377,6 +399,33 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     );
     emit_metrics(&server, opts.metrics.as_deref())?;
     server.shutdown();
+    Ok(())
+}
+
+/// `batch --explain`: plan every query without evaluating — one stable
+/// JSON object per query line (parse failures become `{"error":...}`
+/// objects in place, so line N of the output always describes query N).
+fn batch_explain(index: &str, input: impl BufRead) -> Result<(), CliError> {
+    let db = load(index)?;
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("reading queries: {e}"))?;
+        let text = line.trim();
+        if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        let tokens: Vec<&str> = text.split_whitespace().collect();
+        let [s, expr, o] = tokens[..] else {
+            println!(
+                "{{\"error\":\"expected 3 fields 's expr o', got {}\"}}",
+                tokens.len()
+            );
+            continue;
+        };
+        match db.explain_plan(s, expr, o) {
+            Ok(plan) => println!("{}", plan.to_json()),
+            Err(e) => println!("{{\"error\":{:?}}}", e.to_string()),
+        }
+    }
     Ok(())
 }
 

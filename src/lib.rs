@@ -234,13 +234,27 @@ impl RpqDatabase {
             .map_err(DbError::Query)
     }
 
-    /// Explains the evaluation plan for a query (strategy, direction,
-    /// cardinalities, split opportunities) without running it.
+    /// Explains the evaluation plan for a query (route, direction,
+    /// cardinalities, split choice) without running it — the human-
+    /// readable rendering of [`Self::explain_plan`].
     pub fn explain(&self, subject: &str, expr: &str, object: &str) -> Result<String, DbError> {
-        let q = self.parse_query(subject, expr, object)?;
-        rpq_core::explain::explain(&self.ring, &q)
+        self.explain_plan(subject, expr, object)
             .map(|plan| plan.to_string())
-            .map_err(DbError::Query)
+    }
+
+    /// The structured plan behind [`Self::explain`]: the decision of the
+    /// shared cost-based planner — exactly what [`Self::query`] will
+    /// execute, since both consult `rpq_core::planner`. Render it with
+    /// [`rpq_core::explain::QueryPlan::to_json`] for stable
+    /// machine-readable output (the CLI's `--explain`).
+    pub fn explain_plan(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<rpq_core::explain::QueryPlan, DbError> {
+        let q = self.parse_query(subject, expr, object)?;
+        rpq_core::explain::explain(&self.ring, &q).map_err(DbError::Query)
     }
 
     /// Evaluates many queries concurrently (`n_threads` workers, dynamic

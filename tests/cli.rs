@@ -89,6 +89,46 @@ fn build_query_roundtrip() {
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("strategy:"), "{text}");
     assert!(text.contains("backward traversal"), "{text}");
+
+    // `query --explain`: the planner's decision as one stable JSON
+    // object, no evaluation (no result rows, no pair-count footer).
+    let out = cli()
+        .args([
+            "query",
+            index.to_str().unwrap(),
+            "baquedano",
+            "l5+/bus",
+            "?y",
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.starts_with("{\"pattern\":"), "{json}");
+    assert!(json.contains("\"route\":\"bitparallel\""), "{json}");
+    assert!(json.contains("\"direction\":\"from_subject\""), "{json}");
+    assert!(!json.contains("baquedano\t"), "--explain must not evaluate");
+
+    // `batch --explain`: one JSON object per query line, errors inline.
+    let queries = dir.join("queries.txt");
+    std::fs::write(&queries, "?x l5 ?y\nbaquedano l5+/bus ?y\nnot-enough\n").unwrap();
+    let out = cli()
+        .args([
+            "batch",
+            index.to_str().unwrap(),
+            queries.to_str().unwrap(),
+            "--explain",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = json.lines().collect();
+    assert_eq!(lines.len(), 3, "{json}");
+    assert!(lines[0].contains("\"route\":\"fastpath\""), "{json}");
+    assert!(lines[1].contains("\"route\":\"bitparallel\""), "{json}");
+    assert!(lines[2].contains("\"error\""), "{json}");
 }
 
 #[test]
