@@ -3,17 +3,22 @@
 use automata::glushkov::INITIAL;
 use automata::{BitParallel, Label};
 use ring::{Id, Ring};
-use std::collections::VecDeque;
 use std::time::{Duration, Instant};
-use succinct::util::{EpochArray, FxHashSet};
-use succinct::wavelet_matrix::RangeGuide;
+use succinct::util::{BitSet, EpochArray};
+use succinct::wavelet_matrix::{MultiRangeGuide, MultiTraversal, RangeGuide};
 use succinct::WaveletMatrix;
 
+use crate::pairbuf::PairBuffer;
 use crate::plan::{EvalRoute, PreparedQuery};
 use crate::planner::{self, Direction};
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
 use crate::stats::RingStatistics;
 use crate::{fastpath, QueryError};
+
+/// Frontier items batched through one `L_p` traversal at a time (bounds
+/// the per-level scratch; a BFS level larger than this is processed in
+/// chunks, in order).
+const FRONTIER_CHUNK: usize = 1024;
 
 /// The RPQ engine: borrows a [`Ring`] and owns the per-query working
 /// memory (the `B[v]`, `D[v]` and `D[s]` mask tables with constant-time
@@ -51,8 +56,31 @@ pub struct RpqEngine<'r> {
     ls_masks: EpochArray,
     /// `occ[v]`: whether any subject below wavelet node `v` of `L_s`
     /// occurs in the sequence (static per ring; drives the intersection
-    /// semantics of `ls_masks`).
-    ls_occupancy: Vec<bool>,
+    /// semantics of `ls_masks`). Packed one bit per node so the whole
+    /// table stays cache-resident on large rings.
+    ls_occupancy: BitSet,
+    /// Reusable frontier-batching scratch (buffers persist across
+    /// queries; no per-query allocation on the traversal hot path).
+    scratch: TraverseScratch,
+}
+
+/// Scratch buffers for the frontier-batched backward traversal.
+#[derive(Default)]
+struct TraverseScratch {
+    /// Batched `L_p` traversal state (layer-2 primitive).
+    mt: MultiTraversal,
+    /// The current BFS level: `(range of L_p, state mask)` per item.
+    frontier: Vec<(usize, usize, u64)>,
+    /// The next BFS level, accumulated while the current one is processed.
+    next_frontier: Vec<(usize, usize, u64)>,
+    /// Chunk ranges handed to the batched traversal.
+    ranges: Vec<(usize, usize)>,
+    /// Chunk state masks, parallel to `ranges`.
+    ds: Vec<u64>,
+    /// Per-item part-one output: `(pred, rank_b, rank_e, D & B[p])`.
+    pred_hits: Vec<Vec<(Label, usize, usize, u64)>>,
+    /// Part-two output: `(subject, fresh states)`.
+    subjects: Vec<(Id, u64)>,
 }
 
 /// Where a backward traversal starts.
@@ -84,24 +112,27 @@ impl<'r> RpqEngine<'r> {
         // Leaf occupancy from the predicate boundary of L_s: a node acts
         // as a subject iff its subject block is non-empty; internal nodes
         // OR their children, bottom-up.
-        let mut occ = vec![false; table_len];
+        let mut occ = BitSet::new(table_len);
         for s in 0..ring.n_nodes() {
             let (b, e) = ring.subject_range(s);
             if e > b {
-                occ[WaveletMatrix::node_index(width, s)] = true;
+                occ.set(WaveletMatrix::node_index(width, s));
             }
         }
         for level in (0..width).rev() {
             for prefix in 0..(1usize << level) {
                 let v = WaveletMatrix::node_index(level, prefix as u64);
                 let l = WaveletMatrix::node_index(level + 1, (prefix as u64) << 1);
-                occ[v] = occ[l] || occ[l + 1];
+                if occ.get(l) || occ.get(l + 1) {
+                    occ.set(v);
+                }
             }
         }
         Self {
             lp_masks: EpochArray::new(ring.l_p().node_table_len()),
             ls_masks: EpochArray::new(table_len),
             ls_occupancy: occ,
+            scratch: TraverseScratch::default(),
             ring,
         }
     }
@@ -322,14 +353,19 @@ impl<'r> RpqEngine<'r> {
         deadline: Option<Instant>,
     ) -> Result<QueryOutput, QueryError> {
         let mut out = QueryOutput::default();
-        let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
+        // Sorted-vec dedup instead of a hash set: pushes are a bump
+        // write, compaction amortizes, and truncation keeps a
+        // deterministic (smallest) subset. See [`PairBuffer`].
+        let mut pairs = PairBuffer::new();
 
-        // Zero-length paths: every existing node pairs with itself.
+        // Zero-length paths: every existing node pairs with itself
+        // (already distinct, so the raw length is the distinct count).
         if bp_e.is_nullable() {
             for v in 0..self.ring.n_nodes() {
                 if self.node_exists(v) {
-                    pairs.insert((v, v));
-                    if pairs.len() >= opts.limit {
+                    pairs.push((v, v));
+                    if pairs.distinct_reached(opts.limit) {
+                        pairs.truncate_distinct(opts.limit);
                         out.truncated = true;
                         break;
                     }
@@ -385,8 +421,10 @@ impl<'r> RpqEngine<'r> {
                 &mut |r| {
                     // Sources-first: a is a source, r its reachable target.
                     let pair = if sources_first { (a, r) } else { (r, a) };
-                    pairs.insert(pair);
-                    if pairs.len() >= opts.limit {
+                    pairs.push(pair);
+                    // Amortized probe; the post-loop settle is exact.
+                    if pairs.maybe_reached(opts.limit) {
+                        pairs.truncate_distinct(opts.limit);
                         hit_limit = true;
                         return false;
                     }
@@ -403,20 +441,32 @@ impl<'r> RpqEngine<'r> {
             }
         }
 
-        out.pairs = pairs.into_iter().collect();
+        // Exact settle: the amortized limit probe may have lagged.
+        if pairs.distinct_reached(opts.limit) {
+            pairs.truncate_distinct(opts.limit);
+            out.truncated = true;
+        }
+        out.pairs = pairs.into_sorted_vec();
         Ok(out)
     }
 
     fn node_exists(&self, v: Id) -> bool {
-        let (b, e) = self.ring.object_range(v);
-        if e > b {
-            return true;
-        }
-        let (b, e) = self.ring.subject_range(v);
-        e > b
+        node_exists(self.ring, v)
     }
 
-    /// The backward product-graph traversal (§4, parts one to three).
+    /// The backward product-graph traversal (§4, parts one to three),
+    /// frontier-batched: each BFS level's part-one (`L_p`) traversals run
+    /// as **one** batched wavelet sweep over the whole frontier
+    /// ([`WaveletMatrix::guided_traverse_multi`]), sharing node-start
+    /// ranks, `B[v]` mask lookups and cache lines across the level's
+    /// ranges. Part one only reads the static `B` masks, so batching it
+    /// is semantically transparent; items are then processed in exact
+    /// FIFO order (a FIFO queue visits whole levels consecutively), so
+    /// visit order, traces and the product-graph counters match the
+    /// item-at-a-time traversal bit for bit. (`wavelet_nodes` is the
+    /// exception: batched part-one consults each `L_p` node once per
+    /// frontier chunk instead of once per range, so that counter now
+    /// measures the batched workload.)
     #[allow(clippy::too_many_arguments)]
     /// Calls `report(r)` for every node where the initial NFA state newly
     /// activates; a `false` return aborts the traversal. `budget` caps
@@ -433,26 +483,42 @@ impl<'r> RpqEngine<'r> {
         mut trace: Option<&mut Vec<(Id, u64)>>,
         report: &mut dyn FnMut(Id) -> bool,
     ) -> Stop {
-        let ring = self.ring;
+        let Self {
+            ring,
+            lp_masks,
+            ls_masks,
+            ls_occupancy,
+            scratch,
+        } = self;
+        let ring: &Ring = ring;
         let lp = ring.l_p();
         let ls = ring.l_s();
         let width_p = lp.width();
         let width_s = ls.width();
 
-        self.lp_masks.reset();
-        self.ls_masks.reset();
+        lp_masks.reset();
+        ls_masks.reset();
         // Seed B[v] for all wavelet-node ancestors of the query's labels
         // (lazy initialization, O(m log |P|), §4.1).
         for &(label, mask) in bp.positive_label_masks() {
             for level in 0..=width_p {
                 let prefix = label >> (width_p - level);
-                self.lp_masks
-                    .or_with(WaveletMatrix::node_index(level, prefix), mask);
+                lp_masks.or_with(WaveletMatrix::node_index(level, prefix), mask);
             }
         }
         let neg = bp.negated_positions();
 
-        let mut queue: VecDeque<(usize, usize, u64)> = VecDeque::new();
+        let TraverseScratch {
+            mt,
+            frontier,
+            next_frontier,
+            ranges,
+            ds,
+            pred_hits,
+            subjects,
+        } = scratch;
+        frontier.clear();
+        next_frontier.clear();
         let d0 = bp.accept_mask();
         if d0 == 0 {
             return Stop::Completed;
@@ -461,8 +527,8 @@ impl<'r> RpqEngine<'r> {
             Start::Object(o) => {
                 // Mark F on the start node (§4.2) and report a zero-length
                 // match if the initial state is already accepting.
-                self.ls_masks.set(WaveletMatrix::node_index(width_s, o), d0);
-                if d0 & INITIAL != 0 && self.node_exists(o) {
+                ls_masks.set(WaveletMatrix::node_index(width_s, o), d0);
+                if d0 & INITIAL != 0 && node_exists(ring, o) {
                     stats.reported += 1;
                     if !report(o) {
                         return Stop::Completed;
@@ -470,127 +536,188 @@ impl<'r> RpqEngine<'r> {
                 }
                 let (b, e) = ring.object_range(o);
                 if e > b {
-                    queue.push_back((b, e, d0));
+                    frontier.push((b, e, d0));
                 }
             }
             Start::Full => {
                 let (b, e) = ring.full_range();
                 if e > b {
-                    queue.push_back((b, e, d0));
+                    frontier.push((b, e, d0));
                 }
             }
         }
 
-        let mut preds: Vec<(Label, usize, usize, u64)> = Vec::new();
-        let mut subjects: Vec<(Id, u64)> = Vec::new();
+        while !frontier.is_empty() {
+            let mut chunk_start = 0;
+            while chunk_start < frontier.len() {
+                let chunk =
+                    &frontier[chunk_start..(chunk_start + FRONTIER_CHUNK).min(frontier.len())];
+                chunk_start += chunk.len();
 
-        while let Some((b, e, d)) = queue.pop_front() {
-            stats.bfs_steps += 1;
-            if let Some(dl) = deadline {
-                if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
-                    return Stop::TimedOut;
+                // Part one, batched over the chunk: distinct relevant
+                // predicates reaching each range, found in one sweep.
+                ranges.clear();
+                ds.clear();
+                for &(b, e, d) in chunk {
+                    ranges.push((b, e));
+                    ds.push(d);
                 }
-            }
-
-            // Part one: distinct relevant predicates reaching this range.
-            preds.clear();
-            {
-                let mut guide = PredGuide {
-                    d,
-                    masks: &self.lp_masks,
-                    neg,
-                    width: width_p,
-                    out: &mut preds,
-                    nodes_entered: &mut stats.wavelet_nodes,
-                    last_mask: 0,
-                };
-                lp.guided_traverse(b, e, &mut guide);
-            }
-
-            for &(p, rb, re, d_and_b) in preds.iter() {
-                stats.product_edges += 1;
-                // Eq. 2: the same new state set for every subject (Fact 1).
-                let d_new = bp.apply_bwd(d_and_b);
-                if d_new == 0 {
-                    continue;
+                if pred_hits.len() < chunk.len() {
+                    pred_hits.resize_with(chunk.len(), Vec::new);
                 }
-                let base = ring.pred_range(p).0;
-                let (sb, se) = (base + rb, base + re);
-
-                // Part two: distinct unvisited subjects in the range.
-                subjects.clear();
+                for hits in pred_hits[..chunk.len()].iter_mut() {
+                    hits.clear();
+                }
+                let union_d = ds.iter().fold(0u64, |a, &d| a | d);
                 {
-                    let mut guide = SubjGuide {
-                        d_new,
-                        masks: &mut self.ls_masks,
-                        occ: &self.ls_occupancy,
-                        width: width_s,
-                        node_pruning: opts.node_pruning,
-                        out: &mut subjects,
+                    let mut guide = PredGuideMulti {
+                        ds,
+                        union_d,
+                        masks: lp_masks,
+                        neg,
+                        width: width_p,
+                        out: pred_hits,
                         nodes_entered: &mut stats.wavelet_nodes,
-                        pending_fresh: 0,
+                        node_mask: 0,
+                        pending: 0,
                     };
-                    ls.guided_traverse(sb, se, &mut guide);
+                    mt.run(lp, ranges, &mut guide);
+                }
+                stats.rank_ops += mt.ranks;
+                stats.rank_ops_saved += mt.ranks_saved;
+                // The batched sweep emits leaves in unspecified order;
+                // ascending-label order restores the exact predicate
+                // processing sequence (and traces) of the per-range
+                // traversal.
+                for hits in pred_hits[..chunk.len()].iter_mut() {
+                    hits.sort_unstable_by_key(|&(p, ..)| p);
                 }
 
-                for &(s, fresh) in subjects.iter() {
-                    if let Some(nb) = budget {
-                        if stats.product_nodes >= nb {
-                            return Stop::Budget;
+                // Items in FIFO order, each with its precomputed preds.
+                for (i, _) in chunk.iter().enumerate() {
+                    stats.bfs_steps += 1;
+                    if let Some(dl) = deadline {
+                        if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
+                            return Stop::TimedOut;
                         }
                     }
-                    stats.product_nodes += 1;
-                    if let Some(t) = trace.as_deref_mut() {
-                        t.push((s, fresh));
-                    }
-                    if fresh & INITIAL != 0 {
-                        stats.reported += 1;
-                        if !report(s) {
-                            return Stop::Completed;
+
+                    for &(p, rb, re, d_and_b) in pred_hits[i].iter() {
+                        stats.product_edges += 1;
+                        // Eq. 2: the same new state set for every subject
+                        // (Fact 1).
+                        let d_new = bp.apply_bwd(d_and_b);
+                        if d_new == 0 {
+                            continue;
                         }
-                    }
-                    // Part three: the subject becomes an object again.
-                    let (ob, oe) = ring.object_range(s);
-                    if oe > ob {
-                        queue.push_back((ob, oe, fresh));
+                        let base = ring.pred_range(p).0;
+                        let (sb, se) = (base + rb, base + re);
+
+                        // Part two: distinct unvisited subjects in range.
+                        subjects.clear();
+                        {
+                            let mut guide = SubjGuide {
+                                d_new,
+                                masks: ls_masks,
+                                occ: ls_occupancy,
+                                width: width_s,
+                                node_pruning: opts.node_pruning,
+                                out: subjects,
+                                nodes_entered: &mut stats.wavelet_nodes,
+                                pending_fresh: 0,
+                            };
+                            ls.guided_traverse(sb, se, &mut guide);
+                        }
+
+                        for &(s, fresh) in subjects.iter() {
+                            if let Some(nb) = budget {
+                                if stats.product_nodes >= nb {
+                                    return Stop::Budget;
+                                }
+                            }
+                            stats.product_nodes += 1;
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.push((s, fresh));
+                            }
+                            if fresh & INITIAL != 0 {
+                                stats.reported += 1;
+                                if !report(s) {
+                                    return Stop::Completed;
+                                }
+                            }
+                            // Part three: the subject becomes an object
+                            // again, on the next BFS level.
+                            let (ob, oe) = ring.object_range(s);
+                            if oe > ob {
+                                next_frontier.push((ob, oe, fresh));
+                            }
+                        }
                     }
                 }
             }
+            std::mem::swap(frontier, next_frontier);
+            next_frontier.clear();
         }
         Stop::Completed
     }
 }
 
-/// §4.1: prune `L_p` subtrees whose labels cannot reach an active state.
-struct PredGuide<'a> {
-    d: u64,
+/// Whether `v` occurs in the graph (as an object or a subject).
+fn node_exists(ring: &Ring, v: Id) -> bool {
+    let (b, e) = ring.object_range(v);
+    if e > b {
+        return true;
+    }
+    let (b, e) = ring.subject_range(v);
+    e > b
+}
+
+/// §4.1, frontier-batched: prune `L_p` subtrees whose labels cannot
+/// reach an active state of *any* frontier item (node level), then
+/// per item against its own mask (item level). The expensive per-node
+/// work — the `B[v]` lookup and the negated-class range mask — is done
+/// once per node for the whole frontier.
+struct PredGuideMulti<'a> {
+    /// Per-item state masks `D_i`.
+    ds: &'a [u64],
+    /// OR of all `D_i`: the node-level admission mask.
+    union_d: u64,
     masks: &'a EpochArray,
     neg: &'a [(u64, Vec<Label>)],
     width: usize,
-    out: &'a mut Vec<(Label, usize, usize, u64)>,
+    /// Per-item output: `(pred, rank_b, rank_e, D_i & B[p])`.
+    out: &'a mut Vec<Vec<(Label, usize, usize, u64)>>,
     nodes_entered: &'a mut u64,
-    /// `D & B[v]` of the most recently admitted node; when that node is a
-    /// leaf this is exactly `D & B[p]` for Eq. 2.
-    last_mask: u64,
+    /// `B[v] | neg` of the node admitted most recently.
+    node_mask: u64,
+    /// `D_i & B[p]` for the item whose `leaf` call comes next (the
+    /// [`MultiRangeGuide`] contract: `leaf` immediately follows its
+    /// item's `enter_item`); at a leaf this is exactly Eq. 2's input.
+    pending: u64,
 }
 
-impl RangeGuide for PredGuide<'_> {
-    fn enter(&mut self, level: usize, prefix: u64) -> bool {
+impl MultiRangeGuide for PredGuideMulti<'_> {
+    fn enter_node(&mut self, level: usize, prefix: u64) -> bool {
         *self.nodes_entered += 1;
         let mut mask = self.masks.get(WaveletMatrix::node_index(level, prefix));
         if !self.neg.is_empty() {
             mask |= neg_range_mask(self.neg, level, prefix, self.width);
         }
-        let active = mask & self.d;
+        self.node_mask = mask;
+        mask & self.union_d != 0
+    }
+
+    fn enter_item(&mut self, item: u32, _level: usize, _prefix: u64) -> bool {
+        let active = self.node_mask & self.ds[item as usize];
         if active == 0 {
             return false;
         }
-        self.last_mask = active;
+        self.pending = active;
         true
     }
 
-    fn leaf(&mut self, sym: u64, rank_b: usize, rank_e: usize) {
-        self.out.push((sym, rank_b, rank_e, self.last_mask));
+    fn leaf(&mut self, item: u32, sym: u64, rank_b: usize, rank_e: usize) {
+        self.out[item as usize].push((sym, rank_b, rank_e, self.pending));
     }
 }
 
@@ -619,7 +746,7 @@ fn neg_range_mask(neg: &[(u64, Vec<Label>)], level: usize, prefix: u64, width: u
 struct SubjGuide<'a> {
     d_new: u64,
     masks: &'a mut EpochArray,
-    occ: &'a [bool],
+    occ: &'a BitSet,
     width: usize,
     node_pruning: bool,
     out: &'a mut Vec<(Id, u64)>,
@@ -661,12 +788,12 @@ impl RangeGuide for SubjGuide<'_> {
             for level in (0..self.width).rev() {
                 prefix >>= 1;
                 let left = WaveletMatrix::node_index(level + 1, prefix << 1);
-                let dl = if self.occ[left] {
+                let dl = if self.occ.get(left) {
                     self.masks.get(left)
                 } else {
                     u64::MAX
                 };
-                let dr = if self.occ[left + 1] {
+                let dr = if self.occ.get(left + 1) {
                     self.masks.get(left + 1)
                 } else {
                     u64::MAX

@@ -10,10 +10,17 @@ use automata::ast::{Lit, Regex};
 use automata::Label;
 use ring::{Id, Ring};
 use std::time::Instant;
-use succinct::util::FxHashSet;
+use succinct::wavelet_matrix::MultiRangeGuide;
 
+use crate::pairbuf::PairBuffer;
 use crate::query::{EngineOptions, QueryOutput, Term};
 use crate::QueryError;
+
+/// Midpoints/subjects stepped through the wavelet layers per batch: the
+/// backward-search ranks of a whole batch share one node-start chain
+/// ([`ring::Ring::backward_step_by_pred_multi`]) and the distinct-subject
+/// sweeps share node entries; limits are re-checked between batches.
+const STEP_BATCH: usize = 256;
 
 /// Recognized specializable expression shapes.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -79,11 +86,12 @@ pub fn evaluate(
 ) -> Result<QueryOutput, QueryError> {
     let mut out = QueryOutput::default();
     let mut sink = Sink {
-        pairs: FxHashSet::default(),
+        buf: PairBuffer::new(),
         limit: opts.limit,
         // The fast paths touch one product node per reported pair, so the
         // node budget degenerates to a pair cap here.
         node_budget: opts.node_budget.map_or(usize::MAX, |nb| nb as usize),
+        at_budget: false,
         deadline,
         truncated: false,
         timed_out: false,
@@ -102,19 +110,26 @@ pub fn evaluate(
         Shape::Concat2(p1, p2) => concat2(ring, *p1, *p2, subject, object, &mut sink),
         Shape::Other => unreachable!("fastpath::evaluate called on a general shape"),
     }
-    out.stats.reported = sink.pairs.len() as u64;
-    out.stats.product_nodes = sink.pairs.len() as u64;
+    sink.settle();
+    let distinct = sink.buf.distinct_len() as u64;
+    out.stats.reported = distinct;
+    out.stats.product_nodes = distinct;
     out.truncated = sink.truncated;
     out.timed_out = sink.timed_out;
     out.budget_exhausted = sink.budget_exhausted;
-    out.pairs = sink.pairs.into_iter().collect();
+    out.pairs = sink.buf.into_sorted_vec();
     Ok(out)
 }
 
+/// Result collector: a [`PairBuffer`] (sorted-vec dedup, no hashing on
+/// the hot path) plus exact limit/budget threshold tracking.
 struct Sink {
-    pairs: FxHashSet<(Id, Id)>,
+    buf: PairBuffer,
     limit: usize,
     node_budget: usize,
+    /// The distinct count has reached `node_budget`: the answer set must
+    /// not grow further, only flag attempts to grow it.
+    at_budget: bool,
     deadline: Option<Instant>,
     truncated: bool,
     timed_out: bool,
@@ -123,18 +138,43 @@ struct Sink {
 
 impl Sink {
     fn push(&mut self, pair: (Id, Id)) {
-        if self.pairs.len() >= self.node_budget {
+        if self.at_budget {
             // Only a pair that would *grow* the set exhausts the budget;
             // re-finding an already-counted pair is free.
-            if !self.pairs.contains(&pair) {
+            if !self.buf.contains(pair) {
                 self.budget_exhausted = true;
             }
             return;
         }
-        if self.pairs.len() < self.limit {
-            self.pairs.insert(pair);
+        if self.truncated {
+            return;
         }
-        if self.pairs.len() >= self.limit {
+        self.buf.push(pair);
+        // Amortized probe against the nearest cap; `settle()` applies the
+        // exact thresholds (detection lag only means a bounded amount of
+        // extra enumeration — truncation keeps the answer set exact).
+        let cap = self.limit.min(self.node_budget);
+        if cap != usize::MAX && self.buf.maybe_reached(cap) {
+            self.settle();
+        }
+    }
+
+    /// Applies the limit/budget thresholds exactly (compacts once).
+    fn settle(&mut self) {
+        if self.at_budget || self.truncated {
+            return;
+        }
+        let d = self.buf.distinct_len();
+        if self.node_budget != usize::MAX && d >= self.node_budget {
+            if d > self.node_budget {
+                // A pair grew the set past the cap before detection.
+                self.budget_exhausted = true;
+            }
+            self.buf.truncate_distinct(self.node_budget);
+            self.at_budget = true;
+        }
+        if d >= self.limit {
+            self.buf.truncate_distinct(self.limit);
             self.truncated = true;
         }
     }
@@ -143,8 +183,11 @@ impl Sink {
         if self.truncated || self.budget_exhausted {
             return true;
         }
+        // `full()` is consulted once per enumeration batch, not per pair,
+        // so an unconditional clock read is cheap — and a conditional one
+        // would almost never fire.
         if let Some(dl) = self.deadline {
-            if self.pairs.len() % 1024 == 1023 && Instant::now() >= dl {
+            if Instant::now() >= dl {
                 self.timed_out = true;
                 return true;
             }
@@ -157,6 +200,24 @@ impl Sink {
 fn distinct_ls(ring: &Ring, range: (usize, usize), f: &mut impl FnMut(Id)) {
     ring.l_s()
         .range_distinct(range.0, range.1, &mut |v, _, _| f(v));
+}
+
+/// Distinct symbols of many `L_s` ranges in one batched sweep:
+/// `f(item, sym)` per distinct symbol of `ranges[item]`.
+fn distinct_ls_multi(ring: &Ring, ranges: &[(usize, usize)], f: &mut impl FnMut(u32, Id)) {
+    struct All<'a, F>(&'a mut F);
+    impl<F: FnMut(u32, u64)> MultiRangeGuide for All<'_, F> {
+        fn enter_node(&mut self, _: usize, _: u64) -> bool {
+            true
+        }
+        fn enter_item(&mut self, _: u32, _: usize, _: u64) -> bool {
+            true
+        }
+        fn leaf(&mut self, item: u32, sym: u64, _: usize, _: usize) {
+            (self.0)(item, sym)
+        }
+    }
+    ring.l_s().guided_traverse_multi(ranges, &mut All(f));
 }
 
 /// `(x, p, y)` and its anchored forms, via backward search only (§5):
@@ -180,15 +241,23 @@ fn single(ring: &Ring, p: Label, subject: Term, object: Term, sink: &mut Sink) {
             distinct_ls(ring, r, &mut |o| sink.push((s, o)));
         }
         (Term::Var, Term::Var) => {
-            // All subjects of p, then the objects of each.
+            // All subjects of p, then the objects of each — backward
+            // steps and distinct sweeps batched STEP_BATCH subjects at
+            // a time.
             let mut subjects = Vec::new();
             distinct_ls(ring, ring.pred_range(p), &mut |s| subjects.push(s));
-            for s in subjects {
+            let mut stepped = Vec::with_capacity(STEP_BATCH);
+            for chunk in subjects.chunks(STEP_BATCH) {
                 if sink.full() {
                     return;
                 }
-                let r = ring.backward_step_by_pred(ring.object_range(s), pi);
-                distinct_ls(ring, r, &mut |o| sink.push((s, o)));
+                let ranges: Vec<(usize, usize)> =
+                    chunk.iter().map(|&s| ring.object_range(s)).collect();
+                stepped.clear();
+                ring.backward_step_by_pred_multi(&ranges, pi, &mut stepped);
+                distinct_ls_multi(ring, &stepped, &mut |item, o| {
+                    sink.push((chunk[item as usize], o))
+                });
             }
         }
     }
@@ -206,25 +275,39 @@ fn concat2(ring: &Ring, p1: Label, p2: Label, subject: Term, object: Term, sink:
             let targets_of_p1 = ring.pred_range(p1i);
             let sources_of_p2 = ring.pred_range(p2);
             let mids = ring.l_s().range_intersect(targets_of_p1, sources_of_p2);
-            for (z, _, _) in mids {
+            // Per batch of midpoints: both backward steps share their
+            // rank chains, and the source/object sweeps each run as one
+            // batched traversal.
+            let mut sources: Vec<Vec<Id>> = Vec::new();
+            let mut objects: Vec<Vec<Id>> = Vec::new();
+            let mut stepped = Vec::with_capacity(STEP_BATCH);
+            for chunk in mids.chunks(STEP_BATCH) {
                 if sink.full() {
                     return;
                 }
-                let mut sources = Vec::new();
-                distinct_ls(
-                    ring,
-                    ring.backward_step_by_pred(ring.object_range(z), p1),
-                    &mut |s| sources.push(s),
-                );
-                let mut objects = Vec::new();
-                distinct_ls(
-                    ring,
-                    ring.backward_step_by_pred(ring.object_range(z), p2i),
-                    &mut |o| objects.push(o),
-                );
-                for &s in &sources {
-                    for &o in &objects {
-                        sink.push((s, o));
+                let ranges: Vec<(usize, usize)> = chunk
+                    .iter()
+                    .map(|&(z, _, _)| ring.object_range(z))
+                    .collect();
+                sources.iter_mut().for_each(Vec::clear);
+                sources.resize_with(sources.len().max(chunk.len()), Vec::new);
+                stepped.clear();
+                ring.backward_step_by_pred_multi(&ranges, p1, &mut stepped);
+                distinct_ls_multi(ring, &stepped, &mut |item, s| {
+                    sources[item as usize].push(s)
+                });
+                objects.iter_mut().for_each(Vec::clear);
+                objects.resize_with(objects.len().max(chunk.len()), Vec::new);
+                stepped.clear();
+                ring.backward_step_by_pred_multi(&ranges, p2i, &mut stepped);
+                distinct_ls_multi(ring, &stepped, &mut |item, o| {
+                    objects[item as usize].push(o)
+                });
+                for i in 0..chunk.len() {
+                    for &s in &sources[i] {
+                        for &o in &objects[i] {
+                            sink.push((s, o));
+                        }
                     }
                 }
             }
@@ -236,15 +319,16 @@ fn concat2(ring: &Ring, p1: Label, p2: Label, subject: Term, object: Term, sink:
                 ring.backward_step_by_pred(ring.object_range(s), p1i),
                 &mut |z| mids.push(z),
             );
-            for z in mids {
+            let mut stepped = Vec::with_capacity(STEP_BATCH);
+            for chunk in mids.chunks(STEP_BATCH) {
                 if sink.full() {
                     return;
                 }
-                distinct_ls(
-                    ring,
-                    ring.backward_step_by_pred(ring.object_range(z), p2i),
-                    &mut |o| sink.push((s, o)),
-                );
+                let ranges: Vec<(usize, usize)> =
+                    chunk.iter().map(|&z| ring.object_range(z)).collect();
+                stepped.clear();
+                ring.backward_step_by_pred_multi(&ranges, p2i, &mut stepped);
+                distinct_ls_multi(ring, &stepped, &mut |_, o| sink.push((s, o)));
             }
         }
         (Term::Var, Term::Const(o)) => {
@@ -254,15 +338,16 @@ fn concat2(ring: &Ring, p1: Label, p2: Label, subject: Term, object: Term, sink:
                 ring.backward_step_by_pred(ring.object_range(o), p2),
                 &mut |z| mids.push(z),
             );
-            for z in mids {
+            let mut stepped = Vec::with_capacity(STEP_BATCH);
+            for chunk in mids.chunks(STEP_BATCH) {
                 if sink.full() {
                     return;
                 }
-                distinct_ls(
-                    ring,
-                    ring.backward_step_by_pred(ring.object_range(z), p1),
-                    &mut |s| sink.push((s, o)),
-                );
+                let ranges: Vec<(usize, usize)> =
+                    chunk.iter().map(|&z| ring.object_range(z)).collect();
+                stepped.clear();
+                ring.backward_step_by_pred_multi(&ranges, p1, &mut stepped);
+                distinct_ls_multi(ring, &stepped, &mut |_, s| sink.push((s, o)));
             }
         }
         (Term::Const(s), Term::Const(o)) => {

@@ -37,6 +37,7 @@ pub mod explain;
 pub mod fallback;
 pub mod fastpath;
 pub mod oracle;
+pub mod pairbuf;
 pub mod parallel;
 pub mod plan;
 pub mod planner;

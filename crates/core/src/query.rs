@@ -146,6 +146,12 @@ pub struct TraversalStats {
     pub bfs_steps: u64,
     /// Answers reported before deduplication.
     pub reported: u64,
+    /// Wavelet-level rank computations performed by batched traversals.
+    pub rank_ops: u64,
+    /// Rank computations the frontier batching avoided relative to
+    /// per-range traversal (shared node starts, merged directory
+    /// probes) — the win the succinct hot-path layer is measured by.
+    pub rank_ops_saved: u64,
 }
 
 impl TraversalStats {
@@ -155,6 +161,8 @@ impl TraversalStats {
         self.wavelet_nodes += other.wavelet_nodes;
         self.bfs_steps += other.bfs_steps;
         self.reported += other.reported;
+        self.rank_ops += other.rank_ops;
+        self.rank_ops_saved += other.rank_ops_saved;
     }
 }
 

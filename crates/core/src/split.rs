@@ -20,9 +20,10 @@
 use automata::Regex;
 use ring::{Id, Ring};
 use std::time::Instant;
-use succinct::util::{FxHashMap, FxHashSet};
+use succinct::util::FxHashMap;
 
 use crate::engine::RpqEngine;
+use crate::pairbuf::PairBuffer;
 use crate::plan::PreparedQuery;
 use crate::query::{EngineOptions, QueryOutput, Term};
 use crate::QueryError;
@@ -127,7 +128,7 @@ pub(crate) fn evaluate_split_in(
         .transpose()?;
 
     let mut out = QueryOutput::default();
-    let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
+    let mut pairs = PairBuffer::new();
     let mut sources_cache: FxHashMap<Id, Vec<Id>> = FxHashMap::default();
     let mut targets_cache: FxHashMap<Id, Vec<Id>> = FxHashMap::default();
 
@@ -208,8 +209,10 @@ pub(crate) fn evaluate_split_in(
             }
             for &s in &sources_cache[&u] {
                 for &o in &targets_cache[&v] {
-                    pairs.insert((s, o));
-                    if pairs.len() >= opts.limit {
+                    pairs.push((s, o));
+                    // Amortized probe; the post-loop settle is exact.
+                    if pairs.maybe_reached(opts.limit) {
+                        pairs.truncate_distinct(opts.limit);
                         out.truncated = true;
                         break 'outer;
                     }
@@ -217,7 +220,11 @@ pub(crate) fn evaluate_split_in(
             }
         }
     }
-    out.pairs = pairs.into_iter().collect();
+    if pairs.distinct_reached(opts.limit) {
+        pairs.truncate_distinct(opts.limit);
+        out.truncated = true;
+    }
+    out.pairs = pairs.into_sorted_vec();
     out.stats.reported = out.pairs.len() as u64;
     Ok(out)
 }

@@ -288,6 +288,47 @@ impl Ring {
         (base + self.l_p.rank(p, b), base + self.l_p.rank(p, e))
     }
 
+    /// Batched [`Self::backward_step_by_pred`]: maps every range of
+    /// `ranges` (over `L_p`) to its subject range in `L_s` in one pass,
+    /// appending to `out`. All the ranges step by the *same* predicate, so
+    /// the per-level node-start chain of the wavelet rank is shared across
+    /// the batch ([`WaveletMatrix::rank_batch`]) — the LF-walk/backward-step
+    /// helper the batched frontier expansion uses.
+    pub fn backward_step_by_pred_multi(
+        &self,
+        ranges: &[(usize, usize)],
+        p: Id,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        let base = self.c_p.get(p);
+        let mut pos: Vec<usize> = Vec::with_capacity(ranges.len() * 2);
+        for &(b, e) in ranges {
+            pos.push(b);
+            pos.push(e);
+        }
+        self.l_p.rank_batch(p, &mut pos);
+        out.extend(pos.chunks_exact(2).map(|c| (base + c[0], base + c[1])));
+    }
+
+    /// Batched [`Self::backward_step_by_subject`] (ranges over `L_s`,
+    /// results over `L_o`), sharing the rank chain like
+    /// [`Self::backward_step_by_pred_multi`].
+    pub fn backward_step_by_subject_multi(
+        &self,
+        ranges: &[(usize, usize)],
+        s: Id,
+        out: &mut Vec<(usize, usize)>,
+    ) {
+        let base = self.c_s.get(s);
+        let mut pos: Vec<usize> = Vec::with_capacity(ranges.len() * 2);
+        for &(b, e) in ranges {
+            pos.push(b);
+            pos.push(e);
+        }
+        self.l_s.rank_batch(s, &mut pos);
+        out.extend(pos.chunks_exact(2).map(|c| (base + c[0], base + c[1])));
+    }
+
     /// Backward-search step by subject: maps a range of `L_s` to the range
     /// of `L_o` holding the objects of those triples with subject `s`.
     #[inline]
@@ -561,6 +602,31 @@ mod tests {
         assert_eq!(r.inverse_label(3), 1);
         assert!(r.contains(1, 2, 0));
         assert!(r.contains(2, 3, 1));
+    }
+
+    #[test]
+    fn batched_backward_steps_match_single() {
+        let r = paper_ring();
+        let ranges: Vec<(usize, usize)> = (0..5).map(|o| r.object_range(o)).collect();
+        for p in 0..5 {
+            let mut batched = Vec::new();
+            r.backward_step_by_pred_multi(&ranges, p, &mut batched);
+            let single: Vec<(usize, usize)> = ranges
+                .iter()
+                .map(|&rg| r.backward_step_by_pred(rg, p))
+                .collect();
+            assert_eq!(batched, single, "pred {p}");
+        }
+        let ls_ranges: Vec<(usize, usize)> = (0..5).map(|p| r.pred_range(p)).collect();
+        for s in 0..5 {
+            let mut batched = Vec::new();
+            r.backward_step_by_subject_multi(&ls_ranges, s, &mut batched);
+            let single: Vec<(usize, usize)> = ls_ranges
+                .iter()
+                .map(|&rg| r.backward_step_by_subject(rg, s))
+                .collect();
+            assert_eq!(batched, single, "subject {s}");
+        }
     }
 
     #[test]

@@ -130,6 +130,12 @@ pub struct Metrics {
     /// Planner decisions per route (every evaluated query counts once,
     /// whether or not it completed; cache hits never reach the planner).
     pub planner_decisions: [AtomicU64; ROUTES],
+    /// Wavelet rank computations performed by batched traversals, summed
+    /// over every evaluated query.
+    pub rank_ops: AtomicU64,
+    /// Rank computations the frontier batching avoided (vs per-range
+    /// traversal) — the succinct hot-path win, observable in production.
+    pub rank_ops_saved: AtomicU64,
 }
 
 impl Metrics {
@@ -148,7 +154,16 @@ impl Metrics {
             latency_cached: Histogram::default(),
             latency_by_route: Default::default(),
             planner_decisions: Default::default(),
+            rank_ops: AtomicU64::new(0),
+            rank_ops_saved: AtomicU64::new(0),
         }
+    }
+
+    /// Folds one query's traversal counters into the registry.
+    pub fn note_traversal(&self, stats: &rpq_core::TraversalStats) {
+        self.rank_ops.fetch_add(stats.rank_ops, Ordering::Relaxed);
+        self.rank_ops_saved
+            .fetch_add(stats.rank_ops_saved, Ordering::Relaxed);
     }
 
     /// The histogram for one evaluation route.
@@ -236,6 +251,7 @@ pub(crate) fn registry_json(
          \"rejected_overload\":{},\"budget_exceeded\":{}}},\
          \"queue\":{{\"depth\":{},\"peak\":{},\"capacity\":{}}},\
          \"planner\":{{\"decisions\":{{{}}}}},\
+         \"traversal\":{{\"rank_ops\":{},\"rank_ops_saved\":{}}},\
          \"plan_cache\":{},\"result_cache\":{},\
          \"latency_us\":{{\"all\":{}{}}}}}",
         m.uptime().as_millis(),
@@ -250,6 +266,8 @@ pub(crate) fn registry_json(
         m.queue_peak.load(Ordering::Relaxed),
         queue_capacity,
         decisions,
+        m.rank_ops.load(Ordering::Relaxed),
+        m.rank_ops_saved.load(Ordering::Relaxed),
         plan_cache.to_json(),
         result_cache.to_json(),
         m.latency_all.to_json(),

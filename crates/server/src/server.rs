@@ -596,6 +596,7 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
     if let Some(r) = route {
         metrics.note_planner_decision(r);
     }
+    metrics.note_traversal(&out.stats);
     if out.budget_exhausted {
         metrics.budget_exceeded.fetch_add(1, Ordering::Relaxed);
         metrics.failed.fetch_add(1, Ordering::Relaxed);

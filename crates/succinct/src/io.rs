@@ -150,8 +150,18 @@ impl Persist for RankSelect {
     const MAGIC: [u8; 4] = *b"RRs1";
 
     fn write_payload(&self, w: &mut impl Write) -> io::Result<()> {
+        // Only the logical bit words are serialized — never the
+        // interleaved rank directory or the select samples, which are
+        // rebuilt on load. The on-disk bytes are therefore a pure
+        // function of the bits and stay stable across directory-layout
+        // changes (the interleaved/sampled layout reads and writes the
+        // exact bytes the original split-directory layout did).
         write_u64(w, self.len() as u64)?;
-        write_u64s(w, self.words())
+        write_u64(w, self.n_bit_words() as u64)?;
+        for i in 0..self.n_bit_words() {
+            write_u64(w, self.bit_word(i))?;
+        }
+        Ok(())
     }
 
     fn read_payload(r: &mut impl Read) -> io::Result<Self> {
@@ -289,6 +299,58 @@ mod tests {
         for i in (0..=1000).step_by(37) {
             assert_eq!(rs.rank1(i), back.rank1(i));
         }
+    }
+
+    /// The serialized bytes are the *bits*, not the directory: a
+    /// `RankSelect` must serialize byte-for-byte like the `BitVec` it was
+    /// built from (modulo the magic tag), so structures written before
+    /// the interleaved/sampled directory layout load unchanged and
+    /// vice versa — loading always rebuilds the directories.
+    #[test]
+    fn rank_select_bytes_match_bitvec_payload() {
+        let bv = BitVec::from_bits((0..900).map(|i| i % 7 == 2 || i % 13 == 0));
+        let rs = RankSelect::new(bv.clone());
+        let mut rs_bytes = Vec::new();
+        rs.write_to(&mut rs_bytes).unwrap();
+        let mut bv_bytes = Vec::new();
+        bv.write_to(&mut bv_bytes).unwrap();
+        assert_eq!(&rs_bytes[4..], &bv_bytes[4..], "payloads diverge");
+        // And a custom select sampling rate never leaks into the bytes.
+        let resampled = RankSelect::with_select_sample(bv, 64);
+        let mut resampled_bytes = Vec::new();
+        resampled.write_to(&mut resampled_bytes).unwrap();
+        assert_eq!(rs_bytes, resampled_bytes);
+    }
+
+    /// Serialization is idempotent across a load: write → read → write
+    /// yields identical bytes (directories are derived state only).
+    #[test]
+    fn rank_select_write_read_write_is_stable() {
+        let rs = RankSelect::new(BitVec::from_bits((0..3000).map(|i| i % 5 != 3)));
+        let mut first = Vec::new();
+        rs.write_to(&mut first).unwrap();
+        let back = RankSelect::read_from(&mut first.as_slice()).unwrap();
+        let mut second = Vec::new();
+        back.write_to(&mut second).unwrap();
+        assert_eq!(first, second);
+    }
+
+    /// A future format bump must fail in an old binary with an error that
+    /// names both versions, not a decode panic.
+    #[test]
+    fn future_format_version_is_a_clear_error() {
+        let rs = RankSelect::new(BitVec::from_bits((0..100).map(|i| i % 2 == 0)));
+        let mut buf = Vec::new();
+        rs.write_to(&mut buf).unwrap();
+        buf[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        let err = RankSelect::read_from(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("{}", FORMAT_VERSION + 1))
+                && msg.contains(&format!("expected {FORMAT_VERSION}")),
+            "unhelpful version error: {msg}"
+        );
     }
 
     #[test]

@@ -61,6 +61,68 @@ pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
 /// A `HashSet` keyed with [`FxHasher`].
 pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
 
+/// A fixed-size packed bitset backed by `u64` words: 1 bit per flag
+/// instead of the byte `Vec<bool>` costs, so large flag tables (one per
+/// graph node or wavelet node) stay cache-resident.
+#[derive(Clone, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A set of `len` flags, all clear.
+    pub fn new(len: usize) -> Self {
+        Self {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of flags.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has no flags.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads flag `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets flag `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears flag `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Number of set flags.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Heap bytes owned by the set.
+    pub fn size_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+}
+
 /// An array of `u64` cells with *O*(1) logical reset.
 ///
 /// This realizes the compact constant-time lazy-initialization structure the
@@ -159,6 +221,27 @@ mod tests {
         m.insert((2, 1), 4);
         assert_eq!(m.get(&(1, 2)), Some(&3));
         assert_eq!(m.get(&(2, 1)), Some(&4));
+    }
+
+    #[test]
+    fn bitset_set_get_clear() {
+        let mut s = BitSet::new(300);
+        assert_eq!(s.len(), 300);
+        assert!(!s.is_empty());
+        assert!(!s.get(299));
+        s.set(0);
+        s.set(63);
+        s.set(64);
+        s.set(299);
+        assert!(s.get(0) && s.get(63) && s.get(64) && s.get(299));
+        assert!(!s.get(65));
+        assert_eq!(s.count_ones(), 4);
+        s.clear(64);
+        assert!(!s.get(64));
+        assert_eq!(s.count_ones(), 3);
+        // An eighth of the Vec<bool> footprint.
+        assert!(s.size_bytes() <= 300 / 8 + 8);
+        assert!(BitSet::new(0).is_empty());
     }
 
     #[test]

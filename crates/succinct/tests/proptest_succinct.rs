@@ -3,10 +3,25 @@
 //! agree on every operation for arbitrary inputs.
 
 use proptest::prelude::*;
+use succinct::wavelet_matrix::MultiRangeGuide;
 use succinct::{BitVec, IntVec, RankSelect, WaveletMatrix, WaveletTree};
 
 fn naive_rank(syms: &[u64], sym: u64, i: usize) -> usize {
     syms[..i].iter().filter(|&&s| s == sym).count()
+}
+
+/// All-admitting multi-range guide collecting `(item, sym, rb, re)`.
+struct CollectMulti(Vec<(u32, u64, usize, usize)>);
+impl MultiRangeGuide for CollectMulti {
+    fn enter_node(&mut self, _: usize, _: u64) -> bool {
+        true
+    }
+    fn enter_item(&mut self, _: u32, _: usize, _: u64) -> bool {
+        true
+    }
+    fn leaf(&mut self, item: u32, sym: u64, rb: usize, re: usize) {
+        self.0.push((item, sym, rb, re));
+    }
 }
 
 proptest! {
@@ -39,6 +54,94 @@ proptest! {
             }
         }
         prop_assert_eq!(rs.select0(zeros), None);
+    }
+
+    /// The sampled select directory at every stride boundary: for each
+    /// multiple of the sampling rate, `select` must invert `rank` exactly
+    /// (these are the positions the directory indexes directly, where an
+    /// off-by-one in sample construction would surface).
+    #[test]
+    fn select_inverts_rank_at_sample_strides(
+        bits in prop::collection::vec(any::<bool>(), 0..6000),
+        rate in 1usize..64,
+    ) {
+        let rs = RankSelect::with_select_sample(BitVec::from_bits(bits.iter().copied()), rate);
+        let ones: Vec<usize> = (0..bits.len()).filter(|&i| bits[i]).collect();
+        let zeros: Vec<usize> = (0..bits.len()).filter(|&i| !bits[i]).collect();
+        let mut k = 0usize;
+        while k < ones.len() {
+            prop_assert_eq!(rs.select1(k), Some(ones[k]), "select1 stride {}", k);
+            prop_assert_eq!(rs.rank1(ones[k]), k);
+            k += rate;
+        }
+        let mut k = 0usize;
+        while k < zeros.len() {
+            prop_assert_eq!(rs.select0(k), Some(zeros[k]), "select0 stride {}", k);
+            prop_assert_eq!(rs.rank0(zeros[k]), k);
+            k += rate;
+        }
+        prop_assert_eq!(rs.select1(ones.len()), None);
+        prop_assert_eq!(rs.select0(zeros.len()), None);
+    }
+
+    /// `rank1_pair(b, e)` must equal two independent `rank1` calls for
+    /// every boundary pair — in particular across superblock boundaries,
+    /// where the shared-probe fast path must bow out.
+    #[test]
+    fn rank1_pair_equals_two_ranks(
+        bits in prop::collection::vec(any::<bool>(), 0..4000),
+        queries in prop::collection::vec((0usize..4001, 0usize..4001), 1..40),
+    ) {
+        let rs = RankSelect::new(BitVec::from_bits(bits.iter().copied()));
+        for &(x, y) in &queries {
+            let (mut b, mut e) = (x.min(bits.len()), y.min(bits.len()));
+            if b > e { std::mem::swap(&mut b, &mut e); }
+            prop_assert_eq!(rs.rank1_pair(b, e), (rs.rank1(b), rs.rank1(e)));
+            prop_assert_eq!(rs.rank0_pair(b, e), (rs.rank0(b), rs.rank0(e)));
+        }
+    }
+
+    /// The frontier-batched traversal is exactly the union of per-range
+    /// guided traversals (item-tagged), for arbitrary range frontiers.
+    #[test]
+    fn guided_traverse_multi_equals_per_range_union(
+        syms in prop::collection::vec(0u64..60, 1..500),
+        raw_ranges in prop::collection::vec((0usize..500, 0usize..500), 0..40),
+    ) {
+        let n = syms.len();
+        let wm = WaveletMatrix::new(&syms, 60);
+        let ranges: Vec<(usize, usize)> = raw_ranges
+            .iter()
+            .map(|&(x, y)| {
+                let (b, e) = (x.min(n), y.min(n));
+                (b.min(e), b.max(e))
+            })
+            .collect();
+        let mut guide = CollectMulti(Vec::new());
+        wm.guided_traverse_multi(&ranges, &mut guide);
+        let mut got = guide.0;
+        got.sort_unstable();
+        let mut expected = Vec::new();
+        for (i, &(b, e)) in ranges.iter().enumerate() {
+            wm.range_distinct(b, e, &mut |s, rb, re| expected.push((i as u32, s, rb, re)));
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Batched wavelet rank ≡ per-position rank.
+    #[test]
+    fn rank_batch_equals_rank(
+        syms in prop::collection::vec(0u64..32, 0..400),
+        sym in 0u64..32,
+        raw_pos in prop::collection::vec(0usize..401, 0..50),
+    ) {
+        let wm = WaveletMatrix::new(&syms, 32);
+        let mut positions: Vec<usize> =
+            raw_pos.iter().map(|&p| p.min(syms.len())).collect();
+        let expected: Vec<usize> = positions.iter().map(|&i| wm.rank(sym, i)).collect();
+        wm.rank_batch(sym, &mut positions);
+        prop_assert_eq!(positions, expected);
     }
 
     #[test]

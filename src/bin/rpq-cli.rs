@@ -164,12 +164,21 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     for (a, b) in &named {
         println!("{a}\t{b}");
     }
+    let batching = if out.stats.rank_ops_saved > 0 {
+        format!(
+            " (rank ops {} + {} saved by batching)",
+            out.stats.rank_ops, out.stats.rank_ops_saved
+        )
+    } else {
+        String::new()
+    };
     eprintln!(
-        "{} pairs in {:.4}s{}{}",
+        "{} pairs in {:.4}s{}{}{}",
         named.len(),
         secs,
         if out.truncated { " (limit hit)" } else { "" },
         if out.timed_out { " (timed out)" } else { "" },
+        batching,
     );
     Ok(())
 }
