@@ -2,11 +2,35 @@
 //! `ParseError`, and everything it accepts must re-parse from its own
 //! display form to the same language.
 
+use automata::ast::{Lit, Regex};
 use automata::parser::{parse, NumericResolver};
 use automata::{derivative, Label};
 use proptest::prelude::*;
 
 const R: NumericResolver = NumericResolver { n_base: 16 };
+
+/// Random ε-free regex ASTs over labels `0..8` — every Display form of
+/// these is supposed to be accepted by the parser (ε itself has no
+/// surface syntax, so it is excluded from generation, not from nesting
+/// semantics: `a?` covers the empty-word cases).
+fn ast_strategy() -> impl Strategy<Value = Regex> {
+    let leaf = prop_oneof![
+        (0u64..8).prop_map(Regex::label),
+        prop::collection::btree_set(0u64..8, 1..4)
+            .prop_map(|s| Regex::Literal(Lit::Class(s.into_iter().collect()))),
+        prop::collection::btree_set(0u64..8, 1..4)
+            .prop_map(|s| Regex::Literal(Lit::NegClass(s.into_iter().collect()))),
+    ];
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::concat(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Regex::alt(a, b)),
+            inner.clone().prop_map(|a| Regex::Star(Box::new(a))),
+            inner.clone().prop_map(|a| Regex::Plus(Box::new(a))),
+            inner.prop_map(|a| Regex::Opt(Box::new(a))),
+        ]
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -19,6 +43,42 @@ proptest! {
     #[test]
     fn never_panics_on_operator_soup(s in "[0-9/|*+?(){}!^<>, ]{0,30}") {
         let _ = parse(&s, &R);
+    }
+
+    /// Raw byte soup (not just printable characters): whatever survives
+    /// lossy UTF-8 decoding must parse or fail cleanly, never panic.
+    #[test]
+    fn never_panics_on_raw_bytes(bytes in prop::collection::vec(0u8..=255, 0..48)) {
+        let s = String::from_utf8_lossy(&bytes);
+        let _ = parse(&s, &R);
+    }
+
+    /// Full AST → render → re-parse round-trip: every ε-free expression
+    /// the workspace can build has a Display form the parser accepts,
+    /// and the round-trip preserves the language (checked by the
+    /// Brzozowski-derivative matcher on random words).
+    #[test]
+    fn ast_render_reparse_preserves_language(
+        e in ast_strategy(),
+        words in prop::collection::vec(prop::collection::vec(0u64..8, 0..6), 1..10),
+    ) {
+        let printed = format!("{e}");
+        let e2 = match parse(&printed, &R) {
+            Ok(e2) => e2,
+            Err(err) => {
+                return Err(TestCaseError::fail(format!(
+                    "rendered form '{printed}' of {e:?} failed to re-parse: {err}"
+                )))
+            }
+        };
+        for w in &words {
+            let w: &[Label] = w;
+            prop_assert_eq!(
+                derivative::matches(&e, w),
+                derivative::matches(&e2, w),
+                "language changed through '{}'", printed
+            );
+        }
     }
 
     #[test]

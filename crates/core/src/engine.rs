@@ -2,6 +2,7 @@
 
 use automata::glushkov::INITIAL;
 use automata::{BitParallel, Label};
+use ring::delta::DeltaIndex;
 use ring::{Id, Ring};
 use std::time::{Duration, Instant};
 use succinct::util::{BitSet, EpochArray};
@@ -12,8 +13,9 @@ use crate::pairbuf::PairBuffer;
 use crate::plan::{EvalRoute, PreparedQuery};
 use crate::planner::{self, Direction};
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
+use crate::source::{MergedView, TripleSource};
 use crate::stats::RingStatistics;
-use crate::{fastpath, QueryError};
+use crate::{fastpath, merged, QueryError};
 
 /// Frontier items batched through one `L_p` traversal at a time (bounds
 /// the per-level scratch; a BFS level larger than this is processed in
@@ -47,6 +49,10 @@ const FRONTIER_CHUNK: usize = 1024;
 /// ```
 pub struct RpqEngine<'r> {
     ring: &'r Ring,
+    /// The committed delta overlay of an updatable source, when present
+    /// and non-empty. Routes evaluation through the merged (ring ⊎
+    /// delta) expansion; `None` keeps the pure succinct hot path.
+    delta: Option<&'r DeltaIndex>,
     /// `B[v]` masks over the wavelet nodes of `L_p`, heap-ordered.
     lp_masks: EpochArray,
     /// `D[v]`/`D[s]` masks over the wavelet nodes of `L_s`; the leaf level
@@ -62,6 +68,9 @@ pub struct RpqEngine<'r> {
     /// Reusable frontier-batching scratch (buffers persist across
     /// queries; no per-query allocation on the traversal hot path).
     scratch: TraverseScratch,
+    /// Per-node visited masks of the merged traversal (empty until the
+    /// first delta-backed evaluation; `O(1)` reset afterwards).
+    merged_masks: EpochArray,
 }
 
 /// Scratch buffers for the frontier-batched backward traversal.
@@ -106,6 +115,19 @@ impl<'r> RpqEngine<'r> {
     /// Creates an engine over `ring`. Allocates the mask tables once
     /// (`O(|P| + |V|)` words); queries reset them in *O*(1).
     pub fn new(ring: &'r Ring) -> Self {
+        Self::with_delta(ring, None)
+    }
+
+    /// Creates an engine over any [`TripleSource`] — an immutable ring,
+    /// or a store snapshot whose delta overlay the engine merges into
+    /// every expansion step.
+    pub fn over<S: TripleSource + ?Sized>(source: &'r S) -> Self {
+        Self::with_delta(source.ring(), source.delta())
+    }
+
+    /// Creates an engine over a ring plus an optional delta overlay (an
+    /// empty delta selects the pure path).
+    pub fn with_delta(ring: &'r Ring, delta: Option<&'r DeltaIndex>) -> Self {
         let ls = ring.l_s();
         let width = ls.width();
         let table_len = ls.node_table_len();
@@ -133,7 +155,9 @@ impl<'r> RpqEngine<'r> {
             ls_masks: EpochArray::new(table_len),
             ls_occupancy: occ,
             scratch: TraverseScratch::default(),
+            merged_masks: EpochArray::new(0),
             ring,
+            delta: delta.filter(|d| !d.is_empty()),
         }
     }
 
@@ -141,6 +165,23 @@ impl<'r> RpqEngine<'r> {
     /// the reference outlives any `&mut self` evaluation borrow).
     pub fn ring(&self) -> &'r Ring {
         self.ring
+    }
+
+    /// The delta overlay this engine merges into expansions, if any.
+    pub(crate) fn delta(&self) -> Option<&'r DeltaIndex> {
+        self.delta
+    }
+
+    /// The merged step-level view of this engine's source.
+    pub(crate) fn view(&self) -> MergedView<'r> {
+        MergedView::from_parts(self.ring, self.delta)
+    }
+
+    /// The evaluation node universe (ring nodes plus delta nodes).
+    fn n_nodes_universe(&self) -> Id {
+        self.ring
+            .n_nodes()
+            .max(self.delta.map_or(0, |d| d.n_nodes()))
     }
 
     /// Bytes of per-query working memory (the `D` and `B` tables of
@@ -195,13 +236,13 @@ impl<'r> RpqEngine<'r> {
         }
         for t in [subject, object] {
             if let Term::Const(c) = t {
-                if c >= self.ring.n_nodes() {
+                if c >= self.n_nodes_universe() {
                     return Err(QueryError::NodeOutOfRange(c));
                 }
             }
         }
         let plan = planner::plan(
-            &RingStatistics::new(self.ring),
+            &RingStatistics::with_delta(self.ring, self.delta),
             prepared,
             subject,
             object,
@@ -211,17 +252,55 @@ impl<'r> RpqEngine<'r> {
 
         let mut out = match plan.route {
             EvalRoute::FastPath => {
-                fastpath::evaluate(self.ring, prepared.shape(), subject, object, opts, deadline)?
+                if self.delta.is_some() {
+                    fastpath::evaluate_merged(
+                        &self.view(),
+                        prepared.shape(),
+                        subject,
+                        object,
+                        opts,
+                        deadline,
+                    )?
+                } else {
+                    fastpath::evaluate(
+                        self.ring,
+                        prepared.shape(),
+                        subject,
+                        object,
+                        opts,
+                        deadline,
+                    )?
+                }
             }
             // Expressions beyond the bit-parallel word width evaluate
             // through the explicit-state fallback (§3.3's m > w regime).
             EvalRoute::Fallback => {
                 let query = RpqQuery::new(subject, prepared.expr().clone(), object);
-                crate::fallback::evaluate(self.ring, &query, opts)?
+                crate::fallback::evaluate_view(&self.view(), &query, opts)?
             }
             EvalRoute::Split => {
                 let split = plan.split.clone().expect("a split plan carries its split");
                 crate::split::evaluate_split_in(self, &split, opts, deadline)?
+            }
+            EvalRoute::BitParallel if self.delta.is_some() => {
+                let (bp, bp_rev) = prepared
+                    .tables()
+                    .expect("the planner only picks bit-parallel when tables exist");
+                let n = self.n_nodes_universe() as usize;
+                if self.merged_masks.len() < n {
+                    self.merged_masks = EpochArray::new(n);
+                }
+                merged::evaluate_bitparallel(
+                    &MergedView::from_parts(self.ring, self.delta),
+                    &mut self.merged_masks,
+                    bp,
+                    bp_rev,
+                    plan.direction,
+                    subject,
+                    object,
+                    opts,
+                    deadline,
+                )?
             }
             EvalRoute::BitParallel => {
                 let (bp, bp_rev) = prepared
@@ -489,6 +568,7 @@ impl<'r> RpqEngine<'r> {
             ls_masks,
             ls_occupancy,
             scratch,
+            ..
         } = self;
         let ring: &Ring = ring;
         let lp = ring.l_p();

@@ -15,29 +15,43 @@ use std::time::Instant;
 use succinct::util::FxHashSet;
 
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term};
+use crate::source::MergedView;
 use crate::QueryError;
 
-/// Evaluates `query` with the explicit-state fallback.
+/// Evaluates `query` with the explicit-state fallback over the pure
+/// ring.
 pub fn evaluate(
     ring: &Ring,
     query: &RpqQuery,
     opts: &EngineOptions,
 ) -> Result<QueryOutput, QueryError> {
+    evaluate_view(&MergedView::ring_only(ring), query, opts)
+}
+
+/// Evaluates `query` with the explicit-state fallback over a merged
+/// source: every expansion step enumerates live edges (ring minus
+/// tombstones plus delta adds).
+pub fn evaluate_view(
+    view: &MergedView<'_>,
+    query: &RpqQuery,
+    opts: &EngineOptions,
+) -> Result<QueryOutput, QueryError> {
+    let ring = view.ring;
     let deadline = opts.timeout.map(|t| Instant::now() + t);
     let inv = |l: Id| ring.inverse_label(l);
     let mut out = QueryOutput::default();
     match (query.subject, query.object) {
         (Term::Const(s), Term::Var) => {
             let nfa = Nfa::from_regex(&query.expr);
-            forward_bfs(ring, &nfa, s, None, opts, deadline, &mut out, |s, r| (s, r));
+            forward_bfs(view, &nfa, s, None, opts, deadline, &mut out, |s, r| (s, r));
         }
         (Term::Var, Term::Const(o)) => {
             let nfa = Nfa::from_regex(&query.expr.reversed(&inv));
-            forward_bfs(ring, &nfa, o, None, opts, deadline, &mut out, |o, r| (r, o));
+            forward_bfs(view, &nfa, o, None, opts, deadline, &mut out, |o, r| (r, o));
         }
         (Term::Const(s), Term::Const(o)) => {
             let nfa = Nfa::from_regex(&query.expr);
-            forward_bfs(ring, &nfa, s, Some(o), opts, deadline, &mut out, |s, o| {
+            forward_bfs(view, &nfa, s, Some(o), opts, deadline, &mut out, |s, o| {
                 (s, o)
             });
         }
@@ -47,13 +61,11 @@ pub fn evaluate(
             // the previous ones left over.
             let nfa = Nfa::from_regex(&query.expr);
             let mut pairs: FxHashSet<(Id, Id)> = FxHashSet::default();
-            for s in 0..ring.n_nodes() {
+            for s in 0..view.n_nodes() {
                 if out.timed_out || out.truncated || out.budget_exhausted {
                     break;
                 }
-                let (b, e) = ring.subject_range(s);
-                let (b2, e2) = ring.object_range(s);
-                if e == b && e2 == b2 {
+                if !view.node_exists(s) {
                     continue;
                 }
                 let sub_opts = EngineOptions {
@@ -64,7 +76,7 @@ pub fn evaluate(
                 };
                 let mut sub = QueryOutput::default();
                 forward_bfs(
-                    ring,
+                    view,
                     &nfa,
                     s,
                     None,
@@ -88,11 +100,12 @@ pub fn evaluate(
     Ok(out)
 }
 
-/// BFS over `(node, nfa state)` reading edges from the ring: outgoing
-/// edges of `v` labeled `p` are the subjects of `p̂` arriving at `v`.
+/// BFS over `(node, nfa state)` reading edges from the merged source:
+/// outgoing edges of `v` labeled `p` are the (live) subjects of `p̂`
+/// arriving at `v`.
 #[allow(clippy::too_many_arguments)]
 fn forward_bfs(
-    ring: &Ring,
+    view: &MergedView<'_>,
     nfa: &Nfa,
     start: Id,
     target: Option<Id>,
@@ -101,20 +114,13 @@ fn forward_bfs(
     out: &mut QueryOutput,
     pair_of: impl Fn(Id, Id) -> (Id, Id),
 ) {
-    // Node existence: any incidence in the completed graph.
-    let exists = |v: Id| {
-        let (b, e) = ring.object_range(v);
-        if e > b {
-            return true;
-        }
-        let (b, e) = ring.subject_range(v);
-        e > b
-    };
-    if !exists(start) {
+    let ring = view.ring;
+    if !view.node_exists(start) {
         return;
     }
     // Labels of the completed alphabet each NFA literal can use, resolved
-    // once (negated classes expand against the live alphabet).
+    // once (negated classes expand against the live alphabet; commits
+    // never extend it — alphabet growth rebuilds the ring).
     let alphabet: Vec<Id> = (0..ring.n_preds()).collect();
     let mut visited: FxHashSet<(Id, u32)> = FxHashSet::default();
     let mut reported: FxHashSet<Id> = FxHashSet::default();
@@ -122,6 +128,7 @@ fn forward_bfs(
     visited.insert((start, nfa.initial as u32));
     queue.push_back((start, nfa.initial as u32));
     let mut pops = 0u64;
+    let mut step_buf: Vec<Id> = Vec::new();
     while let Some((v, q)) = queue.pop_front() {
         pops += 1;
         out.stats.bfs_steps += 1;
@@ -156,16 +163,16 @@ fn forward_bfs(
         for (lit, q2) in &nfa.transitions[q as usize] {
             let mut follow_label = |p: Id| {
                 // v --p--> w  ⟺  w --p̂--> v in the completed graph:
-                // enumerate the subjects of p̂ into v.
+                // enumerate the live subjects of p̂ into v.
                 let pi = ring.inverse_label(p);
-                let r = ring.backward_step_by_pred(ring.object_range(v), pi);
-                ring.l_s().range_distinct(r.0, r.1, &mut |w, _, _| {
+                view.subjects_into(v, pi, &mut step_buf);
+                for &w in &step_buf {
                     out.stats.product_edges += 1;
                     if visited.insert((w, *q2 as u32)) {
                         out.stats.product_nodes += 1;
                         queue.push_back((w, *q2 as u32));
                     }
-                });
+                }
             };
             match lit {
                 Lit::Label(p) => follow_label(*p),

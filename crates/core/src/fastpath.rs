@@ -14,6 +14,7 @@ use succinct::wavelet_matrix::MultiRangeGuide;
 
 use crate::pairbuf::PairBuffer;
 use crate::query::{EngineOptions, QueryOutput, Term};
+use crate::source::MergedView;
 use crate::QueryError;
 
 /// Midpoints/subjects stepped through the wavelet layers per batch: the
@@ -84,7 +85,6 @@ pub fn evaluate(
     opts: &EngineOptions,
     deadline: Option<Instant>,
 ) -> Result<QueryOutput, QueryError> {
-    let mut out = QueryOutput::default();
     let mut sink = Sink {
         buf: PairBuffer::new(),
         limit: opts.limit,
@@ -110,6 +110,13 @@ pub fn evaluate(
         Shape::Concat2(p1, p2) => concat2(ring, *p1, *p2, subject, object, &mut sink),
         Shape::Other => unreachable!("fastpath::evaluate called on a general shape"),
     }
+    Ok(finish(sink))
+}
+
+/// Drains a sink into a finished output (shared by the pure and merged
+/// entry points).
+fn finish(mut sink: Sink) -> QueryOutput {
+    let mut out = QueryOutput::default();
     sink.settle();
     let distinct = sink.buf.distinct_len() as u64;
     out.stats.reported = distinct;
@@ -118,7 +125,164 @@ pub fn evaluate(
     out.timed_out = sink.timed_out;
     out.budget_exhausted = sink.budget_exhausted;
     out.pairs = sink.buf.into_sorted_vec();
-    Ok(out)
+    out
+}
+
+/// Evaluates a specializable shape against a merged source: the same §5
+/// join algorithms, with every backward step and source enumeration
+/// merged with the delta (tombstones masked, adds included) at node
+/// granularity.
+pub(crate) fn evaluate_merged(
+    view: &MergedView<'_>,
+    shape: &Shape,
+    subject: Term,
+    object: Term,
+    opts: &EngineOptions,
+    deadline: Option<Instant>,
+) -> Result<QueryOutput, QueryError> {
+    let mut sink = Sink {
+        buf: PairBuffer::new(),
+        limit: opts.limit,
+        node_budget: opts.node_budget.map_or(usize::MAX, |nb| nb as usize),
+        at_budget: false,
+        deadline,
+        truncated: false,
+        timed_out: false,
+        budget_exhausted: false,
+    };
+    match shape {
+        Shape::Single(p) => merged_single(view, *p, subject, object, &mut sink),
+        Shape::Disjunction(ps) => {
+            for &p in ps {
+                merged_single(view, p, subject, object, &mut sink);
+                if sink.full() {
+                    break;
+                }
+            }
+        }
+        Shape::Concat2(p1, p2) => merged_concat2(view, *p1, *p2, subject, object, &mut sink),
+        Shape::Other => unreachable!("fastpath::evaluate_merged called on a general shape"),
+    }
+    Ok(finish(sink))
+}
+
+/// `(x, p, y)` and anchored forms over the merged source.
+fn merged_single(view: &MergedView<'_>, p: Label, subject: Term, object: Term, sink: &mut Sink) {
+    let pi = view.ring.inverse_label(p);
+    let mut buf = Vec::new();
+    match (subject, object) {
+        (Term::Const(s), Term::Const(o)) => {
+            if view.has_edge(s, p, o) {
+                sink.push((s, o));
+            }
+        }
+        (Term::Var, Term::Const(o)) => {
+            view.subjects_into(o, p, &mut buf);
+            for &s in &buf {
+                sink.push((s, o));
+            }
+        }
+        (Term::Const(s), Term::Var) => {
+            view.subjects_into(s, pi, &mut buf);
+            for &o in &buf {
+                sink.push((s, o));
+            }
+        }
+        (Term::Var, Term::Var) => {
+            let mut subjects = Vec::new();
+            view.subjects_of_pred(p, &mut subjects);
+            for s in subjects {
+                if sink.full() {
+                    return;
+                }
+                view.subjects_into(s, pi, &mut buf);
+                for &o in &buf {
+                    sink.push((s, o));
+                }
+            }
+        }
+    }
+}
+
+/// `(x, p1/p2, y)` and anchored forms over the merged source: midpoints
+/// are live targets of `p1` intersected with live sources of `p2`.
+fn merged_concat2(
+    view: &MergedView<'_>,
+    p1: Label,
+    p2: Label,
+    subject: Term,
+    object: Term,
+    sink: &mut Sink,
+) {
+    let p1i = view.ring.inverse_label(p1);
+    let p2i = view.ring.inverse_label(p2);
+    let mut mids = Vec::new();
+    let mut buf = Vec::new();
+    match (subject, object) {
+        (Term::Var, Term::Var) => {
+            // Live targets of p1 ∩ live sources of p2 (both come back
+            // sorted, so the intersection is a linear merge).
+            let mut targets = Vec::new();
+            view.subjects_of_pred(p1i, &mut targets);
+            let mut sources = Vec::new();
+            view.subjects_of_pred(p2, &mut sources);
+            let mut i = 0;
+            for &z in &targets {
+                while i < sources.len() && sources[i] < z {
+                    i += 1;
+                }
+                if i < sources.len() && sources[i] == z {
+                    mids.push(z);
+                }
+            }
+            let mut srcs = Vec::new();
+            for z in mids {
+                if sink.full() {
+                    return;
+                }
+                view.subjects_into(z, p1, &mut srcs);
+                view.subjects_into(z, p2i, &mut buf);
+                for &s in &srcs {
+                    for &o in &buf {
+                        sink.push((s, o));
+                    }
+                }
+            }
+        }
+        (Term::Const(s), Term::Var) => {
+            view.subjects_into(s, p1i, &mut mids);
+            for &z in &mids {
+                if sink.full() {
+                    return;
+                }
+                view.subjects_into(z, p2i, &mut buf);
+                for &o in &buf {
+                    sink.push((s, o));
+                }
+            }
+        }
+        (Term::Var, Term::Const(o)) => {
+            view.subjects_into(o, p2, &mut mids);
+            for &z in &mids {
+                if sink.full() {
+                    return;
+                }
+                view.subjects_into(z, p1, &mut buf);
+                for &s in &buf {
+                    sink.push((s, o));
+                }
+            }
+        }
+        (Term::Const(s), Term::Const(o)) => {
+            view.subjects_into(s, p1i, &mut mids);
+            for &z in &mids {
+                if view.has_edge(z, p2, o) {
+                    sink.push((s, o));
+                    return;
+                }
+            }
+        }
+    }
 }
 
 /// Result collector: a [`PairBuffer`] (sorted-vec dedup, no hashing on

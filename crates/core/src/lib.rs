@@ -36,12 +36,14 @@ pub mod engine;
 pub mod explain;
 pub mod fallback;
 pub mod fastpath;
+mod merged;
 pub mod oracle;
 pub mod pairbuf;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
 pub mod query;
+pub mod source;
 pub mod split;
 pub mod stats;
 
@@ -49,6 +51,7 @@ pub use engine::RpqEngine;
 pub use plan::{EvalRoute, PreparedQuery};
 pub use planner::{Direction, Plan};
 pub use query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
+pub use source::{MergedView, SourceSnapshot, TripleSource};
 
 /// Errors from query evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -39,7 +39,7 @@ use ring::Id;
 use crate::fastpath::Shape;
 use crate::plan::{EvalRoute, PreparedQuery};
 use crate::query::{EngineOptions, Term};
-use crate::split::{best_split, Split};
+use crate::split::{best_split_with, Split};
 use crate::stats::RingStatistics;
 
 /// Which endpoint drives the traversal (meaningful for the routes that
@@ -143,7 +143,7 @@ pub fn anchored_expansion_cost(stats: &RingStatistics<'_>, bp: &BitParallel, anc
 /// all on the given ring. Forcing an infeasible route falls back to the
 /// natural choice. (The split route needs the ring: a candidate whose
 /// label is outside the live alphabet is not executable, exactly the
-/// filter [`best_split`] applies.)
+/// filter [`best_split_with`] applies.)
 pub fn route_is_feasible(
     stats: &RingStatistics<'_>,
     route: EvalRoute,
@@ -192,7 +192,7 @@ pub fn plan(
 
 /// The split the split route would execute, if the route is available
 /// at all: variable-to-variable endpoints and a best (rarest, in-range)
-/// split point — the same filter [`best_split`] applies, so feasibility
+/// split point — the same filter [`best_split_with`] applies, so feasibility
 /// and execution can never disagree.
 fn split_choice(
     stats: &RingStatistics<'_>,
@@ -203,7 +203,7 @@ fn split_choice(
     if !matches!((subject, object), (Term::Var, Term::Var)) {
         return None;
     }
-    best_split(stats.ring(), prepared.expr())
+    best_split_with(stats, prepared.expr())
 }
 
 fn choose_route(

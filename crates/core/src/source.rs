@@ -1,0 +1,299 @@
+//! The [`TripleSource`] abstraction: what the engine evaluates against —
+//! an immutable ring alone, or a ring plus a committed [`DeltaIndex`]
+//! overlay (live updates). [`MergedView`] is the step-level merge: every
+//! expansion primitive the evaluation routes use (backward step by
+//! predicate, per-label source enumeration, node existence, edge
+//! membership) answered as *ring results minus tombstones plus delta
+//! adds*, so deletes mask ring edges during traversal and adds extend
+//! it, triple by triple.
+//!
+//! When the delta is empty every route runs the unmodified succinct hot
+//! path — the overlay costs nothing until the first commit.
+
+use std::sync::Arc;
+
+use ring::delta::DeltaIndex;
+use ring::store::StoreSnapshot;
+use ring::{Id, Ring};
+
+/// A source of triples to evaluate against: the immutable ring plus an
+/// optional committed delta overlay.
+pub trait TripleSource {
+    /// The succinct base index.
+    fn ring(&self) -> &Ring;
+    /// The committed overlay, if this source has (non-empty) live
+    /// updates. `None` selects the pure succinct hot path.
+    fn delta(&self) -> Option<&DeltaIndex> {
+        None
+    }
+}
+
+impl TripleSource for Ring {
+    fn ring(&self) -> &Ring {
+        self
+    }
+}
+
+impl TripleSource for StoreSnapshot {
+    fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    fn delta(&self) -> Option<&DeltaIndex> {
+        (!self.delta.is_empty()).then_some(&*self.delta)
+    }
+}
+
+/// A shareable, epoch-stamped evaluation snapshot — what a serving layer
+/// captures at submit time and holds for the whole evaluation. Cheap to
+/// clone; immutable once published.
+#[derive(Clone, Debug)]
+pub struct SourceSnapshot {
+    /// The snapshot version (0 for immutable sources; bumped by every
+    /// commit/compaction of an updatable source).
+    pub epoch: u64,
+    /// The succinct base index.
+    pub ring: Arc<Ring>,
+    /// The committed overlay, if any.
+    pub delta: Option<Arc<DeltaIndex>>,
+}
+
+impl SourceSnapshot {
+    /// A snapshot of an immutable ring (epoch 0, no overlay).
+    pub fn immutable(ring: Arc<Ring>) -> Self {
+        Self {
+            epoch: 0,
+            ring,
+            delta: None,
+        }
+    }
+
+    /// The snapshot of an updatable store.
+    pub fn from_store(snap: &StoreSnapshot) -> Self {
+        Self {
+            epoch: snap.epoch,
+            ring: Arc::clone(&snap.ring),
+            delta: (!snap.delta.is_empty()).then(|| Arc::clone(&snap.delta)),
+        }
+    }
+
+    /// The evaluation node universe (ring nodes plus delta nodes).
+    pub fn n_nodes(&self) -> Id {
+        self.ring
+            .n_nodes()
+            .max(self.delta.as_ref().map_or(0, |d| d.n_nodes()))
+    }
+}
+
+impl TripleSource for SourceSnapshot {
+    fn ring(&self) -> &Ring {
+        &self.ring
+    }
+
+    fn delta(&self) -> Option<&DeltaIndex> {
+        self.delta.as_deref().filter(|d| !d.is_empty())
+    }
+}
+
+/// The step-level merge of a ring and its delta. All label arguments are
+/// from the **completed** alphabet `Σ↔` (the delta canonicalizes
+/// internally); all node enumerations come back **sorted ascending and
+/// distinct**, which also makes merged traversal orders deterministic.
+#[derive(Clone, Copy)]
+pub struct MergedView<'a> {
+    /// The succinct base index.
+    pub ring: &'a Ring,
+    /// The committed overlay (`None` = pure ring semantics).
+    pub delta: Option<&'a DeltaIndex>,
+}
+
+impl<'a> MergedView<'a> {
+    /// A view over a source (delta present only when non-empty).
+    pub fn new(source: &'a (impl TripleSource + ?Sized)) -> Self {
+        Self {
+            ring: source.ring(),
+            delta: source.delta().filter(|d| !d.is_empty()),
+        }
+    }
+
+    /// A delta-free view (pure ring semantics).
+    pub fn ring_only(ring: &'a Ring) -> Self {
+        Self { ring, delta: None }
+    }
+
+    /// Builds a view from already-split parts.
+    pub fn from_parts(ring: &'a Ring, delta: Option<&'a DeltaIndex>) -> Self {
+        Self {
+            ring,
+            delta: delta.filter(|d| !d.is_empty()),
+        }
+    }
+
+    /// The evaluation node universe.
+    pub fn n_nodes(&self) -> Id {
+        self.ring
+            .n_nodes()
+            .max(self.delta.map_or(0, |d| d.n_nodes()))
+    }
+
+    /// Whether `v` has at least one live edge (completed-graph
+    /// incidence: in the completed graph a node's subject block already
+    /// covers both directions).
+    pub fn node_exists(&self, v: Id) -> bool {
+        let ring_incidence = if v < self.ring.n_nodes() {
+            let (b, e) = self.ring.subject_range(v);
+            e - b
+        } else {
+            0
+        };
+        match self.delta {
+            None => ring_incidence > 0,
+            Some(d) => ring_incidence + d.added_incidence(v) > d.deleted_incidence(v),
+        }
+    }
+
+    /// Whether the completed-alphabet edge `(s, p, o)` is live.
+    pub fn has_edge(&self, s: Id, p: Id, o: Id) -> bool {
+        if let Some(d) = self.delta {
+            if d.del_contains(s, p, o) {
+                return false;
+            }
+            if d.add_contains(s, p, o) {
+                return true;
+            }
+        }
+        self.ring.contains(s, p, o)
+    }
+
+    /// Replaces `out` with the distinct subjects of live edges
+    /// `(s, p, o)` — one merged backward step by predicate into object
+    /// `o`: ring subjects (tombstoned edges masked) plus delta adds,
+    /// sorted ascending.
+    pub fn subjects_into(&self, o: Id, p: Id, out: &mut Vec<Id>) {
+        out.clear();
+        if o < self.ring.n_nodes() {
+            let r = self
+                .ring
+                .backward_step_by_pred(self.ring.object_range(o), p);
+            self.ring
+                .l_s()
+                .range_distinct(r.0, r.1, &mut |s, _, _| out.push(s));
+            out.sort_unstable();
+            if let Some(d) = self.delta {
+                if d.del_count_into(o, p) > 0 {
+                    out.retain(|&s| !d.del_contains(s, p, o));
+                }
+            }
+        }
+        if let Some(d) = self.delta {
+            let ring_len = out.len();
+            d.added_into(o, p, out);
+            if out.len() > ring_len {
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+    }
+
+    /// Replaces `out` with the distinct subjects that have at least one
+    /// live edge labeled `p`, sorted ascending. A ring subject whose
+    /// every `p`-edge is tombstoned is excluded.
+    pub fn subjects_of_pred(&self, p: Id, out: &mut Vec<Id>) {
+        out.clear();
+        let (b, e) = self.ring.pred_range(p);
+        self.ring
+            .l_s()
+            .range_distinct(b, e, &mut |s, _, _| out.push(s));
+        out.sort_unstable();
+        if let Some(d) = self.delta {
+            if d.del_count_label(p) > 0 {
+                out.retain(|&s| {
+                    // Cheap delta probe first: only tombstoned subjects
+                    // pay the two wavelet ranks.
+                    let deleted = d.del_count_from(s, p);
+                    if deleted == 0 {
+                        return true;
+                    }
+                    let ring_count = self.ring.l_s().rank(s, e) - self.ring.l_s().rank(s, b);
+                    ring_count > deleted
+                });
+            }
+            let ring_len = out.len();
+            d.added_sources(p, out);
+            if out.len() > ring_len {
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ring::ring::RingOptions;
+    use ring::{Graph, Triple};
+
+    fn t(s: Id, p: Id, o: Id) -> Triple {
+        Triple::new(s, p, o)
+    }
+
+    /// 0 -a-> 1 -a-> 2, 2 -b-> 0; delta deletes (1,a,2), adds (0,a,2)
+    /// and (4,b,0) (node 4 is delta-only).
+    fn fixture() -> (Ring, DeltaIndex) {
+        let g = Graph::from_triples(vec![t(0, 0, 1), t(1, 0, 2), t(2, 1, 0)]);
+        let ring = Ring::build(&g, RingOptions::default());
+        let delta = DeltaIndex::new(vec![t(0, 0, 2), t(4, 1, 0)], vec![t(1, 0, 2)], 2);
+        (ring, delta)
+    }
+
+    #[test]
+    fn merged_steps_mask_deletes_and_add_edges() {
+        let (ring, delta) = fixture();
+        let v = MergedView::from_parts(&ring, Some(&delta));
+        let mut out = Vec::new();
+        // Into node 2 by a: ring gives {1}, tombstoned; delta adds {0}.
+        v.subjects_into(2, 0, &mut out);
+        assert_eq!(out, vec![0]);
+        // Into node 0 by b: ring {2} plus delta {4}.
+        v.subjects_into(0, 1, &mut out);
+        assert_eq!(out, vec![2, 4]);
+        // Inverse direction: subjects of ^b into 4 is {0}.
+        let bi = ring.inverse_label(1);
+        v.subjects_into(4, bi, &mut out);
+        assert_eq!(out, vec![0]);
+        // Sources of a: ring {0, 1}, but 1 lost its only a-edge.
+        v.subjects_of_pred(0, &mut out);
+        assert_eq!(out, vec![0]);
+        // Sources of b: ring {2} plus delta {4}.
+        v.subjects_of_pred(1, &mut out);
+        assert_eq!(out, vec![2, 4]);
+        assert!(v.has_edge(0, 0, 2));
+        assert!(!v.has_edge(1, 0, 2));
+        assert!(!v.has_edge(0, ring.inverse_label(0), 0));
+        assert!(v.node_exists(4));
+        assert_eq!(v.n_nodes(), 5);
+    }
+
+    #[test]
+    fn delta_free_view_matches_the_ring() {
+        let (ring, _) = fixture();
+        let v = MergedView::ring_only(&ring);
+        let mut out = Vec::new();
+        v.subjects_into(2, 0, &mut out);
+        assert_eq!(out, vec![1]);
+        assert!(v.node_exists(0));
+        assert!(!v.node_exists(4));
+        assert_eq!(v.n_nodes(), 3);
+    }
+
+    #[test]
+    fn node_vanishes_when_every_edge_is_tombstoned() {
+        let g = Graph::from_triples(vec![t(0, 0, 1)]);
+        let ring = Ring::build(&g, RingOptions::default());
+        let delta = DeltaIndex::new(vec![], vec![t(0, 0, 1)], 1);
+        let v = MergedView::from_parts(&ring, Some(&delta));
+        assert!(!v.node_exists(0));
+        assert!(!v.node_exists(1));
+    }
+}

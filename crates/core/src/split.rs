@@ -76,10 +76,17 @@ pub fn split_candidates(expr: &Regex) -> Vec<Split> {
 
 /// Picks the candidate whose label has the smallest cardinality.
 pub fn best_split(ring: &Ring, expr: &Regex) -> Option<Split> {
+    best_split_with(&crate::stats::RingStatistics::new(ring), expr)
+}
+
+/// Like [`best_split`], but counting **live** cardinalities through a
+/// statistics provider (delta-adjusted when the source has an overlay) —
+/// the variant the planner consults.
+pub fn best_split_with(stats: &crate::stats::RingStatistics<'_>, expr: &Regex) -> Option<Split> {
     split_candidates(expr)
         .into_iter()
-        .filter(|s| s.label < ring.n_preds())
-        .min_by_key(|s| ring.pred_cardinality(s.label))
+        .filter(|s| s.label < stats.ring().n_preds())
+        .min_by_key(|s| stats.pred_cardinality(s.label))
 }
 
 /// Evaluates the variable-to-variable query `(x, prefix/label/suffix, y)`
@@ -143,11 +150,18 @@ pub(crate) fn evaluate_split_in(
         ..*opts
     };
 
-    // Enumerate the split label's edges (u, p, v).
-    let (b, e) = ring.pred_range(split.label);
+    // Enumerate the split label's edges (u, p, v) — live ones only when
+    // the engine's source carries a delta overlay.
+    let view = engine.view();
+    let delta = engine.delta().is_some();
     let mut subjects: Vec<Id> = Vec::new();
-    ring.l_s()
-        .range_distinct(b, e, &mut |u, _, _| subjects.push(u));
+    if delta {
+        view.subjects_of_pred(split.label, &mut subjects);
+    } else {
+        let (b, e) = ring.pred_range(split.label);
+        ring.l_s()
+            .range_distinct(b, e, &mut |u, _, _| subjects.push(u));
+    }
 
     'outer: for u in subjects {
         if let Some(dl) = deadline {
@@ -182,10 +196,15 @@ pub(crate) fn evaluate_split_in(
 
         // Objects v of (u, p, v): narrow the label's L_s block to u's
         // occurrences; the backward step lands on their objects in L_o.
-        let vr = ring.backward_step_by_subject(ring.pred_range(split.label), u);
+        // With a delta, objects are the live subjects of p̂ into u.
         let mut objects: Vec<Id> = Vec::new();
-        ring.l_o()
-            .range_distinct(vr.0, vr.1, &mut |v, _, _| objects.push(v));
+        if delta {
+            view.subjects_into(u, ring.inverse_label(split.label), &mut objects);
+        } else {
+            let vr = ring.backward_step_by_subject(ring.pred_range(split.label), u);
+            ring.l_o()
+                .range_distinct(vr.0, vr.1, &mut |v, _, _| objects.push(v));
+        }
 
         for v in objects {
             if out.budget_exhausted || out.timed_out {

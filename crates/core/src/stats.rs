@@ -4,17 +4,30 @@
 //! even more sophisticated query planning".
 
 use automata::Regex;
+use ring::delta::DeltaIndex;
 use ring::{Id, Ring};
 
-/// Statistics provider over a ring.
+/// Statistics provider over a ring, optionally adjusted by a committed
+/// delta overlay: cardinalities count *live* edges (ring − tombstones +
+/// adds), so the planner's cost model follows updates without a rebuild.
 pub struct RingStatistics<'r> {
     ring: &'r Ring,
+    delta: Option<&'r DeltaIndex>,
 }
 
 impl<'r> RingStatistics<'r> {
-    /// Creates the provider.
+    /// Creates the provider over an immutable ring.
     pub fn new(ring: &'r Ring) -> Self {
-        Self { ring }
+        Self { ring, delta: None }
+    }
+
+    /// Creates the provider over a ring plus a delta overlay (an empty
+    /// delta degenerates to [`Self::new`]).
+    pub fn with_delta(ring: &'r Ring, delta: Option<&'r DeltaIndex>) -> Self {
+        Self {
+            ring,
+            delta: delta.filter(|d| !d.is_empty()),
+        }
     }
 
     /// The underlying ring (statistics are cheap views over it).
@@ -22,27 +35,56 @@ impl<'r> RingStatistics<'r> {
         self.ring
     }
 
-    /// Total triples in the completed graph `G^` — the coarse upper
-    /// bound a negated-class position or a whole-graph scan charges.
+    /// Total triples in the completed graph `G^` (live: delta adds and
+    /// tombstones each count twice, once per direction) — the coarse
+    /// upper bound a negated-class position or a whole-graph scan
+    /// charges.
     pub fn n_triples(&self) -> usize {
-        self.ring.n_triples()
+        let base = self.ring.n_triples();
+        match self.delta {
+            None => base,
+            Some(d) => (base + 2 * d.n_adds()).saturating_sub(2 * d.n_dels()),
+        }
     }
 
-    /// Number of edges labeled `p`.
+    /// Number of live edges labeled `p`.
     pub fn pred_cardinality(&self, p: Id) -> usize {
-        self.ring.pred_cardinality(p)
+        let base = self.ring.pred_cardinality(p);
+        match self.delta {
+            None => base,
+            Some(d) => (base + d.add_count_label(p)).saturating_sub(d.del_count_label(p)),
+        }
     }
 
-    /// In-degree of `o` (edges of any label arriving at `o`).
+    /// In-degree of `o` (live edges of any label arriving at `o`).
     pub fn in_degree(&self, o: Id) -> usize {
-        let (b, e) = self.ring.object_range(o);
-        e - b
+        let base = if o < self.ring.n_nodes() {
+            let (b, e) = self.ring.object_range(o);
+            e - b
+        } else {
+            0
+        };
+        match self.delta {
+            None => base,
+            // A node's completed in-edges mirror its completed
+            // out-edges' incidence: adds/dels at `o` as canonical object
+            // or subject.
+            Some(d) => (base + d.added_incidence(o)).saturating_sub(d.deleted_incidence(o)),
+        }
     }
 
-    /// Out-degree of `s`.
+    /// Out-degree of `s` (live).
     pub fn out_degree(&self, s: Id) -> usize {
-        let (b, e) = self.ring.subject_range(s);
-        e - b
+        let base = if s < self.ring.n_nodes() {
+            let (b, e) = self.ring.subject_range(s);
+            e - b
+        } else {
+            0
+        };
+        match self.delta {
+            None => base,
+            Some(d) => (base + d.added_incidence(s)).saturating_sub(d.deleted_incidence(s)),
+        }
     }
 
     /// Number of **distinct** labels on edges arriving at `o`, in
@@ -59,13 +101,22 @@ impl<'r> RingStatistics<'r> {
         self.ring.l_s().count_distinct(b, e)
     }
 
-    /// Number of edges labeled `p` arriving at `o` without enumerating
-    /// them (a backward-search step is just two ranks).
+    /// Number of live edges labeled `p` arriving at `o` without
+    /// enumerating them (a backward-search step is just two ranks; the
+    /// delta contributes two binary searches).
     pub fn edges_into(&self, p: Id, o: Id) -> usize {
-        let (b, e) = self
-            .ring
-            .backward_step_by_pred(self.ring.object_range(o), p);
-        e - b
+        let base = if o < self.ring.n_nodes() {
+            let (b, e) = self
+                .ring
+                .backward_step_by_pred(self.ring.object_range(o), p);
+            e - b
+        } else {
+            0
+        };
+        match self.delta {
+            None => base,
+            Some(d) => (base + d.add_count_into(o, p)).saturating_sub(d.del_count_into(o, p)),
+        }
     }
 
     /// Number of edges whose subject lies in the id interval

@@ -25,23 +25,31 @@
 //! * [`boundaries`]: the `C` arrays, dense (plain words) or succinct
 //!   (bit vector + select), as in §5 of the paper.
 //! * [`ring`]: the index itself.
+//! * [`delta`]: the sorted add/tombstone overlay live updates accumulate
+//!   into between ring rebuilds.
+//! * [`store`]: the updatable store — ring + delta behind atomic,
+//!   versioned snapshots with commit/compact.
 //! * [`ltj`]: a Leapfrog-TrieJoin evaluator over rings — the worst-case
 //!   optimal join the ring was originally built for, and the integration
 //!   target §6 describes for mixing RPQs into multijoins.
 
 pub mod boundaries;
+pub mod delta;
 pub mod dict;
 pub mod graph;
 pub mod io;
 pub mod ltj;
 pub mod ntriples;
 pub mod ring;
+pub mod store;
 pub mod triple;
 
 pub use boundaries::Boundaries;
+pub use delta::DeltaIndex;
 pub use dict::Dict;
 pub use graph::Graph;
 pub use ring::Ring;
+pub use store::{StoreSnapshot, TripleStore};
 pub use triple::Triple;
 
 /// Node or predicate identifier (dense, 0-based).

@@ -3,6 +3,7 @@
 //! write/read cycle bit-exactly in behaviour.
 
 use proptest::prelude::*;
+use ring::delta::DeltaIndex;
 use ring::ring::{BoundaryKind, RingOptions};
 use ring::{Boundaries, Dict, Graph, Ring, Triple};
 use succinct::io::Persist;
@@ -94,6 +95,111 @@ proptest! {
             prop_assert!(Ring::read_from(&mut &buf[..cut]).is_err());
         }
     }
+}
+
+fn arb_delta() -> impl Strategy<Value = DeltaIndex> {
+    (
+        2u64..5,
+        prop::collection::vec((0u64..12, 0u64..5, 0u64..12), 0..20),
+        prop::collection::vec((0u64..12, 0u64..5, 0u64..12), 0..20),
+    )
+        .prop_map(|(base, adds, dels)| {
+            let canon = |v: Vec<(u64, u64, u64)>| -> Vec<Triple> {
+                v.into_iter()
+                    .map(|(s, p, o)| Triple::new(s, p % base, o))
+                    .collect()
+            };
+            // Keep the store invariant (adds and dels disjoint).
+            let adds = canon(adds);
+            let dels: Vec<Triple> = canon(dels)
+                .into_iter()
+                .filter(|t| !adds.contains(t))
+                .collect();
+            DeltaIndex::new(adds, dels, base)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Delta store round-trip: the reloaded overlay compares equal,
+    /// answers every completed-alphabet lookup identically, and
+    /// write → read → write is byte-stable (the pos/osp orders are
+    /// derived state, like the succinct rank directories).
+    #[test]
+    fn delta_roundtrip_and_byte_stability(d in arb_delta()) {
+        let mut first = Vec::new();
+        d.write_to(&mut first).unwrap();
+        let back = DeltaIndex::read_from(&mut first.as_slice()).unwrap();
+        prop_assert_eq!(&back, &d);
+        let mut second = Vec::new();
+        back.write_to(&mut second).unwrap();
+        prop_assert_eq!(first, second, "write-read-write bytes diverged");
+        // Spot-check the completed-alphabet accessors line up.
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for o in 0..12 {
+            for p in 0..2 * d.n_preds_base() {
+                d.added_into(o, p, &mut a);
+                back.added_into(o, p, &mut b);
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(d.del_count_into(o, p), back.del_count_into(o, p));
+            }
+        }
+    }
+
+    /// Truncated or bit-flipped delta payloads fail cleanly, never panic.
+    #[test]
+    fn corrupted_delta_payloads_never_panic(
+        d in arb_delta(),
+        cut in 0usize..64,
+        flip in 0usize..32,
+    ) {
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let cut = cut.min(buf.len());
+        let _ = DeltaIndex::read_from(&mut &buf[..cut]);
+        let mut bad = buf.clone();
+        if !bad.is_empty() {
+            let i = flip % bad.len();
+            bad[i] ^= 0xFF;
+            let _ = DeltaIndex::read_from(&mut bad.as_slice());
+        }
+    }
+}
+
+/// A future format bump must fail with an error naming both versions
+/// (the `crates/succinct/src/io.rs` convention), not a decode panic.
+#[test]
+fn delta_future_format_version_is_a_clear_error() {
+    use succinct::io::FORMAT_VERSION;
+    let d = DeltaIndex::new(vec![Triple::new(0, 0, 1)], vec![Triple::new(1, 1, 0)], 2);
+    let mut buf = Vec::new();
+    d.write_to(&mut buf).unwrap();
+    buf[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+    let err = DeltaIndex::read_from(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("{}", FORMAT_VERSION + 1))
+            && msg.contains(&format!("expected {FORMAT_VERSION}")),
+        "unhelpful version error: {msg}"
+    );
+}
+
+/// Out-of-alphabet predicates in a tampered payload are a typed error.
+#[test]
+fn delta_out_of_alphabet_predicate_is_rejected() {
+    let d = DeltaIndex::new(vec![Triple::new(0, 1, 2)], vec![], 2);
+    let mut buf = Vec::new();
+    d.write_to(&mut buf).unwrap();
+    // Payload layout after magic+version: base u64, adds-len u64, then
+    // (s, p, o) words; patch p up to the base alphabet size.
+    let p_off = 8 + 8 + 8 + 8;
+    buf[p_off..p_off + 8].copy_from_slice(&2u64.to_le_bytes());
+    let err = DeltaIndex::read_from(&mut buf.as_slice()).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    assert!(err.to_string().contains("base alphabet"), "{err}");
 }
 
 /// Degenerate alphabet: an empty graph (zero predicates) stores its

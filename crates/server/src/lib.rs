@@ -49,7 +49,7 @@ pub mod source;
 pub use plan_cache::PlanCache;
 pub use result_cache::{ResultCache, ResultKey};
 pub use server::{QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig};
-pub use source::{IndexSource, QuerySource};
+pub use source::{IndexSource, LiveSource, QuerySource, UpdateStats};
 
 /// Errors of the serving layer. `Parse` and `UnknownNode` are
 /// synchronous (reported at submit); the rest surface through

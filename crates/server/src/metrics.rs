@@ -136,6 +136,9 @@ pub struct Metrics {
     /// Rank computations the frontier batching avoided (vs per-range
     /// traversal) — the succinct hot-path win, observable in production.
     pub rank_ops_saved: AtomicU64,
+    /// Snapshot-epoch bumps observed at submit time (each one dropped
+    /// the plan and result caches).
+    pub epoch_bumps: AtomicU64,
 }
 
 impl Metrics {
@@ -156,6 +159,7 @@ impl Metrics {
             planner_decisions: Default::default(),
             rank_ops: AtomicU64::new(0),
             rank_ops_saved: AtomicU64::new(0),
+            epoch_bumps: AtomicU64::new(0),
         }
     }
 
@@ -214,14 +218,16 @@ impl CacheStats {
     }
 }
 
-/// Renders the full registry (plus cache snapshots and worker count) as
-/// one JSON object.
+/// Renders the full registry (plus cache snapshots, worker count, and
+/// the source's update counters) as one JSON object.
 pub(crate) fn registry_json(
     m: &Metrics,
     workers: usize,
     queue_capacity: usize,
     plan_cache: &CacheStats,
     result_cache: &CacheStats,
+    epoch: u64,
+    updates: Option<crate::source::UpdateStats>,
 ) -> String {
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let mut routes = String::new();
@@ -245,6 +251,18 @@ pub(crate) fn registry_json(
             m.planner_decisions[r.index()].load(Ordering::Relaxed)
         ));
     }
+    let u = updates.unwrap_or_default();
+    let updates_json = format!(
+        "{{\"epoch\":{},\"epoch_bumps_observed\":{},\"commits\":{},\"compactions\":{},\
+         \"delta_adds\":{},\"delta_deletes\":{},\"pending_ops\":{}}}",
+        epoch,
+        g(&m.epoch_bumps),
+        u.commits,
+        u.compactions,
+        u.delta_adds,
+        u.delta_deletes,
+        u.pending_ops
+    );
     format!(
         "{{\"uptime_ms\":{},\"workers\":{},\
          \"queries\":{{\"submitted\":{},\"completed\":{},\"failed\":{},\"cancelled\":{},\
@@ -252,6 +270,7 @@ pub(crate) fn registry_json(
          \"queue\":{{\"depth\":{},\"peak\":{},\"capacity\":{}}},\
          \"planner\":{{\"decisions\":{{{}}}}},\
          \"traversal\":{{\"rank_ops\":{},\"rank_ops_saved\":{}}},\
+         \"updates\":{},\
          \"plan_cache\":{},\"result_cache\":{},\
          \"latency_us\":{{\"all\":{}{}}}}}",
         m.uptime().as_millis(),
@@ -268,6 +287,7 @@ pub(crate) fn registry_json(
         decisions,
         m.rank_ops.load(Ordering::Relaxed),
         m.rank_ops_saved.load(Ordering::Relaxed),
+        updates_json,
         plan_cache.to_json(),
         result_cache.to_json(),
         m.latency_all.to_json(),

@@ -28,8 +28,14 @@ use crate::lru::Lru;
 use crate::metrics::CacheStats;
 
 /// A bounded, shared cache of compiled plans (LRU by byte cost).
+///
+/// Keys carry the snapshot **epoch** the plan was compiled against: a
+/// compiled plan embeds the ring's inverse-label involution (`p̂ = p +
+/// n_preds_base`), which an alphabet-extending rebuild changes — so a
+/// queued old-epoch job racing past the bump-triggered invalidation
+/// must never hand its plan to a newer epoch.
 pub struct PlanCache {
-    inner: Mutex<Lru<String, Arc<PreparedQuery>>>,
+    inner: Mutex<Lru<(u64, String), Arc<PreparedQuery>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
@@ -48,21 +54,22 @@ impl PlanCache {
         }
     }
 
-    /// Looks up the plan for `expr`, compiling and caching it on a miss.
-    /// `inv` is the ring's label involution.
+    /// Looks up the plan for `expr` at `epoch`, compiling and caching
+    /// it on a miss. `inv` is the involution of *that epoch's* ring.
     pub fn get_or_compile(
         &self,
         expr: &Regex,
+        epoch: u64,
         inv: &impl Fn(Label) -> Label,
     ) -> Result<Arc<PreparedQuery>, QueryError> {
-        let key = PreparedQuery::cache_key(expr);
+        let key = (epoch, PreparedQuery::cache_key(expr));
         if let Some(plan) = self.inner.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(plan));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(PreparedQuery::compile(expr, inv, self.split_width)?);
-        let cost = plan.size_bytes();
+        let cost = plan.size_bytes() + std::mem::size_of::<u64>();
         self.inner
             .lock()
             .unwrap()
@@ -127,8 +134,8 @@ mod tests {
     fn hit_returns_same_plan() {
         let cache = PlanCache::new(1 << 20, 8);
         let e = Regex::Plus(Box::new(Regex::label(1)));
-        let p1 = cache.get_or_compile(&e, &inv).unwrap();
-        let p2 = cache.get_or_compile(&e, &inv).unwrap();
+        let p1 = cache.get_or_compile(&e, 0, &inv).unwrap();
+        let p2 = cache.get_or_compile(&e, 0, &inv).unwrap();
         assert!(Arc::ptr_eq(&p1, &p2));
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.misses(), 1);
@@ -140,8 +147,8 @@ mod tests {
         let cache = PlanCache::new(1 << 20, 8);
         let a = Regex::concat(Regex::label(0), Regex::label(1));
         let b = Regex::concat(Regex::label(0), Regex::label(1));
-        cache.get_or_compile(&a, &inv).unwrap();
-        cache.get_or_compile(&b, &inv).unwrap();
+        cache.get_or_compile(&a, 0, &inv).unwrap();
+        cache.get_or_compile(&b, 0, &inv).unwrap();
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.hits(), 1);
     }
@@ -149,10 +156,23 @@ mod tests {
     #[test]
     fn invalidate_clears() {
         let cache = PlanCache::new(1 << 20, 8);
-        cache.get_or_compile(&Regex::label(0), &inv).unwrap();
+        cache.get_or_compile(&Regex::label(0), 0, &inv).unwrap();
         cache.invalidate_all();
         assert!(cache.is_empty());
-        cache.get_or_compile(&Regex::label(0), &inv).unwrap();
+        cache.get_or_compile(&Regex::label(0), 0, &inv).unwrap();
         assert_eq!(cache.misses(), 2);
+    }
+
+    /// Different epochs never share a plan, even for the same pattern —
+    /// the alphabet (hence the compiled inverse tables) may differ.
+    #[test]
+    fn epochs_do_not_share_plans() {
+        let cache = PlanCache::new(1 << 20, 8);
+        let e = Regex::label(0);
+        let p1 = cache.get_or_compile(&e, 1, &inv).unwrap();
+        let p2 = cache.get_or_compile(&e, 2, &inv).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.len(), 2);
     }
 }

@@ -20,7 +20,11 @@ use crate::lru::Lru;
 use crate::metrics::CacheStats;
 use crate::server::QueryAnswer;
 
-/// Cache key: the plan's normalized pattern plus the two endpoints.
+/// Cache key: the plan's normalized pattern, the two endpoints, and the
+/// snapshot epoch the query was submitted under. The epoch makes cross-
+/// epoch hits structurally impossible — even a pre-bump answer inserted
+/// *after* the bump-triggered invalidation (a worker racing a commit)
+/// can only ever be found by queries of its own epoch.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ResultKey {
     /// Normalized pattern ([`rpq_core::PreparedQuery::cache_key`]).
@@ -29,6 +33,8 @@ pub struct ResultKey {
     pub subject: Term,
     /// Object endpoint.
     pub object: Term,
+    /// Snapshot epoch captured at submit time.
+    pub epoch: u64,
 }
 
 /// A bounded, shared cache of complete query answers.
@@ -139,6 +145,7 @@ mod tests {
             pattern: p.to_string(),
             subject: Term::Const(0),
             object: Term::Var,
+            epoch: 0,
         }
     }
 

@@ -22,7 +22,8 @@ use std::time::{Duration, Instant};
 
 use ring::Id;
 use rpq_core::{
-    EngineOptions, EvalRoute, PreparedQuery, RpqEngine, RpqQuery, Term, TraversalStats,
+    EngineOptions, EvalRoute, PreparedQuery, RpqEngine, RpqQuery, SourceSnapshot, Term,
+    TraversalStats,
 };
 use succinct::util::FxHashMap;
 
@@ -154,6 +155,10 @@ struct Job {
     query: RpqQuery,
     key: ResultKey,
     budget: QueryBudget,
+    /// The evaluation snapshot captured at submit time: the query runs
+    /// against exactly this epoch's ring + delta, no matter how many
+    /// commits land before a worker picks it up.
+    snapshot: SourceSnapshot,
     status: Mutex<QueryStatus>,
     done: Condvar,
     cancel: AtomicBool,
@@ -177,6 +182,10 @@ struct Shared {
     plan_cache: PlanCache,
     result_cache: ResultCache,
     metrics: Metrics,
+    /// Highest snapshot epoch observed; a submit that sees a newer one
+    /// invalidates both caches (compiled plans may embed a stale
+    /// alphabet after a rebuild; results are epoch-keyed on top).
+    cache_epoch: AtomicU64,
 }
 
 /// The concurrent query service. Dropping the server shuts it down
@@ -190,6 +199,7 @@ pub struct RpqServer {
 impl RpqServer {
     /// Starts the worker pool over `source`.
     pub fn start(source: Arc<dyn QuerySource>, config: ServerConfig) -> Self {
+        let epoch0 = source.snapshot().epoch;
         let shared = Arc::new(Shared {
             source,
             config,
@@ -201,6 +211,7 @@ impl RpqServer {
             plan_cache: PlanCache::new(config.plan_cache_bytes, config.bp_split_width),
             result_cache: ResultCache::new(config.result_cache_bytes),
             metrics: Metrics::new(),
+            cache_epoch: AtomicU64::new(epoch0),
         });
         let handles = (0..config.workers)
             .map(|i| {
@@ -230,8 +241,20 @@ impl RpqServer {
     /// Parses a string query against the source's dictionaries without
     /// submitting it.
     pub fn parse(&self, subject: &str, expr: &str, object: &str) -> Result<RpqQuery, RpqError> {
+        let snapshot = self.shared.source.snapshot();
+        self.parse_at(subject, expr, object, &snapshot)
+    }
+
+    fn parse_at(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+        snapshot: &SourceSnapshot,
+    ) -> Result<RpqQuery, RpqError> {
         let resolver = SourceResolver {
             source: &*self.shared.source,
+            snapshot,
         };
         let e = automata::parser::parse(expr, &resolver)
             .map_err(|err| RpqError::Parse(err.to_string()))?;
@@ -264,8 +287,9 @@ impl RpqServer {
         object: &str,
         budget: QueryBudget,
     ) -> Result<QueryTicket, RpqError> {
-        let query = self.parse(subject, expr, object)?;
-        self.submit_parsed(query, budget)
+        let snapshot = self.shared.source.snapshot();
+        let query = self.parse_at(subject, expr, object, &snapshot)?;
+        self.submit_parsed_at(query, budget, snapshot)
     }
 
     /// Submits an id-level query (the path benchmarks and embedders use;
@@ -275,19 +299,32 @@ impl RpqServer {
         query: RpqQuery,
         budget: QueryBudget,
     ) -> Result<QueryTicket, RpqError> {
+        let snapshot = self.shared.source.snapshot();
+        self.submit_parsed_at(query, budget, snapshot)
+    }
+
+    fn submit_parsed_at(
+        &self,
+        query: RpqQuery,
+        budget: QueryBudget,
+        snapshot: SourceSnapshot,
+    ) -> Result<QueryTicket, RpqError> {
         if self.shared.shutdown.load(Ordering::Acquire) {
             return Err(RpqError::ShuttingDown);
         }
+        self.note_epoch(snapshot.epoch);
         let key = ResultKey {
             pattern: PreparedQuery::cache_key(&query.expr),
             subject: query.subject,
             object: query.object,
+            epoch: snapshot.epoch,
         };
         let id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let job = Arc::new(Job {
             query,
             key,
             budget,
+            snapshot,
             status: Mutex::new(QueryStatus::Queued),
             done: Condvar::new(),
             cancel: AtomicBool::new(false),
@@ -433,10 +470,25 @@ impl RpqServer {
     }
 
     /// Drops every cached plan and result (the invalidation hook an
-    /// index-update path must call).
+    /// index-update path must call; epoch bumps observed at submit time
+    /// call it automatically).
     pub fn invalidate_caches(&self) {
         self.shared.plan_cache.invalidate_all();
         self.shared.result_cache.invalidate_all();
+    }
+
+    /// Observes a snapshot epoch: a bump past the last one seen drops
+    /// both caches (results are additionally epoch-keyed, so even racing
+    /// insertions of older answers cannot serve a newer epoch).
+    fn note_epoch(&self, epoch: u64) {
+        let prev = self.shared.cache_epoch.fetch_max(epoch, Ordering::AcqRel);
+        if epoch > prev {
+            self.shared
+                .metrics
+                .epoch_bumps
+                .fetch_add(1, Ordering::Relaxed);
+            self.invalidate_caches();
+        }
     }
 
     /// Current queue depth.
@@ -446,12 +498,16 @@ impl RpqServer {
 
     /// The full metrics registry as a JSON object.
     pub fn metrics_json(&self) -> String {
+        let updates = self.shared.source.update_stats();
+        let epoch = self.shared.source.snapshot().epoch;
         registry_json(
             &self.shared.metrics,
             self.shared.config.workers,
             self.shared.config.max_pending,
             &self.shared.plan_cache.stats(),
             &self.shared.result_cache.stats(),
+            epoch,
+            updates,
         )
     }
 
@@ -488,45 +544,66 @@ impl Drop for RpqServer {
     }
 }
 
-fn worker_loop(shared: &Shared) {
-    let source = Arc::clone(&shared.source);
-    let ring = source.ring();
-    let mut engine = RpqEngine::new(ring);
+/// Pops the next job, or `None` on shutdown.
+fn pop_job(shared: &Shared) -> Option<Arc<Job>> {
+    let mut queue = shared.queue.lock().unwrap();
     loop {
-        let job = {
-            let mut queue = shared.queue.lock().unwrap();
-            loop {
-                if shared.shutdown.load(Ordering::Acquire) {
-                    return;
-                }
-                if let Some(job) = queue.pop_front() {
-                    shared.metrics.note_queue_depth(queue.len());
-                    break job;
-                }
-                queue = shared.queue_cv.wait(queue).unwrap();
-            }
-        };
-        // Claim the job: skip it if a cancel won the race.
-        {
-            let mut status = job.status.lock().unwrap();
-            if !matches!(*status, QueryStatus::Queued) {
-                continue;
-            }
-            *status = QueryStatus::Running;
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
         }
-        // A panicking evaluation must not strand the job as Running (a
-        // `wait` would block forever) nor shrink the worker pool: fail
-        // the job, rebuild the engine (its mask tables may be mid-
-        // update), and keep serving.
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            run_job(shared, &mut engine, &job)
-        }));
-        if outcome.is_err() {
-            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            job.finish(QueryStatus::Failed(RpqError::Internal(
-                "query evaluation panicked; see server logs".into(),
-            )));
-            engine = RpqEngine::new(ring);
+        if let Some(job) = queue.pop_front() {
+            shared.metrics.note_queue_depth(queue.len());
+            return Some(job);
+        }
+        queue = shared.queue_cv.wait(queue).unwrap();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // Jobs run against the snapshot captured at their submit time. The
+    // engine's mask tables are sized to one snapshot's ring, so the
+    // worker keeps an engine per *epoch*, rebuilding only when the next
+    // job's snapshot epoch differs from the current one.
+    let mut next: Option<Arc<Job>> = None;
+    'epoch: loop {
+        let job = match next.take().or_else(|| pop_job(shared)) {
+            Some(job) => job,
+            None => return,
+        };
+        let snap = job.snapshot.clone();
+        let mut engine = RpqEngine::over(&snap);
+        let mut current = Some(job);
+        loop {
+            let job = match current.take().or_else(|| pop_job(shared)) {
+                Some(job) => job,
+                None => return,
+            };
+            if job.snapshot.epoch != snap.epoch {
+                next = Some(job);
+                continue 'epoch;
+            }
+            // Claim the job: skip it if a cancel won the race.
+            {
+                let mut status = job.status.lock().unwrap();
+                if !matches!(*status, QueryStatus::Queued) {
+                    continue;
+                }
+                *status = QueryStatus::Running;
+            }
+            // A panicking evaluation must not strand the job as Running
+            // (a `wait` would block forever) nor shrink the worker pool:
+            // fail the job, rebuild the engine (its mask tables may be
+            // mid-update), and keep serving.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_job(shared, &mut engine, &job)
+            }));
+            if outcome.is_err() {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                job.finish(QueryStatus::Failed(RpqError::Internal(
+                    "query evaluation panicked; see server logs".into(),
+                )));
+                engine = RpqEngine::over(&snap);
+            }
         }
     }
 }
@@ -560,11 +637,12 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
         return;
     }
 
-    let ring = shared.source.ring();
+    let ring = &*job.snapshot.ring;
     let plan = match shared
         .plan_cache
-        .get_or_compile(&job.query.expr, &|l| ring.inverse_label(l))
-    {
+        .get_or_compile(&job.query.expr, job.snapshot.epoch, &|l| {
+            ring.inverse_label(l)
+        }) {
         Ok(plan) => plan,
         Err(e) => {
             metrics.failed.fetch_add(1, Ordering::Relaxed);

@@ -1,32 +1,76 @@
-//! What a server serves: a shared, immutable ring index plus the name
-//! dictionaries needed to parse string-level queries.
+//! What a server serves: an evaluation **snapshot** (ring plus optional
+//! delta overlay, stamped with an epoch) and the name dictionaries
+//! needed to parse string-level queries.
 //!
-//! The façade crate's `RpqDatabase` implements [`QuerySource`]; id-level
-//! embedders (benchmarks, tests) can use [`IndexSource`] directly, with
-//! or without dictionaries.
+//! The façade crate's `RpqDatabase` and `UpdatableDatabase` implement
+//! [`QuerySource`]; id-level embedders (benchmarks, tests) can use
+//! [`IndexSource`] (immutable) or [`LiveSource`] (an updatable
+//! [`TripleStore`] behind the same interface) directly, with or without
+//! dictionaries.
+
+use std::sync::Arc;
 
 use automata::parser::LabelResolver;
+use ring::store::TripleStore;
 use ring::{Dict, Id, Ring};
+use rpq_core::SourceSnapshot;
 
-/// A queryable database: the ring plus name resolution. Implementations
-/// must be immutable once served — every worker reads them concurrently
-/// (hence the `Send + Sync` bound, which the whole `ring`/`succinct`/
-/// `automata` stack satisfies: no interior mutability anywhere).
+/// Live update counters an updatable source exports (rendered into the
+/// server's metrics JSON).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct UpdateStats {
+    /// Current snapshot epoch.
+    pub epoch: u64,
+    /// Committed update batches.
+    pub commits: u64,
+    /// Ring rebuilds (explicit, automatic, or alphabet-extending).
+    pub compactions: u64,
+    /// Added triples in the committed overlay.
+    pub delta_adds: usize,
+    /// Tombstoned triples in the committed overlay.
+    pub delta_deletes: usize,
+    /// Buffered, uncommitted operations.
+    pub pending_ops: usize,
+}
+
+impl From<ring::store::StoreStats> for UpdateStats {
+    fn from(s: ring::store::StoreStats) -> Self {
+        Self {
+            epoch: s.epoch,
+            commits: s.commits,
+            compactions: s.compactions,
+            delta_adds: s.delta_adds,
+            delta_deletes: s.delta_deletes,
+            pending_ops: s.pending_ops,
+        }
+    }
+}
+
+/// A queryable database: snapshot capture plus name resolution.
+/// Snapshots are immutable once captured, so any number of workers can
+/// evaluate against one concurrently; updatable sources publish new
+/// snapshots (with bumped epochs) instead of mutating old ones.
 pub trait QuerySource: Send + Sync {
-    /// The shared ring index.
-    fn ring(&self) -> &Ring;
+    /// Captures the current evaluation snapshot (cheap: `Arc` clones).
+    /// Immutable sources return the same epoch-0 snapshot forever.
+    fn snapshot(&self) -> SourceSnapshot;
     /// Resolves a node name to its id.
     fn node_id(&self, name: &str) -> Option<Id>;
     /// The name of a node id (for rendering answers).
     fn node_name(&self, id: Id) -> Option<String>;
     /// Resolves a predicate name to its id.
     fn pred_id(&self, name: &str) -> Option<Id>;
+    /// Live update counters, for sources that support updates.
+    fn update_stats(&self) -> Option<UpdateStats> {
+        None
+    }
 }
 
-/// A [`QuerySource`] over explicit parts. Without dictionaries, names are
-/// decimal ids — the form synthetic workloads use.
+/// An immutable [`QuerySource`] over explicit parts. Without
+/// dictionaries, names are decimal ids — the form synthetic workloads
+/// use.
 pub struct IndexSource {
-    ring: Ring,
+    ring: Arc<Ring>,
     nodes: Option<Dict>,
     preds: Option<Dict>,
 }
@@ -35,7 +79,7 @@ impl IndexSource {
     /// A source with name dictionaries.
     pub fn new(ring: Ring, nodes: Dict, preds: Dict) -> Self {
         Self {
-            ring,
+            ring: Arc::new(ring),
             nodes: Some(nodes),
             preds: Some(preds),
         }
@@ -44,7 +88,7 @@ impl IndexSource {
     /// A dictionary-less source: node and predicate names are decimal ids.
     pub fn id_only(ring: Ring) -> Self {
         Self {
-            ring,
+            ring: Arc::new(ring),
             nodes: None,
             preds: None,
         }
@@ -52,8 +96,8 @@ impl IndexSource {
 }
 
 impl QuerySource for IndexSource {
-    fn ring(&self) -> &Ring {
-        &self.ring
+    fn snapshot(&self) -> SourceSnapshot {
+        SourceSnapshot::immutable(Arc::clone(&self.ring))
     }
 
     fn node_id(&self, name: &str) -> Option<Id> {
@@ -84,11 +128,59 @@ impl QuerySource for IndexSource {
     }
 }
 
+/// An updatable [`QuerySource`]: an id-level [`TripleStore`] served
+/// live. Names are decimal ids (like [`IndexSource::id_only`]); the
+/// name-level updatable API lives in the façade crate. Writers keep a
+/// reference to the same `Arc<LiveSource>` the server holds and
+/// insert/delete/commit through [`LiveSource::store`] while queries run.
+pub struct LiveSource {
+    store: TripleStore,
+}
+
+impl LiveSource {
+    /// Wraps a store for serving.
+    pub fn new(store: TripleStore) -> Self {
+        Self { store }
+    }
+
+    /// The underlying store (for writers: insert/delete/commit/compact).
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+}
+
+impl QuerySource for LiveSource {
+    fn snapshot(&self) -> SourceSnapshot {
+        SourceSnapshot::from_store(&self.store.snapshot())
+    }
+
+    fn node_id(&self, name: &str) -> Option<Id> {
+        let snap = self.store.snapshot();
+        name.parse::<Id>().ok().filter(|&id| id < snap.n_nodes())
+    }
+
+    fn node_name(&self, id: Id) -> Option<String> {
+        (id < self.store.snapshot().n_nodes()).then(|| id.to_string())
+    }
+
+    fn pred_id(&self, name: &str) -> Option<Id> {
+        let snap = self.store.snapshot();
+        name.parse::<Id>()
+            .ok()
+            .filter(|&id| id < snap.ring.n_preds_base().max(snap.graph.n_preds()))
+    }
+
+    fn update_stats(&self) -> Option<UpdateStats> {
+        Some(self.store.stats().into())
+    }
+}
+
 /// The [`LabelResolver`] a server builds over its source to parse path
 /// expressions: predicate names through the source, inverses through the
-/// ring's completed alphabet.
+/// completed alphabet of the snapshot captured for the query.
 pub(crate) struct SourceResolver<'a> {
     pub(crate) source: &'a dyn QuerySource,
+    pub(crate) snapshot: &'a SourceSnapshot,
 }
 
 impl LabelResolver for SourceResolver<'_> {
@@ -97,6 +189,6 @@ impl LabelResolver for SourceResolver<'_> {
     }
 
     fn inverse(&self, label: Id) -> Id {
-        self.source.ring().inverse_label(label)
+        self.snapshot.ring.inverse_label(label)
     }
 }

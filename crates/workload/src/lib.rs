@@ -28,7 +28,9 @@ pub mod logfile;
 pub mod metro;
 pub mod patterns;
 pub mod querygen;
+pub mod updates;
 
 pub use graphgen::{GraphGen, GraphGenConfig};
 pub use patterns::{classify, TABLE1_PATTERNS};
 pub use querygen::{GeneratedQuery, QueryGen};
+pub use updates::{StreamOp, UpdateGen, UpdateGenConfig};

@@ -1,0 +1,241 @@
+//! Update-stream generation: seeded, reproducible interleavings of
+//! inserts, deletes, commits and compactions against a base graph — the
+//! workload the live-update layer and its differential test battery
+//! consume.
+//!
+//! The stream is biased toward *meaningful* operations: deletes mostly
+//! hit live edges (tracked against an internal mirror), inserts re-add
+//! recently deleted edges, create fresh edges among existing nodes, or
+//! (configurably) introduce brand-new nodes; commits arrive in batches
+//! of a few operations, and compactions are rare. Apply an op stream to
+//! any oracle with [`apply_op`].
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use ring::{Graph, Id, Triple};
+use std::collections::BTreeSet;
+
+/// One generated update-stream event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamOp {
+    /// Insert a triple (may already be live — a no-op then).
+    Insert(Triple),
+    /// Delete a triple (may be absent — a no-op then).
+    Delete(Triple),
+    /// Atomically publish everything since the previous commit.
+    Commit,
+    /// Rebuild the index from base ⊎ delta.
+    Compact,
+}
+
+/// Configuration for [`UpdateGen`].
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateGenConfig {
+    /// Probability an edit is a delete (vs an insert).
+    pub delete_ratio: f64,
+    /// Probability a delete targets a live edge (vs a random, likely
+    /// absent triple — exercising the no-op path).
+    pub delete_live_bias: f64,
+    /// Probability an insert re-adds a previously deleted edge.
+    pub reinsert_bias: f64,
+    /// Probability an insert endpoint is a brand-new node (grows the
+    /// universe through the delta).
+    pub new_node_ratio: f64,
+    /// Probability an insert uses a brand-new predicate (forces an
+    /// alphabet-extending rebuild at commit). Keep 0 to stay on the
+    /// delta path.
+    pub new_pred_ratio: f64,
+    /// A commit is emitted after every `commit_every` edits on average.
+    pub commit_every: usize,
+    /// Probability a commit is followed by an explicit compaction.
+    pub compact_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for UpdateGenConfig {
+    fn default() -> Self {
+        Self {
+            delete_ratio: 0.4,
+            delete_live_bias: 0.8,
+            reinsert_bias: 0.2,
+            new_node_ratio: 0.1,
+            new_pred_ratio: 0.0,
+            commit_every: 6,
+            compact_ratio: 0.15,
+            seed: 42,
+        }
+    }
+}
+
+/// Deterministic update-stream generator over a base graph.
+pub struct UpdateGen {
+    cfg: UpdateGenConfig,
+    rng: StdRng,
+    /// Mirror of the live triple set (as if every op so far committed).
+    live: Vec<Triple>,
+    /// Edges deleted at some point (re-insert candidates).
+    graveyard: Vec<Triple>,
+    next_node: Id,
+    next_pred: Id,
+    n_nodes: Id,
+    n_preds: Id,
+    edits_since_commit: usize,
+}
+
+impl UpdateGen {
+    /// A generator whose first ops mutate `base`.
+    pub fn new(base: &Graph, cfg: UpdateGenConfig) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x75D0_57A7E),
+            live: base.triples().to_vec(),
+            graveyard: Vec::new(),
+            next_node: base.n_nodes(),
+            next_pred: base.n_preds(),
+            n_nodes: base.n_nodes().max(1),
+            n_preds: base.n_preds().max(1),
+            edits_since_commit: 0,
+            cfg,
+        }
+    }
+
+    fn random_node(&mut self) -> Id {
+        if self.rng.random_bool(self.cfg.new_node_ratio) {
+            self.next_node += 1;
+            self.next_node - 1
+        } else {
+            self.rng.random_range(0..self.n_nodes)
+        }
+    }
+
+    fn random_pred(&mut self) -> Id {
+        if self.cfg.new_pred_ratio > 0.0 && self.rng.random_bool(self.cfg.new_pred_ratio) {
+            self.next_pred += 1;
+            self.next_pred - 1
+        } else {
+            self.rng.random_range(0..self.n_preds)
+        }
+    }
+
+    /// The next event of the stream (never ends; callers take as many as
+    /// they want).
+    pub fn next_op(&mut self) -> StreamOp {
+        if self.edits_since_commit > 0
+            && self
+                .rng
+                .random_bool(1.0 / self.cfg.commit_every.max(1) as f64)
+        {
+            self.edits_since_commit = 0;
+            return if self.rng.random_bool(self.cfg.compact_ratio) {
+                StreamOp::Compact
+            } else {
+                StreamOp::Commit
+            };
+        }
+        self.edits_since_commit += 1;
+        let delete = !self.live.is_empty() && self.rng.random_bool(self.cfg.delete_ratio);
+        if delete {
+            let t = if self.rng.random_bool(self.cfg.delete_live_bias) {
+                let i = self.rng.random_range(0..self.live.len());
+                self.live.swap_remove(i)
+            } else {
+                Triple::new(
+                    self.rng.random_range(0..self.n_nodes),
+                    self.rng.random_range(0..self.n_preds),
+                    self.rng.random_range(0..self.n_nodes),
+                )
+            };
+            self.live.retain(|&x| x != t);
+            self.graveyard.push(t);
+            return StreamOp::Delete(t);
+        }
+        let t = if !self.graveyard.is_empty() && self.rng.random_bool(self.cfg.reinsert_bias) {
+            let i = self.rng.random_range(0..self.graveyard.len());
+            self.graveyard.swap_remove(i)
+        } else {
+            let s = self.random_node();
+            let p = self.random_pred();
+            let o = self.random_node();
+            Triple::new(s, p, o)
+        };
+        if !self.live.contains(&t) {
+            self.live.push(t);
+        }
+        StreamOp::Insert(t)
+    }
+
+    /// Generates `n` events.
+    pub fn take_ops(&mut self, n: usize) -> Vec<StreamOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+/// Applies one event to a committed/pending mirror pair — the oracle
+/// bookkeeping differential tests use: `pending` tracks every edit,
+/// `committed` jumps to `pending` on commit/compact. Returns `true` when
+/// the event published a new version (commit or compact).
+pub fn apply_op(
+    op: StreamOp,
+    pending: &mut BTreeSet<Triple>,
+    committed: &mut BTreeSet<Triple>,
+) -> bool {
+    match op {
+        StreamOp::Insert(t) => {
+            pending.insert(t);
+            false
+        }
+        StreamOp::Delete(t) => {
+            pending.remove(&t);
+            false
+        }
+        StreamOp::Commit | StreamOp::Compact => {
+            *committed = pending.clone();
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Graph {
+        Graph::from_triples(vec![
+            Triple::new(0, 0, 1),
+            Triple::new(1, 0, 2),
+            Triple::new(2, 1, 0),
+        ])
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let cfg = UpdateGenConfig::default();
+        let a = UpdateGen::new(&base(), cfg).take_ops(100);
+        let b = UpdateGen::new(&base(), cfg).take_ops(100);
+        assert_eq!(a, b);
+        let c = UpdateGen::new(&base(), UpdateGenConfig { seed: 7, ..cfg }).take_ops(100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn streams_mix_all_event_kinds() {
+        let mut g = UpdateGen::new(&base(), UpdateGenConfig::default());
+        let ops = g.take_ops(400);
+        let count = |f: fn(&StreamOp) -> bool| ops.iter().filter(|o| f(o)).count();
+        assert!(count(|o| matches!(o, StreamOp::Insert(_))) > 50);
+        assert!(count(|o| matches!(o, StreamOp::Delete(_))) > 30);
+        assert!(count(|o| matches!(o, StreamOp::Commit)) > 10);
+        assert!(count(|o| matches!(o, StreamOp::Compact)) > 0);
+    }
+
+    #[test]
+    fn mirror_bookkeeping_tracks_commits() {
+        let mut pending: BTreeSet<Triple> = base().triples().iter().copied().collect();
+        let mut committed = pending.clone();
+        let t = Triple::new(0, 0, 2);
+        assert!(!apply_op(StreamOp::Insert(t), &mut pending, &mut committed));
+        assert!(!committed.contains(&t));
+        assert!(apply_op(StreamOp::Commit, &mut pending, &mut committed));
+        assert!(committed.contains(&t));
+    }
+}

@@ -22,7 +22,7 @@
 //! (pattern parse error or unknown node) — typed, no backtrace.
 
 use ring_rpq::rpq_server::{RpqError, RpqServer, ServerConfig};
-use ring_rpq::{DbError, RpqDatabase};
+use ring_rpq::{DbError, RpqDatabase, UpdatableDatabase};
 use rpq_core::EngineOptions;
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -34,6 +34,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
+        Some("insert") => cmd_update(&args[1..], true),
+        Some("delete") => cmd_update(&args[1..], false),
+        Some("compact") => cmd_compact(&args[1..]),
         Some("query") => cmd_query(&args[1..]),
         Some("explain") => cmd_explain(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
@@ -63,6 +66,9 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
+  rpq-cli insert <index.db> <delta.txt|.nt>      commit a batch of triple inserts
+  rpq-cli delete <index.db> <delta.txt|.nt>      commit a batch of triple deletes
+  rpq-cli compact <index.db>                     fold the delta overlay into the ring
   rpq-cli query <index.db> <s> <expr> <o>        run one 2RPQ (use ?vars)
   rpq-cli explain <index.db> <s> <expr> <o>      show the evaluation plan (human-readable)
   rpq-cli serve <index.db> [opts]                query service: one 's expr o' per stdin line
@@ -126,7 +132,72 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
 }
 
 fn load(path: &str) -> Result<RpqDatabase, CliError> {
-    RpqDatabase::load(Path::new(path)).map_err(|e| CliError::Other(format!("loading {path}: {e}")))
+    // Updatable files (those carrying a delta overlay) load too: the
+    // overlay is folded in memory; the file itself is left as-is.
+    match RpqDatabase::load(Path::new(path)) {
+        Ok(db) => Ok(db),
+        Err(first) => match UpdatableDatabase::load(Path::new(path)) {
+            Ok(db) => Ok(db.into_database()),
+            Err(_) => Err(CliError::Other(format!("loading {path}: {first}"))),
+        },
+    }
+}
+
+fn load_updatable(path: &str) -> Result<UpdatableDatabase, CliError> {
+    UpdatableDatabase::load(Path::new(path))
+        .map_err(|e| CliError::Other(format!("loading {path}: {e}")))
+}
+
+/// `insert`/`delete`: apply a delta file to a persisted database in one
+/// committed batch, auto-compacting on the size-ratio trigger, and save
+/// the result back.
+fn cmd_update(args: &[String], is_insert: bool) -> Result<(), CliError> {
+    let verb = if is_insert { "insert" } else { "delete" };
+    let [index, delta_file] = args else {
+        return Err(format!("{verb} needs <index.db> <delta.txt|.nt>\n{USAGE}").into());
+    };
+    let db = load_updatable(index)?;
+    let text = std::fs::read_to_string(delta_file)
+        .map_err(|e| CliError::Other(format!("reading {delta_file}: {e}")))?;
+    let nt = Path::new(delta_file)
+        .extension()
+        .is_some_and(|x| x.eq_ignore_ascii_case("nt"));
+    let n = match (nt, is_insert) {
+        (true, true) => db.insert_ntriples(&text),
+        (true, false) => db.delete_ntriples(&text),
+        (false, true) => db.insert_text(&text),
+        (false, false) => db.delete_text(&text),
+    }
+    .map_err(|e| CliError::Other(e.to_string()))?;
+    let epoch = db.commit();
+    db.save(Path::new(index))
+        .map_err(|e| format!("writing {index}: {e}"))?;
+    let stats = db.stats();
+    println!(
+        "{verb}: {n} triples committed at epoch {epoch} (delta: +{} -{}; compactions: {})",
+        stats.delta_adds, stats.delta_deletes, stats.compactions
+    );
+    Ok(())
+}
+
+/// `compact`: rebuild the ring from ring + delta and persist the result
+/// (the file returns to the immutable format).
+fn cmd_compact(args: &[String]) -> Result<(), CliError> {
+    let [index] = args else {
+        return Err(format!("compact needs <index.db>\n{USAGE}").into());
+    };
+    let db = load_updatable(index)?;
+    let before = db.stats();
+    let t = Instant::now();
+    let epoch = db.compact();
+    let secs = t.elapsed().as_secs_f64();
+    db.save(Path::new(index))
+        .map_err(|e| format!("writing {index}: {e}"))?;
+    println!(
+        "compacted {} adds and {} deletes into the ring in {secs:.2}s (epoch {epoch})",
+        before.delta_adds, before.delta_deletes
+    );
+    Ok(())
 }
 
 fn cmd_query(args: &[String]) -> Result<(), CliError> {

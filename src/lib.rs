@@ -49,10 +49,14 @@ pub use rpq_server;
 pub use succinct;
 pub use workload;
 
+mod updatable;
+pub use updatable::UpdatableDatabase;
+
 use automata::parser::{self, LabelResolver};
 use ring::ring::RingOptions;
 use ring::{Dict, Graph, Id, Ring};
-use rpq_core::{EngineOptions, QueryOutput, RpqEngine, RpqQuery, Term};
+use rpq_core::{EngineOptions, QueryOutput, RpqEngine, RpqQuery, SourceSnapshot, Term};
+use std::sync::Arc;
 
 /// Errors from the name-level API.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -89,7 +93,7 @@ impl std::error::Error for DbError {}
 /// closures, `^p` inverse steps, `!(p|q)` negated label sets.
 pub struct RpqDatabase {
     graph: Graph,
-    ring: Ring,
+    ring: Arc<Ring>,
     nodes: Dict,
     preds: Dict,
 }
@@ -144,7 +148,31 @@ impl RpqDatabase {
 
     /// Builds a database from pre-encoded parts.
     pub fn from_parts(graph: Graph, nodes: Dict, preds: Dict) -> Self {
-        let ring = Ring::build(&graph, RingOptions::default());
+        let ring = Arc::new(Ring::build(&graph, RingOptions::default()));
+        Self {
+            graph,
+            ring,
+            nodes,
+            preds,
+        }
+    }
+
+    /// Converts this immutable database into an [`UpdatableDatabase`]
+    /// accepting live inserts, deletes, commits and compactions.
+    pub fn into_updatable(self) -> UpdatableDatabase {
+        UpdatableDatabase::from_database(self)
+    }
+
+    pub(crate) fn into_raw_parts(self) -> (Graph, Arc<Ring>, Dict, Dict) {
+        (self.graph, self.ring, self.nodes, self.preds)
+    }
+
+    pub(crate) fn from_built_parts(
+        graph: Graph,
+        ring: Arc<Ring>,
+        nodes: Dict,
+        preds: Dict,
+    ) -> Self {
         Self {
             graph,
             ring,
@@ -323,7 +351,7 @@ impl RpqDatabase {
         }
         Ok(Self {
             graph,
-            ring,
+            ring: Arc::new(ring),
             nodes,
             preds,
         })
@@ -332,10 +360,11 @@ impl RpqDatabase {
 
 /// An [`RpqDatabase`] is exactly what a server serves: the shared ring
 /// plus the name dictionaries. All of it is immutable after
-/// construction, so one instance backs any number of workers.
+/// construction, so one instance backs any number of workers (every
+/// snapshot is the same epoch-0 view).
 impl rpq_server::QuerySource for RpqDatabase {
-    fn ring(&self) -> &Ring {
-        &self.ring
+    fn snapshot(&self) -> SourceSnapshot {
+        SourceSnapshot::immutable(Arc::clone(&self.ring))
     }
 
     fn node_id(&self, name: &str) -> Option<Id> {

@@ -1,0 +1,647 @@
+//! The name-level updatable database: [`UpdatableDatabase`] wraps the
+//! id-level [`ring::store::TripleStore`] (immutable ring + delta
+//! overlay, atomic versioned snapshots) with dictionary handling,
+//! N-Triples delta loading, and the same query API as [`RpqDatabase`].
+//!
+//! Life cycle: [`UpdatableDatabase::insert`] / [`UpdatableDatabase::delete`]
+//! buffer triples (interning new names immediately — ids are stable and
+//! append-only, even across compactions); [`UpdatableDatabase::commit`]
+//! publishes them atomically under a new snapshot **epoch**; queries
+//! capture one snapshot for their whole evaluation, so they never see a
+//! half-applied batch; [`UpdatableDatabase::compact`] (or the size-ratio
+//! auto-trigger, or a commit that introduces new predicate labels)
+//! rebuilds the ring from ring ⊎ delta and swaps it in.
+
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use ring::delta::DeltaIndex;
+use ring::store::{StoreSnapshot, StoreStats, TripleStore};
+use ring::{Dict, Graph, Id, Ring, Triple};
+use rpq_core::{EngineOptions, QueryOutput, RpqEngine, RpqQuery, SourceSnapshot, Term};
+use succinct::io::Persist;
+
+use crate::{DbError, RpqDatabase};
+
+/// File magic of the updatable on-disk format ([`UpdatableDatabase::save`]).
+const MAGIC_UPDATABLE: &[u8; 8] = b"RRPQDU01";
+/// File magic of the immutable format ([`RpqDatabase::save`]).
+const MAGIC_IMMUTABLE: &[u8; 8] = b"RRPQDB01";
+
+struct Dicts {
+    nodes: Dict,
+    preds: Dict,
+}
+
+/// A live-updatable RPQ database: the ring plus a delta overlay behind
+/// snapshot-consistent queries, with name-level inserts and deletes.
+///
+/// ```
+/// use ring_rpq::UpdatableDatabase;
+///
+/// let db = UpdatableDatabase::from_text("a p b\nb p c\n").unwrap();
+/// db.insert("c", "p", "d");
+/// db.delete("a", "p", "b");
+/// db.commit();
+/// let pairs = db.query("?x", "p+", "d").unwrap();
+/// assert_eq!(pairs, vec![
+///     ("b".to_string(), "d".to_string()),
+///     ("c".to_string(), "d".to_string()),
+/// ]);
+/// ```
+pub struct UpdatableDatabase {
+    store: TripleStore,
+    dicts: RwLock<Dicts>,
+}
+
+impl UpdatableDatabase {
+    /// Wraps an immutable database (consumes it; the ring is reused, not
+    /// rebuilt).
+    pub fn from_database(db: RpqDatabase) -> Self {
+        let (graph, ring, nodes, preds) = db.into_raw_parts();
+        let ring = Arc::try_unwrap(ring).unwrap_or_else(|a| (*a).clone());
+        Self {
+            store: TripleStore::from_built(graph, ring, DeltaIndex::empty(0), 0),
+            dicts: RwLock::new(Dicts { nodes, preds }),
+        }
+    }
+
+    /// Builds from whitespace triple text (see [`RpqDatabase::from_text`]).
+    pub fn from_text(text: &str) -> Result<Self, DbError> {
+        RpqDatabase::from_text(text).map(Self::from_database)
+    }
+
+    /// Builds from N-Triples text (see [`RpqDatabase::from_ntriples`]).
+    pub fn from_ntriples(text: &str) -> Result<Self, DbError> {
+        RpqDatabase::from_ntriples(text).map(Self::from_database)
+    }
+
+    /// Reads a graph file, picking the parser by extension.
+    pub fn from_graph_file(path: &Path) -> Result<Self, DbError> {
+        RpqDatabase::from_graph_file(path).map(Self::from_database)
+    }
+
+    /// Replaces the auto-compaction trigger: rebuild when the committed
+    /// overlay reaches `ratio × base edges` (`None` disables; the
+    /// default is [`TripleStore::DEFAULT_AUTO_COMPACT_RATIO`]).
+    pub fn with_auto_compact_ratio(mut self, ratio: Option<f64>) -> Self {
+        self.store = self.store.with_auto_compact_ratio(ratio);
+        self
+    }
+
+    /// The underlying id-level store.
+    pub fn store(&self) -> &TripleStore {
+        &self.store
+    }
+
+    /// Buffers the insertion of `(subject, predicate, object)`. Unknown
+    /// names are interned immediately (ids are append-only and survive
+    /// compaction); the triple becomes visible at the next
+    /// [`Self::commit`]. Inserting a triple with a brand-new predicate
+    /// makes that commit rebuild the ring (the succinct alphabet is
+    /// fixed per build).
+    pub fn insert(&self, subject: &str, predicate: &str, object: &str) {
+        let mut dicts = self.dicts.write().unwrap();
+        let t = Triple::new(
+            dicts.nodes.intern(subject),
+            dicts.preds.intern(predicate),
+            dicts.nodes.intern(object),
+        );
+        self.store.insert(t);
+    }
+
+    /// Buffers the deletion of `(subject, predicate, object)`. Returns
+    /// `false` (and buffers nothing) when a name is unknown — such a
+    /// triple cannot be live.
+    pub fn delete(&self, subject: &str, predicate: &str, object: &str) -> bool {
+        let dicts = self.dicts.read().unwrap();
+        let (Some(s), Some(p), Some(o)) = (
+            dicts.nodes.get(subject),
+            dicts.preds.get(predicate),
+            dicts.nodes.get(object),
+        ) else {
+            return false;
+        };
+        self.store.delete(Triple::new(s, p, o));
+        true
+    }
+
+    /// Buffers every triple of a whitespace triple-text block as inserts.
+    /// Returns the number of triples buffered.
+    pub fn insert_text(&self, text: &str) -> Result<usize, DbError> {
+        self.apply_text(text, true)
+    }
+
+    /// Buffers every triple of a whitespace triple-text block as deletes.
+    pub fn delete_text(&self, text: &str) -> Result<usize, DbError> {
+        self.apply_text(text, false)
+    }
+
+    fn apply_text(&self, text: &str, is_insert: bool) -> Result<usize, DbError> {
+        let (graph, nodes, preds) = Graph::parse_text(text).map_err(DbError::Graph)?;
+        Ok(self.apply_parsed(&graph, &nodes, &preds, is_insert))
+    }
+
+    /// Buffers every triple of an N-Triples block as inserts — the delta
+    /// counterpart of [`RpqDatabase::from_ntriples`]. Returns the number
+    /// of triples buffered.
+    pub fn insert_ntriples(&self, text: &str) -> Result<usize, DbError> {
+        self.apply_ntriples(text, true)
+    }
+
+    /// Buffers every triple of an N-Triples block as deletes.
+    pub fn delete_ntriples(&self, text: &str) -> Result<usize, DbError> {
+        self.apply_ntriples(text, false)
+    }
+
+    fn apply_ntriples(&self, text: &str, is_insert: bool) -> Result<usize, DbError> {
+        let (graph, nodes, preds) =
+            ring::ntriples::parse_ntriples(text).map_err(|e| DbError::Graph(e.to_string()))?;
+        Ok(self.apply_parsed(&graph, &nodes, &preds, is_insert))
+    }
+
+    fn apply_parsed(&self, graph: &Graph, nodes: &Dict, preds: &Dict, is_insert: bool) -> usize {
+        let mut n = 0;
+        for t in graph.triples() {
+            let s = nodes.name(t.s);
+            let p = preds.name(t.p);
+            let o = nodes.name(t.o);
+            if is_insert {
+                self.insert(s, p, o);
+                n += 1;
+            } else if self.delete(s, p, o) {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Atomically commits the buffered operations under a new epoch (see
+    /// [`TripleStore::commit`] for the rebuild and auto-compaction
+    /// rules). Returns the resulting epoch.
+    pub fn commit(&self) -> u64 {
+        self.store.commit()
+    }
+
+    /// Rebuilds the ring from ring ⊎ delta and swaps it in. Returns the
+    /// resulting epoch.
+    pub fn compact(&self) -> u64 {
+        self.store.compact()
+    }
+
+    /// The current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    /// Buffered, uncommitted operations.
+    pub fn pending_ops(&self) -> usize {
+        self.store.pending_ops()
+    }
+
+    /// Live update counters.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Compacts and unwraps into an immutable [`RpqDatabase`] (buffered,
+    /// uncommitted operations are committed first).
+    pub fn into_database(self) -> RpqDatabase {
+        self.store.commit();
+        self.store.compact();
+        let snap = self.store.snapshot();
+        let dicts = self.dicts.into_inner().unwrap();
+        let graph = (*snap.graph).clone();
+        RpqDatabase::from_built_parts(graph, Arc::clone(&snap.ring), dicts.nodes, dicts.preds)
+    }
+
+    /// Parses endpoints and expression against the given snapshot.
+    fn parse_query_at(
+        &self,
+        snap: &StoreSnapshot,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<RpqQuery, DbError> {
+        struct Resolver<'a> {
+            preds: &'a Dict,
+            ring: &'a Ring,
+        }
+        impl automata::parser::LabelResolver for Resolver<'_> {
+            fn resolve(&self, name: &str) -> Option<Id> {
+                self.preds.get(name)
+            }
+            fn inverse(&self, label: Id) -> Id {
+                self.ring.inverse_label(label)
+            }
+        }
+        let dicts = self.dicts.read().unwrap();
+        let e = automata::parser::parse(
+            expr,
+            &Resolver {
+                preds: &dicts.preds,
+                ring: &snap.ring,
+            },
+        )
+        .map_err(DbError::Parse)?;
+        let term = |name: &str| -> Result<Term, DbError> {
+            if name.starts_with('?') {
+                Ok(Term::Var)
+            } else {
+                dicts
+                    .nodes
+                    .get(name)
+                    .map(Term::Const)
+                    .ok_or_else(|| DbError::UnknownNode(name.to_string()))
+            }
+        };
+        Ok(RpqQuery::new(term(subject)?, e, term(object)?))
+    }
+
+    /// Parses endpoints and expression into an id-level [`RpqQuery`]
+    /// against the current snapshot's alphabet.
+    pub fn parse_query(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<RpqQuery, DbError> {
+        self.parse_query_at(&self.store.snapshot(), subject, expr, object)
+    }
+
+    /// Evaluates a query against the current snapshot, returning name
+    /// pairs sorted lexicographically. Concurrent commits never tear the
+    /// answer: the whole evaluation runs against the snapshot captured
+    /// here.
+    pub fn query(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+    ) -> Result<Vec<(String, String)>, DbError> {
+        let out = self.query_with(subject, expr, object, &EngineOptions::default())?;
+        let dicts = self.dicts.read().unwrap();
+        let mut named: Vec<(String, String)> = out
+            .pairs
+            .iter()
+            .map(|&(s, o)| {
+                (
+                    dicts.nodes.name(s).to_string(),
+                    dicts.nodes.name(o).to_string(),
+                )
+            })
+            .collect();
+        named.sort();
+        Ok(named)
+    }
+
+    /// Evaluates with explicit options, returning the raw id-level
+    /// output (snapshot-consistent, like [`Self::query`]).
+    pub fn query_with(
+        &self,
+        subject: &str,
+        expr: &str,
+        object: &str,
+        opts: &EngineOptions,
+    ) -> Result<QueryOutput, DbError> {
+        let snap = self.store.snapshot();
+        let q = self.parse_query_at(&snap, subject, expr, object)?;
+        self.evaluate_at(&snap, &q, opts)
+    }
+
+    /// Evaluates an id-level query against the given snapshot. A
+    /// constant naming an interned-but-not-yet-committed node is simply
+    /// absent from this snapshot: the answer is empty.
+    fn evaluate_at(
+        &self,
+        snap: &StoreSnapshot,
+        q: &RpqQuery,
+        opts: &EngineOptions,
+    ) -> Result<QueryOutput, DbError> {
+        let universe = snap.n_nodes();
+        for t in [q.subject, q.object] {
+            if let Term::Const(c) = t {
+                if c >= universe {
+                    return Ok(QueryOutput::default());
+                }
+            }
+        }
+        RpqEngine::over(snap)
+            .evaluate(q, opts)
+            .map_err(DbError::Query)
+    }
+
+    /// Persists the committed state (graph, dictionaries, ring, delta,
+    /// epoch). Buffered, *uncommitted* operations are not saved. When
+    /// the overlay is empty **and** the dictionaries match the graph's
+    /// id universes exactly, the file uses the immutable format,
+    /// loadable by [`RpqDatabase::load`] too; otherwise the updatable
+    /// format carries the larger (append-only) dictionaries safely.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let snap = self.store.snapshot();
+        let dicts = self.dicts.read().unwrap();
+        // Append-only interning can leave the dicts larger than the
+        // committed graph (names used only by uncommitted or deleted
+        // triples); RpqDatabase::load requires exact sizes.
+        let immutable = snap.delta.is_empty()
+            && dicts.nodes.len() as Id == snap.graph.n_nodes()
+            && dicts.preds.len() as Id == snap.graph.n_preds();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        if immutable {
+            std::io::Write::write_all(&mut f, MAGIC_IMMUTABLE)?;
+        } else {
+            std::io::Write::write_all(&mut f, MAGIC_UPDATABLE)?;
+        }
+        snap.graph.write_to(&mut f)?;
+        dicts.nodes.write_to(&mut f)?;
+        dicts.preds.write_to(&mut f)?;
+        snap.ring.write_to(&mut f)?;
+        if !immutable {
+            snap.delta.write_to(&mut f)?;
+            succinct::io::write_u64(&mut f, snap.epoch)?;
+        }
+        std::io::Write::flush(&mut f)
+    }
+
+    /// Loads a database persisted by [`Self::save`] **or**
+    /// [`RpqDatabase::save`] (an immutable file loads with an empty
+    /// overlay at epoch 0).
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        use succinct::io::bad_data;
+        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let mut magic = [0u8; 8];
+        std::io::Read::read_exact(&mut f, &mut magic)?;
+        let updatable = match &magic {
+            m if m == MAGIC_UPDATABLE => true,
+            m if m == MAGIC_IMMUTABLE => false,
+            _ => return Err(bad_data("not a ring-rpq database file")),
+        };
+        let graph = Graph::read_from(&mut f)?;
+        let nodes = Dict::read_from(&mut f)?;
+        let preds = Dict::read_from(&mut f)?;
+        let ring = Ring::read_from(&mut f)?;
+        if (preds.len() as Id) < graph.n_preds() {
+            return Err(bad_data(
+                "predicate dictionary smaller than the graph alphabet",
+            ));
+        }
+        if ring.n_preds_base() != graph.n_preds() {
+            return Err(bad_data("ring alphabet does not match the graph"));
+        }
+        let (delta, epoch) = if updatable {
+            let delta = DeltaIndex::read_from(&mut f)?;
+            if delta.n_preds_base() != graph.n_preds() {
+                return Err(bad_data("delta alphabet does not match the graph"));
+            }
+            let epoch = succinct::io::read_u64(&mut f)?;
+            (delta, epoch)
+        } else {
+            (DeltaIndex::empty(graph.n_preds()), 0)
+        };
+        if (nodes.len() as Id) < graph.n_nodes().max(delta.n_nodes()) {
+            return Err(bad_data("dictionary smaller than the node universe"));
+        }
+        Ok(Self {
+            store: TripleStore::from_built(graph, ring, delta, epoch),
+            dicts: RwLock::new(Dicts { nodes, preds }),
+        })
+    }
+
+    /// Starts a concurrent query server over this live database (see
+    /// [`rpq_server::RpqServer`]): queries capture a snapshot epoch at
+    /// submit time, caches are epoch-keyed and dropped on epoch bumps,
+    /// and commits through the returned server's
+    /// [`source`](rpq_server::RpqServer::source) are safe while queries
+    /// run.
+    pub fn into_server(self, config: rpq_server::ServerConfig) -> rpq_server::RpqServer {
+        rpq_server::RpqServer::start(Arc::new(self), config)
+    }
+}
+
+impl rpq_server::QuerySource for UpdatableDatabase {
+    fn snapshot(&self) -> SourceSnapshot {
+        SourceSnapshot::from_store(&self.store.snapshot())
+    }
+
+    fn node_id(&self, name: &str) -> Option<Id> {
+        self.dicts.read().unwrap().nodes.get(name)
+    }
+
+    fn node_name(&self, id: Id) -> Option<String> {
+        let dicts = self.dicts.read().unwrap();
+        (id < dicts.nodes.len() as Id).then(|| dicts.nodes.name(id).to_string())
+    }
+
+    fn pred_id(&self, name: &str) -> Option<Id> {
+        self.dicts.read().unwrap().preds.get(name)
+    }
+
+    fn update_stats(&self) -> Option<rpq_server::UpdateStats> {
+        Some(self.store.stats().into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_delete_commit_roundtrip() {
+        let db = UpdatableDatabase::from_text("a p b\nb p c\n")
+            .unwrap()
+            .with_auto_compact_ratio(None);
+        db.insert("c", "p", "d");
+        db.delete("a", "p", "b");
+        assert_eq!(db.pending_ops(), 2);
+        // Invisible before commit.
+        assert_eq!(
+            db.query("?x", "p", "?y").unwrap(),
+            vec![("a".into(), "b".into()), ("b".into(), "c".into())]
+        );
+        assert_eq!(db.commit(), 1);
+        assert_eq!(
+            db.query("?x", "p", "?y").unwrap(),
+            vec![("b".into(), "c".into()), ("c".into(), "d".into())]
+        );
+        // Inverse steps see the delta too.
+        assert_eq!(
+            db.query("d", "^p", "?y").unwrap(),
+            vec![("d".into(), "c".into())]
+        );
+    }
+
+    #[test]
+    fn new_predicates_rebuild_and_resolve() {
+        let db = UpdatableDatabase::from_text("a p b\n").unwrap();
+        db.insert("b", "q", "c");
+        db.commit();
+        assert_eq!(
+            db.query("a", "p/q", "?y").unwrap(),
+            vec![("a".into(), "c".into())]
+        );
+        assert!(db.store().snapshot().delta.is_empty());
+    }
+
+    #[test]
+    fn uncommitted_nodes_answer_empty_not_error() {
+        let db = UpdatableDatabase::from_text("a p b\n").unwrap();
+        db.insert("zzz", "p", "a"); // interns zzz, not committed
+        assert_eq!(db.query("zzz", "p", "?y").unwrap(), vec![]);
+        assert!(matches!(
+            db.query("never-seen", "p", "?y"),
+            Err(DbError::UnknownNode(_))
+        ));
+        db.commit();
+        assert_eq!(
+            db.query("zzz", "p", "?y").unwrap(),
+            vec![("zzz".into(), "a".into())]
+        );
+    }
+
+    #[test]
+    fn compaction_preserves_answers_and_names() {
+        let db = UpdatableDatabase::from_text("a p b\nb p c\nc q a\n")
+            .unwrap()
+            .with_auto_compact_ratio(None);
+        db.delete("b", "p", "c");
+        db.insert("c", "p", "a");
+        db.commit();
+        let before = db.query("?x", "p+", "?y").unwrap();
+        db.compact();
+        assert_eq!(db.query("?x", "p+", "?y").unwrap(), before);
+        assert!(db.store().snapshot().delta.is_empty());
+    }
+
+    #[test]
+    fn ntriples_delta_loading() {
+        let db = UpdatableDatabase::from_ntriples("<a> <p> <b> .\n<b> <p> <c> .\n").unwrap();
+        let n = db.insert_ntriples("<c> <p> <d> .\n").unwrap();
+        assert_eq!(n, 1);
+        let n = db
+            .delete_ntriples("<a> <p> <b> .\n<x> <p> <y> .\n")
+            .unwrap();
+        assert_eq!(n, 1); // unknown names cannot be live
+        db.commit();
+        assert_eq!(
+            db.query("?x", "<p>", "?y").unwrap(),
+            vec![("<b>".into(), "<c>".into()), ("<c>".into(), "<d>".into())]
+        );
+    }
+
+    #[test]
+    fn save_load_roundtrip_with_delta() {
+        let dir = std::env::temp_dir().join(format!("rpq-updatable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.db");
+        let db = UpdatableDatabase::from_text("a p b\nb p c\n")
+            .unwrap()
+            .with_auto_compact_ratio(None);
+        db.insert("c", "p", "d");
+        db.delete("a", "p", "b");
+        db.commit();
+        db.save(&path).unwrap();
+        let back = UpdatableDatabase::load(&path).unwrap();
+        assert_eq!(back.epoch(), 1);
+        assert_eq!(
+            back.query("?x", "p+", "?y").unwrap(),
+            db.query("?x", "p+", "?y").unwrap()
+        );
+        // Compacted state saves in the immutable format.
+        db.compact();
+        db.save(&path).unwrap();
+        let plain = RpqDatabase::load(&path).unwrap();
+        assert_eq!(
+            plain.query("?x", "p+", "?y").unwrap(),
+            db.query("?x", "p+", "?y").unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Append-only dictionaries legitimately outgrow the committed
+    /// graph — names interned by uncommitted triples, or nodes whose
+    /// edges were committed and later deleted — and save/load must
+    /// round-trip anyway (regression: both cases once produced files
+    /// the loaders rejected with size-mismatch errors).
+    #[test]
+    fn oversized_dictionaries_survive_save_load() {
+        let dir = std::env::temp_dir().join(format!("rpq-updatable-dicts-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Case 1: a brand-new predicate interned but never committed.
+        let path = dir.join("pred.db");
+        let db = UpdatableDatabase::from_text("a p b\n")
+            .unwrap()
+            .with_auto_compact_ratio(None);
+        db.insert("a", "newpred", "b"); // buffered only
+        db.save(&path).unwrap();
+        let back = UpdatableDatabase::load(&path).unwrap();
+        assert_eq!(
+            back.query("?x", "p", "?y").unwrap(),
+            vec![("a".into(), "b".into())]
+        );
+
+        // Case 2: new nodes interned, committed, then deleted away — the
+        // delta cancels to empty while the dicts keep the names; the
+        // saved file must stay loadable (updatable format, since the
+        // immutable one requires exact dictionary sizes).
+        let path = dir.join("node.db");
+        let db = UpdatableDatabase::from_text("a p b\n")
+            .unwrap()
+            .with_auto_compact_ratio(None);
+        db.insert("x", "p", "y");
+        db.commit();
+        db.delete("x", "p", "y");
+        db.commit();
+        assert!(db.store().snapshot().delta.is_empty());
+        db.save(&path).unwrap();
+        let back = UpdatableDatabase::load(&path).unwrap();
+        assert_eq!(
+            back.query("?x", "p", "?y").unwrap(),
+            vec![("a".into(), "b".into())]
+        );
+        // The vanished node's name still resolves — to an empty answer.
+        assert_eq!(back.query("x", "p", "?y").unwrap(), vec![]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serves_live_updates_through_the_server() {
+        use rpq_server::{RpqServer, ServerConfig};
+        // Writers keep their own `Arc` handle; the server shares it.
+        let db = Arc::new(UpdatableDatabase::from_text("a p b\nb p c\n").unwrap());
+        let server = RpqServer::start(
+            Arc::clone(&db) as Arc<dyn rpq_server::QuerySource>,
+            ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        );
+        let answer = server.query_blocking("a", "p+", "?y").unwrap();
+        assert_eq!(
+            server.resolve_pairs(&answer),
+            vec![("a".into(), "b".into()), ("a".into(), "c".into())]
+        );
+        // Commit through the writer handle; later queries see the new
+        // epoch, and the metrics JSON reports the commit.
+        db.insert("c", "p", "d");
+        db.commit();
+        let answer = server.query_blocking("a", "p+", "?y").unwrap();
+        assert_eq!(
+            server.resolve_pairs(&answer),
+            vec![
+                ("a".into(), "b".into()),
+                ("a".into(), "c".into()),
+                ("a".into(), "d".into())
+            ]
+        );
+        let metrics = server.metrics_json();
+        assert!(metrics.contains("\"commits\":1"), "{metrics}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn database_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<UpdatableDatabase>();
+    }
+}
