@@ -59,7 +59,8 @@ fn main() {
                 result_cache_bytes: 0,
                 ..ServerConfig::default()
             },
-        );
+        )
+        .expect("valid bench server config");
         let t0 = Instant::now();
         let tickets: Vec<_> = queries
             .iter()

@@ -4,6 +4,8 @@ use automata::glushkov::INITIAL;
 use automata::{BitParallel, Label};
 use ring::delta::DeltaIndex;
 use ring::{Id, Ring};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 use succinct::util::{BitSet, EpochArray};
 use succinct::wavelet_matrix::{MultiRangeGuide, MultiTraversal, RangeGuide};
@@ -71,6 +73,13 @@ pub struct RpqEngine<'r> {
     /// Per-node visited masks of the merged traversal (empty until the
     /// first delta-backed evaluation; `O(1)` reset afterwards).
     merged_masks: EpochArray,
+    /// Threads the *current* evaluation may fan frontier work across —
+    /// the planner's [`Plan::intra_query_threads`] decision, stashed
+    /// here by `evaluate_prepared` so the traversal internals need no
+    /// extra parameter. 1 = the sequential path.
+    ///
+    /// [`Plan::intra_query_threads`]: crate::planner::Plan::intra_query_threads
+    active_threads: usize,
 }
 
 /// Scratch buffers for the frontier-batched backward traversal.
@@ -156,6 +165,7 @@ impl<'r> RpqEngine<'r> {
             ls_occupancy: occ,
             scratch: TraverseScratch::default(),
             merged_masks: EpochArray::new(0),
+            active_threads: 1,
             ring,
             delta: delta.filter(|d| !d.is_empty()),
         }
@@ -249,6 +259,7 @@ impl<'r> RpqEngine<'r> {
             opts,
         );
         let deadline = opts.timeout.map(|t| Instant::now() + t);
+        self.active_threads = plan.intra_query_threads;
 
         let mut out = match plan.route {
             EvalRoute::FastPath => {
@@ -260,6 +271,7 @@ impl<'r> RpqEngine<'r> {
                         object,
                         opts,
                         deadline,
+                        plan.intra_query_threads,
                     )?
                 } else {
                     fastpath::evaluate(
@@ -269,6 +281,7 @@ impl<'r> RpqEngine<'r> {
                         object,
                         opts,
                         deadline,
+                        plan.intra_query_threads,
                     )?
                 }
             }
@@ -300,6 +313,7 @@ impl<'r> RpqEngine<'r> {
                     object,
                     opts,
                     deadline,
+                    plan.intra_query_threads,
                 )?
             }
             EvalRoute::BitParallel => {
@@ -546,6 +560,16 @@ impl<'r> RpqEngine<'r> {
     /// exception: batched part-one consults each `L_p` node once per
     /// frontier chunk instead of once per range, so that counter now
     /// measures the batched workload.)
+    ///
+    /// When the planner granted `intra_query_threads > 1` and a level's
+    /// frontier reaches `parallel_min_frontier`, that level expands via
+    /// the speculative two-phase scheme ([`expand_level_speculative`]):
+    /// answers, flags, traces and the budget stop point stay bit-for-bit
+    /// identical; `wavelet_nodes`/`rank_ops` then measure the
+    /// *speculative* workload (frozen-mask pruning admits more nodes,
+    /// and budget-aborted levels were already fully expanded) — the same
+    /// "counters measure the executed strategy" convention the batching
+    /// above established.
     #[allow(clippy::too_many_arguments)]
     /// Calls `report(r)` for every node where the initial NFA state newly
     /// activates; a `false` return aborts the traversal. `budget` caps
@@ -562,6 +586,8 @@ impl<'r> RpqEngine<'r> {
         mut trace: Option<&mut Vec<(Id, u64)>>,
         report: &mut dyn FnMut(Id) -> bool,
     ) -> Stop {
+        let threads = self.active_threads.max(1);
+        let min_frontier = opts.parallel_min_frontier.max(2);
         let Self {
             ring,
             lp_masks,
@@ -628,6 +654,88 @@ impl<'r> RpqEngine<'r> {
         }
 
         while !frontier.is_empty() {
+            if threads > 1 && frontier.len() >= min_frontier {
+                // Two-phase parallel expansion. Phase A (concurrent,
+                // read-only): every chunk speculatively runs part one and
+                // a *frozen-mask* part two, producing an ordered
+                // candidate plan. Phase B (sequential, below): replay the
+                // plans in chunk/item/pred/candidate order against the
+                // live masks — recomputing `fresh` exactly where the
+                // sequential loop would — so pairs, flags, traces and the
+                // budget stop point are bit-for-bit identical to the
+                // sequential path. (Frozen pruning admits a superset of
+                // candidates in the same traversal order; the replay's
+                // `fresh == 0` skip is precisely the sequential leaf
+                // filter, see `FrozenSubjGuide`.)
+                let plans = expand_level_speculative(
+                    ring,
+                    bp,
+                    neg,
+                    lp_masks,
+                    ls_masks,
+                    opts.node_pruning,
+                    frontier,
+                    deadline,
+                    threads,
+                );
+                stats.parallel_levels += 1;
+                for plan in &plans {
+                    stats.parallel_chunks += 1;
+                    stats.rank_ops += plan.rank_ops;
+                    stats.rank_ops_saved += plan.rank_ops_saved;
+                    stats.wavelet_nodes += plan.wavelet_nodes;
+                    if plan.deadline_hit {
+                        // A worker saw the (monotone) deadline pass, so
+                        // the sequential run would also time out by now.
+                        return Stop::TimedOut;
+                    }
+                    for item in &plan.items {
+                        stats.bfs_steps += 1;
+                        if let Some(dl) = deadline {
+                            if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
+                                return Stop::TimedOut;
+                            }
+                        }
+                        stats.product_edges += item.n_hits;
+                        for &(d_new, ref cands) in &item.preds {
+                            for &s in cands {
+                                let idx = WaveletMatrix::node_index(width_s, s);
+                                let old = ls_masks.get(idx);
+                                let fresh = d_new & !old;
+                                if fresh == 0 {
+                                    continue;
+                                }
+                                if let Some(nb) = budget {
+                                    if stats.product_nodes >= nb {
+                                        return Stop::Budget;
+                                    }
+                                }
+                                ls_masks.set(idx, old | d_new);
+                                if opts.node_pruning {
+                                    propagate_up(ls_masks, ls_occupancy, width_s, s);
+                                }
+                                stats.product_nodes += 1;
+                                if let Some(t) = trace.as_deref_mut() {
+                                    t.push((s, fresh));
+                                }
+                                if fresh & INITIAL != 0 {
+                                    stats.reported += 1;
+                                    if !report(s) {
+                                        return Stop::Completed;
+                                    }
+                                }
+                                let (ob, oe) = ring.object_range(s);
+                                if oe > ob {
+                                    next_frontier.push((ob, oe, fresh));
+                                }
+                            }
+                        }
+                    }
+                }
+                std::mem::swap(frontier, next_frontier);
+                next_frontier.clear();
+                continue;
+            }
             let mut chunk_start = 0;
             while chunk_start < frontier.len() {
                 let chunk =
@@ -862,30 +970,243 @@ impl RangeGuide for SubjGuide<'_> {
     fn leaf(&mut self, sym: u64, _rank_b: usize, _rank_e: usize) {
         self.out.push((sym, self.pending_fresh));
         if self.node_pruning {
-            // Re-establish the intersection invariant on the leaf-to-root
-            // path; stop as soon as an ancestor's value is unchanged.
-            let mut prefix = sym;
-            for level in (0..self.width).rev() {
-                prefix >>= 1;
-                let left = WaveletMatrix::node_index(level + 1, prefix << 1);
-                let dl = if self.occ.get(left) {
-                    self.masks.get(left)
-                } else {
-                    u64::MAX
-                };
-                let dr = if self.occ.get(left + 1) {
-                    self.masks.get(left + 1)
-                } else {
-                    u64::MAX
-                };
-                let v = WaveletMatrix::node_index(level, prefix);
-                let merged = dl & dr;
-                if self.masks.get(v) == merged {
-                    break;
-                }
-                self.masks.set(v, merged);
-            }
+            propagate_up(self.masks, self.occ, self.width, sym);
         }
+    }
+}
+
+/// Re-establishes the intersection invariant of the internal `D[v]`
+/// masks on the leaf-to-root path above `sym`, stopping as soon as an
+/// ancestor's value is unchanged. Shared by the sequential leaf update
+/// ([`SubjGuide::leaf`]) and the parallel merge replay, which must
+/// mutate the masks identically.
+fn propagate_up(masks: &mut EpochArray, occ: &BitSet, width: usize, sym: u64) {
+    let mut prefix = sym;
+    for level in (0..width).rev() {
+        prefix >>= 1;
+        let left = WaveletMatrix::node_index(level + 1, prefix << 1);
+        let dl = if occ.get(left) {
+            masks.get(left)
+        } else {
+            u64::MAX
+        };
+        let dr = if occ.get(left + 1) {
+            masks.get(left + 1)
+        } else {
+            u64::MAX
+        };
+        let v = WaveletMatrix::node_index(level, prefix);
+        let merged = dl & dr;
+        if masks.get(v) == merged {
+            break;
+        }
+        masks.set(v, merged);
+    }
+}
+
+/// One frontier chunk's speculative expansion plan (Phase A output):
+/// everything the sequential loop would need, computed against *frozen*
+/// visited masks so it can run concurrently.
+struct ChunkPlan {
+    /// Per frontier item, in order.
+    items: Vec<ItemPlan>,
+    /// This chunk's part-one rank count.
+    rank_ops: u64,
+    /// Ranks the batched part-one avoided.
+    rank_ops_saved: u64,
+    /// Wavelet nodes entered (part one + frozen part two).
+    wavelet_nodes: u64,
+    /// The worker saw the deadline pass and skipped expansion; the merge
+    /// turns this into `Stop::TimedOut` when it reaches the chunk.
+    deadline_hit: bool,
+}
+
+/// One frontier item's speculative expansion: its part-one hit count
+/// (for exact `product_edges` accounting — hits with a dead `d_new` are
+/// counted by the sequential loop too) and, per surviving predicate in
+/// ascending-label order, the backward state set and the candidate
+/// subjects the frozen part two emitted.
+struct ItemPlan {
+    n_hits: u64,
+    preds: Vec<(u64, Vec<Id>)>,
+}
+
+/// Phase A: expands every chunk of `frontier` speculatively, fanning
+/// chunks across up to `threads − 1` pool helpers plus the calling
+/// thread. Chunk geometry depends only on `(frontier.len(), threads)` —
+/// never on how many helpers the pool actually granted — and per-item
+/// part-one output is independent of chunk grouping (the multi-range
+/// guide filters per item), so results are deterministic.
+#[allow(clippy::too_many_arguments)]
+fn expand_level_speculative(
+    ring: &Ring,
+    bp: &BitParallel,
+    neg: &[(u64, Vec<Label>)],
+    lp_masks: &EpochArray,
+    ls_masks: &EpochArray,
+    node_pruning: bool,
+    frontier: &[(usize, usize, u64)],
+    deadline: Option<Instant>,
+    threads: usize,
+) -> Vec<ChunkPlan> {
+    // Aim for ~4 chunks per requested thread so dynamic claiming can
+    // balance skew, but never exceed the sequential chunk bound (the
+    // part-one scratch size) and don't shatter small levels.
+    let chunk_size = frontier
+        .len()
+        .div_ceil(threads * 4)
+        .clamp(64, FRONTIER_CHUNK);
+    let n_chunks = frontier.len().div_ceil(chunk_size);
+    let grant = crate::parallel::acquire_helpers(threads.saturating_sub(1));
+    let slots: Vec<OnceLock<ChunkPlan>> = (0..n_chunks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let work = || loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(frontier.len());
+            let plan = expand_chunk_speculative(
+                ring,
+                bp,
+                neg,
+                lp_masks,
+                ls_masks,
+                node_pruning,
+                &frontier[lo..hi],
+                deadline,
+            );
+            let _ = slots[c].set(plan);
+        };
+        for _ in 0..grant.count().min(n_chunks.saturating_sub(1)) {
+            scope.spawn(work);
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("phase A fills every chunk slot"))
+        .collect()
+}
+
+/// Expands one chunk against frozen masks: part one (identical to the
+/// sequential sweep — it only reads the static `B[v]` table) plus a
+/// read-only part two per surviving predicate.
+#[allow(clippy::too_many_arguments)]
+fn expand_chunk_speculative(
+    ring: &Ring,
+    bp: &BitParallel,
+    neg: &[(u64, Vec<Label>)],
+    lp_masks: &EpochArray,
+    ls_masks: &EpochArray,
+    node_pruning: bool,
+    chunk: &[(usize, usize, u64)],
+    deadline: Option<Instant>,
+) -> ChunkPlan {
+    let mut plan = ChunkPlan {
+        items: Vec::with_capacity(chunk.len()),
+        rank_ops: 0,
+        rank_ops_saved: 0,
+        wavelet_nodes: 0,
+        deadline_hit: false,
+    };
+    if let Some(dl) = deadline {
+        if Instant::now() >= dl {
+            plan.deadline_hit = true;
+            return plan;
+        }
+    }
+    let lp = ring.l_p();
+    let ls = ring.l_s();
+    let width_p = lp.width();
+    let width_s = ls.width();
+    let ranges: Vec<(usize, usize)> = chunk.iter().map(|&(b, e, _)| (b, e)).collect();
+    let ds: Vec<u64> = chunk.iter().map(|&(_, _, d)| d).collect();
+    let union_d = ds.iter().fold(0u64, |a, &d| a | d);
+    let mut pred_hits: Vec<Vec<(Label, usize, usize, u64)>> = vec![Vec::new(); chunk.len()];
+    let mut mt = MultiTraversal::default();
+    {
+        let mut guide = PredGuideMulti {
+            ds: &ds,
+            union_d,
+            masks: lp_masks,
+            neg,
+            width: width_p,
+            out: &mut pred_hits,
+            nodes_entered: &mut plan.wavelet_nodes,
+            node_mask: 0,
+            pending: 0,
+        };
+        mt.run(lp, &ranges, &mut guide);
+    }
+    plan.rank_ops += mt.ranks;
+    plan.rank_ops_saved += mt.ranks_saved;
+    for hits in pred_hits.iter_mut() {
+        hits.sort_unstable_by_key(|&(p, ..)| p);
+    }
+    for hits in pred_hits.iter() {
+        let mut preds = Vec::new();
+        for &(p, rb, re, d_and_b) in hits {
+            let d_new = bp.apply_bwd(d_and_b);
+            if d_new == 0 {
+                continue;
+            }
+            let base = ring.pred_range(p).0;
+            let mut cands = Vec::new();
+            {
+                let mut guide = FrozenSubjGuide {
+                    d_new,
+                    masks: ls_masks,
+                    width: width_s,
+                    node_pruning,
+                    out: &mut cands,
+                    nodes_entered: &mut plan.wavelet_nodes,
+                };
+                ls.guided_traverse(base + rb, base + re, &mut guide);
+            }
+            preds.push((d_new, cands));
+        }
+        plan.items.push(ItemPlan {
+            n_hits: hits.len() as u64,
+            preds,
+        });
+    }
+    plan
+}
+
+/// The read-only counterpart of [`SubjGuide`] for Phase A: filters
+/// subjects against a *frozen* snapshot of the visited masks without
+/// mutating them. Because the masks only ever grow, every frozen-mask
+/// check is a lower bound on the live one: this guide admits a
+/// **superset** of the subjects the sequential traversal would emit, in
+/// the same left-to-right order (pruning removes whole subtrees without
+/// reordering survivors) — and the merge replay re-applies the exact
+/// leaf filter (`fresh == 0` skip) against the live masks, discarding
+/// exactly the speculative extras.
+struct FrozenSubjGuide<'a> {
+    d_new: u64,
+    masks: &'a EpochArray,
+    width: usize,
+    node_pruning: bool,
+    out: &'a mut Vec<Id>,
+    nodes_entered: &'a mut u64,
+}
+
+impl RangeGuide for FrozenSubjGuide<'_> {
+    fn enter(&mut self, level: usize, prefix: u64) -> bool {
+        *self.nodes_entered += 1;
+        if level == self.width || self.node_pruning {
+            let idx = WaveletMatrix::node_index(level, prefix);
+            self.d_new & !self.masks.get(idx) != 0
+        } else {
+            true
+        }
+    }
+
+    fn leaf(&mut self, sym: u64, _rank_b: usize, _rank_e: usize) {
+        self.out.push(sym);
     }
 }
 

@@ -164,13 +164,15 @@ impl QueryPlan {
         format!(
             "{{\"pattern\":{:?},\"route\":\"{}\",\"direction\":{},\
              \"split_label\":{},\"split_label_edges\":{},\
-             \"estimated_cost\":{},\"positions\":{},\"nullable\":{}}}",
+             \"estimated_cost\":{},\"intra_query_threads\":{},\
+             \"positions\":{},\"nullable\":{}}}",
             self.pattern,
             self.plan.route.name(),
             direction,
             split_label,
             split_card,
             self.plan.estimated_cost,
+            self.plan.intra_query_threads,
             self.positions,
             self.nullable
         )

@@ -76,7 +76,40 @@ pub fn shape_of(expr: &Regex) -> Shape {
     }
 }
 
-/// Evaluates a specializable shape anchored at the given endpoints.
+/// Intra-query fan-out policy for the batched fast-path sweeps: engage
+/// `threads − 1` pool helpers only when a batch has at least
+/// `min_items` items (small joins pay zero overhead). Chunk geometry is
+/// always the sequential [`STEP_BATCH`], and results are consumed in
+/// chunk order, so output — including limit/budget truncation points —
+/// is bit-for-bit identical to the sequential sweep.
+#[derive(Clone, Copy)]
+struct Par {
+    threads: usize,
+    min_items: usize,
+}
+
+impl Par {
+    fn of(opts: &EngineOptions, threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            min_items: opts.parallel_min_frontier.max(2),
+        }
+    }
+
+    /// Extra threads to request for a sweep over `n_items` (0 = stay
+    /// sequential).
+    fn extra_for(&self, n_items: usize) -> usize {
+        if self.threads > 1 && n_items >= self.min_items {
+            self.threads - 1
+        } else {
+            0
+        }
+    }
+}
+
+/// Evaluates a specializable shape anchored at the given endpoints,
+/// fanning large variable-to-variable sweeps across up to `threads`
+/// pool workers.
 pub fn evaluate(
     ring: &Ring,
     shape: &Shape,
@@ -84,7 +117,9 @@ pub fn evaluate(
     object: Term,
     opts: &EngineOptions,
     deadline: Option<Instant>,
+    threads: usize,
 ) -> Result<QueryOutput, QueryError> {
+    let par = Par::of(opts, threads);
     let mut sink = Sink {
         buf: PairBuffer::new(),
         limit: opts.limit,
@@ -96,18 +131,20 @@ pub fn evaluate(
         truncated: false,
         timed_out: false,
         budget_exhausted: false,
+        par_levels: 0,
+        par_chunks: 0,
     };
     match shape {
-        Shape::Single(p) => single(ring, *p, subject, object, &mut sink),
+        Shape::Single(p) => single(ring, *p, subject, object, &mut sink, par),
         Shape::Disjunction(ps) => {
             for &p in ps {
-                single(ring, p, subject, object, &mut sink);
+                single(ring, p, subject, object, &mut sink, par);
                 if sink.full() {
                     break;
                 }
             }
         }
-        Shape::Concat2(p1, p2) => concat2(ring, *p1, *p2, subject, object, &mut sink),
+        Shape::Concat2(p1, p2) => concat2(ring, *p1, *p2, subject, object, &mut sink, par),
         Shape::Other => unreachable!("fastpath::evaluate called on a general shape"),
     }
     Ok(finish(sink))
@@ -121,6 +158,8 @@ fn finish(mut sink: Sink) -> QueryOutput {
     let distinct = sink.buf.distinct_len() as u64;
     out.stats.reported = distinct;
     out.stats.product_nodes = distinct;
+    out.stats.parallel_levels = sink.par_levels;
+    out.stats.parallel_chunks = sink.par_chunks;
     out.truncated = sink.truncated;
     out.timed_out = sink.timed_out;
     out.budget_exhausted = sink.budget_exhausted;
@@ -139,7 +178,9 @@ pub(crate) fn evaluate_merged(
     object: Term,
     opts: &EngineOptions,
     deadline: Option<Instant>,
+    threads: usize,
 ) -> Result<QueryOutput, QueryError> {
+    let par = Par::of(opts, threads);
     let mut sink = Sink {
         buf: PairBuffer::new(),
         limit: opts.limit,
@@ -149,25 +190,34 @@ pub(crate) fn evaluate_merged(
         truncated: false,
         timed_out: false,
         budget_exhausted: false,
+        par_levels: 0,
+        par_chunks: 0,
     };
     match shape {
-        Shape::Single(p) => merged_single(view, *p, subject, object, &mut sink),
+        Shape::Single(p) => merged_single(view, *p, subject, object, &mut sink, par),
         Shape::Disjunction(ps) => {
             for &p in ps {
-                merged_single(view, p, subject, object, &mut sink);
+                merged_single(view, p, subject, object, &mut sink, par);
                 if sink.full() {
                     break;
                 }
             }
         }
-        Shape::Concat2(p1, p2) => merged_concat2(view, *p1, *p2, subject, object, &mut sink),
+        Shape::Concat2(p1, p2) => merged_concat2(view, *p1, *p2, subject, object, &mut sink, par),
         Shape::Other => unreachable!("fastpath::evaluate_merged called on a general shape"),
     }
     Ok(finish(sink))
 }
 
 /// `(x, p, y)` and anchored forms over the merged source.
-fn merged_single(view: &MergedView<'_>, p: Label, subject: Term, object: Term, sink: &mut Sink) {
+fn merged_single(
+    view: &MergedView<'_>,
+    p: Label,
+    subject: Term,
+    object: Term,
+    sink: &mut Sink,
+    par: Par,
+) {
     let pi = view.ring.inverse_label(p);
     let mut buf = Vec::new();
     match (subject, object) {
@@ -191,6 +241,40 @@ fn merged_single(view: &MergedView<'_>, p: Label, subject: Term, object: Term, s
         (Term::Var, Term::Var) => {
             let mut subjects = Vec::new();
             view.subjects_of_pred(p, &mut subjects);
+            let extra = par.extra_for(subjects.len());
+            if extra > 0 {
+                // The sequential loop consults `full()` once per subject,
+                // so the replay keeps per-subject granularity: each chunk
+                // maps to one pair list per subject.
+                sink.par_levels += 1;
+                crate::parallel::map_chunks_ordered(
+                    &subjects,
+                    STEP_BATCH,
+                    extra,
+                    |_, chunk| {
+                        let mut buf = Vec::new();
+                        let mut per_subject = Vec::with_capacity(chunk.len());
+                        for &s in chunk {
+                            view.subjects_into(s, pi, &mut buf);
+                            per_subject.push(buf.iter().map(|&o| (s, o)).collect::<Vec<_>>());
+                        }
+                        per_subject
+                    },
+                    |per_subject| {
+                        sink.par_chunks += 1;
+                        for pairs in per_subject {
+                            if sink.full() {
+                                return false;
+                            }
+                            for pair in pairs {
+                                sink.push(pair);
+                            }
+                        }
+                        true
+                    },
+                );
+                return;
+            }
             for s in subjects {
                 if sink.full() {
                     return;
@@ -213,6 +297,7 @@ fn merged_concat2(
     subject: Term,
     object: Term,
     sink: &mut Sink,
+    par: Par,
 ) {
     let p1i = view.ring.inverse_label(p1);
     let p2i = view.ring.inverse_label(p2);
@@ -234,6 +319,47 @@ fn merged_concat2(
                 if i < sources.len() && sources[i] == z {
                     mids.push(z);
                 }
+            }
+            let extra = par.extra_for(mids.len());
+            if extra > 0 {
+                // Per-midpoint replay granularity, matching the
+                // sequential loop's `full()` cadence.
+                sink.par_levels += 1;
+                crate::parallel::map_chunks_ordered(
+                    &mids,
+                    STEP_BATCH,
+                    extra,
+                    |_, chunk| {
+                        let mut srcs = Vec::new();
+                        let mut objs = Vec::new();
+                        let mut per_mid = Vec::with_capacity(chunk.len());
+                        for &z in chunk {
+                            view.subjects_into(z, p1, &mut srcs);
+                            view.subjects_into(z, p2i, &mut objs);
+                            let mut pairs = Vec::with_capacity(srcs.len() * objs.len());
+                            for &s in &srcs {
+                                for &o in &objs {
+                                    pairs.push((s, o));
+                                }
+                            }
+                            per_mid.push(pairs);
+                        }
+                        per_mid
+                    },
+                    |per_mid| {
+                        sink.par_chunks += 1;
+                        for pairs in per_mid {
+                            if sink.full() {
+                                return false;
+                            }
+                            for pair in pairs {
+                                sink.push(pair);
+                            }
+                        }
+                        true
+                    },
+                );
+                return;
             }
             let mut srcs = Vec::new();
             for z in mids {
@@ -298,6 +424,10 @@ struct Sink {
     truncated: bool,
     timed_out: bool,
     budget_exhausted: bool,
+    /// Sweeps that fanned out across pool workers.
+    par_levels: u64,
+    /// Chunks whose speculative results were merged from the pool.
+    par_chunks: u64,
 }
 
 impl Sink {
@@ -387,7 +517,7 @@ fn distinct_ls_multi(ring: &Ring, ranges: &[(usize, usize)], f: &mut impl FnMut(
 /// `(x, p, y)` and its anchored forms, via backward search only (§5):
 /// subjects of `p` come from `L_s[C_p[p]..C_p[p+1])`; objects of a given
 /// subject `s` are the subjects of `p̂` into `s`.
-fn single(ring: &Ring, p: Label, subject: Term, object: Term, sink: &mut Sink) {
+fn single(ring: &Ring, p: Label, subject: Term, object: Term, sink: &mut Sink, par: Par) {
     let pi = ring.inverse_label(p);
     match (subject, object) {
         (Term::Const(s), Term::Const(o)) => {
@@ -410,6 +540,41 @@ fn single(ring: &Ring, p: Label, subject: Term, object: Term, sink: &mut Sink) {
             // a time.
             let mut subjects = Vec::new();
             distinct_ls(ring, ring.pred_range(p), &mut |s| subjects.push(s));
+            let extra = par.extra_for(subjects.len());
+            if extra > 0 {
+                // Same STEP_BATCH geometry as below, chunks mapped
+                // speculatively on the pool and replayed in order: the
+                // `full()` check / push sequence the sink observes is
+                // identical to the sequential loop's.
+                sink.par_levels += 1;
+                crate::parallel::map_chunks_ordered(
+                    &subjects,
+                    STEP_BATCH,
+                    extra,
+                    |_, chunk| {
+                        let ranges: Vec<(usize, usize)> =
+                            chunk.iter().map(|&s| ring.object_range(s)).collect();
+                        let mut stepped = Vec::with_capacity(chunk.len());
+                        ring.backward_step_by_pred_multi(&ranges, pi, &mut stepped);
+                        let mut pairs = Vec::new();
+                        distinct_ls_multi(ring, &stepped, &mut |item, o| {
+                            pairs.push((chunk[item as usize], o))
+                        });
+                        pairs
+                    },
+                    |pairs| {
+                        if sink.full() {
+                            return false;
+                        }
+                        sink.par_chunks += 1;
+                        for pair in pairs {
+                            sink.push(pair);
+                        }
+                        true
+                    },
+                );
+                return;
+            }
             let mut stepped = Vec::with_capacity(STEP_BATCH);
             for chunk in subjects.chunks(STEP_BATCH) {
                 if sink.full() {
@@ -431,7 +596,15 @@ fn single(ring: &Ring, p: Label, subject: Term, object: Term, sink: &mut Sink) {
 /// the paper's intersection algorithm: midpoints `z` are the wavelet
 /// intersection of the subjects of `p̂1` (targets of `p1`) and the
 /// subjects of `p2` (sources of `p2`).
-fn concat2(ring: &Ring, p1: Label, p2: Label, subject: Term, object: Term, sink: &mut Sink) {
+fn concat2(
+    ring: &Ring,
+    p1: Label,
+    p2: Label,
+    subject: Term,
+    object: Term,
+    sink: &mut Sink,
+    par: Par,
+) {
     let p1i = ring.inverse_label(p1);
     let p2i = ring.inverse_label(p2);
     match (subject, object) {
@@ -439,6 +612,56 @@ fn concat2(ring: &Ring, p1: Label, p2: Label, subject: Term, object: Term, sink:
             let targets_of_p1 = ring.pred_range(p1i);
             let sources_of_p2 = ring.pred_range(p2);
             let mids = ring.l_s().range_intersect(targets_of_p1, sources_of_p2);
+            let extra = par.extra_for(mids.len());
+            if extra > 0 {
+                // Speculative per-chunk expansion on the pool, replayed
+                // in chunk order with the sequential loop's exact
+                // `full()` cadence.
+                sink.par_levels += 1;
+                crate::parallel::map_chunks_ordered(
+                    &mids,
+                    STEP_BATCH,
+                    extra,
+                    |_, chunk| {
+                        let ranges: Vec<(usize, usize)> = chunk
+                            .iter()
+                            .map(|&(z, _, _)| ring.object_range(z))
+                            .collect();
+                        let mut sources: Vec<Vec<Id>> = vec![Vec::new(); chunk.len()];
+                        let mut objects: Vec<Vec<Id>> = vec![Vec::new(); chunk.len()];
+                        let mut stepped = Vec::with_capacity(chunk.len());
+                        ring.backward_step_by_pred_multi(&ranges, p1, &mut stepped);
+                        distinct_ls_multi(ring, &stepped, &mut |item, s| {
+                            sources[item as usize].push(s)
+                        });
+                        stepped.clear();
+                        ring.backward_step_by_pred_multi(&ranges, p2i, &mut stepped);
+                        distinct_ls_multi(ring, &stepped, &mut |item, o| {
+                            objects[item as usize].push(o)
+                        });
+                        let mut pairs = Vec::new();
+                        for i in 0..chunk.len() {
+                            for &s in &sources[i] {
+                                for &o in &objects[i] {
+                                    pairs.push((s, o));
+                                }
+                            }
+                        }
+                        pairs
+                    },
+                    |pairs| {
+                        if sink.full() {
+                            return false;
+                        }
+                        sink.par_chunks += 1;
+                        for pair in pairs {
+                            sink.push(pair);
+                        }
+                        true
+                    },
+                );
+                return;
+            }
             // Per batch of midpoints: both backward steps share their
             // rank chains, and the source/object sweeps each run as one
             // batched traversal.

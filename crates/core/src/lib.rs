@@ -62,6 +62,10 @@ pub enum QueryError {
     NodeOutOfRange(ring::Id),
     /// The query needs inverse edges but the ring was built without them.
     InversesRequired,
+    /// The evaluation machinery itself failed (a panicked batch worker,
+    /// a poisoned engine) — not a property of the query. The payload is
+    /// a human-readable diagnostic.
+    Internal(String),
 }
 
 impl std::fmt::Display for QueryError {
@@ -72,6 +76,7 @@ impl std::fmt::Display for QueryError {
             QueryError::InversesRequired => {
                 write!(f, "query requires a ring built with inverse edges")
             }
+            QueryError::Internal(msg) => write!(f, "internal evaluation failure: {msg}"),
         }
     }
 }

@@ -9,7 +9,8 @@
 //! are BFS over the product `G'_E` with the monotone visited masks
 //! `D[s]`; this one just reads its adjacency through the overlay.
 
-use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use automata::glushkov::INITIAL;
@@ -74,6 +75,7 @@ pub(crate) fn evaluate_bitparallel(
     object: Term,
     opts: &EngineOptions,
     deadline: Option<Instant>,
+    threads: usize,
 ) -> Result<QueryOutput, QueryError> {
     let mut out = QueryOutput::default();
     match (subject, object) {
@@ -88,6 +90,7 @@ pub(crate) fn evaluate_bitparallel(
                 None,
                 opts,
                 deadline,
+                threads,
                 &mut out,
                 |s, o| (s, o),
             );
@@ -103,6 +106,7 @@ pub(crate) fn evaluate_bitparallel(
                 None,
                 opts,
                 deadline,
+                threads,
                 &mut out,
                 |r, s| (s, r),
             );
@@ -119,6 +123,7 @@ pub(crate) fn evaluate_bitparallel(
                     Some(s),
                     opts,
                     deadline,
+                    threads,
                     &mut out,
                     |s, o| (s, o),
                 );
@@ -133,6 +138,7 @@ pub(crate) fn evaluate_bitparallel(
                     Some(o),
                     opts,
                     deadline,
+                    threads,
                     &mut out,
                     |o, s| (s, o),
                 );
@@ -147,6 +153,7 @@ pub(crate) fn evaluate_bitparallel(
                 direction == Some(Direction::FromSubject),
                 opts,
                 deadline,
+                threads,
             )?;
         }
     }
@@ -165,6 +172,7 @@ fn eval_to_object(
     target: Option<Id>,
     opts: &EngineOptions,
     deadline: Option<Instant>,
+    threads: usize,
     out: &mut QueryOutput,
     pair_of: impl Fn(Id, Id) -> (Id, Id),
 ) {
@@ -184,6 +192,8 @@ fn eval_to_object(
         true,
         deadline,
         budget,
+        threads,
+        opts.parallel_min_frontier,
         &mut stats,
         opts.collect_trace.then_some(&mut trace),
         &mut |r| {
@@ -213,6 +223,7 @@ fn eval_to_object(
 /// pass 1 seeds every live node at once (the merged stand-in for the
 /// full-range start) to collect useful anchors, pass 2 anchors one
 /// traversal per anchor. The node budget is cumulative across passes.
+#[allow(clippy::too_many_arguments)]
 fn eval_var_var(
     view: &MergedView<'_>,
     masks: &mut EpochArray,
@@ -221,6 +232,7 @@ fn eval_var_var(
     sources_first: bool,
     opts: &EngineOptions,
     deadline: Option<Instant>,
+    threads: usize,
 ) -> Result<QueryOutput, QueryError> {
     let mut out = QueryOutput::default();
     let mut pairs = PairBuffer::new();
@@ -259,6 +271,8 @@ fn eval_var_var(
             false,
             deadline,
             opts.node_budget,
+            threads,
+            opts.parallel_min_frontier,
             &mut stats,
             opts.collect_trace.then_some(&mut out.trace),
             &mut |r| {
@@ -293,6 +307,8 @@ fn eval_var_var(
             true,
             deadline,
             budget,
+            threads,
+            opts.parallel_min_frontier,
             &mut stats,
             opts.collect_trace.then_some(&mut trace),
             &mut |r| {
@@ -324,13 +340,26 @@ fn eval_var_var(
     Ok(out)
 }
 
-/// The merged backward product BFS. `starts` seed the queue with the
-/// accepting mask; when `mark_starts` is set they are recorded in the
+/// The merged backward product BFS. `starts` seed the first level with
+/// the accepting mask; when `mark_starts` is set they are recorded in the
 /// visited masks and reported for zero-length matches (anchored starts),
 /// otherwise they behave like the pure path's full-range start (pass 1).
 /// Calls `report(r)` for every node where the initial state newly
 /// activates; a `false` return aborts. Mirrors the pure traversal's
 /// budget/deadline semantics.
+///
+/// Levels are expanded level-synchronously (the queue was strictly FIFO,
+/// so per-level vectors visit nodes in the identical order). When
+/// `threads > 1` and a level has at least `min_frontier` items, the
+/// level is fanned out across pool workers in two phases: phase A
+/// computes per-chunk candidate lists against a frozen snapshot of the
+/// visited masks (read-only, so chunks race-free), phase B replays the
+/// chunks in order on this thread, re-checking freshness against the
+/// live masks and applying budget/trace/report/next-level effects in
+/// the exact sequential order. The frozen filter only drops subjects
+/// whose live `fresh` would also be zero (masks grow monotonically), so
+/// phase B's pairs, flags, trace and counters are bit-for-bit identical
+/// to the sequential walk.
 #[allow(clippy::too_many_arguments)]
 fn traverse(
     view: &MergedView<'_>,
@@ -341,6 +370,8 @@ fn traverse(
     mark_starts: bool,
     deadline: Option<Instant>,
     budget: Option<u64>,
+    threads: usize,
+    min_frontier: usize,
     stats: &mut TraversalStats,
     mut trace: Option<&mut Vec<(Id, u64)>>,
     report: &mut dyn FnMut(Id) -> bool,
@@ -350,7 +381,8 @@ fn traverse(
         return Stop::Completed;
     }
     masks.reset();
-    let mut queue: VecDeque<(Id, u64)> = VecDeque::new();
+    let mut frontier: Vec<(Id, u64)> = Vec::with_capacity(starts.len());
+    let mut next: Vec<(Id, u64)> = Vec::new();
     for &o in starts {
         if mark_starts {
             masks.set(o as usize, d0);
@@ -361,53 +393,230 @@ fn traverse(
                 }
             }
         }
-        queue.push_back((o, d0));
+        frontier.push((o, d0));
     }
+    let threads = threads.max(1);
+    let min_frontier = min_frontier.max(2);
     let mut subjects: Vec<Id> = Vec::new();
-    while let Some((o, d)) = queue.pop_front() {
-        stats.bfs_steps += 1;
-        if let Some(dl) = deadline {
-            if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
-                return Stop::TimedOut;
+    while !frontier.is_empty() {
+        if threads > 1 && frontier.len() >= min_frontier {
+            // Phase A: speculative chunk expansion against frozen masks.
+            let plans = expand_level_frozen(view, bp, labels, masks, &frontier, deadline, threads);
+            stats.parallel_levels += 1;
+            // Phase B: ordered replay with live masks.
+            for plan in &plans {
+                stats.parallel_chunks += 1;
+                if plan.deadline_hit {
+                    return Stop::TimedOut;
+                }
+                for item in &plan.items {
+                    stats.bfs_steps += 1;
+                    if let Some(dl) = deadline {
+                        if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
+                            return Stop::TimedOut;
+                        }
+                    }
+                    stats.product_edges += item.n_edges;
+                    for &(d_new, ref cands) in &item.preds {
+                        for &s in cands {
+                            let old = masks.get(s as usize);
+                            let fresh = d_new & !old;
+                            if fresh == 0 {
+                                continue;
+                            }
+                            if let Some(nb) = budget {
+                                if stats.product_nodes >= nb {
+                                    return Stop::Budget;
+                                }
+                            }
+                            masks.set(s as usize, old | d_new);
+                            stats.product_nodes += 1;
+                            if let Some(t) = trace.as_deref_mut() {
+                                t.push((s, fresh));
+                            }
+                            if fresh & INITIAL != 0 {
+                                stats.reported += 1;
+                                if !report(s) {
+                                    return Stop::Completed;
+                                }
+                            }
+                            next.push((s, fresh));
+                        }
+                    }
+                }
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+            continue;
+        }
+        for &(o, d) in &frontier {
+            stats.bfs_steps += 1;
+            if let Some(dl) = deadline {
+                if stats.bfs_steps.is_multiple_of(64) && Instant::now() >= dl {
+                    return Stop::TimedOut;
+                }
+            }
+            for &(p, bmask) in labels {
+                let d_and_b = d & bmask;
+                if d_and_b == 0 {
+                    continue;
+                }
+                stats.product_edges += 1;
+                // Eq. 2: the same new state set for every subject (Fact 1).
+                let d_new = bp.apply_bwd(d_and_b);
+                if d_new == 0 {
+                    continue;
+                }
+                view.subjects_into(o, p, &mut subjects);
+                for &s in &subjects {
+                    let old = masks.get(s as usize);
+                    let fresh = d_new & !old;
+                    if fresh == 0 {
+                        continue;
+                    }
+                    if let Some(nb) = budget {
+                        if stats.product_nodes >= nb {
+                            return Stop::Budget;
+                        }
+                    }
+                    masks.set(s as usize, old | d_new);
+                    stats.product_nodes += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push((s, fresh));
+                    }
+                    if fresh & INITIAL != 0 {
+                        stats.reported += 1;
+                        if !report(s) {
+                            return Stop::Completed;
+                        }
+                    }
+                    next.push((s, fresh));
+                }
             }
         }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    Stop::Completed
+}
+
+/// A frontier chunk expanded speculatively against frozen masks: per
+/// item, the labels that fire and the frozen-fresh candidate subjects.
+struct LevelChunk {
+    items: Vec<LevelItem>,
+    /// The deadline had already passed when this chunk was claimed; the
+    /// replay turns this into `Stop::TimedOut`.
+    deadline_hit: bool,
+}
+
+/// One frontier item's speculative expansion.
+struct LevelItem {
+    /// Labels with a non-empty state intersection (the sequential
+    /// `product_edges` increment, counted even when `d_new == 0`).
+    n_edges: u64,
+    /// `(d_new, candidates)` per label that survives `apply_bwd`;
+    /// candidates are the merged subjects still fresh against the frozen
+    /// masks, in merged (sorted) order.
+    preds: Vec<(u64, Vec<Id>)>,
+}
+
+/// Phase A: fans `frontier` chunks across pool helpers (plus this
+/// thread), each chunk reading only the ring/delta and the frozen
+/// `masks` snapshot. Chunk geometry depends on `(frontier.len, threads)`
+/// alone — never on how many helpers the pool actually grants — so the
+/// replay order is deterministic.
+fn expand_level_frozen(
+    view: &MergedView<'_>,
+    bp: &BitParallel,
+    labels: &[(Label, u64)],
+    masks: &EpochArray,
+    frontier: &[(Id, u64)],
+    deadline: Option<Instant>,
+    threads: usize,
+) -> Vec<LevelChunk> {
+    // ~4 chunks per requested thread for dynamic load balancing, but
+    // don't shatter small levels.
+    let chunk_size = frontier.len().div_ceil(threads * 4).clamp(64, 4096);
+    let n_chunks = frontier.len().div_ceil(chunk_size);
+    let grant = crate::parallel::acquire_helpers(threads.saturating_sub(1));
+    let slots: Vec<OnceLock<LevelChunk>> = (0..n_chunks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let work = || loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= n_chunks {
+                break;
+            }
+            let lo = c * chunk_size;
+            let hi = (lo + chunk_size).min(frontier.len());
+            let _ = slots[c].set(expand_chunk_frozen(
+                view,
+                bp,
+                labels,
+                masks,
+                &frontier[lo..hi],
+                deadline,
+            ));
+        };
+        for _ in 0..grant.count().min(n_chunks.saturating_sub(1)) {
+            scope.spawn(work);
+        }
+        work();
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("phase A fills every chunk slot"))
+        .collect()
+}
+
+/// Expands one chunk read-only: the merged adjacency and the frozen
+/// masks. Dropping subjects that are stale against the snapshot is safe
+/// because masks only grow — their live `fresh` would be zero too.
+fn expand_chunk_frozen(
+    view: &MergedView<'_>,
+    bp: &BitParallel,
+    labels: &[(Label, u64)],
+    masks: &EpochArray,
+    chunk: &[(Id, u64)],
+    deadline: Option<Instant>,
+) -> LevelChunk {
+    let mut out = LevelChunk {
+        items: Vec::with_capacity(chunk.len()),
+        deadline_hit: false,
+    };
+    if let Some(dl) = deadline {
+        if Instant::now() >= dl {
+            out.deadline_hit = true;
+            return out;
+        }
+    }
+    let mut subjects: Vec<Id> = Vec::new();
+    for &(o, d) in chunk {
+        let mut item = LevelItem {
+            n_edges: 0,
+            preds: Vec::new(),
+        };
         for &(p, bmask) in labels {
             let d_and_b = d & bmask;
             if d_and_b == 0 {
                 continue;
             }
-            stats.product_edges += 1;
-            // Eq. 2: the same new state set for every subject (Fact 1).
+            item.n_edges += 1;
             let d_new = bp.apply_bwd(d_and_b);
             if d_new == 0 {
                 continue;
             }
             view.subjects_into(o, p, &mut subjects);
-            for &s in &subjects {
-                let old = masks.get(s as usize);
-                let fresh = d_new & !old;
-                if fresh == 0 {
-                    continue;
-                }
-                if let Some(nb) = budget {
-                    if stats.product_nodes >= nb {
-                        return Stop::Budget;
-                    }
-                }
-                masks.set(s as usize, old | d_new);
-                stats.product_nodes += 1;
-                if let Some(t) = trace.as_deref_mut() {
-                    t.push((s, fresh));
-                }
-                if fresh & INITIAL != 0 {
-                    stats.reported += 1;
-                    if !report(s) {
-                        return Stop::Completed;
-                    }
-                }
-                queue.push_back((s, fresh));
+            let cands: Vec<Id> = subjects
+                .iter()
+                .copied()
+                .filter(|&s| d_new & !masks.get(s as usize) != 0)
+                .collect();
+            if !cands.is_empty() {
+                item.preds.push((d_new, cands));
             }
         }
+        out.items.push(item);
     }
-    Stop::Completed
+    out
 }

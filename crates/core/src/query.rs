@@ -115,6 +115,24 @@ pub struct EngineOptions {
     /// budgeted on any route — `timeout` is the route-independent bound
     /// on raw work. `None` (the default) is unbounded.
     pub node_budget: Option<u64>,
+    /// Maximum threads one query may use for intra-query frontier
+    /// expansion (the scoped worker pool of [`crate::parallel`]). `1`
+    /// (the default) is exactly the sequential code path; higher values
+    /// let a single large query fan BFS-level chunks across cores. The
+    /// answer set, flags, trace and truncation are **bit-for-bit
+    /// identical** at any thread count — expansion is speculative and a
+    /// sequential merge replays it in frontier order. Extra threads are
+    /// drawn from a process-wide token budget
+    /// ([`crate::parallel`] caps the sum at `available_parallelism`),
+    /// so concurrent queries degrade gracefully instead of
+    /// oversubscribing.
+    pub intra_query_threads: usize,
+    /// Smallest BFS frontier (or fast-path batch) worth fanning out:
+    /// below this, a level runs sequentially even when
+    /// `intra_query_threads > 1`, so small queries pay zero overhead.
+    /// The planner also compares the query's estimated first-expansion
+    /// cost against this threshold before engaging parallelism at all.
+    pub parallel_min_frontier: usize,
 }
 
 impl Default for EngineOptions {
@@ -128,6 +146,8 @@ impl Default for EngineOptions {
             forced_route: None,
             collect_trace: false,
             node_budget: None,
+            intra_query_threads: 1,
+            parallel_min_frontier: 2048,
         }
     }
 }
@@ -152,6 +172,12 @@ pub struct TraversalStats {
     /// per-range traversal (shared node starts, merged directory
     /// probes) — the win the succinct hot-path layer is measured by.
     pub rank_ops_saved: u64,
+    /// BFS levels whose expansion was fanned across the intra-query
+    /// worker pool (0 on the sequential path).
+    pub parallel_levels: u64,
+    /// Frontier chunks expanded under intra-query parallelism (the unit
+    /// of work the pool schedules; ≥ `parallel_levels` when non-zero).
+    pub parallel_chunks: u64,
 }
 
 impl TraversalStats {
@@ -163,6 +189,8 @@ impl TraversalStats {
         self.reported += other.reported;
         self.rank_ops += other.rank_ops;
         self.rank_ops_saved += other.rank_ops_saved;
+        self.parallel_levels += other.parallel_levels;
+        self.parallel_chunks += other.parallel_chunks;
     }
 }
 

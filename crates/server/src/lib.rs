@@ -33,7 +33,8 @@
 //! let server = RpqServer::start(
 //!     Arc::new(IndexSource::id_only(ring)),
 //!     ServerConfig { workers: 2, ..ServerConfig::default() },
-//! );
+//! )
+//! .unwrap();
 //! let answer = server.query_blocking("0", "0+", "?y").unwrap();
 //! assert_eq!(answer.pairs, vec![(0, 1), (0, 2)]);
 //! server.shutdown();
@@ -85,6 +86,9 @@ pub enum RpqError {
     UnknownTicket,
     /// Evaluation panicked; the worker recovered and kept serving.
     Internal(String),
+    /// The server configuration is unusable (rejected at construction,
+    /// or a call that the configuration can never satisfy).
+    InvalidConfig(String),
 }
 
 impl std::fmt::Display for RpqError {
@@ -106,6 +110,7 @@ impl std::fmt::Display for RpqError {
             RpqError::ShuttingDown => write!(f, "server shutting down"),
             RpqError::UnknownTicket => write!(f, "unknown ticket"),
             RpqError::Internal(m) => write!(f, "internal error: {m}"),
+            RpqError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
         }
     }
 }

@@ -136,6 +136,18 @@ pub struct Metrics {
     /// Rank computations the frontier batching avoided (vs per-range
     /// traversal) — the succinct hot-path win, observable in production.
     pub rank_ops_saved: AtomicU64,
+    /// BFS levels / fast-path sweeps that fanned out across the
+    /// intra-query worker pool, summed over every evaluated query.
+    pub parallel_levels: AtomicU64,
+    /// Frontier chunks merged back from the pool (chunks ÷ levels is the
+    /// average fan-out actually achieved).
+    pub parallel_chunks: AtomicU64,
+    /// Parallel levels per evaluation route, indexed by
+    /// [`EvalRoute::index`] — which routes actually benefit from
+    /// intra-query fan-out.
+    pub parallel_levels_by_route: [AtomicU64; ROUTES],
+    /// Parallel chunks per evaluation route.
+    pub parallel_chunks_by_route: [AtomicU64; ROUTES],
     /// Snapshot-epoch bumps observed at submit time (each one dropped
     /// the plan and result caches).
     pub epoch_bumps: AtomicU64,
@@ -159,15 +171,30 @@ impl Metrics {
             planner_decisions: Default::default(),
             rank_ops: AtomicU64::new(0),
             rank_ops_saved: AtomicU64::new(0),
+            parallel_levels: AtomicU64::new(0),
+            parallel_chunks: AtomicU64::new(0),
+            parallel_levels_by_route: Default::default(),
+            parallel_chunks_by_route: Default::default(),
             epoch_bumps: AtomicU64::new(0),
         }
     }
 
-    /// Folds one query's traversal counters into the registry.
-    pub fn note_traversal(&self, stats: &rpq_core::TraversalStats) {
+    /// Folds one query's traversal counters into the registry
+    /// (per-route parallel counters when the route is known).
+    pub fn note_traversal(&self, route: Option<EvalRoute>, stats: &rpq_core::TraversalStats) {
         self.rank_ops.fetch_add(stats.rank_ops, Ordering::Relaxed);
         self.rank_ops_saved
             .fetch_add(stats.rank_ops_saved, Ordering::Relaxed);
+        self.parallel_levels
+            .fetch_add(stats.parallel_levels, Ordering::Relaxed);
+        self.parallel_chunks
+            .fetch_add(stats.parallel_chunks, Ordering::Relaxed);
+        if let Some(r) = route {
+            self.parallel_levels_by_route[r.index()]
+                .fetch_add(stats.parallel_levels, Ordering::Relaxed);
+            self.parallel_chunks_by_route[r.index()]
+                .fetch_add(stats.parallel_chunks, Ordering::Relaxed);
+        }
     }
 
     /// The histogram for one evaluation route.
@@ -220,9 +247,11 @@ impl CacheStats {
 
 /// Renders the full registry (plus cache snapshots, worker count, and
 /// the source's update counters) as one JSON object.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn registry_json(
     m: &Metrics,
     workers: usize,
+    intra_query_threads: usize,
     queue_capacity: usize,
     plan_cache: &CacheStats,
     result_cache: &CacheStats,
@@ -251,6 +280,29 @@ pub(crate) fn registry_json(
             m.planner_decisions[r.index()].load(Ordering::Relaxed)
         ));
     }
+    let mut par_routes = String::new();
+    for r in EvalRoute::ALL {
+        let levels = m.parallel_levels_by_route[r.index()].load(Ordering::Relaxed);
+        let chunks = m.parallel_chunks_by_route[r.index()].load(Ordering::Relaxed);
+        if levels > 0 {
+            if !par_routes.is_empty() {
+                par_routes.push(',');
+            }
+            par_routes.push_str(&format!(
+                "\"{}\":{{\"levels\":{levels},\"chunks\":{chunks}}}",
+                r.name()
+            ));
+        }
+    }
+    let parallel_json = format!(
+        "{{\"intra_query_threads\":{},\"pool_capacity\":{},\
+         \"levels\":{},\"chunks\":{},\"by_route\":{{{}}}}}",
+        intra_query_threads,
+        rpq_core::parallel::pool_capacity(),
+        g(&m.parallel_levels),
+        g(&m.parallel_chunks),
+        par_routes
+    );
     let u = updates.unwrap_or_default();
     let updates_json = format!(
         "{{\"epoch\":{},\"epoch_bumps_observed\":{},\"commits\":{},\"compactions\":{},\
@@ -270,6 +322,7 @@ pub(crate) fn registry_json(
          \"queue\":{{\"depth\":{},\"peak\":{},\"capacity\":{}}},\
          \"planner\":{{\"decisions\":{{{}}}}},\
          \"traversal\":{{\"rank_ops\":{},\"rank_ops_saved\":{}}},\
+         \"parallel\":{},\
          \"updates\":{},\
          \"plan_cache\":{},\"result_cache\":{},\
          \"latency_us\":{{\"all\":{}{}}}}}",
@@ -287,6 +340,7 @@ pub(crate) fn registry_json(
         decisions,
         m.rank_ops.load(Ordering::Relaxed),
         m.rank_ops_saved.load(Ordering::Relaxed),
+        parallel_json,
         updates_json,
         plan_cache.to_json(),
         result_cache.to_json(),

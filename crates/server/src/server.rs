@@ -60,9 +60,25 @@ impl Default for QueryBudget {
 /// Server construction parameters.
 #[derive(Clone, Copy, Debug)]
 pub struct ServerConfig {
-    /// Worker threads. `0` is admission-only mode: submissions queue but
-    /// never run — useful for tests and drain scenarios.
+    /// Worker threads. Must be non-zero unless [`Self::admission_only`]
+    /// is set — `workers: 0` on a serving configuration used to silently
+    /// strand every submission in the queue forever, so
+    /// [`RpqServer::start`] now rejects it with
+    /// [`RpqError::InvalidConfig`].
     pub workers: usize,
+    /// Admission-only mode: accept and queue submissions but spawn no
+    /// workers, so nothing ever runs — for tests and drain scenarios.
+    /// [`RpqServer::wait`] on a queued job fails fast with
+    /// [`RpqError::InvalidConfig`] instead of blocking forever; `poll`
+    /// as usual.
+    pub admission_only: bool,
+    /// Threads a single query may fan its BFS levels and fast-path
+    /// sweeps across ([`EngineOptions::intra_query_threads`]). Clamped at
+    /// start so `workers × intra_query_threads` cannot exceed the
+    /// machine's parallelism; the process-wide token pool additionally
+    /// bounds actual helper threads at runtime. `1` (the default) keeps
+    /// every query single-threaded.
+    pub intra_query_threads: usize,
     /// Queue capacity; submissions beyond it are rejected
     /// ([`RpqError::Overloaded`]).
     pub max_pending: usize,
@@ -83,6 +99,8 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             workers: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            admission_only: false,
+            intra_query_threads: 1,
             max_pending: 1024,
             plan_cache_bytes: 4 << 20,
             result_cache_bytes: 16 << 20,
@@ -198,7 +216,25 @@ pub struct RpqServer {
 
 impl RpqServer {
     /// Starts the worker pool over `source`.
-    pub fn start(source: Arc<dyn QuerySource>, config: ServerConfig) -> Self {
+    ///
+    /// Rejects configurations that can never serve: `workers == 0`
+    /// without [`ServerConfig::admission_only`] would strand every
+    /// submission as `Queued` forever. `intra_query_threads` is clamped
+    /// so `workers × intra_query_threads` cannot oversubscribe the
+    /// machine.
+    pub fn start(source: Arc<dyn QuerySource>, mut config: ServerConfig) -> Result<Self, RpqError> {
+        if config.workers == 0 && !config.admission_only {
+            return Err(RpqError::InvalidConfig(
+                "workers == 0 would queue every submission forever; \
+                 set admission_only for a queue-only server"
+                    .into(),
+            ));
+        }
+        let avail = std::thread::available_parallelism().map_or(1, |n| n.get());
+        config.intra_query_threads = config
+            .intra_query_threads
+            .max(1)
+            .min((avail / config.workers.max(1)).max(1));
         let epoch0 = source.snapshot().epoch;
         let shared = Arc::new(Shared {
             source,
@@ -213,7 +249,12 @@ impl RpqServer {
             metrics: Metrics::new(),
             cache_epoch: AtomicU64::new(epoch0),
         });
-        let handles = (0..config.workers)
+        let n_workers = if config.admission_only {
+            0
+        } else {
+            config.workers
+        };
+        let handles = (0..n_workers)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
@@ -222,10 +263,10 @@ impl RpqServer {
                     .expect("spawning worker thread")
             })
             .collect();
-        Self {
+        Ok(Self {
             shared,
             handles: Mutex::new(handles),
-        }
+        })
     }
 
     /// The source being served.
@@ -407,8 +448,9 @@ impl RpqServer {
     /// Blocks until the job finishes, then removes it from the job
     /// table and returns its outcome.
     ///
-    /// With `workers == 0` nothing ever runs, so this would block
-    /// forever — poll instead in admission-only setups.
+    /// On an admission-only server nothing ever runs, so waiting on a
+    /// queued job fails fast with [`RpqError::InvalidConfig`] instead of
+    /// blocking forever (the job stays queued and pollable).
     pub fn wait(&self, ticket: &QueryTicket) -> Result<Arc<QueryAnswer>, RpqError> {
         let job = self
             .shared
@@ -418,6 +460,15 @@ impl RpqServer {
             .get(&ticket.id)
             .cloned()
             .ok_or(RpqError::UnknownTicket)?;
+        if self.shared.config.admission_only
+            && matches!(*job.status.lock().unwrap(), QueryStatus::Queued)
+        {
+            return Err(RpqError::InvalidConfig(
+                "wait() would block forever: this server is admission-only \
+                 (no workers); poll() instead"
+                    .into(),
+            ));
+        }
         let outcome = {
             let mut status = job.status.lock().unwrap();
             loop {
@@ -503,6 +554,7 @@ impl RpqServer {
         registry_json(
             &self.shared.metrics,
             self.shared.config.workers,
+            self.shared.config.intra_query_threads,
             self.shared.config.max_pending,
             &self.shared.plan_cache.stats(),
             &self.shared.result_cache.stats(),
@@ -655,6 +707,7 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
         timeout: job.budget.timeout,
         node_budget: job.budget.node_budget,
         bp_split_width: shared.config.bp_split_width,
+        intra_query_threads: shared.config.intra_query_threads,
         ..EngineOptions::default()
     };
     let result = engine.evaluate_prepared(&plan, job.query.subject, job.query.object, &opts);
@@ -674,7 +727,7 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
     if let Some(r) = route {
         metrics.note_planner_decision(r);
     }
-    metrics.note_traversal(&out.stats);
+    metrics.note_traversal(route, &out.stats);
     if out.budget_exhausted {
         metrics.budget_exceeded.fetch_add(1, Ordering::Relaxed);
         metrics.failed.fetch_add(1, Ordering::Relaxed);

@@ -51,7 +51,8 @@ fn split_route_flows_through_the_server_path() {
             result_cache_bytes: 1 << 20,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     // A mixed workload so several routes land in the metrics: the split
     // query, a fastpath single label, and a bitparallel closure.
@@ -129,7 +130,8 @@ fn oversized_split_queries_avoid_the_fallback_scan() {
             workers: 1,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     let ticket = server.submit_parsed(query, QueryBudget::default()).unwrap();
     let answer = server.wait(&ticket).unwrap();
     assert_eq!(answer.route, Some(EvalRoute::Split));
@@ -153,7 +155,8 @@ fn split_route_respects_server_budgets() {
             result_cache_bytes: 0,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     let query = RpqQuery::new(
         Term::Var,
         Regex::concat(Regex::concat(star(0), Regex::label(1)), star(2)),

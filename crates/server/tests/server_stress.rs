@@ -57,7 +57,8 @@ fn concurrent_stress_matches_sequential_oracle() {
             max_pending: 4096,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     std::thread::scope(|scope| {
         for c in 0..CLIENTS {
@@ -107,7 +108,8 @@ fn result_and_plan_caches_hit_and_invalidate() {
             workers: 2,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let a1 = server.query_blocking("0", "0+/1?", "?y").unwrap();
     let a2 = server.query_blocking("0", "0+/1?", "?y").unwrap();
@@ -141,7 +143,8 @@ fn cache_hits_respect_the_requesters_result_limit() {
             workers: 1,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     let q = || RpqQuery::new(Term::Const(0), automata::Regex::label(0), Term::Var);
     // Populate the cache with the full 20-pair answer.
     let t = server.submit_parsed(q(), QueryBudget::default()).unwrap();
@@ -169,8 +172,8 @@ fn cache_hits_respect_the_requesters_result_limit() {
 
 /// Admission control: a full queue rejects synchronously with
 /// `Overloaded`, queued jobs can be cancelled, and the metrics gauges
-/// track depth and rejections. (`workers: 0` keeps jobs queued forever,
-/// making the test deterministic.)
+/// track depth and rejections. (`admission_only` keeps jobs queued
+/// forever, making the test deterministic.)
 #[test]
 fn admission_control_and_cancellation() {
     let graph = Graph::from_triples(vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)]);
@@ -179,10 +182,12 @@ fn admission_control_and_cancellation() {
         Arc::new(IndexSource::id_only(ring)),
         ServerConfig {
             workers: 0,
+            admission_only: true,
             max_pending: 4,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
 
     let tickets: Vec<_> = (0..4)
         .map(|_| server.submit("0", "0+", "?y").expect("queue has room"))
@@ -234,7 +239,8 @@ fn node_budget_exceeded_is_a_hard_error() {
             workers: 1,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     let tiny = QueryBudget {
         node_budget: Some(2),
         ..QueryBudget::default()
@@ -289,7 +295,8 @@ fn submit_batch_isolates_bad_entries() {
             workers: 1,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     let results = server.submit_batch(&[
         ("0", "0", "?y"),
         ("0", "0/(", "?y"), // parse error
@@ -319,7 +326,8 @@ fn metrics_json_is_balanced_and_complete() {
             },
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     for (s, e, o) in [("0", "0", "?y"), ("?x", "(0|1)+", "3"), ("0", "0/1", "?y")] {
         let _ = server.query_blocking(s, e, o);
     }
@@ -363,9 +371,11 @@ fn shutdown_drains_and_rejects() {
         Arc::new(IndexSource::id_only(ring)),
         ServerConfig {
             workers: 0,
+            admission_only: true,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     let ticket = server.submit("0", "0", "?y").unwrap();
     server.shutdown();
     assert!(matches!(
@@ -381,5 +391,53 @@ fn shutdown_drains_and_rejects() {
         server.submit("0", "0", "?y"),
         Err(RpqError::ShuttingDown)
     ));
+    server.shutdown();
+}
+
+/// The zero-worker footgun: a serving config with `workers: 0` used to
+/// accept submissions that could never run (every `wait` hung forever).
+/// It is now rejected at construction with a typed error, and the
+/// explicit `admission_only` replacement fails `wait` fast instead of
+/// blocking.
+#[test]
+fn zero_worker_config_is_rejected_and_admission_only_wait_fails_fast() {
+    let graph = Graph::from_triples(vec![Triple::new(0, 0, 1)]);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let source = Arc::new(IndexSource::id_only(ring));
+
+    match RpqServer::start(
+        Arc::clone(&source) as Arc<dyn rpq_server::QuerySource>,
+        ServerConfig {
+            workers: 0,
+            ..ServerConfig::default()
+        },
+    ) {
+        Err(RpqError::InvalidConfig(msg)) => {
+            assert!(msg.contains("workers"), "unhelpful message: {msg}");
+        }
+        Ok(_) => panic!("workers: 0 without admission_only must be rejected"),
+        Err(other) => panic!("expected InvalidConfig, got {other:?}"),
+    }
+
+    // The sanctioned queue-only mode: submissions queue, `poll` works,
+    // and `wait` on a queued job is a typed error, not a hang.
+    let server = RpqServer::start(
+        source,
+        ServerConfig {
+            workers: 0,
+            admission_only: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let ticket = server.submit("0", "0", "?y").unwrap();
+    assert!(matches!(server.poll(&ticket), Some(QueryStatus::Queued)));
+    assert!(matches!(
+        server.wait(&ticket),
+        Err(RpqError::InvalidConfig(_))
+    ));
+    // The job is untouched: still queued, still pollable, cancellable.
+    assert!(matches!(server.poll(&ticket), Some(QueryStatus::Queued)));
+    assert!(server.cancel(&ticket));
     server.shutdown();
 }

@@ -40,13 +40,16 @@ fn concurrent_commits_never_tear_answers() {
     let base = Graph::from_triples((0..M).map(|i| Triple::new(i, 0, target(0, i))).collect());
     let store = TripleStore::new(base).with_auto_compact_ratio(None);
     let source = Arc::new(LiveSource::new(store));
-    let server = Arc::new(RpqServer::start(
-        Arc::clone(&source) as Arc<dyn rpq_server::QuerySource>,
-        ServerConfig {
-            workers: 8,
-            ..ServerConfig::default()
-        },
-    ));
+    let server = Arc::new(
+        RpqServer::start(
+            Arc::clone(&source) as Arc<dyn rpq_server::QuerySource>,
+            ServerConfig {
+                workers: 8,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap(),
+    );
     let expected: Arc<Vec<Vec<(Id, Id)>>> = Arc::new((0..=VERSIONS).map(answer_at).collect());
 
     let done = Arc::new(AtomicBool::new(false));
@@ -148,7 +151,8 @@ fn delta_nodes_resolve_and_tombstones_mask() {
             workers: 2,
             ..ServerConfig::default()
         },
-    );
+    )
+    .unwrap();
     // Node 9 does not exist yet: constant resolution fails cleanly.
     assert!(matches!(
         server.query_blocking("9", "0", "?y"),

@@ -79,6 +79,9 @@ query/batch options:
   --explain        print the planner's chosen plan (route, direction,
                    split label, cost estimate) as stable JSON, one object
                    per query, without evaluating anything
+query/serve/batch options:
+  --threads <n>    threads a single query may fan its frontier across
+                   (default 1; answers are identical at any value)
 serve/batch options:
   --workers <n>    worker threads (default: available parallelism)
   --metrics <file> write the metrics registry JSON there ('-' = stderr)
@@ -202,8 +205,12 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
 
 fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let (explain_only, rest): (bool, Vec<String>) = split_explain_flag(args);
+    let (threads, rest) = split_threads_flag(&rest)?;
     let [index, s, expr, o] = &rest[..] else {
-        return Err(format!("query needs <index.db> <s> <expr> <o> [--explain]\n{USAGE}").into());
+        return Err(format!(
+            "query needs <index.db> <s> <expr> <o> [--explain] [--threads n]\n{USAGE}"
+        )
+        .into());
     };
     let db = load(index)?;
     if explain_only {
@@ -213,6 +220,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     }
     let opts = EngineOptions {
         timeout: Some(Duration::from_secs(60)),
+        intra_query_threads: threads.unwrap_or(1).max(1),
         ..EngineOptions::default()
     };
     let t = Instant::now();
@@ -271,10 +279,33 @@ fn split_explain_flag(args: &[String]) -> (bool, Vec<String>) {
     (rest.len() != args.len(), rest)
 }
 
+/// Extracts `--threads <n>` from an argument list, returning it and the
+/// remaining arguments.
+fn split_threads_flag(args: &[String]) -> Result<(Option<usize>, Vec<String>), CliError> {
+    let mut threads = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            let v = it
+                .next()
+                .ok_or_else(|| "--threads needs a value".to_string())?;
+            threads = Some(
+                v.parse()
+                    .map_err(|_| format!("bad --threads value '{v}'"))?,
+            );
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((threads, rest))
+}
+
 /// Options shared by `serve` and `batch`.
 struct ServeOpts {
     positional: Vec<String>,
     workers: Option<usize>,
+    threads: Option<usize>,
     metrics: Option<String>,
     explain: bool,
 }
@@ -283,6 +314,7 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
     let mut opts = ServeOpts {
         positional: Vec::new(),
         workers: None,
+        threads: None,
         metrics: None,
         explain: false,
     };
@@ -299,6 +331,15 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
                         .map_err(|_| format!("bad --workers value '{v}'"))?,
                 );
             }
+            "--threads" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threads needs a value".to_string())?;
+                opts.threads = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --threads value '{v}'"))?,
+                );
+            }
             "--metrics" => {
                 let v = it
                     .next()
@@ -311,13 +352,21 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
     Ok(opts)
 }
 
-fn start_server(index: &str, workers: Option<usize>) -> Result<RpqServer, CliError> {
+fn start_server(
+    index: &str,
+    workers: Option<usize>,
+    threads: Option<usize>,
+) -> Result<RpqServer, CliError> {
     let db = load(index)?;
     let mut config = ServerConfig::default();
     if let Some(w) = workers {
         config.workers = w.max(1);
     }
-    Ok(db.into_server(config))
+    if let Some(t) = threads {
+        config.intra_query_threads = t.max(1);
+    }
+    db.into_server(config)
+        .map_err(|e| CliError::Other(e.to_string()))
 }
 
 /// Drives one server session: submits every query line (backpressure by
@@ -435,11 +484,12 @@ fn emit_metrics(server: &RpqServer, target: Option<&str>) -> Result<(), CliError
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     let opts = parse_serve_opts(args)?;
     let [index] = &opts.positional[..] else {
-        return Err(
-            format!("serve needs <index.db> [--workers n] [--metrics file]\n{USAGE}").into(),
-        );
+        return Err(format!(
+            "serve needs <index.db> [--workers n] [--threads n] [--metrics file]\n{USAGE}"
+        )
+        .into());
     };
-    let server = start_server(index, opts.workers)?;
+    let server = start_server(index, opts.workers, opts.threads)?;
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
     let (submitted, errors) = run_session(&server, stdin.lock(), &mut stdout)?;
@@ -457,7 +507,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     let opts = parse_serve_opts(args)?;
     let [index, queries] = &opts.positional[..] else {
         return Err(format!(
-            "batch needs <index.db> <queries.txt> [--explain] [--workers n] [--metrics file]\n{USAGE}"
+            "batch needs <index.db> <queries.txt> [--explain] [--workers n] [--threads n] [--metrics file]\n{USAGE}"
         )
         .into());
     };
@@ -466,7 +516,7 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     if opts.explain {
         return batch_explain(index, std::io::BufReader::new(file));
     }
-    let server = start_server(index, opts.workers)?;
+    let server = start_server(index, opts.workers, opts.threads)?;
     let t = Instant::now();
     let mut stdout = std::io::stdout().lock();
     let (submitted, errors) = run_session(&server, std::io::BufReader::new(file), &mut stdout)?;

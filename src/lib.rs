@@ -318,7 +318,9 @@ impl RpqDatabase {
     /// use ring_rpq::rpq_server::ServerConfig;
     ///
     /// let db = RpqDatabase::from_text("a p b\nb p c\n").unwrap();
-    /// let server = db.into_server(ServerConfig { workers: 2, ..ServerConfig::default() });
+    /// let server = db
+    ///     .into_server(ServerConfig { workers: 2, ..ServerConfig::default() })
+    ///     .unwrap();
     /// let answer = server.query_blocking("a", "p+", "?y").unwrap();
     /// assert_eq!(server.resolve_pairs(&answer), vec![
     ///     ("a".to_string(), "b".to_string()),
@@ -326,7 +328,10 @@ impl RpqDatabase {
     /// ]);
     /// server.shutdown();
     /// ```
-    pub fn into_server(self, config: rpq_server::ServerConfig) -> rpq_server::RpqServer {
+    pub fn into_server(
+        self,
+        config: rpq_server::ServerConfig,
+    ) -> Result<rpq_server::RpqServer, rpq_server::RpqError> {
         rpq_server::RpqServer::start(std::sync::Arc::new(self), config)
     }
 
@@ -411,10 +416,12 @@ mod tests {
     fn serves_queries_through_the_server_layer() {
         use rpq_server::ServerConfig;
         let db = RpqDatabase::from_text("a p b\nb p c\nc q a\n").unwrap();
-        let server = db.into_server(ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        });
+        let server = db
+            .into_server(ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            })
+            .unwrap();
         let answer = server.query_blocking("a", "p+", "?y").unwrap();
         assert_eq!(
             server.resolve_pairs(&answer),

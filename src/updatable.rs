@@ -412,8 +412,13 @@ impl UpdatableDatabase {
     /// submit time, caches are epoch-keyed and dropped on epoch bumps,
     /// and commits through the returned server's
     /// [`source`](rpq_server::RpqServer::source) are safe while queries
-    /// run.
-    pub fn into_server(self, config: rpq_server::ServerConfig) -> rpq_server::RpqServer {
+    /// run. Unusable configurations (zero workers without
+    /// admission-only) are rejected with
+    /// [`rpq_server::RpqError::InvalidConfig`].
+    pub fn into_server(
+        self,
+        config: rpq_server::ServerConfig,
+    ) -> Result<rpq_server::RpqServer, rpq_server::RpqError> {
         rpq_server::RpqServer::start(Arc::new(self), config)
     }
 }
@@ -615,7 +620,8 @@ mod tests {
                 workers: 2,
                 ..ServerConfig::default()
             },
-        );
+        )
+        .unwrap();
         let answer = server.query_blocking("a", "p+", "?y").unwrap();
         assert_eq!(
             server.resolve_pairs(&answer),
