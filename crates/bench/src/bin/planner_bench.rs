@@ -121,26 +121,45 @@ fn corpus(graph: &Graph, ring: &Ring) -> Vec<Case> {
     ]
 }
 
+/// One timed (query, route) cell: median latency plus what the executed
+/// plan promised and what evaluation actually did.
+struct Cell {
+    median_us: f64,
+    route: EvalRoute,
+    pairs: usize,
+    estimated_cost: u64,
+    actual_nodes: u64,
+    actual_rank_ops: u64,
+    /// `(actual_nodes+1)*1000/(estimated_cost+1)` — 1000 is a perfect
+    /// estimate, see [`rpq_core::planner::Plan::misprediction_x1000`].
+    misprediction_x1000: u64,
+}
+
 /// Median evaluation latency in microseconds under `opts`, plus the
 /// route the planner actually executed and the answer count.
-fn time_route(
-    engine: &mut RpqEngine<'_>,
-    query: &RpqQuery,
-    opts: &EngineOptions,
-) -> (f64, EvalRoute, usize) {
+fn time_route(engine: &mut RpqEngine<'_>, query: &RpqQuery, opts: &EngineOptions) -> Cell {
     let mut times = Vec::with_capacity(REPS);
-    let mut route = EvalRoute::BitParallel;
-    let mut pairs = 0usize;
+    let mut cell = None;
     for _ in 0..REPS {
         let t = Instant::now();
         let out = engine
             .evaluate(query, opts)
             .expect("bench queries evaluate");
         times.push(t.elapsed().as_secs_f64() * 1e6);
-        route = out.plan.as_ref().expect("engine outputs carry plans").route;
-        pairs = out.pairs.len();
+        let plan = out.plan.as_ref().expect("engine outputs carry plans");
+        cell = Some(Cell {
+            median_us: 0.0,
+            route: plan.route,
+            pairs: out.pairs.len(),
+            estimated_cost: plan.estimated_cost,
+            actual_nodes: out.stats.product_nodes,
+            actual_rank_ops: out.stats.rank_ops,
+            misprediction_x1000: plan.misprediction_x1000(out.stats.product_nodes),
+        });
     }
-    (median(&times), route, pairs)
+    let mut cell = cell.expect("REPS > 0");
+    cell.median_us = median(&times);
+    cell
 }
 
 fn main() {
@@ -158,44 +177,63 @@ fn main() {
     let mut oracle_total = 0.0f64;
     for case in corpus(&graph, &ring) {
         let natural = EngineOptions::default();
-        let (nat_us, nat_route, nat_pairs) = time_route(&mut engine, &case.query, &natural);
+        let nat = time_route(&mut engine, &case.query, &natural);
         let mut forced_cells = Vec::new();
-        let mut best_us = nat_us;
+        let mut best_us = nat.median_us;
         for forced in EvalRoute::ALL {
             let opts = EngineOptions {
                 forced_route: Some(forced),
                 ..EngineOptions::default()
             };
-            let (us, executed, pairs) = time_route(&mut engine, &case.query, &opts);
+            let cell = time_route(&mut engine, &case.query, &opts);
             assert_eq!(
-                pairs, nat_pairs,
+                cell.pairs, nat.pairs,
                 "{}: route {forced:?} changed the answer count",
                 case.name
             );
-            if executed == forced {
-                best_us = best_us.min(us);
+            if cell.route == forced {
+                best_us = best_us.min(cell.median_us);
             }
             forced_cells.push(format!(
-                "{{\"forced\":\"{}\",\"executed\":\"{}\",\"median_us\":{us:.1}}}",
+                "{{\"forced\":\"{}\",\"executed\":\"{}\",\"median_us\":{:.1},\
+                 \"estimated_cost\":{},\"actual_nodes\":{},\"actual_rank_ops\":{},\
+                 \"misprediction_x1000\":{}}}",
                 forced.name(),
-                executed.name()
+                cell.route.name(),
+                cell.median_us,
+                cell.estimated_cost,
+                cell.actual_nodes,
+                cell.actual_rank_ops,
+                cell.misprediction_x1000,
             ));
         }
-        planner_total += nat_us;
+        planner_total += nat.median_us;
         oracle_total += best_us;
         eprintln!(
-            "  {:<24} planner={:<12} {:>9.1} us (best feasible {:>9.1} us, {} pairs)",
+            "  {:<24} planner={:<12} {:>9.1} us (best feasible {:>9.1} us, {} pairs, \
+             est {} vs {} nodes, mispredict x{:.3})",
             case.name,
-            nat_route.name(),
-            nat_us,
+            nat.route.name(),
+            nat.median_us,
             best_us,
-            nat_pairs
+            nat.pairs,
+            nat.estimated_cost,
+            nat.actual_nodes,
+            nat.misprediction_x1000 as f64 / 1000.0,
         );
         rows.push(format!(
-            "{{\"query\":\"{}\",\"planner_route\":\"{}\",\"planner_us\":{nat_us:.1},\
-             \"best_feasible_us\":{best_us:.1},\"pairs\":{nat_pairs},\"forced\":[{}]}}",
+            "{{\"query\":\"{}\",\"planner_route\":\"{}\",\"planner_us\":{:.1},\
+             \"best_feasible_us\":{best_us:.1},\"pairs\":{},\
+             \"estimated_cost\":{},\"actual_nodes\":{},\"actual_rank_ops\":{},\
+             \"misprediction_x1000\":{},\"forced\":[{}]}}",
             case.name,
-            nat_route.name(),
+            nat.route.name(),
+            nat.median_us,
+            nat.pairs,
+            nat.estimated_cost,
+            nat.actual_nodes,
+            nat.actual_rank_ops,
+            nat.misprediction_x1000,
             forced_cells.join(",")
         ));
     }

@@ -14,6 +14,7 @@ use succinct::WaveletMatrix;
 use crate::pairbuf::PairBuffer;
 use crate::plan::{EvalRoute, PreparedQuery};
 use crate::planner::{self, Direction};
+use crate::profile::{LevelProf, QueryProfile};
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
 use crate::source::{MergedView, TripleSource};
 use crate::stats::RingStatistics;
@@ -80,6 +81,12 @@ pub struct RpqEngine<'r> {
     ///
     /// [`Plan::intra_query_threads`]: crate::planner::Plan::intra_query_threads
     active_threads: usize,
+    /// Per-level profile collector of the *current* evaluation, present
+    /// iff [`EngineOptions::profile`] was set — same stashing pattern as
+    /// `active_threads`, so the traversal internals need no extra
+    /// parameter. `None` (profiling off) costs one pointer check per
+    /// BFS level.
+    prof_levels: Option<LevelProf>,
 }
 
 /// Scratch buffers for the frontier-batched backward traversal.
@@ -166,6 +173,7 @@ impl<'r> RpqEngine<'r> {
             scratch: TraverseScratch::default(),
             merged_masks: EpochArray::new(0),
             active_threads: 1,
+            prof_levels: None,
             ring,
             delta: delta.filter(|d| !d.is_empty()),
         }
@@ -251,6 +259,11 @@ impl<'r> RpqEngine<'r> {
                 }
             }
         }
+        // Profiling clocks: read only when `opts.profile` is set, so the
+        // unprofiled path stays exactly as before. The planner never
+        // sees the flag — plans, and therefore answers, are identical
+        // either way.
+        let prof_t0 = opts.profile.then(Instant::now);
         let plan = planner::plan(
             &RingStatistics::with_delta(self.ring, self.delta),
             prepared,
@@ -258,8 +271,10 @@ impl<'r> RpqEngine<'r> {
             object,
             opts,
         );
+        let prof_planned = prof_t0.map(|_| Instant::now());
         let deadline = opts.timeout.map(|t| Instant::now() + t);
         self.active_threads = plan.intra_query_threads;
+        self.prof_levels = opts.profile.then(LevelProf::new);
 
         let mut out = match plan.route {
             EvalRoute::FastPath => {
@@ -314,6 +329,7 @@ impl<'r> RpqEngine<'r> {
                     opts,
                     deadline,
                     plan.intra_query_threads,
+                    self.prof_levels.as_mut(),
                 )?
             }
             EvalRoute::BitParallel => {
@@ -371,6 +387,29 @@ impl<'r> RpqEngine<'r> {
             }
         };
         out.plan = Some(plan);
+        if let (Some(t0), Some(planned)) = (prof_t0, prof_planned) {
+            let mut levels = self
+                .prof_levels
+                .take()
+                .map(LevelProf::into_samples)
+                .unwrap_or_default();
+            // The split route evaluates through nested sub-queries; its
+            // partial profile carries the concatenated sub-levels up.
+            if let Some(sub) = out.profile.take() {
+                levels.extend(sub.levels);
+            }
+            let done = Instant::now();
+            out.profile = Some(Box::new(QueryProfile {
+                plan_us: planned.duration_since(t0).as_micros() as u64,
+                exec_us: done.duration_since(planned).as_micros() as u64,
+                total_us: done.duration_since(t0).as_micros() as u64,
+                levels,
+                compactions: out.stats.pair_compactions,
+                queue_wait_us: None,
+                compile_us: None,
+                cache_hit: None,
+            }));
+        }
         Ok(out)
     }
 
@@ -539,6 +578,8 @@ impl<'r> RpqEngine<'r> {
             pairs.truncate_distinct(opts.limit);
             out.truncated = true;
         }
+        pairs.compact();
+        out.stats.pair_compactions += pairs.compactions();
         out.pairs = pairs.into_sorted_vec();
         Ok(out)
     }
@@ -583,6 +624,29 @@ impl<'r> RpqEngine<'r> {
         deadline: Option<Instant>,
         budget: Option<u64>,
         stats: &mut TraversalStats,
+        trace: Option<&mut Vec<(Id, u64)>>,
+        report: &mut dyn FnMut(Id) -> bool,
+    ) -> Stop {
+        let stop =
+            self.backward_traverse_impl(bp, start, opts, deadline, budget, stats, trace, report);
+        // Close the last open level sample with this run's final
+        // counters — the traversal body has many early exits (deadline,
+        // budget, report abort) and this wrapper covers them all.
+        if let Some(p) = self.prof_levels.as_mut() {
+            p.finish(stats.rank_ops, stats.parallel_chunks);
+        }
+        stop
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn backward_traverse_impl(
+        &mut self,
+        bp: &BitParallel,
+        start: Start,
+        opts: &EngineOptions,
+        deadline: Option<Instant>,
+        budget: Option<u64>,
+        stats: &mut TraversalStats,
         mut trace: Option<&mut Vec<(Id, u64)>>,
         report: &mut dyn FnMut(Id) -> bool,
     ) -> Stop {
@@ -594,6 +658,7 @@ impl<'r> RpqEngine<'r> {
             ls_masks,
             ls_occupancy,
             scratch,
+            prof_levels,
             ..
         } = self;
         let ring: &Ring = ring;
@@ -654,6 +719,9 @@ impl<'r> RpqEngine<'r> {
         }
 
         while !frontier.is_empty() {
+            if let Some(p) = prof_levels.as_mut() {
+                p.enter(frontier.len() as u64, stats.rank_ops, stats.parallel_chunks);
+            }
             if threads > 1 && frontier.len() >= min_frontier {
                 // Two-phase parallel expansion. Phase A (concurrent,
                 // read-only): every chunk speculatively runs part one and

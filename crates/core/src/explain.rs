@@ -14,8 +14,10 @@
 
 use ring::{Id, Ring};
 
+use crate::jsonw::JsonWriter;
 use crate::plan::{EvalRoute, PreparedQuery};
 use crate::planner::{self, Direction, Plan};
+use crate::profile::QueryProfile;
 use crate::query::{EngineOptions, RpqQuery, Term};
 use crate::split::split_candidates;
 use crate::stats::RingStatistics;
@@ -144,38 +146,82 @@ fn pattern_of(prepared: &PreparedQuery, subject: Term, object: Term) -> String {
 impl QueryPlan {
     /// Renders the plan as one stable JSON object (fixed key order, no
     /// whitespace) — the machine-readable `--explain` output scripts can
-    /// diff across runs and versions.
+    /// diff across runs and versions. Built on the shared
+    /// [`crate::jsonw`] writer, so the pattern string gets *JSON*
+    /// escaping (the previous `format!("{:?}")` rendering produced
+    /// Rust's `\u{..}` escapes, which are invalid JSON for non-ASCII
+    /// patterns).
     pub fn to_json(&self) -> String {
-        let direction = match self.plan.direction {
-            Some(d) => format!("\"{}\"", d.name()),
-            None => "null".to_string(),
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("pattern", &self.pattern)
+            .field_str("route", self.plan.route.name());
+        w.key("direction");
+        match self.plan.direction {
+            Some(d) => w.str(d.name()),
+            None => w.null(),
         };
-        let (split_label, split_card) = match self.plan.split_label() {
+        match self.plan.split_label() {
             Some(l) => {
                 let card = self
                     .split_candidates
                     .iter()
                     .find(|&&(c, _)| c == l)
                     .map_or(0, |&(_, c)| c);
-                (l.to_string(), card.to_string())
+                w.field_u64("split_label", l)
+                    .field_u64("split_label_edges", card as u64);
             }
-            None => ("null".to_string(), "null".to_string()),
-        };
-        format!(
-            "{{\"pattern\":{:?},\"route\":\"{}\",\"direction\":{},\
-             \"split_label\":{},\"split_label_edges\":{},\
-             \"estimated_cost\":{},\"intra_query_threads\":{},\
-             \"positions\":{},\"nullable\":{}}}",
-            self.pattern,
-            self.plan.route.name(),
-            direction,
-            split_label,
-            split_card,
-            self.plan.estimated_cost,
-            self.plan.intra_query_threads,
-            self.positions,
-            self.nullable
-        )
+            None => {
+                w.key("split_label").null();
+                w.key("split_label_edges").null();
+            }
+        }
+        w.field_u64("estimated_cost", self.plan.estimated_cost)
+            .field_u64("intra_query_threads", self.plan.intra_query_threads as u64)
+            .field_u64("positions", self.positions as u64)
+            .field_bool("nullable", self.nullable)
+            .end_object();
+        w.finish()
+    }
+}
+
+impl QueryProfile {
+    /// Renders the profile as one stable JSON object (fixed key order,
+    /// no whitespace) — the "EXPLAIN ANALYZE" counterpart of
+    /// [`QueryPlan::to_json`]. Core keys are always present; the
+    /// server-path keys (`queue_wait_us`, `compile_us`, `cache_hit`)
+    /// appear only when the serving layer filled them, so the schema is
+    /// determined by the path that produced the profile, never by
+    /// timing.
+    pub fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_u64("plan_us", self.plan_us)
+            .field_u64("exec_us", self.exec_us)
+            .field_u64("total_us", self.total_us)
+            .field_u64("compactions", self.compactions)
+            .key("levels")
+            .begin_array();
+        for l in &self.levels {
+            w.begin_object()
+                .field_u64("frontier", l.frontier)
+                .field_u64("rank_ops", l.rank_ops)
+                .field_u64("chunks", l.chunks)
+                .field_bool("parallel", l.parallel)
+                .end_object();
+        }
+        w.end_array();
+        if let Some(q) = self.queue_wait_us {
+            w.field_u64("queue_wait_us", q);
+        }
+        if let Some(c) = self.compile_us {
+            w.field_u64("compile_us", c);
+        }
+        if let Some(h) = self.cache_hit {
+            w.field_bool("cache_hit", h);
+        }
+        w.end_object();
+        w.finish()
     }
 }
 
@@ -342,6 +388,43 @@ mod tests {
         ] {
             assert!(json.contains(key), "{json} missing {key}");
         }
+    }
+
+    #[test]
+    fn profile_json_is_stable() {
+        use crate::profile::LevelSample;
+        let p = QueryProfile {
+            plan_us: 1,
+            exec_us: 2,
+            total_us: 3,
+            compactions: 1,
+            levels: vec![LevelSample {
+                frontier: 4,
+                rank_ops: 5,
+                chunks: 0,
+                parallel: false,
+            }],
+            queue_wait_us: None,
+            compile_us: None,
+            cache_hit: None,
+        };
+        assert_eq!(
+            p.to_json(),
+            "{\"plan_us\":1,\"exec_us\":2,\"total_us\":3,\"compactions\":1,\
+             \"levels\":[{\"frontier\":4,\"rank_ops\":5,\"chunks\":0,\"parallel\":false}]}"
+        );
+        // Server-path keys appear exactly when filled, in fixed order.
+        let p = QueryProfile {
+            queue_wait_us: Some(7),
+            compile_us: Some(0),
+            cache_hit: Some(true),
+            ..QueryProfile::default()
+        };
+        let json = p.to_json();
+        assert!(
+            json.ends_with("\"queue_wait_us\":7,\"compile_us\":0,\"cache_hit\":true}"),
+            "{json}"
+        );
     }
 
     #[test]

@@ -160,6 +160,7 @@ fn finish(mut sink: Sink) -> QueryOutput {
     out.stats.product_nodes = distinct;
     out.stats.parallel_levels = sink.par_levels;
     out.stats.parallel_chunks = sink.par_chunks;
+    out.stats.pair_compactions = sink.buf.compactions();
     out.truncated = sink.truncated;
     out.timed_out = sink.timed_out;
     out.budget_exhausted = sink.budget_exhausted;

@@ -1,0 +1,282 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The workspace has no external dependencies, so every JSON surface
+//! (plan explain output, query profiles, the server metrics registry)
+//! renders by hand. Before this module each site carried its own ad-hoc
+//! `format!` chains — with subtly different (and partly *wrong*, e.g.
+//! Rust-`{:?}` instead of JSON) string escaping. `JsonWriter` is the one
+//! shared implementation: a push-style builder over a `String` that
+//! tracks nesting and comma placement, plus a standalone
+//! [`escape_into`] for the rare call site that only needs escaping.
+//!
+//! Output is deterministic and compact (no whitespace), so renderers
+//! built on it stay byte-stable across runs — a property CI greps rely
+//! on.
+
+use std::fmt::Write as _;
+
+/// Append `s` to `out` with JSON string escaping (quotes, backslash,
+/// and control characters; everything else, including non-ASCII, passes
+/// through as UTF-8, which JSON permits).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// `s` rendered as a quoted JSON string literal.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    escape_into(&mut out, s);
+    out.push('"');
+    out
+}
+
+#[derive(Clone, Copy)]
+enum Frame {
+    Object { first: bool },
+    Array { first: bool },
+}
+
+/// Push-style JSON builder. Call [`begin_object`](Self::begin_object) /
+/// [`begin_array`](Self::begin_array) to open containers,
+/// [`key`](Self::key) before each object member's value, and the typed
+/// value methods anywhere a value is expected; commas are inserted
+/// automatically. [`finish`](Self::finish) returns the rendered string.
+///
+/// The writer does not validate that containers are balanced — callers
+/// are trusted (and unit-tested) renderers, not arbitrary input.
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    stack: Vec<Frame>,
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// A fresh writer with an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn before_value(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        match self.stack.last_mut() {
+            Some(Frame::Object { first }) | Some(Frame::Array { first }) => {
+                if *first {
+                    *first = false;
+                } else {
+                    self.out.push(',');
+                }
+            }
+            None => {}
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('{');
+        self.stack.push(Frame::Object { first: true });
+        self
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push('[');
+        self.stack.push(Frame::Array { first: true });
+        self
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop();
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object member key; the next value call supplies its
+    /// value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        if let Some(Frame::Object { first }) = self.stack.last_mut() {
+            if *first {
+                *first = false;
+            } else {
+                self.out.push(',');
+            }
+        }
+        self.out.push('"');
+        escape_into(&mut self.out, k);
+        self.out.push_str("\":");
+        self.after_key = true;
+        self
+    }
+
+    /// Write a string value (escaped).
+    pub fn str(&mut self, v: &str) -> &mut Self {
+        self.before_value();
+        self.out.push('"');
+        escape_into(&mut self.out, v);
+        self.out.push('"');
+        self
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Write a signed integer value.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.before_value();
+        let _ = write!(self.out, "{v}");
+        self
+    }
+
+    /// Write a float value (shortest round-trippable rendering; `NaN`
+    /// and infinities fall back to `null`, which JSON requires).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.before_value();
+        if v.is_finite() {
+            let _ = write!(self.out, "{v}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.before_value();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Write a `null` value.
+    pub fn null(&mut self) -> &mut Self {
+        self.before_value();
+        self.out.push_str("null");
+        self
+    }
+
+    /// Splice a pre-rendered JSON fragment in value position. The
+    /// fragment must itself be valid JSON — used to compose renderers
+    /// without re-parsing.
+    pub fn raw(&mut self, v: &str) -> &mut Self {
+        self.before_value();
+        self.out.push_str(v);
+        self
+    }
+
+    /// Convenience: `key` + string value.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k).str(v)
+    }
+
+    /// Convenience: `key` + unsigned integer value.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k).u64(v)
+    }
+
+    /// Convenience: `key` + boolean value.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k).bool(v)
+    }
+
+    /// Consume the writer, returning the rendered JSON.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_backslash_and_controls() {
+        assert_eq!(quoted("plain"), "\"plain\"");
+        assert_eq!(quoted("a\"b"), "\"a\\\"b\"");
+        assert_eq!(quoted("a\\b"), "\"a\\\\b\"");
+        assert_eq!(quoted("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+        assert_eq!(quoted("\u{1}\u{1f}"), "\"\\u0001\\u001f\"");
+        // Non-ASCII passes through as UTF-8 — *not* Rust's `{:?}`
+        // `\u{..}` escapes, which are invalid JSON.
+        assert_eq!(quoted("métro→"), "\"métro→\"");
+    }
+
+    #[test]
+    fn writer_places_commas_in_objects_and_arrays() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .field_str("a", "x")
+            .field_u64("b", 7)
+            .key("c")
+            .begin_array()
+            .u64(1)
+            .u64(2)
+            .begin_object()
+            .field_bool("d", true)
+            .end_object()
+            .end_array()
+            .key("e")
+            .null()
+            .end_object();
+        assert_eq!(
+            w.finish(),
+            "{\"a\":\"x\",\"b\":7,\"c\":[1,2,{\"d\":true}],\"e\":null}"
+        );
+    }
+
+    #[test]
+    fn writer_handles_raw_and_floats() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("frag")
+            .raw("[1,2]")
+            .key("f")
+            .f64(1.5)
+            .key("nan")
+            .f64(f64::NAN)
+            .end_object();
+        assert_eq!(w.finish(), "{\"frag\":[1,2],\"f\":1.5,\"nan\":null}");
+    }
+
+    #[test]
+    fn empty_containers_render() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .key("o")
+            .begin_object()
+            .end_object()
+            .key("a")
+            .begin_array()
+            .end_array()
+            .end_object();
+        assert_eq!(w.finish(), "{\"o\":{},\"a\":[]}");
+    }
+}

@@ -36,12 +36,14 @@ pub mod engine;
 pub mod explain;
 pub mod fallback;
 pub mod fastpath;
+pub mod jsonw;
 mod merged;
 pub mod oracle;
 pub mod pairbuf;
 pub mod parallel;
 pub mod plan;
 pub mod planner;
+pub mod profile;
 pub mod query;
 pub mod source;
 pub mod split;
@@ -50,6 +52,7 @@ pub mod stats;
 pub use engine::RpqEngine;
 pub use plan::{EvalRoute, PreparedQuery};
 pub use planner::{Direction, Plan};
+pub use profile::{LevelSample, QueryProfile};
 pub use query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
 pub use source::{MergedView, SourceSnapshot, TripleSource};
 

@@ -20,6 +20,7 @@ use succinct::util::{EpochArray, FxHashMap};
 
 use crate::pairbuf::PairBuffer;
 use crate::planner::Direction;
+use crate::profile::LevelProf;
 use crate::query::{EngineOptions, QueryOutput, Term, TraversalStats};
 use crate::source::MergedView;
 use crate::QueryError;
@@ -76,6 +77,7 @@ pub(crate) fn evaluate_bitparallel(
     opts: &EngineOptions,
     deadline: Option<Instant>,
     threads: usize,
+    mut prof: Option<&mut LevelProf>,
 ) -> Result<QueryOutput, QueryError> {
     let mut out = QueryOutput::default();
     match (subject, object) {
@@ -91,6 +93,7 @@ pub(crate) fn evaluate_bitparallel(
                 opts,
                 deadline,
                 threads,
+                prof.as_deref_mut(),
                 &mut out,
                 |s, o| (s, o),
             );
@@ -107,6 +110,7 @@ pub(crate) fn evaluate_bitparallel(
                 opts,
                 deadline,
                 threads,
+                prof.as_deref_mut(),
                 &mut out,
                 |r, s| (s, r),
             );
@@ -124,6 +128,7 @@ pub(crate) fn evaluate_bitparallel(
                     opts,
                     deadline,
                     threads,
+                    prof.as_deref_mut(),
                     &mut out,
                     |s, o| (s, o),
                 );
@@ -139,6 +144,7 @@ pub(crate) fn evaluate_bitparallel(
                     opts,
                     deadline,
                     threads,
+                    prof.as_deref_mut(),
                     &mut out,
                     |o, s| (s, o),
                 );
@@ -154,6 +160,7 @@ pub(crate) fn evaluate_bitparallel(
                 opts,
                 deadline,
                 threads,
+                prof,
             )?;
         }
     }
@@ -173,6 +180,7 @@ fn eval_to_object(
     opts: &EngineOptions,
     deadline: Option<Instant>,
     threads: usize,
+    prof: Option<&mut LevelProf>,
     out: &mut QueryOutput,
     pair_of: impl Fn(Id, Id) -> (Id, Id),
 ) {
@@ -195,6 +203,7 @@ fn eval_to_object(
         threads,
         opts.parallel_min_frontier,
         &mut stats,
+        prof,
         opts.collect_trace.then_some(&mut trace),
         &mut |r| {
             if let Some(t) = target {
@@ -233,6 +242,7 @@ fn eval_var_var(
     opts: &EngineOptions,
     deadline: Option<Instant>,
     threads: usize,
+    mut prof: Option<&mut LevelProf>,
 ) -> Result<QueryOutput, QueryError> {
     let mut out = QueryOutput::default();
     let mut pairs = PairBuffer::new();
@@ -274,6 +284,7 @@ fn eval_var_var(
             threads,
             opts.parallel_min_frontier,
             &mut stats,
+            prof.as_deref_mut(),
             opts.collect_trace.then_some(&mut out.trace),
             &mut |r| {
                 anchors.push(r);
@@ -310,6 +321,7 @@ fn eval_var_var(
             threads,
             opts.parallel_min_frontier,
             &mut stats,
+            prof.as_deref_mut(),
             opts.collect_trace.then_some(&mut trace),
             &mut |r| {
                 let pair = if sources_first { (a, r) } else { (r, a) };
@@ -336,6 +348,8 @@ fn eval_var_var(
         pairs.truncate_distinct(opts.limit);
         out.truncated = true;
     }
+    pairs.compact();
+    out.stats.pair_compactions += pairs.compactions();
     out.pairs = pairs.into_sorted_vec();
     Ok(out)
 }
@@ -373,6 +387,48 @@ fn traverse(
     threads: usize,
     min_frontier: usize,
     stats: &mut TraversalStats,
+    mut prof: Option<&mut LevelProf>,
+    trace: Option<&mut Vec<(Id, u64)>>,
+    report: &mut dyn FnMut(Id) -> bool,
+) -> Stop {
+    let stop = traverse_impl(
+        view,
+        masks,
+        bp,
+        labels,
+        starts,
+        mark_starts,
+        deadline,
+        budget,
+        threads,
+        min_frontier,
+        stats,
+        prof.as_deref_mut(),
+        trace,
+        report,
+    );
+    // Close the last open level with this run's final counters — the
+    // body below exits early on deadline/budget/report aborts.
+    if let Some(p) = prof {
+        p.finish(stats.rank_ops, stats.parallel_chunks);
+    }
+    stop
+}
+
+#[allow(clippy::too_many_arguments)]
+fn traverse_impl(
+    view: &MergedView<'_>,
+    masks: &mut EpochArray,
+    bp: &BitParallel,
+    labels: &[(Label, u64)],
+    starts: &[Id],
+    mark_starts: bool,
+    deadline: Option<Instant>,
+    budget: Option<u64>,
+    threads: usize,
+    min_frontier: usize,
+    stats: &mut TraversalStats,
+    mut prof: Option<&mut LevelProf>,
     mut trace: Option<&mut Vec<(Id, u64)>>,
     report: &mut dyn FnMut(Id) -> bool,
 ) -> Stop {
@@ -399,6 +455,9 @@ fn traverse(
     let min_frontier = min_frontier.max(2);
     let mut subjects: Vec<Id> = Vec::new();
     while !frontier.is_empty() {
+        if let Some(p) = prof.as_deref_mut() {
+            p.enter(frontier.len() as u64, stats.rank_ops, stats.parallel_chunks);
+        }
         if threads > 1 && frontier.len() >= min_frontier {
             // Phase A: speculative chunk expansion against frozen masks.
             let plans = expand_level_frozen(view, bp, labels, masks, &frontier, deadline, threads);

@@ -26,6 +26,9 @@ pub struct PairBuffer {
     scratch: Vec<(Id, Id)>,
     /// Raw length before which [`Self::maybe_reached`] skips compacting.
     next_check: usize,
+    /// Compaction passes that did real work (the no-op early return when
+    /// the buffer is already compact is not counted).
+    compactions: u64,
 }
 
 impl PairBuffer {
@@ -55,6 +58,7 @@ impl PairBuffer {
         if self.sorted == n {
             return;
         }
+        self.compactions += 1;
         self.pairs[self.sorted..].sort_unstable();
         if self.sorted == 0 {
             self.pairs.dedup();
@@ -132,6 +136,15 @@ impl PairBuffer {
     pub fn contains(&mut self, pair: (Id, Id)) -> bool {
         self.compact();
         self.pairs.binary_search(&pair).is_ok()
+    }
+
+    /// Number of compaction passes that did real work so far. The push
+    /// sequence (and thus this count) is bit-identical across thread
+    /// counts, so it is safe to fold into
+    /// [`TraversalStats::pair_compactions`](crate::TraversalStats::pair_compactions).
+    #[inline]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// The distinct pairs, sorted ascending.
@@ -235,6 +248,22 @@ mod tests {
         expected.sort_unstable();
         expected.dedup();
         assert_eq!(b.into_sorted_vec(), expected);
+    }
+
+    #[test]
+    fn compaction_counter_skips_noops() {
+        let mut b = PairBuffer::new();
+        assert_eq!(b.compactions(), 0);
+        b.compact(); // empty: no-op
+        assert_eq!(b.compactions(), 0);
+        b.push((1, 1));
+        b.compact();
+        assert_eq!(b.compactions(), 1);
+        b.compact(); // already compact: no-op
+        assert_eq!(b.compactions(), 1);
+        b.push((0, 0));
+        assert_eq!(b.distinct_len(), 2);
+        assert_eq!(b.compactions(), 2);
     }
 
     #[test]

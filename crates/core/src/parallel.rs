@@ -54,6 +54,14 @@ fn tokens() -> &'static AtomicUsize {
     HELPER_TOKENS.get_or_init(|| AtomicUsize::new(pool_capacity()))
 }
 
+/// Extra-worker tokens currently checked out of the pool — a
+/// point-in-time utilization gauge (`pool_capacity()` is the
+/// denominator). Exported by the server's metrics endpoints; inherently
+/// racy, like any gauge.
+pub fn pool_in_use() -> usize {
+    pool_capacity().saturating_sub(tokens().load(Ordering::Acquire))
+}
+
 /// A grant of extra worker tokens; tokens return to the pool on drop
 /// (panic-safe, so an unwinding parallel region cannot leak capacity).
 pub(crate) struct HelperGrant(usize);

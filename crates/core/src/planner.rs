@@ -101,6 +101,15 @@ impl Plan {
     pub fn split_label(&self) -> Option<Id> {
         self.split.as_ref().map(|s| s.label)
     }
+
+    /// How far off [`Self::estimated_cost`] was from what evaluation
+    /// actually visited, as a ratio ×1000: `(actual + 1) * 1000 /
+    /// (estimated + 1)`. 1000 is a perfect estimate; above it the
+    /// planner underestimated, below it overestimated. The +1 smoothing
+    /// keeps zero estimates and zero-node runs finite and symmetric.
+    pub fn misprediction_x1000(&self, actual: u64) -> u64 {
+        (actual + 1).saturating_mul(1000) / (self.estimated_cost + 1)
+    }
 }
 
 /// A split must undercut the alternative's first expansion by this

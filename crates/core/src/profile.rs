@@ -1,0 +1,189 @@
+//! Query execution profiles — the "EXPLAIN ANALYZE" side of the
+//! engine.
+//!
+//! [`explain`](crate::explain) answers *what the planner decided*;
+//! a [`QueryProfile`] answers *what the execution actually did*:
+//! per-phase wall time (planning vs. execution), a per-BFS-level record
+//! of frontier sizes, rank-operation deltas and fan-out decisions, and
+//! the [`PairBuffer`](crate::pairbuf::PairBuffer) compaction count. The paper's
+//! whole argument is cost accounting — rank/select operations decide
+//! whether the ring beats the baselines — and the profile is where
+//! those costs become visible per query instead of as process-wide
+//! aggregates.
+//!
+//! Profiles are **opt-in and strictly observational**
+//! ([`EngineOptions::profile`](crate::EngineOptions::profile)): the
+//! planner never sees the flag, so the executed plan — and with it the
+//! answer set, flags, trace and truncation point — is bit-identical
+//! with profiling on or off. When the flag is off no clock is read and
+//! nothing is allocated; the only unconditional cost anywhere is the
+//! one-increment compaction counter inside `PairBuffer`.
+//!
+//! The server fills the three `Option` fields with its own phase
+//! timings (queue wait, pattern compilation, cache disposition); core
+//! evaluation leaves them `None`.
+
+/// One BFS level of a product-graph traversal, as the profiler saw it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LevelSample {
+    /// Frontier size at the head of the level (ranges/items expanded).
+    pub frontier: u64,
+    /// Wavelet rank operations charged to this level.
+    pub rank_ops: u64,
+    /// Frontier chunks fanned across the intra-query pool on this level
+    /// (0 when the level ran sequentially).
+    pub chunks: u64,
+    /// Whether the level took the speculative parallel path.
+    pub parallel: bool,
+}
+
+/// A per-query execution profile. Attached to
+/// [`QueryOutput::profile`](crate::QueryOutput::profile) when
+/// [`EngineOptions::profile`](crate::EngineOptions::profile) is set;
+/// rendered as stable JSON by
+/// [`QueryProfile::to_json`](crate::profile::QueryProfile::to_json)
+/// (defined alongside the plan renderer in [`crate::explain`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct QueryProfile {
+    /// Wall time spent planning (cost estimation + route choice), µs.
+    pub plan_us: u64,
+    /// Wall time spent executing the chosen route, µs.
+    pub exec_us: u64,
+    /// End-to-end wall time inside the engine (≥ `plan_us + exec_us`),
+    /// µs.
+    pub total_us: u64,
+    /// Per-BFS-level samples in traversal order. Routes without a level
+    /// structure (the §5 fast paths) leave this empty; multi-traversal
+    /// routes (var-to-var two-pass, rare-label splits) concatenate their
+    /// passes.
+    pub levels: Vec<LevelSample>,
+    /// `PairBuffer` compactions that did real work (mirrors
+    /// [`TraversalStats::pair_compactions`](crate::TraversalStats::pair_compactions)).
+    pub compactions: u64,
+    /// Server path only: wall time the job waited in the queue before a
+    /// worker picked it up, µs.
+    pub queue_wait_us: Option<u64>,
+    /// Server path only: pattern compilation time on a plan-cache miss,
+    /// µs (`Some(0)` on a plan-cache hit).
+    pub compile_us: Option<u64>,
+    /// Server path only: whether the answer came from the result cache
+    /// (a hit skips planning and execution entirely).
+    pub cache_hit: Option<bool>,
+}
+
+/// Per-level sample collector threaded through the traversal loops.
+///
+/// The loops feed it *cumulative* counters; the collector turns them
+/// into per-level deltas. Protocol: call [`enter`](Self::enter) at each
+/// level head with the frontier size and the current cumulative
+/// rank-op / parallel-chunk counts, and [`finish`](Self::finish) once
+/// after the loop (early exits included). `enter` closes the previous
+/// level, so a query that runs several traversals (two-pass var-to-var,
+/// split sub-queries) can share one collector — the passes simply
+/// concatenate.
+#[derive(Debug, Default)]
+pub struct LevelProf {
+    samples: Vec<LevelSample>,
+    mark_rank: u64,
+    mark_chunks: u64,
+    open: bool,
+}
+
+impl LevelProf {
+    /// A fresh, empty collector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Begin a level: `frontier` items about to expand, cumulative
+    /// counters as of now.
+    pub fn enter(&mut self, frontier: u64, rank_ops: u64, chunks: u64) {
+        self.close(rank_ops, chunks);
+        self.samples.push(LevelSample {
+            frontier,
+            ..LevelSample::default()
+        });
+        self.mark_rank = rank_ops;
+        self.mark_chunks = chunks;
+        self.open = true;
+    }
+
+    /// Close the last open level with the final cumulative counters.
+    /// Idempotent; safe to call on a collector that never saw a level.
+    pub fn finish(&mut self, rank_ops: u64, chunks: u64) {
+        self.close(rank_ops, chunks);
+    }
+
+    fn close(&mut self, rank_ops: u64, chunks: u64) {
+        if !self.open {
+            return;
+        }
+        self.open = false;
+        if let Some(last) = self.samples.last_mut() {
+            last.rank_ops = rank_ops.saturating_sub(self.mark_rank);
+            last.chunks = chunks.saturating_sub(self.mark_chunks);
+            last.parallel = last.chunks > 0;
+        }
+    }
+
+    /// The collected samples, consuming the collector.
+    pub fn into_samples(self) -> Vec<LevelSample> {
+        self.samples
+    }
+
+    /// Number of levels recorded so far.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no level was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deltas_are_per_level() {
+        let mut p = LevelProf::new();
+        p.enter(4, 0, 0);
+        p.enter(9, 10, 0); // closes level 0: 10 rank ops, sequential
+        p.enter(2, 25, 3); // closes level 1: 15 rank ops, 3 chunks
+        p.finish(27, 3); // closes level 2: 2 rank ops, no new chunks
+        p.finish(99, 9); // idempotent: already closed
+        let s = p.into_samples();
+        assert_eq!(s.len(), 3);
+        assert_eq!((s[0].frontier, s[0].rank_ops, s[0].chunks), (4, 10, 0));
+        assert!(!s[0].parallel);
+        assert_eq!((s[1].frontier, s[1].rank_ops, s[1].chunks), (9, 15, 3));
+        assert!(s[1].parallel);
+        assert_eq!((s[2].frontier, s[2].rank_ops, s[2].chunks), (2, 2, 0));
+    }
+
+    #[test]
+    fn passes_concatenate_with_independent_marks() {
+        let mut p = LevelProf::new();
+        // Pass one, counters end at 7/1.
+        p.enter(3, 0, 0);
+        p.finish(7, 1);
+        // Pass two restarts from its own cumulative baseline.
+        p.enter(5, 7, 1);
+        p.finish(9, 1);
+        let s = p.into_samples();
+        assert_eq!(s[0].rank_ops, 7);
+        assert_eq!(s[1].rank_ops, 2);
+        assert_eq!(s[1].chunks, 0);
+    }
+
+    #[test]
+    fn empty_collector_is_harmless() {
+        let mut p = LevelProf::new();
+        p.finish(0, 0);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.into_samples().is_empty());
+    }
+}

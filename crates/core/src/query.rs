@@ -133,6 +133,17 @@ pub struct EngineOptions {
     /// The planner also compares the query's estimated first-expansion
     /// cost against this threshold before engaging parallelism at all.
     pub parallel_min_frontier: usize,
+    /// Collect an execution profile ("EXPLAIN ANALYZE") into
+    /// [`QueryOutput::profile`]: per-phase wall time (planning vs.
+    /// execution) and per-BFS-level frontier sizes, rank-op deltas and
+    /// fan-out decisions. Strictly observational — the planner never
+    /// reads this flag, no evaluation decision depends on it, and the
+    /// answer set, flags, trace and truncation point are bit-identical
+    /// with it on or off (`crates/core/tests/profile_identity.rs` pins
+    /// this across all four forced routes and thread counts). Off (the
+    /// default) costs nothing: no clocks are read and nothing is
+    /// allocated.
+    pub profile: bool,
 }
 
 impl Default for EngineOptions {
@@ -148,6 +159,7 @@ impl Default for EngineOptions {
             node_budget: None,
             intra_query_threads: 1,
             parallel_min_frontier: 2048,
+            profile: false,
         }
     }
 }
@@ -178,6 +190,12 @@ pub struct TraversalStats {
     /// Frontier chunks expanded under intra-query parallelism (the unit
     /// of work the pool schedules; ≥ `parallel_levels` when non-zero).
     pub parallel_chunks: u64,
+    /// [`PairBuffer`](crate::pairbuf::PairBuffer) compaction passes that did real
+    /// work (sort-merge-dedup of a raw tail). Counted unconditionally —
+    /// the counter is one branch-free increment inside an already
+    /// *O*(n log n) pass — and deterministic across thread counts, since
+    /// the push sequence is bit-identical on every path.
+    pub pair_compactions: u64,
 }
 
 impl TraversalStats {
@@ -191,6 +209,7 @@ impl TraversalStats {
         self.rank_ops_saved += other.rank_ops_saved;
         self.parallel_levels += other.parallel_levels;
         self.parallel_chunks += other.parallel_chunks;
+        self.pair_compactions += other.pair_compactions;
     }
 }
 
@@ -219,6 +238,10 @@ pub struct QueryOutput {
     /// Product-graph visits `(node, fresh states)` in BFS order, when
     /// [`EngineOptions::collect_trace`] is on.
     pub trace: Vec<(Id, u64)>,
+    /// The execution profile, when [`EngineOptions::profile`] is on
+    /// (boxed: profiles are cold data and must not widen the common
+    /// unprofiled output). `None` whenever profiling is off.
+    pub profile: Option<Box<crate::profile::QueryProfile>>,
 }
 
 impl QueryOutput {

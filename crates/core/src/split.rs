@@ -178,13 +178,13 @@ pub(crate) fn evaluate_split_in(
             let srcs = match &prefix_plan {
                 None => vec![u],
                 Some(plan) => {
-                    let sub = engine.evaluate_prepared(
+                    let mut sub = engine.evaluate_prepared(
                         plan,
                         Term::Var,
                         Term::Const(u),
                         &sub_opts(&out, deadline),
                     )?;
-                    absorb(&mut out, &sub);
+                    absorb(&mut out, &mut sub);
                     sub.pairs.into_iter().map(|(s, _)| s).collect()
                 }
             };
@@ -214,13 +214,13 @@ pub(crate) fn evaluate_split_in(
                 let tgts = match &suffix_plan {
                     None => vec![v],
                     Some(plan) => {
-                        let sub = engine.evaluate_prepared(
+                        let mut sub = engine.evaluate_prepared(
                             plan,
                             Term::Const(v),
                             Term::Var,
                             &sub_opts(&out, deadline),
                         )?;
-                        absorb(&mut out, &sub);
+                        absorb(&mut out, &mut sub);
                         sub.pairs.into_iter().map(|(_, o)| o).collect()
                     }
                 };
@@ -243,6 +243,8 @@ pub(crate) fn evaluate_split_in(
         pairs.truncate_distinct(opts.limit);
         out.truncated = true;
     }
+    pairs.compact();
+    out.stats.pair_compactions += pairs.compactions();
     out.pairs = pairs.into_sorted_vec();
     out.stats.reported = out.pairs.len() as u64;
     Ok(out)
@@ -250,12 +252,23 @@ pub(crate) fn evaluate_split_in(
 
 /// Folds a sub-query's statistics and limit flags into the split's
 /// accumulated output (a truncated or budget-capped side means the
-/// overall answer set may be incomplete too).
-fn absorb(out: &mut QueryOutput, sub: &QueryOutput) {
+/// overall answer set may be incomplete too). When the sub-query was
+/// profiled (split sub-queries inherit the caller's
+/// [`EngineOptions::profile`]), its per-level samples are moved into a
+/// partial profile on `out`, which `evaluate_prepared` folds into the
+/// final one — so a split's profile shows the concatenated levels of
+/// every completion it ran.
+fn absorb(out: &mut QueryOutput, sub: &mut QueryOutput) {
     out.stats.add(&sub.stats);
     out.timed_out |= sub.timed_out;
     out.truncated |= sub.truncated;
     out.budget_exhausted |= sub.budget_exhausted;
+    if let Some(p) = sub.profile.take() {
+        out.profile
+            .get_or_insert_with(Default::default)
+            .levels
+            .extend(p.levels);
+    }
 }
 
 #[cfg(test)]

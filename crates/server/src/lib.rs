@@ -19,8 +19,12 @@
 //! * admission control — a bounded queue ([`RpqError::Overloaded`]) and
 //!   per-query [`QueryBudget`]s (result/time partials,
 //!   [`RpqError::BudgetExceeded`] hard aborts);
-//! * [`metrics`] — per-engine latency histograms, cache hit rates and
-//!   queue gauges, exported as JSON.
+//! * [`metrics`] — per-engine latency histograms (queue wait and
+//!   execution time measured separately), cache hit rates, queue gauges
+//!   and planner-accuracy accounting, exported as JSON and in the
+//!   Prometheus text format;
+//! * [`slowlog`] — a bounded log of the N worst queries with their full
+//!   execution profiles.
 //!
 //! ```
 //! use std::sync::Arc;
@@ -45,11 +49,13 @@ pub mod metrics;
 pub mod plan_cache;
 pub mod result_cache;
 pub mod server;
+pub mod slowlog;
 pub mod source;
 
 pub use plan_cache::PlanCache;
 pub use result_cache::{ResultCache, ResultKey};
 pub use server::{QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig};
+pub use slowlog::{SlowEntry, SlowLog};
 pub use source::{IndexSource, LiveSource, QuerySource, UpdateStats};
 
 /// Errors of the serving layer. `Parse` and `UnknownNode` are
@@ -135,6 +141,7 @@ mod tests {
         assert_send_sync::<PlanCache>();
         assert_send_sync::<ResultCache>();
         assert_send_sync::<metrics::Metrics>();
+        assert_send_sync::<SlowLog>();
         assert_send_sync::<QueryAnswer>();
         assert_send_sync::<RpqError>();
         assert_send_sync::<IndexSource>();

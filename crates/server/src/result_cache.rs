@@ -137,6 +137,7 @@ mod tests {
             timed_out: false,
             route: None,
             stats: Default::default(),
+            profile: None,
         })
     }
 

@@ -27,9 +27,10 @@ use rpq_core::{
 };
 use succinct::util::FxHashMap;
 
-use crate::metrics::{registry_json, Metrics};
+use crate::metrics::{registry_json, registry_prometheus, Metrics};
 use crate::plan_cache::PlanCache;
 use crate::result_cache::{ResultCache, ResultKey};
+use crate::slowlog::{SlowEntry, SlowLog};
 use crate::source::{QuerySource, SourceResolver};
 use crate::RpqError;
 
@@ -93,6 +94,19 @@ pub struct ServerConfig {
     /// rare-label splitting, which the planner chooses per query as
     /// `EvalRoute::Split`).
     pub bp_split_width: usize,
+    /// Collect a [`rpq_core::QueryProfile`] for every evaluated query
+    /// and attach it to the [`QueryAnswer`]. Off by default — profiling
+    /// is opt-in and evaluation is bit-identical either way (the planner
+    /// never reads the flag). Implied for slow-log candidates when
+    /// [`Self::slow_log_capacity`] is non-zero.
+    pub profile: bool,
+    /// Keep the N worst queries (by end-to-end latency) in the slow-query
+    /// log, full profiles included. `0` (the default) disables the log
+    /// and the profiling it implies.
+    pub slow_log_capacity: usize,
+    /// Only queries at or above this end-to-end latency are slow-log
+    /// candidates.
+    pub slow_log_threshold: Duration,
 }
 
 impl Default for ServerConfig {
@@ -106,6 +120,9 @@ impl Default for ServerConfig {
             result_cache_bytes: 16 << 20,
             default_budget: QueryBudget::default(),
             bp_split_width: automata::bitparallel::DEFAULT_SPLIT_WIDTH,
+            profile: false,
+            slow_log_capacity: 0,
+            slow_log_threshold: Duration::from_millis(100),
         }
     }
 }
@@ -127,6 +144,11 @@ pub struct QueryAnswer {
     pub route: Option<EvalRoute>,
     /// Engine traversal statistics.
     pub stats: TraversalStats,
+    /// The query's execution profile, present when the server runs with
+    /// [`ServerConfig::profile`] (or an active slow log). Cached answers
+    /// get a fresh minimal profile per hit (`cache_hit: true`, queue
+    /// wait only) — the original run's profile is never replayed.
+    pub profile: Option<Box<rpq_core::QueryProfile>>,
 }
 
 impl QueryAnswer {
@@ -173,6 +195,9 @@ struct Job {
     query: RpqQuery,
     key: ResultKey,
     budget: QueryBudget,
+    /// When the job was admitted — queue wait is measured from here to
+    /// worker pickup, end-to-end latency from here to the answer.
+    submitted: Instant,
     /// The evaluation snapshot captured at submit time: the query runs
     /// against exactly this epoch's ring + delta, no matter how many
     /// commits land before a worker picks it up.
@@ -200,6 +225,7 @@ struct Shared {
     plan_cache: PlanCache,
     result_cache: ResultCache,
     metrics: Metrics,
+    slow_log: SlowLog,
     /// Highest snapshot epoch observed; a submit that sees a newer one
     /// invalidates both caches (compiled plans may embed a stale
     /// alphabet after a rebuild; results are epoch-keyed on top).
@@ -247,6 +273,7 @@ impl RpqServer {
             plan_cache: PlanCache::new(config.plan_cache_bytes, config.bp_split_width),
             result_cache: ResultCache::new(config.result_cache_bytes),
             metrics: Metrics::new(),
+            slow_log: SlowLog::new(config.slow_log_capacity, config.slow_log_threshold),
             cache_epoch: AtomicU64::new(epoch0),
         });
         let n_workers = if config.admission_only {
@@ -365,6 +392,7 @@ impl RpqServer {
             query,
             key,
             budget,
+            submitted: Instant::now(),
             snapshot,
             status: Mutex::new(QueryStatus::Queued),
             done: Condvar::new(),
@@ -563,6 +591,35 @@ impl RpqServer {
         )
     }
 
+    /// The full metrics registry in the Prometheus text exposition
+    /// format (the same atomics as [`Self::metrics_json`]).
+    pub fn prometheus_metrics(&self) -> String {
+        let updates = self.shared.source.update_stats();
+        let epoch = self.shared.source.snapshot().epoch;
+        registry_prometheus(
+            &self.shared.metrics,
+            self.shared.config.workers,
+            self.shared.config.intra_query_threads,
+            self.shared.config.max_pending,
+            &self.shared.plan_cache.stats(),
+            &self.shared.result_cache.stats(),
+            epoch,
+            updates,
+        )
+    }
+
+    /// The slow-query log (worst queries by end-to-end latency; empty
+    /// unless [`ServerConfig::slow_log_capacity`] is non-zero).
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.shared.slow_log
+    }
+
+    /// The slow-query log rendered as one JSON object, worst query
+    /// first.
+    pub fn slow_queries_json(&self) -> String {
+        self.shared.slow_log.to_json()
+    }
+
     /// Stops accepting work, joins every worker, and fails whatever was
     /// still queued with [`RpqError::ShuttingDown`]. Idempotent; also
     /// runs on drop. Tickets stay pollable afterwards.
@@ -660,9 +717,45 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Offers a completed answer to the slow-query log (no-op when the log
+/// is disabled or the query beat the threshold).
+fn offer_slow(shared: &Shared, job: &Job, answer: &QueryAnswer, total_us: u64, queue_wait_us: u64) {
+    if !shared.slow_log.enabled() {
+        return;
+    }
+    let term = |t: &Term| match t {
+        Term::Var => "?".to_string(),
+        Term::Const(id) => id.to_string(),
+    };
+    shared.slow_log.offer(SlowEntry {
+        seq: 0,
+        pattern: job.key.pattern.clone(),
+        subject: term(&job.key.subject),
+        object: term(&job.key.object),
+        total_us,
+        queue_wait_us,
+        route: answer.route,
+        cache_hit: answer
+            .profile
+            .as_ref()
+            .is_some_and(|p| p.cache_hit == Some(true)),
+        pairs: answer.pairs.len() as u64,
+        truncated: answer.truncated,
+        timed_out: answer.timed_out,
+        profile: answer.profile.clone(),
+    });
+}
+
 fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
     let metrics = &shared.metrics;
-    let t0 = Instant::now();
+    let picked = Instant::now();
+    let queue_wait = picked.duration_since(job.submitted);
+    let queue_wait_us = queue_wait.as_micros().min(u128::from(u64::MAX)) as u64;
+    metrics.queue_wait.record(queue_wait);
+    // Profiles are collected when asked for, or whenever the slow log is
+    // live (its entries are useless without one). Evaluation results are
+    // bit-identical either way — the planner never reads the flag.
+    let want_profile = shared.config.profile || shared.slow_log.enabled();
 
     if let Some(answer) = shared.result_cache.get(&job.key) {
         // A cached complete set subsumes any partial, but the requester's
@@ -677,19 +770,47 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
                 timed_out: false,
                 route: answer.route,
                 stats: answer.stats,
+                profile: None,
             })
         } else {
             answer
         };
-        let elapsed = t0.elapsed();
-        metrics.latency_cached.record(elapsed);
-        metrics.latency_all.record(elapsed);
+        let total = job.submitted.elapsed();
+        let mut profiled = Arc::clone(&answer);
+        if want_profile {
+            // A hit does no planning or evaluation; its profile records
+            // the queue wait and lookup time only.
+            let mut fresh = (*answer).clone();
+            fresh.profile = Some(Box::new(rpq_core::QueryProfile {
+                total_us: total.as_micros().min(u128::from(u64::MAX)) as u64,
+                queue_wait_us: Some(queue_wait_us),
+                cache_hit: Some(true),
+                ..Default::default()
+            }));
+            profiled = Arc::new(fresh);
+        }
+        metrics.latency_cached.record(total);
+        metrics.latency_all.record(total);
         metrics.completed.fetch_add(1, Ordering::Relaxed);
-        job.finish(QueryStatus::Done(answer));
+        offer_slow(
+            shared,
+            job,
+            &profiled,
+            total.as_micros().min(u128::from(u64::MAX)) as u64,
+            queue_wait_us,
+        );
+        // Profiles reach the client only when asked for; a slow-log-only
+        // configuration keeps them internal.
+        job.finish(QueryStatus::Done(if shared.config.profile {
+            profiled
+        } else {
+            answer
+        }));
         return;
     }
 
     let ring = &*job.snapshot.ring;
+    let compile_t0 = Instant::now();
     let plan = match shared
         .plan_cache
         .get_or_compile(&job.query.expr, job.snapshot.epoch, &|l| {
@@ -702,16 +823,18 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
             return;
         }
     };
+    // Plan-cache lookup + (on a miss) Glushkov compilation time.
+    let compile_us = compile_t0.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     let opts = EngineOptions {
         limit: job.budget.max_results,
         timeout: job.budget.timeout,
         node_budget: job.budget.node_budget,
         bp_split_width: shared.config.bp_split_width,
         intra_query_threads: shared.config.intra_query_threads,
+        profile: want_profile,
         ..EngineOptions::default()
     };
     let result = engine.evaluate_prepared(&plan, job.query.subject, job.query.object, &opts);
-    let elapsed = t0.elapsed();
 
     let out = match result {
         Ok(out) => out,
@@ -728,6 +851,17 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
         metrics.note_planner_decision(r);
     }
     metrics.note_traversal(route, &out.stats);
+    // Cost-model accountability: every executed plan's estimate against
+    // what evaluation actually visited (budget-aborted runs included —
+    // gross underestimates are exactly the interesting samples).
+    if let Some(p) = out.plan.as_ref() {
+        metrics.note_plan_accuracy(
+            p.route,
+            p.estimated_cost,
+            out.stats.product_nodes,
+            out.stats.rank_ops,
+        );
+    }
     if out.budget_exhausted {
         metrics.budget_exceeded.fetch_add(1, Ordering::Relaxed);
         metrics.failed.fetch_add(1, Ordering::Relaxed);
@@ -741,27 +875,59 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
     let mut pairs = out.pairs;
     pairs.sort_unstable();
     pairs.dedup();
+    let mut profile = out.profile;
+    if let Some(p) = profile.as_deref_mut() {
+        p.queue_wait_us = Some(queue_wait_us);
+        p.compile_us = Some(compile_us);
+        p.cache_hit = Some(false);
+    }
     let answer = Arc::new(QueryAnswer {
         pairs,
         truncated: out.truncated,
         timed_out: out.timed_out,
         route,
         stats: out.stats,
+        profile,
     });
+    // Profiles are per-execution: the cached copy — and, when only the
+    // slow log wanted one, the published answer — are stripped so no
+    // request ever sees another run's timings.
+    let stripped = if answer.profile.is_some() {
+        Arc::new(QueryAnswer {
+            profile: None,
+            ..(*answer).clone()
+        })
+    } else {
+        Arc::clone(&answer)
+    };
     if answer.is_complete() {
         shared
             .result_cache
-            .insert(job.key.clone(), Arc::clone(&answer));
+            .insert(job.key.clone(), Arc::clone(&stripped));
     }
-    metrics.latency_all.record(elapsed);
+    let exec = picked.elapsed();
+    let total = job.submitted.elapsed();
+    metrics.latency_exec.record(exec);
+    metrics.latency_all.record(total);
     if let Some(r) = route {
-        metrics.route_histogram(r).record(elapsed);
+        metrics.route_histogram(r).record(exec);
     }
     if job.cancel.load(Ordering::Acquire) {
         metrics.cancelled.fetch_add(1, Ordering::Relaxed);
         job.finish(QueryStatus::Cancelled);
     } else {
         metrics.completed.fetch_add(1, Ordering::Relaxed);
-        job.finish(QueryStatus::Done(answer));
+        offer_slow(
+            shared,
+            job,
+            &answer,
+            total.as_micros().min(u128::from(u64::MAX)) as u64,
+            queue_wait_us,
+        );
+        job.finish(QueryStatus::Done(if shared.config.profile {
+            answer
+        } else {
+            stripped
+        }));
     }
 }

@@ -82,9 +82,21 @@ query/batch options:
 query/serve/batch options:
   --threads <n>    threads a single query may fan its frontier across
                    (default 1; answers are identical at any value)
+  --profile        collect an execution profile (per-phase timings,
+                   per-level frontier sizes, compaction and cache
+                   counters; answers are bit-identical either way).
+                   `query` prints it as a final JSON line; serve/batch
+                   print '# profile: {json}' per answer
 serve/batch options:
   --workers <n>    worker threads (default: available parallelism)
   --metrics <file> write the metrics registry JSON there ('-' = stderr)
+  --slow-log <n>   keep the n worst queries (with profiles) in the
+                   slow-query log (default 0 = disabled)
+  --slow-ms <t>    slow-log admission threshold, milliseconds (default 100)
+serve session meta-commands (one per stdin line, answers flush first):
+  .metrics         print the metrics registry JSON
+  .prometheus      print the registry in Prometheus text format
+  .slow            print the slow-query log JSON
 ";
 
 /// CLI failures, split by exit code: malformed queries (pattern parse
@@ -204,11 +216,12 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_query(args: &[String]) -> Result<(), CliError> {
-    let (explain_only, rest): (bool, Vec<String>) = split_explain_flag(args);
+    let (explain_only, rest): (bool, Vec<String>) = split_flag(args, "--explain");
+    let (profile, rest) = split_flag(&rest, "--profile");
     let (threads, rest) = split_threads_flag(&rest)?;
     let [index, s, expr, o] = &rest[..] else {
         return Err(format!(
-            "query needs <index.db> <s> <expr> <o> [--explain] [--threads n]\n{USAGE}"
+            "query needs <index.db> <s> <expr> <o> [--explain] [--profile] [--threads n]\n{USAGE}"
         )
         .into());
     };
@@ -221,6 +234,7 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let opts = EngineOptions {
         timeout: Some(Duration::from_secs(60)),
         intra_query_threads: threads.unwrap_or(1).max(1),
+        profile,
         ..EngineOptions::default()
     };
     let t = Instant::now();
@@ -259,6 +273,11 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
         if out.timed_out { " (timed out)" } else { "" },
         batching,
     );
+    // The profile is the final stdout line (a lone JSON object), so
+    // scripts can split rows from profile with a '^{' match.
+    if let Some(p) = &out.profile {
+        println!("{}", p.to_json());
+    }
     Ok(())
 }
 
@@ -273,9 +292,10 @@ fn cmd_explain(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Strips a `--explain` flag from an argument list.
-fn split_explain_flag(args: &[String]) -> (bool, Vec<String>) {
-    let rest: Vec<String> = args.iter().filter(|a| *a != "--explain").cloned().collect();
+/// Strips a boolean flag from an argument list, reporting whether it was
+/// present.
+fn split_flag(args: &[String], flag: &str) -> (bool, Vec<String>) {
+    let rest: Vec<String> = args.iter().filter(|a| *a != flag).cloned().collect();
     (rest.len() != args.len(), rest)
 }
 
@@ -308,6 +328,9 @@ struct ServeOpts {
     threads: Option<usize>,
     metrics: Option<String>,
     explain: bool,
+    profile: bool,
+    slow_log: Option<usize>,
+    slow_ms: Option<u64>,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
@@ -317,34 +340,50 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
         threads: None,
         metrics: None,
         explain: false,
+        profile: false,
+        slow_log: None,
+        slow_ms: None,
     };
     let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, CliError> {
+        it.next()
+            .cloned()
+            .ok_or_else(|| CliError::Other(format!("{flag} needs a value")))
+    };
     while let Some(a) = it.next() {
         match a.as_str() {
             "--explain" => opts.explain = true,
+            "--profile" => opts.profile = true,
             "--workers" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| "--workers needs a value".to_string())?;
+                let v = value("--workers", &mut it)?;
                 opts.workers = Some(
                     v.parse()
                         .map_err(|_| format!("bad --workers value '{v}'"))?,
                 );
             }
             "--threads" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| "--threads needs a value".to_string())?;
+                let v = value("--threads", &mut it)?;
                 opts.threads = Some(
                     v.parse()
                         .map_err(|_| format!("bad --threads value '{v}'"))?,
                 );
             }
+            "--slow-log" => {
+                let v = value("--slow-log", &mut it)?;
+                opts.slow_log = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --slow-log value '{v}'"))?,
+                );
+            }
+            "--slow-ms" => {
+                let v = value("--slow-ms", &mut it)?;
+                opts.slow_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("bad --slow-ms value '{v}'"))?,
+                );
+            }
             "--metrics" => {
-                let v = it
-                    .next()
-                    .ok_or_else(|| "--metrics needs a value".to_string())?;
-                opts.metrics = Some(v.clone());
+                opts.metrics = Some(value("--metrics", &mut it)?);
             }
             _ => opts.positional.push(a.clone()),
         }
@@ -352,18 +391,21 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
     Ok(opts)
 }
 
-fn start_server(
-    index: &str,
-    workers: Option<usize>,
-    threads: Option<usize>,
-) -> Result<RpqServer, CliError> {
+fn start_server(index: &str, opts: &ServeOpts) -> Result<RpqServer, CliError> {
     let db = load(index)?;
     let mut config = ServerConfig::default();
-    if let Some(w) = workers {
+    if let Some(w) = opts.workers {
         config.workers = w.max(1);
     }
-    if let Some(t) = threads {
+    if let Some(t) = opts.threads {
         config.intra_query_threads = t.max(1);
+    }
+    config.profile = opts.profile;
+    if let Some(n) = opts.slow_log {
+        config.slow_log_capacity = n;
+    }
+    if let Some(ms) = opts.slow_ms {
+        config.slow_log_threshold = Duration::from_millis(ms);
     }
     db.into_server(config)
         .map_err(|e| CliError::Other(e.to_string()))
@@ -380,6 +422,7 @@ fn run_session(
     server: &RpqServer,
     input: impl BufRead,
     out: &mut impl Write,
+    show_profile: bool,
 ) -> Result<(usize, usize), CliError> {
     let mut pending: VecDeque<(usize, String, ring_rpq::rpq_server::QueryTicket)> = VecDeque::new();
     let mut submitted = 0usize;
@@ -389,6 +432,22 @@ fn run_session(
         let line = line.map_err(|e| format!("reading queries: {e}"))?;
         let text = line.trim();
         if text.is_empty() || text.starts_with('#') {
+            continue;
+        }
+        // Session meta-commands: snapshot requests interleaved with
+        // queries. In-flight answers flush first, so the snapshot covers
+        // everything submitted above it.
+        if matches!(text, ".metrics" | ".prometheus" | ".slow") {
+            while let Some(entry) = pending.pop_front() {
+                errors += flush_one(server, entry, out, show_profile)?;
+            }
+            match text {
+                ".metrics" => writeln!(out, "{}", server.metrics_json()),
+                ".prometheus" => write!(out, "{}", server.prometheus_metrics()),
+                ".slow" => writeln!(out, "{}", server.slow_queries_json()),
+                _ => unreachable!(),
+            }
+            .map_err(|e| echo(&e))?;
             continue;
         }
         submitted += 1;
@@ -415,7 +474,7 @@ fn run_session(
                     // Backpressure: finish the oldest in-flight query
                     // before retrying.
                     match pending.pop_front() {
-                        Some(entry) => errors += flush_one(server, entry, out)?,
+                        Some(entry) => errors += flush_one(server, entry, out, show_profile)?,
                         None => std::thread::sleep(Duration::from_millis(1)),
                     }
                 }
@@ -429,7 +488,7 @@ fn run_session(
         }
     }
     while let Some(entry) = pending.pop_front() {
-        errors += flush_one(server, entry, out)?;
+        errors += flush_one(server, entry, out, show_profile)?;
     }
     Ok((submitted, errors))
 }
@@ -440,6 +499,7 @@ fn flush_one(
     server: &RpqServer,
     (n, text, ticket): (usize, String, ring_rpq::rpq_server::QueryTicket),
     out: &mut impl Write,
+    show_profile: bool,
 ) -> Result<usize, CliError> {
     let echo = |e: std::io::Error| CliError::Other(format!("writing output: {e}"));
     writeln!(out, "# query {n}: {text}").map_err(echo)?;
@@ -461,6 +521,11 @@ fn flush_one(
                 if answer.timed_out { " (timed out)" } else { "" },
             )
             .map_err(echo)?;
+            if show_profile {
+                if let Some(p) = &answer.profile {
+                    writeln!(out, "# profile: {}", p.to_json()).map_err(echo)?;
+                }
+            }
             Ok(0)
         }
         Err(e) => {
@@ -489,10 +554,10 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         )
         .into());
     };
-    let server = start_server(index, opts.workers, opts.threads)?;
+    let server = start_server(index, &opts)?;
     let stdin = std::io::stdin();
     let mut stdout = std::io::stdout().lock();
-    let (submitted, errors) = run_session(&server, stdin.lock(), &mut stdout)?;
+    let (submitted, errors) = run_session(&server, stdin.lock(), &mut stdout, opts.profile)?;
     stdout.flush().ok();
     eprintln!(
         "served {submitted} queries ({} ok, {errors} failed)",
@@ -516,10 +581,15 @@ fn cmd_batch(args: &[String]) -> Result<(), CliError> {
     if opts.explain {
         return batch_explain(index, std::io::BufReader::new(file));
     }
-    let server = start_server(index, opts.workers, opts.threads)?;
+    let server = start_server(index, &opts)?;
     let t = Instant::now();
     let mut stdout = std::io::stdout().lock();
-    let (submitted, errors) = run_session(&server, std::io::BufReader::new(file), &mut stdout)?;
+    let (submitted, errors) = run_session(
+        &server,
+        std::io::BufReader::new(file),
+        &mut stdout,
+        opts.profile,
+    )?;
     stdout.flush().ok();
     let secs = t.elapsed().as_secs_f64();
     eprintln!(
@@ -553,7 +623,7 @@ fn batch_explain(index: &str, input: impl BufRead) -> Result<(), CliError> {
         };
         match db.explain_plan(s, expr, o) {
             Ok(plan) => println!("{}", plan.to_json()),
-            Err(e) => println!("{{\"error\":{:?}}}", e.to_string()),
+            Err(e) => println!("{{\"error\":{}}}", rpq_core::jsonw::quoted(&e.to_string())),
         }
     }
     Ok(())

@@ -50,6 +50,7 @@ pub use succinct;
 pub use workload;
 
 mod updatable;
+pub use rpq_core::{LevelSample, QueryProfile};
 pub use updatable::UpdatableDatabase;
 
 use automata::parser::{self, LabelResolver};
