@@ -1,0 +1,321 @@
+//! E11: parallel bulk ingest and zero-copy cold start, written to
+//! `BENCH_ingest.json`.
+//!
+//! Generates a synthetic N-Triples dump (deterministic LCG, Zipf-ish
+//! predicate skew), streams it through the chunk-parallel ingest path
+//! into a ring, persists it in both the stream (`RRPQDB01`) and mapped
+//! (`RRPQM01`) formats, then measures **cold opens in child processes**
+//! — re-executing this binary per mode — so allocator reuse in a warm
+//! parent cannot flatter the resident-memory numbers. Every child
+//! reports a probe-query checksum and the triple count; the parent
+//! asserts all resident modes agree bit-for-bit before any number is
+//! written.
+//!
+//! Modes follow the other benches: `--quick` / `RPQ_BENCH_QUICK=1`
+//! shrinks the dump for the CI perf smoke (the full run defaults to
+//! 10M triples; `RPQ_INGEST_TRIPLES` overrides either), `--check
+//! <baseline.json>` exits non-zero when a timing key regresses more
+//! than [`CHECK_FACTOR`]x, and the output path honours `RPQ_BENCH_OUT`.
+//! `RPQ_BENCH_MIN_OPEN_SPEEDUP` arms the cold-open gate: mmap open must
+//! beat the stream-format heap deserialize by at least that factor.
+
+use ring::mapped::OpenMode;
+use ring_rpq::{ingest, RpqDatabase};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Allowed regression factor for `--check`.
+const CHECK_FACTOR: f64 = 3.0;
+
+/// Resident set size of this process, in KiB, from `/proc/self/status`
+/// (0 where procfs is unavailable).
+fn rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines().find(|l| l.starts_with("VmRSS:")).and_then(|l| {
+                l.split_whitespace()
+                    .nth(1)
+                    .and_then(|v| v.parse::<u64>().ok())
+            })
+        })
+        .unwrap_or(0)
+}
+
+/// Writes `n` pseudo-random triples as N-Triples lines: `nodes = n/10`
+/// subjects/objects, 32 predicates with trailing-zero skew (predicate 0
+/// carries half the dump, like a Wikidata top property).
+fn generate_dump(path: &Path, n: u64) -> std::io::Result<()> {
+    let n_nodes = (n / 10).max(16);
+    let mut w = std::io::BufWriter::with_capacity(1 << 20, std::fs::File::create(path)?);
+    let mut state = 0x9E3779B97F4A7C15u64;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 11
+    };
+    for _ in 0..n {
+        let s = next() % n_nodes;
+        let o = next() % n_nodes;
+        let r = next();
+        let p = if r % 2 == 0 { 0 } else { 1 + (r >> 1) % 31 };
+        writeln!(w, "<http://g/n{s}> <http://g/p{p}> <http://g/n{o}> .")?;
+    }
+    w.flush()
+}
+
+/// What one cold-open child reports back on stdout.
+struct ChildReport {
+    open_us: f64,
+    rss_kb: u64,
+    n_triples: u64,
+    probe_rows: u64,
+    probe_checksum: u64,
+}
+
+/// Child mode: open `path` with `mode`, run the probe query, report.
+fn run_child(path: &str, mode: &str) {
+    let mode = match mode {
+        "stream" | "heap" => OpenMode::Heap,
+        "auto" => OpenMode::Auto,
+        "mmap" => OpenMode::Mmap,
+        other => panic!("unknown open mode {other}"),
+    };
+    let t = Instant::now();
+    let db = RpqDatabase::open_with(Path::new(path), mode).expect("cold open");
+    let open_us = t.elapsed().as_nanos() as f64 / 1000.0;
+    // Touch the index: one anchored single-label probe plus a one-step
+    // closure, exercising rank/select over the mapped columns.
+    let out = db
+        .query_with(
+            "<http://g/n0>",
+            "<http://g/p0>",
+            "?o",
+            &rpq_core::EngineOptions::default(),
+        )
+        .expect("probe query");
+    let mut checksum = 0u64;
+    for &(s, o) in &out.pairs {
+        checksum = checksum
+            .wrapping_mul(0x100000001B3)
+            .wrapping_add(s.wrapping_mul(1_000_003).wrapping_add(o));
+    }
+    println!(
+        "{{\"open_us\":{:.1},\"rss_kb\":{},\"n_triples\":{},\"probe_rows\":{},\"probe_checksum\":{},\"resident\":\"{}\",\"mapped_bytes\":{}}}",
+        open_us,
+        rss_kb(),
+        db.ring().n_triples(),
+        out.pairs.len(),
+        checksum,
+        db.open_info().resident.as_str(),
+        db.open_info().mapped_bytes,
+    );
+}
+
+/// Extracts `"key":<number>` from a flat JSON text.
+fn json_number(text: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\":");
+    let at = text.find(&tag)? + tag.len();
+    let rest = &text[at..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+fn spawn_child(index: &Path, mode: &str) -> ChildReport {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .arg("--open-child")
+        .arg(index)
+        .arg(mode)
+        .output()
+        .expect("spawning cold-open child");
+    assert!(
+        out.status.success(),
+        "cold-open child ({mode}) failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8(out.stdout).expect("child output is UTF-8");
+    let field = |k: &str| {
+        json_number(&text, k).unwrap_or_else(|| panic!("child ({mode}) omitted {k}: {text}"))
+    };
+    ChildReport {
+        open_us: field("open_us"),
+        rss_kb: field("rss_kb") as u64,
+        n_triples: field("n_triples") as u64,
+        probe_rows: field("probe_rows") as u64,
+        probe_checksum: field("probe_checksum") as u64,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--open-child") {
+        run_child(&args[1], &args[2]);
+        return;
+    }
+    let quick = args.iter().any(|a| a == "--quick")
+        || std::env::var("RPQ_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let check_baseline = args
+        .iter()
+        .position(|a| a == "--check")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let n_triples: u64 = std::env::var("RPQ_INGEST_TRIPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 1_000_000 } else { 10_000_000 });
+    let dir = std::env::temp_dir().join(format!("rpq_ingest_bench_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("bench scratch dir");
+    let dump: PathBuf = dir.join("dump.nt");
+    let stream_path = dir.join("index.db");
+    let mapped_path = dir.join("index.rpqm");
+
+    eprintln!(
+        "ingest bench: {n_triples} triples, pool capacity {}{}",
+        rpq_core::parallel::pool_capacity(),
+        if quick { " (quick)" } else { "" }
+    );
+
+    let t = Instant::now();
+    generate_dump(&dump, n_triples).expect("writing the dump");
+    let gen_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let dump_bytes = std::fs::metadata(&dump).expect("dump metadata").len();
+    eprintln!("  generated {dump_bytes} bytes in {gen_ms:.0} ms");
+
+    let t = Instant::now();
+    let (graph, nodes, preds) = ingest::load_ntriples_file(&dump).expect("streaming parse");
+    let parse_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let parsed_triples = graph.len() as u64;
+    eprintln!(
+        "  parsed {} distinct triples ({} nodes, {} preds) in {parse_ms:.0} ms",
+        graph.len(),
+        nodes.len(),
+        preds.len()
+    );
+
+    let t = Instant::now();
+    let db = RpqDatabase::from_parts(graph, nodes, preds);
+    let build_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let rss_after_build_kb = rss_kb();
+    eprintln!(
+        "  built ring ({} indexed triples) in {build_ms:.0} ms, rss {rss_after_build_kb} KiB",
+        db.ring().n_triples()
+    );
+
+    let t = Instant::now();
+    db.save(&stream_path).expect("stream save");
+    let save_stream_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let stream_bytes = std::fs::metadata(&stream_path)
+        .expect("stream metadata")
+        .len();
+
+    let t = Instant::now();
+    let mapped_bytes = db.save_mapped(&mapped_path).expect("mapped save");
+    let save_mapped_ms = t.elapsed().as_secs_f64() * 1000.0;
+    let indexed_triples = db.ring().n_triples() as u64;
+    drop(db);
+    eprintln!(
+        "  saved stream {stream_bytes} B in {save_stream_ms:.0} ms, \
+         mapped {mapped_bytes} B in {save_mapped_ms:.0} ms"
+    );
+
+    // Cold opens, one fresh process per mode.
+    let stream = spawn_child(&stream_path, "stream");
+    let heap = spawn_child(&mapped_path, "heap");
+    let mmap_supported = cfg!(all(unix, target_pointer_width = "64"));
+    let mmap = if mmap_supported {
+        spawn_child(&mapped_path, "mmap")
+    } else {
+        spawn_child(&mapped_path, "auto")
+    };
+    for (label, r) in [("heap", &heap), ("mmap", &mmap)] {
+        assert_eq!(
+            r.n_triples, stream.n_triples,
+            "{label}: triple count diverged"
+        );
+        assert_eq!(
+            r.probe_rows, stream.probe_rows,
+            "{label}: probe rows diverged"
+        );
+        assert_eq!(
+            r.probe_checksum, stream.probe_checksum,
+            "{label}: probe answers diverged from the stream-format load"
+        );
+    }
+    let open_speedup = stream.open_us / mmap.open_us.max(1e-9);
+    eprintln!(
+        "  cold open: stream {:.0} us (rss {} KiB) | mapped-heap {:.0} us (rss {} KiB) \
+         | mmap {:.1} us (rss {} KiB) -> {open_speedup:.1}x",
+        stream.open_us, stream.rss_kb, heap.open_us, heap.rss_kb, mmap.open_us, mmap.rss_kb
+    );
+
+    let json = format!(
+        "{{\"quick\":{quick},\"triples_requested\":{n_triples},\"triples_parsed\":{parsed_triples},\
+\"triples_indexed\":{indexed_triples},\"dump_bytes\":{dump_bytes},\"gen_ms\":{gen_ms:.1},\
+\"parse_ms\":{parse_ms:.1},\"build_ms\":{build_ms:.1},\"construct_ms\":{:.1},\
+\"rss_after_build_kb\":{rss_after_build_kb},\"save_stream_ms\":{save_stream_ms:.1},\
+\"save_mapped_ms\":{save_mapped_ms:.1},\"stream_bytes\":{stream_bytes},\
+\"mapped_bytes\":{mapped_bytes},\"cold_open_stream_us\":{:.1},\"cold_open_heap_us\":{:.1},\
+\"cold_open_mmap_us\":{:.1},\"rss_open_stream_kb\":{},\"rss_open_heap_kb\":{},\
+\"rss_open_mmap_kb\":{},\"open_speedup\":{open_speedup:.1},\"mmap_supported\":{mmap_supported},\
+\"probe_rows\":{}}}",
+        parse_ms + build_ms,
+        stream.open_us,
+        heap.open_us,
+        mmap.open_us,
+        stream.rss_kb,
+        heap.rss_kb,
+        mmap.rss_kb,
+        stream.probe_rows,
+    );
+    let out = std::env::var("RPQ_BENCH_OUT").unwrap_or_else(|_| "BENCH_ingest.json".to_string());
+    std::fs::write(&out, json.clone() + "\n").expect("writing the bench artifact");
+    eprintln!("ingest bench -> {out}");
+    println!("{json}");
+    std::fs::remove_dir_all(&dir).ok();
+
+    // The zero-copy gate (opt-in, like the parallel speedup gate): the
+    // mmap cold open must beat the stream deserialize by this factor.
+    if let Ok(min) = std::env::var("RPQ_BENCH_MIN_OPEN_SPEEDUP") {
+        let min: f64 = min
+            .parse()
+            .expect("RPQ_BENCH_MIN_OPEN_SPEEDUP parses as f64");
+        if mmap_supported && open_speedup < min {
+            eprintln!("PERF GATE FAILED: cold-open speedup {open_speedup:.1} < {min}");
+            std::process::exit(1);
+        }
+        eprintln!("ingest bench: cold-open gate ok ({open_speedup:.1}x >= {min})");
+    }
+
+    if let Some(path) = check_baseline {
+        let baseline = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let mut failed = false;
+        for (key, value) in [
+            ("parse_ms", parse_ms),
+            ("build_ms", build_ms),
+            ("cold_open_stream_us", stream.open_us),
+            ("cold_open_heap_us", heap.open_us),
+            ("cold_open_mmap_us", mmap.open_us),
+        ] {
+            match json_number(&baseline, key) {
+                Some(base) if value > base * CHECK_FACTOR => {
+                    eprintln!(
+                        "PERF REGRESSION: {key} = {value:.1} vs baseline {base:.1} (>{CHECK_FACTOR}x)"
+                    );
+                    failed = true;
+                }
+                Some(_) => {}
+                None => eprintln!("note: baseline has no entry for {key}, skipping"),
+            }
+        }
+        if failed {
+            eprintln!("ingest bench: perf smoke FAILED against {path}");
+            std::process::exit(1);
+        }
+        eprintln!("ingest bench: perf smoke ok against {path}");
+    }
+}

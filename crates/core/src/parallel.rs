@@ -64,11 +64,11 @@ pub fn pool_in_use() -> usize {
 
 /// A grant of extra worker tokens; tokens return to the pool on drop
 /// (panic-safe, so an unwinding parallel region cannot leak capacity).
-pub(crate) struct HelperGrant(usize);
+pub struct HelperGrant(usize);
 
 impl HelperGrant {
     /// How many extra threads this grant allows (0 = run caller-only).
-    pub(crate) fn count(&self) -> usize {
+    pub fn count(&self) -> usize {
         self.0
     }
 }
@@ -85,7 +85,7 @@ impl Drop for HelperGrant {
 /// (possibly 0 — the caller then runs alone). Never blocks: intra-query
 /// parallelism is opportunistic by design, so contention degrades to
 /// sequential evaluation instead of queuing.
-pub(crate) fn acquire_helpers(want: usize) -> HelperGrant {
+pub fn acquire_helpers(want: usize) -> HelperGrant {
     if want == 0 {
         return HelperGrant(0);
     }
@@ -115,7 +115,7 @@ pub(crate) fn acquire_helpers(want: usize) -> HelperGrant {
 /// bounds wasted speculation; within a wave chunks are claimed from an
 /// atomic cursor, so skew balances. With an empty grant this degrades to
 /// the plain sequential map-consume loop.
-pub(crate) fn map_chunks_ordered<I, T, M, C>(
+pub fn map_chunks_ordered<I, T, M, C>(
     items: &[I],
     chunk_size: usize,
     extra_threads: usize,

@@ -1,0 +1,127 @@
+//! Mapped-index differential suite: a ring reopened from an `RRPQM01`
+//! file — heap-resident and, where the platform allows, mmap-resident —
+//! must answer every corpus query bit-identically to the freshly built
+//! ring and to the naive oracle, under all four forced routes.
+
+use automata::Regex;
+use ring::mapped::{open_index, write_index, OpenMode};
+use ring::ring::RingOptions;
+use ring::{Dict, Graph, Ring, Triple};
+use rpq_core::oracle::evaluate_naive;
+use rpq_core::{EngineOptions, EvalRoute, RpqEngine, RpqQuery, Term};
+use workload::{GraphGen, GraphGenConfig, QueryGen};
+
+fn star(l: u64) -> Regex {
+    Regex::Star(Box::new(Regex::label(l)))
+}
+
+fn workload_graph(seed: u64) -> Graph {
+    GraphGen::new(GraphGenConfig {
+        n_nodes: 30,
+        n_preds: 4,
+        n_edges: 140,
+        pred_zipf: 1.2,
+        node_skew: 0.8,
+        seed,
+    })
+    .generate()
+}
+
+fn rare_label_graph() -> Graph {
+    let mut triples = vec![Triple::new(6, 1, 9)];
+    for i in 0..14 {
+        triples.push(Triple::new(i, 0, (i + 1) % 16));
+        triples.push(Triple::new((i + 2) % 16, 2, (i + 5) % 16));
+    }
+    Graph::from_triples(triples)
+}
+
+/// Table 1 pattern instantiations plus the canonical splittable shape
+/// with every endpoint combination — the same mix the route-forcing
+/// suite uses.
+fn corpus(graph: &Graph, seed: u64) -> Vec<RpqQuery> {
+    let mut queries: Vec<RpqQuery> = QueryGen::new(graph, seed)
+        .scaled_log(0.0)
+        .into_iter()
+        .map(|gq| gq.query)
+        .collect();
+    let split_expr = Regex::concat(Regex::concat(star(0), Regex::label(1)), star(2));
+    for (s, o) in [
+        (Term::Var, Term::Var),
+        (Term::Const(6), Term::Var),
+        (Term::Var, Term::Const(9)),
+        (Term::Const(6), Term::Const(9)),
+    ] {
+        queries.push(RpqQuery::new(s, split_expr.clone(), o));
+    }
+    queries
+}
+
+/// Synthesizes dictionaries so the graph can be written as a full
+/// `RRPQM01` index (workload graphs carry only numeric ids).
+fn dicts_for(graph: &Graph) -> (Dict, Dict) {
+    let mut nodes = Dict::new();
+    for i in 0..graph.n_nodes() {
+        nodes.intern(&format!("<node/{i}>"));
+    }
+    let mut preds = Dict::new();
+    for i in 0..graph.n_preds() {
+        preds.intern(&format!("<pred/{i}>"));
+    }
+    (nodes, preds)
+}
+
+fn reopened_rings(graph: &Graph, name: &str) -> Vec<(&'static str, Ring)> {
+    let dir = std::env::temp_dir().join(format!("rpq_mapped_diff_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("{name}.rpqm"));
+    let ring = Ring::build(graph, RingOptions::default());
+    let (nodes, preds) = dicts_for(graph);
+    write_index(&path, &ring, &nodes, &preds).unwrap();
+
+    let mut rings = vec![("heap", open_index(&path, OpenMode::Heap).unwrap().ring)];
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    rings.push(("mmap", open_index(&path, OpenMode::Mmap).unwrap().ring));
+    std::fs::remove_file(&path).ok();
+    rings
+}
+
+#[test]
+fn mapped_ring_matches_oracle_on_every_forced_route() {
+    let mut checked = 0usize;
+    for (graph, name, seed) in [
+        (workload_graph(0xD1FF), "workload", 31),
+        (rare_label_graph(), "rare", 32),
+    ] {
+        let built = Ring::build(&graph, RingOptions::default());
+        let mut built_engine = RpqEngine::new(&built);
+        for (label, reopened) in &reopened_rings(&graph, name) {
+            let mut engine = RpqEngine::new(reopened);
+            for query in corpus(&graph, seed) {
+                let expected = evaluate_naive(&graph, &query);
+                for forced in EvalRoute::ALL {
+                    let opts = EngineOptions {
+                        forced_route: Some(forced),
+                        ..EngineOptions::default()
+                    };
+                    let out = engine
+                        .evaluate(&query, &opts)
+                        .unwrap_or_else(|e| panic!("{label}: forcing {forced:?}: {e}"));
+                    assert_eq!(
+                        out.sorted_pairs(),
+                        expected,
+                        "{label}: forced {forced:?} disagrees with the oracle on {query:?}"
+                    );
+                    let built_out = built_engine.evaluate(&query, &opts).unwrap();
+                    assert_eq!(
+                        out.sorted_pairs(),
+                        built_out.sorted_pairs(),
+                        "{label}: reopened ring diverges from the built ring on {query:?}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+    }
+    assert!(checked >= 100, "corpus shrank: only {checked} combinations");
+}

@@ -8,15 +8,16 @@
 //! with select (used for the large node alphabet; "C_o is represented
 //! using a plain bitvector").
 
-use succinct::{BitVec, EliasFano, RankSelect, SpaceUsage};
+use succinct::{BitVec, EliasFano, RankSelect, Slab, SpaceUsage};
 
 use crate::Id;
 
 /// A monotone boundary sequence over symbols `0..=universe`.
 #[derive(Clone, Debug)]
 pub enum Boundaries {
-    /// `counts[c] = C[c]`, with `counts.len() = universe + 1`.
-    Dense(Vec<u64>),
+    /// `counts[c] = C[c]`, with `counts.len() = universe + 1`. Backed by
+    /// a [`Slab`] so a mapped index file can hold the array in place.
+    Dense(Slab<u64>),
     /// Unary encoding: for each symbol, a `1` followed by one `0` per
     /// occurrence; `C[c] = select1(c) - c`.
     Sparse {
@@ -42,7 +43,7 @@ impl Boundaries {
             acc += k;
             c.push(acc);
         }
-        Boundaries::Dense(c)
+        Boundaries::Dense(c.into())
     }
 
     /// Builds the Elias–Fano representation from per-symbol occurrence
@@ -122,7 +123,7 @@ impl Boundaries {
     /// Heap bytes.
     pub fn size_bytes(&self) -> usize {
         match self {
-            Boundaries::Dense(v) => v.size_bytes(),
+            Boundaries::Dense(v) => v.heap_bytes(),
             Boundaries::Sparse { bits, .. } => bits.size_bytes(),
             Boundaries::EliasFano(ef) => ef.size_bytes(),
         }

@@ -3,17 +3,49 @@
 //!
 //! The paper works on "a dictionary-encoded version of the graph" (§5);
 //! string-to-id translation is orthogonal to the index (they report ~3
-//! extra bytes/triple and ~3 ms/query for it). This is a straightforward
-//! two-way map.
+//! extra bytes/triple and ~3 ms/query for it). Two representations share
+//! one type: the mutable heap form (a two-way map, the build path) and a
+//! read-only mapped form that borrows a `RRPQM01` file — a concatenated
+//! UTF-8 blob with an offset table for `id → name` and a name-sorted id
+//! permutation for `name → id` by binary search, so opening a saved
+//! index allocates no per-name strings at all.
 
 use crate::Id;
 use succinct::util::FxHashMap;
+use succinct::Slab;
 
 /// A two-way map between names and dense ids `0..len`.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct Dict {
-    names: Vec<String>,
-    index: FxHashMap<String, Id>,
+    repr: Repr,
+}
+
+#[derive(Clone, Debug)]
+enum Repr {
+    Heap {
+        names: Vec<String>,
+        index: FxHashMap<String, Id>,
+    },
+    Mapped {
+        /// All names concatenated in id order (validated UTF-8).
+        blob: Slab<u8>,
+        /// `blob[offsets[i] .. offsets[i+1]]` is name `i`; `len + 1` entries.
+        offsets: Slab<u64>,
+        /// Ids permuted so their names are in strictly increasing byte
+        /// order — the search structure behind [`Dict::get`].
+        order: Slab<u64>,
+    },
+}
+
+impl Default for Dict {
+    fn default() -> Self {
+        Self {
+            repr: Repr::Heap {
+                names: Vec::new(),
+                index: FxHashMap::default(),
+            },
+        }
+    }
 }
 
 impl Dict {
@@ -22,20 +54,126 @@ impl Dict {
         Self::default()
     }
 
-    /// Returns the id of `name`, interning it if new.
+    /// Assembles the mapped, read-only representation from the arrays of
+    /// a `RRPQM01` dictionary section, validating every invariant
+    /// [`Dict::name`]/[`Dict::get`] later rely on: offset monotonicity
+    /// and bounds, per-name UTF-8, and that `order` is a permutation
+    /// sorting the names strictly (which also proves the names are
+    /// distinct). O(blob) once at open, allocating only a transient
+    /// presence bitmap.
+    pub(crate) fn from_mapped_parts(
+        blob: Slab<u8>,
+        offsets: Slab<u64>,
+        order: Slab<u64>,
+    ) -> Result<Self, &'static str> {
+        let n = order.len();
+        if offsets.len() != n + 1 {
+            return Err("dictionary offset table has wrong length");
+        }
+        if offsets[0] != 0 || offsets[n] != blob.len() as u64 {
+            return Err("dictionary offsets do not span the name blob");
+        }
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err("dictionary offsets are not monotone");
+            }
+        }
+        for i in 0..n {
+            let bytes = &blob[offsets[i] as usize..offsets[i + 1] as usize];
+            if std::str::from_utf8(bytes).is_err() {
+                return Err("dictionary name is not valid UTF-8");
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut prev: Option<&[u8]> = None;
+        for &id in order.iter() {
+            let id = id as usize;
+            if id >= n || seen[id] {
+                return Err("dictionary order is not a permutation of the ids");
+            }
+            seen[id] = true;
+            let name = &blob[offsets[id] as usize..offsets[id + 1] as usize];
+            if let Some(p) = prev {
+                if p >= name {
+                    return Err("dictionary order does not sort the names strictly");
+                }
+            }
+            prev = Some(name);
+        }
+        Ok(Self {
+            repr: Repr::Mapped {
+                blob,
+                offsets,
+                order,
+            },
+        })
+    }
+
+    /// The mapped-form arrays `(blob, offsets, order)` of this
+    /// dictionary, built fresh from the heap form if necessary — the
+    /// `RRPQM01` writer.
+    pub(crate) fn to_mapped_parts(&self) -> (Vec<u8>, Vec<u64>, Vec<u64>) {
+        let n = self.len();
+        let mut blob = Vec::new();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        for (_, name) in self.iter() {
+            blob.extend_from_slice(name.as_bytes());
+            offsets.push(blob.len() as u64);
+        }
+        let mut order: Vec<u64> = (0..n as u64).collect();
+        order.sort_unstable_by(|&a, &b| self.name(a).cmp(self.name(b)));
+        (blob, offsets, order)
+    }
+
+    /// Whether this dictionary borrows a mapped index file.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, Repr::Mapped { .. })
+    }
+
+    /// Rewrites a mapped dictionary into the mutable heap form (no-op on
+    /// heap dictionaries). O(names); called once before mutation, e.g.
+    /// when a mapped index is promoted to an updatable store.
+    pub fn make_owned(&mut self) {
+        if let Repr::Mapped { .. } = self.repr {
+            let mut names = Vec::with_capacity(self.len());
+            let mut index = FxHashMap::default();
+            for (id, name) in self.iter() {
+                names.push(name.to_string());
+                index.insert(name.to_string(), id);
+            }
+            self.repr = Repr::Heap { names, index };
+        }
+    }
+
+    /// Returns the id of `name`, interning it if new. A mapped
+    /// dictionary is first materialized to the heap ([`Self::make_owned`]).
     pub fn intern(&mut self, name: &str) -> Id {
-        if let Some(&id) = self.index.get(name) {
+        self.make_owned();
+        let Repr::Heap { names, index } = &mut self.repr else {
+            unreachable!("make_owned leaves the heap representation");
+        };
+        if let Some(&id) = index.get(name) {
             return id;
         }
-        let id = self.names.len() as Id;
-        self.names.push(name.to_string());
-        self.index.insert(name.to_string(), id);
+        let id = names.len() as Id;
+        names.push(name.to_string());
+        index.insert(name.to_string(), id);
         id
     }
 
-    /// The id of `name`, if interned.
+    /// The id of `name`, if interned. O(1) on the heap form, O(log n)
+    /// string comparisons on the mapped form.
     pub fn get(&self, name: &str) -> Option<Id> {
-        self.index.get(name).copied()
+        match &self.repr {
+            Repr::Heap { index, .. } => index.get(name).copied(),
+            Repr::Mapped { order, .. } => {
+                let k = order
+                    .binary_search_by(|&id| self.name(id).as_bytes().cmp(name.as_bytes()))
+                    .ok()?;
+                Some(order[k])
+            }
+        }
     }
 
     /// The name of `id`.
@@ -43,34 +181,53 @@ impl Dict {
     /// # Panics
     /// Panics if `id` was never interned.
     pub fn name(&self, id: Id) -> &str {
-        &self.names[id as usize]
+        match &self.repr {
+            Repr::Heap { names, .. } => &names[id as usize],
+            Repr::Mapped { blob, offsets, .. } => {
+                let i = id as usize;
+                let bytes = &blob[offsets[i] as usize..offsets[i + 1] as usize];
+                // SAFETY: every name slice was UTF-8 validated in
+                // `from_mapped_parts`.
+                unsafe { std::str::from_utf8_unchecked(bytes) }
+            }
+        }
     }
 
     /// Number of interned names.
     pub fn len(&self) -> usize {
-        self.names.len()
+        match &self.repr {
+            Repr::Heap { names, .. } => names.len(),
+            Repr::Mapped { order, .. } => order.len(),
+        }
     }
 
     /// Whether the dictionary is empty.
     pub fn is_empty(&self) -> bool {
-        self.names.is_empty()
+        self.len() == 0
     }
 
     /// Iterates `(id, name)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (Id, &str)> {
-        self.names
-            .iter()
-            .enumerate()
-            .map(|(i, n)| (i as Id, n.as_str()))
+        (0..self.len() as Id).map(move |id| (id, self.name(id)))
     }
 
-    /// Heap bytes (strings + map).
+    /// Heap bytes (strings + map on the heap form; zero payload on the
+    /// mapped form, whose bytes stay in the page cache).
     pub fn size_bytes(&self) -> usize {
-        self.names
-            .iter()
-            .map(|n| n.capacity() + std::mem::size_of::<String>())
-            .sum::<usize>()
-            + self.index.capacity() * (std::mem::size_of::<String>() + std::mem::size_of::<Id>())
+        match &self.repr {
+            Repr::Heap { names, index } => {
+                names
+                    .iter()
+                    .map(|n| n.capacity() + std::mem::size_of::<String>())
+                    .sum::<usize>()
+                    + index.capacity() * (std::mem::size_of::<String>() + std::mem::size_of::<Id>())
+            }
+            Repr::Mapped {
+                blob,
+                offsets,
+                order,
+            } => blob.heap_bytes() + offsets.heap_bytes() + order.heap_bytes(),
+        }
     }
 }
 
@@ -102,5 +259,58 @@ mod tests {
             pairs,
             vec![(0, "x".into()), (1, "y".into()), (2, "z".into())]
         );
+    }
+
+    #[test]
+    fn mapped_parts_roundtrip_on_owned_slabs() {
+        let mut d = Dict::new();
+        for n in ["<zeta>", "<alpha>", "_:b0", "\"lit\"@en", "<mid>"] {
+            d.intern(n);
+        }
+        let (blob, offsets, order) = d.to_mapped_parts();
+        let m = Dict::from_mapped_parts(blob.into(), offsets.into(), order.into()).expect("valid");
+        assert!(m.is_mapped());
+        assert_eq!(m.len(), d.len());
+        for (id, name) in d.iter() {
+            assert_eq!(m.name(id), name, "name({id})");
+            assert_eq!(m.get(name), Some(id), "get({name})");
+        }
+        assert_eq!(m.get("<nope>"), None);
+        let mut owned = m.clone();
+        owned.make_owned();
+        assert!(!owned.is_mapped());
+        assert_eq!(owned.intern("<new>"), d.len() as Id);
+    }
+
+    #[test]
+    fn mapped_parts_validation_rejects_corruption() {
+        let mut d = Dict::new();
+        d.intern("<a>");
+        d.intern("<b>");
+        let (blob, offsets, order) = d.to_mapped_parts();
+        // Non-permutation order.
+        assert!(Dict::from_mapped_parts(
+            blob.clone().into(),
+            offsets.clone().into(),
+            vec![0u64, 0].into()
+        )
+        .is_err());
+        // Unsorted order.
+        assert!(Dict::from_mapped_parts(
+            blob.clone().into(),
+            offsets.clone().into(),
+            vec![1u64, 0].into()
+        )
+        .is_err());
+        // Offsets not spanning the blob.
+        let mut bad = offsets.clone();
+        *bad.last_mut().unwrap() += 1;
+        assert!(
+            Dict::from_mapped_parts(blob.clone().into(), bad.into(), order.clone().into()).is_err()
+        );
+        // Invalid UTF-8 in a name.
+        let mut bad_blob = blob.clone();
+        bad_blob[1] = 0xFF;
+        assert!(Dict::from_mapped_parts(bad_blob.into(), offsets.into(), order.into()).is_err());
     }
 }

@@ -22,7 +22,7 @@ impl Persist for Boundaries {
             Boundaries::Dense(v) => {
                 write_u64(w, 0)?;
                 write_u64(w, v.len() as u64)?;
-                for &x in v {
+                for &x in v.iter() {
                     write_u64(w, x)?;
                 }
                 Ok(())
@@ -65,7 +65,7 @@ impl Persist for Boundaries {
                 if v.is_empty() {
                     return Err(bad_data("empty dense boundaries"));
                 }
-                Ok(Boundaries::Dense(v))
+                Ok(Boundaries::Dense(v.into()))
             }
             1 => {
                 let universe = read_u64(r)?;

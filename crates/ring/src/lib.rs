@@ -39,6 +39,7 @@ pub mod dict;
 pub mod graph;
 pub mod io;
 pub mod ltj;
+pub mod mapped;
 pub mod ntriples;
 pub mod ring;
 pub mod store;

@@ -1,0 +1,435 @@
+//! The mappable on-disk index format `RRPQM01`.
+//!
+//! Layout: an 8-byte magic, a fixed table of contents, then one
+//! 8-byte-aligned section per component of the index:
+//!
+//! ```text
+//! ┌──────────────────────────────────────────────────────────────┐
+//! │ "RRPQM01\0" │ version u64 │ n_sections u64                   │
+//! │ TOC: (tag u64, offset u64, byte_len u64) × 9                 │
+//! ├──────────────────────────────────────────────────────────────┤
+//! │ 1 META    n, n_nodes, n_preds, n_preds_base, has_inverses    │
+//! │ 2 L_O     wavelet matrix (objects in (s,p) order)            │
+//! │ 3 L_S     wavelet matrix (subjects in (p,o) order)           │
+//! │ 4 L_P     wavelet matrix (predicates in (o,s) order)         │
+//! │ 5 C_S     boundaries                                         │
+//! │ 6 C_P     boundaries                                         │
+//! │ 7 C_O     boundaries                                         │
+//! │ 8 NODES   dictionary (blob + offsets + name-sorted ids)      │
+//! │ 9 PREDS   dictionary                                         │
+//! └──────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Every array inside a section is stored byte-identical to its
+//! in-memory form and 8-byte aligned relative to the file start, so
+//! [`open_index`] can point the succinct structures straight into an
+//! `mmap` of the file: cold open validates shapes and headers but never
+//! copies or rebuilds the payload. The old stream formats (`RRPQDB01`
+//! and the component `R??1` records) remain supported by [`crate::io`];
+//! this module is the fast path beside them.
+//!
+//! Alignment is a **soundness** invariant, not a preference: a
+//! misaligned `&[u64]` reinterpretation is undefined behavior, so the
+//! reader rejects any table-of-contents offset off the 8-byte grid
+//! unconditionally (see `toc_offsets_must_be_aligned` in the tests).
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use succinct::mapped::{
+    err_data, host_supported, read_elias_fano, read_rank_select, read_wavelet_matrix,
+    write_elias_fano, write_rank_select, write_wavelet_matrix, MapReader, SectionWriter, MAX_LEN,
+};
+use succinct::{MappedFile, ResidentMode};
+
+use crate::{Boundaries, Dict, Id, Ring};
+
+/// Magic bytes opening a mappable index file.
+pub const MAPPED_MAGIC: [u8; 8] = *b"RRPQM01\0";
+/// Current version of the mapped format.
+pub const MAPPED_VERSION: u64 = 1;
+
+const TAG_META: u64 = 1;
+const TAG_L_O: u64 = 2;
+const TAG_L_S: u64 = 3;
+const TAG_L_P: u64 = 4;
+const TAG_C_S: u64 = 5;
+const TAG_C_P: u64 = 6;
+const TAG_C_O: u64 = 7;
+const TAG_NODES: u64 = 8;
+const TAG_PREDS: u64 = 9;
+const N_SECTIONS: usize = 9;
+
+/// Header bytes before the first section: magic + version + count +
+/// the table of contents. 240 bytes — itself a multiple of 8, so the
+/// first section starts aligned.
+pub const HEADER_LEN: usize = 8 + 8 + 8 + N_SECTIONS * 24;
+
+/// How [`open_index`] should back the loaded structures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpenMode {
+    /// `mmap` where the platform supports it, aligned heap read
+    /// otherwise.
+    #[default]
+    Auto,
+    /// Require a real `mmap`; error where unavailable.
+    Mmap,
+    /// Force the aligned heap read (for differential testing and for
+    /// hosts whose page cache should not hold the index).
+    Heap,
+}
+
+/// A ring index opened from a `RRPQM01` file, plus how it is resident.
+#[derive(Debug)]
+pub struct MappedIndex {
+    /// The ring, its arrays borrowing the opened file.
+    pub ring: Ring,
+    /// Node dictionary (mapped form).
+    pub nodes: Dict,
+    /// Predicate dictionary (mapped form).
+    pub preds: Dict,
+    /// Whether the bytes live in a kernel mapping or on the heap.
+    pub resident: ResidentMode,
+    /// Bytes held by the kernel mapping (0 in heap mode).
+    pub mapped_bytes: u64,
+}
+
+/// Whether `path` starts with the mapped-format magic (a cheap sniff
+/// for dispatching between `RRPQM01` and the stream formats).
+pub fn is_mapped_file(path: &Path) -> bool {
+    let Ok(mut f) = std::fs::File::open(path) else {
+        return false;
+    };
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic).is_ok() && magic == MAPPED_MAGIC
+}
+
+fn section(
+    f: impl FnOnce(&mut SectionWriter<&mut Vec<u8>>) -> io::Result<()>,
+) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let mut w = SectionWriter::new(&mut buf);
+    f(&mut w)?;
+    w.pad()?;
+    Ok(buf)
+}
+
+fn write_boundaries<W: Write>(w: &mut SectionWriter<W>, b: &Boundaries) -> io::Result<()> {
+    match b {
+        Boundaries::Dense(v) => {
+            w.u64(0)?;
+            w.u64(v.len() as u64)?;
+            w.u64s(v)
+        }
+        Boundaries::Sparse { bits, universe, n } => {
+            w.u64(1)?;
+            w.u64(*universe)?;
+            w.u64(*n as u64)?;
+            write_rank_select(w, bits)
+        }
+        Boundaries::EliasFano(ef) => {
+            w.u64(2)?;
+            write_elias_fano(w, ef)
+        }
+    }
+}
+
+fn read_boundaries(r: &mut MapReader) -> io::Result<Boundaries> {
+    match r.u64()? {
+        0 => {
+            let n = r.len_u64(MAX_LEN)?;
+            let v = r.slab_u64(n)?;
+            if v.is_empty() {
+                return Err(err_data("empty dense boundaries"));
+            }
+            if v[0] != 0 {
+                return Err(err_data("boundaries must start at 0"));
+            }
+            if v.windows(2).any(|w| w[0] > w[1]) {
+                return Err(err_data("boundary counts must be monotone"));
+            }
+            Ok(Boundaries::Dense(v))
+        }
+        1 => {
+            let universe = r.u64()?;
+            let n = r.len_u64(MAX_LEN)?;
+            let bits = read_rank_select(r)?;
+            if bits.len() as u64 != universe + n as u64 {
+                return Err(err_data("sparse boundary length mismatch"));
+            }
+            if bits.count_ones() as u64 != universe {
+                return Err(err_data("sparse boundary ones-count mismatch"));
+            }
+            Ok(Boundaries::Sparse { bits, universe, n })
+        }
+        2 => {
+            let ef = read_elias_fano(r)?;
+            if ef.is_empty() {
+                return Err(err_data("empty elias-fano boundaries"));
+            }
+            if ef.get(0) != 0 {
+                return Err(err_data("boundaries must start at 0"));
+            }
+            Ok(Boundaries::EliasFano(ef))
+        }
+        t => Err(err_data(format!("unknown boundaries tag {t}"))),
+    }
+}
+
+fn write_dict<W: Write>(w: &mut SectionWriter<W>, d: &Dict) -> io::Result<()> {
+    let (blob, offsets, order) = d.to_mapped_parts();
+    w.u64(order.len() as u64)?;
+    w.u64(blob.len() as u64)?;
+    w.u64s(&offsets)?;
+    w.u64s(&order)?;
+    w.bytes(&blob)?;
+    w.pad()
+}
+
+fn read_dict(r: &mut MapReader) -> io::Result<Dict> {
+    let n = r.len_u64(MAX_LEN)?;
+    let blob_len = r.len_u64(MAX_LEN)?;
+    let offsets = r.slab_u64(n + 1)?;
+    let order = r.slab_u64(n)?;
+    let blob = r.slab_u8(blob_len)?;
+    Dict::from_mapped_parts(blob, offsets, order).map_err(err_data)
+}
+
+/// Writes `ring` plus its dictionaries as a mappable `RRPQM01` file.
+/// Returns the total bytes written.
+pub fn write_index(path: &Path, ring: &Ring, nodes: &Dict, preds: &Dict) -> io::Result<u64> {
+    let sections: Vec<(u64, Vec<u8>)> = vec![
+        (
+            TAG_META,
+            section(|w| {
+                w.u64(ring.n_triples() as u64)?;
+                w.u64(ring.n_nodes())?;
+                w.u64(ring.n_preds())?;
+                w.u64(ring.n_preds_base())?;
+                w.u64(ring.has_inverses() as u64)
+            })?,
+        ),
+        (TAG_L_O, section(|w| write_wavelet_matrix(w, ring.l_o()))?),
+        (TAG_L_S, section(|w| write_wavelet_matrix(w, ring.l_s()))?),
+        (TAG_L_P, section(|w| write_wavelet_matrix(w, ring.l_p()))?),
+        (TAG_C_S, section(|w| write_boundaries(w, ring.c_s_ref()))?),
+        (TAG_C_P, section(|w| write_boundaries(w, ring.c_p_ref()))?),
+        (TAG_C_O, section(|w| write_boundaries(w, ring.c_o_ref()))?),
+        (TAG_NODES, section(|w| write_dict(w, nodes))?),
+        (TAG_PREDS, section(|w| write_dict(w, preds))?),
+    ];
+    let mut out = io::BufWriter::new(std::fs::File::create(path)?);
+    out.write_all(&MAPPED_MAGIC)?;
+    out.write_all(&MAPPED_VERSION.to_le_bytes())?;
+    out.write_all(&(N_SECTIONS as u64).to_le_bytes())?;
+    let mut off = HEADER_LEN as u64;
+    for (tag, buf) in &sections {
+        debug_assert!(off.is_multiple_of(8), "section offsets must stay 8-byte aligned");
+        out.write_all(&tag.to_le_bytes())?;
+        out.write_all(&off.to_le_bytes())?;
+        out.write_all(&(buf.len() as u64).to_le_bytes())?;
+        off += buf.len() as u64;
+    }
+    for (_, buf) in &sections {
+        out.write_all(buf)?;
+    }
+    out.flush()?;
+    Ok(off)
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+/// Parses and validates the header, returning `(offset, byte_len)` per
+/// section indexed `tag - 1` (the TOC must list the nine known tags in
+/// order). Every offset is checked to be 8-byte aligned — the soundness
+/// invariant behind the zero-copy `&[u64]` views — and in bounds.
+fn read_toc(map: &MappedFile) -> io::Result<[(usize, usize); N_SECTIONS]> {
+    let bytes = map.as_bytes();
+    if bytes.len() < HEADER_LEN {
+        return Err(err_data("file too short for a mapped index header"));
+    }
+    if bytes[..8] != MAPPED_MAGIC {
+        if bytes.starts_with(b"RRPQDB01") || bytes.starts_with(b"RRPQDU01") {
+            return Err(err_data(
+                "stream-format index (RRPQDB01/RRPQDU01), not a mapped RRPQM01 file",
+            ));
+        }
+        return Err(err_data("bad magic: not a RRPQM01 mapped index"));
+    }
+    let version = u64_at(bytes, 8);
+    if version != MAPPED_VERSION {
+        return Err(err_data(format!(
+            "unsupported mapped format version {version} (supported: {MAPPED_VERSION})"
+        )));
+    }
+    if u64_at(bytes, 16) != N_SECTIONS as u64 {
+        return Err(err_data("unexpected section count"));
+    }
+    let mut toc = [(0usize, 0usize); N_SECTIONS];
+    for (i, entry) in toc.iter_mut().enumerate() {
+        let at = 24 + i * 24;
+        let tag = u64_at(bytes, at);
+        let off = u64_at(bytes, at + 8);
+        let len = u64_at(bytes, at + 16);
+        if tag != (i as u64) + 1 {
+            return Err(err_data(format!("unexpected section tag {tag}")));
+        }
+        if !off.is_multiple_of(8) {
+            return Err(err_data(format!(
+                "section {tag} offset {off} is not 8-byte aligned"
+            )));
+        }
+        if (off as usize) < HEADER_LEN
+            || off.checked_add(len).is_none_or(|e| e > bytes.len() as u64)
+        {
+            return Err(err_data(format!("section {tag} extends past end of file")));
+        }
+        *entry = (off as usize, len as usize);
+    }
+    Ok(toc)
+}
+
+/// Opens a `RRPQM01` file, pointing the index structures into the file
+/// in place. Cold-open cost is header parsing plus shape validation —
+/// the succinct payloads are neither copied nor rebuilt (the dictionary
+/// section is scanned once for UTF-8/order validation).
+pub fn open_index(path: &Path, mode: OpenMode) -> io::Result<MappedIndex> {
+    if !host_supported() {
+        return Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "mapped index format requires a little-endian host",
+        ));
+    }
+    let map = match mode {
+        OpenMode::Auto => MappedFile::open(path)?,
+        OpenMode::Heap => MappedFile::open_heap(path)?,
+        OpenMode::Mmap => {
+            let m = MappedFile::open(path)?;
+            if m.mode() != ResidentMode::Mmap {
+                return Err(io::Error::new(
+                    io::ErrorKind::Unsupported,
+                    "mmap is unavailable on this platform",
+                ));
+            }
+            m
+        }
+    };
+    open_from_map(map)
+}
+
+fn open_from_map(map: Arc<MappedFile>) -> io::Result<MappedIndex> {
+    let toc = read_toc(&map)?;
+    let reader = |i: usize| MapReader::new(Arc::clone(&map), toc[i].0, toc[i].1);
+
+    let mut meta = reader(0)?;
+    let n = meta.len_u64(MAX_LEN)?;
+    let n_nodes: Id = meta.u64()?;
+    let n_preds: Id = meta.u64()?;
+    let n_preds_base: Id = meta.u64()?;
+    let has_inverses = match meta.u64()? {
+        0 => false,
+        1 => true,
+        _ => return Err(err_data("invalid has_inverses flag")),
+    };
+    meta.finish()?;
+    if n_nodes > MAX_LEN || n_preds > MAX_LEN {
+        return Err(err_data("alphabet size out of range"));
+    }
+    let expected_preds = if n == 0 {
+        (2 * n_preds_base).max(1)
+    } else {
+        2 * n_preds_base
+    };
+    if has_inverses && n_preds != expected_preds {
+        return Err(err_data("inverse alphabet size mismatch"));
+    }
+
+    let mut sec = reader(1)?;
+    let l_o = read_wavelet_matrix(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(2)?;
+    let l_s = read_wavelet_matrix(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(3)?;
+    let l_p = read_wavelet_matrix(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(4)?;
+    let c_s = read_boundaries(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(5)?;
+    let c_p = read_boundaries(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(6)?;
+    let c_o = read_boundaries(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(7)?;
+    let nodes = read_dict(&mut sec)?;
+    sec.finish()?;
+    let mut sec = reader(8)?;
+    let preds = read_dict(&mut sec)?;
+    sec.finish()?;
+
+    // The same cross-component consistency checks the stream loader
+    // makes (crate::io), so a structurally valid but inconsistent file
+    // cannot produce out-of-range ids at query time.
+    for (name, wm) in [("L_o", &l_o), ("L_s", &l_s), ("L_p", &l_p)] {
+        if wm.len() != n {
+            return Err(err_data(format!("{name} length mismatch")));
+        }
+    }
+    if l_o.sigma() != n_nodes.max(1)
+        || l_s.sigma() != n_nodes.max(1)
+        || l_p.sigma() != n_preds.max(1)
+    {
+        return Err(err_data("column alphabet mismatch"));
+    }
+    for (name, b, uni) in [
+        ("C_s", &c_s, n_nodes),
+        ("C_p", &c_p, n_preds),
+        ("C_o", &c_o, n_nodes),
+    ] {
+        if b.universe() != uni {
+            return Err(err_data(format!("{name} universe mismatch")));
+        }
+        if b.get(uni) != n {
+            return Err(err_data(format!("{name} total mismatch")));
+        }
+    }
+    // `Ring::build` clamps the node universe to >= 1 even for an empty
+    // graph, so an empty index legitimately pairs n_nodes == 1 with an
+    // empty dictionary (mirroring the inverse-alphabet clamp above).
+    if nodes.len() as Id != n_nodes && !(n == 0 && nodes.is_empty()) {
+        return Err(err_data("node dictionary size mismatch"));
+    }
+    if preds.len() as Id != n_preds_base {
+        return Err(err_data("predicate dictionary size mismatch"));
+    }
+
+    let resident = map.mode();
+    let mapped_bytes = match resident {
+        ResidentMode::Mmap => map.len() as u64,
+        ResidentMode::Heap => 0,
+    };
+    Ok(MappedIndex {
+        ring: Ring::from_raw_parts(
+            l_o,
+            l_s,
+            l_p,
+            c_s,
+            c_p,
+            c_o,
+            n,
+            n_nodes,
+            n_preds,
+            n_preds_base,
+            has_inverses,
+        ),
+        nodes,
+        preds,
+        resident,
+        mapped_bytes,
+    })
+}

@@ -73,14 +73,50 @@ impl NtTerm {
     }
 }
 
-/// Parses an N-Triples document into a graph plus node and predicate
-/// dictionaries (keys per [`NtTerm::dict_key`]).
-pub fn parse_ntriples(text: &str) -> Result<(Graph, Dict, Dict), NtError> {
-    let mut nodes = Dict::new();
-    let mut preds = Dict::new();
-    let mut triples = Vec::new();
+/// The parse of one slice of an N-Triples document, with **chunk-local**
+/// dictionaries: ids index `nodes`/`preds`, which list the dictionary
+/// keys in first-appearance order within the chunk.
+///
+/// Chunks are the unit of parse parallelism: workers parse disjoint
+/// line ranges independently, and [`merge_chunk`] folds the results into
+/// global dictionaries **in chunk order** — because each name's global
+/// id is assigned at its first appearance, and that appearance lives in
+/// the first chunk mentioning it (where it also appears first in the
+/// local order), the merged ids are bit-identical to a sequential parse
+/// of the whole document.
+#[derive(Debug, Default)]
+pub struct NtChunk {
+    /// Parsed triples as `(subject, predicate, object)` local ids.
+    pub triples: Vec<(u32, u32, u32)>,
+    /// Node dictionary keys, indexed by local id.
+    pub nodes: Vec<String>,
+    /// Predicate dictionary keys, indexed by local id.
+    pub preds: Vec<String>,
+}
+
+fn intern_local(
+    map: &mut succinct::util::FxHashMap<String, u32>,
+    names: &mut Vec<String>,
+    key: String,
+) -> u32 {
+    if let Some(&id) = map.get(&key) {
+        return id;
+    }
+    let id = names.len() as u32;
+    names.push(key.clone());
+    map.insert(key, id);
+    id
+}
+
+/// Parses a slice of an N-Triples document whose first line is line
+/// `first_line` (1-based) of the whole document, so errors carry
+/// absolute positions even when the document is streamed in chunks.
+pub fn parse_ntriples_chunk(text: &str, first_line: usize) -> Result<NtChunk, NtError> {
+    let mut chunk = NtChunk::default();
+    let mut node_map = succinct::util::FxHashMap::default();
+    let mut pred_map = succinct::util::FxHashMap::default();
     for (i, raw) in text.lines().enumerate() {
-        let lineno = i + 1;
+        let lineno = first_line + i;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
@@ -104,12 +140,39 @@ pub fn parse_ntriples(text: &str) -> Result<(Graph, Dict, Dict), NtError> {
         let NtTerm::Iri(_) = pr else {
             return Err(p.err("predicate must be an IRI"));
         };
-        triples.push(Triple::new(
-            nodes.intern(&s.dict_key()),
-            preds.intern(&pr.dict_key()),
-            nodes.intern(&o.dict_key()),
+        chunk.triples.push((
+            intern_local(&mut node_map, &mut chunk.nodes, s.dict_key()),
+            intern_local(&mut pred_map, &mut chunk.preds, pr.dict_key()),
+            intern_local(&mut node_map, &mut chunk.nodes, o.dict_key()),
         ));
     }
+    Ok(chunk)
+}
+
+/// Folds one chunk into the global dictionaries and triple list. Chunks
+/// must be merged in document order for the id assignment to match a
+/// sequential parse (see [`NtChunk`]).
+pub fn merge_chunk(chunk: &NtChunk, nodes: &mut Dict, preds: &mut Dict, out: &mut Vec<Triple>) {
+    let node_ids: Vec<Id> = chunk.nodes.iter().map(|n| nodes.intern(n)).collect();
+    let pred_ids: Vec<Id> = chunk.preds.iter().map(|n| preds.intern(n)).collect();
+    out.reserve(chunk.triples.len());
+    for &(s, p, o) in &chunk.triples {
+        out.push(Triple::new(
+            node_ids[s as usize],
+            pred_ids[p as usize],
+            node_ids[o as usize],
+        ));
+    }
+}
+
+/// Parses an N-Triples document into a graph plus node and predicate
+/// dictionaries (keys per [`NtTerm::dict_key`]).
+pub fn parse_ntriples(text: &str) -> Result<(Graph, Dict, Dict), NtError> {
+    let chunk = parse_ntriples_chunk(text, 1)?;
+    let mut nodes = Dict::new();
+    let mut preds = Dict::new();
+    let mut triples = Vec::with_capacity(chunk.triples.len());
+    merge_chunk(&chunk, &mut nodes, &mut preds, &mut triples);
     let g = Graph::new(triples, nodes.len() as Id, preds.len() as Id);
     Ok((g, nodes, preds))
 }

@@ -1,0 +1,295 @@
+//! Mapped-format (`RRPQM01`) persistence suite: write/open round-trips
+//! over every boundary representation, heap-vs-mmap load equivalence,
+//! and corruption rejection — truncation at every section boundary,
+//! oversized declared lengths, wrong magic (naming both stream
+//! formats), version skew, and misaligned table-of-contents offsets.
+
+use std::path::PathBuf;
+
+use ring::mapped::{open_index, write_index, OpenMode, HEADER_LEN, MAPPED_MAGIC};
+use ring::ring::{BoundaryKind, RingOptions};
+use ring::{Dict, Graph, Ring, Triple};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rpq_mapped_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A small graph with repeated subjects/objects, a rare predicate, and
+/// names that exercise the dictionary's sorted-order search.
+fn sample() -> (Graph, Dict, Dict) {
+    let text = "\
+        <http://x/alice> <http://x/knows> <http://x/bob>\n\
+        <http://x/bob> <http://x/knows> <http://x/carol>\n\
+        <http://x/carol> <http://x/knows> <http://x/alice>\n\
+        <http://x/alice> <http://x/likes> <http://x/carol>\n\
+        <http://x/carol> <http://x/likes> <http://x/carol>\n\
+        <http://x/dave> <http://x/knows> <http://x/alice>\n\
+        <http://x/bob> <http://x/works_at> <http://x/acme>\n\
+        <http://x/dave> <http://x/works_at> <http://x/acme>\n\
+        <http://x/dave> <http://x/knows> <http://x/知り合い>\n";
+    let (g, nodes, preds) = Graph::parse_text(text).unwrap();
+    (g, nodes, preds)
+}
+
+fn assert_rings_equal(a: &Ring, b: &Ring) {
+    assert_eq!(a.n_triples(), b.n_triples());
+    assert_eq!(a.n_nodes(), b.n_nodes());
+    assert_eq!(a.n_preds(), b.n_preds());
+    assert_eq!(a.n_preds_base(), b.n_preds_base());
+    assert_eq!(a.has_inverses(), b.has_inverses());
+    let ta: Vec<Triple> = a.iter_triples().collect();
+    let tb: Vec<Triple> = b.iter_triples().collect();
+    assert_eq!(ta, tb);
+    for s in 0..a.n_nodes() {
+        assert_eq!(a.subject_range(s), b.subject_range(s), "subject {s}");
+        assert_eq!(a.object_range(s), b.object_range(s), "object {s}");
+    }
+    for p in 0..a.n_preds() {
+        assert_eq!(a.pred_range(p), b.pred_range(p), "pred {p}");
+        assert_eq!(a.pred_cardinality(p), b.pred_cardinality(p));
+    }
+}
+
+fn assert_dicts_equal(a: &Dict, b: &Dict) {
+    assert_eq!(a.len(), b.len());
+    for (id, name) in a.iter() {
+        assert_eq!(b.name(id), name);
+        assert_eq!(b.get(name), Some(id), "lookup of {name}");
+    }
+    assert_eq!(b.get("<no-such-name>"), None);
+}
+
+#[test]
+fn roundtrip_every_boundary_kind_and_inverse_setting() {
+    let dir = tmpdir("roundtrip");
+    let (graph, nodes, preds) = sample();
+    for kind in [
+        BoundaryKind::Dense,
+        BoundaryKind::Sparse,
+        BoundaryKind::EliasFano,
+    ] {
+        for with_inverses in [true, false] {
+            let ring = Ring::build(
+                &graph,
+                RingOptions {
+                    with_inverses,
+                    node_boundaries: kind,
+                },
+            );
+            let path = dir.join(format!("{kind:?}_{with_inverses}.rpqm"));
+            let written = write_index(&path, &ring, &nodes, &preds).unwrap();
+            assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+            let idx = open_index(&path, OpenMode::Heap).unwrap();
+            assert_rings_equal(&ring, &idx.ring);
+            assert_dicts_equal(&nodes, &idx.nodes);
+            assert_dicts_equal(&preds, &idx.preds);
+            assert!(idx.nodes.is_mapped() && idx.preds.is_mapped());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_graph_roundtrips() {
+    let dir = tmpdir("empty");
+    let ring = Ring::build(&Graph::new(vec![], 0, 0), RingOptions::default());
+    let path = dir.join("empty.rpqm");
+    write_index(&path, &ring, &Dict::new(), &Dict::new()).unwrap();
+    let idx = open_index(&path, OpenMode::Heap).unwrap();
+    assert_eq!(idx.ring.n_triples(), 0);
+    assert_eq!(idx.nodes.len(), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+#[test]
+fn heap_and_mmap_opens_are_equivalent() {
+    use succinct::ResidentMode;
+    let dir = tmpdir("modes");
+    let (graph, nodes, preds) = sample();
+    let ring = Ring::build(&graph, RingOptions::default());
+    let path = dir.join("idx.rpqm");
+    write_index(&path, &ring, &nodes, &preds).unwrap();
+
+    let heap = open_index(&path, OpenMode::Heap).unwrap();
+    let mapped = open_index(&path, OpenMode::Mmap).unwrap();
+    assert_eq!(heap.resident, ResidentMode::Heap);
+    assert_eq!(heap.mapped_bytes, 0);
+    assert_eq!(mapped.resident, ResidentMode::Mmap);
+    assert_eq!(mapped.mapped_bytes, std::fs::metadata(&path).unwrap().len());
+    assert_rings_equal(&heap.ring, &mapped.ring);
+    assert_rings_equal(&ring, &mapped.ring);
+    assert_dicts_equal(&heap.nodes, &mapped.nodes);
+    assert_dicts_equal(&heap.preds, &mapped.preds);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Writes `bytes` to a file and opens it heap-resident.
+fn open_bytes(dir: &std::path::Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
+    let path = dir.join(name);
+    std::fs::write(&path, bytes).unwrap();
+    open_index(&path, OpenMode::Heap).map(|_| ())
+}
+
+fn u64_at(bytes: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
+}
+
+fn put_u64(bytes: &mut [u8], at: usize, v: u64) {
+    bytes[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+/// A valid file image plus its parsed TOC `(offset, len)` list.
+fn valid_image(dir: &std::path::Path) -> (Vec<u8>, Vec<(usize, usize)>) {
+    let (graph, nodes, preds) = sample();
+    let ring = Ring::build(&graph, RingOptions::default());
+    let path = dir.join("valid.rpqm");
+    write_index(&path, &ring, &nodes, &preds).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    let toc = (0..9)
+        .map(|i| {
+            let at = 24 + i * 24;
+            (
+                u64_at(&bytes, at + 8) as usize,
+                u64_at(&bytes, at + 16) as usize,
+            )
+        })
+        .collect();
+    (bytes, toc)
+}
+
+#[test]
+fn truncation_at_every_section_boundary_is_rejected() {
+    let dir = tmpdir("truncate");
+    let (bytes, toc) = valid_image(&dir);
+    // Sanity: the intact image opens.
+    assert!(open_bytes(&dir, "ok.rpqm", &bytes).is_ok());
+    let mut cuts: Vec<usize> = vec![0, 7, HEADER_LEN - 1, bytes.len() - 1];
+    for &(off, len) in &toc {
+        cuts.push(off);
+        cuts.push(off + len / 2);
+        cuts.push(off + len.saturating_sub(1));
+    }
+    for cut in cuts {
+        if cut >= bytes.len() {
+            continue;
+        }
+        let err = open_bytes(&dir, "cut.rpqm", &bytes[..cut])
+            .expect_err(&format!("truncation at {cut} must fail"));
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut {cut}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_declared_lengths_are_rejected() {
+    let dir = tmpdir("oversized");
+    let (bytes, toc) = valid_image(&dir);
+    for (i, &(_, len)) in toc.iter().enumerate() {
+        // Growing any section's declared length either runs past the
+        // end of the file or leaves trailing bytes in the section; the
+        // reader must reject both.
+        let mut bad = bytes.clone();
+        put_u64(&mut bad, 24 + i * 24 + 16, len as u64 + 8);
+        assert!(
+            open_bytes(&dir, "grown.rpqm", &bad).is_err(),
+            "section {i} grown by 8"
+        );
+        let mut huge = bytes.clone();
+        put_u64(&mut huge, 24 + i * 24 + 16, 1 << 40);
+        assert!(
+            open_bytes(&dir, "huge.rpqm", &huge).is_err(),
+            "section {i} with a 2^40 length"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wrong_magic_names_the_stream_formats() {
+    let dir = tmpdir("magic");
+    let (bytes, _) = valid_image(&dir);
+    for stream_magic in [b"RRPQDB01", b"RRPQDU01"] {
+        let mut bad = bytes.clone();
+        bad[..8].copy_from_slice(stream_magic);
+        let err = open_bytes(&dir, "stream.rpqm", &bad).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("RRPQDB01") && msg.contains("RRPQDU01"),
+            "error must name the stream formats: {msg}"
+        );
+    }
+    let mut garbage = bytes.clone();
+    garbage[..8].copy_from_slice(b"GARBAGE!");
+    let msg = open_bytes(&dir, "garbage.rpqm", &garbage)
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("magic"), "{msg}");
+
+    let mut versioned = bytes.clone();
+    put_u64(&mut versioned, 8, 99);
+    let msg = open_bytes(&dir, "version.rpqm", &versioned)
+        .unwrap_err()
+        .to_string();
+    assert!(msg.contains("version 99"), "{msg}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The soundness invariant the module documentation points at: a
+/// deliberately misaligned section offset must be rejected before any
+/// `&[u64]` view is formed.
+#[test]
+fn toc_offsets_must_be_aligned() {
+    let dir = tmpdir("align");
+    let (bytes, toc) = valid_image(&dir);
+    for (i, &(off, _)) in toc.iter().enumerate() {
+        for bump in [1usize, 4] {
+            let mut bad = bytes.clone();
+            put_u64(&mut bad, 24 + i * 24 + 8, (off + bump) as u64);
+            let err = open_bytes(&dir, "misaligned.rpqm", &bad)
+                .expect_err(&format!("section {i} offset bumped by {bump}"));
+            assert!(err.to_string().contains("aligned"), "section {i}: {err}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn inconsistent_metadata_is_rejected() {
+    let dir = tmpdir("meta");
+    let (bytes, toc) = valid_image(&dir);
+    let meta_off = toc[0].0;
+    assert_eq!(meta_off, HEADER_LEN);
+
+    // Triple count off by one: column length checks fire.
+    let mut bad = bytes.clone();
+    put_u64(&mut bad, meta_off, u64_at(&bytes, meta_off) + 1);
+    assert!(open_bytes(&dir, "count.rpqm", &bad).is_err());
+
+    // Invalid has_inverses flag.
+    let mut bad = bytes.clone();
+    put_u64(&mut bad, meta_off + 32, 7);
+    let msg = open_bytes(&dir, "flag.rpqm", &bad).unwrap_err().to_string();
+    assert!(msg.contains("has_inverses"), "{msg}");
+
+    // Node universe shrunk: dictionary / boundary universes disagree.
+    let mut bad = bytes.clone();
+    let n_nodes = u64_at(&bytes, meta_off + 8);
+    put_u64(&mut bad, meta_off + 8, n_nodes - 1);
+    assert!(open_bytes(&dir, "nodes.rpqm", &bad).is_err());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The magic constant is the public contract other layers sniff on.
+#[test]
+fn magic_matches_the_public_constant() {
+    let dir = tmpdir("sniff");
+    let (bytes, _) = valid_image(&dir);
+    assert_eq!(&bytes[..8], &MAPPED_MAGIC);
+    assert!(ring::mapped::is_mapped_file(&dir.join("valid.rpqm")));
+    assert!(!ring::mapped::is_mapped_file(&dir.join("absent.rpqm")));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -56,7 +56,7 @@ pub use plan_cache::PlanCache;
 pub use result_cache::{ResultCache, ResultKey};
 pub use server::{QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig};
 pub use slowlog::{SlowEntry, SlowLog};
-pub use source::{IndexSource, LiveSource, QuerySource, UpdateStats};
+pub use source::{IndexSource, IndexStats, LiveSource, QuerySource, UpdateStats};
 
 /// Errors of the serving layer. `Parse` and `UnknownNode` are
 /// synchronous (reported at submit); the rest surface through

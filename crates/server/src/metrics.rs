@@ -313,6 +313,7 @@ pub(crate) fn registry_json(
     result_cache: &CacheStats,
     epoch: u64,
     updates: Option<crate::source::UpdateStats>,
+    index: Option<crate::source::IndexStats>,
 ) -> String {
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let mut w = JsonWriter::new();
@@ -400,6 +401,13 @@ pub(crate) fn registry_json(
         .field_u64("delta_adds", u.delta_adds as u64)
         .field_u64("delta_deletes", u.delta_deletes as u64)
         .field_u64("pending_ops", u.pending_ops as u64)
+        .end_object();
+    let ix = index.unwrap_or_default();
+    w.key("index")
+        .begin_object()
+        .field_u64("open_us", ix.open_us)
+        .field_str("resident_mode", ix.resident_mode)
+        .field_u64("mapped_bytes", ix.mapped_bytes)
         .end_object();
     w.key("plan_cache");
     plan_cache.write_json(&mut w);
@@ -500,6 +508,7 @@ pub(crate) fn registry_prometheus(
     result_cache: &CacheStats,
     epoch: u64,
     updates: Option<crate::source::UpdateStats>,
+    index: Option<crate::source::IndexStats>,
 ) -> String {
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let mut out = String::with_capacity(8192);
@@ -802,6 +811,37 @@ pub(crate) fn registry_prometheus(
     );
     prom_sample(&mut out, "rpq_pending_ops", u.pending_ops);
 
+    let ix = index.unwrap_or_default();
+    prom_header(
+        &mut out,
+        "rpq_index_open_us",
+        "Wall time of the index open call, microseconds (0 = built in memory).",
+        "gauge",
+    );
+    prom_sample(&mut out, "rpq_index_open_us", ix.open_us);
+    prom_header(
+        &mut out,
+        "rpq_index_resident_mode",
+        "Where the index payload lives: 1 on the active mode label.",
+        "gauge",
+    );
+    for mode in ["heap", "mmap"] {
+        prom_labeled(
+            &mut out,
+            "rpq_index_resident_mode",
+            "mode",
+            mode,
+            u64::from(mode == ix.resident_mode),
+        );
+    }
+    prom_header(
+        &mut out,
+        "rpq_index_mapped_bytes",
+        "Bytes of the index held by a kernel mapping (0 in heap mode).",
+        "gauge",
+    );
+    prom_sample(&mut out, "rpq_index_mapped_bytes", ix.mapped_bytes);
+
     prom_header(
         &mut out,
         "rpq_query_latency_seconds",
@@ -958,7 +998,21 @@ mod tests {
             used: 64,
             budget: 1024,
         };
-        let text = registry_prometheus(&m, 2, 1, 16, &cache, &cache, 0, None);
+        let text = registry_prometheus(
+            &m,
+            2,
+            1,
+            16,
+            &cache,
+            &cache,
+            0,
+            None,
+            Some(crate::source::IndexStats {
+                open_us: 1234,
+                resident_mode: "mmap",
+                mapped_bytes: 4096,
+            }),
+        );
 
         let mut declared = std::collections::HashSet::new();
         let mut helps = std::collections::HashSet::new();
@@ -1021,7 +1075,7 @@ mod tests {
             used: 16,
             budget: 1024,
         };
-        let json = registry_json(&m, 1, 1, 8, &cache, &cache, 0, None);
+        let json = registry_json(&m, 1, 1, 8, &cache, &cache, 0, None, None);
         // The CI server-smoke step greps for this exact byte shape.
         assert!(json.contains("\"result_cache\":{\"hits\":1"), "{json}");
         assert!(json.contains("\"latency_us\":{\"all\":{\"count\":0"));

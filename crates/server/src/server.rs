@@ -578,6 +578,7 @@ impl RpqServer {
     /// The full metrics registry as a JSON object.
     pub fn metrics_json(&self) -> String {
         let updates = self.shared.source.update_stats();
+        let index = self.shared.source.index_info();
         let epoch = self.shared.source.snapshot().epoch;
         registry_json(
             &self.shared.metrics,
@@ -588,6 +589,7 @@ impl RpqServer {
             &self.shared.result_cache.stats(),
             epoch,
             updates,
+            index,
         )
     }
 
@@ -595,6 +597,7 @@ impl RpqServer {
     /// format (the same atomics as [`Self::metrics_json`]).
     pub fn prometheus_metrics(&self) -> String {
         let updates = self.shared.source.update_stats();
+        let index = self.shared.source.index_info();
         let epoch = self.shared.source.snapshot().epoch;
         registry_prometheus(
             &self.shared.metrics,
@@ -605,6 +608,7 @@ impl RpqServer {
             &self.shared.result_cache.stats(),
             epoch,
             updates,
+            index,
         )
     }
 

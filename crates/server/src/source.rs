@@ -46,6 +46,31 @@ impl From<ring::store::StoreStats> for UpdateStats {
     }
 }
 
+/// Cold-start facts about the served index: how it was brought into
+/// memory and where its payload bytes live. Sources opened from a
+/// mapped `RRPQM01` file report `mmap` residency and the mapping size;
+/// everything else is heap-resident. Rendered into both metrics
+/// exporters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IndexStats {
+    /// Wall time of the open call, microseconds (0 = built in memory).
+    pub open_us: u64,
+    /// `"mmap"` or `"heap"`.
+    pub resident_mode: &'static str,
+    /// Bytes held by a kernel mapping (0 in heap mode).
+    pub mapped_bytes: u64,
+}
+
+impl Default for IndexStats {
+    fn default() -> Self {
+        Self {
+            open_us: 0,
+            resident_mode: "heap",
+            mapped_bytes: 0,
+        }
+    }
+}
+
 /// A queryable database: snapshot capture plus name resolution.
 /// Snapshots are immutable once captured, so any number of workers can
 /// evaluate against one concurrently; updatable sources publish new
@@ -62,6 +87,11 @@ pub trait QuerySource: Send + Sync {
     fn pred_id(&self, name: &str) -> Option<Id>;
     /// Live update counters, for sources that support updates.
     fn update_stats(&self) -> Option<UpdateStats> {
+        None
+    }
+    /// Cold-start facts (open latency, heap-vs-mmap residency), for
+    /// sources that track how they were opened.
+    fn index_info(&self) -> Option<IndexStats> {
         None
     }
 }

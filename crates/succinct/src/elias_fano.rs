@@ -73,6 +73,53 @@ impl EliasFano {
         }
     }
 
+    /// Internal components, for the mapped on-disk format writer
+    /// ([`crate::mapped`]): `(lows, highs, low_bits)`.
+    pub(crate) fn raw_parts(&self) -> (&IntVec, &RankSelect, usize) {
+        (&self.lows, &self.highs, self.low_bits)
+    }
+
+    /// Reassembles a sequence from stored parts — the mapped-format load
+    /// path. Validates the component shapes against `n`/`universe`; the
+    /// values themselves are only re-decoded (O(n)) in debug builds,
+    /// like the deep rank/select check.
+    pub(crate) fn from_raw_parts(
+        lows: IntVec,
+        highs: RankSelect,
+        low_bits: usize,
+        n: usize,
+        universe: u64,
+    ) -> Result<Self, &'static str> {
+        if low_bits == 0 || low_bits != lows.width() {
+            return Err("Elias-Fano low-bit width mismatch");
+        }
+        if lows.len() != n || highs.count_ones() != n {
+            return Err("Elias-Fano component length mismatch");
+        }
+        let ef = Self {
+            lows,
+            highs,
+            low_bits,
+            n,
+            universe,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut prev = 0u64;
+            for i in 0..ef.n {
+                let v = ef.get(i);
+                if v < prev {
+                    return Err("Elias-Fano values decode non-monotone");
+                }
+                if v >= universe.max(1) {
+                    return Err("Elias-Fano value outside universe");
+                }
+                prev = v;
+            }
+        }
+        Ok(ef)
+    }
+
     /// Number of values.
     #[inline]
     pub fn len(&self) -> usize {

@@ -4,12 +4,14 @@
 //! words. This is the "packed form" the paper uses as the space yardstick
 //! (8.625 bytes per Wikidata triple, §5).
 
+use crate::storage::Slab;
 use crate::SpaceUsage;
 
 /// A packed vector of `width`-bit unsigned integers.
 #[derive(Clone, Debug, Default)]
 pub struct IntVec {
-    data: Vec<u64>,
+    /// Packed words; a [`Slab`] so a mapped index file can back them.
+    data: Slab<u64>,
     width: usize,
     len: usize,
 }
@@ -22,7 +24,7 @@ impl IntVec {
     pub fn new(width: usize) -> Self {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
         Self {
-            data: Vec::new(),
+            data: Slab::new(),
             width,
             len: 0,
         }
@@ -32,7 +34,7 @@ impl IntVec {
     pub fn zeros(width: usize, len: usize) -> Self {
         assert!((1..=64).contains(&width), "width must be in 1..=64");
         Self {
-            data: vec![0; (len * width).div_ceil(64)],
+            data: vec![0; (len * width).div_ceil(64)].into(),
             width,
             len,
         }
@@ -85,7 +87,7 @@ impl IntVec {
         if word == self.data.len() {
             self.data.push(0);
         }
-        self.data[word] |= value << off;
+        self.data.as_mut_slice()[word] |= value << off;
         if off + self.width > 64 {
             self.data.push(value >> (64 - off));
         }
@@ -131,14 +133,41 @@ impl IntVec {
         } else {
             (1u64 << self.width) - 1
         };
-        self.data[word] &= !(mask << off);
-        self.data[word] |= value << off;
+        let data = self.data.as_mut_slice();
+        data[word] &= !(mask << off);
+        data[word] |= value << off;
         if off + self.width > 64 {
             let hi_bits = self.width - (64 - off);
             let hi_mask = (1u64 << hi_bits) - 1;
-            self.data[word + 1] &= !hi_mask;
-            self.data[word + 1] |= value >> (64 - off);
+            data[word + 1] &= !hi_mask;
+            data[word + 1] |= value >> (64 - off);
         }
+    }
+
+    /// The packed words, for the mapped-format writer ([`crate::mapped`]).
+    pub(crate) fn words(&self) -> &Slab<u64> {
+        &self.data
+    }
+
+    /// Reassembles a vector from stored parts — the mapped-format load
+    /// path. Validates the word count against `width`/`len` so every
+    /// `get` stays in bounds (a straddling read touches `word + 1`,
+    /// which exists exactly when the count below is right).
+    pub(crate) fn from_raw_parts(
+        data: Slab<u64>,
+        width: usize,
+        len: usize,
+    ) -> Result<Self, &'static str> {
+        if !(1..=64).contains(&width) {
+            return Err("packed vector width must be in 1..=64");
+        }
+        let Some(bits) = len.checked_mul(width) else {
+            return Err("packed vector bit length overflows");
+        };
+        if data.len() != bits.div_ceil(64) {
+            return Err("packed vector word count does not match width and length");
+        }
+        Ok(Self { data, width, len })
     }
 
     /// Iterates over all elements.
@@ -149,7 +178,7 @@ impl IntVec {
 
 impl SpaceUsage for IntVec {
     fn size_bytes(&self) -> usize {
-        self.data.capacity() * 8
+        self.data.heap_bytes()
     }
 }
 

@@ -29,7 +29,10 @@ pub mod bitvec;
 pub mod elias_fano;
 pub mod int_vec;
 pub mod io;
+pub mod mapped;
+pub mod mmap;
 pub mod rank_select;
+pub mod storage;
 pub mod util;
 pub mod wavelet_matrix;
 pub mod wavelet_tree;
@@ -37,7 +40,9 @@ pub mod wavelet_tree;
 pub use bitvec::BitVec;
 pub use elias_fano::EliasFano;
 pub use int_vec::IntVec;
+pub use mmap::{MappedFile, ResidentMode};
 pub use rank_select::RankSelect;
+pub use storage::Slab;
 pub use wavelet_matrix::WaveletMatrix;
 pub use wavelet_tree::WaveletTree;
 

@@ -1,0 +1,243 @@
+//! Minimal read-only memory mapping with a heap fallback.
+//!
+//! The build environment has no network access, so instead of the usual
+//! `memmap2`/`libc` crates this module binds `mmap`/`munmap` directly
+//! via `extern "C"` on 64-bit unix. Everywhere else (and whenever the
+//! caller forces it) the "map" is a plain heap read into an 8-byte
+//! aligned buffer, so the rest of the code sees one type either way.
+
+use std::fs::File;
+use std::io::{self, Read};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Where the bytes of an opened index actually live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResidentMode {
+    /// Kernel-managed mapping; pages fault in on demand and cost no
+    /// process heap.
+    Mmap,
+    /// Whole file read into an aligned heap buffer (non-unix platforms,
+    /// explicit opt-out, or empty files).
+    Heap,
+}
+
+impl ResidentMode {
+    /// Stable lowercase label for metrics and CLI output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ResidentMode::Mmap => "mmap",
+            ResidentMode::Heap => "heap",
+        }
+    }
+}
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        // 64-bit unix only: `off_t` is passed as i64 there, which is the
+        // ABI these declarations assume. 32-bit targets take the heap
+        // fallback instead of risking a mismatched call.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+/// An open index file: either a real `mmap` region or an owned aligned
+/// heap buffer. Immutable after construction; shared via `Arc` by every
+/// [`crate::Slab`] carved out of it.
+pub struct MappedFile {
+    ptr: *const u8,
+    len: usize,
+    mode: ResidentMode,
+    /// Keeps the heap-fallback buffer alive; `None` for real mappings.
+    /// `u64` elements guarantee 8-byte alignment of the base pointer.
+    heap: Option<Vec<u64>>,
+}
+
+// SAFETY: the region is read-only for the life of the value (PROT_READ
+// private mapping or an owned buffer nobody else can reach), so shared
+// access from any thread is fine.
+unsafe impl Send for MappedFile {}
+unsafe impl Sync for MappedFile {}
+
+impl MappedFile {
+    /// Opens `path`, preferring a real `mmap` where supported.
+    pub fn open(path: &Path) -> io::Result<Arc<MappedFile>> {
+        Self::open_with(path, true)
+    }
+
+    /// Opens `path` reading it fully into an aligned heap buffer — the
+    /// portable fallback, also useful to compare resident modes.
+    pub fn open_heap(path: &Path) -> io::Result<Arc<MappedFile>> {
+        Self::open_with(path, false)
+    }
+
+    fn open_with(path: &Path, prefer_mmap: bool) -> io::Result<Arc<MappedFile>> {
+        let mut file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "file too large to map on this platform",
+            ));
+        }
+        let len = len as usize;
+        // mmap(len = 0) is EINVAL; an empty file is trivially "heap".
+        if prefer_mmap && len > 0 {
+            if let Some(mapped) = Self::try_mmap(&file, len) {
+                return Ok(Arc::new(mapped));
+            }
+        }
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        {
+            // SAFETY: viewing an initialized u64 buffer as bytes.
+            let bytes = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+            file.read_exact(bytes)?;
+        }
+        let ptr = buf.as_ptr() as *const u8;
+        Ok(Arc::new(MappedFile {
+            ptr,
+            len,
+            mode: ResidentMode::Heap,
+            heap: Some(buf),
+        }))
+    }
+
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    fn try_mmap(file: &File, len: usize) -> Option<MappedFile> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh read-only private mapping of an open fd; the
+        // kernel validates every argument and we check for MAP_FAILED.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::map_failed() || ptr.is_null() {
+            return None;
+        }
+        Some(MappedFile {
+            ptr: ptr as *const u8,
+            len,
+            mode: ResidentMode::Mmap,
+            heap: None,
+        })
+    }
+
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
+    fn try_mmap(_file: &File, _len: usize) -> Option<MappedFile> {
+        None
+    }
+
+    /// The full contents of the file.
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: ptr/len describe the live mapping or the owned buffer.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the bytes live in a kernel mapping or on the heap.
+    pub fn mode(&self) -> ResidentMode {
+        self.mode
+    }
+}
+
+impl Drop for MappedFile {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if self.mode == ResidentMode::Mmap && self.heap.is_none() && self.len > 0 {
+            // SAFETY: exactly the region returned by mmap in try_mmap.
+            unsafe {
+                sys::munmap(self.ptr as *mut std::ffi::c_void, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for MappedFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedFile")
+            .field("len", &self.len)
+            .field("mode", &self.mode)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rpq_mmap_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn mmap_and_heap_see_identical_bytes() {
+        let path = temp_path("roundtrip");
+        let payload: Vec<u8> = (0..4096u32).map(|i| (i * 31 % 251) as u8).collect();
+        std::fs::write(&path, &payload).unwrap();
+        let mapped = MappedFile::open(&path).unwrap();
+        let heaped = MappedFile::open_heap(&path).unwrap();
+        assert_eq!(mapped.as_bytes(), &payload[..]);
+        assert_eq!(heaped.as_bytes(), &payload[..]);
+        assert_eq!(heaped.mode(), ResidentMode::Heap);
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert_eq!(mapped.mode(), ResidentMode::Mmap);
+        // Both bases are 8-byte aligned (page-aligned mmap; u64 buffer).
+        assert_eq!(mapped.as_bytes().as_ptr() as usize % 8, 0);
+        assert_eq!(heaped.as_bytes().as_ptr() as usize % 8, 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_is_heap_mode() {
+        let path = temp_path("empty");
+        std::fs::write(&path, b"").unwrap();
+        let m = MappedFile::open(&path).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.mode(), ResidentMode::Heap);
+        assert_eq!(m.as_bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_an_error() {
+        assert!(MappedFile::open(Path::new("/nonexistent/rpq-no-such-file")).is_err());
+    }
+}

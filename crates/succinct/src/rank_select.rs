@@ -19,6 +19,7 @@
 //! one directory probe when they share a superblock — the common case
 //! in wavelet-matrix traversals over small ranges.
 
+use crate::storage::Slab;
 use crate::{BitVec, SpaceUsage};
 
 const WORDS_PER_SUPER: usize = 8; // 512-bit superblocks
@@ -48,13 +49,14 @@ pub struct RankSelect {
     /// Interleaved superblock records: `[abs, subs, w0..w7]` per block.
     /// `abs` = ones strictly before the block; `subs` packs, in 9-bit
     /// fields, the cumulative popcounts of the block's first 1..=7 words.
-    data: Vec<u64>,
+    /// A [`Slab`] so a mapped index file can back it in place.
+    data: Slab<u64>,
     len: usize,
     n_ones: usize,
     /// `select1_samples[m]` = superblock holding the `m·rate1`-th one.
-    select1_samples: Vec<u32>,
+    select1_samples: Slab<u32>,
     /// `select0_samples[m]` = superblock holding the `m·rate0`-th zero.
-    select0_samples: Vec<u32>,
+    select0_samples: Slab<u32>,
     rate1: usize,
     rate0: usize,
 }
@@ -113,20 +115,24 @@ impl RankSelect {
         let rate1 = sample_rate.unwrap_or_else(|| adaptive(n_ones));
         let rate0 = sample_rate.unwrap_or_else(|| adaptive(len - n_ones));
         let mut rs = Self {
-            data,
+            data: data.into(),
             len,
             n_ones,
-            select1_samples: Vec::new(),
-            select0_samples: Vec::new(),
+            select1_samples: Slab::new(),
+            select0_samples: Slab::new(),
             rate1,
             rate0,
         };
-        rs.build_select_samples();
+        let (s1, s0) = rs.compute_select_samples();
+        rs.select1_samples = s1.into();
+        rs.select0_samples = s0.into();
         rs
     }
 
-    fn build_select_samples(&mut self) {
+    fn compute_select_samples(&self) -> (Vec<u32>, Vec<u32>) {
         let n_super = self.n_super();
+        let mut sel1 = Vec::new();
+        let mut sel0 = Vec::new();
         let mut next1 = 0usize;
         let mut next0 = 0usize;
         let n_zeros = self.count_zeros();
@@ -139,7 +145,7 @@ impl RankSelect {
             };
             while next1 < self.n_ones && next1 < ones_after {
                 debug_assert!(next1 >= ones_before);
-                self.select1_samples.push(s as u32);
+                sel1.push(s as u32);
                 next1 += self.rate1;
             }
             // Zeros are counted over the logical length only; the final
@@ -153,10 +159,121 @@ impl RankSelect {
             let zeros_after = zeros_after.min(n_zeros);
             while next0 < n_zeros && next0 < zeros_after {
                 debug_assert!(next0 >= zeros_before);
-                self.select0_samples.push(s as u32);
+                sel0.push(s as u32);
                 next0 += self.rate0;
             }
         }
+        (sel1, sel0)
+    }
+
+    /// Internal views of the directory arrays, for the mapped on-disk
+    /// format writer ([`crate::mapped`]).
+    pub(crate) fn raw_parts(&self) -> (&Slab<u64>, &Slab<u32>, &Slab<u32>) {
+        (&self.data, &self.select1_samples, &self.select0_samples)
+    }
+
+    /// Reassembles a vector from stored parts — the mapped-format load
+    /// path, where the slabs may point straight into a mapped file.
+    ///
+    /// Performs the structural validation that keeps queries in bounds
+    /// (sizes, rates, sample counts/monotonicity); in debug builds it
+    /// additionally re-derives the whole directory from the payload
+    /// words ([`Self::verify_deep`]), which an always-on check can't
+    /// afford because it would fault in every page of a mapped index.
+    pub(crate) fn from_raw_parts(
+        data: Slab<u64>,
+        len: usize,
+        n_ones: usize,
+        select1_samples: Slab<u32>,
+        select0_samples: Slab<u32>,
+        rate1: usize,
+        rate0: usize,
+    ) -> Result<Self, &'static str> {
+        let n_super = len.div_ceil(64).div_ceil(WORDS_PER_SUPER);
+        if data.len() != n_super * SUPER_STRIDE {
+            return Err("rank/select data length does not match bit length");
+        }
+        if n_ones > len {
+            return Err("rank/select one-count exceeds bit length");
+        }
+        if rate1 == 0 || rate0 == 0 {
+            return Err("rank/select sample rate must be positive");
+        }
+        let expect = |count: usize, rate: usize| count.div_ceil(rate);
+        if select1_samples.len() != expect(n_ones, rate1)
+            || select0_samples.len() != expect(len - n_ones, rate0)
+        {
+            return Err("rank/select sample directory has wrong length");
+        }
+        for samples in [&select1_samples, &select0_samples] {
+            let mut prev = 0u32;
+            for &s in samples.iter() {
+                if (s as usize) >= n_super || s < prev {
+                    return Err("rank/select sample directory is not monotone in range");
+                }
+                prev = s;
+            }
+        }
+        let rs = Self {
+            data,
+            len,
+            n_ones,
+            select1_samples,
+            select0_samples,
+            rate1,
+            rate0,
+        };
+        #[cfg(debug_assertions)]
+        rs.verify_deep()?;
+        Ok(rs)
+    }
+
+    /// Recomputes the full rank directory and both select directories
+    /// from the payload words and compares them with the stored ones.
+    /// O(data) — debug builds and tests only.
+    #[allow(dead_code)]
+    pub(crate) fn verify_deep(&self) -> Result<(), &'static str> {
+        let mut acc = 0u64;
+        for s in 0..self.n_super() {
+            let base = s * SUPER_STRIDE;
+            if self.data[base] != acc {
+                return Err("rank directory absolute count mismatch");
+            }
+            let mut packed = 0u64;
+            let mut within = 0u64;
+            for j in 0..WORDS_PER_SUPER {
+                within += self.data[base + 2 + j].count_ones() as u64;
+                if j < 7 {
+                    packed |= within << (9 * j);
+                }
+            }
+            if self.data[base + 1] != packed {
+                return Err("rank directory sub-block counters mismatch");
+            }
+            acc += within;
+        }
+        if acc as usize != self.n_ones {
+            return Err("rank directory total does not match one-count");
+        }
+        // Bits past the logical length must be zero (the build path's
+        // zero padding); rank/select never read them but a nonzero tail
+        // means the file was not produced by this writer.
+        if !self.len.is_multiple_of(64) && self.n_bit_words() > 0 {
+            let last = self.bit_word(self.n_bit_words() - 1);
+            if last >> (self.len % 64) != 0 {
+                return Err("bits past the logical length are not zero");
+            }
+        }
+        for w in self.n_bit_words()..self.n_super() * WORDS_PER_SUPER {
+            if self.bit_word(w) != 0 {
+                return Err("superblock padding words are not zero");
+            }
+        }
+        let (sel1, sel0) = self.compute_select_samples();
+        if self.select1_samples[..] != sel1[..] || self.select0_samples[..] != sel0[..] {
+            return Err("select sample directory mismatch");
+        }
+        Ok(())
     }
 
     #[inline]
@@ -375,9 +492,11 @@ impl RankSelect {
 
 impl SpaceUsage for RankSelect {
     fn size_bytes(&self) -> usize {
-        self.data.capacity() * 8
-            + self.select1_samples.capacity() * 4
-            + self.select0_samples.capacity() * 4
+        // Mapped slabs report zero: their bytes belong to the page
+        // cache, not this process's heap.
+        self.data.heap_bytes()
+            + self.select1_samples.heap_bytes()
+            + self.select0_samples.heap_bytes()
     }
 }
 

@@ -299,6 +299,41 @@ impl WaveletMatrix {
         }
     }
 
+    /// The per-level bit vectors, for the mapped on-disk format writer
+    /// ([`crate::mapped`]).
+    pub(crate) fn raw_levels(&self) -> &[RankSelect] {
+        &self.levels
+    }
+
+    /// Reassembles a matrix from stored levels — the mapped-format load
+    /// path. The `zeros` array is recomputed from the levels (it is the
+    /// per-level zero count by construction), so it is never serialized
+    /// and can't disagree with the bits.
+    pub(crate) fn from_raw_parts(
+        levels: Vec<RankSelect>,
+        len: usize,
+        sigma: u64,
+    ) -> Result<Self, &'static str> {
+        if sigma == 0 {
+            return Err("wavelet matrix alphabet must be non-empty");
+        }
+        let width = bits_for(sigma.saturating_sub(1)).max(1);
+        if levels.len() != width {
+            return Err("wavelet matrix level count does not match alphabet width");
+        }
+        if levels.iter().any(|l| l.len() != len) {
+            return Err("wavelet matrix level length does not match sequence length");
+        }
+        let zeros = levels.iter().map(|l| l.count_zeros()).collect();
+        Ok(Self {
+            levels,
+            zeros,
+            len,
+            width,
+            sigma,
+        })
+    }
+
     /// Sequence length.
     #[inline]
     pub fn len(&self) -> usize {

@@ -21,6 +21,7 @@
 //! Exit codes: 0 success, 1 operational error, 2 malformed query
 //! (pattern parse error or unknown node) — typed, no backtrace.
 
+use ring_rpq::ring::mapped::OpenMode;
 use ring_rpq::rpq_server::{RpqError, RpqServer, ServerConfig};
 use ring_rpq::{DbError, RpqDatabase, UpdatableDatabase};
 use rpq_core::EngineOptions;
@@ -75,6 +76,15 @@ const USAGE: &str = "usage:
   rpq-cli batch <index.db> <queries.txt> [opts]  run a query file through the service
   rpq-cli stats <index.db>                       index statistics
   rpq-cli bench <index.db> <s> <expr> <o> [n]    time a query n times
+build options:
+  --mmap           write the aligned RRPQM01 format: the file is usable
+                   in place, so later opens map it zero-copy instead of
+                   deserializing (default: the RRPQDB01 stream format)
+query/serve/batch/stats/bench options:
+  --mmap | --heap  for RRPQM01 index files, require a kernel mapping /
+                   force an aligned heap read (default: map when the
+                   platform supports it); stream-format files always
+                   load to the heap
 query/batch options:
   --explain        print the planner's chosen plan (route, direction,
                    split label, cost estimate) as stable JSON, one object
@@ -122,14 +132,22 @@ impl From<String> for CliError {
 }
 
 fn cmd_build(args: &[String]) -> Result<(), CliError> {
-    let [input, output] = args else {
-        return Err(format!("build needs <graph.txt|graph.nt> <index.db>\n{USAGE}").into());
+    let (mmap, rest) = split_flag(args, "--mmap");
+    let [input, output] = &rest[..] else {
+        return Err(
+            format!("build needs <graph.txt|graph.nt> <index.db> [--mmap]\n{USAGE}").into(),
+        );
     };
     let t = Instant::now();
     let db = RpqDatabase::from_graph_file(Path::new(input)).map_err(|e| e.to_string())?;
     let build_secs = t.elapsed().as_secs_f64();
-    db.save(Path::new(output))
-        .map_err(|e| format!("writing {output}: {e}"))?;
+    if mmap {
+        db.save_mapped(Path::new(output))
+            .map_err(|e| format!("writing {output}: {e}"))?;
+    } else {
+        db.save(Path::new(output))
+            .map_err(|e| format!("writing {output}: {e}"))?;
+    }
     println!(
         "indexed {} edges, {} nodes, {} predicates in {:.2}s",
         db.graph().len(),
@@ -138,18 +156,44 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
         build_secs
     );
     println!(
-        "ring: {} bytes ({:.2} bytes/edge) -> {}",
+        "ring: {} bytes ({:.2} bytes/edge) -> {} ({})",
         db.ring().size_bytes(),
         db.ring().size_bytes() as f64 / db.graph().len().max(1) as f64,
-        output
+        output,
+        if mmap {
+            "RRPQM01, mappable"
+        } else {
+            "RRPQDB01"
+        }
     );
     Ok(())
 }
 
-fn load(path: &str) -> Result<RpqDatabase, CliError> {
-    // Updatable files (those carrying a delta overlay) load too: the
-    // overlay is folded in memory; the file itself is left as-is.
-    match RpqDatabase::load(Path::new(path)) {
+/// Strips `--mmap` / `--heap` from an argument list into an [`OpenMode`].
+fn split_residency(args: &[String]) -> Result<(OpenMode, Vec<String>), CliError> {
+    let (mmap, rest) = split_flag(args, "--mmap");
+    let (heap, rest) = split_flag(&rest, "--heap");
+    if mmap && heap {
+        return Err("--mmap and --heap are mutually exclusive"
+            .to_string()
+            .into());
+    }
+    let mode = if mmap {
+        OpenMode::Mmap
+    } else if heap {
+        OpenMode::Heap
+    } else {
+        OpenMode::Auto
+    };
+    Ok((mode, rest))
+}
+
+fn load_as(path: &str, mode: OpenMode) -> Result<RpqDatabase, CliError> {
+    // `open` dispatches on the magic (RRPQM01 is mapped in place,
+    // RRPQDB01 deserializes); updatable files (those carrying a delta
+    // overlay) load too: the overlay is folded in memory; the file
+    // itself is left as-is.
+    match RpqDatabase::open_with(Path::new(path), mode) {
         Ok(db) => Ok(db),
         Err(first) => match UpdatableDatabase::load(Path::new(path)) {
             Ok(db) => Ok(db.into_database()),
@@ -158,7 +202,18 @@ fn load(path: &str) -> Result<RpqDatabase, CliError> {
     }
 }
 
+fn load(path: &str) -> Result<RpqDatabase, CliError> {
+    load_as(path, OpenMode::Auto)
+}
+
 fn load_updatable(path: &str) -> Result<UpdatableDatabase, CliError> {
+    // A mapped index is immutable on disk; promote it to an in-memory
+    // updatable database (dictionaries go to the heap on first intern).
+    if ring_rpq::ring::mapped::is_mapped_file(Path::new(path)) {
+        return RpqDatabase::open(Path::new(path))
+            .map(RpqDatabase::into_updatable)
+            .map_err(|e| CliError::Other(format!("loading {path}: {e}")));
+    }
     UpdatableDatabase::load(Path::new(path))
         .map_err(|e| CliError::Other(format!("loading {path}: {e}")))
 }
@@ -185,9 +240,17 @@ fn cmd_update(args: &[String], is_insert: bool) -> Result<(), CliError> {
     }
     .map_err(|e| CliError::Other(e.to_string()))?;
     let epoch = db.commit();
-    db.save(Path::new(index))
-        .map_err(|e| format!("writing {index}: {e}"))?;
     let stats = db.stats();
+    if ring_rpq::ring::mapped::is_mapped_file(Path::new(index)) {
+        // Keep a mapped index mapped: fold the delta and rewrite the
+        // RRPQM01 file in place.
+        db.into_database()
+            .save_mapped(Path::new(index))
+            .map_err(|e| format!("writing {index}: {e}"))?;
+    } else {
+        db.save(Path::new(index))
+            .map_err(|e| format!("writing {index}: {e}"))?;
+    }
     println!(
         "{verb}: {n} triples committed at epoch {epoch} (delta: +{} -{}; compactions: {})",
         stats.delta_adds, stats.delta_deletes, stats.compactions
@@ -206,8 +269,14 @@ fn cmd_compact(args: &[String]) -> Result<(), CliError> {
     let t = Instant::now();
     let epoch = db.compact();
     let secs = t.elapsed().as_secs_f64();
-    db.save(Path::new(index))
-        .map_err(|e| format!("writing {index}: {e}"))?;
+    if ring_rpq::ring::mapped::is_mapped_file(Path::new(index)) {
+        db.into_database()
+            .save_mapped(Path::new(index))
+            .map_err(|e| format!("writing {index}: {e}"))?;
+    } else {
+        db.save(Path::new(index))
+            .map_err(|e| format!("writing {index}: {e}"))?;
+    }
     println!(
         "compacted {} adds and {} deletes into the ring in {secs:.2}s (epoch {epoch})",
         before.delta_adds, before.delta_deletes
@@ -219,13 +288,14 @@ fn cmd_query(args: &[String]) -> Result<(), CliError> {
     let (explain_only, rest): (bool, Vec<String>) = split_flag(args, "--explain");
     let (profile, rest) = split_flag(&rest, "--profile");
     let (threads, rest) = split_threads_flag(&rest)?;
+    let (mode, rest) = split_residency(&rest)?;
     let [index, s, expr, o] = &rest[..] else {
         return Err(format!(
-            "query needs <index.db> <s> <expr> <o> [--explain] [--profile] [--threads n]\n{USAGE}"
+            "query needs <index.db> <s> <expr> <o> [--explain] [--profile] [--threads n] [--mmap|--heap]\n{USAGE}"
         )
         .into());
     };
-    let db = load(index)?;
+    let db = load_as(index, mode)?;
     if explain_only {
         let plan = db.explain_plan(s, expr, o)?;
         println!("{}", plan.to_json());
@@ -331,9 +401,11 @@ struct ServeOpts {
     profile: bool,
     slow_log: Option<usize>,
     slow_ms: Option<u64>,
+    mode: OpenMode,
 }
 
 fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
+    let (mode, args) = split_residency(args)?;
     let mut opts = ServeOpts {
         positional: Vec::new(),
         workers: None,
@@ -343,6 +415,7 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
         profile: false,
         slow_log: None,
         slow_ms: None,
+        mode,
     };
     let mut it = args.iter();
     let value = |flag: &str, it: &mut std::slice::Iter<'_, String>| -> Result<String, CliError> {
@@ -392,7 +465,7 @@ fn parse_serve_opts(args: &[String]) -> Result<ServeOpts, CliError> {
 }
 
 fn start_server(index: &str, opts: &ServeOpts) -> Result<RpqServer, CliError> {
-    let db = load(index)?;
+    let db = load_as(index, opts.mode)?;
     let mut config = ServerConfig::default();
     if let Some(w) = opts.workers {
         config.workers = w.max(1);
@@ -630,10 +703,18 @@ fn batch_explain(index: &str, input: impl BufRead) -> Result<(), CliError> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), CliError> {
-    let [index] = args else {
-        return Err(format!("stats needs <index.db>\n{USAGE}").into());
+    let (mode, rest) = split_residency(args)?;
+    let [index] = &rest[..] else {
+        return Err(format!("stats needs <index.db> [--mmap|--heap]\n{USAGE}").into());
     };
-    let db = load(index)?;
+    let db = load_as(index, mode)?;
+    let info = db.open_info();
+    println!(
+        "open:                {} us ({}, {} mapped bytes)",
+        info.open_us,
+        info.resident.as_str(),
+        info.mapped_bytes
+    );
     let g = db.graph();
     let r = db.ring();
     println!("edges (base):        {}", g.len());
@@ -662,20 +743,26 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
-    let (core, n) = match args.len() {
-        4 => (&args[..4], 10usize),
+    let (mode, rest) = split_residency(args)?;
+    let (core, n) = match rest.len() {
+        4 => (&rest[..4], 10usize),
         5 => (
-            &args[..4],
-            args[4]
+            &rest[..4],
+            rest[4]
                 .parse()
                 .map_err(|_| CliError::Other("bad repeat count".into()))?,
         ),
-        _ => return Err(format!("bench needs <index.db> <s> <expr> <o> [n]\n{USAGE}").into()),
+        _ => {
+            return Err(format!(
+                "bench needs <index.db> <s> <expr> <o> [n] [--mmap|--heap]\n{USAGE}"
+            )
+            .into())
+        }
     };
     let [index, s, expr, o] = core else {
         unreachable!()
     };
-    let db = load(index)?;
+    let db = load_as(index, mode)?;
     let opts = EngineOptions::default();
     let mut times = Vec::with_capacity(n);
     let mut pairs = 0usize;

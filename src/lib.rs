@@ -49,15 +49,18 @@ pub use rpq_server;
 pub use succinct;
 pub use workload;
 
+pub mod ingest;
 mod updatable;
 pub use rpq_core::{LevelSample, QueryProfile};
 pub use updatable::UpdatableDatabase;
 
 use automata::parser::{self, LabelResolver};
+use ring::mapped::OpenMode;
 use ring::ring::RingOptions;
-use ring::{Dict, Graph, Id, Ring};
+use ring::{Dict, Graph, Id, Ring, Triple};
 use rpq_core::{EngineOptions, QueryOutput, RpqEngine, RpqQuery, SourceSnapshot, Term};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use succinct::ResidentMode;
 
 /// Errors from the name-level API.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -93,10 +96,35 @@ impl std::error::Error for DbError {}
 /// [`automata::parser`]: `/` concatenation, `|` alternation, `*`/`+`/`?`
 /// closures, `^p` inverse steps, `!(p|q)` negated label sets.
 pub struct RpqDatabase {
-    graph: Graph,
+    /// Lazily materialized: a database opened from a mapped `RRPQM01`
+    /// file reconstructs the base graph from the ring only if asked.
+    graph: OnceLock<Graph>,
     ring: Arc<Ring>,
     nodes: Dict,
     preds: Dict,
+    open_info: OpenInfo,
+}
+
+/// How a database was brought into memory — cold-start observability
+/// for [`RpqDatabase::open`] (exported by the server metrics).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpenInfo {
+    /// Wall time of the open call, microseconds.
+    pub open_us: u64,
+    /// Whether the index payload lives in a kernel mapping or on the heap.
+    pub resident: ResidentMode,
+    /// Bytes held by the kernel mapping (0 in heap mode).
+    pub mapped_bytes: u64,
+}
+
+impl Default for OpenInfo {
+    fn default() -> Self {
+        Self {
+            open_us: 0,
+            resident: ResidentMode::Heap,
+            mapped_bytes: 0,
+        }
+    }
 }
 
 struct DictResolver<'a> {
@@ -133,16 +161,19 @@ impl RpqDatabase {
     }
 
     /// Reads a graph file, picking the parser by extension: `.nt` is
-    /// N-Triples, everything else whitespace triple text.
+    /// N-Triples (streamed in bounded chunks and parsed chunk-parallel,
+    /// see [`ingest`] — the file is never held in memory whole),
+    /// everything else whitespace triple text.
     pub fn from_graph_file(path: &std::path::Path) -> Result<Self, DbError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| DbError::Graph(format!("reading {}: {e}", path.display())))?;
         if path
             .extension()
             .is_some_and(|x| x.eq_ignore_ascii_case("nt"))
         {
-            Self::from_ntriples(&text)
+            let (graph, nodes, preds) = ingest::load_ntriples_file(path).map_err(DbError::Graph)?;
+            Ok(Self::from_parts(graph, nodes, preds))
         } else {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| DbError::Graph(format!("reading {}: {e}", path.display())))?;
             Self::from_text(&text)
         }
     }
@@ -151,10 +182,11 @@ impl RpqDatabase {
     pub fn from_parts(graph: Graph, nodes: Dict, preds: Dict) -> Self {
         let ring = Arc::new(Ring::build(&graph, RingOptions::default()));
         Self {
-            graph,
+            graph: OnceLock::from(graph),
             ring,
             nodes,
             preds,
+            open_info: OpenInfo::default(),
         }
     }
 
@@ -164,8 +196,14 @@ impl RpqDatabase {
         UpdatableDatabase::from_database(self)
     }
 
-    pub(crate) fn into_raw_parts(self) -> (Graph, Arc<Ring>, Dict, Dict) {
-        (self.graph, self.ring, self.nodes, self.preds)
+    pub(crate) fn into_raw_parts(mut self) -> (Graph, Arc<Ring>, Dict, Dict) {
+        self.graph();
+        let graph = self.graph.into_inner().expect("graph just materialized");
+        // Downstream mutators (the updatable store) intern names; hand
+        // them the heap dictionary form up front.
+        self.nodes.make_owned();
+        self.preds.make_owned();
+        (graph, self.ring, self.nodes, self.preds)
     }
 
     pub(crate) fn from_built_parts(
@@ -175,10 +213,11 @@ impl RpqDatabase {
         preds: Dict,
     ) -> Self {
         Self {
-            graph,
+            graph: OnceLock::from(graph),
             ring,
             nodes,
             preds,
+            open_info: OpenInfo::default(),
         }
     }
 
@@ -187,9 +226,23 @@ impl RpqDatabase {
         &self.ring
     }
 
-    /// The underlying graph.
+    /// The underlying graph. Databases opened from a mapped `RRPQM01`
+    /// file carry no graph payload; the first call reconstructs it from
+    /// the ring (the ring stores `G↔`, so decoding keeps the base
+    /// triples `p < n_preds_base` only).
     pub fn graph(&self) -> &Graph {
-        &self.graph
+        self.graph.get_or_init(|| {
+            let base = self.ring.n_preds_base();
+            let triples: Vec<Triple> = self.ring.iter_triples().filter(|t| t.p < base).collect();
+            Graph::new(triples, self.ring.n_nodes(), base)
+        })
+    }
+
+    /// How this database was opened (wall time, heap vs mmap residency,
+    /// mapped bytes). Databases built in memory report the default:
+    /// heap-resident, zero mapped bytes.
+    pub fn open_info(&self) -> OpenInfo {
+        self.open_info
     }
 
     /// The node dictionary.
@@ -303,11 +356,55 @@ impl RpqDatabase {
         use succinct::io::Persist;
         let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
         std::io::Write::write_all(&mut f, b"RRPQDB01")?;
-        self.graph.write_to(&mut f)?;
+        self.graph().write_to(&mut f)?;
         self.nodes.write_to(&mut f)?;
         self.preds.write_to(&mut f)?;
         self.ring.write_to(&mut f)?;
         std::io::Write::flush(&mut f)
+    }
+
+    /// Persists the database to the aligned, mappable `RRPQM01` format
+    /// (see [`ring::mapped`]). Unlike [`Self::save`], the file is usable
+    /// *in place*: [`Self::open`] maps it and answers queries without
+    /// deserializing, so cold starts cost page faults instead of a full
+    /// index rebuild. Returns the total bytes written.
+    pub fn save_mapped(&self, path: &std::path::Path) -> std::io::Result<u64> {
+        ring::mapped::write_index(path, &self.ring, &self.nodes, &self.preds)
+    }
+
+    /// Opens a persisted database, dispatching on the file magic:
+    /// `RRPQM01` files ([`Self::save_mapped`]) are mapped zero-copy,
+    /// `RRPQDB01` files ([`Self::save`]) are deserialized to the heap.
+    /// [`Self::open_info`] reports which path was taken and how long it
+    /// took.
+    pub fn open(path: &std::path::Path) -> std::io::Result<Self> {
+        Self::open_with(path, OpenMode::Auto)
+    }
+
+    /// [`Self::open`] with an explicit residency request for mapped
+    /// files: [`OpenMode::Mmap`] requires a real kernel mapping,
+    /// [`OpenMode::Heap`] forces an aligned heap read (the differential-
+    /// testing path). Stream-format files always load to the heap.
+    pub fn open_with(path: &std::path::Path, mode: OpenMode) -> std::io::Result<Self> {
+        let t0 = std::time::Instant::now();
+        if ring::mapped::is_mapped_file(path) {
+            let idx = ring::mapped::open_index(path, mode)?;
+            Ok(Self {
+                graph: OnceLock::new(),
+                ring: Arc::new(idx.ring),
+                nodes: idx.nodes,
+                preds: idx.preds,
+                open_info: OpenInfo {
+                    open_us: t0.elapsed().as_micros() as u64,
+                    resident: idx.resident,
+                    mapped_bytes: idx.mapped_bytes,
+                },
+            })
+        } else {
+            let mut db = Self::load(path)?;
+            db.open_info.open_us = t0.elapsed().as_micros() as u64;
+            Ok(db)
+        }
     }
 
     /// Starts a concurrent query server over this database (see
@@ -356,10 +453,11 @@ impl RpqDatabase {
             return Err(bad_data("ring alphabet does not match the graph"));
         }
         Ok(Self {
-            graph,
+            graph: OnceLock::from(graph),
             ring: Arc::new(ring),
             nodes,
             preds,
+            open_info: OpenInfo::default(),
         })
     }
 }
@@ -383,6 +481,14 @@ impl rpq_server::QuerySource for RpqDatabase {
 
     fn pred_id(&self, name: &str) -> Option<Id> {
         self.preds.get(name)
+    }
+
+    fn index_info(&self) -> Option<rpq_server::IndexStats> {
+        Some(rpq_server::IndexStats {
+            open_us: self.open_info.open_us,
+            resident_mode: self.open_info.resident.as_str(),
+            mapped_bytes: self.open_info.mapped_bytes,
+        })
     }
 }
 
@@ -437,6 +543,62 @@ mod tests {
             Err(rpq_server::RpqError::Parse(_))
         ));
         server.shutdown();
+    }
+
+    #[test]
+    fn mapped_save_open_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rpq-facade-mapped-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.rpqm");
+        let db = RpqDatabase::from_text("a p b\nb p c\nc q a\n").unwrap();
+        let bytes = db.save_mapped(&path).unwrap();
+        assert_eq!(bytes, std::fs::metadata(&path).unwrap().len());
+        for mode in [OpenMode::Auto, OpenMode::Heap] {
+            let back = RpqDatabase::open_with(&path, mode).unwrap();
+            assert_eq!(
+                back.query("a", "p+", "?y").unwrap(),
+                db.query("a", "p+", "?y").unwrap(),
+                "{mode:?}"
+            );
+            assert_eq!(
+                back.query("?x", "^p/q", "?y").unwrap(),
+                db.query("?x", "^p/q", "?y").unwrap()
+            );
+            // The lazily rebuilt graph matches the original.
+            assert_eq!(back.graph().triples(), db.graph().triples());
+            assert_eq!(back.open_info().mapped_bytes == 0, mode == OpenMode::Heap);
+        }
+        // `open` also dispatches on the stream format.
+        let stream = dir.join("idx.rpqdb");
+        db.save(&stream).unwrap();
+        let back = RpqDatabase::open(&stream).unwrap();
+        assert_eq!(back.open_info().resident, ResidentMode::Heap);
+        assert_eq!(
+            back.query("a", "p+", "?y").unwrap(),
+            db.query("a", "p+", "?y").unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mapped_database_converts_to_updatable() {
+        let dir = std::env::temp_dir().join(format!("rpq-facade-upd-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("idx.rpqm");
+        let db = RpqDatabase::from_text("a p b\nb p c\n").unwrap();
+        db.save_mapped(&path).unwrap();
+        let live = RpqDatabase::open(&path).unwrap().into_updatable();
+        live.insert("c", "p", "d");
+        live.commit();
+        assert_eq!(
+            live.query("a", "p+", "?y").unwrap(),
+            vec![
+                ("a".to_string(), "b".to_string()),
+                ("a".to_string(), "c".to_string()),
+                ("a".to_string(), "d".to_string()),
+            ]
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

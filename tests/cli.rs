@@ -385,6 +385,87 @@ fn batch_is_deterministic_across_worker_counts() {
     assert!(one.contains("a\td"), "{one}");
 }
 
+/// `build --mmap` writes the RRPQM01 format; queries over the mapped
+/// index are byte-identical to the stream-format heap load, `stats`
+/// reports the residency, and updates fold back into a mapped file.
+#[test]
+fn mmap_build_query_roundtrip() {
+    let dir = tmpdir("mmap");
+    let fixture = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("data/metro.nt");
+    let stream = dir.join("metro.db");
+    let mapped = dir.join("metro.rpqm");
+
+    for (flagged, index) in [(false, &stream), (true, &mapped)] {
+        let mut args = vec!["build", fixture.to_str().unwrap(), index.to_str().unwrap()];
+        if flagged {
+            args.push("--mmap");
+        }
+        let out = cli().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    let magic = std::fs::read(&mapped).unwrap()[..8].to_vec();
+    assert_eq!(&magic, b"RRPQM01\0");
+
+    // Identical rows from the stream-format load and from the mapped
+    // index under both forced residencies.
+    let ask = |index: &std::path::Path, extra: &[&str]| {
+        let mut args = vec![
+            "query",
+            index.to_str().unwrap(),
+            "<baquedano>",
+            "<l5>+/<bus>",
+            "?y",
+        ];
+        args.extend_from_slice(extra);
+        let out = cli().args(&args).output().unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).to_string()
+    };
+    let reference = ask(&stream, &[]);
+    assert!(
+        reference.contains("<baquedano>\t<u_de_chile>"),
+        "{reference}"
+    );
+    assert_eq!(ask(&mapped, &[]), reference);
+    assert_eq!(ask(&mapped, &["--heap"]), reference);
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    assert_eq!(ask(&mapped, &["--mmap"]), reference);
+
+    // `stats` surfaces the residency of the open.
+    let out = cli()
+        .args(["stats", mapped.to_str().unwrap(), "--heap"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("(heap, 0 mapped bytes)"), "{stdout}");
+
+    // Inserting into a mapped index keeps the file mapped.
+    let delta = dir.join("delta.nt");
+    std::fs::write(&delta, "<u_de_chile> <l5> <baquedano> .\n").unwrap();
+    let out = cli()
+        .args(["insert", mapped.to_str().unwrap(), delta.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let magic = std::fs::read(&mapped).unwrap()[..8].to_vec();
+    assert_eq!(&magic, b"RRPQM01\0", "insert must preserve the format");
+    let rows = ask(&mapped, &[]);
+    assert!(rows.contains("<baquedano>\t<u_de_chile>"), "{rows}");
+}
+
 /// A malformed N-Triples file is rejected with a positioned error, not
 /// silently mis-parsed as whitespace triples.
 #[test]
