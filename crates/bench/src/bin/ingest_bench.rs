@@ -3,7 +3,7 @@
 //!
 //! Generates a synthetic N-Triples dump (deterministic LCG, Zipf-ish
 //! predicate skew), streams it through the chunk-parallel ingest path
-//! into a ring, persists it in both the stream (`RRPQDB01`) and mapped
+//! into a ring, persists it in both the stream (`RRPQDB02`) and mapped
 //! (`RRPQM01`) formats, then measures **cold opens in child processes**
 //! — re-executing this binary per mode — so allocator reuse in a warm
 //! parent cannot flatter the resident-memory numbers. Every child
@@ -252,6 +252,53 @@ fn main() {
         stream.open_us, stream.rss_kb, heap.open_us, heap.rss_kb, mmap.open_us, mmap.rss_kb
     );
 
+    // WAL replay: a tiny snapshot plus a committed-but-uncheckpointed
+    // log, timed through the durable open (crash-recovery cold start).
+    let wal_replay_ops: u64 = std::env::var("RPQ_WAL_REPLAY_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 10_000 } else { 100_000 });
+    let wal_db = dir.join("wal.db");
+    ring_rpq::UpdatableDatabase::from_text("seed p0 seed\n")
+        .expect("seed graph")
+        .save(&wal_db)
+        .expect("seed save");
+    let udb = ring_rpq::UpdatableDatabase::open_durable(&wal_db).expect("durable open");
+    let mut state = 0x0DD0_15EAu64;
+    for i in 0..wal_replay_ops {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = state >> 11;
+        udb.insert(
+            &format!("s{}", r % (wal_replay_ops / 4).max(16)),
+            &format!("p{}", r % 32),
+            &format!("o{}", (r >> 32) % (wal_replay_ops / 4).max(16)),
+        );
+        if (i + 1) % 10_000 == 0 {
+            udb.commit();
+        }
+    }
+    udb.commit();
+    let wal_epoch = udb.epoch();
+    let wal_live = udb.store().snapshot().live_triples().len();
+    drop(udb); // crash: the updates exist only in the WAL
+    let t = Instant::now();
+    let revived = ring_rpq::UpdatableDatabase::open_durable(&wal_db).expect("replay open");
+    let wal_replay_us = t.elapsed().as_nanos() as f64 / 1000.0;
+    assert_eq!(revived.epoch(), wal_epoch, "replay lost commits");
+    assert_eq!(
+        revived.store().snapshot().live_triples().len(),
+        wal_live,
+        "replay diverged from the pre-crash state"
+    );
+    drop(revived);
+    eprintln!(
+        "  wal replay: {wal_replay_ops} op(s) in {:.0} us ({:.2}x the stream cold open)",
+        wal_replay_us,
+        wal_replay_us / stream.open_us.max(1e-9)
+    );
+
     let json = format!(
         "{{\"quick\":{quick},\"triples_requested\":{n_triples},\"triples_parsed\":{parsed_triples},\
 \"triples_indexed\":{indexed_triples},\"dump_bytes\":{dump_bytes},\"gen_ms\":{gen_ms:.1},\
@@ -261,6 +308,7 @@ fn main() {
 \"mapped_bytes\":{mapped_bytes},\"cold_open_stream_us\":{:.1},\"cold_open_heap_us\":{:.1},\
 \"cold_open_mmap_us\":{:.1},\"rss_open_stream_kb\":{},\"rss_open_heap_kb\":{},\
 \"rss_open_mmap_kb\":{},\"open_speedup\":{open_speedup:.1},\"mmap_supported\":{mmap_supported},\
+\"wal_replay_us\":{wal_replay_us:.1},\"wal_replay_ops\":{wal_replay_ops},\
 \"probe_rows\":{}}}",
         parse_ms + build_ms,
         stream.open_us,
@@ -300,6 +348,7 @@ fn main() {
             ("cold_open_stream_us", stream.open_us),
             ("cold_open_heap_us", heap.open_us),
             ("cold_open_mmap_us", mmap.open_us),
+            ("wal_replay_us", wal_replay_us),
         ] {
             match json_number(&baseline, key) {
                 Some(base) if value > base * CHECK_FACTOR => {

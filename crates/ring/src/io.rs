@@ -49,7 +49,7 @@ impl Persist for Boundaries {
         match read_u64(r)? {
             0 => {
                 let n = read_len(r, MAX_LEN)?;
-                let mut v = Vec::with_capacity(n);
+                let mut v = Vec::with_capacity(n.min(1 << 16));
                 let mut prev = 0u64;
                 for i in 0..n {
                     let x = read_u64(r)?;
@@ -82,7 +82,7 @@ impl Persist for Boundaries {
             2 => {
                 let universe = read_u64(r)?;
                 let n = read_len(r, MAX_LEN)?;
-                let mut values = Vec::with_capacity(n);
+                let mut values = Vec::with_capacity(n.min(1 << 16));
                 let mut prev = 0u64;
                 for i in 0..n {
                     let v = read_u64(r)?;
@@ -126,7 +126,8 @@ impl Persist for Graph {
         let n_nodes = read_u64(r)?;
         let n_preds = read_u64(r)?;
         let n = read_len(r, MAX_LEN)?;
-        let mut triples = Vec::with_capacity(n);
+        // Capped: a flipped length bit must not abort in the allocator.
+        let mut triples = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             let (s, p, o) = (read_u64(r)?, read_u64(r)?, read_u64(r)?);
             if s >= n_nodes || o >= n_nodes || p >= n_preds {
@@ -198,11 +199,10 @@ impl Persist for Ring {
         // An empty ring's empty base alphabet is stored with the
         // wavelet-matrix sigma clamped to 1; with any triples present a
         // zero base alphabet is impossible, so keep the strict check.
-        let expected_preds = if n == 0 {
-            (2 * n_preds_base).max(1)
-        } else {
-            2 * n_preds_base
-        };
+        let doubled = n_preds_base
+            .checked_mul(2)
+            .ok_or_else(|| bad_data("base alphabet size overflows"))?;
+        let expected_preds = if n == 0 { doubled.max(1) } else { doubled };
         if has_inverses && n_preds != expected_preds {
             return Err(bad_data("inverse alphabet size mismatch"));
         }
@@ -251,17 +251,34 @@ impl Persist for Ring {
     }
 }
 
-/// Writes any [`Persist`] value to a file.
+/// Writes any [`Persist`] value to a file — atomically (temp file +
+/// fsync + rename) and with a whole-file checksum footer, so a crash
+/// mid-save preserves the previous contents and later corruption is
+/// detected on load.
 pub fn save_to_file<T: Persist>(value: &T, path: &std::path::Path) -> io::Result<()> {
-    let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    value.write_to(&mut f)?;
-    Write::flush(&mut f)
+    crate::durable::atomic_write(path, |w| {
+        let mut cw = succinct::checksum::CrcWriter::new(w);
+        value.write_to(&mut cw)?;
+        crate::durable::finish_footer(&mut cw)
+    })
+    .map(|_| ())
 }
 
-/// Reads any [`Persist`] value from a file.
+/// Reads any [`Persist`] value from a file, verifying the checksum
+/// footer. Files from before the durability layer (no footer, clean EOF
+/// after the payload) still load, with a warning that they carry no
+/// integrity protection.
 pub fn load_from_file<T: Persist>(path: &std::path::Path) -> io::Result<T> {
-    let mut f = io::BufReader::new(std::fs::File::open(path)?);
-    T::read_from(&mut f)
+    let file = crate::durable::FaultReader::new(std::fs::File::open(path)?);
+    let mut r = succinct::checksum::CrcReader::new(io::BufReader::new(file));
+    let value = T::read_from(&mut r)?;
+    let context = path.display().to_string();
+    if !crate::durable::verify_footer_or_legacy(&mut r, &context)? {
+        eprintln!(
+            "warning: {context} predates checksums (no integrity footer); re-save to upgrade"
+        );
+    }
+    Ok(value)
 }
 
 /// Needed by [`Persist::read_payload`] consumers that also want to assert
@@ -360,6 +377,50 @@ mod tests {
         let back: Graph = load_from_file(&path).unwrap();
         assert_eq!(g.triples(), back.triples());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_helpers_detect_corruption_and_accept_legacy() {
+        use crate::durable::{durability_error, DurabilityError};
+        let dir = std::env::temp_dir().join(format!("ring_io_crc_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.ring");
+        let g = sample_graph();
+        save_to_file(&g, &path).unwrap();
+
+        // A flipped payload bit is caught by the footer checksum.
+        let good = std::fs::read(&path).unwrap();
+        let mut bad = good.clone();
+        bad[10] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        let err = load_from_file::<Graph>(&path).expect_err("must fail");
+        assert!(
+            matches!(
+                durability_error(&err),
+                Some(DurabilityError::ChecksumMismatch { .. })
+            ) || err.kind() == io::ErrorKind::InvalidData,
+            "unexpected error: {err}"
+        );
+
+        // A file cut inside the footer is a typed truncation.
+        std::fs::write(&path, &good[..good.len() - 7]).unwrap();
+        let err = load_from_file::<Graph>(&path).expect_err("must fail");
+        assert!(
+            matches!(
+                durability_error(&err),
+                Some(DurabilityError::TruncatedFile { .. })
+            ),
+            "unexpected error: {err}"
+        );
+
+        // A legacy file (payload with no footer) still loads.
+        let mut legacy = Vec::new();
+        g.write_to(&mut legacy).unwrap();
+        std::fs::write(&path, &legacy).unwrap();
+        let back: Graph = load_from_file(&path).unwrap();
+        assert_eq!(g.triples(), back.triples());
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

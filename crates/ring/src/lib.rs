@@ -32,10 +32,16 @@
 //! * [`ltj`]: a Leapfrog-TrieJoin evaluator over rings — the worst-case
 //!   optimal join the ring was originally built for, and the integration
 //!   target §6 describes for mixing RPQs into multijoins.
+//! * [`durable`]: crash-safe IO — atomic replace-writes, checksum
+//!   footers, typed corruption errors, and the fault-injection layer the
+//!   crash-consistency battery drives.
+//! * [`wal`]: the write-ahead log that makes committed updates survive a
+//!   crash between snapshots.
 
 pub mod boundaries;
 pub mod delta;
 pub mod dict;
+pub mod durable;
 pub mod graph;
 pub mod io;
 pub mod ltj;
@@ -44,6 +50,7 @@ pub mod ntriples;
 pub mod ring;
 pub mod store;
 pub mod triple;
+pub mod wal;
 
 pub use boundaries::Boundaries;
 pub use delta::DeltaIndex;

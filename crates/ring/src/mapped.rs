@@ -6,7 +6,7 @@
 //! ```text
 //! ┌──────────────────────────────────────────────────────────────┐
 //! │ "RRPQM01\0" │ version u64 │ n_sections u64                   │
-//! │ TOC: (tag u64, offset u64, byte_len u64) × 9                 │
+//! │ TOC: (tag u64, offset u64, byte_len u64, crc32c u64) × 9     │
 //! ├──────────────────────────────────────────────────────────────┤
 //! │ 1 META    n, n_nodes, n_preds, n_preds_base, has_inverses    │
 //! │ 2 L_O     wavelet matrix (objects in (s,p) order)            │
@@ -32,6 +32,17 @@
 //! misaligned `&[u64]` reinterpretation is undefined behavior, so the
 //! reader rejects any table-of-contents offset off the 8-byte grid
 //! unconditionally (see `toc_offsets_must_be_aligned` in the tests).
+//!
+//! ## Versions and checksums
+//!
+//! Version 2 (current) stores a CRC32C per section in the TOC and is
+//! written atomically (temp file + fsync + rename) by [`write_index`].
+//! Version 1 files (24-byte TOC entries, no checksums) still open, with
+//! a warning that they carry no integrity protection. To preserve the
+//! O(header) zero-copy cold open — the whole point of this format — an
+//! `mmap` open validates structure only; checksums are verified on heap
+//! opens (which touch every byte anyway), when `RPQ_VERIFY_ON_OPEN=1`,
+//! and by [`verify_index_checksums`] (the `verify` CLI subcommand).
 
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -47,8 +58,9 @@ use crate::{Boundaries, Dict, Id, Ring};
 
 /// Magic bytes opening a mappable index file.
 pub const MAPPED_MAGIC: [u8; 8] = *b"RRPQM01\0";
-/// Current version of the mapped format.
-pub const MAPPED_VERSION: u64 = 1;
+/// Current version of the mapped format (2 = per-section CRC32C in the
+/// TOC; 1 = checksum-less, still readable).
+pub const MAPPED_VERSION: u64 = 2;
 
 const TAG_META: u64 = 1;
 const TAG_L_O: u64 = 2;
@@ -62,9 +74,18 @@ const TAG_PREDS: u64 = 9;
 const N_SECTIONS: usize = 9;
 
 /// Header bytes before the first section: magic + version + count +
-/// the table of contents. 240 bytes — itself a multiple of 8, so the
-/// first section starts aligned.
-pub const HEADER_LEN: usize = 8 + 8 + 8 + N_SECTIONS * 24;
+/// the table of contents (32 bytes per entry in v2). 312 bytes —
+/// itself a multiple of 8, so the first section starts aligned.
+pub const HEADER_LEN: usize = 8 + 8 + 8 + N_SECTIONS * 32;
+
+/// Header size of the legacy checksum-less v1 layout (24-byte entries).
+const HEADER_LEN_V1: usize = 8 + 8 + 8 + N_SECTIONS * 24;
+
+/// Human names per section, indexed `tag - 1` (error messages, verify
+/// reports).
+pub const SECTION_NAMES: [&str; N_SECTIONS] = [
+    "META", "L_O", "L_S", "L_P", "C_S", "C_P", "C_O", "NODES", "PREDS",
+];
 
 /// How [`open_index`] should back the loaded structures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -196,8 +217,11 @@ fn read_dict(r: &mut MapReader) -> io::Result<Dict> {
     Dict::from_mapped_parts(blob, offsets, order).map_err(err_data)
 }
 
-/// Writes `ring` plus its dictionaries as a mappable `RRPQM01` file.
-/// Returns the total bytes written.
+/// Writes `ring` plus its dictionaries as a mappable `RRPQM01` file
+/// (version 2: per-section CRC32C in the TOC), atomically — the bytes go
+/// to a same-directory temp file that is fsync'd and renamed over
+/// `path`, so a crash mid-save preserves the previous index. Returns the
+/// total bytes written.
 pub fn write_index(path: &Path, ring: &Ring, nodes: &Dict, preds: &Dict) -> io::Result<u64> {
     let sections: Vec<(u64, Vec<u8>)> = vec![
         (
@@ -219,36 +243,51 @@ pub fn write_index(path: &Path, ring: &Ring, nodes: &Dict, preds: &Dict) -> io::
         (TAG_NODES, section(|w| write_dict(w, nodes))?),
         (TAG_PREDS, section(|w| write_dict(w, preds))?),
     ];
-    let mut out = io::BufWriter::new(std::fs::File::create(path)?);
-    out.write_all(&MAPPED_MAGIC)?;
-    out.write_all(&MAPPED_VERSION.to_le_bytes())?;
-    out.write_all(&(N_SECTIONS as u64).to_le_bytes())?;
-    let mut off = HEADER_LEN as u64;
-    for (tag, buf) in &sections {
-        debug_assert!(off.is_multiple_of(8), "section offsets must stay 8-byte aligned");
-        out.write_all(&tag.to_le_bytes())?;
-        out.write_all(&off.to_le_bytes())?;
-        out.write_all(&(buf.len() as u64).to_le_bytes())?;
-        off += buf.len() as u64;
-    }
-    for (_, buf) in &sections {
-        out.write_all(buf)?;
-    }
-    out.flush()?;
-    Ok(off)
+    crate::durable::atomic_write(path, |out| {
+        out.write_all(&MAPPED_MAGIC)?;
+        out.write_all(&MAPPED_VERSION.to_le_bytes())?;
+        out.write_all(&(N_SECTIONS as u64).to_le_bytes())?;
+        let mut off = HEADER_LEN as u64;
+        for (tag, buf) in &sections {
+            debug_assert!(
+                off.is_multiple_of(8),
+                "section offsets must stay 8-byte aligned"
+            );
+            out.write_all(&tag.to_le_bytes())?;
+            out.write_all(&off.to_le_bytes())?;
+            out.write_all(&(buf.len() as u64).to_le_bytes())?;
+            out.write_all(&(succinct::checksum::crc32c(buf) as u64).to_le_bytes())?;
+            off += buf.len() as u64;
+        }
+        for (_, buf) in &sections {
+            out.write_all(buf)?;
+        }
+        Ok(())
+    })
 }
 
 fn u64_at(bytes: &[u8], at: usize) -> u64 {
     u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap())
 }
 
-/// Parses and validates the header, returning `(offset, byte_len)` per
-/// section indexed `tag - 1` (the TOC must list the nine known tags in
-/// order). Every offset is checked to be 8-byte aligned — the soundness
-/// invariant behind the zero-copy `&[u64]` views — and in bounds.
-fn read_toc(map: &MappedFile) -> io::Result<[(usize, usize); N_SECTIONS]> {
+/// A parsed and structurally validated table of contents.
+struct Toc {
+    /// On-disk format version (1 or 2).
+    version: u64,
+    /// `(offset, byte_len)` per section, indexed `tag - 1`.
+    sections: [(usize, usize); N_SECTIONS],
+    /// Per-section CRC32C from the TOC (`None` for checksum-less v1).
+    crcs: Option<[u32; N_SECTIONS]>,
+}
+
+/// Parses and validates the header (the TOC must list the nine known
+/// tags in order). Every offset is checked to be 8-byte aligned — the
+/// soundness invariant behind the zero-copy `&[u64]` views — and in
+/// bounds. Understands both the current 32-byte-entry v2 layout and the
+/// legacy 24-byte-entry v1 layout.
+fn read_toc(map: &MappedFile) -> io::Result<Toc> {
     let bytes = map.as_bytes();
-    if bytes.len() < HEADER_LEN {
+    if bytes.len() < 24 {
         return Err(err_data("file too short for a mapped index header"));
     }
     if bytes[..8] != MAPPED_MAGIC {
@@ -260,17 +299,25 @@ fn read_toc(map: &MappedFile) -> io::Result<[(usize, usize); N_SECTIONS]> {
         return Err(err_data("bad magic: not a RRPQM01 mapped index"));
     }
     let version = u64_at(bytes, 8);
-    if version != MAPPED_VERSION {
-        return Err(err_data(format!(
-            "unsupported mapped format version {version} (supported: {MAPPED_VERSION})"
-        )));
+    let (entry_len, header_len) = match version {
+        1 => (24usize, HEADER_LEN_V1),
+        2 => (32usize, HEADER_LEN),
+        v => {
+            return Err(err_data(format!(
+                "unsupported mapped format version {v} (supported: 1, {MAPPED_VERSION})"
+            )))
+        }
+    };
+    if bytes.len() < header_len {
+        return Err(err_data("file too short for a mapped index header"));
     }
     if u64_at(bytes, 16) != N_SECTIONS as u64 {
         return Err(err_data("unexpected section count"));
     }
-    let mut toc = [(0usize, 0usize); N_SECTIONS];
-    for (i, entry) in toc.iter_mut().enumerate() {
-        let at = 24 + i * 24;
+    let mut sections = [(0usize, 0usize); N_SECTIONS];
+    let mut crcs = [0u32; N_SECTIONS];
+    for (i, entry) in sections.iter_mut().enumerate() {
+        let at = 24 + i * entry_len;
         let tag = u64_at(bytes, at);
         let off = u64_at(bytes, at + 8);
         let len = u64_at(bytes, at + 16);
@@ -282,14 +329,59 @@ fn read_toc(map: &MappedFile) -> io::Result<[(usize, usize); N_SECTIONS]> {
                 "section {tag} offset {off} is not 8-byte aligned"
             )));
         }
-        if (off as usize) < HEADER_LEN
+        if (off as usize) < header_len
             || off.checked_add(len).is_none_or(|e| e > bytes.len() as u64)
         {
             return Err(err_data(format!("section {tag} extends past end of file")));
         }
         *entry = (off as usize, len as usize);
+        if entry_len == 32 {
+            let crc = u64_at(bytes, at + 24);
+            if crc > u32::MAX as u64 {
+                return Err(err_data(format!("section {tag} checksum out of range")));
+            }
+            crcs[i] = crc as u32;
+        }
     }
-    Ok(toc)
+    Ok(Toc {
+        version,
+        sections,
+        crcs: (version >= 2).then_some(crcs),
+    })
+}
+
+/// Checks every section's bytes against the CRC32C recorded in the TOC.
+/// Returns the typed
+/// [`ChecksumMismatch`](crate::durable::DurabilityError::ChecksumMismatch)
+/// error on the first disagreement.
+fn check_section_crcs(map: &MappedFile, toc: &Toc) -> io::Result<()> {
+    let Some(crcs) = &toc.crcs else {
+        return Ok(());
+    };
+    let bytes = map.as_bytes();
+    for (i, &(off, len)) in toc.sections.iter().enumerate() {
+        let actual = succinct::checksum::crc32c(&bytes[off..off + len]);
+        if actual != crcs[i] {
+            return Err(crate::durable::checksum_error(
+                format!("mapped index section {}", SECTION_NAMES[i]),
+                crcs[i],
+                actual,
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Deep-checks the section checksums of the `RRPQM01` file at `path`
+/// against its TOC (every byte is read). Returns the number of sections
+/// verified: `N_SECTIONS` for a v2 file, `0` for a checksum-less v1
+/// file. Structural and cross-component validation is [`open_index`]'s
+/// job; the `verify` CLI subcommand runs both.
+pub fn verify_index_checksums(path: &Path) -> io::Result<usize> {
+    let map = MappedFile::open_heap(path)?;
+    let toc = read_toc(&map)?;
+    check_section_crcs(&map, &toc)?;
+    Ok(if toc.crcs.is_some() { N_SECTIONS } else { 0 })
 }
 
 /// Opens a `RRPQM01` file, pointing the index structures into the file
@@ -322,6 +414,20 @@ pub fn open_index(path: &Path, mode: OpenMode) -> io::Result<MappedIndex> {
 
 fn open_from_map(map: Arc<MappedFile>) -> io::Result<MappedIndex> {
     let toc = read_toc(&map)?;
+    if toc.crcs.is_none() {
+        eprintln!(
+            "warning: mapped index is format v{} (no section checksums); re-save to upgrade",
+            toc.version
+        );
+    }
+    // Checksum policy: heap opens touch every byte anyway, so verifying
+    // is nearly free; mmap opens stay O(header) to preserve the
+    // zero-copy cold-open contract unless explicitly asked.
+    let verify_env = std::env::var("RPQ_VERIFY_ON_OPEN").is_ok_and(|v| v != "0" && !v.is_empty());
+    if map.mode() == ResidentMode::Heap || verify_env {
+        check_section_crcs(&map, &toc)?;
+    }
+    let toc = toc.sections;
     let reader = |i: usize| MapReader::new(Arc::clone(&map), toc[i].0, toc[i].1);
 
     let mut meta = reader(0)?;

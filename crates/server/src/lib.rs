@@ -54,7 +54,9 @@ pub mod source;
 
 pub use plan_cache::PlanCache;
 pub use result_cache::{ResultCache, ResultKey};
-pub use server::{QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig};
+pub use server::{
+    DrainReport, QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig,
+};
 pub use slowlog::{SlowEntry, SlowLog};
 pub use source::{IndexSource, IndexStats, LiveSource, QuerySource, UpdateStats};
 

@@ -183,6 +183,16 @@ pub struct Metrics {
     /// Snapshot-epoch bumps observed at submit time (each one dropped
     /// the plan and result caches).
     pub epoch_bumps: AtomicU64,
+    /// Graceful drains started ([`RpqServer::drain`](crate::RpqServer::drain)).
+    pub drains: AtomicU64,
+    /// Backlogged queries that finished within a drain deadline.
+    pub drained_jobs: AtomicU64,
+    /// Queries a drain deadline aborted while still queued.
+    pub aborted_jobs: AtomicU64,
+    /// Successful durable checkpoints (snapshot persisted, WAL rotated).
+    pub checkpoints: AtomicU64,
+    /// Checkpoint attempts that failed.
+    pub checkpoint_failures: AtomicU64,
 }
 
 impl Metrics {
@@ -214,6 +224,11 @@ impl Metrics {
             parallel_levels_by_route: Default::default(),
             parallel_chunks_by_route: Default::default(),
             epoch_bumps: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            drained_jobs: AtomicU64::new(0),
+            aborted_jobs: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
         }
     }
 
@@ -401,6 +416,14 @@ pub(crate) fn registry_json(
         .field_u64("delta_adds", u.delta_adds as u64)
         .field_u64("delta_deletes", u.delta_deletes as u64)
         .field_u64("pending_ops", u.pending_ops as u64)
+        .end_object();
+    w.key("durability")
+        .begin_object()
+        .field_u64("drains", g(&m.drains))
+        .field_u64("drained_jobs", g(&m.drained_jobs))
+        .field_u64("aborted_jobs", g(&m.aborted_jobs))
+        .field_u64("checkpoints", g(&m.checkpoints))
+        .field_u64("checkpoint_failures", g(&m.checkpoint_failures))
         .end_object();
     let ix = index.unwrap_or_default();
     w.key("index")
@@ -810,6 +833,33 @@ pub(crate) fn registry_prometheus(
         "gauge",
     );
     prom_sample(&mut out, "rpq_pending_ops", u.pending_ops);
+
+    for (name, help, v) in [
+        ("rpq_drains_total", "Graceful drains started.", g(&m.drains)),
+        (
+            "rpq_drained_jobs_total",
+            "Backlogged queries finished within a drain deadline.",
+            g(&m.drained_jobs),
+        ),
+        (
+            "rpq_aborted_jobs_total",
+            "Queries a drain deadline aborted while queued.",
+            g(&m.aborted_jobs),
+        ),
+        (
+            "rpq_checkpoints_total",
+            "Durable checkpoints (snapshot persisted, WAL rotated).",
+            g(&m.checkpoints),
+        ),
+        (
+            "rpq_checkpoint_failures_total",
+            "Checkpoint attempts that failed.",
+            g(&m.checkpoint_failures),
+        ),
+    ] {
+        prom_header(&mut out, name, help, "counter");
+        prom_sample(&mut out, name, v);
+    }
 
     let ix = index.unwrap_or_default();
     prom_header(

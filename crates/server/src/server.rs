@@ -163,6 +163,22 @@ impl QueryAnswer {
     }
 }
 
+/// What [`RpqServer::drain`] accomplished.
+#[derive(Clone, Debug, Default)]
+pub struct DrainReport {
+    /// Backlogged queries (queued or running at drain start) that
+    /// finished within the deadline.
+    pub drained: usize,
+    /// Queries still queued when the deadline expired, failed with
+    /// [`RpqError::ShuttingDown`].
+    pub aborted: usize,
+    /// The epoch the source checkpointed its durable state at (`None`
+    /// when the source has nothing durable, or the checkpoint failed).
+    pub checkpoint_epoch: Option<u64>,
+    /// Why the checkpoint failed, if it did.
+    pub checkpoint_error: Option<String>,
+}
+
 /// Handle to a submitted query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct QueryTicket {
@@ -220,6 +236,11 @@ struct Shared {
     queue: Mutex<VecDeque<Arc<Job>>>,
     queue_cv: Condvar,
     shutdown: AtomicBool,
+    /// Set by [`RpqServer::drain`]: stop admitting, keep evaluating.
+    draining: AtomicBool,
+    /// Jobs a worker has claimed (status `Running`) but not finished —
+    /// what a drain waits on after the queue empties.
+    in_flight: std::sync::atomic::AtomicUsize,
     jobs: Mutex<FxHashMap<u64, Arc<Job>>>,
     next_id: AtomicU64,
     plan_cache: PlanCache,
@@ -268,6 +289,8 @@ impl RpqServer {
             queue: Mutex::new(VecDeque::new()),
             queue_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            in_flight: std::sync::atomic::AtomicUsize::new(0),
             jobs: Mutex::new(FxHashMap::default()),
             next_id: AtomicU64::new(1),
             plan_cache: PlanCache::new(config.plan_cache_bytes, config.bp_split_width),
@@ -377,7 +400,9 @@ impl RpqServer {
         budget: QueryBudget,
         snapshot: SourceSnapshot,
     ) -> Result<QueryTicket, RpqError> {
-        if self.shared.shutdown.load(Ordering::Acquire) {
+        if self.shared.shutdown.load(Ordering::Acquire)
+            || self.shared.draining.load(Ordering::Acquire)
+        {
             return Err(RpqError::ShuttingDown);
         }
         self.note_epoch(snapshot.epoch);
@@ -402,8 +427,11 @@ impl RpqServer {
             let mut queue = self.shared.queue.lock().unwrap();
             // Re-checked under the queue lock: shutdown() drains the queue
             // after setting the flag, so a push racing past the earlier
-            // check would strand the job as Queued forever.
-            if self.shared.shutdown.load(Ordering::Acquire) {
+            // check would strand the job as Queued forever (and a drain
+            // that observed an empty queue must not admit a straggler).
+            if self.shared.shutdown.load(Ordering::Acquire)
+                || self.shared.draining.load(Ordering::Acquire)
+            {
                 return Err(RpqError::ShuttingDown);
             }
             if queue.len() >= self.shared.config.max_pending {
@@ -631,7 +659,60 @@ impl RpqServer {
         self.shutdown_impl();
     }
 
-    fn shutdown_impl(&self) {
+    /// Gracefully winds the server down: stops admitting new queries
+    /// (submissions fail with [`RpqError::ShuttingDown`] immediately),
+    /// waits up to `deadline` for the queue and every in-flight query to
+    /// finish, then shuts down — aborting whatever the deadline left
+    /// queued — and finally asks the source to
+    /// [checkpoint](QuerySource::checkpoint) its durable state (for a
+    /// WAL'd live source: persist a snapshot and rotate the log).
+    /// Idempotent like [`Self::shutdown`]; the report says how the
+    /// backlog fared.
+    pub fn drain(&self, deadline: Duration) -> DrainReport {
+        self.shared.draining.store(true, Ordering::Release);
+        let start = Instant::now();
+        let backlog =
+            self.shared.queue.lock().unwrap().len() + self.shared.in_flight.load(Ordering::Acquire);
+        while start.elapsed() < deadline {
+            if self.shared.queue.lock().unwrap().is_empty()
+                && self.shared.in_flight.load(Ordering::Acquire) == 0
+            {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let aborted = self.shutdown_impl();
+        let drained = backlog.saturating_sub(aborted);
+        let metrics = &self.shared.metrics;
+        metrics.drains.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .drained_jobs
+            .fetch_add(drained as u64, Ordering::Relaxed);
+        metrics
+            .aborted_jobs
+            .fetch_add(aborted as u64, Ordering::Relaxed);
+        let (checkpoint_epoch, checkpoint_error) = match self.shared.source.checkpoint() {
+            None => (None, None),
+            Some(Ok(epoch)) => {
+                metrics.checkpoints.fetch_add(1, Ordering::Relaxed);
+                (Some(epoch), None)
+            }
+            Some(Err(err)) => {
+                metrics.checkpoint_failures.fetch_add(1, Ordering::Relaxed);
+                (None, Some(err.to_string()))
+            }
+        };
+        DrainReport {
+            drained,
+            aborted,
+            checkpoint_epoch,
+            checkpoint_error,
+        }
+    }
+
+    /// Fails queued jobs, joins workers; returns how many jobs were
+    /// aborted (failed with [`RpqError::ShuttingDown`]).
+    fn shutdown_impl(&self) -> usize {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
         let handles = std::mem::take(&mut *self.handles.lock().unwrap());
@@ -639,15 +720,18 @@ impl RpqServer {
             let _ = h.join();
         }
         let leftovers: Vec<Arc<Job>> = self.shared.queue.lock().unwrap().drain(..).collect();
+        let mut aborted = 0;
         for job in leftovers {
             let mut status = job.status.lock().unwrap();
             if matches!(*status, QueryStatus::Queued) {
                 *status = QueryStatus::Failed(RpqError::ShuttingDown);
                 drop(status);
                 job.done.notify_all();
+                aborted += 1;
             }
         }
         self.shared.metrics.note_queue_depth(0);
+        aborted
     }
 }
 
@@ -703,6 +787,7 @@ fn worker_loop(shared: &Shared) {
                 }
                 *status = QueryStatus::Running;
             }
+            shared.in_flight.fetch_add(1, Ordering::AcqRel);
             // A panicking evaluation must not strand the job as Running
             // (a `wait` would block forever) nor shrink the worker pool:
             // fail the job, rebuild the engine (its mask tables may be
@@ -717,6 +802,7 @@ fn worker_loop(shared: &Shared) {
                 )));
                 engine = RpqEngine::over(&snap);
             }
+            shared.in_flight.fetch_sub(1, Ordering::AcqRel);
         }
     }
 }

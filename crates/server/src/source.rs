@@ -94,6 +94,14 @@ pub trait QuerySource: Send + Sync {
     fn index_info(&self) -> Option<IndexStats> {
         None
     }
+    /// Flushes durable state — for sources with a write-ahead log,
+    /// persist a snapshot and rotate the log, returning the
+    /// checkpointed epoch. `None` means the source has nothing durable
+    /// to flush (the default); [`RpqServer::drain`](crate::RpqServer::drain)
+    /// calls this once in-flight queries have finished.
+    fn checkpoint(&self) -> Option<std::io::Result<u64>> {
+        None
+    }
 }
 
 /// An immutable [`QuerySource`] over explicit parts. Without

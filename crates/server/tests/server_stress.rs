@@ -441,3 +441,65 @@ fn zero_worker_config_is_rejected_and_admission_only_wait_fails_fast() {
     assert!(server.cancel(&ticket));
     server.shutdown();
 }
+
+/// Graceful drain: admissions stop immediately, the backlog finishes,
+/// and the report (plus both metrics exporters) accounts for every job;
+/// when nothing can run, the deadline aborts what was queued.
+#[test]
+fn drain_finishes_backlog_then_deadline_aborts_stragglers() {
+    // A serving configuration: every submitted query completes within
+    // the deadline, nothing is aborted.
+    let graph = workload_graph(11);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let tickets: Vec<_> = (0..8)
+        .map(|_| server.submit("?x", "0", "?y").unwrap())
+        .collect();
+    let report = server.drain(Duration::from_secs(30));
+    assert_eq!(report.aborted, 0, "a live pool must finish its backlog");
+    assert!(
+        report.checkpoint_epoch.is_none() && report.checkpoint_error.is_none(),
+        "an immutable source has nothing durable to checkpoint"
+    );
+    for t in &tickets {
+        assert!(
+            matches!(server.poll(t), Some(QueryStatus::Done(_))),
+            "drained jobs must have completed"
+        );
+    }
+    assert!(
+        matches!(server.submit("?x", "0", "?y"), Err(RpqError::ShuttingDown)),
+        "a drained server rejects new work with the typed error"
+    );
+    assert!(server.metrics_json().contains("\"drains\":1"));
+    assert!(server.prometheus_metrics().contains("rpq_drains_total 1"));
+
+    // Admission-only: nothing ever runs, so the deadline expires and the
+    // queued job is aborted (failed with ShuttingDown), not stranded.
+    let graph = Graph::from_triples(vec![Triple::new(0, 0, 1)]);
+    let ring = Ring::build(&graph, RingOptions::default());
+    let server = RpqServer::start(
+        Arc::new(IndexSource::id_only(ring)),
+        ServerConfig {
+            workers: 0,
+            admission_only: true,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let ticket = server.submit("0", "0", "?y").unwrap();
+    let report = server.drain(Duration::from_millis(50));
+    assert_eq!(report.drained, 0);
+    assert_eq!(report.aborted, 1);
+    assert!(matches!(
+        server.poll(&ticket),
+        Some(QueryStatus::Failed(RpqError::ShuttingDown))
+    ));
+}

@@ -104,7 +104,9 @@ pub fn write_u64s(w: &mut impl Write, xs: &[u64]) -> io::Result<()> {
 /// Reads a length-prefixed `u64` vector.
 pub fn read_u64s(r: &mut impl Read, max_len: u64) -> io::Result<Vec<u64>> {
     let n = read_len(r, max_len)?;
-    let mut v = Vec::with_capacity(n);
+    // Cap the pre-allocation: a corrupt length prefix must fail at EOF
+    // while reading, not abort inside the allocator.
+    let mut v = Vec::with_capacity(n.min(1 << 16));
     for _ in 0..n {
         v.push(read_u64(r)?);
     }
@@ -230,7 +232,7 @@ impl Persist for WaveletMatrix {
             return Err(bad_data("wavelet matrix with empty alphabet"));
         }
         let n = read_len(r, MAX_LEN)?;
-        let mut syms = Vec::with_capacity(n);
+        let mut syms = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             let s = read_u64(r)?;
             if s >= sigma {
@@ -260,7 +262,7 @@ impl Persist for WaveletTree {
             return Err(bad_data("wavelet tree with empty alphabet"));
         }
         let n = read_len(r, MAX_LEN)?;
-        let mut syms = Vec::with_capacity(n);
+        let mut syms = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
             let s = read_u64(r)?;
             if s >= sigma {

@@ -26,6 +26,7 @@
 //! the benchmark harness uses to regenerate the space column of Table 2.
 
 pub mod bitvec;
+pub mod checksum;
 pub mod elias_fano;
 pub mod int_vec;
 pub mod io;
@@ -38,6 +39,7 @@ pub mod wavelet_matrix;
 pub mod wavelet_tree;
 
 pub use bitvec::BitVec;
+pub use checksum::{crc32c, Crc32c};
 pub use elias_fano::EliasFano;
 pub use int_vec::IntVec;
 pub use mmap::{MappedFile, ResidentMode};

@@ -32,6 +32,20 @@ use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
+    // Fault injection for crash-consistency CI: `RPQ_IO_FAULTS` (e.g.
+    // `write:3` or `fsync:0,rename:0`) arms the durable IO layer so a
+    // save dies at the Nth operation exactly like a crash would.
+    match ring_rpq::ring::durable::IoPolicy::from_env() {
+        Ok(Some(policy)) => {
+            ring_rpq::ring::durable::arm(policy);
+            eprintln!("fault injection armed: RPQ_IO_FAULTS={policy:?}");
+        }
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("build") => cmd_build(&args[1..]),
@@ -43,6 +57,7 @@ fn main() -> ExitCode {
         Some("serve") => cmd_serve(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("--help" | "-h" | "help") | None => {
             eprint!("{}", USAGE);
@@ -75,11 +90,15 @@ const USAGE: &str = "usage:
   rpq-cli serve <index.db> [opts]                query service: one 's expr o' per stdin line
   rpq-cli batch <index.db> <queries.txt> [opts]  run a query file through the service
   rpq-cli stats <index.db>                       index statistics
+  rpq-cli verify <index.db>                      deep-check an index: header, checksums,
+                                                 cross-component consistency, WAL tail;
+                                                 prints a one-line JSON report and exits
+                                                 0 (healthy) or 2 (corrupt)
   rpq-cli bench <index.db> <s> <expr> <o> [n]    time a query n times
 build options:
   --mmap           write the aligned RRPQM01 format: the file is usable
                    in place, so later opens map it zero-copy instead of
-                   deserializing (default: the RRPQDB01 stream format)
+                   deserializing (default: the RRPQDB02 stream format)
 query/serve/batch/stats/bench options:
   --mmap | --heap  for RRPQM01 index files, require a kernel mapping /
                    force an aligned heap read (default: map when the
@@ -107,6 +126,9 @@ serve session meta-commands (one per stdin line, answers flush first):
   .metrics         print the metrics registry JSON
   .prometheus      print the registry in Prometheus text format
   .slow            print the slow-query log JSON
+  .drain           graceful stop: reject new queries, finish in-flight
+                   ones, checkpoint durable state, print a JSON report,
+                   and end the session
 ";
 
 /// CLI failures, split by exit code: malformed queries (pattern parse
@@ -163,7 +185,7 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
         if mmap {
             "RRPQM01, mappable"
         } else {
-            "RRPQDB01"
+            "RRPQDB02"
         }
     );
     Ok(())
@@ -214,7 +236,11 @@ fn load_updatable(path: &str) -> Result<UpdatableDatabase, CliError> {
             .map(RpqDatabase::into_updatable)
             .map_err(|e| CliError::Other(format!("loading {path}: {e}")));
     }
-    UpdatableDatabase::load(Path::new(path))
+    // Stream-format indexes open durably: orphaned temp files from an
+    // interrupted save are cleaned up, the `<path>.wal` log is recovered
+    // (replaying commits a crash kept from reaching the snapshot), and
+    // subsequent commits are write-ahead logged.
+    UpdatableDatabase::open_durable(Path::new(path))
         .map_err(|e| CliError::Other(format!("loading {path}: {e}")))
 }
 
@@ -510,6 +536,29 @@ fn run_session(
         // Session meta-commands: snapshot requests interleaved with
         // queries. In-flight answers flush first, so the snapshot covers
         // everything submitted above it.
+        if text == ".drain" {
+            while let Some(entry) = pending.pop_front() {
+                errors += flush_one(server, entry, out, show_profile)?;
+            }
+            let report = server.drain(Duration::from_secs(30));
+            writeln!(
+                out,
+                "{{\"drained\":{},\"aborted\":{},\"checkpoint_epoch\":{},\"checkpoint_error\":{}}}",
+                report.drained,
+                report.aborted,
+                report
+                    .checkpoint_epoch
+                    .map_or_else(|| "null".to_string(), |e| e.to_string()),
+                report
+                    .checkpoint_error
+                    .as_deref()
+                    .map_or_else(|| "null".to_string(), rpq_core::jsonw::quoted),
+            )
+            .map_err(|e| echo(&e))?;
+            // The server rejects everything after a drain; end the
+            // session rather than erroring the rest of the input.
+            break;
+        }
         if matches!(text, ".metrics" | ".prometheus" | ".slow") {
             while let Some(entry) = pending.pop_front() {
                 errors += flush_one(server, entry, out, show_profile)?;
@@ -740,6 +789,135 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
         println!("  {:<24} {c} edges", db.preds().name(p));
     }
     Ok(())
+}
+
+/// `verify`: deep-check an index file without modifying it — header
+/// magic, whole-file or per-section checksums, cross-component
+/// consistency (dictionary/alphabet/universe invariants), and the
+/// write-ahead-log tail when a `<index>.wal` sibling exists. Prints a
+/// one-line JSON report to stdout; exits 0 when healthy, 2 when corrupt.
+fn cmd_verify(args: &[String]) -> Result<(), CliError> {
+    let [index] = args else {
+        return Err(format!("verify needs <index.db>\n{USAGE}").into());
+    };
+    let path = Path::new(index);
+    let fail = |format: &str, stage: &str, err: String| -> Result<(), CliError> {
+        println!(
+            "{{\"path\":{},\"format\":{},\"status\":\"corrupt\",\"stage\":{},\"error\":{}}}",
+            rpq_core::jsonw::quoted(index),
+            rpq_core::jsonw::quoted(format),
+            rpq_core::jsonw::quoted(stage),
+            rpq_core::jsonw::quoted(&err),
+        );
+        Err(CliError::Parse(format!(
+            "{index} failed verification ({stage}): {err}"
+        )))
+    };
+    let mut magic = [0u8; 8];
+    {
+        use std::io::Read;
+        let mut f = std::fs::File::open(path)
+            .map_err(|e| CliError::Other(format!("opening {index}: {e}")))?;
+        if let Err(e) = f.read_exact(&mut magic) {
+            return fail(
+                "unknown",
+                "header",
+                format!("file shorter than a magic: {e}"),
+            );
+        }
+    }
+    let format = match &magic {
+        b"RRPQM01\0" => "RRPQM01",
+        b"RRPQDB02" => "RRPQDB02",
+        b"RRPQDB01" => "RRPQDB01",
+        b"RRPQDU02" => "RRPQDU02",
+        b"RRPQDU01" => "RRPQDU01",
+        _ => return fail("unknown", "header", "unrecognised magic".to_string()),
+    };
+    // Payload integrity + cross-component consistency. Both paths touch
+    // every byte: the mapped verifier heap-opens with section CRCs, the
+    // stream loader hashes the file against its footer while parsing.
+    let (checksummed, sections, epoch) = match format {
+        "RRPQM01" => match ring_rpq::ring::mapped::verify_index_checksums(path) {
+            Ok(n) => (n > 0, n as u64, None),
+            Err(e) => return fail(format, "checksums", e.to_string()),
+        },
+        _ => match UpdatableDatabase::load(path) {
+            Ok(db) => (format.ends_with("02"), 0, Some(db.epoch())),
+            Err(e) => return fail(format, "checksums", e.to_string()),
+        },
+    };
+    // WAL tail: parse-only (no truncation), committed batches counted,
+    // and the base epoch must not be ahead of the snapshot.
+    let wal_path = UpdatableDatabase::wal_path(path);
+    let wal_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+    let wal_json = if wal_path.exists() && wal_len < ring_rpq::ring::wal::WAL_HEADER_LEN {
+        // A log shorter than its fsynced header is a create/rotate torn
+        // mid-write: no committed op can live in it, and a durable open
+        // recreates it — recoverable, not corrupt.
+        format!("{{\"torn_rotation\":true,\"bytes\":{wal_len}}}")
+    } else if wal_path.exists() {
+        let rec = match ring_rpq::ring::wal::Wal::inspect(&wal_path) {
+            Ok(rec) => rec,
+            Err(e) => return fail(format, "wal", e.to_string()),
+        };
+        if let Some(epoch) = epoch {
+            if rec.base_epoch > epoch {
+                return fail(
+                    format,
+                    "wal",
+                    format!(
+                        "WAL base epoch {} is ahead of snapshot epoch {epoch}",
+                        rec.base_epoch
+                    ),
+                );
+            }
+        }
+        format!(
+            "{{\"base_epoch\":{},\"batches\":{},\"ops\":{},\"torn_bytes\":{}}}",
+            rec.base_epoch,
+            rec.batches.len(),
+            rec.op_count(),
+            rec.truncated_bytes
+        )
+    } else {
+        "null".to_string()
+    };
+    // Orphaned temp files from an interrupted save (informational —
+    // opening the index durably would clean them up).
+    let orphans = count_orphan_tmps(path);
+    println!(
+        "{{\"path\":{},\"format\":{},\"status\":\"ok\",\"checksummed\":{checksummed},\
+         \"checksum_sections\":{sections},\"epoch\":{},\"wal\":{wal_json},\"orphan_tmp\":{orphans}}}",
+        rpq_core::jsonw::quoted(index),
+        rpq_core::jsonw::quoted(format),
+        epoch.map_or_else(|| "null".to_string(), |e| e.to_string()),
+    );
+    Ok(())
+}
+
+/// Counts `<file_name>.*.tmp` siblings — the debris an interrupted
+/// atomic save leaves behind — without removing them.
+fn count_orphan_tmps(path: &Path) -> usize {
+    let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+        return 0;
+    };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let prefix = format!("{name}.");
+    entries
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            e.file_name()
+                .to_str()
+                .is_some_and(|n| n.starts_with(&prefix) && n.ends_with(".tmp"))
+        })
+        .count()
 }
 
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {

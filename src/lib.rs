@@ -351,16 +351,21 @@ impl RpqDatabase {
     }
 
     /// Persists the database (graph, dictionaries and the prebuilt ring)
-    /// to a file; [`Self::load`] restores it without re-indexing.
+    /// to a file; [`Self::load`] restores it without re-indexing. The
+    /// write is atomic (temp file + fsync + rename) and the `RRPQDB02`
+    /// format carries a whole-file CRC32C footer verified on load.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
         use succinct::io::Persist;
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        std::io::Write::write_all(&mut f, b"RRPQDB01")?;
-        self.graph().write_to(&mut f)?;
-        self.nodes.write_to(&mut f)?;
-        self.preds.write_to(&mut f)?;
-        self.ring.write_to(&mut f)?;
-        std::io::Write::flush(&mut f)
+        ring::durable::atomic_write(path, |w| {
+            let mut cw = succinct::checksum::CrcWriter::new(w);
+            std::io::Write::write_all(&mut cw, b"RRPQDB02")?;
+            self.graph().write_to(&mut cw)?;
+            self.nodes.write_to(&mut cw)?;
+            self.preds.write_to(&mut cw)?;
+            self.ring.write_to(&mut cw)?;
+            ring::durable::finish_footer(&mut cw)
+        })
+        .map(|_| ())
     }
 
     /// Persists the database to the aligned, mappable `RRPQM01` format
@@ -387,6 +392,13 @@ impl RpqDatabase {
     /// testing path). Stream-format files always load to the heap.
     pub fn open_with(path: &std::path::Path, mode: OpenMode) -> std::io::Result<Self> {
         let t0 = std::time::Instant::now();
+        let orphans = ring::durable::cleanup_orphans(path);
+        if orphans > 0 {
+            eprintln!(
+                "recovery: removed {orphans} orphaned temp file(s) from an interrupted save of {}",
+                path.display()
+            );
+        }
         if ring::mapped::is_mapped_file(path) {
             let idx = ring::mapped::open_index(path, mode)?;
             Ok(Self {
@@ -433,19 +445,34 @@ impl RpqDatabase {
         rpq_server::RpqServer::start(std::sync::Arc::new(self), config)
     }
 
-    /// Loads a database persisted with [`Self::save`].
+    /// Loads a database persisted with [`Self::save`]. `RRPQDB02` files
+    /// are verified against their checksum footer; legacy `RRPQDB01`
+    /// files still load, with a warning that they carry no integrity
+    /// protection.
     pub fn load(path: &std::path::Path) -> std::io::Result<Self> {
         use succinct::io::{bad_data, Persist};
-        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let file = ring::durable::FaultReader::new(std::fs::File::open(path)?);
+        let mut f = succinct::checksum::CrcReader::new(std::io::BufReader::new(file));
         let mut magic = [0u8; 8];
         std::io::Read::read_exact(&mut f, &mut magic)?;
-        if &magic != b"RRPQDB01" {
-            return Err(bad_data("not a ring-rpq database file"));
-        }
+        let checksummed = match &magic {
+            b"RRPQDB02" => true,
+            b"RRPQDB01" => {
+                eprintln!(
+                    "warning: {} is format RRPQDB01 (no checksum footer); re-save to upgrade",
+                    path.display()
+                );
+                false
+            }
+            _ => return Err(bad_data("not a ring-rpq database file")),
+        };
         let graph = Graph::read_from(&mut f)?;
         let nodes = Dict::read_from(&mut f)?;
         let preds = Dict::read_from(&mut f)?;
         let ring = Ring::read_from(&mut f)?;
+        if checksummed {
+            ring::durable::verify_footer(&mut f, &path.display().to_string())?;
+        }
         if nodes.len() as Id != graph.n_nodes() || preds.len() as Id != graph.n_preds() {
             return Err(bad_data("dictionary sizes do not match the graph"));
         }

@@ -12,25 +12,43 @@
 //! auto-trigger, or a commit that introduces new predicate labels)
 //! rebuilds the ring from ring ⊎ delta and swaps it in.
 
-use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ring::delta::DeltaIndex;
 use ring::store::{StoreSnapshot, StoreStats, TripleStore};
+use ring::wal::{Wal, WalOp};
 use ring::{Dict, Graph, Id, Ring, Triple};
 use rpq_core::{EngineOptions, QueryOutput, RpqEngine, RpqQuery, SourceSnapshot, Term};
+use succinct::checksum::{CrcReader, CrcWriter};
 use succinct::io::Persist;
 
 use crate::{DbError, RpqDatabase};
 
-/// File magic of the updatable on-disk format ([`UpdatableDatabase::save`]).
-const MAGIC_UPDATABLE: &[u8; 8] = b"RRPQDU01";
-/// File magic of the immutable format ([`RpqDatabase::save`]).
-const MAGIC_IMMUTABLE: &[u8; 8] = b"RRPQDB01";
+/// File magic of the updatable on-disk format ([`UpdatableDatabase::save`]),
+/// current (checksum-footed) revision.
+const MAGIC_UPDATABLE: &[u8; 8] = b"RRPQDU02";
+/// File magic of the immutable format ([`RpqDatabase::save`]), current
+/// (checksum-footed) revision.
+const MAGIC_IMMUTABLE: &[u8; 8] = b"RRPQDB02";
+/// Pre-checksum revision of the updatable format (read-compat only).
+const MAGIC_UPDATABLE_V1: &[u8; 8] = b"RRPQDU01";
+/// Pre-checksum revision of the immutable format (read-compat only).
+const MAGIC_IMMUTABLE_V1: &[u8; 8] = b"RRPQDB01";
 
 struct Dicts {
     nodes: Dict,
     preds: Dict,
+}
+
+/// The durability side-car of a database opened with
+/// [`UpdatableDatabase::open_durable`]: the open write-ahead log, the
+/// name-level mirror of buffered (uncommitted) ops, and the snapshot
+/// path checkpoints rewrite.
+struct WalState {
+    wal: Wal,
+    pending: Vec<WalOp>,
+    path: PathBuf,
 }
 
 /// A live-updatable RPQ database: the ring plus a delta overlay behind
@@ -52,6 +70,11 @@ struct Dicts {
 pub struct UpdatableDatabase {
     store: TripleStore,
     dicts: RwLock<Dicts>,
+    /// `Some` when opened via [`Self::open_durable`]. The mutex also
+    /// serialises mutations against commits and checkpoints, so every
+    /// committed op is WAL'd first. Lock order: `durable` before
+    /// `dicts` — never the other way around.
+    durable: Mutex<Option<WalState>>,
 }
 
 impl UpdatableDatabase {
@@ -63,6 +86,7 @@ impl UpdatableDatabase {
         Self {
             store: TripleStore::from_built(graph, ring, DeltaIndex::empty(0), 0),
             dicts: RwLock::new(Dicts { nodes, preds }),
+            durable: Mutex::new(None),
         }
     }
 
@@ -101,6 +125,7 @@ impl UpdatableDatabase {
     /// makes that commit rebuild the ring (the succinct alphabet is
     /// fixed per build).
     pub fn insert(&self, subject: &str, predicate: &str, object: &str) {
+        let mut durable = self.durable.lock().unwrap();
         let mut dicts = self.dicts.write().unwrap();
         let t = Triple::new(
             dicts.nodes.intern(subject),
@@ -108,12 +133,20 @@ impl UpdatableDatabase {
             dicts.nodes.intern(object),
         );
         self.store.insert(t);
+        if let Some(state) = durable.as_mut() {
+            state.pending.push(WalOp::Insert {
+                s: subject.to_string(),
+                p: predicate.to_string(),
+                o: object.to_string(),
+            });
+        }
     }
 
     /// Buffers the deletion of `(subject, predicate, object)`. Returns
     /// `false` (and buffers nothing) when a name is unknown — such a
     /// triple cannot be live.
     pub fn delete(&self, subject: &str, predicate: &str, object: &str) -> bool {
+        let mut durable = self.durable.lock().unwrap();
         let dicts = self.dicts.read().unwrap();
         let (Some(s), Some(p), Some(o)) = (
             dicts.nodes.get(subject),
@@ -123,6 +156,13 @@ impl UpdatableDatabase {
             return false;
         };
         self.store.delete(Triple::new(s, p, o));
+        if let Some(state) = durable.as_mut() {
+            state.pending.push(WalOp::Delete {
+                s: subject.to_string(),
+                p: predicate.to_string(),
+                o: object.to_string(),
+            });
+        }
         true
     }
 
@@ -179,8 +219,43 @@ impl UpdatableDatabase {
     /// Atomically commits the buffered operations under a new epoch (see
     /// [`TripleStore::commit`] for the rebuild and auto-compaction
     /// rules). Returns the resulting epoch.
+    ///
+    /// On a database opened with [`Self::open_durable`] this is the
+    /// infallible convenience form of [`Self::commit_durable`]: if the
+    /// write-ahead log cannot be fsynced the commit is **not published**
+    /// (acknowledging an update the log does not hold would defeat the
+    /// WAL) — a warning is printed and the epoch stays put, with the
+    /// buffered ops retained for a retry.
     pub fn commit(&self) -> u64 {
-        self.store.commit()
+        match self.commit_durable() {
+            Ok(epoch) => epoch,
+            Err(err) => {
+                eprintln!("warning: commit not published, WAL append failed: {err}");
+                self.store.epoch()
+            }
+        }
+    }
+
+    /// [`Self::commit`] with the durability error surfaced: appends the
+    /// buffered ops plus a commit marker to the write-ahead log and
+    /// fsyncs **before** publishing the new epoch, so an acknowledged
+    /// commit survives a crash. On a non-durable database this is
+    /// exactly [`TripleStore::commit`] and cannot fail.
+    pub fn commit_durable(&self) -> std::io::Result<u64> {
+        let mut durable = self.durable.lock().unwrap();
+        let Some(state) = durable.as_mut() else {
+            return Ok(self.store.commit());
+        };
+        if state.pending.is_empty() {
+            return Ok(self.store.commit());
+        }
+        let next = self.store.epoch() + 1;
+        let ops = std::mem::take(&mut state.pending);
+        if let Err(err) = state.wal.append_batch(&ops, next) {
+            state.pending = ops; // keep the mirror for a retry
+            return Err(err);
+        }
+        Ok(self.store.commit())
     }
 
     /// Rebuilds the ring from ring ⊎ delta and swaps it in. Returns the
@@ -337,7 +412,17 @@ impl UpdatableDatabase {
     /// id universes exactly, the file uses the immutable format,
     /// loadable by [`RpqDatabase::load`] too; otherwise the updatable
     /// format carries the larger (append-only) dictionaries safely.
+    /// (Writes are atomic: a temp file in the same directory is fsynced
+    /// and renamed over `path`, so a crashed save leaves the previous
+    /// file intact. The payload carries a CRC32C footer that loads
+    /// verify. On a [`Self::open_durable`] database, saving to the
+    /// opened path is a **checkpoint**: the write-ahead log is rotated
+    /// back to empty once the snapshot covers it.)
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        // Hold the durability lock across snapshot → write → rotate so
+        // no commit can slip between the persisted snapshot and the
+        // log truncation (its ops would vanish from both).
+        let mut durable = self.durable.lock().unwrap();
         let snap = self.store.snapshot();
         let dicts = self.dicts.read().unwrap();
         // Append-only interning can leave the dicts larger than the
@@ -346,21 +431,59 @@ impl UpdatableDatabase {
         let immutable = snap.delta.is_empty()
             && dicts.nodes.len() as Id == snap.graph.n_nodes()
             && dicts.preds.len() as Id == snap.graph.n_preds();
-        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-        if immutable {
-            std::io::Write::write_all(&mut f, MAGIC_IMMUTABLE)?;
-        } else {
-            std::io::Write::write_all(&mut f, MAGIC_UPDATABLE)?;
+        ring::durable::atomic_write(path, |out| {
+            use std::io::Write;
+            let mut f = CrcWriter::new(out);
+            f.write_all(if immutable {
+                MAGIC_IMMUTABLE
+            } else {
+                MAGIC_UPDATABLE
+            })?;
+            snap.graph.write_to(&mut f)?;
+            dicts.nodes.write_to(&mut f)?;
+            dicts.preds.write_to(&mut f)?;
+            snap.ring.write_to(&mut f)?;
+            if !immutable {
+                snap.delta.write_to(&mut f)?;
+                succinct::io::write_u64(&mut f, snap.epoch)?;
+            }
+            ring::durable::finish_footer(&mut f)
+        })?;
+        if let Some(state) = durable.as_mut() {
+            if state.path == path {
+                // The immutable format carries no epoch field and
+                // reloads at 0, so the rotated log must base itself on
+                // the epoch the file actually persists — a log ahead of
+                // its snapshot is rejected on open as another index's.
+                state.wal.rotate(if immutable { 0 } else { snap.epoch })?;
+            }
         }
-        snap.graph.write_to(&mut f)?;
-        dicts.nodes.write_to(&mut f)?;
-        dicts.preds.write_to(&mut f)?;
-        snap.ring.write_to(&mut f)?;
-        if !immutable {
-            snap.delta.write_to(&mut f)?;
-            succinct::io::write_u64(&mut f, snap.epoch)?;
-        }
-        std::io::Write::flush(&mut f)
+        Ok(())
+    }
+
+    /// For a durable database ([`Self::open_durable`]): re-saves the
+    /// snapshot to the opened path and rotates the write-ahead log,
+    /// bounding future replay work. Returns the checkpointed epoch.
+    /// Errors with [`std::io::ErrorKind::Unsupported`] when the database
+    /// was not opened durably.
+    pub fn checkpoint(&self) -> std::io::Result<u64> {
+        let path = match self.durable.lock().unwrap().as_ref() {
+            Some(state) => state.path.clone(),
+            None => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "checkpoint on a database without a write-ahead log",
+                ))
+            }
+        };
+        self.save(&path)?;
+        Ok(self.store.epoch())
+    }
+
+    /// Whether this database was opened with [`Self::open_durable`] and
+    /// is write-ahead logging its commits.
+    pub fn is_durable(&self) -> bool {
+        self.durable.lock().unwrap().is_some()
     }
 
     /// Loads a database persisted by [`Self::save`] **or**
@@ -368,18 +491,41 @@ impl UpdatableDatabase {
     /// overlay at epoch 0).
     pub fn load(path: &Path) -> std::io::Result<Self> {
         use succinct::io::bad_data;
-        let mut f = std::io::BufReader::new(std::fs::File::open(path)?);
+        let file = std::fs::File::open(path)?;
+        let mut f = CrcReader::new(std::io::BufReader::new(ring::durable::FaultReader::new(
+            file,
+        )));
         let mut magic = [0u8; 8];
         std::io::Read::read_exact(&mut f, &mut magic)?;
-        let updatable = match &magic {
-            m if m == MAGIC_UPDATABLE => true,
-            m if m == MAGIC_IMMUTABLE => false,
+        let (updatable, checksummed) = match &magic {
+            m if m == MAGIC_UPDATABLE => (true, true),
+            m if m == MAGIC_IMMUTABLE => (false, true),
+            m if m == MAGIC_UPDATABLE_V1 => (true, false),
+            m if m == MAGIC_IMMUTABLE_V1 => (false, false),
             _ => return Err(bad_data("not a ring-rpq database file")),
         };
+        if !checksummed {
+            eprintln!(
+                "warning: {} predates checksums (no integrity footer); re-save to upgrade",
+                path.display()
+            );
+        }
         let graph = Graph::read_from(&mut f)?;
         let nodes = Dict::read_from(&mut f)?;
         let preds = Dict::read_from(&mut f)?;
         let ring = Ring::read_from(&mut f)?;
+        let (delta, epoch) = if updatable {
+            let delta = DeltaIndex::read_from(&mut f)?;
+            let epoch = succinct::io::read_u64(&mut f)?;
+            (delta, epoch)
+        } else {
+            (DeltaIndex::empty(graph.n_preds()), 0)
+        };
+        // Verify integrity before any structural check: a corrupt file
+        // should say "checksum mismatch", not a misleading shape error.
+        if checksummed {
+            ring::durable::verify_footer(&mut f, &path.display().to_string())?;
+        }
         if (preds.len() as Id) < graph.n_preds() {
             return Err(bad_data(
                 "predicate dictionary smaller than the graph alphabet",
@@ -388,23 +534,111 @@ impl UpdatableDatabase {
         if ring.n_preds_base() != graph.n_preds() {
             return Err(bad_data("ring alphabet does not match the graph"));
         }
-        let (delta, epoch) = if updatable {
-            let delta = DeltaIndex::read_from(&mut f)?;
-            if delta.n_preds_base() != graph.n_preds() {
-                return Err(bad_data("delta alphabet does not match the graph"));
-            }
-            let epoch = succinct::io::read_u64(&mut f)?;
-            (delta, epoch)
-        } else {
-            (DeltaIndex::empty(graph.n_preds()), 0)
-        };
+        if updatable && delta.n_preds_base() != graph.n_preds() {
+            return Err(bad_data("delta alphabet does not match the graph"));
+        }
         if (nodes.len() as Id) < graph.n_nodes().max(delta.n_nodes()) {
             return Err(bad_data("dictionary smaller than the node universe"));
         }
         Ok(Self {
             store: TripleStore::from_built(graph, ring, delta, epoch),
             dicts: RwLock::new(Dicts { nodes, preds }),
+            durable: Mutex::new(None),
         })
+    }
+
+    /// The write-ahead-log sibling of a snapshot file: `<path>.wal`.
+    pub fn wal_path(path: &Path) -> PathBuf {
+        let mut os = path.as_os_str().to_os_string();
+        os.push(".wal");
+        PathBuf::from(os)
+    }
+
+    /// Opens a saved database **durably**: recovers the `<path>.wal`
+    /// write-ahead log (creating a fresh one when absent), replays every
+    /// committed batch the snapshot may be missing, and from then on
+    /// write-ahead logs each [`Self::commit`] so acknowledged updates
+    /// survive a crash. [`Self::save`] to the same path (or
+    /// [`Self::checkpoint`]) rotates the log. Orphaned temp files from
+    /// an interrupted earlier save are cleaned up first.
+    ///
+    /// Replay is idempotent (the last op on a triple wins), so batches
+    /// the snapshot already folded in are harmless; a log whose base
+    /// epoch is *ahead* of the snapshot is rejected — it belongs to a
+    /// newer snapshot that was lost or rolled back.
+    pub fn open_durable(path: &Path) -> std::io::Result<Self> {
+        let orphans = ring::durable::cleanup_orphans(path);
+        if orphans > 0 {
+            eprintln!(
+                "recovery: removed {orphans} orphaned temp file(s) from an interrupted save of {}",
+                path.display()
+            );
+        }
+        let db = Self::load(path)?;
+        let wal_path = Self::wal_path(path);
+        let wal_len = std::fs::metadata(&wal_path).map(|m| m.len()).unwrap_or(0);
+        let wal = if wal_path.exists() && wal_len < ring::wal::WAL_HEADER_LEN {
+            // Shorter than the header: only a create/rotate torn
+            // mid-write can produce this — the header is fsynced before
+            // any append is acknowledged, so no committed op is lost.
+            eprintln!(
+                "recovery: {} torn during log rotation ({wal_len} byte(s)); starting a fresh log",
+                wal_path.display()
+            );
+            Wal::create(&wal_path, db.epoch())?
+        } else if wal_path.exists() {
+            let (wal, recovery) = Wal::recover(&wal_path)?;
+            if recovery.base_epoch > db.epoch() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL {} is based on epoch {} but the snapshot is at epoch {}; \
+                         the snapshot it belongs to was lost",
+                        wal_path.display(),
+                        recovery.base_epoch,
+                        db.epoch()
+                    ),
+                ));
+            }
+            if recovery.truncated_bytes > 0 {
+                eprintln!(
+                    "recovery: truncated {} byte(s) of torn tail from {}",
+                    recovery.truncated_bytes,
+                    wal_path.display()
+                );
+            }
+            if recovery.op_count() > 0 {
+                // Replay through the normal name-level path (the WAL is
+                // not attached yet, so nothing is re-logged); dictionary
+                // interning is deterministic, reproducing the ids.
+                for batch in &recovery.batches {
+                    for op in &batch.ops {
+                        match op {
+                            WalOp::Insert { s, p, o } => db.insert(s, p, o),
+                            WalOp::Delete { s, p, o } => {
+                                db.delete(s, p, o);
+                            }
+                        }
+                    }
+                    db.store.commit();
+                }
+                eprintln!(
+                    "recovery: replayed {} op(s) in {} committed batch(es) from {}",
+                    recovery.op_count(),
+                    recovery.batches.len(),
+                    wal_path.display()
+                );
+            }
+            wal
+        } else {
+            Wal::create(&wal_path, db.epoch())?
+        };
+        *db.durable.lock().unwrap() = Some(WalState {
+            wal,
+            pending: Vec::new(),
+            path: path.to_path_buf(),
+        });
+        Ok(db)
     }
 
     /// Starts a concurrent query server over this live database (see
@@ -443,6 +677,10 @@ impl rpq_server::QuerySource for UpdatableDatabase {
 
     fn update_stats(&self) -> Option<rpq_server::UpdateStats> {
         Some(self.store.stats().into())
+    }
+
+    fn checkpoint(&self) -> Option<std::io::Result<u64>> {
+        self.is_durable().then(|| self.checkpoint())
     }
 }
 
