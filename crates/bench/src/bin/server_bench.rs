@@ -1,14 +1,20 @@
 //! E7: server throughput and latency under the Table 1 workload at
-//! 1 / 4 / 16 workers, written to `BENCH_server.json`.
+//! 1 / 4 / 16 workers and 1 / 4 shards, written to `BENCH_server.json`.
 //!
 //! Measures the `rpq-server` worker pool end to end (admission →
 //! plan cache → engine), with the *result cache disabled* so the
 //! numbers reflect engine scaling, not repeat-hit shortcuts (the plan
 //! cache stays on: sharing compiled automata across workers is part of
-//! the design under test). The workload, graph and limits follow the
-//! shared `BenchConfig` (`RPQ_BENCH_*` env overrides); the output path
-//! honours `RPQ_BENCH_OUT` (default `BENCH_server.json`).
+//! the design under test). The shards axis serves the same graph
+//! through a predicate-partitioned `ShardedIndex` scatter-gathered per
+//! query — answers are bit-identical to the unsharded rows, so the
+//! delta is pure gather overhead. The workload, graph and limits follow
+//! the shared `BenchConfig` (`RPQ_BENCH_*` env overrides); the shard
+//! counts honour `RPQ_BENCH_SHARDS` (comma-separated, default `1,4`)
+//! and the output path `RPQ_BENCH_OUT` (default `BENCH_server.json`).
 
+use ring::ring::RingOptions;
+use ring::sharded::ShardedIndex;
 use rpq_bench::{build_ring, BenchConfig};
 use rpq_core::RpqQuery;
 use rpq_server::{IndexSource, QueryBudget, QuerySource, RpqServer, ServerConfig};
@@ -17,6 +23,7 @@ use std::time::Instant;
 
 struct Run {
     workers: usize,
+    shards: usize,
     wall_s: f64,
     qps: f64,
     completed: usize,
@@ -27,6 +34,22 @@ struct Run {
     p99_us: u64,
 }
 
+fn shard_counts() -> Vec<usize> {
+    let spec = std::env::var("RPQ_BENCH_SHARDS").unwrap_or_else(|_| "1,4".into());
+    let counts: Vec<usize> = spec
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n >= 1)
+                .unwrap_or_else(|| panic!("RPQ_BENCH_SHARDS: bad shard count '{s}'"))
+        })
+        .collect();
+    assert!(!counts.is_empty(), "RPQ_BENCH_SHARDS is empty");
+    counts
+}
+
 fn main() {
     let cfg = BenchConfig::from_env();
     let graph = cfg.graph();
@@ -35,13 +58,11 @@ fn main() {
         graph.len(),
         graph.n_nodes()
     );
-    let ring = build_ring(&graph);
     let queries: Vec<RpqQuery> = cfg.log(&graph).into_iter().map(|gq| gq.query).collect();
     eprintln!(
         "server bench: {} queries from the Table 1 mix",
         queries.len()
     );
-    let source: Arc<dyn QuerySource> = Arc::new(IndexSource::id_only(ring));
     let budget = QueryBudget {
         max_results: cfg.limit,
         timeout: Some(cfg.timeout),
@@ -50,59 +71,78 @@ fn main() {
 
     let worker_counts = [1usize, 4, 16];
     let mut runs: Vec<Run> = Vec::new();
-    for &workers in &worker_counts {
-        let server = RpqServer::start(
-            Arc::clone(&source),
-            ServerConfig {
-                workers,
-                max_pending: queries.len() + 1,
-                result_cache_bytes: 0,
-                ..ServerConfig::default()
-            },
-        )
-        .expect("valid bench server config");
-        let t0 = Instant::now();
-        let tickets: Vec<_> = queries
-            .iter()
-            .map(|q| {
-                server
-                    .submit_parsed(q.clone(), budget)
-                    .expect("queue sized for the whole log")
-            })
-            .collect();
-        let (mut completed, mut failed, mut timed_out, mut pairs) =
-            (0usize, 0usize, 0usize, 0usize);
-        for ticket in &tickets {
-            match server.wait(ticket) {
-                Ok(answer) => {
-                    completed += 1;
-                    timed_out += answer.timed_out as usize;
-                    pairs += answer.pairs.len();
-                }
-                Err(_) => failed += 1,
-            }
-        }
-        let wall_s = t0.elapsed().as_secs_f64();
-        let m = server.metrics();
-        let run = Run {
-            workers,
-            wall_s,
-            qps: queries.len() as f64 / wall_s.max(1e-9),
-            completed,
-            failed,
-            timed_out,
-            pairs,
-            p50_us: m.latency_all.quantile_us(0.50),
-            p99_us: m.latency_all.quantile_us(0.99),
+    for n_shards in shard_counts() {
+        let source: Arc<dyn QuerySource> = if n_shards == 1 {
+            Arc::new(IndexSource::id_only(build_ring(&graph)))
+        } else {
+            eprintln!("server bench: partitioning into {n_shards} shards ...");
+            let idx = ShardedIndex::build(&graph, n_shards, RingOptions::default());
+            Arc::new(IndexSource::sharded_id_only(idx.into_shards()))
         };
-        eprintln!(
-            "  {:>2} workers: {:.3}s wall, {:.0} q/s, p50 {} us, p99 {} us ({} timed out, {} failed)",
-            run.workers, run.wall_s, run.qps, run.p50_us, run.p99_us, run.timed_out, run.failed
-        );
-        runs.push(run);
-        server.shutdown();
+        for &workers in &worker_counts {
+            let server = RpqServer::start(
+                Arc::clone(&source),
+                ServerConfig {
+                    workers,
+                    max_pending: queries.len() + 1,
+                    result_cache_bytes: 0,
+                    ..ServerConfig::default()
+                },
+            )
+            .expect("valid bench server config");
+            let t0 = Instant::now();
+            let tickets: Vec<_> = queries
+                .iter()
+                .map(|q| {
+                    server
+                        .submit_parsed(q.clone(), budget)
+                        .expect("queue sized for the whole log")
+                })
+                .collect();
+            let (mut completed, mut failed, mut timed_out, mut pairs) =
+                (0usize, 0usize, 0usize, 0usize);
+            for ticket in &tickets {
+                match server.wait(ticket) {
+                    Ok(answer) => {
+                        completed += 1;
+                        timed_out += answer.timed_out as usize;
+                        pairs += answer.pairs.len();
+                    }
+                    Err(_) => failed += 1,
+                }
+            }
+            let wall_s = t0.elapsed().as_secs_f64();
+            let m = server.metrics();
+            let run = Run {
+                workers,
+                shards: n_shards,
+                wall_s,
+                qps: queries.len() as f64 / wall_s.max(1e-9),
+                completed,
+                failed,
+                timed_out,
+                pairs,
+                p50_us: m.latency_all.quantile_us(0.50),
+                p99_us: m.latency_all.quantile_us(0.99),
+            };
+            eprintln!(
+                "  {:>2} workers / {:>2} shards: {:.3}s wall, {:.0} q/s, p50 {} us, p99 {} us \
+                 ({} timed out, {} failed)",
+                run.workers,
+                run.shards,
+                run.wall_s,
+                run.qps,
+                run.p50_us,
+                run.p99_us,
+                run.timed_out,
+                run.failed
+            );
+            runs.push(run);
+            server.shutdown();
+        }
     }
 
+    // Baseline for speedups: 1 worker on the unsharded (or first) config.
     let base_qps = runs[0].qps;
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -124,10 +164,11 @@ fn main() {
     json.push_str("  \"runs\": [\n");
     for (i, r) in runs.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"workers\": {}, \"wall_s\": {:.6}, \"qps\": {:.2}, \"speedup_vs_1\": {:.3}, \
-             \"completed\": {}, \"failed\": {}, \"timed_out\": {}, \"pairs\": {}, \
-             \"p50_us\": {}, \"p99_us\": {}}}{}\n",
+            "    {{\"workers\": {}, \"shards\": {}, \"wall_s\": {:.6}, \"qps\": {:.2}, \
+             \"speedup_vs_1\": {:.3}, \"completed\": {}, \"failed\": {}, \"timed_out\": {}, \
+             \"pairs\": {}, \"p50_us\": {}, \"p99_us\": {}}}{}\n",
             r.workers,
+            r.shards,
             r.wall_s,
             r.qps,
             r.qps / base_qps.max(1e-9),

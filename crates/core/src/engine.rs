@@ -16,7 +16,7 @@ use crate::plan::{EvalRoute, PreparedQuery};
 use crate::planner::{self, Direction};
 use crate::profile::{LevelProf, QueryProfile};
 use crate::query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
-use crate::source::{MergedView, TripleSource};
+use crate::source::{MergedView, ShardPart, TripleSource};
 use crate::stats::RingStatistics;
 use crate::{fastpath, merged, QueryError};
 
@@ -56,6 +56,11 @@ pub struct RpqEngine<'r> {
     /// and non-empty. Routes evaluation through the merged (ring ⊎
     /// delta) expansion; `None` keeps the pure succinct hot path.
     delta: Option<&'r DeltaIndex>,
+    /// The shard partition of a sharded source (empty = unsharded;
+    /// `shards[0].ring` is `ring`). Like a delta, a non-empty partition
+    /// routes every evaluation through the merged expansion — the
+    /// extra shards are gathered after each base-ring step.
+    shards: &'r [ShardPart],
     /// `B[v]` masks over the wavelet nodes of `L_p`, heap-ordered.
     lp_masks: EpochArray,
     /// `D[v]`/`D[s]` masks over the wavelet nodes of `L_s`; the leaf level
@@ -135,10 +140,13 @@ impl<'r> RpqEngine<'r> {
     }
 
     /// Creates an engine over any [`TripleSource`] — an immutable ring,
-    /// or a store snapshot whose delta overlay the engine merges into
-    /// every expansion step.
+    /// a store snapshot whose delta overlay the engine merges into every
+    /// expansion step, or a sharded source whose parts it
+    /// scatter-gathers.
     pub fn over<S: TripleSource + ?Sized>(source: &'r S) -> Self {
-        Self::with_delta(source.ring(), source.delta())
+        let mut engine = Self::with_delta(source.ring(), source.delta());
+        engine.shards = source.shard_parts();
+        engine
     }
 
     /// Creates an engine over a ring plus an optional delta overlay (an
@@ -176,6 +184,7 @@ impl<'r> RpqEngine<'r> {
             prof_levels: None,
             ring,
             delta: delta.filter(|d| !d.is_empty()),
+            shards: &[],
         }
     }
 
@@ -185,21 +194,26 @@ impl<'r> RpqEngine<'r> {
         self.ring
     }
 
-    /// The delta overlay this engine merges into expansions, if any.
-    pub(crate) fn delta(&self) -> Option<&'r DeltaIndex> {
-        self.delta
+    /// Whether evaluation must go through the merged expansion (a delta
+    /// overlay or a multi-shard partition is layered over the base
+    /// ring); `false` keeps the pure succinct hot path.
+    pub(crate) fn layered(&self) -> bool {
+        self.delta.is_some() || !self.shards.is_empty()
     }
 
     /// The merged step-level view of this engine's source.
     pub(crate) fn view(&self) -> MergedView<'r> {
-        MergedView::from_parts(self.ring, self.delta)
+        MergedView::with_shards(self.ring, self.delta, self.shards)
     }
 
-    /// The evaluation node universe (ring nodes plus delta nodes).
+    /// The evaluation node universe (ring nodes plus delta nodes; shard
+    /// universes are global by construction, but max defensively).
     fn n_nodes_universe(&self) -> Id {
+        let shard_max = self.shards.iter().map(|p| p.ring.n_nodes()).max();
         self.ring
             .n_nodes()
             .max(self.delta.map_or(0, |d| d.n_nodes()))
+            .max(shard_max.unwrap_or(0))
     }
 
     /// Bytes of per-query working memory (the `D` and `B` tables of
@@ -265,7 +279,7 @@ impl<'r> RpqEngine<'r> {
         // either way.
         let prof_t0 = opts.profile.then(Instant::now);
         let plan = planner::plan(
-            &RingStatistics::with_delta(self.ring, self.delta),
+            &RingStatistics::with_parts(self.ring, self.delta, self.shards),
             prepared,
             subject,
             object,
@@ -278,7 +292,7 @@ impl<'r> RpqEngine<'r> {
 
         let mut out = match plan.route {
             EvalRoute::FastPath => {
-                if self.delta.is_some() {
+                if self.layered() {
                     fastpath::evaluate_merged(
                         &self.view(),
                         prepared.shape(),
@@ -310,7 +324,7 @@ impl<'r> RpqEngine<'r> {
                 let split = plan.split.clone().expect("a split plan carries its split");
                 crate::split::evaluate_split_in(self, &split, opts, deadline)?
             }
-            EvalRoute::BitParallel if self.delta.is_some() => {
+            EvalRoute::BitParallel if self.layered() => {
                 let (bp, bp_rev) = prepared
                     .tables()
                     .expect("the planner only picks bit-parallel when tables exist");
@@ -319,7 +333,7 @@ impl<'r> RpqEngine<'r> {
                     self.merged_masks = EpochArray::new(n);
                 }
                 merged::evaluate_bitparallel(
-                    &MergedView::from_parts(self.ring, self.delta),
+                    &self.view(),
                     &mut self.merged_masks,
                     bp,
                     bp_rev,

@@ -19,6 +19,7 @@ use crate::plan::{EvalRoute, PreparedQuery};
 use crate::planner::{self, Direction, Plan};
 use crate::profile::QueryProfile;
 use crate::query::{EngineOptions, RpqQuery, Term};
+use crate::source::TripleSource;
 use crate::split::split_candidates;
 use crate::stats::RingStatistics;
 use crate::QueryError;
@@ -62,20 +63,38 @@ pub fn explain_with(
     query: &RpqQuery,
     opts: &EngineOptions,
 ) -> Result<QueryPlan, QueryError> {
+    explain_source_with(ring, query, opts)
+}
+
+/// Explains `query` against any [`TripleSource`] — a bare ring, a
+/// live-store snapshot, or a sharded source, whose per-shard
+/// cardinalities the statistics provider sums so the explained plan is
+/// byte-for-byte the plan the engine would execute over that source.
+pub fn explain_source_with(
+    source: &(impl TripleSource + ?Sized),
+    query: &RpqQuery,
+    opts: &EngineOptions,
+) -> Result<QueryPlan, QueryError> {
+    let ring = source.ring();
     if !ring.has_inverses() {
         return Err(QueryError::InversesRequired);
     }
+    let n_nodes = source
+        .shard_parts()
+        .iter()
+        .map(|p| p.ring.n_nodes())
+        .fold(ring.n_nodes(), Ord::max);
     for t in [query.subject, query.object] {
         if let Term::Const(c) = t {
-            if c >= ring.n_nodes() {
+            if c >= n_nodes {
                 return Err(QueryError::NodeOutOfRange(c));
             }
         }
     }
     let prepared =
         PreparedQuery::compile(&query.expr, &|l| ring.inverse_label(l), opts.bp_split_width)?;
-    Ok(explain_prepared(
-        ring,
+    Ok(explain_prepared_source(
+        source,
         &prepared,
         query.subject,
         query.object,
@@ -93,7 +112,20 @@ pub fn explain_prepared(
     object: Term,
     opts: &EngineOptions,
 ) -> QueryPlan {
-    let stats = RingStatistics::new(ring);
+    explain_prepared_source(ring, prepared, subject, object, opts)
+}
+
+/// [`explain_prepared`] over any [`TripleSource`] (delta overlays and
+/// shard parts feed the same statistics the engine plans with).
+pub fn explain_prepared_source(
+    source: &(impl TripleSource + ?Sized),
+    prepared: &PreparedQuery,
+    subject: Term,
+    object: Term,
+    opts: &EngineOptions,
+) -> QueryPlan {
+    let ring = source.ring();
+    let stats = RingStatistics::with_parts(ring, source.delta(), source.shard_parts());
     let plan = planner::plan(&stats, prepared, subject, object, opts);
 
     let fused = prepared.expr().fuse_classes();
@@ -111,14 +143,14 @@ pub fn explain_prepared(
         .mentioned_labels()
         .into_iter()
         .filter(|&l| l < ring.n_preds())
-        .map(|l| (l, ring.pred_cardinality(l)))
+        .map(|l| (l, stats.pred_cardinality(l)))
         .collect();
     label_cardinalities.sort_by_key(|&(l, c)| (c, l));
 
     let mut splits: Vec<(Id, usize)> = split_candidates(prepared.expr())
         .into_iter()
         .filter(|s| s.label < ring.n_preds())
-        .map(|s| (s.label, ring.pred_cardinality(s.label)))
+        .map(|s| (s.label, stats.pred_cardinality(s.label)))
         .collect();
     splits.sort_by_key(|&(l, c)| (c, l));
     splits.dedup();

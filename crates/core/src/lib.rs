@@ -54,7 +54,7 @@ pub use plan::{EvalRoute, PreparedQuery};
 pub use planner::{Direction, Plan};
 pub use profile::{LevelSample, QueryProfile};
 pub use query::{EngineOptions, QueryOutput, RpqQuery, Term, TraversalStats};
-pub use source::{MergedView, SourceSnapshot, TripleSource};
+pub use source::{MergedView, ShardPart, ShardedSource, SourceSnapshot, TripleSource};
 
 /// Errors from query evaluation.
 #[derive(Clone, Debug, PartialEq, Eq)]

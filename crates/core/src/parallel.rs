@@ -25,6 +25,7 @@ use std::sync::OnceLock;
 
 use crate::engine::RpqEngine;
 use crate::query::{EngineOptions, QueryOutput, RpqQuery};
+use crate::source::TripleSource;
 use crate::QueryError;
 
 /// The global budget of *extra* worker tokens (the calling thread is
@@ -190,10 +191,41 @@ pub fn evaluate_batch(
     })
 }
 
+/// [`evaluate_batch`] over any [`TripleSource`] — each worker's engine is
+/// built with [`RpqEngine::over`], so delta overlays and shard parts
+/// merge into every evaluation exactly as they do single-threaded.
+pub fn evaluate_batch_over(
+    source: &(impl TripleSource + Sync + ?Sized),
+    queries: &[RpqQuery],
+    opts: &EngineOptions,
+    n_threads: usize,
+) -> Vec<Result<QueryOutput, QueryError>> {
+    evaluate_batch_core(
+        &|| RpqEngine::over(source),
+        queries,
+        opts,
+        n_threads,
+        &|engine, q, opts| engine.evaluate(q, opts),
+    )
+}
+
 /// The generic core of [`evaluate_batch`], with the per-query evaluation
 /// injected — the seam the panic-containment tests use.
 pub(crate) fn evaluate_batch_with(
     ring: &Ring,
+    queries: &[RpqQuery],
+    opts: &EngineOptions,
+    n_threads: usize,
+    eval: &(dyn Fn(&mut RpqEngine, &RpqQuery, &EngineOptions) -> Result<QueryOutput, QueryError>
+          + Sync),
+) -> Vec<Result<QueryOutput, QueryError>> {
+    evaluate_batch_core(&|| RpqEngine::new(ring), queries, opts, n_threads, eval)
+}
+
+/// The shared worker loop: one engine per worker (built by
+/// `make_engine`), dynamic work claiming, panic containment.
+fn evaluate_batch_core<'r>(
+    make_engine: &(dyn Fn() -> RpqEngine<'r> + Sync),
     queries: &[RpqQuery],
     opts: &EngineOptions,
     n_threads: usize,
@@ -213,7 +245,7 @@ pub(crate) fn evaluate_batch_with(
         // worker, and the explicit join below swallows it so the scope
         // does not re-raise. Its in-flight query keeps an empty slot.
         let worker = || {
-            let mut engine = RpqEngine::new(ring);
+            let mut engine = make_engine();
             loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -226,7 +258,7 @@ pub(crate) fn evaluate_batch_with(
         // The caller participates too, but guards each query so one
         // poisoned evaluation cannot sink the whole batch: on a panic the
         // engine (whose mask tables may be mid-update) is rebuilt.
-        let mut engine = RpqEngine::new(ring);
+        let mut engine = make_engine();
         loop {
             let i = cursor.fetch_add(1, Ordering::Relaxed);
             if i >= n {
@@ -236,7 +268,7 @@ pub(crate) fn evaluate_batch_with(
                 eval(&mut engine, &queries[i], opts)
             }));
             let r = r.unwrap_or_else(|cause| {
-                engine = RpqEngine::new(ring);
+                engine = make_engine();
                 Err(QueryError::Internal(panic_message(&cause)))
             });
             let _ = done[i].set(r);

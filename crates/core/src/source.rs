@@ -9,12 +9,54 @@
 //!
 //! When the delta is empty every route runs the unmodified succinct hot
 //! path — the overlay costs nothing until the first commit.
+//!
+//! Horizontal sharding rides the same seam: a [`ShardedSource`] exposes
+//! its partition as [`ShardPart`]s, and every [`MergedView`] primitive
+//! scatter-gathers the extra shards after the base ring — results stay
+//! sorted-distinct, so merged traversal orders (and therefore answers,
+//! traces, and truncation points) are independent of how the triples
+//! were partitioned.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use ring::delta::DeltaIndex;
 use ring::store::StoreSnapshot;
 use ring::{Id, Ring};
+
+/// One shard of a horizontally partitioned source: its sub-ring plus a
+/// relaxed probe counter (how many scatter-gather primitives actually
+/// consulted this shard's data — predicate routing skips shards whose
+/// alphabet slice is empty for the probed label).
+#[derive(Debug)]
+pub struct ShardPart {
+    /// The shard's sub-ring, built over its triple partition with the
+    /// **global** node/predicate universes (so labels and ids agree
+    /// across shards).
+    pub ring: Arc<Ring>,
+    /// Primitives answered by this shard's data (Relaxed; a live gauge
+    /// feed for per-shard serving metrics).
+    pub probes: AtomicU64,
+}
+
+impl ShardPart {
+    /// Wraps one sub-ring as a shard part with a zeroed probe counter.
+    pub fn new(ring: Arc<Ring>) -> Self {
+        Self {
+            ring,
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes answered so far.
+    pub fn probe_count(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+
+    fn note_probe(&self) {
+        self.probes.fetch_add(1, Ordering::Relaxed);
+    }
+}
 
 /// A source of triples to evaluate against: the immutable ring plus an
 /// optional committed delta overlay.
@@ -25,6 +67,13 @@ pub trait TripleSource {
     /// updates. `None` selects the pure succinct hot path.
     fn delta(&self) -> Option<&DeltaIndex> {
         None
+    }
+    /// The shard partition of a horizontally sharded source. Empty for
+    /// single-ring sources (the pure hot path); when non-empty it has at
+    /// least two parts and `shard_parts()[0].ring` is the same ring
+    /// [`TripleSource::ring`] returns.
+    fn shard_parts(&self) -> &[ShardPart] {
+        &[]
     }
 }
 
@@ -52,10 +101,17 @@ pub struct SourceSnapshot {
     /// The snapshot version (0 for immutable sources; bumped by every
     /// commit/compaction of an updatable source).
     pub epoch: u64,
-    /// The succinct base index.
+    /// The succinct base index (shard 0's ring for sharded sources).
     pub ring: Arc<Ring>,
-    /// The committed overlay, if any.
+    /// The committed overlay, if any (never present together with
+    /// shards: sharded sources are immutable).
     pub delta: Option<Arc<DeltaIndex>>,
+    /// The shard partition (empty for single-ring sources).
+    pub shards: Arc<[ShardPart]>,
+}
+
+fn no_shards() -> Arc<[ShardPart]> {
+    Arc::from(Vec::new())
 }
 
 impl SourceSnapshot {
@@ -65,6 +121,7 @@ impl SourceSnapshot {
             epoch: 0,
             ring,
             delta: None,
+            shards: no_shards(),
         }
     }
 
@@ -74,14 +131,31 @@ impl SourceSnapshot {
             epoch: snap.epoch,
             ring: Arc::clone(&snap.ring),
             delta: (!snap.delta.is_empty()).then(|| Arc::clone(&snap.delta)),
+            shards: no_shards(),
         }
     }
 
-    /// The evaluation node universe (ring nodes plus delta nodes).
+    /// The snapshot of a sharded source (epoch 0 — sharded sources are
+    /// immutable). With fewer than two parts this degenerates to
+    /// [`SourceSnapshot::immutable`] over the single ring.
+    pub fn sharded(parts: Arc<[ShardPart]>) -> Self {
+        assert!(!parts.is_empty(), "a sharded snapshot needs >= 1 part");
+        Self {
+            epoch: 0,
+            ring: Arc::clone(&parts[0].ring),
+            delta: None,
+            shards: if parts.len() > 1 { parts } else { no_shards() },
+        }
+    }
+
+    /// The evaluation node universe (ring nodes plus delta nodes; shards
+    /// share the global universe by construction).
     pub fn n_nodes(&self) -> Id {
+        let shard_max = self.shards.iter().map(|p| p.ring.n_nodes()).max();
         self.ring
             .n_nodes()
             .max(self.delta.as_ref().map_or(0, |d| d.n_nodes()))
+            .max(shard_max.unwrap_or(0))
     }
 }
 
@@ -93,18 +167,95 @@ impl TripleSource for SourceSnapshot {
     fn delta(&self) -> Option<&DeltaIndex> {
         self.delta.as_deref().filter(|d| !d.is_empty())
     }
+
+    fn shard_parts(&self) -> &[ShardPart] {
+        &self.shards
+    }
 }
 
-/// The step-level merge of a ring and its delta. All label arguments are
-/// from the **completed** alphabet `Σ↔` (the delta canonicalizes
-/// internally); all node enumerations come back **sorted ascending and
-/// distinct**, which also makes merged traversal orders deterministic.
+/// An immutable horizontally sharded source: one sub-ring per shard,
+/// evaluated by scatter-gathering every [`MergedView`] primitive across
+/// the parts. A single-part source degenerates to the pure (unsharded)
+/// hot path.
+#[derive(Clone, Debug)]
+pub struct ShardedSource {
+    parts: Arc<[ShardPart]>,
+}
+
+impl ShardedSource {
+    /// Wraps the shard sub-rings. Every ring must share the global
+    /// node/predicate universes (as `ring::sharded::ShardedIndex`-built
+    /// ones do).
+    pub fn new(rings: Vec<Arc<Ring>>) -> Self {
+        assert!(!rings.is_empty(), "a sharded source needs >= 1 ring");
+        let parts: Vec<ShardPart> = rings.into_iter().map(ShardPart::new).collect();
+        Self {
+            parts: Arc::from(parts),
+        }
+    }
+
+    /// Wraps pre-built shard parts (at least one).
+    pub fn from_parts(parts: Arc<[ShardPart]>) -> Self {
+        assert!(!parts.is_empty(), "a sharded source needs >= 1 part");
+        Self { parts }
+    }
+
+    /// The shard parts, including part 0.
+    pub fn parts(&self) -> &Arc<[ShardPart]> {
+        &self.parts
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total indexed triples across the partition (completed graph G↔).
+    pub fn n_triples(&self) -> usize {
+        self.parts.iter().map(|p| p.ring.n_triples()).sum()
+    }
+
+    /// An epoch-0 snapshot sharing these parts (and their probe
+    /// counters).
+    pub fn snapshot(&self) -> SourceSnapshot {
+        SourceSnapshot::sharded(Arc::clone(&self.parts))
+    }
+}
+
+impl TripleSource for ShardedSource {
+    fn ring(&self) -> &Ring {
+        &self.parts[0].ring
+    }
+
+    fn shard_parts(&self) -> &[ShardPart] {
+        if self.parts.len() > 1 {
+            &self.parts
+        } else {
+            &[]
+        }
+    }
+}
+
+/// The step-level merge of a ring and its delta — or of a shard
+/// partition. All label arguments are from the **completed** alphabet
+/// `Σ↔` (the delta canonicalizes internally); all node enumerations come
+/// back **sorted ascending and distinct**, which also makes merged
+/// traversal orders deterministic (and, for shards, independent of the
+/// partitioning).
+///
+/// A delta and shards never co-occur: sharded sources are immutable. The
+/// base-ring portion of every primitive is byte-for-byte the single-ring
+/// code; shard contributions are appended afterwards and re-sorted.
 #[derive(Clone, Copy)]
 pub struct MergedView<'a> {
-    /// The succinct base index.
+    /// The succinct base index (shard 0's ring when sharded).
     pub ring: &'a Ring,
     /// The committed overlay (`None` = pure ring semantics).
     pub delta: Option<&'a DeltaIndex>,
+    /// All shard parts of a sharded source (empty = unsharded; when
+    /// non-empty, `shards[0].ring` is the ring `ring` points at and the
+    /// primitives gather `shards[1..]` after the base code runs).
+    pub shards: &'a [ShardPart],
 }
 
 impl<'a> MergedView<'a> {
@@ -113,27 +264,78 @@ impl<'a> MergedView<'a> {
         Self {
             ring: source.ring(),
             delta: source.delta().filter(|d| !d.is_empty()),
+            shards: source.shard_parts(),
         }
     }
 
     /// A delta-free view (pure ring semantics).
     pub fn ring_only(ring: &'a Ring) -> Self {
-        Self { ring, delta: None }
+        Self {
+            ring,
+            delta: None,
+            shards: &[],
+        }
     }
 
-    /// Builds a view from already-split parts.
+    /// Builds a view from already-split parts (unsharded).
     pub fn from_parts(ring: &'a Ring, delta: Option<&'a DeltaIndex>) -> Self {
         Self {
             ring,
             delta: delta.filter(|d| !d.is_empty()),
+            shards: &[],
+        }
+    }
+
+    /// Builds a view over a shard partition (`shards[0].ring` must be
+    /// `ring`; pass the full part list or an empty slice).
+    pub fn with_shards(
+        ring: &'a Ring,
+        delta: Option<&'a DeltaIndex>,
+        shards: &'a [ShardPart],
+    ) -> Self {
+        debug_assert!(
+            shards.is_empty() || std::ptr::eq(&*shards[0].ring, ring),
+            "shards[0] must be the view's base ring"
+        );
+        debug_assert!(
+            shards.is_empty() || delta.is_none(),
+            "sharded sources are immutable"
+        );
+        Self {
+            ring,
+            delta: delta.filter(|d| !d.is_empty()),
+            shards,
+        }
+    }
+
+    /// Whether this view merges more than the base ring's own data.
+    pub fn layered(&self) -> bool {
+        self.delta.is_some() || !self.shards.is_empty()
+    }
+
+    /// The extra shard parts past the base ring (empty when unsharded).
+    fn extra_shards(&self) -> &'a [ShardPart] {
+        if self.shards.is_empty() {
+            &[]
+        } else {
+            &self.shards[1..]
+        }
+    }
+
+    /// Counts a probe against shard 0 when the view is sharded.
+    fn note_base_probe(&self) {
+        if let Some(base) = self.shards.first() {
+            base.note_probe();
         }
     }
 
     /// The evaluation node universe.
     pub fn n_nodes(&self) -> Id {
+        let shard_max = self.shards.iter().map(|p| p.ring.n_nodes()).max();
         self.ring
             .n_nodes()
             .max(self.delta.map_or(0, |d| d.n_nodes()))
+            .max(shard_max.unwrap_or(0))
     }
 
     /// Whether `v` has at least one live edge (completed-graph
@@ -146,6 +348,22 @@ impl<'a> MergedView<'a> {
         } else {
             0
         };
+        if !self.shards.is_empty() {
+            self.note_base_probe();
+            if ring_incidence > 0 {
+                return true;
+            }
+            return self.extra_shards().iter().any(|part| {
+                part.note_probe();
+                let r = &part.ring;
+                if v < r.n_nodes() {
+                    let (b, e) = r.subject_range(v);
+                    e > b
+                } else {
+                    false
+                }
+            });
+        }
         match self.delta {
             None => ring_incidence > 0,
             Some(d) => ring_incidence + d.added_incidence(v) > d.deleted_incidence(v),
@@ -162,7 +380,28 @@ impl<'a> MergedView<'a> {
                 return true;
             }
         }
-        self.ring.contains(s, p, o)
+        if self.ring.contains(s, p, o) {
+            if !self.shards.is_empty() {
+                self.note_base_probe();
+            }
+            return true;
+        }
+        if !self.shards.is_empty() {
+            self.note_base_probe();
+            for part in self.extra_shards() {
+                // Predicate routing: a shard with no `p` edges at all
+                // cannot hold this one.
+                let (pb, pe) = part.ring.pred_range(p);
+                if pe == pb {
+                    continue;
+                }
+                part.note_probe();
+                if part.ring.contains(s, p, o) {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Replaces `out` with the distinct subjects of live edges
@@ -189,6 +428,27 @@ impl<'a> MergedView<'a> {
             let ring_len = out.len();
             d.added_into(o, p, out);
             if out.len() > ring_len {
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+        if !self.shards.is_empty() {
+            self.note_base_probe();
+            let base_len = out.len();
+            for part in self.extra_shards() {
+                let r = &part.ring;
+                let (pb, pe) = r.pred_range(p);
+                if pe == pb {
+                    continue;
+                }
+                part.note_probe();
+                if o < r.n_nodes() {
+                    let range = r.backward_step_by_pred(r.object_range(o), p);
+                    r.l_s()
+                        .range_distinct(range.0, range.1, &mut |s, _, _| out.push(s));
+                }
+            }
+            if out.len() > base_len {
                 out.sort_unstable();
                 out.dedup();
             }
@@ -221,6 +481,27 @@ impl<'a> MergedView<'a> {
             let ring_len = out.len();
             d.added_sources(p, out);
             if out.len() > ring_len {
+                out.sort_unstable();
+                out.dedup();
+            }
+        }
+        if !self.shards.is_empty() {
+            self.note_base_probe();
+            let base_len = out.len();
+            for part in self.extra_shards() {
+                let r = &part.ring;
+                let (pb, pe) = r.pred_range(p);
+                if pe == pb {
+                    continue;
+                }
+                part.note_probe();
+                r.l_s().range_distinct(pb, pe, &mut |s, _, _| out.push(s));
+            }
+            if out.len() > base_len {
+                // A subject can source `p` edges in several shards
+                // (subject-range splits of skewed predicates put its
+                // in-edges — hence its `p̂` sources — wherever the other
+                // endpoint lives), so gathers dedup.
                 out.sort_unstable();
                 out.dedup();
             }

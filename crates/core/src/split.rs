@@ -150,10 +150,11 @@ pub(crate) fn evaluate_split_in(
         ..*opts
     };
 
-    // Enumerate the split label's edges (u, p, v) — live ones only when
-    // the engine's source carries a delta overlay.
+    // Enumerate the split label's edges (u, p, v) — through the merged
+    // view whenever the engine's source carries a delta overlay or shard
+    // parts beyond the base ring.
     let view = engine.view();
-    let delta = engine.delta().is_some();
+    let delta = engine.layered();
     let mut subjects: Vec<Id> = Vec::new();
     if delta {
         view.subjects_of_pred(split.label, &mut subjects);

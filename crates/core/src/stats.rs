@@ -7,18 +7,32 @@ use automata::Regex;
 use ring::delta::DeltaIndex;
 use ring::{Id, Ring};
 
+use crate::source::ShardPart;
+
 /// Statistics provider over a ring, optionally adjusted by a committed
 /// delta overlay: cardinalities count *live* edges (ring − tombstones +
 /// adds), so the planner's cost model follows updates without a rebuild.
+///
+/// For a sharded source the provider sums over the parts. Every input
+/// the planner consumes (`n_triples`, `pred_cardinality`, `in_degree`,
+/// `edges_into`) sums **exactly** across a disjoint triple partition, so
+/// the chosen plan — and with it the whole evaluation — is identical at
+/// any shard count.
 pub struct RingStatistics<'r> {
     ring: &'r Ring,
     delta: Option<&'r DeltaIndex>,
+    /// Extra shard parts past the base ring (empty when unsharded).
+    extra: &'r [ShardPart],
 }
 
 impl<'r> RingStatistics<'r> {
     /// Creates the provider over an immutable ring.
     pub fn new(ring: &'r Ring) -> Self {
-        Self { ring, delta: None }
+        Self {
+            ring,
+            delta: None,
+            extra: &[],
+        }
     }
 
     /// Creates the provider over a ring plus a delta overlay (an empty
@@ -27,6 +41,26 @@ impl<'r> RingStatistics<'r> {
         Self {
             ring,
             delta: delta.filter(|d| !d.is_empty()),
+            extra: &[],
+        }
+    }
+
+    /// Creates the provider over a full source: ring, optional delta,
+    /// and an optional shard partition (`shards[0].ring` must be `ring`;
+    /// an empty slice means unsharded).
+    pub fn with_parts(
+        ring: &'r Ring,
+        delta: Option<&'r DeltaIndex>,
+        shards: &'r [ShardPart],
+    ) -> Self {
+        debug_assert!(
+            shards.is_empty() || std::ptr::eq(&*shards[0].ring, ring),
+            "shards[0] must be the base ring"
+        );
+        Self {
+            ring,
+            delta: delta.filter(|d| !d.is_empty()),
+            extra: if shards.is_empty() { &[] } else { &shards[1..] },
         }
     }
 
@@ -41,19 +75,25 @@ impl<'r> RingStatistics<'r> {
     /// charges.
     pub fn n_triples(&self) -> usize {
         let base = self.ring.n_triples();
-        match self.delta {
+        let base = match self.delta {
             None => base,
             Some(d) => (base + 2 * d.n_adds()).saturating_sub(2 * d.n_dels()),
-        }
+        };
+        base + self.extra.iter().map(|p| p.ring.n_triples()).sum::<usize>()
     }
 
     /// Number of live edges labeled `p`.
     pub fn pred_cardinality(&self, p: Id) -> usize {
         let base = self.ring.pred_cardinality(p);
-        match self.delta {
+        let base = match self.delta {
             None => base,
             Some(d) => (base + d.add_count_label(p)).saturating_sub(d.del_count_label(p)),
-        }
+        };
+        base + self
+            .extra
+            .iter()
+            .map(|s| s.ring.pred_cardinality(p))
+            .sum::<usize>()
     }
 
     /// In-degree of `o` (live edges of any label arriving at `o`).
@@ -64,13 +104,25 @@ impl<'r> RingStatistics<'r> {
         } else {
             0
         };
-        match self.delta {
+        let base = match self.delta {
             None => base,
             // A node's completed in-edges mirror its completed
             // out-edges' incidence: adds/dels at `o` as canonical object
             // or subject.
             Some(d) => (base + d.added_incidence(o)).saturating_sub(d.deleted_incidence(o)),
-        }
+        };
+        base + self
+            .extra
+            .iter()
+            .map(|s| {
+                if o < s.ring.n_nodes() {
+                    let (b, e) = s.ring.object_range(o);
+                    e - b
+                } else {
+                    0
+                }
+            })
+            .sum::<usize>()
     }
 
     /// Out-degree of `s` (live).
@@ -81,24 +133,49 @@ impl<'r> RingStatistics<'r> {
         } else {
             0
         };
-        match self.delta {
+        let base = match self.delta {
             None => base,
             Some(d) => (base + d.added_incidence(s)).saturating_sub(d.deleted_incidence(s)),
-        }
+        };
+        base + self
+            .extra
+            .iter()
+            .map(|part| {
+                if s < part.ring.n_nodes() {
+                    let (b, e) = part.ring.subject_range(s);
+                    e - b
+                } else {
+                    0
+                }
+            })
+            .sum::<usize>()
     }
 
     /// Number of **distinct** labels on edges arriving at `o`, in
     /// *O*(log |P|) per distinct label (§6's first example statistic).
+    /// Summed per shard, so a label arriving at `o` in several shards
+    /// counts once each — an overcount the planner never consumes.
     pub fn distinct_preds_into(&self, o: Id) -> usize {
-        let (b, e) = self.ring.object_range(o);
-        self.ring.l_p().count_distinct(b, e)
+        let one = |r: &Ring| {
+            if o < r.n_nodes() {
+                let (b, e) = r.object_range(o);
+                r.l_p().count_distinct(b, e)
+            } else {
+                0
+            }
+        };
+        one(self.ring) + self.extra.iter().map(|s| one(&s.ring)).sum::<usize>()
     }
 
     /// Number of **distinct** source nodes of edges labeled `p` (§6's
-    /// second example statistic).
+    /// second example statistic). Summed per shard (same overcount
+    /// caveat as [`Self::distinct_preds_into`]).
     pub fn distinct_subjects_of(&self, p: Id) -> usize {
-        let (b, e) = self.ring.pred_range(p);
-        self.ring.l_s().count_distinct(b, e)
+        let one = |r: &Ring| {
+            let (b, e) = r.pred_range(p);
+            r.l_s().count_distinct(b, e)
+        };
+        one(self.ring) + self.extra.iter().map(|s| one(&s.ring)).sum::<usize>()
     }
 
     /// Number of live edges labeled `p` arriving at `o` without
@@ -113,18 +190,33 @@ impl<'r> RingStatistics<'r> {
         } else {
             0
         };
-        match self.delta {
+        let base = match self.delta {
             None => base,
             Some(d) => (base + d.add_count_into(o, p)).saturating_sub(d.del_count_into(o, p)),
-        }
+        };
+        base + self
+            .extra
+            .iter()
+            .map(|s| {
+                if o < s.ring.n_nodes() {
+                    let (b, e) = s.ring.backward_step_by_pred(s.ring.object_range(o), p);
+                    e - b
+                } else {
+                    0
+                }
+            })
+            .sum::<usize>()
     }
 
     /// Number of edges whose subject lies in the id interval
     /// `[s_lo, s_hi)` among edges labeled `p` — a 2-D count via
     /// [`succinct::WaveletMatrix::range_count_within`].
     pub fn edges_of_pred_from_subject_range(&self, p: Id, s_lo: Id, s_hi: Id) -> usize {
-        let (b, e) = self.ring.pred_range(p);
-        self.ring.l_s().range_count_within(b, e, s_lo, s_hi)
+        let one = |r: &Ring| {
+            let (b, e) = r.pred_range(p);
+            r.l_s().range_count_within(b, e, s_lo, s_hi)
+        };
+        one(self.ring) + self.extra.iter().map(|s| one(&s.ring)).sum::<usize>()
     }
 
     /// The rarest plain label mentioned by `expr`, with its cardinality —

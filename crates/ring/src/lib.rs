@@ -37,6 +37,10 @@
 //!   crash-consistency battery drives.
 //! * [`wal`]: the write-ahead log that makes committed updates survive a
 //!   crash between snapshots.
+//! * [`sharded`]: horizontal sharding — the graph partitioned by
+//!   predicate (subject ranges for skewed ones) into per-shard rings
+//!   over shared universes, persisted as a manifest-bound directory of
+//!   mapped files.
 
 pub mod boundaries;
 pub mod delta;
@@ -48,6 +52,7 @@ pub mod ltj;
 pub mod mapped;
 pub mod ntriples;
 pub mod ring;
+pub mod sharded;
 pub mod store;
 pub mod triple;
 pub mod wal;

@@ -58,7 +58,7 @@ pub use server::{
     DrainReport, QueryAnswer, QueryBudget, QueryStatus, QueryTicket, RpqServer, ServerConfig,
 };
 pub use slowlog::{SlowEntry, SlowLog};
-pub use source::{IndexSource, IndexStats, LiveSource, QuerySource, UpdateStats};
+pub use source::{IndexSource, IndexStats, LiveSource, QuerySource, ShardStat, UpdateStats};
 
 /// Errors of the serving layer. `Parse` and `UnknownNode` are
 /// synchronous (reported at submit); the rest surface through
@@ -124,6 +124,23 @@ impl std::fmt::Display for RpqError {
 }
 
 impl std::error::Error for RpqError {}
+
+/// Locks a mutex, recovering the data from a poisoned lock instead of
+/// propagating the panic into the caller.
+///
+/// A worker panicking mid-evaluation poisons whatever mutex its stack
+/// happened to hold — most damagingly a job's `status` mutex, which
+/// every client thread then touches through `wait`/`poll`/`cancel`. All
+/// server mutexes guard state that is consistent at every lock
+/// acquisition (status transitions are single-writer per job, the queue
+/// and jobs map are plain collections mutated under the lock), so
+/// recovering the guard is sound: the panic is still surfaced — the
+/// worker's `catch_unwind` fails the job with [`RpqError::Internal`] —
+/// but it stays one query's failure instead of cascading panics into
+/// every thread that later locks the same mutex.
+pub(crate) fn lock_ignore_poison<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 impl From<rpq_core::QueryError> for RpqError {
     fn from(e: rpq_core::QueryError) -> Self {

@@ -329,6 +329,7 @@ pub(crate) fn registry_json(
     epoch: u64,
     updates: Option<crate::source::UpdateStats>,
     index: Option<crate::source::IndexStats>,
+    shards: Option<&[crate::source::ShardStat]>,
 ) -> String {
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let mut w = JsonWriter::new();
@@ -432,6 +433,21 @@ pub(crate) fn registry_json(
         .field_str("resident_mode", ix.resident_mode)
         .field_u64("mapped_bytes", ix.mapped_bytes)
         .end_object();
+    if let Some(shards) = shards {
+        w.key("shards")
+            .begin_object()
+            .field_u64("count", shards.len() as u64)
+            .key("rows")
+            .begin_array();
+        for s in shards {
+            w.begin_object()
+                .field_u64("triples", s.triples as u64)
+                .field_u64("bytes", s.bytes as u64)
+                .field_u64("probes", s.probes)
+                .end_object();
+        }
+        w.end_array().end_object();
+    }
     w.key("plan_cache");
     plan_cache.write_json(&mut w);
     w.key("result_cache");
@@ -532,6 +548,7 @@ pub(crate) fn registry_prometheus(
     epoch: u64,
     updates: Option<crate::source::UpdateStats>,
     index: Option<crate::source::IndexStats>,
+    shards: Option<&[crate::source::ShardStat]>,
 ) -> String {
     let g = |c: &AtomicU64| c.load(Ordering::Relaxed);
     let mut out = String::with_capacity(8192);
@@ -892,6 +909,43 @@ pub(crate) fn registry_prometheus(
     );
     prom_sample(&mut out, "rpq_index_mapped_bytes", ix.mapped_bytes);
 
+    if let Some(shards) = shards {
+        prom_header(
+            &mut out,
+            "rpq_shards",
+            "Shards of the served index (absent when unsharded).",
+            "gauge",
+        );
+        prom_sample(&mut out, "rpq_shards", shards.len());
+        type ShardField = fn(&crate::source::ShardStat) -> u64;
+        let per_shard: [(&str, &str, &str, ShardField); 3] = [
+            (
+                "rpq_shard_triples",
+                "Completed triples held by one shard.",
+                "gauge",
+                |s| s.triples as u64,
+            ),
+            (
+                "rpq_shard_bytes",
+                "Index bytes of one shard's ring.",
+                "gauge",
+                |s| s.bytes as u64,
+            ),
+            (
+                "rpq_shard_probes_total",
+                "Scatter-gather probes served by one shard.",
+                "counter",
+                |s| s.probes,
+            ),
+        ];
+        for (name, help, kind, f) in per_shard {
+            prom_header(&mut out, name, help, kind);
+            for (i, s) in shards.iter().enumerate() {
+                prom_labeled(&mut out, name, "shard", &i.to_string(), f(s));
+            }
+        }
+    }
+
     prom_header(
         &mut out,
         "rpq_query_latency_seconds",
@@ -1048,6 +1102,18 @@ mod tests {
             used: 64,
             budget: 1024,
         };
+        let shard_rows = [
+            crate::source::ShardStat {
+                triples: 10,
+                bytes: 2048,
+                probes: 7,
+            },
+            crate::source::ShardStat {
+                triples: 6,
+                bytes: 1024,
+                probes: 0,
+            },
+        ];
         let text = registry_prometheus(
             &m,
             2,
@@ -1062,6 +1128,7 @@ mod tests {
                 resident_mode: "mmap",
                 mapped_bytes: 4096,
             }),
+            Some(&shard_rows),
         );
 
         let mut declared = std::collections::HashSet::new();
@@ -1111,6 +1178,28 @@ mod tests {
         );
         // 250 µs lands in the bucket with upper bound 256 µs.
         assert!(text.contains("rpq_query_latency_seconds_bucket{le=\"0.000256\"} 1"));
+        // Sharded sources get one row per shard.
+        assert!(text.contains("rpq_shards 2"));
+        assert!(text.contains("rpq_shard_triples{shard=\"0\"} 10"));
+        assert!(text.contains("rpq_shard_probes_total{shard=\"1\"} 0"));
+    }
+
+    /// Unsharded sources must not emit the shard families at all — an
+    /// always-zero `rpq_shards` would read as "sharded with 0 shards".
+    #[test]
+    fn prometheus_omits_shard_families_when_unsharded() {
+        let m = Metrics::new();
+        let cache = CacheStats {
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+            invalidations: 0,
+            entries: 0,
+            used: 0,
+            budget: 0,
+        };
+        let text = registry_prometheus(&m, 1, 1, 8, &cache, &cache, 0, None, None, None);
+        assert!(!text.contains("rpq_shard"));
     }
 
     #[test]
@@ -1125,10 +1214,25 @@ mod tests {
             used: 16,
             budget: 1024,
         };
-        let json = registry_json(&m, 1, 1, 8, &cache, &cache, 0, None, None);
+        let json = registry_json(&m, 1, 1, 8, &cache, &cache, 0, None, None, None);
         // The CI server-smoke step greps for this exact byte shape.
         assert!(json.contains("\"result_cache\":{\"hits\":1"), "{json}");
         assert!(json.contains("\"latency_us\":{\"all\":{\"count\":0"));
         assert!(json.contains("\"planner\":{\"decisions\":{\"fastpath\":0"));
+        // Unsharded sources have no shards section at all.
+        assert!(!json.contains("\"shards\""));
+
+        let rows = [crate::source::ShardStat {
+            triples: 4,
+            bytes: 512,
+            probes: 9,
+        }];
+        let sharded = registry_json(&m, 1, 1, 8, &cache, &cache, 0, None, None, Some(&rows));
+        assert!(
+            sharded.contains(
+                "\"shards\":{\"count\":1,\"rows\":[{\"triples\":4,\"bytes\":512,\"probes\":9}]}"
+            ),
+            "{sharded}"
+        );
     }
 }

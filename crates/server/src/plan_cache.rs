@@ -63,7 +63,7 @@ impl PlanCache {
         inv: &impl Fn(Label) -> Label,
     ) -> Result<Arc<PreparedQuery>, QueryError> {
         let key = (epoch, PreparedQuery::cache_key(expr));
-        if let Some(plan) = self.inner.lock().unwrap().get(&key) {
+        if let Some(plan) = crate::lock_ignore_poison(&self.inner).get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(plan));
         }
@@ -81,7 +81,7 @@ impl PlanCache {
     /// against an immutable ring, but a future reindex path calls this).
     pub fn invalidate_all(&self) {
         self.invalidations.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock().unwrap().clear();
+        crate::lock_ignore_poison(&self.inner).clear();
     }
 
     /// Cache hits so far.
@@ -96,7 +96,7 @@ impl PlanCache {
 
     /// Live entry count.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().len()
+        crate::lock_ignore_poison(&self.inner).len()
     }
 
     /// Whether the cache is empty.
@@ -105,7 +105,7 @@ impl PlanCache {
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = crate::lock_ignore_poison(&self.inner);
         CacheStats {
             hits: self.hits(),
             misses: self.misses(),

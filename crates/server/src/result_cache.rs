@@ -63,7 +63,7 @@ impl ResultCache {
     pub fn get(&self, key: &ResultKey) -> Option<Arc<QueryAnswer>> {
         let hit = {
             let gen = self.generation.load(Ordering::Acquire);
-            let mut inner = self.inner.lock().unwrap();
+            let mut inner = crate::lock_ignore_poison(&self.inner);
             match inner.get(key) {
                 Some((g, ans)) if *g == gen => Some(Arc::clone(ans)),
                 _ => None,
@@ -86,7 +86,7 @@ impl ResultCache {
     pub fn insert(&self, key: ResultKey, answer: Arc<QueryAnswer>) {
         let cost = answer.size_bytes() + key.pattern.len() + 64;
         let gen = self.generation.load(Ordering::Acquire);
-        self.inner.lock().unwrap().insert(key, (gen, answer), cost);
+        crate::lock_ignore_poison(&self.inner).insert(key, (gen, answer), cost);
     }
 
     /// Invalidation hook: drops everything and bumps the generation so
@@ -94,7 +94,7 @@ impl ResultCache {
     pub fn invalidate_all(&self) {
         self.generation.fetch_add(1, Ordering::AcqRel);
         self.invalidations.fetch_add(1, Ordering::Relaxed);
-        self.inner.lock().unwrap().clear();
+        crate::lock_ignore_poison(&self.inner).clear();
     }
 
     /// Cache hits so far.
@@ -109,11 +109,11 @@ impl ResultCache {
 
     /// Bytes currently accounted to cached answers.
     pub fn used_bytes(&self) -> usize {
-        self.inner.lock().unwrap().used()
+        crate::lock_ignore_poison(&self.inner).used()
     }
 
     pub(crate) fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().unwrap();
+        let inner = crate::lock_ignore_poison(&self.inner);
         CacheStats {
             hits: self.hits(),
             misses: self.misses(),

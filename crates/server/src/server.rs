@@ -32,7 +32,7 @@ use crate::plan_cache::PlanCache;
 use crate::result_cache::{ResultCache, ResultKey};
 use crate::slowlog::{SlowEntry, SlowLog};
 use crate::source::{QuerySource, SourceResolver};
-use crate::RpqError;
+use crate::{lock_ignore_poison, RpqError};
 
 /// Per-query evaluation budgets. `max_results` and `timeout` return
 /// partial answers with the corresponding flag set; an exhausted
@@ -225,7 +225,10 @@ struct Job {
 
 impl Job {
     fn finish(&self, status: QueryStatus) {
-        *self.status.lock().unwrap() = status;
+        // Recovering from poison matters most right here: the worker's
+        // panic handler calls `finish` on the very job whose evaluation
+        // just panicked, possibly with this mutex poisoned.
+        *lock_ignore_poison(&self.status) = status;
         self.done.notify_all();
     }
 }
@@ -424,7 +427,7 @@ impl RpqServer {
             cancel: AtomicBool::new(false),
         });
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock_ignore_poison(&self.shared.queue);
             // Re-checked under the queue lock: shutdown() drains the queue
             // after setting the flag, so a push racing past the earlier
             // check would strand the job as Queued forever (and a drain
@@ -447,7 +450,7 @@ impl RpqServer {
             queue.push_back(Arc::clone(&job));
             self.shared.metrics.note_queue_depth(queue.len());
         }
-        self.shared.jobs.lock().unwrap().insert(id, job);
+        lock_ignore_poison(&self.shared.jobs).insert(id, job);
         self.shared
             .metrics
             .submitted
@@ -471,8 +474,10 @@ impl RpqServer {
     /// Snapshot of a job's status; `None` for unknown (or forgotten)
     /// tickets.
     pub fn poll(&self, ticket: &QueryTicket) -> Option<QueryStatus> {
-        let job = self.shared.jobs.lock().unwrap().get(&ticket.id).cloned()?;
-        let status = job.status.lock().unwrap().clone();
+        let job = lock_ignore_poison(&self.shared.jobs)
+            .get(&ticket.id)
+            .cloned()?;
+        let status = lock_ignore_poison(&job.status).clone();
         Some(status)
     }
 
@@ -480,11 +485,14 @@ impl RpqServer {
     /// are flagged (best effort — their answer is discarded when the
     /// worker finishes). Returns whether the job can still be affected.
     pub fn cancel(&self, ticket: &QueryTicket) -> bool {
-        let Some(job) = self.shared.jobs.lock().unwrap().get(&ticket.id).cloned() else {
+        let Some(job) = lock_ignore_poison(&self.shared.jobs)
+            .get(&ticket.id)
+            .cloned()
+        else {
             return false;
         };
         job.cancel.store(true, Ordering::Release);
-        let mut status = job.status.lock().unwrap();
+        let mut status = lock_ignore_poison(&job.status);
         match &*status {
             QueryStatus::Queued => {
                 *status = QueryStatus::Cancelled;
@@ -508,16 +516,12 @@ impl RpqServer {
     /// queued job fails fast with [`RpqError::InvalidConfig`] instead of
     /// blocking forever (the job stays queued and pollable).
     pub fn wait(&self, ticket: &QueryTicket) -> Result<Arc<QueryAnswer>, RpqError> {
-        let job = self
-            .shared
-            .jobs
-            .lock()
-            .unwrap()
+        let job = lock_ignore_poison(&self.shared.jobs)
             .get(&ticket.id)
             .cloned()
             .ok_or(RpqError::UnknownTicket)?;
         if self.shared.config.admission_only
-            && matches!(*job.status.lock().unwrap(), QueryStatus::Queued)
+            && matches!(*lock_ignore_poison(&job.status), QueryStatus::Queued)
         {
             return Err(RpqError::InvalidConfig(
                 "wait() would block forever: this server is admission-only \
@@ -526,14 +530,17 @@ impl RpqServer {
             ));
         }
         let outcome = {
-            let mut status = job.status.lock().unwrap();
+            let mut status = lock_ignore_poison(&job.status);
             loop {
                 match &*status {
                     QueryStatus::Done(a) => break Ok(Arc::clone(a)),
                     QueryStatus::Failed(e) => break Err(e.clone()),
                     QueryStatus::Cancelled => break Err(RpqError::Cancelled),
                     QueryStatus::Queued | QueryStatus::Running => {
-                        status = job.done.wait(status).unwrap();
+                        status = job
+                            .done
+                            .wait(status)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
                     }
                 }
             }
@@ -546,7 +553,7 @@ impl RpqServer {
     /// outcome was consumed through [`Self::wait`] are forgotten
     /// automatically; pure [`Self::poll`] users call this when done.
     pub fn forget(&self, ticket: &QueryTicket) {
-        self.shared.jobs.lock().unwrap().remove(&ticket.id);
+        lock_ignore_poison(&self.shared.jobs).remove(&ticket.id);
     }
 
     /// Submit-and-wait convenience under the default budget.
@@ -600,13 +607,14 @@ impl RpqServer {
 
     /// Current queue depth.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().unwrap().len()
+        lock_ignore_poison(&self.shared.queue).len()
     }
 
     /// The full metrics registry as a JSON object.
     pub fn metrics_json(&self) -> String {
         let updates = self.shared.source.update_stats();
         let index = self.shared.source.index_info();
+        let shards = self.shared.source.shard_stats();
         let epoch = self.shared.source.snapshot().epoch;
         registry_json(
             &self.shared.metrics,
@@ -618,6 +626,7 @@ impl RpqServer {
             epoch,
             updates,
             index,
+            shards.as_deref(),
         )
     }
 
@@ -626,6 +635,7 @@ impl RpqServer {
     pub fn prometheus_metrics(&self) -> String {
         let updates = self.shared.source.update_stats();
         let index = self.shared.source.index_info();
+        let shards = self.shared.source.shard_stats();
         let epoch = self.shared.source.snapshot().epoch;
         registry_prometheus(
             &self.shared.metrics,
@@ -637,6 +647,7 @@ impl RpqServer {
             epoch,
             updates,
             index,
+            shards.as_deref(),
         )
     }
 
@@ -671,12 +682,22 @@ impl RpqServer {
     pub fn drain(&self, deadline: Duration) -> DrainReport {
         self.shared.draining.store(true, Ordering::Release);
         let start = Instant::now();
-        let backlog =
-            self.shared.queue.lock().unwrap().len() + self.shared.in_flight.load(Ordering::Acquire);
+        // Queue length and the in-flight count must be read under one
+        // queue lock: `pop_job` moves a job from the queue into
+        // `in_flight` while holding it, so a lock-free pair of reads
+        // could observe the job in neither place — and a drain seeing
+        // that phantom empty state would report a still-running backlog
+        // as drained.
+        let backlog = {
+            let queue = lock_ignore_poison(&self.shared.queue);
+            queue.len() + self.shared.in_flight.load(Ordering::Acquire)
+        };
         while start.elapsed() < deadline {
-            if self.shared.queue.lock().unwrap().is_empty()
-                && self.shared.in_flight.load(Ordering::Acquire) == 0
-            {
+            let idle = {
+                let queue = lock_ignore_poison(&self.shared.queue);
+                queue.is_empty() && self.shared.in_flight.load(Ordering::Acquire) == 0
+            };
+            if idle {
                 break;
             }
             std::thread::sleep(Duration::from_millis(1));
@@ -715,14 +736,14 @@ impl RpqServer {
     fn shutdown_impl(&self) -> usize {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.queue_cv.notify_all();
-        let handles = std::mem::take(&mut *self.handles.lock().unwrap());
+        let handles = std::mem::take(&mut *lock_ignore_poison(&self.handles));
         for h in handles {
             let _ = h.join();
         }
-        let leftovers: Vec<Arc<Job>> = self.shared.queue.lock().unwrap().drain(..).collect();
+        let leftovers: Vec<Arc<Job>> = lock_ignore_poison(&self.shared.queue).drain(..).collect();
         let mut aborted = 0;
         for job in leftovers {
-            let mut status = job.status.lock().unwrap();
+            let mut status = lock_ignore_poison(&job.status);
             if matches!(*status, QueryStatus::Queued) {
                 *status = QueryStatus::Failed(RpqError::ShuttingDown);
                 drop(status);
@@ -742,17 +763,29 @@ impl Drop for RpqServer {
 }
 
 /// Pops the next job, or `None` on shutdown.
+///
+/// A popped job is counted into `in_flight` *before* the queue lock is
+/// released, so at no instant is a live job visible in neither the
+/// queue nor the in-flight count. (Incrementing only after the pop
+/// returned used to open exactly that window, and a concurrent
+/// [`RpqServer::drain`] observing it reported the backlog drained while
+/// the job was still about to run.) Callers own the slot: they must
+/// decrement `in_flight` once the job is finished *or* skipped.
 fn pop_job(shared: &Shared) -> Option<Arc<Job>> {
-    let mut queue = shared.queue.lock().unwrap();
+    let mut queue = lock_ignore_poison(&shared.queue);
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             return None;
         }
         if let Some(job) = queue.pop_front() {
             shared.metrics.note_queue_depth(queue.len());
+            shared.in_flight.fetch_add(1, Ordering::AcqRel);
             return Some(job);
         }
-        queue = shared.queue_cv.wait(queue).unwrap();
+        queue = shared
+            .queue_cv
+            .wait(queue)
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
     }
 }
 
@@ -779,15 +812,16 @@ fn worker_loop(shared: &Shared) {
                 next = Some(job);
                 continue 'epoch;
             }
-            // Claim the job: skip it if a cancel won the race.
+            // Claim the job: skip it if a cancel won the race. A skipped
+            // job gives its in-flight slot (taken by `pop_job`) back.
             {
-                let mut status = job.status.lock().unwrap();
+                let mut status = lock_ignore_poison(&job.status);
                 if !matches!(*status, QueryStatus::Queued) {
+                    shared.in_flight.fetch_sub(1, Ordering::AcqRel);
                     continue;
                 }
                 *status = QueryStatus::Running;
             }
-            shared.in_flight.fetch_add(1, Ordering::AcqRel);
             // A panicking evaluation must not strand the job as Running
             // (a `wait` would block forever) nor shrink the worker pool:
             // fail the job, rebuild the engine (its mask tables may be
@@ -1019,5 +1053,89 @@ fn run_job(shared: &Shared, engine: &mut RpqEngine<'_>, job: &Job) {
         } else {
             stripped
         }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::IndexSource;
+    use ring::ring::RingOptions;
+    use ring::{Graph, Ring, Triple};
+
+    fn tiny_server(config: ServerConfig) -> RpqServer {
+        let g = Graph::from_triples(vec![Triple::new(0, 0, 1), Triple::new(1, 0, 2)]);
+        let ring = Ring::build(&g, RingOptions::default());
+        RpqServer::start(Arc::new(IndexSource::id_only(ring)), config).unwrap()
+    }
+
+    /// Panics while holding the job's status mutex, poisoning it — the
+    /// state a worker panic used to leave behind.
+    fn poison_status(job: &Arc<Job>) {
+        let j = Arc::clone(job);
+        let outcome = std::thread::Builder::new()
+            .name("poisoner".into())
+            .spawn(move || {
+                let _guard = j.status.lock().unwrap();
+                panic!("deliberately poisoning the status mutex");
+            })
+            .unwrap()
+            .join();
+        assert!(outcome.is_err());
+        assert!(job.status.is_poisoned());
+    }
+
+    /// Regression: a poisoned status mutex used to turn every client
+    /// touch (`poll`, `cancel`, `wait`) into a fresh panic via
+    /// `.lock().unwrap()`. All of them must recover the lock and keep
+    /// the job's lifecycle working. Deterministic via `admission_only`:
+    /// the job is pinned at `Queued`, so the poison always lands first.
+    #[test]
+    fn poisoned_status_mutex_does_not_cascade_into_clients() {
+        let server = tiny_server(ServerConfig {
+            workers: 0,
+            admission_only: true,
+            ..ServerConfig::default()
+        });
+        let ticket = server.submit("0", "0", "?y").unwrap();
+        let job = lock_ignore_poison(&server.shared.jobs)
+            .get(&ticket.id)
+            .cloned()
+            .unwrap();
+        poison_status(&job);
+
+        assert!(matches!(server.poll(&ticket), Some(QueryStatus::Queued)));
+        assert!(server.cancel(&ticket), "cancel must work through poison");
+        assert!(matches!(server.poll(&ticket), Some(QueryStatus::Cancelled)));
+        assert!(matches!(server.wait(&ticket), Err(RpqError::Cancelled)));
+        server.shutdown();
+    }
+
+    /// The same sweep on a serving pool: jobs whose status mutex was
+    /// poisoned mid-queue must still be claimed, evaluated and finished
+    /// by the worker, and `wait` must hand their answers back instead of
+    /// propagating the poison.
+    #[test]
+    fn wait_on_a_poisoned_job_still_returns_its_answer() {
+        let server = tiny_server(ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        });
+        let tickets: Vec<QueryTicket> = (0..16)
+            .map(|_| server.submit("?x", "0+", "?y").unwrap())
+            .collect();
+        // Poison every job still reachable — some queued, some already
+        // running or done, covering both claim-time and finish-time
+        // recovery in the worker.
+        for t in &tickets {
+            if let Some(job) = lock_ignore_poison(&server.shared.jobs).get(&t.id).cloned() {
+                poison_status(&job);
+            }
+        }
+        for t in &tickets {
+            let answer = server.wait(t).expect("a poisoned job must still finish");
+            assert_eq!(answer.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        }
+        server.shutdown();
     }
 }

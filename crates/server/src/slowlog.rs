@@ -113,7 +113,7 @@ impl SlowLog {
         if self.capacity == 0 || entry.total_us < self.threshold_us {
             return false;
         }
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = crate::lock_ignore_poison(&self.inner);
         if inner.entries.len() >= self.capacity
             && entry.total_us <= inner.entries.last().map_or(0, |e| e.total_us)
         {
@@ -135,7 +135,7 @@ impl SlowLog {
 
     /// Number of logged entries.
     pub fn len(&self) -> usize {
-        self.inner.lock().unwrap().entries.len()
+        crate::lock_ignore_poison(&self.inner).entries.len()
     }
 
     /// Whether the log is empty.
@@ -145,7 +145,7 @@ impl SlowLog {
 
     /// Snapshot of the entries, worst-first.
     pub fn entries(&self) -> Vec<SlowEntry> {
-        self.inner.lock().unwrap().entries.clone()
+        crate::lock_ignore_poison(&self.inner).entries.clone()
     }
 
     /// Renders `{"threshold_us":..,"capacity":..,"entries":[..]}` with
@@ -157,7 +157,7 @@ impl SlowLog {
             .field_u64("capacity", self.capacity as u64)
             .key("entries")
             .begin_array();
-        for e in self.inner.lock().unwrap().entries.iter() {
+        for e in crate::lock_ignore_poison(&self.inner).entries.iter() {
             e.write_json(&mut w);
         }
         w.end_array().end_object();

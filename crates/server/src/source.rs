@@ -71,6 +71,19 @@ impl Default for IndexStats {
     }
 }
 
+/// Per-shard serving facts for a horizontally sharded source — one row
+/// per shard in both metrics exporters, so operators can see skew
+/// (triples, bytes) and scatter-gather traffic (probes) per shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Completed triples the shard holds.
+    pub triples: usize,
+    /// Index size of the shard's ring in bytes.
+    pub bytes: usize,
+    /// Scatter-gather probes the shard has served (monotonic counter).
+    pub probes: u64,
+}
+
 /// A queryable database: snapshot capture plus name resolution.
 /// Snapshots are immutable once captured, so any number of workers can
 /// evaluate against one concurrently; updatable sources publish new
@@ -94,6 +107,12 @@ pub trait QuerySource: Send + Sync {
     fn index_info(&self) -> Option<IndexStats> {
         None
     }
+    /// Per-shard rows for horizontally sharded sources (`None` =
+    /// unsharded). Rendered as the `shards` section of both metrics
+    /// exporters.
+    fn shard_stats(&self) -> Option<Vec<ShardStat>> {
+        None
+    }
     /// Flushes durable state — for sources with a write-ahead log,
     /// persist a snapshot and rotate the log, returning the
     /// checkpointed epoch. `None` means the source has nothing durable
@@ -109,6 +128,7 @@ pub trait QuerySource: Send + Sync {
 /// use.
 pub struct IndexSource {
     ring: Arc<Ring>,
+    shards: Option<Arc<[rpq_core::ShardPart]>>,
     nodes: Option<Dict>,
     preds: Option<Dict>,
 }
@@ -118,6 +138,7 @@ impl IndexSource {
     pub fn new(ring: Ring, nodes: Dict, preds: Dict) -> Self {
         Self {
             ring: Arc::new(ring),
+            shards: None,
             nodes: Some(nodes),
             preds: Some(preds),
         }
@@ -127,6 +148,31 @@ impl IndexSource {
     pub fn id_only(ring: Ring) -> Self {
         Self {
             ring: Arc::new(ring),
+            shards: None,
+            nodes: None,
+            preds: None,
+        }
+    }
+
+    /// A dictionary-less horizontally sharded source: one sub-ring per
+    /// shard, every query scatter-gathered across the partition. The
+    /// rings must share the global node/predicate universes (as
+    /// `ring::sharded::ShardedIndex`-built ones do); name resolution
+    /// uses shard 0's universes. A single ring degenerates to
+    /// [`IndexSource::id_only`].
+    ///
+    /// # Panics
+    /// Panics if `rings` is empty.
+    pub fn sharded_id_only(rings: Vec<Ring>) -> Self {
+        assert!(!rings.is_empty(), "a sharded source needs >= 1 ring");
+        let parts: Vec<rpq_core::ShardPart> = rings
+            .into_iter()
+            .map(|r| rpq_core::ShardPart::new(Arc::new(r)))
+            .collect();
+        let parts: Arc<[rpq_core::ShardPart]> = Arc::from(parts);
+        Self {
+            ring: Arc::clone(&parts[0].ring),
+            shards: (parts.len() > 1).then_some(parts),
             nodes: None,
             preds: None,
         }
@@ -135,7 +181,10 @@ impl IndexSource {
 
 impl QuerySource for IndexSource {
     fn snapshot(&self) -> SourceSnapshot {
-        SourceSnapshot::immutable(Arc::clone(&self.ring))
+        match &self.shards {
+            Some(parts) => SourceSnapshot::sharded(Arc::clone(parts)),
+            None => SourceSnapshot::immutable(Arc::clone(&self.ring)),
+        }
     }
 
     fn node_id(&self, name: &str) -> Option<Id> {
@@ -163,6 +212,20 @@ impl QuerySource for IndexSource {
                 .ok()
                 .filter(|&id| id < self.ring.n_preds_base()),
         }
+    }
+
+    fn shard_stats(&self) -> Option<Vec<ShardStat>> {
+        let parts = self.shards.as_ref()?;
+        Some(
+            parts
+                .iter()
+                .map(|p| ShardStat {
+                    triples: p.ring.n_triples(),
+                    bytes: p.ring.size_bytes(),
+                    probes: p.probe_count(),
+                })
+                .collect(),
+        )
     }
 }
 

@@ -503,3 +503,71 @@ fn drain_finishes_backlog_then_deadline_aborts_stragglers() {
         Some(QueryStatus::Failed(RpqError::ShuttingDown))
     ));
 }
+
+/// Submissions racing a drain must never strand a job: each submit
+/// either gets a synchronous rejection (`ShuttingDown`/`Overloaded`) or
+/// its ticket resolves to a terminal state once `drain` returns — no
+/// ticket may still read `Queued` or `Running`. (The worker used to
+/// count a popped job into `in_flight` only after releasing the queue
+/// lock, so a drain could observe the job in neither the queue nor the
+/// in-flight count and declare the backlog drained while it still ran.)
+#[test]
+fn drain_racing_submissions_strands_no_job() {
+    const SUBMITTERS: usize = 4;
+    for round in 0..12 {
+        let graph = workload_graph(round);
+        let ring = Ring::build(&graph, RingOptions::default());
+        let server = RpqServer::start(
+            Arc::new(IndexSource::id_only(ring)),
+            ServerConfig {
+                workers: 2,
+                max_pending: 64,
+                // No result cache: every job takes the evaluation path,
+                // keeping workers busy while the drain flag flips.
+                result_cache_bytes: 0,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+
+        let mut accepted: Vec<Vec<rpq_server::QueryTicket>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..SUBMITTERS)
+                .map(|_| {
+                    let server = &server;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            match server.submit("?x", "0+", "?y") {
+                                Ok(t) => mine.push(t),
+                                Err(RpqError::ShuttingDown) => break,
+                                Err(RpqError::Overloaded { .. }) => {
+                                    std::thread::yield_now();
+                                }
+                                Err(e) => panic!("unexpected submit error: {e}"),
+                            }
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            // Let the submitters build a backlog, then drain under them.
+            std::thread::sleep(Duration::from_millis(2));
+            let report = server.drain(Duration::from_secs(30));
+            assert_eq!(
+                report.aborted, 0,
+                "a live pool given 30s must finish, not abort, its backlog"
+            );
+            accepted = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        });
+
+        for t in accepted.iter().flatten() {
+            match server.poll(t) {
+                Some(QueryStatus::Done(_)) => {}
+                other => {
+                    panic!("round {round}: accepted job left in {other:?} after a successful drain")
+                }
+            }
+        }
+    }
+}

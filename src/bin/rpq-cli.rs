@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rpq-cli build <graph.txt|graph.nt> <index.db>  index a graph file
+//!   (--shards n writes a sharded index directory instead)
 //! rpq-cli query <index.db> <s> <expr> <o>      run one 2RPQ (use ?vars)
 //! rpq-cli serve <index.db> [opts]              query service on stdin
 //! rpq-cli batch <index.db> <queries> [opts]    run a query file via the service
@@ -93,12 +94,18 @@ const USAGE: &str = "usage:
   rpq-cli verify <index.db>                      deep-check an index: header, checksums,
                                                  cross-component consistency, WAL tail;
                                                  prints a one-line JSON report and exits
-                                                 0 (healthy) or 2 (corrupt)
+                                                 0 (healthy) or 2 (corrupt); works on
+                                                 sharded index directories too
   rpq-cli bench <index.db> <s> <expr> <o> [n]    time a query n times
 build options:
   --mmap           write the aligned RRPQM01 format: the file is usable
                    in place, so later opens map it zero-copy instead of
                    deserializing (default: the RRPQDB02 stream format)
+  --shards <n>     write a horizontally sharded index instead: <index.db>
+                   becomes a directory of n mappable RRPQM01 shard files
+                   plus a checksummed manifest; query/serve/batch/stats
+                   open it transparently and answers are bit-identical
+                   to the unsharded index
 query/serve/batch/stats/bench options:
   --mmap | --heap  for RRPQM01 index files, require a kernel mapping /
                    force an aligned heap read (default: map when the
@@ -155,21 +162,19 @@ impl From<String> for CliError {
 
 fn cmd_build(args: &[String]) -> Result<(), CliError> {
     let (mmap, rest) = split_flag(args, "--mmap");
+    let (shards, rest) = split_uint_flag(&rest, "--shards")?;
     let [input, output] = &rest[..] else {
-        return Err(
-            format!("build needs <graph.txt|graph.nt> <index.db> [--mmap]\n{USAGE}").into(),
-        );
+        return Err(format!(
+            "build needs <graph.txt|graph.nt> <index.db> [--mmap] [--shards n]\n{USAGE}"
+        )
+        .into());
     };
+    if shards == Some(0) {
+        return Err("--shards must be at least 1".to_string().into());
+    }
     let t = Instant::now();
     let db = RpqDatabase::from_graph_file(Path::new(input)).map_err(|e| e.to_string())?;
     let build_secs = t.elapsed().as_secs_f64();
-    if mmap {
-        db.save_mapped(Path::new(output))
-            .map_err(|e| format!("writing {output}: {e}"))?;
-    } else {
-        db.save(Path::new(output))
-            .map_err(|e| format!("writing {output}: {e}"))?;
-    }
     println!(
         "indexed {} edges, {} nodes, {} predicates in {:.2}s",
         db.graph().len(),
@@ -177,6 +182,27 @@ fn cmd_build(args: &[String]) -> Result<(), CliError> {
         db.graph().n_preds(),
         build_secs
     );
+    if let Some(n) = shards {
+        // A sharded index is a directory: one mappable RRPQM01 file per
+        // shard, bound by a checksummed RRPQSH01 manifest.
+        let bytes = db
+            .save_sharded(Path::new(output), n)
+            .map_err(|e| format!("writing {output}: {e}"))?;
+        println!(
+            "ring: {} bytes ({:.2} bytes/edge) -> {}/ (RRPQSH01, {n} shards, mappable)",
+            bytes,
+            bytes as f64 / db.graph().len().max(1) as f64,
+            output,
+        );
+        return Ok(());
+    }
+    if mmap {
+        db.save_mapped(Path::new(output))
+            .map_err(|e| format!("writing {output}: {e}"))?;
+    } else {
+        db.save(Path::new(output))
+            .map_err(|e| format!("writing {output}: {e}"))?;
+    }
     println!(
         "ring: {} bytes ({:.2} bytes/edge) -> {} ({})",
         db.ring().size_bytes(),
@@ -398,23 +424,24 @@ fn split_flag(args: &[String], flag: &str) -> (bool, Vec<String>) {
 /// Extracts `--threads <n>` from an argument list, returning it and the
 /// remaining arguments.
 fn split_threads_flag(args: &[String]) -> Result<(Option<usize>, Vec<String>), CliError> {
-    let mut threads = None;
+    split_uint_flag(args, "--threads")
+}
+
+/// Extracts a `<flag> <n>` pair from an argument list, returning the
+/// parsed value (if present) and the remaining arguments.
+fn split_uint_flag(args: &[String], flag: &str) -> Result<(Option<usize>, Vec<String>), CliError> {
+    let mut value = None;
     let mut rest = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        if a == "--threads" {
-            let v = it
-                .next()
-                .ok_or_else(|| "--threads needs a value".to_string())?;
-            threads = Some(
-                v.parse()
-                    .map_err(|_| format!("bad --threads value '{v}'"))?,
-            );
+        if a == flag {
+            let v = it.next().ok_or_else(|| format!("{flag} needs a value"))?;
+            value = Some(v.parse().map_err(|_| format!("bad {flag} value '{v}'"))?);
         } else {
             rest.push(a.clone());
         }
     }
-    Ok((threads, rest))
+    Ok((value, rest))
 }
 
 /// Options shared by `serve` and `batch`.
@@ -764,25 +791,68 @@ fn cmd_stats(args: &[String]) -> Result<(), CliError> {
         info.resident.as_str(),
         info.mapped_bytes
     );
+    // Sharded indexes aggregate across every shard (the per-shard
+    // breakdown shows skew); a single ring reports itself.
+    let shard_rows = if db.is_sharded() {
+        use ring_rpq::rpq_server::QuerySource;
+        db.shard_stats().unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    if !shard_rows.is_empty() {
+        println!("shards:              {}", shard_rows.len());
+        for (i, s) in shard_rows.iter().enumerate() {
+            println!(
+                "  shard {i:<3}          {} triples, {} bytes",
+                s.triples, s.bytes
+            );
+        }
+    }
     let g = db.graph();
     let r = db.ring();
+    let (indexed, ring_bytes, rpq_only_bytes) = if shard_rows.is_empty() {
+        (r.n_triples(), r.size_bytes(), r.size_bytes_rpq_only())
+    } else {
+        (
+            shard_rows.iter().map(|s| s.triples).sum(),
+            shard_rows.iter().map(|s| s.bytes).sum(),
+            0,
+        )
+    };
     println!("edges (base):        {}", g.len());
-    println!("edges (indexed G^):  {}", r.n_triples());
+    println!("edges (indexed G^):  {indexed}");
     println!("nodes:               {}", g.n_nodes());
     println!("predicates (base):   {}", g.n_preds());
-    println!("ring bytes:          {}", r.size_bytes());
+    println!("ring bytes:          {ring_bytes}");
     println!(
         "ring bytes/edge:     {:.2}",
-        r.size_bytes() as f64 / g.len().max(1) as f64
+        ring_bytes as f64 / g.len().max(1) as f64
     );
-    println!(
-        "rpq-only bytes/edge: {:.2}",
-        r.size_bytes_rpq_only() as f64 / g.len().max(1) as f64
-    );
+    if rpq_only_bytes > 0 {
+        println!(
+            "rpq-only bytes/edge: {:.2}",
+            rpq_only_bytes as f64 / g.len().max(1) as f64
+        );
+    }
     // Top predicates by cardinality — the selectivity the planner uses.
-    let mut cards: Vec<(u64, usize)> = (0..g.n_preds())
-        .map(|p| (p, r.pred_cardinality(p)))
-        .collect();
+    // For a sharded index the base graph (the shards' exact union) is
+    // counted directly; per-shard `pred_cardinality` would need summing
+    // anyway.
+    let mut cards: Vec<(u64, usize)> = if shard_rows.is_empty() {
+        (0..g.n_preds())
+            .map(|p| (p, r.pred_cardinality(p)))
+            .collect()
+    } else {
+        let mut counts = vec![0usize; g.n_preds() as usize];
+        for t in g.triples() {
+            counts[t.p as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(p, c)| (p as u64, c))
+            .collect()
+    };
     cards.sort_by_key(|&(_, c)| std::cmp::Reverse(c));
     println!("top predicates:");
     for &(p, c) in cards.iter().take(5) {
@@ -801,6 +871,9 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
         return Err(format!("verify needs <index.db>\n{USAGE}").into());
     };
     let path = Path::new(index);
+    if path.is_dir() {
+        return verify_sharded_dir(index, path);
+    }
     let fail = |format: &str, stage: &str, err: String| -> Result<(), CliError> {
         println!(
             "{{\"path\":{},\"format\":{},\"status\":\"corrupt\",\"stage\":{},\"error\":{}}}",
@@ -892,6 +965,54 @@ fn cmd_verify(args: &[String]) -> Result<(), CliError> {
         rpq_core::jsonw::quoted(index),
         rpq_core::jsonw::quoted(format),
         epoch.map_or_else(|| "null".to_string(), |e| e.to_string()),
+    );
+    Ok(())
+}
+
+/// `verify` on a sharded index directory: the RRPQSH01 manifest is read
+/// (CRC footer verified) and cross-checked against every shard file,
+/// then each shard's RRPQM01 section checksums are validated — every
+/// payload byte is touched. Same report/exit-code contract as the
+/// single-file path.
+fn verify_sharded_dir(index: &str, dir: &Path) -> Result<(), CliError> {
+    let fail = |stage: &str, err: String| -> Result<(), CliError> {
+        println!(
+            "{{\"path\":{},\"format\":\"RRPQSH01\",\"status\":\"corrupt\",\"stage\":{},\"error\":{}}}",
+            rpq_core::jsonw::quoted(index),
+            rpq_core::jsonw::quoted(stage),
+            rpq_core::jsonw::quoted(&err),
+        );
+        Err(CliError::Parse(format!(
+            "{index} failed verification ({stage}): {err}"
+        )))
+    };
+    if !ring_rpq::ring::sharded::is_sharded_dir(dir) {
+        return fail(
+            "header",
+            "directory has no RRPQSH01 manifest (not a sharded index)".to_string(),
+        );
+    }
+    // Manifest integrity + per-shard cross-checks (triple counts and
+    // universes against the manifest).
+    let opened = match ring_rpq::ring::sharded::open_dir(dir, OpenMode::Heap) {
+        Ok(o) => o,
+        Err(e) => return fail("manifest", e.to_string()),
+    };
+    let mut sections = 0u64;
+    for i in 0..opened.len() {
+        let shard = dir.join(ring_rpq::ring::sharded::shard_file_name(i));
+        match ring_rpq::ring::mapped::verify_index_checksums(&shard) {
+            Ok(n) => sections += n as u64,
+            Err(e) => return fail(&format!("shard {i} checksums"), e.to_string()),
+        }
+    }
+    let orphans = count_orphan_tmps(&dir.join(ring_rpq::ring::sharded::MANIFEST_FILE));
+    println!(
+        "{{\"path\":{},\"format\":\"RRPQSH01\",\"status\":\"ok\",\"checksummed\":true,\
+         \"checksum_sections\":{sections},\"shards\":{},\"epoch\":null,\"wal\":null,\
+         \"orphan_tmp\":{orphans}}}",
+        rpq_core::jsonw::quoted(index),
+        opened.len(),
     );
     Ok(())
 }

@@ -100,6 +100,10 @@ pub struct RpqDatabase {
     /// file reconstructs the base graph from the ring only if asked.
     graph: OnceLock<Graph>,
     ring: Arc<Ring>,
+    /// Present when the database was opened from (or built as) a sharded
+    /// index; queries then scatter-gather across the parts. `ring` is
+    /// the first shard in that case.
+    shards: Option<rpq_core::ShardedSource>,
     nodes: Dict,
     preds: Dict,
     open_info: OpenInfo,
@@ -184,6 +188,7 @@ impl RpqDatabase {
         Self {
             graph: OnceLock::from(graph),
             ring,
+            shards: None,
             nodes,
             preds,
             open_info: OpenInfo::default(),
@@ -200,10 +205,17 @@ impl RpqDatabase {
         self.graph();
         let graph = self.graph.into_inner().expect("graph just materialized");
         // Downstream mutators (the updatable store) intern names; hand
-        // them the heap dictionary form up front.
+        // them the heap dictionary form up front. A sharded database
+        // carries only per-shard rings, so the updatable store gets a
+        // freshly built monolithic one.
+        let ring = if self.shards.is_some() {
+            Arc::new(Ring::build(&graph, RingOptions::default()))
+        } else {
+            self.ring
+        };
         self.nodes.make_owned();
         self.preds.make_owned();
-        (graph, self.ring, self.nodes, self.preds)
+        (graph, ring, self.nodes, self.preds)
     }
 
     pub(crate) fn from_built_parts(
@@ -215,6 +227,7 @@ impl RpqDatabase {
         Self {
             graph: OnceLock::from(graph),
             ring,
+            shards: None,
             nodes,
             preds,
             open_info: OpenInfo::default(),
@@ -233,7 +246,16 @@ impl RpqDatabase {
     pub fn graph(&self) -> &Graph {
         self.graph.get_or_init(|| {
             let base = self.ring.n_preds_base();
-            let triples: Vec<Triple> = self.ring.iter_triples().filter(|t| t.p < base).collect();
+            let triples: Vec<Triple> = match &self.shards {
+                // Shards partition the base triples, so their union is
+                // exact (no dedup needed).
+                Some(src) => src
+                    .parts()
+                    .iter()
+                    .flat_map(|p| p.ring.iter_triples().filter(|t| t.p < base))
+                    .collect(),
+                None => self.ring.iter_triples().filter(|t| t.p < base).collect(),
+            };
             Graph::new(triples, self.ring.n_nodes(), base)
         })
     }
@@ -311,9 +333,11 @@ impl RpqDatabase {
         opts: &EngineOptions,
     ) -> Result<QueryOutput, DbError> {
         let q = self.parse_query(subject, expr, object)?;
-        RpqEngine::new(&self.ring)
-            .evaluate(&q, opts)
-            .map_err(DbError::Query)
+        match &self.shards {
+            Some(src) => RpqEngine::over(src).evaluate(&q, opts),
+            None => RpqEngine::new(&self.ring).evaluate(&q, opts),
+        }
+        .map_err(DbError::Query)
     }
 
     /// Explains the evaluation plan for a query (route, direction,
@@ -336,7 +360,11 @@ impl RpqDatabase {
         object: &str,
     ) -> Result<rpq_core::explain::QueryPlan, DbError> {
         let q = self.parse_query(subject, expr, object)?;
-        rpq_core::explain::explain(&self.ring, &q).map_err(DbError::Query)
+        match &self.shards {
+            Some(src) => rpq_core::explain::explain_source_with(src, &q, &EngineOptions::default()),
+            None => rpq_core::explain::explain(&self.ring, &q),
+        }
+        .map_err(DbError::Query)
     }
 
     /// Evaluates many queries concurrently (`n_threads` workers, dynamic
@@ -347,7 +375,10 @@ impl RpqDatabase {
         opts: &EngineOptions,
         n_threads: usize,
     ) -> Vec<Result<QueryOutput, rpq_core::QueryError>> {
-        rpq_core::parallel::evaluate_batch(&self.ring, queries, opts, n_threads)
+        match &self.shards {
+            Some(src) => rpq_core::parallel::evaluate_batch_over(src, queries, opts, n_threads),
+            None => rpq_core::parallel::evaluate_batch(&self.ring, queries, opts, n_threads),
+        }
     }
 
     /// Persists the database (graph, dictionaries and the prebuilt ring)
@@ -391,6 +422,9 @@ impl RpqDatabase {
     /// [`OpenMode::Heap`] forces an aligned heap read (the differential-
     /// testing path). Stream-format files always load to the heap.
     pub fn open_with(path: &std::path::Path, mode: OpenMode) -> std::io::Result<Self> {
+        if ring::sharded::is_sharded_dir(path) {
+            return Self::open_sharded(path, mode);
+        }
         let t0 = std::time::Instant::now();
         let orphans = ring::durable::cleanup_orphans(path);
         if orphans > 0 {
@@ -404,6 +438,7 @@ impl RpqDatabase {
             Ok(Self {
                 graph: OnceLock::new(),
                 ring: Arc::new(idx.ring),
+                shards: None,
                 nodes: idx.nodes,
                 preds: idx.preds,
                 open_info: OpenInfo {
@@ -482,10 +517,67 @@ impl RpqDatabase {
         Ok(Self {
             graph: OnceLock::from(graph),
             ring: Arc::new(ring),
+            shards: None,
             nodes,
             preds,
             open_info: OpenInfo::default(),
         })
+    }
+
+    /// Persists the database as a **sharded** index directory: the base
+    /// graph is partitioned by predicate (subject ranges for skewed
+    /// predicates, see [`ring::sharded`]) into `n_shards` sub-rings,
+    /// each written as a self-contained mappable `RRPQM01` file next to
+    /// a checksummed `MANIFEST`. Returns total bytes written.
+    pub fn save_sharded(&self, dir: &std::path::Path, n_shards: usize) -> std::io::Result<u64> {
+        let idx =
+            ring::sharded::ShardedIndex::build(self.graph(), n_shards, RingOptions::default());
+        idx.save_dir(dir, &self.nodes, &self.preds)
+    }
+
+    /// Opens a sharded index directory ([`Self::save_sharded`]); queries
+    /// scatter-gather across the shards and return exactly what the
+    /// unsharded index would. [`Self::open_with`] dispatches here for
+    /// directory paths, so callers rarely need this directly.
+    pub fn open_sharded(dir: &std::path::Path, mode: OpenMode) -> std::io::Result<Self> {
+        let t0 = std::time::Instant::now();
+        ring::durable::cleanup_orphans(&dir.join(ring::sharded::MANIFEST_FILE));
+        let opened = ring::sharded::open_dir(dir, mode)?;
+        let resident = opened[0].resident;
+        let mapped_bytes: u64 = opened.iter().map(|s| s.mapped_bytes).sum();
+        let mut nodes = None;
+        let mut preds = None;
+        let mut rings = Vec::with_capacity(opened.len());
+        for (i, idx) in opened.into_iter().enumerate() {
+            if i == 0 {
+                nodes = Some(idx.nodes);
+                preds = Some(idx.preds);
+            }
+            rings.push(Arc::new(idx.ring));
+        }
+        let source = rpq_core::ShardedSource::new(rings);
+        Ok(Self {
+            graph: OnceLock::new(),
+            ring: Arc::clone(&source.parts()[0].ring),
+            shards: Some(source),
+            nodes: nodes.expect("manifest guarantees >= 1 shard"),
+            preds: preds.expect("manifest guarantees >= 1 shard"),
+            open_info: OpenInfo {
+                open_us: t0.elapsed().as_micros() as u64,
+                resident,
+                mapped_bytes,
+            },
+        })
+    }
+
+    /// Whether this database scatter-gathers over a sharded index.
+    pub fn is_sharded(&self) -> bool {
+        self.shards.is_some()
+    }
+
+    /// Number of shards backing this database (1 when unsharded).
+    pub fn n_shards(&self) -> usize {
+        self.shards.as_ref().map_or(1, |s| s.n_shards())
     }
 }
 
@@ -495,7 +587,10 @@ impl RpqDatabase {
 /// snapshot is the same epoch-0 view).
 impl rpq_server::QuerySource for RpqDatabase {
     fn snapshot(&self) -> SourceSnapshot {
-        SourceSnapshot::immutable(Arc::clone(&self.ring))
+        match &self.shards {
+            Some(src) => src.snapshot(),
+            None => SourceSnapshot::immutable(Arc::clone(&self.ring)),
+        }
     }
 
     fn node_id(&self, name: &str) -> Option<Id> {
@@ -516,6 +611,20 @@ impl rpq_server::QuerySource for RpqDatabase {
             resident_mode: self.open_info.resident.as_str(),
             mapped_bytes: self.open_info.mapped_bytes,
         })
+    }
+
+    fn shard_stats(&self) -> Option<Vec<rpq_server::ShardStat>> {
+        let src = self.shards.as_ref()?;
+        Some(
+            src.parts()
+                .iter()
+                .map(|p| rpq_server::ShardStat {
+                    triples: p.ring.n_triples(),
+                    bytes: p.ring.size_bytes(),
+                    probes: p.probe_count(),
+                })
+                .collect(),
+        )
     }
 }
 
@@ -625,6 +734,77 @@ mod tests {
                 ("a".to_string(), "d".to_string()),
             ]
         );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_save_open_matches_unsharded() {
+        let dir = std::env::temp_dir().join(format!("rpq-facade-sharded-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut text = String::new();
+        for i in 0..40u32 {
+            text.push_str(&format!("n{i} p n{}\n", (i + 1) % 40));
+            if i % 3 == 0 {
+                text.push_str(&format!("n{i} q n{}\n", (i * 7 + 2) % 40));
+            }
+        }
+        let db = RpqDatabase::from_text(&text).unwrap();
+        db.save_sharded(&dir, 3).unwrap();
+
+        let sharded = RpqDatabase::open(&dir).unwrap();
+        assert!(sharded.is_sharded());
+        assert_eq!(sharded.n_shards(), 3);
+        for q in [("n0", "p+", "?y"), ("?x", "p/q", "?y"), ("?x", "^p", "n0")] {
+            assert_eq!(
+                sharded.query(q.0, q.1, q.2).unwrap(),
+                db.query(q.0, q.1, q.2).unwrap(),
+                "{q:?}"
+            );
+        }
+        // The reconstructed graph is the exact base triple set.
+        assert_eq!(sharded.graph().triples(), db.graph().triples());
+
+        // Serving: the server scatter-gathers and exports per-shard rows.
+        use rpq_server::{QuerySource, ServerConfig};
+        let stats = QuerySource::shard_stats(&sharded).unwrap();
+        assert_eq!(stats.len(), 3);
+        assert_eq!(
+            stats.iter().map(|s| s.triples).sum::<usize>(),
+            2 * db.graph().len()
+        );
+        let server = sharded
+            .into_server(ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+        let answer = server.query_blocking("n0", "p+", "?y").unwrap();
+        assert_eq!(server.resolve_pairs(&answer).len(), 40);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn single_shard_directory_behaves_like_the_plain_index() {
+        let dir = std::env::temp_dir().join(format!("rpq-facade-shard1-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let db = RpqDatabase::from_text("a p b\nb p c\nc q a\n").unwrap();
+        db.save_sharded(&dir, 1).unwrap();
+        let one = RpqDatabase::open(&dir).unwrap();
+        assert!(one.is_sharded());
+        assert_eq!(one.n_shards(), 1);
+        assert_eq!(
+            one.query("a", "p+", "?y").unwrap(),
+            db.query("a", "p+", "?y").unwrap()
+        );
+        // Converting a sharded database to updatable rebuilds one ring.
+        let live = one.into_updatable();
+        live.insert("c", "p", "d");
+        live.commit();
+        assert!(live
+            .query("a", "p+", "?y")
+            .unwrap()
+            .contains(&("a".to_string(), "d".to_string())));
         std::fs::remove_dir_all(&dir).ok();
     }
 
